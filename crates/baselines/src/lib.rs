@@ -1,0 +1,85 @@
+//! # gp-baselines
+//!
+//! The comparison methods from the paper's evaluation (§V-A3):
+//!
+//! * [`NoPretrain`] — the GraphPrompter architecture with randomly
+//!   initialized weights (chance-level floor).
+//! * [`Contrastive`] — GraphCL-style self-supervised pre-training
+//!   (edge-drop / feature-mask augmentations, NT-Xent loss) with a
+//!   hard-coded nearest-class-mean classifier.
+//! * [`Finetune`] — the contrastive encoder plus a linear head trained on
+//!   the episode's k-shot examples (the "common practice" adapter).
+//! * [`Prodigy`] — the in-context learning baseline GraphPrompter builds
+//!   on: random candidate sampling, random prompt selection, no
+//!   reconstruction, no cache. Implemented as gp-core with every stage
+//!   toggle off, so the comparison isolates exactly the paper's
+//!   contribution.
+//! * [`ProG`] — All-in-One-style learnable prompt tokens, meta-tuned on
+//!   the episode's few shots (captures the paper's observed instability of
+//!   prompt-token methods in few-shot cross-domain settings).
+//! * [`Ofa`] — One-For-All analog: a prompt-graph method with the same
+//!   episode protocol but a low-resource jointly-trained encoder
+//!   (`OFA-joint-lr`); see the module docs for the substitution rationale.
+//!
+//! All baselines implement [`IclBaseline`] so the experiment harness can
+//! sweep them uniformly.
+
+pub mod contrastive;
+pub mod finetune;
+pub mod no_pretrain;
+pub mod ofa;
+pub mod prodigy;
+pub mod prog;
+
+pub use contrastive::{Contrastive, ContrastiveConfig};
+pub use finetune::Finetune;
+pub use no_pretrain::NoPretrain;
+pub use ofa::Ofa;
+pub use prodigy::Prodigy;
+pub use prog::ProG;
+
+use gp_datasets::Dataset;
+use gp_graph::SamplerConfig;
+
+/// Shared evaluation protocol (the paper's §V-A2 settings).
+#[derive(Clone, Debug)]
+pub struct EvalProtocol {
+    /// `k` — prompts used per class.
+    pub shots: usize,
+    /// `N` — candidate prompts per class.
+    pub candidates_per_class: usize,
+    /// Queries per episode.
+    pub queries: usize,
+    /// Data-graph sampling.
+    pub sampler: SamplerConfig,
+    /// Base seed; episode `i` derives from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for EvalProtocol {
+    fn default() -> Self {
+        Self {
+            shots: 3,
+            candidates_per_class: 10,
+            queries: 30,
+            sampler: SamplerConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A method evaluable under the in-context learning protocol.
+pub trait IclBaseline {
+    /// Display name for tables.
+    fn name(&self) -> &str;
+
+    /// Run `episodes` independent `ways`-way episodes on `dataset` and
+    /// return per-episode accuracies in percent.
+    fn evaluate(
+        &self,
+        dataset: &Dataset,
+        ways: usize,
+        episodes: usize,
+        protocol: &EvalProtocol,
+    ) -> Vec<f32>;
+}

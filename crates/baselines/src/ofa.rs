@@ -1,0 +1,95 @@
+//! The One-For-All (OFA) baseline analog (Liu et al., ICLR 2024; the
+//! paper's reference \[5\]).
+//!
+//! **Substitution note (DESIGN.md).** Real OFA encodes node/edge *text*
+//! with an LLM and trains one model jointly on every dataset; neither the
+//! text attributes nor the LLM exist in this reproduction. The paper uses
+//! OFA's *low-resource joint* variant (`OFA-joint-lr`) and reports that it
+//! is (a) structurally similar to Prodigy (a Prompt Graph method), but
+//! (b) weaker and far less stable than GraphPrompter under few-shot
+//! random category selection (Table VI; the paper cites OFA's own issue
+//! tracker on prediction instability). We reproduce exactly those
+//! properties: the same prompt-graph pipeline as Prodigy, with a
+//! **low-resource** pre-training budget (a fraction of Prodigy's steps,
+//! mimicking the joint model's per-dataset share of capacity) — yielding
+//! the correct qualitative behaviour: between NoPretrain and Prodigy on
+//! average, with larger episode-to-episode variance.
+
+use gp_core::{
+    pretrain, GraphPrompterModel, ModelConfig, PretrainConfig, StageConfig,
+};
+use gp_datasets::Dataset;
+
+use crate::{EvalProtocol, IclBaseline, Prodigy};
+
+/// The OFA-joint-lr analog: a prompt-graph model on a low-resource
+/// pre-training budget.
+pub struct Ofa {
+    model: GraphPrompterModel,
+}
+
+impl Ofa {
+    /// Fraction of the Prodigy pre-training budget the low-resource joint
+    /// model gets per dataset.
+    pub const LOW_RESOURCE_FRACTION: f32 = 0.2;
+
+    /// Pre-train with the low-resource budget derived from `pre_cfg`.
+    pub fn pretrain(source: &Dataset, model_cfg: ModelConfig, pre_cfg: &PretrainConfig) -> Self {
+        let mut lr_cfg = pre_cfg.clone();
+        lr_cfg.steps = ((pre_cfg.steps as f32 * Self::LOW_RESOURCE_FRACTION) as usize).max(1);
+        let mut model = GraphPrompterModel::new(model_cfg);
+        pretrain(&mut model, source, &lr_cfg, StageConfig::prodigy());
+        Self { model }
+    }
+
+    /// Access the wrapped model.
+    pub fn model(&self) -> &GraphPrompterModel {
+        &self.model
+    }
+}
+
+impl IclBaseline for Ofa {
+    fn name(&self) -> &str {
+        "OFA"
+    }
+
+    fn evaluate(
+        &self,
+        dataset: &Dataset,
+        ways: usize,
+        episodes: usize,
+        protocol: &EvalProtocol,
+    ) -> Vec<f32> {
+        let cfg = Prodigy::inference_config(protocol);
+        gp_core::evaluate_episodes(&self.model, dataset, ways, protocol.queries, episodes, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_datasets::CitationConfig;
+    use gp_graph::SamplerConfig;
+
+    #[test]
+    fn ofa_gets_fewer_steps_and_still_runs() {
+        let source = CitationConfig::new("src", 250, 5, 71).generate();
+        let target = CitationConfig::new("tgt", 200, 4, 72).generate();
+        let pre = PretrainConfig {
+            steps: 50,
+            ways: 4,
+            shots: 2,
+            queries: 4,
+            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            ..PretrainConfig::default()
+        };
+        let ofa = Ofa::pretrain(
+            &source,
+            ModelConfig { embed_dim: 16, hidden_dim: 24, ..ModelConfig::default() },
+            &pre,
+        );
+        let accs = ofa.evaluate(&target, 3, 2, &EvalProtocol { queries: 9, ..EvalProtocol::default() });
+        assert_eq!(accs.len(), 2);
+        assert!(accs.iter().all(|a| (0.0..=100.0).contains(a)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Component micro-benchmarks: the primitives the pipeline's asymptotics
+//! are built from (Eqs. 15–16) — sparse aggregation with gradients, edge
+//! softmax, prompt scoring/voting, LFU cache churn and data-graph
+//! sampling.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gp_core::{select_prompts, LfuCache};
+use gp_datasets::presets;
+use gp_graph::{RandomWalkSampler, SamplerConfig};
+use gp_tensor::{rng as trng, EdgeList, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_edges(n_nodes: usize, n_edges: usize, seed: u64) -> Arc<EdgeList> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    EdgeList::from_pairs((0..n_edges).map(|_| {
+        (
+            rng.gen_range(0..n_nodes as u32),
+            rng.gen_range(0..n_nodes as u32),
+        )
+    }))
+    .into_shared()
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let edges = random_edges(1000, 8000, 1);
+    let x = trng::randn(&mut rng, 1000, 32, 1.0);
+    let w = trng::rand_uniform(&mut rng, 8000, 1, 0.0, 1.0);
+    c.bench_function("spmm_forward_backward_8k_edges", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let wv = tape.input(w.clone());
+            let y = tape.spmm(edges.clone(), xv, Some(wv), 1000);
+            let loss = tape.sum_all(y);
+            tape.backward(loss).get(wv)
+        });
+    });
+}
+
+fn bench_edge_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let edges = random_edges(500, 8000, 3);
+    let scores = trng::randn(&mut rng, 8000, 1, 1.0);
+    c.bench_function("edge_softmax_8k_edges", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let s = tape.input(scores.clone());
+            let p = tape.edge_softmax(edges.clone(), s);
+            tape.value(p).sum()
+        });
+    });
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    // 40-way × N=10 candidates vs 10 queries — the Table VIII regime.
+    let prompts = trng::randn(&mut rng, 400, 32, 1.0).l2_normalize_rows(1e-9);
+    let queries = trng::randn(&mut rng, 10, 32, 1.0).l2_normalize_rows(1e-9);
+    let imps: Vec<f32> = (0..400).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let q_imps: Vec<f32> = (0..10).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let labels: Vec<usize> = (0..400).map(|i| i % 40).collect();
+    c.bench_function("selector_vote_400_candidates", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(5);
+            select_prompts(&prompts, &imps, &labels, &queries, &q_imps, 40, 3, true, true, &mut r)
+                .selected
+                .len()
+        });
+    });
+}
+
+fn bench_lfu(c: &mut Criterion) {
+    c.bench_function("lfu_churn_10k_ops", |b| {
+        b.iter(|| {
+            let mut cache: LfuCache<u64, u64> = LfuCache::new(16);
+            for i in 0..10_000u64 {
+                cache.insert(i % 64, i);
+                if i % 3 == 0 {
+                    cache.touch(&(i % 64));
+                }
+            }
+            cache.len()
+        });
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let ds = presets::fb15k237_like(0);
+    let sampler = RandomWalkSampler::new(SamplerConfig::default());
+    c.bench_function("random_walk_sample_100_subgraphs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut total = 0usize;
+            for a in 0..100u32 {
+                total += sampler.sample(&ds.graph, &[a * 13 % 2600], &mut rng).num_nodes();
+            }
+            total
+        });
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = trng::randn(&mut rng, 256, 64, 1.0);
+    let b_m = trng::randn(&mut rng, 64, 64, 1.0);
+    c.bench_function("matmul_256x64x64", |bch| {
+        bch.iter(|| a.matmul(&b_m).sum());
+    });
+    let _ = Tensor::zeros(1, 1);
+}
+
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_edge_softmax,
+    bench_selector,
+    bench_lfu,
+    bench_sampler,
+    bench_matmul
+);
+criterion_main!(benches);

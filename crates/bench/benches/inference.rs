@@ -1,0 +1,37 @@
+//! Criterion bench for the Table VIII claim: GraphPrompter's per-query
+//! inference costs ≈2–3× Prodigy's (candidate retrieval + doubled prompt
+//! set), measured on the same pre-trained model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gp_bench::{GraphPrompterMethod, Suite};
+use gp_core::StageConfig;
+use gp_datasets::{presets, sample_few_shot_task};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let suite = Suite { pre_steps: 120, episodes: 1, queries: 10, seed: 0 };
+    let wiki = presets::wiki_like(0);
+    let fb = presets::fb15k237_like(0);
+    let gp = GraphPrompterMethod::pretrain(&wiki, &suite);
+
+    let mut group = c.benchmark_group("per_query_inference");
+    group.sample_size(10);
+    for ways in [10usize, 20] {
+        for (name, stages) in [
+            ("prodigy", StageConfig::prodigy()),
+            ("graphprompter", StageConfig::full()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, ways), &ways, |b, &ways| {
+                let cfg = suite.inference_config(stages);
+                let mut rng = StdRng::seed_from_u64(7);
+                let task = sample_few_shot_task(&fb, ways, cfg.candidates_per_class, 10, &mut rng);
+                b.iter(|| gp_core::run_episode(&gp.model, &fb, &task, &cfg).correct);
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 9 cost claim: one GraphPrompter
+//! pre-training step (reconstruction + selection layers active) costs
+//! about the same as one Prodigy step — "the additional computational
+//! complexity introduced by the MLP is negligible compared to the overall
+//! cost of the GNNs" (§V-F).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gp_core::{pretrain, GraphPrompterModel, ModelConfig, PretrainConfig, StageConfig};
+use gp_datasets::presets;
+use gp_graph::SamplerConfig;
+
+fn step_config(steps: usize) -> PretrainConfig {
+    PretrainConfig {
+        steps,
+        ways: 6,
+        shots: 3,
+        queries: 4,
+        sampler: SamplerConfig::default(),
+        log_every: usize::MAX,
+        ..PretrainConfig::default()
+    }
+}
+
+fn bench_pretrain_step(c: &mut Criterion) {
+    let source = presets::wiki_like(0);
+    let mut group = c.benchmark_group("pretrain_10_steps");
+    group.sample_size(10);
+    for (name, stages) in [
+        ("prodigy", StageConfig::prodigy()),
+        ("graphprompter", StageConfig::full()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model = GraphPrompterModel::new(ModelConfig::default());
+                pretrain(&mut model, &source, &step_config(10), stages)
+                    .loss
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pretrain_step);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Experiment runner: one subcommand per table/figure of the paper.
+//!
+//! ```text
+//! cargo run -p gp-bench --release --bin experiments -- <id> [--smoke]
+//! ```
+//!
+//! `<id>` ∈ {table3..table8, fig3..fig9, all, calibrate}. `all` runs every
+//! experiment and regenerates EXPERIMENTS.md. `--smoke` shrinks the scale
+//! for a fast sanity pass.
+
+use std::time::Instant;
+
+use gp_baselines::IclBaseline;
+use gp_bench::experiments;
+use gp_bench::{Ctx, GraphPrompterMethod, Suite};
+use gp_datasets::presets;
+use gp_eval::MeanStd;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let suite = if smoke { Suite::smoke() } else { Suite::default() };
+    let which = args.first().map(String::as_str).unwrap_or("help");
+
+    match which {
+        "calibrate" => calibrate(&suite),
+        "all" => run_all(suite),
+        id if experiments::ALL_IDS.contains(&id) => {
+            let mut ctx = Ctx::new(suite);
+            let t0 = Instant::now();
+            let section = experiments::run(id, &mut ctx).expect("id checked above");
+            println!("{section}");
+            eprintln!("[{id} finished in {:?}]", t0.elapsed());
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: experiments <all|calibrate|{}> [--smoke]",
+                experiments::ALL_IDS.join("|")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run every experiment and write EXPERIMENTS.md.
+fn run_all(suite: Suite) {
+    let mut ctx = Ctx::new(suite);
+    let mut doc = experiments::preamble(&ctx);
+    let t0 = Instant::now();
+    for &id in experiments::ALL_IDS {
+        let started = Instant::now();
+        eprintln!("[{:?}] running {id}...", t0.elapsed());
+        let section = experiments::run(id, &mut ctx).expect("known id");
+        eprintln!("[{:?}] {id} done in {:?}", t0.elapsed(), started.elapsed());
+        doc.push('\n');
+        doc.push_str(&section);
+    }
+    std::fs::write("EXPERIMENTS.md", &doc).expect("write EXPERIMENTS.md");
+    eprintln!("[{:?}] EXPERIMENTS.md written", t0.elapsed());
+}
+
+/// Quick shape check: GraphPrompter vs Prodigy vs chance on the headline
+/// cross-domain transfers.
+fn calibrate(suite: &Suite) {
+    let t0 = Instant::now();
+    let protocol = suite.protocol();
+
+    // Node side: MAG-like → arXiv-like.
+    let mag = presets::mag240m_like(suite.seed);
+    let arxiv = presets::arxiv_like(suite.seed);
+    let gp = GraphPrompterMethod::pretrain(&mag, suite);
+    let prodigy =
+        gp_baselines::Prodigy::pretrain(&mag, suite.model_config(), &suite.pretrain_config());
+    println!(
+        "[{:?}] node side pre-trained ({} params)",
+        t0.elapsed(),
+        gp.model.num_parameters()
+    );
+    for ways in [5usize, 10] {
+        let g = MeanStd::of(&gp.evaluate(&arxiv, ways, suite.episodes, &protocol));
+        let p = MeanStd::of(&prodigy.evaluate(&arxiv, ways, suite.episodes, &protocol));
+        println!(
+            "arxiv {ways}-way: GraphPrompter {g} | Prodigy {p} | chance {:.1}",
+            100.0 / ways as f32
+        );
+    }
+
+    // Edge side: Wiki-like → FB15K-237-like.
+    let wiki = presets::wiki_like(suite.seed);
+    let fb = presets::fb15k237_like(suite.seed);
+    let gp_kg = GraphPrompterMethod::pretrain(&wiki, suite);
+    let prodigy_kg =
+        gp_baselines::Prodigy::pretrain(&wiki, suite.model_config(), &suite.pretrain_config());
+    for ways in [5usize, 20, 40] {
+        let g = MeanStd::of(&gp_kg.evaluate(&fb, ways, suite.episodes, &protocol));
+        let p = MeanStd::of(&prodigy_kg.evaluate(&fb, ways, suite.episodes, &protocol));
+        println!(
+            "fb {ways}-way: GraphPrompter {g} | Prodigy {p} | chance {:.1}",
+            100.0 / ways as f32
+        );
+    }
+    println!("[{:?}] calibrate done", t0.elapsed());
+}

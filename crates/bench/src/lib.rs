@@ -1,0 +1,12 @@
+//! # gp-bench
+//!
+//! The experiment harness: shared model-training helpers plus one module
+//! per table/figure of the paper (see DESIGN.md's experiment index).
+//! The `experiments` binary dispatches to these and regenerates
+//! EXPERIMENTS.md; the Criterion benches in `benches/` cover the
+//! timing-shaped results (Table VIII, Fig. 9 cost).
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Ctx, GraphPrompterMethod, GraphPrompterView, Suite};

@@ -1,0 +1,259 @@
+//! Prompt Augmenter (§IV-C): a test-time cache of high-confidence
+//! pseudo-labelled queries, managed with LFU replacement, that augments
+//! the selected prompt set: `Ŝ' = Ŝ ∪ C` (Eq. 9).
+//!
+//! The cache is **per class**: `c` slots for each of the `m` episode
+//! classes, each class running its own LFU. This follows the paper's own
+//! arithmetic — with `k = 3` selected prompts and `c = 3` cached prompts
+//! per class it reports `|Ŝ'| = 2·k = 6` (§V-F) — and matters for
+//! correctness: a *global* pool of `c < m` entries boosts the cached
+//! classes' label embeddings toward the test domain while leaving the
+//! rest behind, biasing every prediction toward cached classes (we
+//! measured a 3–9 point drop with a global cache; see DESIGN.md).
+//! Per-class caches keep the domain pull symmetric, which is what makes
+//! test-time adaptation work in the T3A/TENT line the paper builds on.
+
+use gp_tensor::Tensor;
+
+use crate::cache::{AnyCache, CachePolicy};
+
+/// One cached pseudo-labelled sample.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The query's data-graph embedding (length `d`).
+    pub embedding: Vec<f32>,
+    /// Its predicted (pseudo) episode label.
+    pub label: usize,
+    /// Softmax confidence of the prediction at admission time.
+    pub confidence: f32,
+}
+
+/// Test-time prompt augmentation: per-class caches of size `c`
+/// (LFU by default; see [`CachePolicy`] for alternatives).
+pub struct PromptAugmenter {
+    caches: Vec<AnyCache<u64, CacheEntry>>,
+    next_id: u64,
+    /// Similarity hits per incoming query (the top-`hit_k` most similar
+    /// cached entries get their use count bumped).
+    hit_k: usize,
+    /// Minimum prediction confidence for admission. Pseudo-labels below
+    /// this are more likely wrong than helpful ("the noise introduced by
+    /// additional pseudo-label samples outweighs their benefits", §V-D1).
+    min_confidence: f32,
+}
+
+impl PromptAugmenter {
+    /// Create with per-class cache size `c` (the paper settles on `c = 3`,
+    /// Fig. 5) for an `m`-way episode.
+    pub fn new(cache_size_per_class: usize, num_classes: usize) -> Self {
+        Self::with_policy(cache_size_per_class, num_classes, CachePolicy::Lfu)
+    }
+
+    /// Create with an explicit replacement policy (§VI: "we can replace
+    /// the cache in the prompt augmenter with other caching solutions").
+    pub fn with_policy(
+        cache_size_per_class: usize,
+        num_classes: usize,
+        policy: CachePolicy,
+    ) -> Self {
+        Self {
+            caches: (0..num_classes.max(1))
+                .map(|_| AnyCache::new(policy, cache_size_per_class.max(1)))
+                .collect(),
+            next_id: 0,
+            hit_k: 1,
+            min_confidence: 0.0,
+        }
+    }
+
+    /// Set the admission confidence gate (builder style).
+    pub fn with_min_confidence(mut self, min_confidence: f32) -> Self {
+        self.min_confidence = min_confidence;
+        self
+    }
+
+    /// Total cached samples across classes.
+    pub fn len(&self) -> usize {
+        self.caches.iter().map(AnyCache::len).sum()
+    }
+
+    /// True when no class holds a cached sample.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached prompt set `C` as `(embeddings, labels)`; `None` when
+    /// empty. Rows are grouped by class.
+    pub fn cached_prompts(&self, dim: usize) -> Option<(Tensor, Vec<usize>)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for cache in &self.caches {
+            for (_, entry) in cache.iter() {
+                assert_eq!(entry.embedding.len(), dim, "cached embedding width drifted");
+                data.extend_from_slice(&entry.embedding);
+                labels.push(entry.label);
+            }
+        }
+        Some((Tensor::from_vec(labels.len(), dim, data), labels))
+    }
+
+    /// Observe one scored query batch:
+    ///
+    /// 1. **Hits** — for each incoming query, the top-`hit_k` most similar
+    ///    cached entries (across all classes) get their LFU use count
+    ///    bumped ("entries with the top-k highest similarity scores are
+    ///    considered hits").
+    /// 2. **Admission** — per predicted class, the most confident query
+    ///    above the gate is inserted (`|Q̂| ≤ m`), each class evicting its
+    ///    own LFU victim when full.
+    ///
+    /// `query_embs` is `n×d`; `predictions`/`confidences` have length `n`.
+    pub fn observe(&mut self, query_embs: &Tensor, predictions: &[usize], confidences: &[f32]) {
+        let n = query_embs.rows();
+        assert_eq!(predictions.len(), n, "one prediction per query");
+        assert_eq!(confidences.len(), n, "one confidence per query");
+
+        // 1. Similarity hits refresh frequently-relevant entries.
+        for q in 0..n {
+            let mut sims: Vec<(usize, u64, f32)> = Vec::new();
+            for (class, cache) in self.caches.iter().enumerate() {
+                for (key, entry) in cache.iter() {
+                    let emb = Tensor::from_vec(1, entry.embedding.len(), entry.embedding.clone());
+                    sims.push((class, *key, query_embs.cosine_rows(q, &emb, 0)));
+                }
+            }
+            sims.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            for (class, key, _) in sims.into_iter().take(self.hit_k) {
+                self.caches[class].touch(&key);
+            }
+        }
+
+        // 2. Per-class admission of the most confident gated query.
+        let mut best: Vec<Option<usize>> = vec![None; self.caches.len()];
+        for q in 0..n {
+            let class = predictions[q];
+            if class >= self.caches.len() || confidences[q] < self.min_confidence {
+                continue;
+            }
+            match best[class] {
+                Some(cur) if confidences[cur] >= confidences[q] => {}
+                _ => best[class] = Some(q),
+            }
+        }
+        for (class, pick) in best.iter().enumerate() {
+            if let Some(q) = pick {
+                let entry = CacheEntry {
+                    embedding: query_embs.row(*q).to_vec(),
+                    label: class,
+                    confidence: confidences[*q],
+                };
+                let key = self.next_id;
+                self.next_id += 1;
+                self.caches[class].insert(key, entry);
+            }
+        }
+    }
+
+    /// Admit one sample directly into its class cache (used by the
+    /// Table VII random-pseudo-label robustness experiment).
+    pub fn admit(&mut self, embedding: Vec<f32>, label: usize, confidence: f32) {
+        if label >= self.caches.len() {
+            return;
+        }
+        let key = self.next_id;
+        self.next_id += 1;
+        self.caches[label].insert(key, CacheEntry { embedding, label, confidence });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embs(rows: usize, dim: usize, fill: impl Fn(usize, usize) -> f32) -> Tensor {
+        let mut data = Vec::new();
+        for r in 0..rows {
+            for c in 0..dim {
+                data.push(fill(r, c));
+            }
+        }
+        Tensor::from_vec(rows, dim, data)
+    }
+
+    #[test]
+    fn admits_most_confident_per_class() {
+        let mut aug = PromptAugmenter::new(2, 2);
+        // Three queries predicted class 0 (conf .3, .9, .5), one class 1.
+        let q = embs(4, 4, |r, c| if c == r { 1.0 } else { 0.0 });
+        aug.observe(&q, &[0, 0, 0, 1], &[0.3, 0.9, 0.5, 0.7]);
+        assert_eq!(aug.len(), 2);
+        let (emb, labels) = aug.cached_prompts(4).unwrap();
+        // Class 0's entry must be the most confident (query row 1).
+        let class0_row = labels.iter().position(|&l| l == 0).unwrap();
+        assert_eq!(emb.row(class0_row), &[0.0, 1.0, 0.0, 0.0]);
+        assert!(labels.contains(&1));
+    }
+
+    #[test]
+    fn per_class_capacity_is_respected() {
+        let mut aug = PromptAugmenter::new(2, 3);
+        for step in 0..10u64 {
+            let q = embs(3, 2, |r, _| (step * 3 + r as u64) as f32);
+            aug.observe(&q, &[0, 1, 2], &[0.9, 0.9, 0.9]);
+        }
+        assert_eq!(aug.len(), 6); // 2 per class × 3 classes
+    }
+
+    #[test]
+    fn confidence_gate_blocks_admission() {
+        let mut aug = PromptAugmenter::new(2, 2).with_min_confidence(0.8);
+        let q = embs(2, 2, |_, _| 1.0);
+        aug.observe(&q, &[0, 1], &[0.5, 0.79]);
+        assert!(aug.is_empty());
+        aug.observe(&q, &[0, 1], &[0.85, 0.5]);
+        assert_eq!(aug.len(), 1);
+    }
+
+    #[test]
+    fn similar_queries_protect_entries_from_eviction() {
+        let mut aug = PromptAugmenter::new(1, 2);
+        aug.admit(vec![1.0, 0.0], 0, 0.9);
+        aug.admit(vec![0.0, 1.0], 1, 0.9);
+        // Axis-0-like queries keep hitting class 0's entry; class 0's
+        // cache refuses churn only through frequency, so its entry's count
+        // grows while class 1's stays at insert level.
+        for _ in 0..3 {
+            let q = embs(1, 2, |_, c| if c == 0 { 1.0 } else { 0.05 });
+            aug.observe(&q, &[0], &[0.95]);
+        }
+        let (_, labels) = aug.cached_prompts(2).unwrap();
+        assert!(labels.contains(&0));
+        assert!(labels.contains(&1));
+        assert_eq!(aug.len(), 2);
+    }
+
+    #[test]
+    fn cached_prompts_empty_when_new() {
+        let aug = PromptAugmenter::new(3, 4);
+        assert!(aug.cached_prompts(4).is_none());
+        assert!(aug.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_label_is_ignored() {
+        let mut aug = PromptAugmenter::new(2, 2);
+        aug.admit(vec![1.0], 7, 0.9);
+        assert!(aug.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per query")]
+    fn mismatched_predictions_panic() {
+        let mut aug = PromptAugmenter::new(2, 1);
+        let q = embs(2, 2, |_, _| 0.0);
+        aug.observe(&q, &[0], &[0.5, 0.5]);
+    }
+}

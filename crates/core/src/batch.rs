@@ -1,0 +1,205 @@
+//! Block-diagonal batching of sampled subgraphs.
+//!
+//! Every episode embeds tens to hundreds of data graphs; concatenating
+//! them into one disjoint union (node indices offset per graph) lets the
+//! whole batch run through `GNN_D` with a single sparse aggregation per
+//! layer. The per-graph readout (`G_i`, Eq. 4) is itself expressed as an
+//! spmm over anchor→graph edges with `1/|anchors|` weights, so it stays on
+//! the autodiff tape.
+
+use std::sync::Arc;
+
+use gp_graph::{Graph, Subgraph};
+use gp_tensor::{EdgeList, Tensor};
+
+/// A batch of subgraphs fused into one disjoint-union graph.
+pub struct SubgraphBatch {
+    /// `num_nodes×feat_dim` stacked node features (local order per graph).
+    pub features: Tensor,
+    /// Union edge list with per-graph index offsets applied.
+    pub edges: Arc<EdgeList>,
+    /// `E×rel_dim` relation features per union edge (zeros when the parent
+    /// graph carries none).
+    pub rel_feats: Tensor,
+    /// Anchor→graph readout edges (`src` = union node, `dst` = graph id).
+    pub readout_edges: Arc<EdgeList>,
+    /// `1/|anchors_g|` readout weights, parallel to `readout_edges`.
+    pub readout_weights: Tensor,
+    /// Total union nodes.
+    pub num_nodes: usize,
+    /// Number of member subgraphs.
+    pub num_graphs: usize,
+    /// Member-graph id of each union node (length `num_nodes`).
+    graph_of_node: Vec<usize>,
+}
+
+impl SubgraphBatch {
+    /// Fuse `subgraphs` (all sampled from `graph`) into one batch.
+    ///
+    /// # Panics
+    /// Panics if `subgraphs` is empty.
+    pub fn build(graph: &Graph, subgraphs: &[Subgraph], rel_dim: usize) -> Self {
+        assert!(!subgraphs.is_empty(), "cannot batch zero subgraphs");
+        let feat_dim = graph.feature_dim();
+        let total_nodes: usize = subgraphs.iter().map(Subgraph::num_nodes).sum();
+        let total_edges: usize = subgraphs.iter().map(Subgraph::num_edges).sum();
+
+        let mut feat = Vec::with_capacity(total_nodes * feat_dim);
+        let mut src = Vec::with_capacity(total_edges);
+        let mut dst = Vec::with_capacity(total_edges);
+        let mut rel_feat = Vec::with_capacity(total_edges * rel_dim);
+        let mut r_src = Vec::new();
+        let mut r_dst = Vec::new();
+        let mut r_w = Vec::new();
+
+        let mut graph_of_node = Vec::with_capacity(total_nodes);
+        let mut offset = 0u32;
+        for (gid, sg) in subgraphs.iter().enumerate() {
+            for &n in &sg.nodes {
+                feat.extend_from_slice(graph.feature_row(n));
+                graph_of_node.push(gid);
+            }
+            for (e, (s, d)) in sg.edges.iter().enumerate() {
+                src.push(offset + s as u32);
+                dst.push(offset + d as u32);
+                match graph.rel_features() {
+                    Some(rf) => rel_feat.extend_from_slice(rf.row(sg.rels[e] as usize)),
+                    None => rel_feat.extend(std::iter::repeat_n(0.0, rel_dim)),
+                }
+            }
+            let w = 1.0 / sg.anchors.len() as f32;
+            for &a in &sg.anchors {
+                r_src.push(offset + a as u32);
+                r_dst.push(gid as u32);
+                r_w.push(w);
+            }
+            offset += sg.num_nodes() as u32;
+        }
+
+        Self {
+            features: Tensor::from_vec(total_nodes, feat_dim, feat),
+            edges: EdgeList::new(src, dst).into_shared(),
+            rel_feats: Tensor::from_vec(total_edges, rel_dim, rel_feat),
+            readout_weights: Tensor::from_vec(r_w.len(), 1, r_w),
+            readout_edges: EdgeList::new(r_src, r_dst).into_shared(),
+            num_nodes: total_nodes,
+            num_graphs: subgraphs.len(),
+            graph_of_node,
+        }
+    }
+
+    /// Member-graph id of each union node.
+    pub fn graph_of_node(&self) -> &[usize] {
+        &self.graph_of_node
+    }
+
+    /// Union-edge count.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::{GraphBuilder, RandomWalkSampler, SamplerConfig};
+    use gp_tensor::rng as trng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_graph() -> Graph {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = GraphBuilder::new(20, 3);
+        for i in 0..19u32 {
+            b.add_triple(i, (i % 3) as u16, i + 1);
+        }
+        b.add_triple(0, 2, 10);
+        b.node_features(trng::randn(&mut rng, 20, 4, 1.0));
+        b.rel_features(trng::randn(&mut rng, 3, 2, 1.0));
+        b.build()
+    }
+
+    #[test]
+    fn offsets_partition_the_union() {
+        let g = toy_graph();
+        let sampler = RandomWalkSampler::new(SamplerConfig { hops: 1, max_nodes: 6, neighbors_per_node: 4 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let sgs: Vec<_> = [0u32, 7, 15]
+            .iter()
+            .map(|&a| sampler.sample(&g, &[a], &mut rng))
+            .collect();
+        let batch = SubgraphBatch::build(&g, &sgs, 2);
+        assert_eq!(batch.num_graphs, 3);
+        assert_eq!(batch.num_nodes, sgs.iter().map(|s| s.num_nodes()).sum::<usize>());
+        // Every union edge must stay within its member graph's index range.
+        let mut bounds = Vec::new();
+        let mut off = 0;
+        for sg in &sgs {
+            bounds.push((off, off + sg.num_nodes()));
+            off += sg.num_nodes();
+        }
+        for (s, d) in batch.edges.iter() {
+            let block = bounds.iter().position(|&(lo, hi)| s >= lo && s < hi).unwrap();
+            let (lo, hi) = bounds[block];
+            assert!(d >= lo && d < hi, "edge {s}->{d} crosses blocks");
+        }
+    }
+
+    #[test]
+    fn readout_weights_sum_to_one_per_graph() {
+        let g = toy_graph();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        // Mix of 1-anchor and 2-anchor datapoints.
+        let sgs = vec![
+            sampler.sample(&g, &[1], &mut rng),
+            sampler.sample(&g, &[3, 4], &mut rng),
+        ];
+        let batch = SubgraphBatch::build(&g, &sgs, 2);
+        let mut per_graph = [0.0f32; 2];
+        for (e, (_, d)) in batch.readout_edges.iter().enumerate() {
+            per_graph[d] += batch.readout_weights.as_slice()[e];
+        }
+        for (gid, s) in per_graph.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-6, "graph {gid} readout sums to {s}");
+        }
+    }
+
+    #[test]
+    fn rel_features_align_with_edges() {
+        let g = toy_graph();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let sgs = vec![sampler.sample(&g, &[5], &mut rng)];
+        let batch = SubgraphBatch::build(&g, &sgs, 2);
+        assert_eq!(batch.rel_feats.rows(), batch.num_edges());
+        assert_eq!(batch.rel_feats.cols(), 2);
+    }
+
+    #[test]
+    fn graph_of_node_partitions_union_in_order() {
+        let g = toy_graph();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let sgs = vec![
+            sampler.sample(&g, &[1], &mut rng),
+            sampler.sample(&g, &[8], &mut rng),
+            sampler.sample(&g, &[15], &mut rng),
+        ];
+        let batch = SubgraphBatch::build(&g, &sgs, 2);
+        let ids = batch.graph_of_node();
+        assert_eq!(ids.len(), batch.num_nodes);
+        // Non-decreasing, covering 0..num_graphs with the right counts.
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        for (gid, sg) in sgs.iter().enumerate() {
+            assert_eq!(ids.iter().filter(|&&x| x == gid).count(), sg.num_nodes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero subgraphs")]
+    fn empty_batch_panics() {
+        let g = toy_graph();
+        let _ = SubgraphBatch::build(&g, &[], 2);
+    }
+}

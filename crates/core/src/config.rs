@@ -1,0 +1,241 @@
+//! Configuration surfaces for the GraphPrompter pipeline.
+
+use gp_graph::SamplerConfig;
+
+use crate::cache::CachePolicy;
+use crate::selector::DistanceMetric;
+
+/// Which GNN architecture generates data-graph embeddings (`GNN_D`,
+/// Eq. 4). The paper's default is GraphSAGE; GAT is the Fig. 4 ablation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// GraphSAGE mean-concat aggregation (default, §V-A4).
+    Sage,
+    /// Graph attention network.
+    Gat,
+    /// Graph convolutional network (extra ablation beyond the paper).
+    Gcn,
+}
+
+/// Model architecture hyperparameters.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Node feature width (matches the dataset generators).
+    pub feat_dim: usize,
+    /// Relation feature width.
+    pub rel_dim: usize,
+    /// Data-graph embedding width (the paper uses 256; we scale down).
+    pub embed_dim: usize,
+    /// Hidden width for MLPs and GNN layers.
+    pub hidden_dim: usize,
+    /// `GNN_D` architecture.
+    pub generator: GeneratorKind,
+    /// Renormalize reconstruction edge weights per target node (see
+    /// `gp_nn::gnn`): true makes the reweighting purely re-distributional.
+    pub recon_normalize: bool,
+    /// Wire the task graph's prototype residual path (label embeddings
+    /// anchored at class-mean prompt embeddings plus a learned gate).
+    /// Off by default: prototype averaging dilutes the value of *which*
+    /// prompts were selected, washing out the Prompt Selector's advantage
+    /// (measured in DESIGN.md's calibration notes).
+    pub proto_residual: bool,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            feat_dim: gp_datasets::NODE_FEAT_DIM,
+            rel_dim: gp_datasets::REL_FEAT_DIM,
+            embed_dim: 32,
+            hidden_dim: 64,
+            generator: GeneratorKind::Sage,
+            recon_normalize: true,
+            proto_residual: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-stage toggles, the axes of the Fig. 3 ablation.
+///
+/// With everything disabled the pipeline degrades to Prodigy: random
+/// prompt selection over unweighted subgraph embeddings, no cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StageConfig {
+    /// Prompt Generator's reconstruction layer (edge reweighting, Eq. 2–3).
+    pub use_reconstruction: bool,
+    /// Prompt Selector's pre-trained selection layer (`I_p`, Eq. 5).
+    pub use_selection_layer: bool,
+    /// Prompt Selector's kNN retrieval (`sim(p,q)`, Eq. 6).
+    pub use_knn: bool,
+    /// Prompt Augmenter's pseudo-label cache (Eq. 9).
+    pub use_augmenter: bool,
+}
+
+impl StageConfig {
+    /// Full GraphPrompter.
+    pub fn full() -> Self {
+        Self {
+            use_reconstruction: true,
+            use_selection_layer: true,
+            use_knn: true,
+            use_augmenter: true,
+        }
+    }
+
+    /// The Prodigy baseline: all stages off.
+    pub fn prodigy() -> Self {
+        Self {
+            use_reconstruction: false,
+            use_selection_layer: false,
+            use_knn: false,
+            use_augmenter: false,
+        }
+    }
+
+    /// `w/o generator` ablation.
+    pub fn without_reconstruction() -> Self {
+        Self { use_reconstruction: false, ..Self::full() }
+    }
+
+    /// `w/o selection layer` ablation.
+    pub fn without_selection_layer() -> Self {
+        Self { use_selection_layer: false, ..Self::full() }
+    }
+
+    /// `w/o kNN` ablation.
+    pub fn without_knn() -> Self {
+        Self { use_knn: false, ..Self::full() }
+    }
+
+    /// `w/o augmenter` ablation.
+    pub fn without_augmenter() -> Self {
+        Self { use_augmenter: false, ..Self::full() }
+    }
+}
+
+impl Default for StageConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Inference-time settings (the paper's §V-A2 protocol).
+#[derive(Clone, Debug)]
+pub struct InferenceConfig {
+    /// `k` — prompts used per class (3-shot in the main tables).
+    pub shots: usize,
+    /// `N` — candidate prompts per class (10 in the paper).
+    pub candidates_per_class: usize,
+    /// `c` — Prompt Augmenter cache size (3 after the Fig. 5 sweep).
+    pub cache_size: usize,
+    /// Minimum softmax confidence for a pseudo-label to enter the cache.
+    pub cache_min_confidence: f32,
+    /// Cache replacement policy (LFU per the paper; LRU/FIFO provided as
+    /// the §VI extension).
+    pub cache_policy: CachePolicy,
+    /// Scale applied to cached embeddings when they join the prompt set.
+    /// Values < 1 soften the query-domain pull a cached prompt exerts on
+    /// its class's label embedding (see DESIGN.md on augmenter bias).
+    pub cache_prompt_scale: f32,
+    /// kNN retrieval metric (Eq. 6; cosine per the paper, Euclidean and
+    /// Manhattan provided as the noted substitutions).
+    pub knn_metric: DistanceMetric,
+    /// Queries scored together per step (the voting pool of Eq. 8).
+    pub query_batch: usize,
+    /// Stage toggles.
+    pub stages: StageConfig,
+    /// Data-graph sampling (hops `l`, node cap, fan-out).
+    pub sampler: SamplerConfig,
+    /// Episode/sampling seed.
+    pub seed: u64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            shots: 3,
+            candidates_per_class: 10,
+            cache_size: 3,
+            cache_min_confidence: 0.9,
+            cache_policy: CachePolicy::Lfu,
+            cache_prompt_scale: 1.0,
+            knn_metric: DistanceMetric::Cosine,
+            query_batch: 10,
+            stages: StageConfig::full(),
+            sampler: SamplerConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Pre-training settings (Alg. 1; §V-A4 model configurations).
+#[derive(Clone, Debug)]
+pub struct PretrainConfig {
+    /// Number of optimization steps.
+    pub steps: usize,
+    /// Ways per Multi-Task episode (the paper uses 30 on an A100; scaled).
+    pub ways: usize,
+    /// Shots per class per episode.
+    pub shots: usize,
+    /// Queries per episode.
+    pub queries: usize,
+    /// Ways per Neighbor-Matching episode.
+    pub nm_ways: usize,
+    /// Example nodes per neighborhood in Neighbor Matching.
+    pub nm_shots: usize,
+    /// Queries per Neighbor-Matching episode.
+    pub nm_queries: usize,
+    /// AdamW learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// AdamW weight decay (paper: 1e-3).
+    pub weight_decay: f32,
+    /// Record the loss/accuracy curve every this many steps.
+    pub log_every: usize,
+    /// Data-graph sampling config.
+    pub sampler: SamplerConfig,
+    /// Episode-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        Self {
+            steps: 400,
+            ways: 6,
+            shots: 3,
+            queries: 4,
+            nm_ways: 4,
+            nm_shots: 3,
+            nm_queries: 4,
+            lr: 1e-3,
+            weight_decay: 1e-3,
+            log_every: 20,
+            sampler: SamplerConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prodigy_config_disables_everything() {
+        let s = StageConfig::prodigy();
+        assert!(!s.use_reconstruction && !s.use_selection_layer && !s.use_knn && !s.use_augmenter);
+    }
+
+    #[test]
+    fn ablations_disable_exactly_one_stage() {
+        let full = StageConfig::full();
+        assert_ne!(full, StageConfig::without_knn());
+        assert!(!StageConfig::without_knn().use_knn);
+        assert!(StageConfig::without_knn().use_selection_layer);
+        assert!(!StageConfig::without_augmenter().use_augmenter);
+        assert!(StageConfig::without_augmenter().use_knn);
+    }
+}

@@ -1,0 +1,377 @@
+//! Inference (Alg. 2): the full multi-stage pipeline over one few-shot
+//! episode — embed candidates once, then per query batch: embed, score
+//! (Eqs. 6–8), select, augment from the cache (Eq. 9), predict (Eqs.
+//! 10–11), and update the cache with high-confidence pseudo-labels.
+
+use std::time::Instant;
+
+use gp_datasets::{Dataset, FewShotTask};
+use gp_graph::RandomWalkSampler;
+use gp_nn::Session;
+use gp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::augmenter::PromptAugmenter;
+use crate::batch::SubgraphBatch;
+use crate::config::InferenceConfig;
+use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
+use crate::selector::select_prompts_with_metric;
+
+/// Outcome of one evaluated episode.
+#[derive(Clone, Debug)]
+pub struct EpisodeResult {
+    /// Correctly classified queries.
+    pub correct: usize,
+    /// Total queries.
+    pub total: usize,
+    /// Mean wall-clock time per query over the whole pipeline, µs.
+    pub per_query_micros: f64,
+    /// Query data-graph embeddings (for the Fig. 7 embedding analysis).
+    pub query_embeddings: Tensor,
+    /// Ground-truth episode labels per query.
+    pub query_labels: Vec<usize>,
+    /// Predicted episode labels per query.
+    pub predictions: Vec<usize>,
+}
+
+impl EpisodeResult {
+    /// Classification accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.total as f32
+        }
+    }
+}
+
+/// Embed a set of datapoints with no gradient tracking; returns
+/// `(embeddings, importances)` as plain tensors.
+fn embed_points(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    sampler: &RandomWalkSampler,
+    points: &[gp_datasets::DataPoint],
+    use_reconstruction: bool,
+    rng: &mut StdRng,
+) -> (Tensor, Vec<f32>) {
+    let sgs = sample_datapoint_subgraphs(&dataset.graph, sampler, points, dataset.task, rng);
+    let batch = SubgraphBatch::build(&dataset.graph, &sgs, model.config().rel_dim);
+    let mut sess = Session::new(&model.store);
+    let emb = model.embed_batch(&mut sess, &batch, use_reconstruction);
+    let e = sess.value(emb.embeddings).clone();
+    let i = sess.value(emb.importance).as_slice().to_vec();
+    (e, i)
+}
+
+/// Run Alg. 2 over one episode and return predictions plus timing.
+pub fn run_episode(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    task: &FewShotTask,
+    cfg: &InferenceConfig,
+) -> EpisodeResult {
+    run_episode_with_policy(model, dataset, task, cfg, false)
+}
+
+/// As [`run_episode`], with `random_pseudo_labels = true` admitting cache
+/// samples uniformly at random instead of by confidence (Table VII).
+pub fn run_episode_with_policy(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    task: &FewShotTask,
+    cfg: &InferenceConfig,
+    random_pseudo_labels: bool,
+) -> EpisodeResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sampler = RandomWalkSampler::new(cfg.sampler);
+    let m = task.ways();
+    let stages = cfg.stages;
+
+    let started = Instant::now();
+
+    // Prompt Generator over the candidate set S (embedded once).
+    let (cand_points, cand_labels): (Vec<_>, Vec<_>) = task.candidates.iter().copied().unzip();
+    let (cand_embs, cand_imps) = embed_points(
+        model,
+        dataset,
+        &sampler,
+        &cand_points,
+        stages.use_reconstruction,
+        &mut rng,
+    );
+
+    // Per-class caches of size c; admission takes each class's most
+    // confident gated query per batch ("|Q̂| ≤ m").
+    let mut augmenter =
+        PromptAugmenter::with_policy(cfg.cache_size.max(1), m, cfg.cache_policy)
+            .with_min_confidence(if random_pseudo_labels { 0.0 } else { cfg.cache_min_confidence });
+    let mut correct = 0usize;
+    let mut predictions = Vec::with_capacity(task.queries.len());
+    let mut query_labels = Vec::with_capacity(task.queries.len());
+    let mut all_query_embs: Option<Tensor> = None;
+
+    for chunk in task.queries.chunks(cfg.query_batch.max(1)) {
+        let (q_points, q_labels): (Vec<_>, Vec<_>) = chunk.iter().copied().unzip();
+        let (q_embs, q_imps) = embed_points(
+            model,
+            dataset,
+            &sampler,
+            &q_points,
+            stages.use_reconstruction,
+            &mut rng,
+        );
+
+        // Prompt Selector: score + vote → Ŝ (k per class).
+        let selection = select_prompts_with_metric(
+            &cand_embs,
+            &cand_imps,
+            &cand_labels,
+            &q_embs,
+            &q_imps,
+            m,
+            cfg.shots,
+            stages.use_knn,
+            stages.use_selection_layer,
+            cfg.knn_metric,
+            &mut rng,
+        );
+
+        // Assemble the task-graph prompt rows: Ŝ, importance-weighted when
+        // the selection layer is active, then Ŝ' = Ŝ ∪ C (Eq. 9).
+        let mut p_rows = cand_embs.gather_rows(&selection.selected);
+        if stages.use_selection_layer {
+            let imps = Tensor::from_vec(
+                selection.selected.len(),
+                1,
+                selection.selected.iter().map(|&i| cand_imps[i]).collect(),
+            );
+            p_rows = p_rows.mul_rows_by_col(&imps);
+        }
+        let mut p_labels: Vec<usize> =
+            selection.selected.iter().map(|&i| cand_labels[i]).collect();
+        if stages.use_augmenter {
+            if let Some((c_embs, c_labels)) = augmenter.cached_prompts(cand_embs.cols()) {
+                p_rows = p_rows.concat_rows(&c_embs.scale(cfg.cache_prompt_scale));
+                p_labels.extend(c_labels);
+            }
+        }
+
+        // Task graph (Eq. 10) + cosine argmax prediction (Eq. 11).
+        let mut sess = Session::new(&model.store);
+        let pv = sess.data(p_rows);
+        let qv = sess.data(q_embs.clone());
+        let out = model.task_forward(&mut sess, pv, &p_labels, qv, m);
+        let logits = sess.value(out.logits).clone();
+        let preds = logits.argmax_rows();
+        let probs = logits.softmax_rows();
+        let confidences: Vec<f32> = (0..preds.len())
+            .map(|r| {
+                if random_pseudo_labels {
+                    rng.gen::<f32>()
+                } else {
+                    probs.get(r, preds[r])
+                }
+            })
+            .collect();
+
+        correct += preds.iter().zip(&q_labels).filter(|(a, b)| a == b).count();
+        predictions.extend(preds.iter().copied());
+        query_labels.extend(q_labels.iter().copied());
+        all_query_embs = Some(match all_query_embs {
+            Some(acc) => acc.concat_rows(&q_embs),
+            None => q_embs.clone(),
+        });
+
+        // Prompt Augmenter: LFU hits + high-confidence admissions. Cached
+        // embeddings are importance-weighted exactly like selected prompts
+        // (Ŝ and C must live on the same scale inside the task graph).
+        if stages.use_augmenter {
+            let admit_embs = if stages.use_selection_layer {
+                let imps = Tensor::from_vec(q_imps.len(), 1, q_imps.clone());
+                q_embs.mul_rows_by_col(&imps)
+            } else {
+                q_embs.clone()
+            };
+            // Debug-only oracle bound (used by the diagnose harness).
+            let confidences = if std::env::var_os("GP_CACHE_ORACLE").is_some() {
+                preds
+                    .iter()
+                    .zip(&q_labels)
+                    .zip(&confidences)
+                    .map(|((p, t), &c)| if p == t { c } else { 0.0 })
+                    .collect()
+            } else {
+                confidences
+            };
+            augmenter.observe(&admit_embs, &preds, &confidences);
+        }
+    }
+
+    let total = task.queries.len();
+    let elapsed = started.elapsed();
+    EpisodeResult {
+        correct,
+        total,
+        per_query_micros: elapsed.as_micros() as f64 / total.max(1) as f64,
+        query_embeddings: all_query_embs
+            .unwrap_or_else(|| Tensor::zeros(0, model.config().embed_dim)),
+        query_labels,
+        predictions,
+    }
+}
+
+/// Evaluate `episodes` independent episodes of `ways`-way classification
+/// and return per-episode accuracies (in %). Episode `i` uses seed
+/// `cfg.seed + i` for both the episode sampling and the pipeline RNG.
+pub fn evaluate_episodes(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    ways: usize,
+    queries_per_episode: usize,
+    episodes: usize,
+    cfg: &InferenceConfig,
+) -> Vec<f32> {
+    // Episodes are fully independent (fresh RNGs, read-only model), so
+    // they run on all available cores. Results are returned in episode
+    // order regardless of completion order, preserving determinism.
+    let one = |i: usize| -> f32 {
+        let mut ep_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64 * 7919));
+        let task = gp_datasets::sample_few_shot_task(
+            dataset,
+            ways,
+            cfg.candidates_per_class,
+            queries_per_episode,
+            &mut ep_rng,
+        );
+        let mut ep_cfg = cfg.clone();
+        ep_cfg.seed = cfg.seed.wrapping_add(i as u64 * 104_729);
+        run_episode(model, dataset, &task, &ep_cfg).accuracy() * 100.0
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(episodes.max(1));
+    if workers <= 1 || episodes <= 1 {
+        return (0..episodes).map(one).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results = vec![0.0f32; episodes];
+    let slots: Vec<std::sync::Mutex<&mut f32>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= episodes {
+                    break;
+                }
+                let acc = one(i);
+                **slots[i].lock().expect("unpoisoned slot") = acc;
+            });
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, PretrainConfig, StageConfig};
+    use crate::model::GraphPrompterModel;
+    use crate::pretrain::pretrain;
+    use gp_datasets::{sample_few_shot_task, CitationConfig};
+    use gp_graph::SamplerConfig;
+
+    fn tiny_setup() -> (GraphPrompterModel, Dataset) {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        });
+        (model, ds)
+    }
+
+    fn tiny_cfg() -> InferenceConfig {
+        InferenceConfig {
+            shots: 2,
+            candidates_per_class: 4,
+            cache_size: 2,
+            query_batch: 5,
+            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            ..InferenceConfig::default()
+        }
+    }
+
+    #[test]
+    fn episode_runs_and_reports_consistent_counts() {
+        let (model, ds) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(0);
+        let task = sample_few_shot_task(&ds, 3, 4, 12, &mut rng);
+        let res = run_episode(&model, &ds, &task, &tiny_cfg());
+        assert_eq!(res.total, 12);
+        assert_eq!(res.predictions.len(), 12);
+        assert_eq!(res.query_labels.len(), 12);
+        assert_eq!(res.query_embeddings.rows(), 12);
+        assert!(res.correct <= res.total);
+        assert!(res.per_query_micros > 0.0);
+        assert!(res.predictions.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn prodigy_stages_run_without_cache_or_scoring() {
+        let (model, ds) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let task = sample_few_shot_task(&ds, 3, 4, 9, &mut rng);
+        let mut cfg = tiny_cfg();
+        cfg.stages = StageConfig::prodigy();
+        let res = run_episode(&model, &ds, &task, &cfg);
+        assert_eq!(res.total, 9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (model, ds) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
+        let cfg = tiny_cfg();
+        let a = run_episode(&model, &ds, &task, &cfg);
+        let b = run_episode(&model, &ds, &task, &cfg);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.correct, b.correct);
+    }
+
+    #[test]
+    fn pretrained_model_beats_chance() {
+        let (mut model, ds) = tiny_setup();
+        let pre = PretrainConfig {
+            steps: 80,
+            ways: 4,
+            shots: 2,
+            queries: 4,
+            nm_ways: 3,
+            nm_shots: 2,
+            nm_queries: 3,
+            log_every: 40,
+            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            ..PretrainConfig::default()
+        };
+        pretrain(&mut model, &ds, &pre, StageConfig::full());
+        let accs = evaluate_episodes(&model, &ds, 3, 12, 3, &tiny_cfg());
+        let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+        // Chance is 33%; a pre-trained model must do clearly better.
+        assert!(mean > 45.0, "mean accuracy {mean}% not above chance");
+    }
+
+    #[test]
+    fn random_pseudo_label_policy_runs() {
+        let (model, ds) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
+        let res = run_episode_with_policy(&model, &ds, &task, &tiny_cfg(), true);
+        assert_eq!(res.total, 10);
+    }
+}

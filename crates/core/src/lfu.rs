@@ -1,0 +1,260 @@
+//! O(1) Least-Frequently-Used cache, after Matani, Shah & Mitra,
+//! *“An O(1) algorithm for implementing the LFU cache eviction scheme”*
+//! (the paper's reference \[51\]).
+//!
+//! Design: a `HashMap<K, Entry>` stores values and their current use
+//! count; a `HashMap<u64, VecDeque<K>>` buckets keys by frequency, and a
+//! tracked `min_freq` makes eviction O(1). Ties within a frequency bucket
+//! evict FIFO (oldest inserted/promoted first). Bucket membership is
+//! maintained lazily: a key may linger in an old bucket after promotion
+//! and is skipped (its stored frequency disagrees) when popped.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+struct Entry<V> {
+    value: V,
+    freq: u64,
+}
+
+/// A fixed-capacity LFU cache.
+///
+/// ```
+/// use gp_core::LfuCache;
+///
+/// let mut cache = LfuCache::new(2);
+/// cache.insert("a", 1);
+/// cache.insert("b", 2);
+/// cache.touch(&"a");                       // protect "a"
+/// let evicted = cache.insert("c", 3);      // evicts the least used
+/// assert_eq!(evicted, Some(("b", 2)));
+/// ```
+pub struct LfuCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    entries: HashMap<K, Entry<V>>,
+    buckets: HashMap<u64, VecDeque<K>>,
+    min_freq: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
+    /// Create a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LfuCache capacity must be positive");
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            buckets: HashMap::new(),
+            min_freq: 1,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up without touching the frequency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|e| &e.value)
+    }
+
+    /// Look up and bump the use count.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.entries.contains_key(key) {
+            self.touch(key);
+        }
+        self.entries.get(key).map(|e| &e.value)
+    }
+
+    /// Bump a key's use count without reading it (a "hit" in the paper's
+    /// Prompt Augmenter: similar queries refresh cached prompts).
+    pub fn touch(&mut self, key: &K) -> bool {
+        let Some(e) = self.entries.get_mut(key) else {
+            return false;
+        };
+        let old = e.freq;
+        e.freq += 1;
+        let new = e.freq;
+        self.buckets.entry(new).or_default().push_back(key.clone());
+        // Lazy removal: the stale copy in bucket `old` is skipped at pop
+        // time. Advance min_freq if this was its last live member.
+        if old == self.min_freq && !self.bucket_has_live(old) {
+            self.min_freq = new.min(self.live_min_freq());
+        }
+        true
+    }
+
+    /// Insert (or replace) a value with use count 1, evicting the least
+    /// frequently used entry if at capacity. Returns the evicted pair.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.value = value;
+            self.touch(&key);
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            self.evict()
+        } else {
+            None
+        };
+        self.entries.insert(key.clone(), Entry { value, freq: 1 });
+        self.buckets.entry(1).or_default().push_back(key);
+        self.min_freq = 1;
+        evicted
+    }
+
+    /// Iterate `(key, value, freq)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V, u64)> {
+        self.entries.iter().map(|(k, e)| (k, &e.value, e.freq))
+    }
+
+    /// Remove and return the least frequently used entry.
+    pub fn evict(&mut self) -> Option<(K, V)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        // min_freq may be stale (all members promoted); resync if needed.
+        if !self.bucket_has_live(self.min_freq) {
+            self.min_freq = self.live_min_freq();
+        }
+        let bucket = self.buckets.get_mut(&self.min_freq)?;
+        while let Some(key) = bucket.pop_front() {
+            let live = matches!(self.entries.get(&key), Some(e) if e.freq == self.min_freq);
+            if live {
+                let entry = self.entries.remove(&key).expect("checked above");
+                if self.entries.is_empty() {
+                    self.min_freq = 1;
+                } else if !self.bucket_has_live(self.min_freq) {
+                    self.min_freq = self.live_min_freq();
+                }
+                return Some((key, entry.value));
+            }
+            // Stale bucket member (key promoted or removed): skip.
+        }
+        unreachable!("min_freq bucket guaranteed to contain a live key");
+    }
+
+    fn bucket_has_live(&self, freq: u64) -> bool {
+        self.buckets
+            .get(&freq)
+            .is_some_and(|b| b.iter().any(|k| matches!(self.entries.get(k), Some(e) if e.freq == freq)))
+    }
+
+    fn live_min_freq(&self) -> u64 {
+        self.entries.values().map(|e| e.freq).min().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = LfuCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = LfuCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.get(&"a"); // a: freq 2, b: freq 1
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert!(c.peek(&"a").is_some());
+        assert!(c.peek(&"c").is_some());
+    }
+
+    #[test]
+    fn fifo_tie_break_within_frequency() {
+        let mut c = LfuCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Both freq 1 → oldest ("a") goes first.
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("a", 1)));
+    }
+
+    #[test]
+    fn touch_protects_entry() {
+        let mut c = LfuCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        c.touch(&"a");
+        c.touch(&"a");
+        c.touch(&"b");
+        let evicted = c.insert("d", 4);
+        assert_eq!(evicted, Some(("c", 3)));
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_bumps() {
+        let mut c = LfuCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 10);
+        assert_eq!(c.peek(&"a"), Some(&10));
+        c.insert("b", 2);
+        // "a" has freq 2 (insert + touch), "b" freq 1 → b evicted.
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+    }
+
+    #[test]
+    fn touch_on_missing_key_is_false() {
+        let mut c: LfuCache<&str, i32> = LfuCache::new(1);
+        assert!(!c.touch(&"nope"));
+    }
+
+    #[test]
+    fn never_exceeds_capacity_under_churn() {
+        let mut c = LfuCache::new(3);
+        for i in 0..100u64 {
+            c.insert(i, i);
+            if i % 3 == 0 {
+                c.touch(&i);
+            }
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn eviction_order_respects_frequency_globally() {
+        let mut c = LfuCache::new(4);
+        for (k, touches) in [("w", 5), ("x", 3), ("y", 1), ("z", 0)] {
+            c.insert(k, 0);
+            for _ in 0..touches {
+                c.touch(&k);
+            }
+        }
+        assert_eq!(c.evict().unwrap().0, "z");
+        assert_eq!(c.evict().unwrap().0, "y");
+        assert_eq!(c.evict().unwrap().0, "x");
+        assert_eq!(c.evict().unwrap().0, "w");
+        assert!(c.evict().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: LfuCache<u8, u8> = LfuCache::new(0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The GraphPrompter model: reconstruction layer + `GNN_D` + selection
+//! layer + task-graph GNN, all owned by one [`ParamStore`].
+//!
+//! Everything trainable is learned in the pre-training phase (Alg. 1);
+//! inference (Alg. 2) never updates parameters.
+
+use std::sync::Arc;
+
+use gp_datasets::{DataPoint, Task};
+use gp_graph::{Graph, RandomWalkSampler, Subgraph};
+use gp_nn::{
+    Activation, Gat, Gcn, GnnEncoder, GraphSage, Mlp, ParamStore, Session, TaskGraphAttention,
+};
+use gp_tensor::Var;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::batch::SubgraphBatch;
+use crate::config::{GeneratorKind, ModelConfig};
+
+/// The full parameter set of GraphPrompter.
+pub struct GraphPrompterModel {
+    /// All trainable tensors.
+    pub store: ParamStore,
+    /// `MLP_φ` — reconstruction layer (Eq. 2). Input: `[h_u | h_v | rel]`.
+    recon: Mlp,
+    /// `GNN_D` (Eq. 4).
+    gnn: Box<dyn GnnEncoder + Send + Sync>,
+    /// `MLP_θ` — selection layer (Eq. 5). Input: subgraph embedding.
+    select: Mlp,
+    /// `GNN_T` — task-graph attention model (Eq. 10).
+    task_graph: TaskGraphAttention,
+    cfg: ModelConfig,
+}
+
+/// Embeddings and importances for a batch of data graphs.
+pub struct BatchEmbedding {
+    /// `G×d` subgraph embeddings (`G_i`, Eq. 4), row-L2-normalized.
+    pub embeddings: Var,
+    /// `G×1` selection-layer importances (`I_p`, Eq. 5), in `(0, 1)`.
+    pub importance: Var,
+}
+
+impl GraphPrompterModel {
+    /// Initialize all modules with Xavier weights from `cfg.seed`.
+    pub fn new(cfg: ModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let recon = Mlp::new(
+            &mut store,
+            &mut rng,
+            "recon",
+            &[2 * cfg.feat_dim + cfg.rel_dim, cfg.hidden_dim, 1],
+            Activation::Relu,
+            Activation::None,
+        );
+        let dims = [cfg.feat_dim, cfg.hidden_dim, cfg.embed_dim];
+        let gnn: Box<dyn GnnEncoder + Send + Sync> = match cfg.generator {
+            GeneratorKind::Sage => {
+                let mut sage = GraphSage::new(&mut store, &mut rng, "gnn_d", &dims);
+                sage.set_normalize_learned(cfg.recon_normalize);
+                Box::new(sage)
+            }
+            GeneratorKind::Gat => Box::new(Gat::new(&mut store, &mut rng, "gnn_d", &dims)),
+            GeneratorKind::Gcn => Box::new(Gcn::new(&mut store, &mut rng, "gnn_d", &dims)),
+        };
+        let select = Mlp::new(
+            &mut store,
+            &mut rng,
+            "select",
+            &[cfg.embed_dim, cfg.hidden_dim, 1],
+            Activation::Relu,
+            Activation::None,
+        );
+        let mut task_graph = TaskGraphAttention::new(
+            &mut store,
+            &mut rng,
+            "gnn_t",
+            cfg.embed_dim,
+            cfg.hidden_dim,
+            8,
+        );
+        task_graph.set_prototype_residual(cfg.proto_residual);
+        Self { store, recon, gnn, select, task_graph, cfg }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Save the model (config + parameters) to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_config(&mut w)?;
+        self.store.save(&mut w)
+    }
+
+    /// Load a model saved with [`GraphPrompterModel::save`]: the config is
+    /// read first, the architecture rebuilt deterministically, then the
+    /// trained parameter values are loaded over it.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let cfg = Self::read_config(&mut r)?;
+        let mut model = Self::new(cfg);
+        model.store.load(&mut r)?;
+        Ok(model)
+    }
+
+    fn write_config<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let c = &self.cfg;
+        w.write_all(b"GPMC")?;
+        for v in [c.feat_dim, c.rel_dim, c.embed_dim, c.hidden_dim] {
+            w.write_all(&(v as u64).to_le_bytes())?;
+        }
+        let gen_tag: u8 = match c.generator {
+            GeneratorKind::Sage => 0,
+            GeneratorKind::Gat => 1,
+            GeneratorKind::Gcn => 2,
+        };
+        w.write_all(&[gen_tag, c.recon_normalize as u8, c.proto_residual as u8])?;
+        w.write_all(&c.seed.to_le_bytes())
+    }
+
+    fn read_config<R: std::io::Read>(r: &mut R) -> std::io::Result<ModelConfig> {
+        use std::io::{Error, ErrorKind};
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"GPMC" {
+            return Err(Error::new(ErrorKind::InvalidData, "not a GraphPrompter checkpoint"));
+        }
+        let mut u64b = [0u8; 8];
+        let mut next = |r: &mut R| -> std::io::Result<usize> {
+            r.read_exact(&mut u64b)?;
+            Ok(u64::from_le_bytes(u64b) as usize)
+        };
+        let feat_dim = next(r)?;
+        let rel_dim = next(r)?;
+        let embed_dim = next(r)?;
+        let hidden_dim = next(r)?;
+        let mut tags = [0u8; 3];
+        r.read_exact(&mut tags)?;
+        let generator = match tags[0] {
+            0 => GeneratorKind::Sage,
+            1 => GeneratorKind::Gat,
+            2 => GeneratorKind::Gcn,
+            _ => return Err(Error::new(ErrorKind::InvalidData, "unknown generator tag")),
+        };
+        let mut seedb = [0u8; 8];
+        r.read_exact(&mut seedb)?;
+        Ok(ModelConfig {
+            feat_dim,
+            rel_dim,
+            embed_dim,
+            hidden_dim,
+            generator,
+            recon_normalize: tags[1] != 0,
+            proto_residual: tags[2] != 0,
+            seed: u64::from_le_bytes(seedb),
+        })
+    }
+
+    /// Embed a batch of data graphs: reconstruction weights (Eqs. 2–3,
+    /// when `use_reconstruction`), `GNN_D` aggregation (Eq. 4), per-graph
+    /// anchor readout, and selection-layer importance (Eq. 5).
+    pub fn embed_batch(
+        &self,
+        sess: &mut Session<'_>,
+        batch: &SubgraphBatch,
+        use_reconstruction: bool,
+    ) -> BatchEmbedding {
+        let x = sess.data(batch.features.clone());
+
+        // Eq. 2–3: per-edge weight w_uv = σ(MLP_φ([h_u | h_v | rel])).
+        let edge_weights = if use_reconstruction && !batch.edges.is_empty() {
+            let src_idx: Arc<Vec<usize>> =
+                Arc::new((0..batch.edges.len()).map(|e| batch.edges.src(e)).collect());
+            let dst_idx: Arc<Vec<usize>> =
+                Arc::new((0..batch.edges.len()).map(|e| batch.edges.dst(e)).collect());
+            let h_src = sess.tape.gather_rows(x, src_idx);
+            let h_dst = sess.tape.gather_rows(x, dst_idx);
+            let rel = sess.data(batch.rel_feats.clone());
+            let pair = sess.tape.concat_cols(h_src, h_dst);
+            let inp = sess.tape.concat_cols(pair, rel);
+            let z = self.recon.forward(sess, inp);
+            Some(sess.tape.sigmoid(z))
+        } else {
+            None
+        };
+
+        // Eq. 4: node embeddings, then anchor readout per graph.
+        let h = self
+            .gnn
+            .encode(sess, x, &batch.edges, batch.num_nodes, edge_weights);
+        let r_w = sess.data(batch.readout_weights.clone());
+        let g_raw = sess
+            .tape
+            .spmm(batch.readout_edges.clone(), h, Some(r_w), batch.num_graphs);
+        let embeddings = sess.tape.row_l2_normalize(g_raw);
+
+        // Eq. 5: I_p = σ(MLP_θ(G_p)).
+        let imp_raw = self.select.forward(sess, embeddings);
+        let importance = sess.tape.sigmoid(imp_raw);
+
+        BatchEmbedding { embeddings, importance }
+    }
+
+    /// Run the task graph (Eq. 10) and return its output (logits per
+    /// query, Eq. 11 is the caller's argmax).
+    pub fn task_forward(
+        &self,
+        sess: &mut Session<'_>,
+        prompts: Var,
+        prompt_labels: &[usize],
+        queries: Var,
+        num_classes: usize,
+    ) -> gp_nn::task_graph::TaskGraphOutput {
+        self.task_graph
+            .forward(sess, prompts, prompt_labels, queries, num_classes)
+    }
+}
+
+/// Sample the data graph for each datapoint (Eq. 1). For edge
+/// classification the anchor pair's direct edge is removed (the label must
+/// not leak into the data graph).
+pub fn sample_datapoint_subgraphs<R: Rng + ?Sized>(
+    graph: &Graph,
+    sampler: &RandomWalkSampler,
+    points: &[DataPoint],
+    task: Task,
+    rng: &mut R,
+) -> Vec<Subgraph> {
+    points
+        .iter()
+        .map(|dp| {
+            let anchors = dp.anchors(graph);
+            let sg = sampler.sample(graph, &anchors, rng);
+            match task {
+                Task::EdgeClassification => sg.without_anchor_edges(),
+                Task::NodeClassification => sg,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_datasets::CitationConfig;
+    use gp_graph::SamplerConfig;
+
+    fn small_model() -> GraphPrompterModel {
+        GraphPrompterModel::new(ModelConfig {
+            feat_dim: gp_datasets::NODE_FEAT_DIM,
+            rel_dim: gp_datasets::REL_FEAT_DIM,
+            embed_dim: 16,
+            hidden_dim: 24,
+            generator: GeneratorKind::Sage,
+            seed: 3,
+            ..ModelConfig::default()
+        })
+    }
+
+    #[test]
+    fn embed_batch_shapes_and_ranges() {
+        let model = small_model();
+        let ds = CitationConfig::new("t", 200, 4, 5).generate();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let points: Vec<DataPoint> = ds.train[..6].to_vec();
+        let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
+        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+        let mut sess = Session::new(&model.store);
+        let emb = model.embed_batch(&mut sess, &batch, true);
+        let g = sess.value(emb.embeddings);
+        let i = sess.value(emb.importance);
+        assert_eq!(g.shape(), (6, 16));
+        assert_eq!(i.shape(), (6, 1));
+        assert!(i.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        for r in 0..6 {
+            let n: f32 = g.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reconstruction_toggle_changes_embeddings() {
+        let model = small_model();
+        let ds = CitationConfig::new("t", 200, 4, 5).generate();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let points: Vec<DataPoint> = ds.train[..4].to_vec();
+        let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
+        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+        let mut s1 = Session::new(&model.store);
+        let e1 = model.embed_batch(&mut s1, &batch, true);
+        let mut s2 = Session::new(&model.store);
+        let e2 = model.embed_batch(&mut s2, &batch, false);
+        assert_ne!(
+            s1.value(e1.embeddings).as_slice(),
+            s2.value(e2.embeddings).as_slice()
+        );
+    }
+
+    #[test]
+    fn all_generator_kinds_construct_and_run() {
+        for kind in [GeneratorKind::Sage, GeneratorKind::Gat, GeneratorKind::Gcn] {
+            let model = GraphPrompterModel::new(ModelConfig {
+                generator: kind,
+                embed_dim: 8,
+                hidden_dim: 12,
+                ..ModelConfig::default()
+            });
+            let ds = CitationConfig::new("t", 120, 3, 2).generate();
+            let sampler = RandomWalkSampler::new(SamplerConfig::default());
+            let mut rng = StdRng::seed_from_u64(2);
+            let points: Vec<DataPoint> = ds.train[..3].to_vec();
+            let sgs =
+                sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
+            let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+            let mut sess = Session::new(&model.store);
+            let emb = model.embed_batch(&mut sess, &batch, true);
+            assert_eq!(sess.value(emb.embeddings).shape(), (3, 8));
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_inference() {
+        let model = small_model();
+        let dir = std::env::temp_dir().join("gp_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gpck");
+        model.save(&path).unwrap();
+        let loaded = GraphPrompterModel::load(&path).unwrap();
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        assert_eq!(loaded.config().embed_dim, model.config().embed_dim);
+
+        // Identical embeddings on the same batch.
+        let ds = CitationConfig::new("t", 150, 3, 9).generate();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let points: Vec<DataPoint> = ds.train[..4].to_vec();
+        let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
+        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+        let mut s1 = Session::new(&model.store);
+        let e1 = model.embed_batch(&mut s1, &batch, true);
+        let mut s2 = Session::new(&loaded.store);
+        let e2 = loaded.embed_batch(&mut s2, &batch, true);
+        assert_eq!(
+            s1.value(e1.embeddings).as_slice(),
+            s2.value(e2.embeddings).as_slice()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_non_checkpoint_file() {
+        let dir = std::env::temp_dir().join("gp_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.gpck");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(GraphPrompterModel::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_task_subgraphs_drop_anchor_edge() {
+        let ds = gp_datasets::KgConfig::new("t", 300, 6, 5, 7).generate();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<DataPoint> = ds.train[..8].to_vec();
+        let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
+        for sg in &sgs {
+            assert_eq!(sg.anchors.len(), 2);
+            let (a, b) = (sg.anchors[0], sg.anchors[1]);
+            for (s, d) in sg.edges.iter() {
+                assert!(!((s == a && d == b) || (s == b && d == a)), "anchor edge leaked");
+            }
+        }
+    }
+}

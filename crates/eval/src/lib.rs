@@ -1,0 +1,28 @@
+//! # gp-eval
+//!
+//! Evaluation utilities for the experiment harness:
+//!
+//! * [`stats`] — per-episode accuracy aggregation (`mean ± std`, the
+//!   format of every table in the paper).
+//! * [`mod@tsne`] — an exact (O(n²)) t-SNE implementation for the Fig. 7
+//!   embedding-distribution analysis.
+//! * [`cluster`] — quantitative cluster-tightness metrics (silhouette,
+//!   intra/inter distance ratio) used as an objective companion to the
+//!   qualitative t-SNE plots.
+//! * [`calibration`] — expected calibration error + confusion matrices
+//!   (diagnostics for the Prompt Augmenter's confidence gate).
+//! * [`table`] — plain-text/markdown table rendering for EXPERIMENTS.md.
+
+pub mod calibration;
+pub mod cluster;
+pub mod plot;
+pub mod stats;
+pub mod table;
+pub mod tsne;
+
+pub use calibration::{expected_calibration_error, ConfusionMatrix};
+pub use cluster::{intra_inter_ratio, silhouette_score};
+pub use plot::{line_chart, scatter_plot, Series};
+pub use stats::MeanStd;
+pub use table::Table;
+pub use tsne::{tsne, TsneConfig};

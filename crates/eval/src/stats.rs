@@ -1,0 +1,65 @@
+//! Accuracy statistics in the paper's `mean ± std` format.
+
+use std::fmt;
+
+/// Mean and sample standard deviation of a set of per-episode scores.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f32,
+    /// Sample (n−1) standard deviation; 0 for fewer than two samples.
+    pub std: f32,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Aggregate a slice of scores.
+    pub fn of(xs: &[f32]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Self { mean: 0.0, std: 0.0, n: 0 };
+        }
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let std = if n > 1 {
+            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / (n - 1) as f32).sqrt()
+        } else {
+            0.0
+        };
+        Self { mean, std, n }
+    }
+}
+
+impl fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_matches_hand_computation() {
+        let s = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-6);
+        // Sample std of that classic set is ≈ 2.138.
+        assert!((s.std - 2.1381).abs() < 1e-3, "std {}", s.std);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(MeanStd::of(&[]).n, 0);
+        let one = MeanStd::of(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.std, 0.0);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let s = MeanStd { mean: 78.571, std: 15.21, n: 5 };
+        assert_eq!(s.to_string(), "78.57 ±15.21");
+    }
+}

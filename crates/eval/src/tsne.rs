@@ -1,0 +1,240 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008) for small point sets.
+//!
+//! Fig. 7 of the paper visualizes data-node embeddings with t-SNE. The
+//! sets involved are small (≤ a few hundred points), so the exact O(n²)
+//! formulation is appropriate — per-point perplexity calibration by
+//! binary search over the Gaussian bandwidth, then gradient descent with
+//! momentum and early exaggeration on the KL divergence.
+
+use gp_tensor::{rng as trng, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbor count).
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate (10 suits the small point sets of Fig. 7; scale up
+    /// with n for larger embeddings).
+    pub learning_rate: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Early-exaggeration factor for the first quarter of iterations.
+    pub exaggeration: f32,
+    /// Output dimensionality (2 for plots).
+    pub out_dim: usize,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 15.0,
+            iterations: 300,
+            learning_rate: 10.0,
+            momentum: 0.8,
+            exaggeration: 4.0,
+            out_dim: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Symmetric high-dimensional affinities with per-point perplexity
+/// calibration.
+fn joint_probabilities(x: &Tensor, perplexity: f32) -> Vec<f32> {
+    let n = x.rows();
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f32 = x
+                .row(i)
+                .iter()
+                .zip(x.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²) to match the target entropy.
+        let (mut lo, mut hi, mut beta) = (0.0f32, f32::INFINITY, 1.0f32);
+        for _ in 0..50 {
+            let mut sum = 0.0f32;
+            let mut h = 0.0f32;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp();
+                sum += pij;
+                h += beta * d2[i * n + j] * pij;
+            }
+            if sum <= 1e-12 {
+                beta /= 2.0;
+                continue;
+            }
+            let entropy = (h / sum) + sum.ln();
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f32;
+        for j in 0..n {
+            if i != j {
+                p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                sum += p[i * n + j];
+            }
+        }
+        if sum > 1e-12 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize and normalize: P = (P + Pᵀ) / 2n, floored for stability.
+    let mut joint = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f32)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Embed `x` (`n×d`) into `cfg.out_dim` dimensions. Returns an
+/// `n×out_dim` tensor.
+///
+/// ```
+/// use gp_eval::{tsne, TsneConfig};
+/// use gp_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(4, 3, vec![0.0; 12]);
+/// let y = tsne(&x, &TsneConfig { iterations: 10, ..TsneConfig::default() });
+/// assert_eq!(y.shape(), (4, 2));
+/// ```
+///
+/// # Panics
+/// Panics for fewer than 3 points.
+pub fn tsne(x: &Tensor, cfg: &TsneConfig) -> Tensor {
+    let n = x.rows();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let p = joint_probabilities(x, cfg.perplexity.min((n as f32 - 1.0) / 3.0));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y = trng::randn(&mut rng, n, cfg.out_dim, 1e-2);
+    let mut velocity = Tensor::zeros(n, cfg.out_dim);
+    let exaggerate_until = cfg.iterations / 4;
+
+    let mut q = vec![0.0f32; n * n];
+    for iter in 0..cfg.iterations {
+        // Student-t affinities in the embedding.
+        let mut qsum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d: f32 = y
+                    .row(i)
+                    .iter()
+                    .zip(y.row(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                let v = 1.0 / (1.0 + d);
+                q[i * n + j] = v;
+                q[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+
+        // KL gradient: 4 Σ_j (p_ij − q_ij) (y_i − y_j) / (1 + ‖y_i − y_j‖²).
+        let exag = if iter < exaggerate_until { cfg.exaggeration } else { 1.0 };
+        let mut grad = Tensor::zeros(n, cfg.out_dim);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = exag * p[i * n + j];
+                let qij = q[i * n + j] / qsum;
+                let coeff = 4.0 * (pij - qij) * q[i * n + j];
+                for d in 0..cfg.out_dim {
+                    let g = grad.get(i, d) + coeff * (y.get(i, d) - y.get(j, d));
+                    grad.set(i, d, g);
+                }
+            }
+        }
+        velocity = velocity.scale(cfg.momentum).sub(&grad.scale(cfg.learning_rate));
+        y = y.add(&velocity);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::intra_inter_ratio;
+
+    fn blobs(n_per: usize, sep: f32, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for _ in 0..n_per {
+                for d in 0..5 {
+                    let center = if d == c { sep } else { 0.0 };
+                    data.push(center + 0.1 * trng::standard_normal(&mut rng));
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(3 * n_per, 5, data), labels)
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let (x, _) = blobs(8, 3.0, 0);
+        let y = tsne(&x, &TsneConfig { iterations: 100, ..TsneConfig::default() });
+        assert_eq!(y.shape(), (24, 2));
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn preserves_blob_structure() {
+        let (x, labels) = blobs(10, 5.0, 1);
+        let y = tsne(&x, &TsneConfig { iterations: 250, ..TsneConfig::default() });
+        // The 2-D embedding must keep the classes separated.
+        let ratio = intra_inter_ratio(&y, &labels);
+        assert!(ratio < 0.6, "t-SNE lost cluster structure: ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, _) = blobs(5, 3.0, 2);
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let a = tsne(&x, &cfg);
+        let b = tsne(&x, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let x = Tensor::zeros(2, 2);
+        let _ = tsne(&x, &TsneConfig::default());
+    }
+}

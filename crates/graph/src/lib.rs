@@ -1,0 +1,21 @@
+//! # gp-graph
+//!
+//! The graph substrate for the GraphPrompter reproduction: a compact
+//! multi-relational graph in CSR form ([`Graph`]), the paper's random-walk
+//! `l`-hop data-graph sampler ([`sampler`], Eq. 1), and local-index
+//! [`Subgraph`] extraction with induced edges.
+//!
+//! The source graphs in the paper are either node-labelled citation
+//! networks (MAG240M, arXiv) or knowledge graphs whose edge label *is* the
+//! relation id (Wiki, ConceptNet, FB15K-237, NELL); [`Graph`] models both:
+//! every edge carries a relation id, and nodes optionally carry labels.
+
+pub mod analysis;
+pub mod graph;
+pub mod sampler;
+pub mod subgraph;
+
+pub use analysis::{connected_components, degree_histogram, graph_stats, GraphStats};
+pub use graph::{Graph, GraphBuilder, Triple};
+pub use sampler::{RandomWalkSampler, SamplerConfig};
+pub use subgraph::Subgraph;

@@ -1,0 +1,116 @@
+//! Property tests for graph construction, sampling and subgraph induction.
+
+use gp_graph::{Graph, GraphBuilder, RandomWalkSampler, SamplerConfig, Subgraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random multigraph strategy: node count, relation count and edges.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (4usize..40, 1usize..5).prop_flat_map(|(n, r)| {
+        proptest::collection::vec((0..n as u32, 0..r as u16, 0..n as u32), 1..120).prop_map(
+            move |triples| {
+                let mut b = GraphBuilder::new(n, r);
+                for (u, rel, v) in triples {
+                    b.add_triple(u, rel, v);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacency_is_always_symmetric(g in graph_strategy()) {
+        for u in 0..g.num_nodes() as u32 {
+            for (v, r, e) in g.neighbors(u) {
+                prop_assert!(
+                    g.neighbors(v).any(|(w, r2, e2)| w == u && r2 == r && e2 == e),
+                    "edge {u}->{v} not mirrored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_counts_each_triple_twice(g in graph_strategy()) {
+        let total: usize = (0..g.num_nodes() as u32).map(|n| g.degree(n)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn sampler_respects_cap_and_anchor(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+        cap in 2usize..20,
+        hops in 1usize..4,
+    ) {
+        let sampler = RandomWalkSampler::new(SamplerConfig {
+            hops,
+            max_nodes: cap,
+            neighbors_per_node: 5,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let anchor = (seed % g.num_nodes() as u64) as u32;
+        let sg = sampler.sample(&g, &[anchor], &mut rng);
+        prop_assert!(sg.num_nodes() <= cap);
+        prop_assert_eq!(sg.nodes[sg.anchors[0]], anchor);
+        // No duplicate nodes.
+        let mut sorted = sg.nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sg.nodes.len());
+    }
+
+    #[test]
+    fn induced_subgraph_edges_stay_inside_and_every_node_reachable(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::seq::SliceRandom;
+        let mut nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        nodes.shuffle(&mut rng);
+        let take = (g.num_nodes() / 2).max(1);
+        let subset: Vec<u32> = nodes.into_iter().take(take).collect();
+        let anchor = subset[0];
+        let sg = Subgraph::induce(&g, subset.clone(), &[anchor]);
+        // All endpoints in-range, all in-degrees positive (self-loops fill).
+        let deg = sg.edges.in_degrees(sg.num_nodes());
+        prop_assert!(deg.iter().all(|&d| d > 0));
+        for (s, d) in sg.edges.iter() {
+            prop_assert!(s < sg.num_nodes() && d < sg.num_nodes());
+        }
+        // Relation list parallel to the edge list.
+        prop_assert_eq!(sg.rels.len(), sg.edges.len());
+    }
+
+    #[test]
+    fn anchor_edge_removal_never_leaves_orphans(
+        g in graph_strategy(),
+        seed in any::<u64>(),
+    ) {
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let t = g.triple((seed % g.num_edges() as u64) as u32);
+        if t.head == t.tail {
+            return Ok(());
+        }
+        let sampler = RandomWalkSampler::new(SamplerConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sg = sampler
+            .sample(&g, &[t.head, t.tail], &mut rng)
+            .without_anchor_edges();
+        let deg = sg.edges.in_degrees(sg.num_nodes());
+        prop_assert!(deg.iter().all(|&d| d > 0), "orphan after anchor-edge removal");
+        let (a, b) = (sg.anchors[0], sg.anchors[1]);
+        prop_assert!(
+            !sg.edges.iter().any(|(s, d)| (s == a && d == b) || (s == b && d == a)),
+            "anchor edge survived"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Parameter registry, decoupled from the per-step autodiff tape.
+
+use gp_tensor::Tensor;
+
+/// Opaque handle to a parameter tensor inside a [`ParamStore`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index into the store (stable for the store's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every trainable tensor of a model.
+///
+/// Layers hold [`ParamId`]s, not tensors, so the same layer object can be
+/// used across training steps while optimizers mutate the store in place.
+/// Cloning preserves ids, so a cloned store can be *extended* with new
+/// parameters (e.g. a per-episode head over a frozen encoder) while the
+/// original layers keep working against it.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    tensors: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; `name` is for debugging/reporting only.
+    pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
+        self.tensors.push(tensor);
+        self.names.push(name.into());
+        ParamId(self.tensors.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access (used by optimizers).
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// Overwrite a parameter's value (e.g. loading a checkpoint).
+    pub fn set(&mut self, id: ParamId, tensor: Tensor) {
+        assert_eq!(
+            self.tensors[id.0].shape(),
+            tensor.shape(),
+            "ParamStore::set: shape mismatch for {}",
+            self.names[id.0]
+        );
+        self.tensors[id.0] = tensor;
+    }
+
+    /// Debug name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterate over all `(id, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+    }
+
+    /// Snapshot all parameter values (cheap checkpointing).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.tensors.clone()
+    }
+
+    /// Restore a snapshot taken with [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store layout.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(snapshot.len(), self.tensors.len(), "snapshot length mismatch");
+        for (t, s) in self.tensors.iter_mut().zip(snapshot) {
+            assert_eq!(t.shape(), s.shape(), "snapshot shape mismatch");
+            *t = s.clone();
+        }
+    }
+
+    /// Serialize every parameter to a writer (little-endian binary:
+    /// magic, version, tensor count, then per tensor name/rows/cols/data).
+    pub fn save<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(Self::MAGIC)?;
+        w.write_all(&Self::VERSION.to_le_bytes())?;
+        w.write_all(&(self.tensors.len() as u64).to_le_bytes())?;
+        for (name, t) in self.names.iter().zip(&self.tensors) {
+            let bytes = name.as_bytes();
+            w.write_all(&(bytes.len() as u64).to_le_bytes())?;
+            w.write_all(bytes)?;
+            w.write_all(&(t.rows() as u64).to_le_bytes())?;
+            w.write_all(&(t.cols() as u64).to_le_bytes())?;
+            for v in t.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load parameter *values* saved with [`ParamStore::save`] into this
+    /// store. The store must already have the same layout (same names and
+    /// shapes in the same order) — build the model first, then load.
+    pub fn load<R: std::io::Read>(&mut self, r: &mut R) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != Self::MAGIC {
+            return Err(bad("not a ParamStore checkpoint (bad magic)"));
+        }
+        let mut u32b = [0u8; 4];
+        r.read_exact(&mut u32b)?;
+        if u32::from_le_bytes(u32b) != Self::VERSION {
+            return Err(bad("unsupported checkpoint version"));
+        }
+        let mut u64b = [0u8; 8];
+        r.read_exact(&mut u64b)?;
+        let count = u64::from_le_bytes(u64b) as usize;
+        if count != self.tensors.len() {
+            return Err(bad("checkpoint parameter count differs from model"));
+        }
+        for i in 0..count {
+            r.read_exact(&mut u64b)?;
+            let name_len = u64::from_le_bytes(u64b) as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|_| bad("invalid name"))?;
+            if name != self.names[i] {
+                return Err(bad("checkpoint parameter order/name differs from model"));
+            }
+            r.read_exact(&mut u64b)?;
+            let rows = u64::from_le_bytes(u64b) as usize;
+            r.read_exact(&mut u64b)?;
+            let cols = u64::from_le_bytes(u64b) as usize;
+            if (rows, cols) != self.tensors[i].shape() {
+                return Err(bad("checkpoint tensor shape differs from model"));
+            }
+            let mut data = vec![0f32; rows * cols];
+            for v in data.iter_mut() {
+                r.read_exact(&mut u32b)?;
+                *v = f32::from_le_bytes(u32b);
+            }
+            self.tensors[i] = Tensor::from_vec(rows, cols, data);
+        }
+        Ok(())
+    }
+
+    const MAGIC: &'static [u8; 4] = b"GPPS";
+    const VERSION: u32 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_set_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(2, 3));
+        assert_eq!(store.get(id).shape(), (2, 3));
+        store.set(id, Tensor::full(2, 3, 1.5));
+        assert_eq!(store.get(id).get(1, 2), 1.5);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::full(1, 2, 3.0));
+        let snap = store.snapshot();
+        store.get_mut(id).as_mut_slice()[0] = -1.0;
+        store.restore(&snap);
+        assert_eq!(store.get(id).get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 9.9, -7.25]));
+        store.add("b", Tensor::from_vec(1, 2, vec![0.5, -0.5]));
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+
+        let mut fresh = ParamStore::new();
+        let w = fresh.add("w", Tensor::zeros(2, 3));
+        let b = fresh.add("b", Tensor::zeros(1, 2));
+        fresh.load(&mut buf.as_slice()).unwrap();
+        assert_eq!(fresh.get(w).as_slice(), &[1.0, -2.0, 3.5, 0.0, 9.9, -7.25]);
+        assert_eq!(fresh.get(b).as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn load_rejects_layout_mismatch() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(2, 2));
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("w", Tensor::zeros(3, 2));
+        assert!(wrong_shape.load(&mut buf.as_slice()).is_err());
+
+        let mut wrong_name = ParamStore::new();
+        wrong_name.add("v", Tensor::zeros(2, 2));
+        assert!(wrong_name.load(&mut buf.as_slice()).is_err());
+
+        let mut wrong_count = ParamStore::new();
+        wrong_count.add("w", Tensor::zeros(2, 2));
+        wrong_count.add("extra", Tensor::zeros(1, 1));
+        assert!(wrong_count.load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(1, 1));
+        assert!(store.load(&mut &b"not a checkpoint"[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_rejects_wrong_shape() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(2, 3));
+        store.set(id, Tensor::zeros(3, 2));
+    }
+}

@@ -1,0 +1,99 @@
+//! One forward/backward pass over a [`ParamStore`].
+
+use gp_tensor::{Tape, Tensor, Var};
+
+use crate::params::{ParamId, ParamStore};
+
+/// A single forward/backward pass: owns a fresh [`Tape`] and lazily injects
+/// parameters from the store (each parameter becomes exactly one tape leaf,
+/// so fan-out gradients accumulate correctly).
+pub struct Session<'s> {
+    /// The underlying autodiff tape (exposed so callers can record data
+    /// inputs and custom ops directly).
+    pub tape: Tape,
+    store: &'s ParamStore,
+    bound: Vec<Option<Var>>,
+}
+
+impl<'s> Session<'s> {
+    /// Start a pass against `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self {
+            tape: Tape::new(),
+            store,
+            bound: vec![None; store.len()],
+        }
+    }
+
+    /// Tape variable for a parameter, injecting its current value on first
+    /// use within this session.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bound[id.index()] {
+            return v;
+        }
+        let v = self.tape.input(self.store.get(id).clone());
+        self.bound[id.index()] = Some(v);
+        v
+    }
+
+    /// Record a non-trainable data input.
+    pub fn data(&mut self, t: Tensor) -> Var {
+        self.tape.input(t)
+    }
+
+    /// Forward value of any tape node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        self.tape.value(v)
+    }
+
+    /// Backward from `loss`; returns `(loss value, parameter gradients)`
+    /// for every parameter touched this session, consuming the session.
+    pub fn grads(self, loss: Var) -> (f32, Vec<(ParamId, Tensor)>) {
+        let loss_value = self.tape.value(loss).item();
+        let grads = self.tape.backward(loss);
+        let mut out = Vec::new();
+        for (i, bound) in self.bound.iter().enumerate() {
+            if let Some(var) = bound {
+                if let Some(g) = grads.try_get(*var) {
+                    out.push((ParamId(i), g.clone()));
+                }
+            }
+        }
+        (loss_value, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_injected_once_and_grad_accumulates() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(2.0));
+        let mut sess = Session::new(&store);
+        let a = sess.param(w);
+        let b = sess.param(w);
+        assert_eq!(a, b, "same param must map to the same tape node");
+        // loss = w + w → d/dw = 2
+        let y = sess.tape.add(a, b);
+        let loss = sess.tape.sum_all(y);
+        let (lv, grads) = sess.grads(loss);
+        assert_eq!(lv, 4.0);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].1.item(), 2.0);
+    }
+
+    #[test]
+    fn untouched_params_produce_no_grads() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::scalar(2.0));
+        let _unused = store.add("u", Tensor::scalar(1.0));
+        let mut sess = Session::new(&store);
+        let a = sess.param(w);
+        let loss = sess.tape.sum_all(a);
+        let (_, grads) = sess.grads(loss);
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].0, w);
+    }
+}

@@ -1,0 +1,301 @@
+//! The bipartite task-graph model (§III-B, Eq. 10–11).
+//!
+//! A task graph contains `m·k + n` data nodes (prompts + queries) and `m`
+//! label nodes. Each prompt node connects to *all* label nodes; the edge
+//! attribute is `T` for the prompt's true class and `F` otherwise. An
+//! attention GNN fuses the prompts associated with each class into a label
+//! embedding (`H = GNN_T(G^T(S, Q))`, Eq. 10) and each query is classified
+//! by the cosine-most-similar label embedding (Eq. 11).
+
+use std::sync::Arc;
+
+use gp_tensor::{EdgeList, Var};
+use rand::Rng;
+
+use crate::linear::{Activation, Linear};
+use crate::params::{ParamId, ParamStore};
+use crate::session::Session;
+
+/// Attention-based task-graph GNN, following Prodigy's task-graph design.
+pub struct TaskGraphAttention {
+    /// Embedding per edge attribute (`T` = row 0, `F` = row 1).
+    edge_emb: ParamId,
+    /// Message net over `[prompt_emb | edge_emb]`.
+    msg: Linear,
+    /// Attention scorer over messages.
+    att: Linear,
+    /// Label update net back to embedding space.
+    upd: Linear,
+    /// Query projection.
+    query_proj: Linear,
+    /// Learned gate on the prototype residual path.
+    proto_gate: ParamId,
+    /// Whether the prototype residual path is wired in at all.
+    use_prototype_residual: bool,
+    /// Cosine-logit temperature (fixed).
+    temperature: f32,
+    edge_dim: usize,
+    dim: usize,
+}
+
+/// Output of a task-graph forward pass.
+pub struct TaskGraphOutput {
+    /// `n×m` scaled-cosine logits for the queries.
+    pub logits: Var,
+    /// `m×d` label-node embeddings.
+    pub label_embeddings: Var,
+}
+
+impl TaskGraphAttention {
+    /// Build with embedding width `dim` (matching `GNN_D`'s output), hidden
+    /// width `hidden`, and edge-attribute width `edge_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng_: &mut R,
+        name: &str,
+        dim: usize,
+        hidden: usize,
+        edge_dim: usize,
+    ) -> Self {
+        Self {
+            edge_emb: store.add(
+                format!("{name}.edge_emb"),
+                gp_tensor::rng::xavier_uniform(rng_, 2, edge_dim),
+            ),
+            msg: Linear::new(store, rng_, &format!("{name}.msg"), dim + edge_dim, hidden),
+            att: Linear::new(store, rng_, &format!("{name}.att"), hidden, 1),
+            upd: Linear::new(store, rng_, &format!("{name}.upd"), hidden, dim),
+            query_proj: Linear::new(store, rng_, &format!("{name}.qproj"), dim, dim),
+            proto_gate: store.add(
+                format!("{name}.proto_gate"),
+                gp_tensor::Tensor::scalar(0.5),
+            ),
+            temperature: 10.0,
+            use_prototype_residual: true,
+            edge_dim,
+            dim,
+        }
+    }
+
+    /// Enable or disable the prototype residual path (enabled by default).
+    pub fn set_prototype_residual(&mut self, enabled: bool) {
+        self.use_prototype_residual = enabled;
+    }
+
+    /// Embedding width this model expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Run the task graph.
+    ///
+    /// * `prompts` — `P×d` prompt data-node embeddings (already importance-
+    ///   weighted by the Prompt Selector when enabled).
+    /// * `prompt_labels` — class of each prompt, values `< num_classes`.
+    /// * `queries` — `n×d` query data-node embeddings.
+    ///
+    /// # Panics
+    /// Panics when the prompt set is empty or a label is out of range.
+    pub fn forward(
+        &self,
+        sess: &mut Session<'_>,
+        prompts: Var,
+        prompt_labels: &[usize],
+        queries: Var,
+        num_classes: usize,
+    ) -> TaskGraphOutput {
+        let p = sess.value(prompts).rows();
+        assert!(p > 0, "task graph needs at least one prompt");
+        assert_eq!(prompt_labels.len(), p, "one label per prompt required");
+        assert!(
+            prompt_labels.iter().all(|&y| y < num_classes),
+            "prompt label out of range"
+        );
+
+        // Bipartite prompt→label edges: every prompt to every label.
+        // Edge row r = i*m + j carries attribute T (0) iff label_i == j.
+        let m = num_classes;
+        let mut prompt_idx = Vec::with_capacity(p * m);
+        let mut attr_idx = Vec::with_capacity(p * m);
+        let mut pairs = Vec::with_capacity(p * m);
+        for (i, &yi) in prompt_labels.iter().enumerate() {
+            for j in 0..m {
+                prompt_idx.push(i);
+                attr_idx.push(usize::from(yi != j)); // 0 = T, 1 = F
+                pairs.push(((i * m + j) as u32, j as u32));
+            }
+        }
+        let bip = EdgeList::from_pairs(pairs).into_shared();
+
+        // Messages: relu(W_msg [x_i | e_ij]).
+        let x_e = sess.tape.gather_rows(prompts, Arc::new(prompt_idx));
+        let emb = sess.param(self.edge_emb);
+        let e_e = sess.tape.gather_rows(emb, Arc::new(attr_idx));
+        let msg_in = sess.tape.concat_cols(x_e, e_e);
+        let msg_lin = self.msg.forward(sess, msg_in);
+        let msg_h = Activation::Relu.apply(sess, msg_lin);
+
+        // Attention over messages, normalized per label node.
+        let scores_raw = self.att.forward(sess, msg_h);
+        let scores = sess.tape.leaky_relu(scores_raw, 0.2);
+        let alpha = sess.tape.edge_softmax(bip.clone(), scores);
+
+        // Aggregate messages into label nodes and update. The label
+        // embedding is the attention update *plus* a class-prototype
+        // residual (mean of the class's own prompt embeddings): the
+        // attention path learns corrections while the prototype path keeps
+        // label nodes anchored in the data-embedding space — which is what
+        // lets test-time cached samples (Prompt Augmenter) shift decision
+        // boundaries toward the test distribution, a la T3A.
+        let label_agg = sess.tape.spmm(bip, msg_h, Some(alpha), m);
+        let upd = self.upd.forward(sess, label_agg);
+        let correction = sess.tape.tanh(upd);
+        if !self.use_prototype_residual {
+            // Attention-only label embeddings.
+            let q = self.query_proj.forward(sess, queries);
+            let qn = sess.tape.row_l2_normalize(q);
+            let ln = sess.tape.row_l2_normalize(correction);
+            let cos = sess.tape.matmul_tb(qn, ln);
+            let logits = sess.tape.scale(cos, self.temperature);
+            return TaskGraphOutput { logits, label_embeddings: correction };
+        }
+        let mut class_count = vec![0f32; m];
+        for &y in prompt_labels {
+            class_count[y] += 1.0;
+        }
+        let proto_edges = EdgeList::from_pairs(
+            prompt_labels
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as u32, y as u32)),
+        )
+        .into_shared();
+        let proto_w = sess.data(gp_tensor::Tensor::from_vec(
+            prompt_labels.len(),
+            1,
+            prompt_labels
+                .iter()
+                .map(|&y| 1.0 / class_count[y].max(1.0))
+                .collect(),
+        ));
+        let proto = sess.tape.spmm(proto_edges, prompts, Some(proto_w), m);
+        // Gate the prototype path with a learned scalar so pre-training
+        // balances prototype-averaging against the attention correction.
+        let gate = sess.param(self.proto_gate);
+        let ones_m = sess.data(gp_tensor::Tensor::full(m, 1, 1.0));
+        let gate_col = sess.tape.matmul(ones_m, gate);
+        let gated_proto = sess.tape.mul_rows_by_col(proto, gate_col);
+        let label_embeddings = sess.tape.add(gated_proto, correction);
+
+        // Queries → scaled-cosine logits against label embeddings.
+        let q = self.query_proj.forward(sess, queries);
+        let qn = sess.tape.row_l2_normalize(q);
+        let ln = sess.tape.row_l2_normalize(label_embeddings);
+        let cos = sess.tape.matmul_tb(qn, ln);
+        let logits = sess.tape.scale(cos, self.temperature);
+
+        TaskGraphOutput { logits, label_embeddings }
+    }
+
+    /// Edge-attribute embedding width.
+    pub fn edge_dim(&self) -> usize {
+        self.edge_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use gp_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(dim: usize) -> (ParamStore, TaskGraphAttention) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let tg = TaskGraphAttention::new(&mut store, &mut rng, "tg", dim, 16, 4);
+        (store, tg)
+    }
+
+    /// Cluster-separated prompt embeddings: class c centered at unit axis c.
+    fn clustered(n_per_class: usize, m: usize, dim: usize, noise: f32, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..m {
+            for _ in 0..n_per_class {
+                for d in 0..dim {
+                    let base = if d == c { 1.0 } else { 0.0 };
+                    data.push(base + noise * gp_tensor::rng::standard_normal(&mut rng));
+                }
+                labels.push(c);
+            }
+        }
+        (Tensor::from_vec(n_per_class * m, dim, data), labels)
+    }
+
+    #[test]
+    fn output_shapes() {
+        let (store, tg) = setup(8);
+        let (p, labels) = clustered(3, 4, 8, 0.1, 0);
+        let (q, _) = clustered(2, 4, 8, 0.1, 1);
+        let mut sess = Session::new(&store);
+        let pv = sess.data(p);
+        let qv = sess.data(q);
+        let out = tg.forward(&mut sess, pv, &labels, qv, 4);
+        assert_eq!(sess.value(out.logits).shape(), (8, 4));
+        assert_eq!(sess.value(out.label_embeddings).shape(), (4, 8));
+    }
+
+    #[test]
+    fn trains_to_classify_clustered_queries() {
+        let (mut store, tg) = setup(6);
+        let m = 3;
+        let (p, p_labels) = clustered(3, m, 6, 0.05, 2);
+        let (q, q_labels) = clustered(4, m, 6, 0.05, 3);
+        let targets = Arc::new(q_labels.clone());
+        let mut opt = Adam::new(0.01);
+        let mut last = f32::INFINITY;
+        for _ in 0..150 {
+            let mut sess = Session::new(&store);
+            let pv = sess.data(p.clone());
+            let qv = sess.data(q.clone());
+            let out = tg.forward(&mut sess, pv, &p_labels, qv, m);
+            let loss = sess.tape.cross_entropy_logits(out.logits, targets.clone());
+            let (lv, grads) = sess.grads(loss);
+            opt.step(&mut store, &grads);
+            last = lv;
+        }
+        assert!(last < 0.3, "task graph did not train: loss {last}");
+        // After training, the argmax prediction (Eq. 11) must match.
+        let mut sess = Session::new(&store);
+        let pv = sess.data(p);
+        let qv = sess.data(q);
+        let out = tg.forward(&mut sess, pv, &p_labels, qv, m);
+        let pred = sess.value(out.logits).argmax_rows();
+        let correct = pred.iter().zip(&q_labels).filter(|(a, b)| a == b).count();
+        assert!(correct >= 10, "only {correct}/12 correct");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prompt")]
+    fn empty_prompt_set_panics() {
+        let (store, tg) = setup(4);
+        let mut sess = Session::new(&store);
+        let pv = sess.data(Tensor::zeros(0, 4));
+        let qv = sess.data(Tensor::zeros(1, 4));
+        let _ = tg.forward(&mut sess, pv, &[], qv, 2);
+    }
+
+    #[test]
+    fn class_with_no_prompt_still_gets_embedding() {
+        // Labels only from class 0; class 1's label node aggregates F-edges.
+        let (store, tg) = setup(4);
+        let mut sess = Session::new(&store);
+        let pv = sess.data(Tensor::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.9, 0.1, 0.0, 0.0]));
+        let qv = sess.data(Tensor::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]));
+        let out = tg.forward(&mut sess, pv, &[0, 0], qv, 2);
+        assert!(sess.value(out.logits).all_finite());
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic random tensor initialization.
+//!
+//! The approved offline dependency list includes `rand` but not
+//! `rand_distr`, so the Gaussian sampler is a small Box–Muller
+//! implementation on top of `rand`'s uniform source.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Draw one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard against ln(0).
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// `rows×cols` tensor of N(0, std²) entries.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| standard_normal(rng) * std).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot-uniform initialization for a `fan_in×fan_out` weight matrix.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Tensor::from_vec(fan_in, fan_out, data)
+}
+
+/// `rows×cols` tensor of U(lo, hi) entries.
+pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(&mut rng, 64, 32);
+        let limit = (6.0 / 96.0f32).sqrt();
+        assert!(w.as_slice().iter().all(|x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn seeded_draws_are_reproducible() {
+        let a = randn(&mut StdRng::seed_from_u64(42), 3, 3, 1.0);
+        let b = randn(&mut StdRng::seed_from_u64(42), 3, 3, 1.0);
+        assert_eq!(a, b);
+    }
+}

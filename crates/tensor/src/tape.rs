@@ -1,0 +1,923 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] is a Wengert list: each operation appends a node holding
+//! its forward value and an [`Op`] record of its inputs. Because ids are
+//! assigned in creation order they are already topologically sorted, so
+//! [`Tape::backward`] is one reverse sweep that dispatches on the `Op`
+//! enum — every adjoint is written out analytically, no boxed closures.
+//!
+//! Typical use (one tape per training step):
+//!
+//! ```
+//! use gp_tensor::{Tape, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.input(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+//! let w = tape.input(Tensor::from_vec(2, 1, vec![0.5, -0.25]));
+//! let y = tape.matmul(x, w);
+//! let loss = tape.sum_all(y);
+//! let grads = tape.backward(loss);
+//! assert_eq!(grads.get(w).as_slice(), &[1.0, 2.0]);
+//! ```
+
+use std::sync::Arc;
+
+use crate::{EdgeList, Tensor};
+
+/// Handle to a node on a [`Tape`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// The operation that produced a tape node, with its input handles.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A leaf: model parameter or data.
+    Input,
+    /// `A·B`.
+    MatMul(Var, Var),
+    /// `A·Bᵀ` (used for cosine-similarity logits between row sets).
+    MatMulTb(Var, Var),
+    /// Elementwise `A + B`.
+    Add(Var, Var),
+    /// Elementwise `A - B`.
+    Sub(Var, Var),
+    /// Elementwise `A ⊙ B`.
+    Mul(Var, Var),
+    /// `A · s` for a compile-time-known scalar `s`.
+    Scale(Var, f32),
+    /// `X (n×d) + row (1×d)` broadcast over rows (bias add).
+    AddRowBroadcast(Var, Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f32),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Row-wise softmax.
+    SoftmaxRows(Var),
+    /// Row-wise log-softmax.
+    LogSoftmaxRows(Var),
+    /// `[A | B]` column concatenation.
+    ConcatCols(Var, Var),
+    /// Vertical stack of `A` over `B`.
+    ConcatRows(Var, Var),
+    /// Row selection (duplicates allowed).
+    GatherRows(Var, Arc<Vec<usize>>),
+    /// Scale row `i` of `X (n×d)` by element `i` of a column `(n×1)`.
+    MulRowsByCol(Var, Var),
+    /// L2-normalize each row (rows with tiny norm pass through).
+    RowL2Normalize(Var),
+    /// Sparse-matrix × dense-matrix with optional differentiable edge
+    /// weights: `out[dst] += w_e · x[src]` for every edge.
+    Spmm {
+        /// Dense input features, `n_src×d`.
+        x: Var,
+        /// Optional `E×1` edge weights (ones when absent).
+        w: Option<Var>,
+        /// The sparsity pattern.
+        edges: Arc<EdgeList>,
+        /// Number of output rows (destination nodes).
+        out_rows: usize,
+    },
+    /// Softmax over `E×1` edge scores, grouped by destination node.
+    EdgeSoftmax {
+        /// Raw edge scores, `E×1`.
+        scores: Var,
+        /// Grouping pattern (`dst` defines the groups).
+        edges: Arc<EdgeList>,
+    },
+    /// Elementwise reciprocal `1/(x + eps)`.
+    Recip(Var, f32),
+    /// Sum of all elements, producing `1×1`.
+    SumAll(Var),
+    /// Mean of all elements, producing `1×1`.
+    MeanAll(Var),
+    /// Mean cross-entropy of row logits against integer targets, `1×1`.
+    CrossEntropyLogits {
+        /// `n×m` unnormalized scores.
+        logits: Var,
+        /// `n` class indices, each `< m`.
+        targets: Arc<Vec<usize>>,
+    },
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+    shapes: Vec<(usize, usize)>,
+}
+
+impl Grads {
+    /// Gradient of the loss w.r.t. `var`; a zero tensor if the variable
+    /// did not influence the loss.
+    pub fn get(&self, var: Var) -> Tensor {
+        match &self.grads[var.0] {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.shapes[var.0];
+                Tensor::zeros(r, c)
+            }
+        }
+    }
+
+    /// Borrow the gradient if the variable influenced the loss.
+    pub fn try_get(&self, var: Var) -> Option<&Tensor> {
+        self.grads[var.0].as_ref()
+    }
+}
+
+/// The autodiff tape. Create one per forward/backward pass.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite forward value from {op:?}");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Record a leaf (parameter or data).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// `A·B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `A·Bᵀ`.
+    pub fn matmul_tb(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_tb(self.value(b));
+        self.push(v, Op::MatMulTb(a, b))
+    }
+
+    /// Elementwise `A + B`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise `A - B`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise `A ⊙ B`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// `A · s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// `X + row` broadcast (bias add).
+    pub fn add_row_broadcast(&mut self, x: Var, row: Var) -> Var {
+        let v = self.value(x).add_row_broadcast(self.value(row));
+        self.push(v, Op::AddRowBroadcast(x, row))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| 1.0 / (1.0 + (-t).exp()));
+        self.push(v, Op::Sigmoid(x))
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|t| t.max(0.0));
+        self.push(v, Op::Relu(x))
+    }
+
+    /// Leaky ReLU.
+    pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
+        let v = self.value(x).map(|t| if t > 0.0 { t } else { slope * t });
+        self.push(v, Op::LeakyRelu(x, slope))
+    }
+
+    /// tanh.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f32::tanh);
+        self.push(v, Op::Tanh(x))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, x: Var) -> Var {
+        let v = self.value(x).softmax_rows();
+        self.push(v, Op::SoftmaxRows(x))
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&mut self, x: Var) -> Var {
+        let v = self.value(x).log_softmax_rows();
+        self.push(v, Op::LogSoftmaxRows(x))
+    }
+
+    /// `[A | B]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Vertical stack.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_rows(self.value(b));
+        self.push(v, Op::ConcatRows(a, b))
+    }
+
+    /// Select rows by index.
+    pub fn gather_rows(&mut self, x: Var, idx: Arc<Vec<usize>>) -> Var {
+        let v = self.value(x).gather_rows(&idx);
+        self.push(v, Op::GatherRows(x, idx))
+    }
+
+    /// Scale rows of `x` by a column vector.
+    pub fn mul_rows_by_col(&mut self, x: Var, col: Var) -> Var {
+        let v = self.value(x).mul_rows_by_col(self.value(col));
+        self.push(v, Op::MulRowsByCol(x, col))
+    }
+
+    /// L2-normalize each row.
+    pub fn row_l2_normalize(&mut self, x: Var) -> Var {
+        let v = self.value(x).l2_normalize_rows(Self::NORM_EPS);
+        self.push(v, Op::RowL2Normalize(x))
+    }
+
+    const NORM_EPS: f32 = 1e-8;
+
+    /// Sparse aggregate: `out[dst] += w_e · x[src]` over `edges`.
+    ///
+    /// `w` is an optional `E×1` weight column; when `None` every edge has
+    /// weight 1. Gradients flow into both `x` and `w`.
+    pub fn spmm(&mut self, edges: Arc<EdgeList>, x: Var, w: Option<Var>, out_rows: usize) -> Var {
+        let xv = self.value(x);
+        if let Some(wv) = w {
+            let wt = self.value(wv);
+            assert_eq!(
+                wt.shape(),
+                (edges.len(), 1),
+                "spmm: weights must be E×1 (E = {})",
+                edges.len()
+            );
+        }
+        let d = xv.cols();
+        let mut out = Tensor::zeros(out_rows, d);
+        {
+            let xv = self.value(x);
+            let wslice = w.map(|wv| self.value(wv).as_slice());
+            for e in 0..edges.len() {
+                let (s, t) = (edges.src(e), edges.dst(e));
+                let we = wslice.map_or(1.0, |ws| ws[e]);
+                if we == 0.0 {
+                    continue;
+                }
+                let src_row = xv.row(s);
+                let dst_row = out.row_mut(t);
+                for (o, &v) in dst_row.iter_mut().zip(src_row) {
+                    *o += we * v;
+                }
+            }
+        }
+        self.push(out, Op::Spmm { x, w, edges, out_rows })
+    }
+
+    /// Softmax of `E×1` edge scores grouped by destination node.
+    pub fn edge_softmax(&mut self, edges: Arc<EdgeList>, scores: Var) -> Var {
+        let sv = self.value(scores);
+        assert_eq!(sv.shape(), (edges.len(), 1), "edge_softmax: scores must be E×1");
+        let n = edges.min_num_nodes();
+        // Stable grouped softmax: subtract per-group max.
+        let mut gmax = vec![f32::NEG_INFINITY; n];
+        for e in 0..edges.len() {
+            let d = edges.dst(e);
+            gmax[d] = gmax[d].max(sv.as_slice()[e]);
+        }
+        let mut gsum = vec![0.0f32; n];
+        let mut exp = vec![0.0f32; edges.len()];
+        for (e, x) in exp.iter_mut().enumerate() {
+            let d = edges.dst(e);
+            *x = (sv.as_slice()[e] - gmax[d]).exp();
+            gsum[d] += *x;
+        }
+        for (e, x) in exp.iter_mut().enumerate() {
+            *x /= gsum[edges.dst(e)].max(1e-12);
+        }
+        let out = Tensor::from_vec(edges.len(), 1, exp);
+        self.push(out, Op::EdgeSoftmax { scores, edges })
+    }
+
+    /// Elementwise reciprocal `1/(x + eps)`; `eps > 0` guards division.
+    pub fn recip(&mut self, x: Var, eps: f32) -> Var {
+        assert!(eps > 0.0, "recip: eps must be positive");
+        let v = self.value(x).map(|t| 1.0 / (t + eps));
+        self.push(v, Op::Recip(x, eps))
+    }
+
+    /// Sum of all elements → `1×1`.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(self.value(x).sum());
+        self.push(v, Op::SumAll(x))
+    }
+
+    /// Mean of all elements → `1×1`.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Tensor::scalar(self.value(x).mean());
+        self.push(v, Op::MeanAll(x))
+    }
+
+    /// Mean softmax cross-entropy of `logits` against integer `targets` → `1×1`.
+    pub fn cross_entropy_logits(&mut self, logits: Var, targets: Arc<Vec<usize>>) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.rows(), targets.len(), "cross_entropy: batch size mismatch");
+        let ls = lv.log_softmax_rows();
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "cross_entropy: target {t} out of {} classes", lv.cols());
+            loss -= ls.get(r, t);
+        }
+        loss /= targets.len().max(1) as f32;
+        self.push(Tensor::scalar(loss), Op::CrossEntropyLogits { logits, targets })
+    }
+
+    /// Reverse sweep from a scalar `loss` node; returns per-node gradients.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be a 1×1 scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for id in (0..=loss.0).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            self.accumulate_adjoints(id, &g, &mut grads);
+            grads[id] = Some(g);
+        }
+
+        let shapes = self.nodes.iter().map(|n| n.value.shape()).collect();
+        Grads { grads, shapes }
+    }
+
+    fn acc(grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
+        match &mut grads[var.0] {
+            Some(g) => g.add_scaled_assign(&delta, 1.0),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    /// Propagate the adjoint `g` of node `id` into its inputs.
+    fn accumulate_adjoints(&self, id: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let node = &self.nodes[id];
+        match &node.op {
+            Op::Input => {}
+            Op::MatMul(a, b) => {
+                let da = g.matmul_tb(self.value(*b));
+                let db = self.value(*a).matmul_ta(g);
+                Self::acc(grads, *a, da);
+                Self::acc(grads, *b, db);
+            }
+            Op::MatMulTb(a, b) => {
+                // C = A·Bᵀ → dA = G·B, dB = Gᵀ·A.
+                let da = g.matmul(self.value(*b));
+                let db = g.matmul_ta(self.value(*a));
+                Self::acc(grads, *a, da);
+                Self::acc(grads, *b, db);
+            }
+            Op::Add(a, b) => {
+                Self::acc(grads, *a, g.clone());
+                Self::acc(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                Self::acc(grads, *a, g.clone());
+                Self::acc(grads, *b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                Self::acc(grads, *a, g.mul(self.value(*b)));
+                Self::acc(grads, *b, g.mul(self.value(*a)));
+            }
+            Op::Scale(a, s) => Self::acc(grads, *a, g.scale(*s)),
+            Op::AddRowBroadcast(x, row) => {
+                Self::acc(grads, *x, g.clone());
+                // Column-sum the adjoint into the 1×d bias.
+                let mut db = Tensor::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (c, &v) in g.row(r).iter().enumerate() {
+                        db.as_mut_slice()[c] += v;
+                    }
+                }
+                Self::acc(grads, *row, db);
+            }
+            Op::Sigmoid(x) => {
+                let s = &node.value;
+                let dx = g.mul(&s.map(|t| t * (1.0 - t)));
+                Self::acc(grads, *x, dx);
+            }
+            Op::Relu(x) => {
+                let mask = self.value(*x).map(|t| if t > 0.0 { 1.0 } else { 0.0 });
+                Self::acc(grads, *x, g.mul(&mask));
+            }
+            Op::LeakyRelu(x, slope) => {
+                let sl = *slope;
+                let mask = self.value(*x).map(|t| if t > 0.0 { 1.0 } else { sl });
+                Self::acc(grads, *x, g.mul(&mask));
+            }
+            Op::Tanh(x) => {
+                let dx = g.mul(&node.value.map(|t| 1.0 - t * t));
+                Self::acc(grads, *x, dx);
+            }
+            Op::SoftmaxRows(x) => {
+                // dX_row = p ⊙ (G_row - (G_row·p) 1)
+                let p = &node.value;
+                let mut dx = Tensor::zeros(p.rows(), p.cols());
+                for r in 0..p.rows() {
+                    let dot: f32 = g.row(r).iter().zip(p.row(r)).map(|(&a, &b)| a * b).sum();
+                    for c in 0..p.cols() {
+                        dx.set(r, c, p.get(r, c) * (g.get(r, c) - dot));
+                    }
+                }
+                Self::acc(grads, *x, dx);
+            }
+            Op::LogSoftmaxRows(x) => {
+                // dX = G - softmax(x) * rowsum(G)
+                let p = self.value(*x).softmax_rows();
+                let mut dx = g.clone();
+                for r in 0..p.rows() {
+                    let rs: f32 = g.row(r).iter().sum();
+                    for c in 0..p.cols() {
+                        let v = dx.get(r, c) - p.get(r, c) * rs;
+                        dx.set(r, c, v);
+                    }
+                }
+                Self::acc(grads, *x, dx);
+            }
+            Op::ConcatCols(a, b) => {
+                let wa = self.value(*a).cols();
+                let mut da = Tensor::zeros(g.rows(), wa);
+                let mut db = Tensor::zeros(g.rows(), g.cols() - wa);
+                for r in 0..g.rows() {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..wa]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[wa..]);
+                }
+                Self::acc(grads, *a, da);
+                Self::acc(grads, *b, db);
+            }
+            Op::ConcatRows(a, b) => {
+                let ha = self.value(*a).rows();
+                let da = Tensor::from_vec(ha, g.cols(), g.as_slice()[..ha * g.cols()].to_vec());
+                let db = Tensor::from_vec(
+                    g.rows() - ha,
+                    g.cols(),
+                    g.as_slice()[ha * g.cols()..].to_vec(),
+                );
+                Self::acc(grads, *a, da);
+                Self::acc(grads, *b, db);
+            }
+            Op::GatherRows(x, idx) => {
+                let xv = self.value(*x);
+                let mut dx = Tensor::zeros(xv.rows(), xv.cols());
+                for (out_r, &src_r) in idx.iter().enumerate() {
+                    for (d, &v) in dx.row_mut(src_r).iter_mut().zip(g.row(out_r)) {
+                        *d += v;
+                    }
+                }
+                Self::acc(grads, *x, dx);
+            }
+            Op::MulRowsByCol(x, col) => {
+                let xv = self.value(*x);
+                let cv = self.value(*col);
+                Self::acc(grads, *x, g.mul_rows_by_col(cv));
+                let mut dc = Tensor::zeros(cv.rows(), 1);
+                for r in 0..xv.rows() {
+                    let dot: f32 = g.row(r).iter().zip(xv.row(r)).map(|(&a, &b)| a * b).sum();
+                    dc.set(r, 0, dot);
+                }
+                Self::acc(grads, *col, dc);
+            }
+            Op::RowL2Normalize(x) => {
+                // y = x/‖x‖ → dx = (g - y (g·y)) / ‖x‖; tiny rows pass through.
+                let xv = self.value(*x);
+                let y = &node.value;
+                let mut dx = Tensor::zeros(xv.rows(), xv.cols());
+                for r in 0..xv.rows() {
+                    let norm = xv.row(r).iter().map(|&v| v * v).sum::<f32>().sqrt();
+                    if norm > Self::NORM_EPS {
+                        let gy: f32 = g.row(r).iter().zip(y.row(r)).map(|(&a, &b)| a * b).sum();
+                        for c in 0..xv.cols() {
+                            dx.set(r, c, (g.get(r, c) - y.get(r, c) * gy) / norm);
+                        }
+                    } else {
+                        dx.row_mut(r).copy_from_slice(g.row(r));
+                    }
+                }
+                Self::acc(grads, *x, dx);
+            }
+            Op::Spmm { x, w, edges, out_rows: _ } => {
+                let xv = self.value(*x);
+                let wslice = w.map(|wv| self.value(wv).as_slice());
+                let mut dx = Tensor::zeros(xv.rows(), xv.cols());
+                let mut dw = w.map(|_| Tensor::zeros(edges.len(), 1));
+                for e in 0..edges.len() {
+                    let (s, t) = (edges.src(e), edges.dst(e));
+                    let we = wslice.map_or(1.0, |ws| ws[e]);
+                    let grow = g.row(t);
+                    if we != 0.0 {
+                        for (d, &v) in dx.row_mut(s).iter_mut().zip(grow) {
+                            *d += we * v;
+                        }
+                    }
+                    if let Some(dwt) = &mut dw {
+                        let dot: f32 = xv.row(s).iter().zip(grow).map(|(&a, &b)| a * b).sum();
+                        dwt.set(e, 0, dot);
+                    }
+                }
+                Self::acc(grads, *x, dx);
+                if let (Some(wv), Some(dwt)) = (w, dw) {
+                    Self::acc(grads, *wv, dwt);
+                }
+            }
+            Op::EdgeSoftmax { scores, edges } => {
+                // Grouped softmax jacobian: ds_e = p_e (g_e - Σ_{e'∈grp} p_e' g_e')
+                let p = &node.value;
+                let n = edges.min_num_nodes();
+                let mut gdot = vec![0.0f32; n];
+                for e in 0..edges.len() {
+                    gdot[edges.dst(e)] += p.as_slice()[e] * g.as_slice()[e];
+                }
+                let mut ds = Tensor::zeros(edges.len(), 1);
+                for e in 0..edges.len() {
+                    let pe = p.as_slice()[e];
+                    ds.set(e, 0, pe * (g.as_slice()[e] - gdot[edges.dst(e)]));
+                }
+                Self::acc(grads, *scores, ds);
+            }
+            Op::Recip(x, _) => {
+                // d(1/(x+e))/dx = -(1/(x+e))² = -out².
+                let dx = g.mul(&node.value.map(|t| -t * t));
+                Self::acc(grads, *x, dx);
+            }
+            Op::SumAll(x) => {
+                let (r, c) = self.value(*x).shape();
+                Self::acc(grads, *x, Tensor::full(r, c, g.item()));
+            }
+            Op::MeanAll(x) => {
+                let (r, c) = self.value(*x).shape();
+                let n = (r * c).max(1) as f32;
+                Self::acc(grads, *x, Tensor::full(r, c, g.item() / n));
+            }
+            Op::CrossEntropyLogits { logits, targets } => {
+                let lv = self.value(*logits);
+                let mut dl = lv.softmax_rows();
+                let n = targets.len().max(1) as f32;
+                for (r, &t) in targets.iter().enumerate() {
+                    let v = dl.get(r, t) - 1.0;
+                    dl.set(r, t, v);
+                }
+                Self::acc(grads, *logits, dl.scale(g.item() / n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check for a scalar function of one input.
+    fn finite_diff_check(
+        input: Tensor,
+        f: impl Fn(&mut Tape, Var) -> Var,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.input(input.clone());
+        let loss = f(&mut tape, x);
+        let analytic = tape.backward(loss).get(x);
+
+        let eps = 1e-3;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+
+            let mut tp = Tape::new();
+            let xp = tp.input(plus);
+            let lp = f(&mut tp, xp);
+            let mut tm = Tape::new();
+            let xm = tm.input(minus);
+            let lm = f(&mut tm, xm);
+
+            let numeric = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            assert!(
+                (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                "element {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let b = Tensor::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1]);
+        finite_diff_check(
+            Tensor::from_vec(2, 3, vec![1.0, -0.5, 0.2, 0.9, 2.0, -1.5]),
+            move |t, x| {
+                let bv = t.input(b.clone());
+                let y = t.matmul(x, bv);
+                t.sum_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_tb() {
+        let b = Tensor::from_vec(4, 3, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1, 0.2, 0.4, -0.9, 1.0, 0.0, 0.6]);
+        finite_diff_check(
+            Tensor::from_vec(2, 3, vec![1.0, -0.5, 0.2, 0.9, 2.0, -1.5]),
+            move |t, x| {
+                let bv = t.input(b.clone());
+                let y = t.matmul_tb(x, bv);
+                let s = t.sigmoid(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sigmoid_relu_tanh_chain() {
+        finite_diff_check(
+            Tensor::from_vec(2, 2, vec![0.3, -0.8, 1.5, -0.1]),
+            |t, x| {
+                let a = t.sigmoid(x);
+                let b = t.tanh(a);
+                let c = t.scale(b, 2.0);
+                t.mean_all(c)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_leaky_relu() {
+        finite_diff_check(
+            Tensor::from_vec(1, 4, vec![0.5, -0.5, 1.2, -2.0]),
+            |t, x| {
+                let y = t.leaky_relu(x, 0.2);
+                t.sum_all(y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        finite_diff_check(
+            Tensor::from_vec(2, 3, vec![0.2, 0.5, -0.1, 1.0, -1.0, 0.0]),
+            |t, x| {
+                let p = t.softmax_rows(x);
+                let sq = t.mul(p, p);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_log_softmax_rows() {
+        finite_diff_check(
+            Tensor::from_vec(2, 3, vec![0.2, 0.5, -0.1, 1.0, -1.0, 0.0]),
+            |t, x| {
+                let p = t.log_softmax_rows(x);
+                let s = t.sigmoid(p);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_gather() {
+        finite_diff_check(
+            Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            |t, x| {
+                let y = t.concat_cols(x, x);
+                let g = t.gather_rows(y, Arc::new(vec![2, 0, 2]));
+                let s = t.tanh(g);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_rows() {
+        finite_diff_check(
+            Tensor::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.4]),
+            |t, x| {
+                let y = t.concat_rows(x, x);
+                let s = t.sigmoid(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_rows_by_col() {
+        let col = Tensor::from_vec(3, 1, vec![0.5, -1.0, 2.0]);
+        finite_diff_check(
+            Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            move |t, x| {
+                let c = t.input(col.clone());
+                let y = t.mul_rows_by_col(x, c);
+                let s = t.tanh(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_rows_by_col_wrt_col() {
+        let x = Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        finite_diff_check(
+            Tensor::from_vec(3, 1, vec![0.5, -1.0, 2.0]),
+            move |t, c| {
+                let xv = t.input(x.clone());
+                let y = t.mul_rows_by_col(xv, c);
+                let s = t.tanh(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_row_l2_normalize() {
+        finite_diff_check(
+            Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.3, 0.7, -0.4]),
+            |t, x| {
+                let y = t.row_l2_normalize(x);
+                let s = t.sigmoid(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_spmm_wrt_features() {
+        let edges = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (0, 2)]).into_shared();
+        let w = Tensor::from_vec(4, 1, vec![0.5, -1.0, 2.0, 0.3]);
+        finite_diff_check(
+            Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            move |t, x| {
+                let wv = t.input(w.clone());
+                let y = t.spmm(edges.clone(), x, Some(wv), 3);
+                let s = t.tanh(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_spmm_wrt_edge_weights() {
+        let edges = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (0, 2)]).into_shared();
+        let x = Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        finite_diff_check(
+            Tensor::from_vec(4, 1, vec![0.5, -1.0, 2.0, 0.3]),
+            move |t, w| {
+                let xv = t.input(x.clone());
+                let y = t.spmm(edges.clone(), xv, Some(w), 3);
+                let s = t.tanh(y);
+                t.sum_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_edge_softmax() {
+        let edges = EdgeList::from_pairs([(0, 1), (2, 1), (1, 0), (2, 0)]).into_shared();
+        finite_diff_check(
+            Tensor::from_vec(4, 1, vec![0.5, -1.0, 2.0, 0.3]),
+            move |t, s| {
+                let p = t.edge_softmax(edges.clone(), s);
+                let sq = t.mul(p, p);
+                t.sum_all(sq)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_recip() {
+        finite_diff_check(
+            Tensor::from_vec(1, 4, vec![0.5, 1.5, 2.0, 0.8]),
+            |t, x| {
+                let r = t.recip(x, 1e-6);
+                t.sum_all(r)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_cross_entropy_logits() {
+        let targets = Arc::new(vec![2usize, 0]);
+        finite_diff_check(
+            Tensor::from_vec(2, 3, vec![0.2, 0.5, -0.1, 1.0, -1.0, 0.0]),
+            move |t, x| t.cross_entropy_logits(x, targets.clone()),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn edge_softmax_groups_sum_to_one() {
+        let mut tape = Tape::new();
+        let edges = EdgeList::from_pairs([(0, 1), (2, 1), (1, 0), (2, 0), (0, 0)]).into_shared();
+        let s = tape.input(Tensor::from_vec(5, 1, vec![3.0, -1.0, 0.5, 0.5, 0.5]));
+        let p = tape.edge_softmax(edges.clone(), s);
+        let pv = tape.value(p);
+        let mut sums = [0.0f32; 2];
+        for e in 0..edges.len() {
+            sums[edges.dst(e)] += pv.as_slice()[e];
+        }
+        assert!((sums[0] - 1.0).abs() < 1e-5);
+        assert!((sums[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fan_out_accumulates_gradients() {
+        // y = x + x → dy/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::scalar(3.0));
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        let g = tape.backward(loss).get(x);
+        assert_eq!(g.item(), 2.0);
+    }
+
+    #[test]
+    fn unused_variable_gets_zero_grad() {
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::scalar(3.0));
+        let unused = tape.input(Tensor::from_vec(2, 2, vec![1.0; 4]));
+        let loss = tape.sum_all(x);
+        let grads = tape.backward(loss);
+        assert!(grads.try_get(unused).is_none());
+        assert_eq!(grads.get(unused), Tensor::zeros(2, 2));
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let mut tape = Tape::new();
+        let logits = tape.input(Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        let loss = tape.cross_entropy_logits(logits, Arc::new(vec![0]));
+        // -log(0.5)
+        assert!((tape.value(loss).item() - 0.5f32.ln().abs()).abs() < 1e-5);
+    }
+}

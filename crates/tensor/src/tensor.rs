@@ -1,0 +1,554 @@
+//! Dense row-major 2-D `f32` tensor.
+//!
+//! All shape mismatches are programming errors in this workspace, so the
+//! arithmetic methods assert shapes and panic with a descriptive message
+//! rather than returning `Result` (the pattern DataFusion uses for kernel
+//! internals: validate at the boundary, assert in the hot path).
+
+/// A dense row-major matrix of `f32`.
+///
+/// Vectors are represented as `n×1` (column) or `1×d` (row) matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Tensor::from_vec: buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// A `1×1` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// The identity matrix `n×n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single element of a `1×1` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not `1×1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 tensor");
+        self.data[0]
+    }
+
+    /// Matrix multiply `self (n×k) · other (k×m) -> n×m`.
+    ///
+    /// Uses the cache-friendly `i-k-j` loop order (the inner loop streams
+    /// over contiguous rows of both the output and `other`).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out.data[i * m..(i + 1) * m];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self (n×k) · other^T (m×k) -> n×m` without materializing the transpose.
+    pub fn matmul_tb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_tb: {}x{} · ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            for j in 0..m {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                out.data[i * m + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T (k×n) · other (k×m) -> n×m` without materializing the transpose.
+    pub fn matmul_ta(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_ta: ({}x{})^T · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * m..(i + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise binary op with shape check.
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "elementwise op: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Apply `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place `self += other * s` (axpy).
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * s;
+        }
+    }
+
+    /// Broadcast-add a `1×d` row vector to every row of an `n×d` matrix.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be 1×d");
+        assert_eq!(self.cols, row.cols, "add_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let dst = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (d, &b) in dst.iter_mut().zip(&row.data) {
+                *d += b;
+            }
+        }
+        out
+    }
+
+    /// Scale each row `i` of an `n×d` matrix by element `i` of an `n×1` column.
+    pub fn mul_rows_by_col(&self, col: &Tensor) -> Tensor {
+        assert_eq!(col.cols, 1, "mul_rows_by_col: rhs must be n×1");
+        assert_eq!(self.rows, col.rows, "mul_rows_by_col: height mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let s = col.data[r];
+            for d in out.row_mut(r) {
+                *d *= s;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column vector (`n×1`) of per-row sums.
+    pub fn sum_rows(&self) -> Tensor {
+        let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
+        Tensor { rows: self.rows, cols: 1, data }
+    }
+
+    /// Row-wise softmax (numerically stable).
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let z: f32 = row.iter().map(|&x| (x - max).exp()).sum();
+            let lse = max + z.ln();
+            for x in row.iter_mut() {
+                *x -= lse;
+            }
+        }
+        out
+    }
+
+    /// L2-normalize each row; rows with norm < `eps` are left untouched.
+    pub fn l2_normalize_rows(&self, eps: f32) -> Tensor {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if norm > eps {
+                for x in row.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Concatenate two matrices side by side (`n×a`, `n×b` → `n×(a+b)`).
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols: height mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Tensor { rows: self.rows, cols, data }
+    }
+
+    /// Stack rows vertically (`a×d`, `b×d` → `(a+b)×d`).
+    pub fn concat_rows(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "concat_rows: width mismatch");
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Select rows by index (duplicates allowed).
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            assert!(i < self.rows, "gather_rows: index {i} out of {} rows", self.rows);
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor { rows: idx.len(), cols: self.cols, data }
+    }
+
+    /// Index of the largest element in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Cosine similarity between row `i` of `self` and row `j` of `other`.
+    pub fn cosine_rows(&self, i: usize, other: &Tensor, j: usize) -> f32 {
+        assert_eq!(self.cols, other.cols, "cosine_rows: width mismatch");
+        let a = self.row(i);
+        let b = other.row(j);
+        let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+        for k in 0..self.cols {
+            dot += a[k] * b[k];
+            na += a[k] * a[k];
+            nb += b[k] * b[k];
+        }
+        let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+        dot / denom
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, t(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_tb_equals_matmul_with_transpose() {
+        let a = t(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = t(4, 3, &[7.0, 8.0, 9.0, 1.0, -1.0, 2.0, 0.0, 3.0, 4.0, 2.0, 2.0, 2.0]);
+        assert_eq!(a.matmul_tb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_ta_equals_matmul_with_transpose() {
+        let a = t(3, 2, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = t(3, 4, &[7.0, 8.0, 9.0, 1.0, -1.0, 2.0, 0.0, 3.0, 4.0, 2.0, 2.0, 2.0]);
+        assert_eq!(a.matmul_ta(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = t(1, 3, &[1000.0, 1001.0, 1002.0]);
+        let s = a.softmax_rows();
+        assert!(s.all_finite());
+        let b = t(1, 3, &[0.0, 1.0, 2.0]).softmax_rows();
+        for k in 0..3 {
+            assert!((s.get(0, k) - b.get(0, k)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = t(2, 4, &[0.3, -1.2, 2.0, 0.0, 5.0, 5.0, 5.0, 5.0]);
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            for c in 0..4 {
+                assert!((ls.get(r, c) - s.get(r, c).ln()).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn l2_normalize_gives_unit_rows() {
+        let a = t(2, 2, &[3.0, 4.0, 0.0, 0.0]);
+        let n = a.l2_normalize_rows(1e-12);
+        assert!((n.row(0).iter().map(|x| x * x).sum::<f32>() - 1.0).abs() < 1e-6);
+        // zero row untouched
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_and_gather() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(2, 1, &[9.0, 8.0]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c, t(2, 3, &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]));
+        let g = c.gather_rows(&[1, 1, 0]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[3.0, 4.0, 8.0]);
+        assert_eq!(g.row(2), &[1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn broadcast_and_row_scaling() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let r = t(1, 2, &[10.0, 20.0]);
+        assert_eq!(a.add_row_broadcast(&r), t(2, 2, &[11.0, 22.0, 13.0, 24.0]));
+        let c = t(2, 1, &[2.0, -1.0]);
+        assert_eq!(a.mul_rows_by_col(&c), t(2, 2, &[2.0, 4.0, -3.0, -4.0]));
+    }
+
+    #[test]
+    fn argmax_and_cosine() {
+        let a = t(2, 3, &[0.1, 0.9, 0.0, 3.0, 1.0, 2.0]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+        let b = t(1, 3, &[0.2, 1.8, 0.0]);
+        assert!((a.cosine_rows(0, &b, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests: algebra laws and randomized finite-difference
+//! gradient checks over arbitrary shapes.
+
+
+use gp_tensor::{EdgeList, Tape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+fn shape_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..5, 1usize..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (n, k) in shape_strategy(),
+        m in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut mk = |r: usize, c: usize| {
+            Tensor::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        };
+        let a = mk(n, k);
+        let b = mk(n, k);
+        let c = mk(k, m);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution((n, m) in shape_strategy(), t in (1usize..5, 1usize..5).prop_flat_map(|(r, c)| tensor_strategy(r, c))) {
+        let _ = (n, m);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in (1usize..6, 2usize..6).prop_flat_map(|(r, c)| tensor_strategy(r, c))) {
+        let s = t.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn gather_rows_preserves_content(
+        t in (2usize..6, 1usize..4).prop_flat_map(|(r, c)| tensor_strategy(r, c)),
+        idx_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(idx_seed);
+        let idx: Vec<usize> = (0..4).map(|_| rng.gen_range(0..t.rows())).collect();
+        let g = t.gather_rows(&idx);
+        for (out_r, &src_r) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(out_r), t.row(src_r));
+        }
+    }
+
+    #[test]
+    fn linear_layer_gradient_matches_finite_difference(
+        x in tensor_strategy(2, 3),
+        w in tensor_strategy(3, 2),
+    ) {
+        let eval = |xv: &Tensor, wv: &Tensor| -> (f32, Tensor) {
+            let mut tape = Tape::new();
+            let xi = tape.input(xv.clone());
+            let wi = tape.input(wv.clone());
+            let y = tape.matmul(xi, wi);
+            let s = tape.tanh(y);
+            let loss = tape.mean_all(s);
+            let g = tape.backward(loss).get(wi);
+            (tape.value(loss).item(), g)
+        };
+        let (_, analytic) = eval(&x, &w);
+        let eps = 1e-2f32;
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let (lp, _) = eval(&x, &wp);
+            let (lm, _) = eval(&x, &wm);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            prop_assert!((a - numeric).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "elem {}: analytic {} numeric {}", i, a, numeric);
+        }
+    }
+
+    #[test]
+    fn spmm_without_weights_equals_unit_weights(
+        x in tensor_strategy(4, 3),
+    ) {
+        let edges = EdgeList::from_pairs([(0u32, 1u32), (2, 3), (3, 0), (1, 1), (2, 0)]).into_shared();
+        let mut t1 = Tape::new();
+        let xi = t1.input(x.clone());
+        let y1 = t1.spmm(edges.clone(), xi, None, 4);
+        let mut t2 = Tape::new();
+        let xi2 = t2.input(x.clone());
+        let ones = t2.input(Tensor::full(edges.len(), 1, 1.0));
+        let y2 = t2.spmm(edges.clone(), xi2, Some(ones), 4);
+        prop_assert_eq!(t1.value(y1).clone(), t2.value(y2).clone());
+    }
+
+    #[test]
+    fn l2_normalized_rows_are_unit_or_zero(t in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| tensor_strategy(r, c))) {
+        let n = t.l2_normalize_rows(1e-8);
+        for r in 0..n.rows() {
+            let norm: f32 = n.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-4);
+        }
+    }
+}
+
+/// Random edge-list strategy over `n` nodes.
+fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n as u32, 0..n as u32), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spmm_edge_weight_gradients_match_finite_difference(
+        pairs in edges_strategy(4),
+        x in tensor_strategy(4, 2),
+        w_raw in proptest::collection::vec(-1.0f32..1.0, 12),
+    ) {
+        let edges = EdgeList::from_pairs(pairs.clone()).into_shared();
+        let e = edges.len();
+        let w = Tensor::from_vec(e, 1, w_raw[..e].to_vec());
+
+        let eval = |wv: &Tensor| -> (f32, Tensor) {
+            let mut tape = Tape::new();
+            let xi = tape.input(x.clone());
+            let wi = tape.input(wv.clone());
+            let y = tape.spmm(edges.clone(), xi, Some(wi), 4);
+            let s = tape.tanh(y);
+            let loss = tape.mean_all(s);
+            let g = tape.backward(loss).get(wi);
+            (tape.value(loss).item(), g)
+        };
+        let (_, analytic) = eval(&w);
+        let eps = 1e-2f32;
+        for i in 0..e {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[i] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[i] -= eps;
+            let numeric = (eval(&wp).0 - eval(&wm).0) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            prop_assert!((a - numeric).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "edge {}: analytic {} numeric {}", i, a, numeric);
+        }
+    }
+
+    #[test]
+    fn edge_softmax_gradients_match_finite_difference(
+        pairs in edges_strategy(3),
+        s_raw in proptest::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        let edges = EdgeList::from_pairs(pairs).into_shared();
+        let e = edges.len();
+        let scores = Tensor::from_vec(e, 1, s_raw[..e].to_vec());
+
+        let eval = |sv: &Tensor| -> (f32, Tensor) {
+            let mut tape = Tape::new();
+            let si = tape.input(sv.clone());
+            let p = tape.edge_softmax(edges.clone(), si);
+            let sq = tape.mul(p, p);
+            let loss = tape.sum_all(sq);
+            let g = tape.backward(loss).get(si);
+            (tape.value(loss).item(), g)
+        };
+        let (_, analytic) = eval(&scores);
+        let eps = 1e-2f32;
+        for i in 0..e {
+            let mut sp = scores.clone();
+            sp.as_mut_slice()[i] += eps;
+            let mut sm = scores.clone();
+            sm.as_mut_slice()[i] -= eps;
+            let numeric = (eval(&sp).0 - eval(&sm).0) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            prop_assert!((a - numeric).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "edge {}: analytic {} numeric {}", i, a, numeric);
+        }
+    }
+
+    #[test]
+    fn edge_softmax_is_shift_invariant_per_group(
+        pairs in edges_strategy(3),
+        s_raw in proptest::collection::vec(-2.0f32..2.0, 12),
+        shift in -5.0f32..5.0,
+    ) {
+        let edges = EdgeList::from_pairs(pairs).into_shared();
+        let e = edges.len();
+        let scores = Tensor::from_vec(e, 1, s_raw[..e].to_vec());
+        let run = |sv: &Tensor| {
+            let mut tape = Tape::new();
+            let si = tape.input(sv.clone());
+            let p = tape.edge_softmax(edges.clone(), si);
+            tape.value(p).clone()
+        };
+        let base = run(&scores);
+        let shifted = run(&scores.map(|x| x + shift));
+        for (a, b) in base.as_slice().iter().zip(shifted.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Bring your own graph: author a dataset in the three-file TSV format,
+//! load it, pre-train, and run in-context inference on it.
+//!
+//! ```text
+//! cargo run --release --example custom_dataset
+//! ```
+//!
+//! The same format is what `gp export --dataset <preset> --dir <dir>`
+//! produces, so any external pipeline that can write TSV can feed this
+//! library.
+
+use graphprompter::core::{
+    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig,
+    PretrainConfig, StageConfig,
+};
+use graphprompter::datasets::{load_dataset, save_dataset, CitationConfig};
+
+fn main() {
+    let dir = std::env::temp_dir().join("gp_custom_dataset_example");
+    std::fs::create_dir_all(&dir).expect("create example dir");
+
+    // 1. Produce a dataset in the interchange format. Here we export a
+    //    generated one; in practice you would write meta.tsv / nodes.tsv /
+    //    edges.tsv from your own data (see gp_datasets::io for the spec).
+    let original = CitationConfig::new("my-graph", 600, 6, 42).generate();
+    save_dataset(&original, &dir).expect("export");
+    println!("wrote {}", dir.display());
+    for f in ["meta.tsv", "nodes.tsv", "edges.tsv"] {
+        let len = std::fs::metadata(dir.join(f)).map(|m| m.len()).unwrap_or(0);
+        println!("  {f:<10} {len:>8} bytes");
+    }
+
+    // 2. Load it back — this path exercises exactly what a user-authored
+    //    directory would go through (validation included).
+    let ds = load_dataset(&dir).expect("import");
+    println!(
+        "\nloaded '{}': {} nodes, {} edges, {} classes, splits {}/{}/{}",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.num_classes,
+        ds.train.len(),
+        ds.valid.len(),
+        ds.test.len()
+    );
+
+    // 3. Pre-train on it and evaluate in-context (here source == target;
+    //    point `evaluate_episodes` at any other loaded dataset for the
+    //    cross-domain setting).
+    let mut model = GraphPrompterModel::new(ModelConfig::default());
+    let cfg = PretrainConfig { steps: 150, ..PretrainConfig::default() };
+    pretrain(&mut model, &ds, &cfg, StageConfig::full());
+    let accs = evaluate_episodes(&model, &ds, 4, 30, 3, &InferenceConfig::default());
+    let mean = accs.iter().sum::<f32>() / accs.len() as f32;
+    println!("\n4-way in-context accuracy on the imported graph: {mean:.1}% (chance 25%)");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,247 @@
+//! `gp` — command-line interface to the GraphPrompter reproduction.
+//!
+//! ```text
+//! gp datasets                               # preset statistics
+//! gp pretrain  --source wiki --steps 400 --out model.gpck
+//! gp evaluate  --model model.gpck --dataset fb15k237 --ways 10 [--episodes 5]
+//!              [--prodigy]                  # random-selection baseline stages
+//! gp episode   --model model.gpck --dataset conceptnet --ways 4 [--seed 7]
+//! gp export    --dataset arxiv --dir ./my_arxiv       # dump to TSV
+//! ```
+//!
+//! `evaluate`/`episode` also accept `--dataset-path <dir>` to run on a
+//! directory in the `gp export` TSV format (bring your own graph).
+//!
+//! Dataset names: mag240m, wiki, arxiv, conceptnet, fb15k237, nell.
+
+use graphprompter::core::{
+    pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
+};
+use graphprompter::datasets::{presets, sample_few_shot_task, Dataset, Task};
+use graphprompter::eval::{ConfusionMatrix, MeanStd, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let result = match cmd {
+        "datasets" => datasets(has_flag(&args[1..], "--detail")),
+        "pretrain" => pretrain_cmd(&args[1..]),
+        "evaluate" => evaluate_cmd(&args[1..]),
+        "episode" => episode_cmd(&args[1..]),
+        "export" => export_cmd(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: gp <datasets|pretrain|evaluate|episode|export> [flags]\n\
+                 see the module docs in src/bin/gp.rs for flag details"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Resolve a dataset: a preset name, or a directory path previously
+/// written by `gp export` (or hand-authored in the same TSV format).
+fn resolve_dataset(args: &[String], seed: u64) -> Result<Dataset, String> {
+    if let Some(path) = flag(args, "--dataset-path") {
+        return graphprompter::datasets::load_dataset(&path)
+            .map_err(|e| format!("loading {path}: {e}"));
+    }
+    let name = flag(args, "--dataset").ok_or("missing --dataset <name> or --dataset-path <dir>")?;
+    dataset_by_name(&name, seed)
+}
+
+fn dataset_by_name(name: &str, seed: u64) -> Result<Dataset, String> {
+    Ok(match name {
+        "mag240m" => presets::mag240m_like(seed),
+        "wiki" => presets::wiki_like(seed),
+        "arxiv" => presets::arxiv_like(seed),
+        "conceptnet" => presets::conceptnet_like(seed),
+        "fb15k237" => presets::fb15k237_like(seed),
+        "nell" => presets::nell_like(seed),
+        other => return Err(format!("unknown dataset '{other}'")),
+    })
+}
+
+fn datasets(detail: bool) -> CliResult {
+    let mut table = Table::new(
+        "Preset datasets (paper Table II stand-ins)",
+        &["Name", "Task", "Nodes", "Edges", "Classes", "Train/Valid/Test"],
+    );
+    let mut details = Table::new(
+        "Structure",
+        &["Name", "MeanDeg", "MaxDeg", "Isolated", "Components", "LargestCC", "Homophily"],
+    );
+    for name in ["mag240m", "wiki", "arxiv", "conceptnet", "fb15k237", "nell"] {
+        let ds = dataset_by_name(name, 0)?;
+        table.row(&[
+            ds.name.clone(),
+            match ds.task {
+                Task::NodeClassification => "node".into(),
+                Task::EdgeClassification => "edge".into(),
+            },
+            ds.graph.num_nodes().to_string(),
+            ds.graph.num_edges().to_string(),
+            ds.num_classes.to_string(),
+            format!("{}/{}/{}", ds.train.len(), ds.valid.len(), ds.test.len()),
+        ]);
+        if detail {
+            let s = graphprompter::graph::graph_stats(&ds.graph);
+            details.row(&[
+                ds.name.clone(),
+                format!("{:.2}", s.mean_degree),
+                s.max_degree.to_string(),
+                s.isolated.to_string(),
+                s.components.to_string(),
+                format!("{:.2}", s.largest_component_frac),
+                s.homophily.map_or("-".into(), |h| format!("{h:.2}")),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    if detail {
+        println!("{}", details.to_markdown());
+    }
+    Ok(())
+}
+
+fn pretrain_cmd(args: &[String]) -> CliResult {
+    let source = flag(args, "--source").ok_or("missing --source <dataset>")?;
+    let out = flag(args, "--out").unwrap_or_else(|| "model.gpck".into());
+    let steps: usize = flag(args, "--steps")
+        .unwrap_or_else(|| "400".into())
+        .parse()
+        .map_err(|_| "--steps must be an integer")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed must be an integer")?;
+
+    let ds = dataset_by_name(&source, seed)?;
+    let mut model = GraphPrompterModel::new(ModelConfig { seed, ..ModelConfig::default() });
+    let cfg = PretrainConfig { steps, seed, ..PretrainConfig::default() };
+    eprintln!("pre-training on {} for {steps} steps...", ds.name);
+    let started = std::time::Instant::now();
+    let curve = pretrain(&mut model, &ds, &cfg, StageConfig::full());
+    eprintln!(
+        "done in {:?}; loss {:.3} → {:.3}, train acc {:.2}",
+        started.elapsed(),
+        curve.loss.first().copied().unwrap_or(f32::NAN),
+        curve.loss.last().copied().unwrap_or(f32::NAN),
+        curve.accuracy.last().copied().unwrap_or(f32::NAN),
+    );
+    model.save(&out).map_err(|e| e.to_string())?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn load_model(args: &[String]) -> Result<GraphPrompterModel, String> {
+    let path = flag(args, "--model").ok_or("missing --model <checkpoint>")?;
+    GraphPrompterModel::load(&path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn evaluate_cmd(args: &[String]) -> CliResult {
+    let model = load_model(args)?;
+    let ways: usize = flag(args, "--ways")
+        .ok_or("missing --ways <m>")?
+        .parse()
+        .map_err(|_| "--ways must be an integer")?;
+    let episodes: usize = flag(args, "--episodes")
+        .unwrap_or_else(|| "5".into())
+        .parse()
+        .map_err(|_| "--episodes must be an integer")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed must be an integer")?;
+
+    let ds = resolve_dataset(args, seed)?;
+    let stages = if has_flag(args, "--prodigy") {
+        StageConfig::prodigy()
+    } else if ds.task == Task::NodeClassification {
+        StageConfig::without_augmenter()
+    } else {
+        StageConfig::full()
+    };
+    let cfg = InferenceConfig { stages, seed, ..InferenceConfig::default() };
+    let accs = graphprompter::core::evaluate_episodes(&model, &ds, ways, 50, episodes, &cfg);
+    println!(
+        "{} {}-way, {} episodes: {}% (chance {:.1}%)",
+        ds.name,
+        ways,
+        episodes,
+        MeanStd::of(&accs),
+        100.0 / ways as f32
+    );
+    Ok(())
+}
+
+fn episode_cmd(args: &[String]) -> CliResult {
+    let model = load_model(args)?;
+    let ways: usize = flag(args, "--ways")
+        .ok_or("missing --ways <m>")?
+        .parse()
+        .map_err(|_| "--ways must be an integer")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed must be an integer")?;
+
+    let ds = resolve_dataset(args, 0)?;
+    let cfg = InferenceConfig { seed, ..InferenceConfig::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let task = sample_few_shot_task(&ds, ways, cfg.candidates_per_class, 50, &mut rng);
+    let res = graphprompter::core::run_episode(&model, &ds, &task, &cfg);
+    println!(
+        "{} {}-way episode: {}/{} correct ({:.1}%), {:.0} µs/query",
+        ds.name,
+        ways,
+        res.correct,
+        res.total,
+        100.0 * res.accuracy(),
+        res.per_query_micros
+    );
+    let cm = ConfusionMatrix::new(&res.query_labels, &res.predictions, ways);
+    println!("macro-F1 {:.3}", cm.macro_f1());
+    let mut table = Table::new("Per-class recall/precision", &["Class", "Recall", "Precision"]);
+    for c in 0..ways {
+        table.row(&[
+            task.classes[c].to_string(),
+            format!("{:.2}", cm.recall(c)),
+            format!("{:.2}", cm.precision(c)),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    Ok(())
+}
+
+fn export_cmd(args: &[String]) -> CliResult {
+    let name = flag(args, "--dataset").ok_or("missing --dataset <name>")?;
+    let dir = flag(args, "--dir").ok_or("missing --dir <path>")?;
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed must be an integer")?;
+    let ds = dataset_by_name(&name, seed)?;
+    graphprompter::datasets::save_dataset(&ds, &dir).map_err(|e| e.to_string())?;
+    println!("{} exported to {dir} (meta.tsv, nodes.tsv, edges.tsv)", ds.name);
+    Ok(())
+}

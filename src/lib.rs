@@ -1,0 +1,37 @@
+//! # graphprompter
+//!
+//! Facade crate for the GraphPrompter reproduction (Lv et al., *“GraphPrompter:
+//! Multi-stage Adaptive Prompt Optimization for Graph In-Context Learning”*,
+//! ICDE 2025). Re-exports the workspace crates under stable paths:
+//!
+//! * [`tensor`] — dense tensors + tape autodiff ([`gp_tensor`])
+//! * [`graph`] — multi-relational graphs and sampling ([`gp_graph`])
+//! * [`nn`] — layers, optimizers, GNNs ([`gp_nn`])
+//! * [`datasets`] — synthetic benchmark generators ([`gp_datasets`])
+//! * [`core`] — the GraphPrompter method ([`gp_core`])
+//! * [`baselines`] — comparison methods ([`gp_baselines`])
+//! * [`eval`] — metrics, t-SNE, tables ([`gp_eval`])
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow and DESIGN.md for
+//! the system inventory.
+
+pub use gp_baselines as baselines;
+pub use gp_core as core;
+pub use gp_datasets as datasets;
+pub use gp_eval as eval;
+pub use gp_graph as graph;
+pub use gp_nn as nn;
+pub use gp_tensor as tensor;
+
+/// Workspace version, from the facade crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _ = crate::tensor::Tensor::zeros(1, 1);
+        let _ = crate::core::StageConfig::full();
+        assert!(!crate::VERSION.is_empty());
+    }
+}
