@@ -115,7 +115,11 @@ impl Contrastive {
             "gcl",
             &[source.graph.feature_dim(), cfg.hidden_dim, cfg.embed_dim],
         );
-        let mut this = Self { store, encoder, cfg };
+        let mut this = Self {
+            store,
+            encoder,
+            cfg,
+        };
         this.run_pretraining(source);
         this
     }
@@ -162,8 +166,11 @@ impl Contrastive {
             }
             let maskv = sess.data(mask);
             let logits = sess.tape.add(scaled, maskv);
-            let targets: Arc<Vec<usize>> =
-                Arc::new((0..n).map(|i| if i % 2 == 0 { i + 1 } else { i - 1 }).collect());
+            let targets: Arc<Vec<usize>> = Arc::new(
+                (0..n)
+                    .map(|i| if i % 2 == 0 { i + 1 } else { i - 1 })
+                    .collect(),
+            );
             let loss = sess.tape.cross_entropy_logits(logits, targets);
             let (_, grads) = sess.grads(loss);
             opt.step(&mut self.store, &grads);
@@ -279,8 +286,7 @@ impl IclBaseline for Contrastive {
         let sampler = RandomWalkSampler::new(protocol.sampler);
         (0..episodes)
             .map(|i| {
-                let mut rng =
-                    StdRng::seed_from_u64(protocol.seed.wrapping_add(i as u64 * 7919));
+                let mut rng = StdRng::seed_from_u64(protocol.seed.wrapping_add(i as u64 * 7919));
                 let task = gp_datasets::sample_few_shot_task(
                     dataset,
                     ways,
@@ -290,8 +296,7 @@ impl IclBaseline for Contrastive {
                 );
                 let (p_points, p_labels): (Vec<_>, Vec<_>) =
                     task.candidates.iter().copied().unzip();
-                let (q_points, q_labels): (Vec<_>, Vec<_>) =
-                    task.queries.iter().copied().unzip();
+                let (q_points, q_labels): (Vec<_>, Vec<_>) = task.queries.iter().copied().unzip();
                 let p_embs =
                     self.embed(&dataset.graph, &sampler, &p_points, dataset.task, &mut rng);
                 let q_embs =
@@ -344,9 +349,21 @@ mod tests {
     #[test]
     fn pretrained_contrastive_beats_chance_in_domain() {
         let ds = CitationConfig::new("t", 300, 4, 2).generate();
-        let cfg = ContrastiveConfig { steps: 60, batch_size: 6, ..ContrastiveConfig::default() };
+        let cfg = ContrastiveConfig {
+            steps: 60,
+            batch_size: 6,
+            ..ContrastiveConfig::default()
+        };
         let model = Contrastive::pretrain(&ds, cfg);
-        let accs = model.evaluate(&ds, 3, 3, &EvalProtocol { queries: 15, ..EvalProtocol::default() });
+        let accs = model.evaluate(
+            &ds,
+            3,
+            3,
+            &EvalProtocol {
+                queries: 15,
+                ..EvalProtocol::default()
+            },
+        );
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
         assert!(mean > 40.0, "contrastive mean {mean}%");
     }

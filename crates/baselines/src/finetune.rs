@@ -25,7 +25,11 @@ pub struct Finetune {
 impl Finetune {
     /// Wrap a pre-trained contrastive encoder.
     pub fn new(encoder: Contrastive) -> Self {
-        Self { encoder, head_steps: 120, head_lr: 0.05 }
+        Self {
+            encoder,
+            head_steps: 120,
+            head_lr: 0.05,
+        }
     }
 
     /// Train a linear head on `(embeddings, labels)` and return its
@@ -84,14 +88,13 @@ impl IclBaseline for Finetune {
                 );
                 let (p_points, p_labels): (Vec<_>, Vec<_>) =
                     task.candidates.iter().copied().unzip();
-                let (q_points, q_labels): (Vec<_>, Vec<_>) =
-                    task.queries.iter().copied().unzip();
-                let p_embs = self
-                    .encoder
-                    .embed(&dataset.graph, &sampler, &p_points, dataset.task, &mut rng);
-                let q_embs = self
-                    .encoder
-                    .embed(&dataset.graph, &sampler, &q_points, dataset.task, &mut rng);
+                let (q_points, q_labels): (Vec<_>, Vec<_>) = task.queries.iter().copied().unzip();
+                let p_embs =
+                    self.encoder
+                        .embed(&dataset.graph, &sampler, &p_points, dataset.task, &mut rng);
+                let q_embs =
+                    self.encoder
+                        .embed(&dataset.graph, &sampler, &q_points, dataset.task, &mut rng);
                 let preds = self.fit_predict(&p_embs, &p_labels, &q_embs, ways, seed);
                 let correct = preds.iter().zip(&q_labels).filter(|(a, b)| a == b).count();
                 100.0 * correct as f32 / q_labels.len().max(1) as f32
@@ -111,7 +114,10 @@ mod tests {
         let ds = CitationConfig::new("t", 200, 3, 51).generate();
         let enc = Contrastive::pretrain(
             &ds,
-            ContrastiveConfig { steps: 10, ..ContrastiveConfig::default() },
+            ContrastiveConfig {
+                steps: 10,
+                ..ContrastiveConfig::default()
+            },
         );
         let ft = Finetune::new(enc);
         let p = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9]);
@@ -125,10 +131,22 @@ mod tests {
         let ds = CitationConfig::new("t", 250, 4, 52).generate();
         let enc = Contrastive::pretrain(
             &ds,
-            ContrastiveConfig { steps: 40, batch_size: 6, ..ContrastiveConfig::default() },
+            ContrastiveConfig {
+                steps: 40,
+                batch_size: 6,
+                ..ContrastiveConfig::default()
+            },
         );
         let ft = Finetune::new(enc);
-        let accs = ft.evaluate(&ds, 3, 2, &EvalProtocol { queries: 12, ..EvalProtocol::default() });
+        let accs = ft.evaluate(
+            &ds,
+            3,
+            2,
+            &EvalProtocol {
+                queries: 12,
+                ..EvalProtocol::default()
+            },
+        );
         assert_eq!(accs.len(), 2);
         assert!(accs.iter().all(|a| (0.0..=100.0).contains(a)));
     }

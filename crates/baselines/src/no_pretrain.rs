@@ -15,7 +15,9 @@ pub struct NoPretrain {
 impl NoPretrain {
     /// Build with fresh random weights.
     pub fn new(cfg: ModelConfig) -> Self {
-        Self { model: GraphPrompterModel::new(cfg) }
+        Self {
+            model: GraphPrompterModel::new(cfg),
+        }
     }
 
     /// Access the wrapped (untrained) model.
@@ -56,8 +58,20 @@ mod tests {
     #[test]
     fn runs_near_chance() {
         let ds = CitationConfig::new("t", 300, 5, 9).generate();
-        let b = NoPretrain::new(ModelConfig { embed_dim: 16, hidden_dim: 24, ..ModelConfig::default() });
-        let accs = b.evaluate(&ds, 5, 4, &EvalProtocol { queries: 20, ..EvalProtocol::default() });
+        let b = NoPretrain::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..ModelConfig::default()
+        });
+        let accs = b.evaluate(
+            &ds,
+            5,
+            4,
+            &EvalProtocol {
+                queries: 20,
+                ..EvalProtocol::default()
+            },
+        );
         assert_eq!(accs.len(), 4);
         let mean = accs.iter().sum::<f32>() / 4.0;
         // Untrained models can be above chance (features carry signal even

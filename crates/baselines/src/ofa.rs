@@ -15,9 +15,7 @@
 //! the correct qualitative behaviour: between NoPretrain and Prodigy on
 //! average, with larger episode-to-episode variance.
 
-use gp_core::{
-    pretrain, GraphPrompterModel, ModelConfig, PretrainConfig, StageConfig,
-};
+use gp_core::{pretrain, GraphPrompterModel, ModelConfig, PretrainConfig, StageConfig};
 use gp_datasets::Dataset;
 
 use crate::{EvalProtocol, IclBaseline, Prodigy};
@@ -80,15 +78,31 @@ mod tests {
             ways: 4,
             shots: 2,
             queries: 4,
-            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            },
             ..PretrainConfig::default()
         };
         let ofa = Ofa::pretrain(
             &source,
-            ModelConfig { embed_dim: 16, hidden_dim: 24, ..ModelConfig::default() },
+            ModelConfig {
+                embed_dim: 16,
+                hidden_dim: 24,
+                ..ModelConfig::default()
+            },
             &pre,
         );
-        let accs = ofa.evaluate(&target, 3, 2, &EvalProtocol { queries: 9, ..EvalProtocol::default() });
+        let accs = ofa.evaluate(
+            &target,
+            3,
+            2,
+            &EvalProtocol {
+                queries: 9,
+                ..EvalProtocol::default()
+            },
+        );
         assert_eq!(accs.len(), 2);
         assert!(accs.iter().all(|a| (0.0..=100.0).contains(a)));
     }

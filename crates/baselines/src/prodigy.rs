@@ -84,16 +84,32 @@ mod tests {
             ways: 4,
             shots: 2,
             queries: 4,
-            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            },
             ..PretrainConfig::default()
         };
         let prodigy = Prodigy::pretrain(
             &source,
-            ModelConfig { embed_dim: 16, hidden_dim: 24, ..ModelConfig::default() },
+            ModelConfig {
+                embed_dim: 16,
+                hidden_dim: 24,
+                ..ModelConfig::default()
+            },
             &pre,
         );
         assert!(!prodigy.training_curve().loss.is_empty());
-        let accs = prodigy.evaluate(&target, 3, 3, &EvalProtocol { queries: 12, ..EvalProtocol::default() });
+        let accs = prodigy.evaluate(
+            &target,
+            3,
+            3,
+            &EvalProtocol {
+                queries: 12,
+                ..EvalProtocol::default()
+            },
+        );
         assert_eq!(accs.len(), 3);
         assert!(accs.iter().all(|a| (0.0..=100.0).contains(a)));
     }

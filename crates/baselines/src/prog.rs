@@ -48,7 +48,11 @@ pub struct ProG {
 impl ProG {
     /// Wrap a pre-trained encoder.
     pub fn new(encoder: Contrastive) -> Self {
-        Self { encoder, tune_steps: 40, tune_lr: 4.0 }
+        Self {
+            encoder,
+            tune_steps: 40,
+            tune_lr: 4.0,
+        }
     }
 
     /// Tune a prompt token on the episode's shots; return query predictions.
@@ -85,7 +89,10 @@ impl ProG {
         let token = store.add("prog.tokens", Tensor::zeros(ways, d));
         // Class-prototype readout: prompt i → class p_labels[i], mean-pooled.
         let proto_edges = EdgeList::from_pairs(
-            p_labels.iter().enumerate().map(|(i, &l)| (i as u32, l as u32)),
+            p_labels
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (i as u32, l as u32)),
         )
         .into_shared();
         let mut counts = vec![0f32; ways];
@@ -111,17 +118,14 @@ impl ProG {
             let x = sess.tape.add(base, tok_rows);
             let z = self.encoder.embed_from_var(&mut sess, x, &p_batch);
             let w = sess.data(proto_w.clone());
-            let protos = sess
-                .tape
-                .spmm(proto_edges.clone(), z, Some(w), ways);
+            let protos = sess.tape.spmm(proto_edges.clone(), z, Some(w), ways);
             let protos = sess.tape.row_l2_normalize(protos);
             let cos = sess.tape.matmul_tb(z, protos);
             let logits = sess.tape.scale(cos, 10.0);
             let loss = sess.tape.cross_entropy_logits(logits, targets.clone());
             let (_, grads) = sess.grads(loss);
             // Only the token moves: the encoder stays frozen.
-            let token_grads: Vec<_> =
-                grads.into_iter().filter(|(id, _)| *id == token).collect();
+            let token_grads: Vec<_> = grads.into_iter().filter(|(id, _)| *id == token).collect();
             opt.step(&mut store, &token_grads);
         }
 
@@ -177,8 +181,7 @@ impl IclBaseline for ProG {
         let sampler = RandomWalkSampler::new(protocol.sampler);
         (0..episodes)
             .map(|i| {
-                let mut rng =
-                    StdRng::seed_from_u64(protocol.seed.wrapping_add(i as u64 * 7919));
+                let mut rng = StdRng::seed_from_u64(protocol.seed.wrapping_add(i as u64 * 7919));
                 let task = gp_datasets::sample_few_shot_task(
                     dataset,
                     ways,
@@ -205,10 +208,22 @@ mod tests {
         let ds = CitationConfig::new("t", 250, 4, 61).generate();
         let enc = Contrastive::pretrain(
             &ds,
-            ContrastiveConfig { steps: 30, batch_size: 6, ..ContrastiveConfig::default() },
+            ContrastiveConfig {
+                steps: 30,
+                batch_size: 6,
+                ..ContrastiveConfig::default()
+            },
         );
         let prog = ProG::new(enc);
-        let accs = prog.evaluate(&ds, 3, 2, &EvalProtocol { queries: 9, ..EvalProtocol::default() });
+        let accs = prog.evaluate(
+            &ds,
+            3,
+            2,
+            &EvalProtocol {
+                queries: 9,
+                ..EvalProtocol::default()
+            },
+        );
         assert_eq!(accs.len(), 2);
         assert!(accs.iter().all(|a| (0.0..=100.0).contains(a)));
     }

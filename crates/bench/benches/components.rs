@@ -66,9 +66,11 @@ fn bench_selector(c: &mut Criterion) {
     c.bench_function("selector_vote_400_candidates", |b| {
         b.iter(|| {
             let mut r = StdRng::seed_from_u64(5);
-            select_prompts(&prompts, &imps, &labels, &queries, &q_imps, 40, 3, true, true, &mut r)
-                .selected
-                .len()
+            select_prompts(
+                &prompts, &imps, &labels, &queries, &q_imps, 40, 3, true, true, &mut r,
+            )
+            .selected
+            .len()
         });
     });
 }
@@ -96,7 +98,9 @@ fn bench_sampler(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(6);
             let mut total = 0usize;
             for a in 0..100u32 {
-                total += sampler.sample(&ds.graph, &[a * 13 % 2600], &mut rng).num_nodes();
+                total += sampler
+                    .sample(&ds.graph, &[a * 13 % 2600], &mut rng)
+                    .num_nodes();
             }
             total
         });

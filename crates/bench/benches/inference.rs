@@ -10,7 +10,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_inference(c: &mut Criterion) {
-    let suite = Suite { pre_steps: 120, episodes: 1, queries: 10, seed: 0 };
+    let suite = Suite {
+        pre_steps: 120,
+        episodes: 1,
+        queries: 10,
+        seed: 0,
+    };
     let wiki = presets::wiki_like(0);
     let fb = presets::fb15k237_like(0);
     let gp = GraphPrompterMethod::pretrain(&wiki, &suite);

@@ -19,7 +19,11 @@ use gp_eval::MeanStd;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let suite = if smoke { Suite::smoke() } else { Suite::default() };
+    let suite = if smoke {
+        Suite::smoke()
+    } else {
+        Suite::default()
+    };
     let which = args.first().map(String::as_str).unwrap_or("help");
 
     match which {

@@ -3,9 +3,7 @@
 //! reproduction's own design choices (DESIGN.md's calibration findings).
 
 use gp_baselines::IclBaseline;
-use gp_core::{
-    pretrain, CachePolicy, DistanceMetric, GraphPrompterModel, StageConfig,
-};
+use gp_core::{pretrain, CachePolicy, DistanceMetric, GraphPrompterModel, StageConfig};
 use gp_eval::{MeanStd, Table};
 
 use crate::harness::{Ctx, GraphPrompterView};
@@ -24,7 +22,11 @@ pub fn metrics(ctx: &mut Ctx) -> String {
         &["Dataset", "Metric", "5-way", "10-way"],
     );
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         for (name, metric) in [
             ("cosine", DistanceMetric::Cosine),
@@ -72,7 +74,11 @@ pub fn cache_policy(ctx: &mut Ctx) -> String {
         &["Dataset", "LFU (paper)", "LRU", "FIFO"],
     );
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         let mut row = vec![ds.name.clone()];
         for policy in [CachePolicy::Lfu, CachePolicy::Lru, CachePolicy::Fifo] {
@@ -118,12 +124,19 @@ pub fn design_choices(ctx: &mut Ctx) -> String {
         mc.recon_normalize = norm;
         mc.proto_residual = residual;
         let mut model = GraphPrompterModel::new(mc);
-        pretrain(&mut model, ctx.wiki_ref(), &suite.pretrain_config(), StageConfig::full());
-        let view = GraphPrompterView { model: &model, stages: StageConfig::full() };
+        pretrain(
+            &mut model,
+            ctx.wiki_ref(),
+            &suite.pretrain_config(),
+            StageConfig::full(),
+        );
+        let view = GraphPrompterView {
+            model: &model,
+            stages: StageConfig::full(),
+        };
         let mut row = vec![norm.to_string(), residual.to_string()];
         for ways in [5usize, 20] {
-            let stats =
-                MeanStd::of(&view.evaluate(ctx.fb_ref(), ways, suite.episodes, &protocol));
+            let stats = MeanStd::of(&view.evaluate(ctx.fb_ref(), ways, suite.episodes, &protocol));
             row.push(stats.to_string());
         }
         table.row(&row);

@@ -28,7 +28,10 @@ pub fn run(ctx: &mut Ctx) -> String {
         ("full", StageConfig::full()),
         ("w/o generator", StageConfig::without_reconstruction()),
         ("w/o kNN", StageConfig::without_knn()),
-        ("w/o selection layer", StageConfig::without_selection_layer()),
+        (
+            "w/o selection layer",
+            StageConfig::without_selection_layer(),
+        ),
         ("w/o augmenter", StageConfig::without_augmenter()),
         ("Prodigy (all off)", StageConfig::prodigy()),
     ];
@@ -39,7 +42,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut cells = 0usize;
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         let mut table = Table::new(
             format!("Fig. 3 (measured): {} accuracy (%)", ds.name),
@@ -89,7 +96,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          - Known substrate deviation: the augmenter's stand-alone gain did not \
          transfer to the synthetic datasets (it is ≈neutral here; see DESIGN.md \
          §augmenter notes), so 'w/o augmenter' ≈ 'full'.\n",
-        if full_avg > floor_avg { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if full_avg > floor_avg {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out
 }

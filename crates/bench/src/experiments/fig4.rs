@@ -34,7 +34,12 @@ pub fn run(ctx: &mut Ctx) -> String {
         let mut mc = suite.model_config();
         mc.generator = kind;
         let mut model = GraphPrompterModel::new(mc);
-        pretrain(&mut model, ctx.wiki_ref(), &suite.pretrain_config(), StageConfig::full());
+        pretrain(
+            &mut model,
+            ctx.wiki_ref(),
+            &suite.pretrain_config(),
+            StageConfig::full(),
+        );
         models.push((name, model));
     }
 
@@ -44,13 +49,20 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut cells = 0usize;
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let mut table = Table::new(
             format!("Fig. 4 (measured): {} accuracy (%)", ds.name),
             &["Generator", "5-way", "10-way"],
         );
         for (name, model) in &models {
-            let view = GraphPrompterView { model, stages: StageConfig::full() };
+            let view = GraphPrompterView {
+                model,
+                stages: StageConfig::full(),
+            };
             let mut row = vec![name.to_string()];
             for &w in &WAYS {
                 let stats = MeanStd::of(&view.evaluate(ds, w, episodes, &protocol));

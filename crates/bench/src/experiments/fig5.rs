@@ -31,10 +31,17 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut svg_series: Vec<Series> = Vec::new();
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         let mut table = Table::new(
-            format!("Fig. 5 (measured): {} accuracy (%) vs cache size, 5-way", ds.name),
+            format!(
+                "Fig. 5 (measured): {} accuracy (%) vs cache size, 5-way",
+                ds.name
+            ),
             &["c", "Accuracy"],
         );
         let mut points = Vec::new();
@@ -70,7 +77,12 @@ pub fn run(ctx: &mut Ctx) -> String {
     std::fs::create_dir_all("results").ok();
     std::fs::write(
         "results/fig5_cache_size.svg",
-        line_chart("Fig. 5: accuracy vs cache size (5-way)", "cache size c", "accuracy (%)", &svg_series),
+        line_chart(
+            "Fig. 5: accuracy vs cache size (5-way)",
+            "cache size c",
+            "accuracy (%)",
+            &svg_series,
+        ),
     )
     .ok();
     out += "Plot written to `results/fig5_cache_size.svg`.\n\n";
@@ -84,7 +96,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          - Substrate note: on the synthetic datasets the cache is at best \
          neutral (see DESIGN.md), so the 'rise up to c = 3' half of the paper's \
          curve is flat here; the 'decline beyond 3' half is the tested shape.\n",
-        if small_avg >= large_avg - 0.5 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if small_avg >= large_avg - 0.5 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out
 }

@@ -75,7 +75,10 @@ pub fn run(ctx: &mut Ctx) -> String {
                 &format!("Fig. 6: {} accuracy vs shots (5-way)", ds.name),
                 "shots k",
                 "accuracy (%)",
-                &[Series::new("GraphPrompter", gp_pts), Series::new("Prodigy", pr_pts)],
+                &[
+                    Series::new("GraphPrompter", gp_pts),
+                    Series::new("Prodigy", pr_pts),
+                ],
             ),
         )
         .ok();
@@ -87,7 +90,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     out += &format!(
         "{PAPER}\n\n**Shape checks**\n\n\
          - GraphPrompter at or above Prodigy in {gp_above}/{total} shot settings: {}\n",
-        if gp_above * 3 >= total * 2 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if gp_above * 3 >= total * 2 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out
 }

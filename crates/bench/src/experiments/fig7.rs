@@ -30,7 +30,13 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut out = String::from("## Fig. 7 — embedding distribution (t-SNE + cluster metrics)\n\n");
     let mut table = Table::new(
         "Fig. 7 (measured): query-embedding cluster quality, 5-way",
-        &["Dataset", "Shots", "Method", "Silhouette ↑", "Intra/inter ↓"],
+        &[
+            "Dataset",
+            "Shots",
+            "Method",
+            "Silhouette ↑",
+            "Intra/inter ↓",
+        ],
     );
     let mut gp_tighter = 0usize;
     let mut total = 0usize;
@@ -38,7 +44,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     std::fs::create_dir_all("results").ok();
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         for &shots in &SHOTS {
             let mut scores = Vec::new();
@@ -72,7 +82,10 @@ pub fn run(ctx: &mut Ctx) -> String {
                 // 2-D t-SNE coordinates for plotting.
                 let coords = tsne(
                     &res.query_embeddings,
-                    &TsneConfig { iterations: 250, ..TsneConfig::default() },
+                    &TsneConfig {
+                        iterations: 250,
+                        ..TsneConfig::default()
+                    },
                 );
                 let path = format!("results/fig7_{key}_{method}_{shots}shot.csv");
                 let mut csv = String::from("x,y,label\n");
@@ -113,7 +126,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          **Shape checks**\n\n\
          - GraphPrompter embeddings at least as tight as Prodigy's in \
          {gp_tighter}/{total} settings: {}\n",
-        if gp_tighter * 2 >= total { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if gp_tighter * 2 >= total {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out
 }

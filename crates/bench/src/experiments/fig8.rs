@@ -29,7 +29,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut total = 0usize;
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         let mut table = Table::new(
             format!("Fig. 8 (measured): {} accuracy (%) vs hops, 5-way", ds.name),
@@ -76,7 +80,10 @@ pub fn run(ctx: &mut Ctx) -> String {
                 &format!("Fig. 8: {} accuracy vs hops (5-way)", ds.name),
                 "hops l",
                 "accuracy (%)",
-                &[Series::new("GraphPrompter", gp_pts), Series::new("Prodigy", pr_pts)],
+                &[
+                    Series::new("GraphPrompter", gp_pts),
+                    Series::new("Prodigy", pr_pts),
+                ],
             ),
         )
         .ok();
@@ -92,8 +99,16 @@ pub fn run(ctx: &mut Ctx) -> String {
         "{PAPER}\n\n**Shape checks**\n\n\
          - GraphPrompter at or above Prodigy in {gp_above}/{total} hop settings: {}\n\
          - Accuracy non-increasing with hops on {declines}/2 datasets: {}\n",
-        if gp_above * 3 >= total * 2 { "REPRODUCED" } else { "NOT REPRODUCED" },
-        if declines >= 1 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if gp_above * 3 >= total * 2 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        },
+        if declines >= 1 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out
 }

@@ -38,7 +38,11 @@ pub fn run(ctx: &mut Ctx) -> String {
 
     std::fs::create_dir_all("results").ok();
     let series = |vals: &[f32], steps: &[usize]| -> Vec<(f32, f32)> {
-        steps.iter().zip(vals).map(|(&s, &v)| (s as f32, v)).collect()
+        steps
+            .iter()
+            .zip(vals)
+            .map(|(&s, &v)| (s as f32, v))
+            .collect()
     };
     std::fs::write(
         "results/fig9_loss.svg",

@@ -85,7 +85,8 @@ fn shape_notes(rows: &[(String, Vec<f32>)]) -> String {
         (get("GraphPrompter"), get("Prodigy"), get("NoPretrain"))
     {
         let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-        notes += &format!(
+        notes +=
+            &format!(
             "- GraphPrompter avg {:.1}% vs Prodigy avg {:.1}% (paper: GP above at every way): {}\n",
             avg(&gp),
             avg(&pr),
@@ -95,12 +96,20 @@ fn shape_notes(rows: &[(String, Vec<f32>)]) -> String {
             "- Pre-training matters: Prodigy avg {:.1}% ≫ NoPretrain avg {:.1}%: {}\n",
             avg(&pr),
             avg(&np),
-            if avg(&pr) > avg(&np) + 10.0 { "REPRODUCED" } else { "NOT REPRODUCED" }
+            if avg(&pr) > avg(&np) + 10.0 {
+                "REPRODUCED"
+            } else {
+                "NOT REPRODUCED"
+            }
         );
         let declines = gp.windows(2).all(|w| w[1] <= w[0] + 2.0);
         notes += &format!(
             "- Accuracy declines as ways grow: {}\n",
-            if declines { "REPRODUCED" } else { "NOT REPRODUCED" }
+            if declines {
+                "REPRODUCED"
+            } else {
+                "NOT REPRODUCED"
+            }
         );
     }
     if let (Some(gp), Some(prog)) = (get("GraphPrompter"), get("ProG")) {

@@ -122,7 +122,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          (paper: 81.8% vs 68.4%, ~+8% claim): {}\n",
         gp_avg,
         pr_avg,
-        if gp_avg > pr_avg { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if gp_avg > pr_avg {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out += "- Substrate artifact note: Contrastive/Finetune rows are \
             anomalously strong here (nearest-class-prototype classifiers are \

@@ -37,7 +37,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut prog_collapse = true;
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let methods: Vec<(&str, &dyn gp_baselines::IclBaseline)> = vec![
             ("Prodigy", ctx.prodigy_wiki_ref()),
             ("ProG", &prog),
@@ -84,7 +88,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          - ProG near-chance at 100 ways (paper: 24–25% ±20 on 100-way, chance 1%): {}\n",
         gp_sum / 8.0,
         pr_sum / 8.0,
-        if gp_sum >= pr_sum { "REPRODUCED" } else { "NOT REPRODUCED" },
+        if gp_sum >= pr_sum {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        },
         if prog_collapse {
             "REPRODUCED"
         } else {

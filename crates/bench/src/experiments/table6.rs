@@ -35,13 +35,19 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut gp_tighter = 0usize;
     let mut cells_total = 0usize;
 
-    for (key, ways) in [("arxiv", [3usize, 5, 10, 20]), ("fb15k237", [5, 10, 20, 40])] {
-        let (ds, ofa, gp): (_, &dyn gp_baselines::IclBaseline, &dyn gp_baselines::IclBaseline) =
-            if key == "arxiv" {
-                (ctx.arxiv_ref(), ctx.ofa_mag_ref(), ctx.gp_mag_ref())
-            } else {
-                (ctx.fb_ref(), ctx.ofa_wiki_ref(), ctx.gp_wiki_ref())
-            };
+    for (key, ways) in [
+        ("arxiv", [3usize, 5, 10, 20]),
+        ("fb15k237", [5, 10, 20, 40]),
+    ] {
+        let (ds, ofa, gp): (
+            _,
+            &dyn gp_baselines::IclBaseline,
+            &dyn gp_baselines::IclBaseline,
+        ) = if key == "arxiv" {
+            (ctx.arxiv_ref(), ctx.ofa_mag_ref(), ctx.gp_mag_ref())
+        } else {
+            (ctx.fb_ref(), ctx.ofa_wiki_ref(), ctx.gp_wiki_ref())
+        };
         let mut header = vec!["Method".to_string()];
         header.extend(ways.iter().map(|w| format!("{w}-way")));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -51,9 +57,10 @@ pub fn run(ctx: &mut Ctx) -> String {
         );
         let mut ofa_stats = Vec::new();
         let mut gp_stats = Vec::new();
-        for (name, method, sink) in
-            [("OFA", ofa, &mut ofa_stats), ("GraphPrompter", gp, &mut gp_stats)]
-        {
+        for (name, method, sink) in [
+            ("OFA", ofa, &mut ofa_stats),
+            ("GraphPrompter", gp, &mut gp_stats),
+        ] {
             let mut cells = vec![name.to_string()];
             for &w in &ways {
                 let stats = agg(method, ds, w, episodes, &protocol);
@@ -76,7 +83,10 @@ pub fn run(ctx: &mut Ctx) -> String {
     }
 
     out += "### Table VI (paper, for reference)\n\n";
-    for (ds, rows) in [("arXiv 3/5/10/20", PAPER_ARXIV), ("FB15K-237 5/10/20/40", PAPER_FB)] {
+    for (ds, rows) in [
+        ("arXiv 3/5/10/20", PAPER_ARXIV),
+        ("FB15K-237 5/10/20/40", PAPER_FB),
+    ] {
         for (m, v) in rows {
             let vals: Vec<String> = v.iter().map(|x| format!("{x:.2}")).collect();
             out += &format!("- {ds} {m}: [{}]\n", vals.join(", "));
@@ -88,7 +98,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          - GraphPrompter ≥ OFA in {gp_better}/{cells_total} cells (paper: all): {}\n\
          - GraphPrompter variance not larger than OFA's in {gp_tighter}/{cells_total} cells \
          (paper stresses OFA's instability): {}\n",
-        if gp_better * 2 >= cells_total { "REPRODUCED" } else { "NOT REPRODUCED" },
+        if gp_better * 2 >= cells_total {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        },
         if gp_tighter * 2 >= cells_total {
             "REPRODUCED"
         } else {

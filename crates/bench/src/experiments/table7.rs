@@ -34,11 +34,24 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut out = String::from("## Table VII — random pseudo-label robustness (20-way)\n\n");
     let mut table = Table::new(
         "Table VII (measured): random-admission accuracy (%) per seed",
-        &["Dataset", "s10", "s30", "s50", "s70", "s90", "Avg ± std", "Confidence policy"],
+        &[
+            "Dataset",
+            "s10",
+            "s30",
+            "s50",
+            "s70",
+            "s90",
+            "Avg ± std",
+            "Confidence policy",
+        ],
     );
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let gp = ctx.gp_wiki_ref();
         let mut random_accs = Vec::new();
         for &seed in &SEEDS {

@@ -21,12 +21,7 @@ const PAPER: &str = "FB15K-237 Prodigy [34, 68, 106] ms vs GraphPrompter [90, 15
                      (ratios ≈2.6, 2.2, 2.6 / 3.1, 2.9, 2.9)";
 
 /// Measure mean per-query time (ms) for one method configuration.
-fn time_per_query(
-    ctx: &Ctx,
-    ds: &gp_datasets::Dataset,
-    ways: usize,
-    stages: StageConfig,
-) -> f64 {
+fn time_per_query(ctx: &Ctx, ds: &gp_datasets::Dataset, ways: usize, stages: StageConfig) -> f64 {
     let suite = &ctx.suite;
     let cfg = {
         let mut c = suite.inference_config(stages);
@@ -67,7 +62,11 @@ pub fn run(ctx: &mut Ctx) -> String {
     let mut ratios = Vec::new();
 
     for key in ["fb15k237", "nell"] {
-        let ds = if key == "fb15k237" { ctx.fb_ref() } else { ctx.nell_ref() };
+        let ds = if key == "fb15k237" {
+            ctx.fb_ref()
+        } else {
+            ctx.nell_ref()
+        };
         let mut prodigy_ms = Vec::new();
         let mut gp_ms = Vec::new();
         for &w in &WAYS {
@@ -77,7 +76,13 @@ pub fn run(ctx: &mut Ctx) -> String {
         let fmt = |v: &[f64]| v.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>();
         let p = fmt(&prodigy_ms);
         let g = fmt(&gp_ms);
-        table.row(&[ds.name.clone(), "Prodigy".into(), p[0].clone(), p[1].clone(), p[2].clone()]);
+        table.row(&[
+            ds.name.clone(),
+            "Prodigy".into(),
+            p[0].clone(),
+            p[1].clone(),
+            p[2].clone(),
+        ]);
         table.row(&[
             ds.name.clone(),
             "GraphPrompter".into(),
@@ -98,7 +103,11 @@ pub fn run(ctx: &mut Ctx) -> String {
          - GraphPrompter/Prodigy time ratio {:.2}× on average \
          (paper: ≈2–3×, and the paper notes the retrieval module is pluggable): {}\n",
         mean_ratio,
-        if mean_ratio > 1.1 { "REPRODUCED" } else { "NOT REPRODUCED" }
+        if mean_ratio > 1.1 {
+            "REPRODUCED"
+        } else {
+            "NOT REPRODUCED"
+        }
     );
     out
 }

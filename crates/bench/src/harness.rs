@@ -2,8 +2,8 @@
 //! model/dataset registry ([`Ctx`]), and the GraphPrompter method wrapper.
 
 use gp_baselines::{
-    Contrastive, ContrastiveConfig, EvalProtocol, Finetune, IclBaseline, NoPretrain, Ofa,
-    Prodigy, ProG,
+    Contrastive, ContrastiveConfig, EvalProtocol, Finetune, IclBaseline, NoPretrain, Ofa, ProG,
+    Prodigy,
 };
 use gp_core::{
     pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
@@ -29,19 +29,32 @@ pub struct Suite {
 
 impl Default for Suite {
     fn default() -> Self {
-        Self { pre_steps: 400, episodes: 8, queries: 50, seed: 0 }
+        Self {
+            pre_steps: 400,
+            episodes: 8,
+            queries: 50,
+            seed: 0,
+        }
     }
 }
 
 impl Suite {
     /// A fast configuration for smoke tests and CI.
     pub fn smoke() -> Self {
-        Self { pre_steps: 40, episodes: 2, queries: 10, seed: 0 }
+        Self {
+            pre_steps: 40,
+            episodes: 2,
+            queries: 10,
+            seed: 0,
+        }
     }
 
     /// The standard model architecture for every experiment.
     pub fn model_config(&self) -> ModelConfig {
-        ModelConfig { seed: self.seed, ..ModelConfig::default() }
+        ModelConfig {
+            seed: self.seed,
+            ..ModelConfig::default()
+        }
     }
 
     /// The standard sampler (`l = 1`, as in the paper's main protocol).
@@ -110,7 +123,12 @@ impl GraphPrompterMethod {
     /// Pre-train the full method on `source`.
     pub fn pretrain(source: &Dataset, suite: &Suite) -> Self {
         let mut model = GraphPrompterModel::new(suite.model_config());
-        let curve = pretrain(&mut model, source, &suite.pretrain_config(), StageConfig::full());
+        let curve = pretrain(
+            &mut model,
+            source,
+            &suite.pretrain_config(),
+            StageConfig::full(),
+        );
         Self { model, curve }
     }
 
@@ -124,7 +142,10 @@ impl GraphPrompterMethod {
 
     /// Same pre-trained weights, explicit stage toggles (ablations).
     pub fn with_stages(&self, stages: StageConfig) -> GraphPrompterView<'_> {
-        GraphPrompterView { model: &self.model, stages }
+        GraphPrompterView {
+            model: &self.model,
+            stages,
+        }
     }
 }
 
@@ -216,7 +237,10 @@ macro_rules! lazy_dataset {
 impl Ctx {
     /// Fresh lazy registry.
     pub fn new(suite: Suite) -> Self {
-        Self { suite, ..Default::default() }
+        Self {
+            suite,
+            ..Default::default()
+        }
     }
 
     lazy_dataset!(mag, mag, mag240m_like);
@@ -340,7 +364,9 @@ impl Ctx {
 
     /// See [`Ctx::arxiv_ref`].
     pub fn conceptnet_ref(&self) -> &Dataset {
-        self.conceptnet.as_ref().expect("call ctx.conceptnet() first")
+        self.conceptnet
+            .as_ref()
+            .expect("call ctx.conceptnet() first")
     }
 
     /// See [`Ctx::arxiv_ref`].
@@ -375,12 +401,16 @@ impl Ctx {
 
     /// See [`Ctx::arxiv_ref`].
     pub fn prodigy_mag_ref(&self) -> &Prodigy {
-        self.prodigy_mag.as_ref().expect("call ctx.prodigy_mag() first")
+        self.prodigy_mag
+            .as_ref()
+            .expect("call ctx.prodigy_mag() first")
     }
 
     /// See [`Ctx::arxiv_ref`].
     pub fn prodigy_wiki_ref(&self) -> &Prodigy {
-        self.prodigy_wiki.as_ref().expect("call ctx.prodigy_wiki() first")
+        self.prodigy_wiki
+            .as_ref()
+            .expect("call ctx.prodigy_wiki() first")
     }
 
     /// See [`Ctx::arxiv_ref`].
@@ -395,12 +425,16 @@ impl Ctx {
 
     /// See [`Ctx::arxiv_ref`].
     pub fn contrastive_mag_ref(&self) -> &Contrastive {
-        self.contrastive_mag.as_ref().expect("call ctx.contrastive_mag() first")
+        self.contrastive_mag
+            .as_ref()
+            .expect("call ctx.contrastive_mag() first")
     }
 
     /// See [`Ctx::arxiv_ref`].
     pub fn contrastive_wiki_ref(&self) -> &Contrastive {
-        self.contrastive_wiki.as_ref().expect("call ctx.contrastive_wiki() first")
+        self.contrastive_wiki
+            .as_ref()
+            .expect("call ctx.contrastive_wiki() first")
     }
 
     /// Fresh NoPretrain baseline (cheap; not cached).

@@ -165,7 +165,14 @@ impl PromptAugmenter {
         }
         let key = self.next_id;
         self.next_id += 1;
-        self.caches[label].insert(key, CacheEntry { embedding, label, confidence });
+        self.caches[label].insert(
+            key,
+            CacheEntry {
+                embedding,
+                label,
+                confidence,
+            },
+        );
     }
 }
 

@@ -122,7 +122,11 @@ mod tests {
     #[test]
     fn offsets_partition_the_union() {
         let g = toy_graph();
-        let sampler = RandomWalkSampler::new(SamplerConfig { hops: 1, max_nodes: 6, neighbors_per_node: 4 });
+        let sampler = RandomWalkSampler::new(SamplerConfig {
+            hops: 1,
+            max_nodes: 6,
+            neighbors_per_node: 4,
+        });
         let mut rng = StdRng::seed_from_u64(1);
         let sgs: Vec<_> = [0u32, 7, 15]
             .iter()
@@ -130,7 +134,10 @@ mod tests {
             .collect();
         let batch = SubgraphBatch::build(&g, &sgs, 2);
         assert_eq!(batch.num_graphs, 3);
-        assert_eq!(batch.num_nodes, sgs.iter().map(|s| s.num_nodes()).sum::<usize>());
+        assert_eq!(
+            batch.num_nodes,
+            sgs.iter().map(|s| s.num_nodes()).sum::<usize>()
+        );
         // Every union edge must stay within its member graph's index range.
         let mut bounds = Vec::new();
         let mut off = 0;
@@ -139,7 +146,10 @@ mod tests {
             off += sg.num_nodes();
         }
         for (s, d) in batch.edges.iter() {
-            let block = bounds.iter().position(|&(lo, hi)| s >= lo && s < hi).unwrap();
+            let block = bounds
+                .iter()
+                .position(|&(lo, hi)| s >= lo && s < hi)
+                .unwrap();
             let (lo, hi) = bounds[block];
             assert!(d >= lo && d < hi, "edge {s}->{d} crosses blocks");
         }

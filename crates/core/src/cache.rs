@@ -41,7 +41,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LruCache capacity must be positive");
-        Self { capacity, entries: HashMap::new(), clock: 0 }
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+        }
     }
 
     /// Current number of entries.
@@ -108,7 +112,11 @@ impl<K: Eq + Hash + Clone, V> FifoCache<K, V> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "FifoCache capacity must be positive");
-        Self { capacity, order: VecDeque::new(), entries: HashMap::new() }
+        Self {
+            capacity,
+            order: VecDeque::new(),
+            entries: HashMap::new(),
+        }
     }
 
     /// Current number of entries.
@@ -129,9 +137,9 @@ impl<K: Eq + Hash + Clone, V> FifoCache<K, V> {
             return None;
         }
         let evicted = if self.entries.len() >= self.capacity {
-            self.order.pop_front().and_then(|victim| {
-                self.entries.remove(&victim).map(|v| (victim, v))
-            })
+            self.order
+                .pop_front()
+                .and_then(|victim| self.entries.remove(&victim).map(|v| (victim, v)))
         } else {
             None
         };
@@ -142,7 +150,9 @@ impl<K: Eq + Hash + Clone, V> FifoCache<K, V> {
 
     /// Iterate `(key, value)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.order.iter().filter_map(|k| self.entries.get(k).map(|v| (k, v)))
+        self.order
+            .iter()
+            .filter_map(|k| self.entries.get(k).map(|v| (k, v)))
     }
 }
 
@@ -230,7 +240,10 @@ mod tests {
         c.insert("a", 10); // refresh
         let evicted = c.insert("c", 3);
         assert_eq!(evicted, Some(("b", 2)));
-        assert_eq!(c.iter().find(|(k, _)| **k == "a").map(|(_, v)| *v), Some(10));
+        assert_eq!(
+            c.iter().find(|(k, _)| **k == "a").map(|(_, v)| *v),
+            Some(10)
+        );
     }
 
     #[test]
@@ -250,7 +263,11 @@ mod tests {
         c.insert("b", 2);
         c.insert("a", 10);
         let evicted = c.insert("c", 3);
-        assert_eq!(evicted, Some(("a", 10)), "re-insert must not move 'a' to the back");
+        assert_eq!(
+            evicted,
+            Some(("a", 10)),
+            "re-insert must not move 'a' to the back"
+        );
     }
 
     #[test]

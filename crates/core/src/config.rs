@@ -3,6 +3,7 @@
 use gp_graph::SamplerConfig;
 
 use crate::cache::CachePolicy;
+use crate::guard::GuardRailConfig;
 use crate::selector::DistanceMetric;
 
 /// Which GNN architecture generates data-graph embeddings (`GNN_D`,
@@ -18,7 +19,7 @@ pub enum GeneratorKind {
 }
 
 /// Model architecture hyperparameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ModelConfig {
     /// Node feature width (matches the dataset generators).
     pub feat_dim: usize,
@@ -97,22 +98,34 @@ impl StageConfig {
 
     /// `w/o generator` ablation.
     pub fn without_reconstruction() -> Self {
-        Self { use_reconstruction: false, ..Self::full() }
+        Self {
+            use_reconstruction: false,
+            ..Self::full()
+        }
     }
 
     /// `w/o selection layer` ablation.
     pub fn without_selection_layer() -> Self {
-        Self { use_selection_layer: false, ..Self::full() }
+        Self {
+            use_selection_layer: false,
+            ..Self::full()
+        }
     }
 
     /// `w/o kNN` ablation.
     pub fn without_knn() -> Self {
-        Self { use_knn: false, ..Self::full() }
+        Self {
+            use_knn: false,
+            ..Self::full()
+        }
     }
 
     /// `w/o augmenter` ablation.
     pub fn without_augmenter() -> Self {
-        Self { use_augmenter: false, ..Self::full() }
+        Self {
+            use_augmenter: false,
+            ..Self::full()
+        }
     }
 }
 
@@ -198,6 +211,9 @@ pub struct PretrainConfig {
     pub sampler: SamplerConfig,
     /// Episode-sampling seed.
     pub seed: u64,
+    /// Non-finite/divergence guard rails for the training loop (`None`
+    /// trains unguarded, the historical behavior).
+    pub guard: Option<GuardRailConfig>,
 }
 
 impl Default for PretrainConfig {
@@ -215,6 +231,7 @@ impl Default for PretrainConfig {
             log_every: 20,
             sampler: SamplerConfig::default(),
             seed: 0,
+            guard: None,
         }
     }
 }

@@ -104,9 +104,12 @@ pub fn run_episode_with_policy(
 
     // Per-class caches of size c; admission takes each class's most
     // confident gated query per batch ("|Q̂| ≤ m").
-    let mut augmenter =
-        PromptAugmenter::with_policy(cfg.cache_size.max(1), m, cfg.cache_policy)
-            .with_min_confidence(if random_pseudo_labels { 0.0 } else { cfg.cache_min_confidence });
+    let mut augmenter = PromptAugmenter::with_policy(cfg.cache_size.max(1), m, cfg.cache_policy)
+        .with_min_confidence(if random_pseudo_labels {
+            0.0
+        } else {
+            cfg.cache_min_confidence
+        });
     let mut correct = 0usize;
     let mut predictions = Vec::with_capacity(task.queries.len());
     let mut query_labels = Vec::with_capacity(task.queries.len());
@@ -149,8 +152,7 @@ pub fn run_episode_with_policy(
             );
             p_rows = p_rows.mul_rows_by_col(&imps);
         }
-        let mut p_labels: Vec<usize> =
-            selection.selected.iter().map(|&i| cand_labels[i]).collect();
+        let mut p_labels: Vec<usize> = selection.selected.iter().map(|&i| cand_labels[i]).collect();
         if stages.use_augmenter {
             if let Some((c_embs, c_labels)) = augmenter.cached_prompts(cand_embs.cols()) {
                 p_rows = p_rows.concat_rows(&c_embs.scale(cfg.cache_prompt_scale));
@@ -301,7 +303,11 @@ mod tests {
             candidates_per_class: 4,
             cache_size: 2,
             query_batch: 5,
-            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            },
             ..InferenceConfig::default()
         }
     }
@@ -356,7 +362,11 @@ mod tests {
             nm_shots: 2,
             nm_queries: 3,
             log_every: 40,
-            sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            },
             ..PretrainConfig::default()
         };
         pretrain(&mut model, &ds, &pre, StageConfig::full());

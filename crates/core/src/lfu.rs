@@ -148,9 +148,10 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
     }
 
     fn bucket_has_live(&self, freq: u64) -> bool {
-        self.buckets
-            .get(&freq)
-            .is_some_and(|b| b.iter().any(|k| matches!(self.entries.get(k), Some(e) if e.freq == freq)))
+        self.buckets.get(&freq).is_some_and(|b| {
+            b.iter()
+                .any(|k| matches!(self.entries.get(k), Some(e) if e.freq == freq))
+        })
     }
 
     fn live_min_freq(&self) -> u64 {

@@ -44,7 +44,9 @@
 pub mod augmenter;
 pub mod batch;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
+pub mod guard;
 pub mod infer;
 pub mod lfu;
 pub mod model;
@@ -54,9 +56,17 @@ pub mod selector;
 pub use augmenter::{CacheEntry, PromptAugmenter};
 pub use batch::SubgraphBatch;
 pub use cache::{AnyCache, CachePolicy, FifoCache, LruCache};
+pub use checkpoint::{
+    inspect_checkpoint, list_checkpoints, scan_for_recovery, CheckpointError, CheckpointKind,
+    CheckpointSummary, RecoveryScan, TrainerMeta,
+};
 pub use config::{GeneratorKind, InferenceConfig, ModelConfig, PretrainConfig, StageConfig};
+pub use guard::{DivergenceError, GuardAction, GuardRail, GuardRailConfig, StepVerdict};
 pub use infer::{evaluate_episodes, run_episode, run_episode_with_policy, EpisodeResult};
 pub use lfu::LfuCache;
 pub use model::{sample_datapoint_subgraphs, GraphPrompterModel};
-pub use pretrain::{pretrain, pretrain_with_validation, TrainingCurve};
+pub use pretrain::{
+    pretrain, pretrain_resumable, pretrain_with_validation, try_pretrain, CheckpointConfig,
+    PretrainError, PretrainReport, TrainingCurve,
+};
 pub use selector::{select_prompts, select_prompts_with_metric, DistanceMetric, SelectionOutcome};

@@ -81,7 +81,14 @@ impl GraphPrompterModel {
             8,
         );
         task_graph.set_prototype_residual(cfg.proto_residual);
-        Self { store, recon, gnn, select, task_graph, cfg }
+        Self {
+            store,
+            recon,
+            gnn,
+            select,
+            task_graph,
+            cfg,
+        }
     }
 
     /// Model configuration.
@@ -94,75 +101,25 @@ impl GraphPrompterModel {
         self.store.num_scalars()
     }
 
-    /// Save the model (config + parameters) to a file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.write_config(&mut w)?;
-        self.store.save(&mut w)
+    /// Save the model (config + parameters) as a GPCK v2 checkpoint:
+    /// checksummed container, written atomically (see [`crate::checkpoint`]).
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        crate::checkpoint::save_model(path.as_ref(), self)
     }
 
-    /// Load a model saved with [`GraphPrompterModel::save`]: the config is
-    /// read first, the architecture rebuilt deterministically, then the
-    /// trained parameter values are loaded over it.
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
-        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
-        let cfg = Self::read_config(&mut r)?;
-        let mut model = Self::new(cfg);
-        model.store.load(&mut r)?;
-        Ok(model)
-    }
-
-    fn write_config<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        let c = &self.cfg;
-        w.write_all(b"GPMC")?;
-        for v in [c.feat_dim, c.rel_dim, c.embed_dim, c.hidden_dim] {
-            w.write_all(&(v as u64).to_le_bytes())?;
-        }
-        let gen_tag: u8 = match c.generator {
-            GeneratorKind::Sage => 0,
-            GeneratorKind::Gat => 1,
-            GeneratorKind::Gcn => 2,
-        };
-        w.write_all(&[gen_tag, c.recon_normalize as u8, c.proto_residual as u8])?;
-        w.write_all(&c.seed.to_le_bytes())
-    }
-
-    fn read_config<R: std::io::Read>(r: &mut R) -> std::io::Result<ModelConfig> {
-        use std::io::{Error, ErrorKind};
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != b"GPMC" {
-            return Err(Error::new(ErrorKind::InvalidData, "not a GraphPrompter checkpoint"));
-        }
-        let mut u64b = [0u8; 8];
-        let mut next = |r: &mut R| -> std::io::Result<usize> {
-            r.read_exact(&mut u64b)?;
-            Ok(u64::from_le_bytes(u64b) as usize)
-        };
-        let feat_dim = next(r)?;
-        let rel_dim = next(r)?;
-        let embed_dim = next(r)?;
-        let hidden_dim = next(r)?;
-        let mut tags = [0u8; 3];
-        r.read_exact(&mut tags)?;
-        let generator = match tags[0] {
-            0 => GeneratorKind::Sage,
-            1 => GeneratorKind::Gat,
-            2 => GeneratorKind::Gcn,
-            _ => return Err(Error::new(ErrorKind::InvalidData, "unknown generator tag")),
-        };
-        let mut seedb = [0u8; 8];
-        r.read_exact(&mut seedb)?;
-        Ok(ModelConfig {
-            feat_dim,
-            rel_dim,
-            embed_dim,
-            hidden_dim,
-            generator,
-            recon_normalize: tags[1] != 0,
-            proto_residual: tags[2] != 0,
-            seed: u64::from_le_bytes(seedb),
-        })
+    /// Load a model checkpoint: GPCK v2 (model or trainer kind) or a
+    /// legacy v1 file written by pre-v2 builds. The config is read first,
+    /// the architecture rebuilt deterministically, then the trained
+    /// parameter values are validated against it and installed. Corrupt,
+    /// truncated or mismatched files yield a typed
+    /// [`crate::checkpoint::CheckpointError`], never a panic.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        crate::checkpoint::load_model(path.as_ref())
     }
 
     /// Embed a batch of data graphs: reconstruction weights (Eqs. 2–3,
@@ -207,7 +164,10 @@ impl GraphPrompterModel {
         let imp_raw = self.select.forward(sess, embeddings);
         let importance = sess.tape.sigmoid(imp_raw);
 
-        BatchEmbedding { embeddings, importance }
+        BatchEmbedding {
+            embeddings,
+            importance,
+        }
     }
 
     /// Run the task graph (Eq. 10) and return its output (logits per
@@ -223,6 +183,67 @@ impl GraphPrompterModel {
         self.task_graph
             .forward(sess, prompts, prompt_labels, queries, num_classes)
     }
+}
+
+/// Write the legacy v1 config header (`"GPMC"` + dims + tags + seed).
+/// Kept only so [`crate::checkpoint`] can test its v1 compatibility path.
+pub(crate) fn write_config_v1<W: std::io::Write>(
+    w: &mut W,
+    c: &ModelConfig,
+) -> std::io::Result<()> {
+    w.write_all(b"GPMC")?;
+    for v in [c.feat_dim, c.rel_dim, c.embed_dim, c.hidden_dim] {
+        w.write_all(&(v as u64).to_le_bytes())?;
+    }
+    let gen_tag: u8 = match c.generator {
+        GeneratorKind::Sage => 0,
+        GeneratorKind::Gat => 1,
+        GeneratorKind::Gcn => 2,
+    };
+    w.write_all(&[gen_tag, c.recon_normalize as u8, c.proto_residual as u8])?;
+    w.write_all(&c.seed.to_le_bytes())
+}
+
+/// Read the legacy v1 config header written by pre-v2 builds.
+pub(crate) fn read_config_v1<R: std::io::Read>(r: &mut R) -> std::io::Result<ModelConfig> {
+    use std::io::{Error, ErrorKind};
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != b"GPMC" {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            "not a GraphPrompter checkpoint",
+        ));
+    }
+    let mut u64b = [0u8; 8];
+    let mut next = |r: &mut R| -> std::io::Result<usize> {
+        r.read_exact(&mut u64b)?;
+        Ok(u64::from_le_bytes(u64b) as usize)
+    };
+    let feat_dim = next(r)?;
+    let rel_dim = next(r)?;
+    let embed_dim = next(r)?;
+    let hidden_dim = next(r)?;
+    let mut tags = [0u8; 3];
+    r.read_exact(&mut tags)?;
+    let generator = match tags[0] {
+        0 => GeneratorKind::Sage,
+        1 => GeneratorKind::Gat,
+        2 => GeneratorKind::Gcn,
+        _ => return Err(Error::new(ErrorKind::InvalidData, "unknown generator tag")),
+    };
+    let mut seedb = [0u8; 8];
+    r.read_exact(&mut seedb)?;
+    Ok(ModelConfig {
+        feat_dim,
+        rel_dim,
+        embed_dim,
+        hidden_dim,
+        generator,
+        recon_normalize: tags[1] != 0,
+        proto_residual: tags[2] != 0,
+        seed: u64::from_le_bytes(seedb),
+    })
 }
 
 /// Sample the data graph for each datapoint (Eq. 1). For edge
@@ -320,8 +341,7 @@ mod tests {
             let sampler = RandomWalkSampler::new(SamplerConfig::default());
             let mut rng = StdRng::seed_from_u64(2);
             let points: Vec<DataPoint> = ds.train[..3].to_vec();
-            let sgs =
-                sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
+            let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
             let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
             let mut sess = Session::new(&model.store);
             let emb = model.embed_batch(&mut sess, &batch, true);
@@ -379,7 +399,10 @@ mod tests {
             assert_eq!(sg.anchors.len(), 2);
             let (a, b) = (sg.anchors[0], sg.anchors[1]);
             for (s, d) in sg.edges.iter() {
-                assert!(!((s == a && d == b) || (s == b && d == a)), "anchor edge leaked");
+                assert!(
+                    !((s == a && d == b) || (s == b && d == a)),
+                    "anchor edge leaked"
+                );
             }
         }
     }

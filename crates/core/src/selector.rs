@@ -128,12 +128,14 @@ pub fn select_prompts_with_metric<R: Rng + ?Sized>(
         // Prodigy: uniform-random k per class.
         let mut selected = Vec::new();
         for class in 0..num_classes {
-            let mut pool: Vec<usize> =
-                (0..p).filter(|&i| prompt_labels[i] == class).collect();
+            let mut pool: Vec<usize> = (0..p).filter(|&i| prompt_labels[i] == class).collect();
             pool.shuffle(rng);
             selected.extend(pool.into_iter().take(shots));
         }
-        return SelectionOutcome { selected, votes: Vec::new() };
+        return SelectionOutcome {
+            selected,
+            votes: Vec::new(),
+        };
     }
 
     // Eq. 7: score(p, q) = sim(p, q) + I_p · I_q, with each term gated by
@@ -300,8 +302,14 @@ mod tests {
             let out = select_prompts_with_metric(
                 &p, &i, &l, &q, &qi, 2, 2, true, false, metric, &mut rng,
             );
-            assert!(!out.selected.contains(&2), "{metric:?} picked the poor candidate");
-            assert!(!out.selected.contains(&5), "{metric:?} picked the poor candidate");
+            assert!(
+                !out.selected.contains(&2),
+                "{metric:?} picked the poor candidate"
+            );
+            assert!(
+                !out.selected.contains(&5),
+                "{metric:?} picked the poor candidate"
+            );
         }
     }
 
@@ -310,7 +318,11 @@ mod tests {
         let a = Tensor::from_vec(1, 2, vec![1.0, 0.0]);
         let b = Tensor::from_vec(1, 2, vec![0.0, 1.0]);
         // Self-similarity is maximal for each metric.
-        for m in [DistanceMetric::Cosine, DistanceMetric::Euclidean, DistanceMetric::Manhattan] {
+        for m in [
+            DistanceMetric::Cosine,
+            DistanceMetric::Euclidean,
+            DistanceMetric::Manhattan,
+        ] {
             assert!(m.similarity(&a, 0, &a, 0) >= m.similarity(&a, 0, &b, 0));
         }
         assert!((DistanceMetric::Euclidean.similarity(&a, 0, &b, 0) + 2f32.sqrt()).abs() < 1e-6);

@@ -1,0 +1,376 @@
+//! Fault-injection harness for the GPCK v2 checkpoint subsystem.
+//!
+//! Simulates the ways checkpoints die in the wild — truncated writes,
+//! bit rot at arbitrary offsets, processes killed mid-run, stale temp
+//! files — and asserts that (a) corruption is always detected as a typed
+//! [`CheckpointError`], never a panic or a silently-wrong model, and
+//! (b) a killed-and-resumed pre-training run reproduces the uninterrupted
+//! run bit for bit.
+
+use std::path::PathBuf;
+
+use gp_core::checkpoint::{
+    checkpoint_file_name, list_checkpoints, load_trainer_checkpoint, save_model,
+    save_trainer_checkpoint, scan_for_recovery, TrainerMeta,
+};
+use gp_core::{
+    pretrain_resumable, CheckpointConfig, GraphPrompterModel, ModelConfig, PretrainConfig,
+    StageConfig, TrainingCurve,
+};
+use gp_datasets::CitationConfig;
+use gp_graph::SamplerConfig;
+use proptest::prelude::*;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gp_faults_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn tiny_model_cfg(embed: usize, hidden: usize, seed: u64) -> ModelConfig {
+    ModelConfig {
+        embed_dim: embed,
+        hidden_dim: hidden,
+        seed,
+        ..ModelConfig::default()
+    }
+}
+
+fn tiny_pretrain_cfg(steps: usize) -> PretrainConfig {
+    PretrainConfig {
+        steps,
+        ways: 3,
+        shots: 2,
+        queries: 3,
+        nm_ways: 3,
+        nm_shots: 2,
+        nm_queries: 3,
+        log_every: 5,
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 10,
+            neighbors_per_node: 5,
+        },
+        ..PretrainConfig::default()
+    }
+}
+
+fn curve_bits(c: &TrainingCurve) -> (Vec<usize>, Vec<u32>, Vec<u32>) {
+    (
+        c.steps.clone(),
+        c.loss.iter().map(|l| l.to_bits()).collect(),
+        c.accuracy.iter().map(|a| a.to_bits()).collect(),
+    )
+}
+
+fn param_bits(m: &GraphPrompterModel) -> Vec<Vec<u32>> {
+    m.store
+        .iter()
+        .map(|(_, t)| t.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: roundtrip fidelity and corruption detection.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any model configuration must roundtrip through a GPCK v2 container
+    /// with bit-identical parameters.
+    #[test]
+    fn gpck_roundtrip_any_config(
+        embed in 4usize..12,
+        hidden in 4usize..16,
+        gen in 0u8..3,
+        seed in any::<u64>(),
+        recon_normalize in any::<bool>(),
+        proto_residual in any::<bool>(),
+    ) {
+        let generator = match gen {
+            0 => gp_core::GeneratorKind::Sage,
+            1 => gp_core::GeneratorKind::Gat,
+            _ => gp_core::GeneratorKind::Gcn,
+        };
+        let cfg = ModelConfig {
+            generator,
+            recon_normalize,
+            proto_residual,
+            ..tiny_model_cfg(embed, hidden, seed)
+        };
+        let model = GraphPrompterModel::new(cfg.clone());
+        let dir = tmpdir("rt");
+        let path = dir.join("m.gpck");
+        save_model(&path, &model).unwrap();
+        let loaded = GraphPrompterModel::load(&path).unwrap();
+        prop_assert_eq!(loaded.config(), &cfg);
+        prop_assert_eq!(param_bits(&loaded), param_bits(&model));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corrupting any single byte anywhere in the file — header or payload
+    /// — must yield a typed load error: no panic, no silently-wrong model.
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        seed in any::<u64>(),
+        offset_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let model = GraphPrompterModel::new(tiny_model_cfg(6, 8, seed));
+        let dir = tmpdir("flip");
+        let path = dir.join("m.gpck");
+        save_model(&path, &model).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+        bytes[i] ^= mask;
+        std::fs::write(&path, &bytes).unwrap();
+        let res = GraphPrompterModel::load(&path);
+        prop_assert!(res.is_err(), "flip of byte {} (mask {:#04x}) went undetected", i, mask);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A file cut off at any point must load as a typed error, never hang
+    /// or panic — the torn-write scenario atomic renames protect against,
+    /// still exercised in case a checkpoint is copied around by hand.
+    #[test]
+    fn any_truncation_is_detected(seed in any::<u64>(), cut_frac in 0.0f64..1.0) {
+        let model = GraphPrompterModel::new(tiny_model_cfg(6, 8, seed));
+        let dir = tmpdir("cut");
+        let path = dir.join(checkpoint_file_name(10));
+        let meta = TrainerMeta {
+            step: 10,
+            best_params: model.store.snapshot(),
+            ..TrainerMeta::default()
+        };
+        save_trainer_checkpoint(&path, &model, &meta).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        prop_assert!(load_trainer_checkpoint(&path).is_err(), "cut at {} undetected", cut);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill/resume integration tests.
+// ---------------------------------------------------------------------------
+
+/// The tentpole guarantee: a run killed at a checkpoint boundary and
+/// resumed reproduces the uninterrupted run bit for bit — same curve,
+/// same best snapshot, same final parameters.
+#[test]
+fn resumed_run_is_bit_identical_to_uninterrupted() {
+    let ds = CitationConfig::new("t", 300, 5, 31).generate();
+    let mk = || GraphPrompterModel::new(tiny_model_cfg(16, 24, 0));
+
+    // Uninterrupted reference run: 40 steps, checkpoint+validate every 10.
+    let dir_a = tmpdir("resume_a");
+    let mut model_a = mk();
+    let ckpt_a = CheckpointConfig {
+        every: 10,
+        keep_last: 0,
+        ..CheckpointConfig::new(&dir_a)
+    };
+    let report_a = pretrain_resumable(
+        &mut model_a,
+        &ds,
+        &tiny_pretrain_cfg(40),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt_a),
+    )
+    .unwrap();
+
+    // "Killed" run: the same configuration stopped after 20 steps — the
+    // checkpoint at step 20 is written before the end-of-run best-snapshot
+    // restore, so it is exactly the mid-run trainer state.
+    let dir_b = tmpdir("resume_b");
+    let mut model_b = mk();
+    let ckpt_b = CheckpointConfig {
+        every: 10,
+        keep_last: 0,
+        ..CheckpointConfig::new(&dir_b)
+    };
+    pretrain_resumable(
+        &mut model_b,
+        &ds,
+        &tiny_pretrain_cfg(20),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt_b),
+    )
+    .unwrap();
+
+    // Resume with the full step budget from the step-20 checkpoint.
+    let mut model_r = mk();
+    let ckpt_r = CheckpointConfig {
+        every: 10,
+        keep_last: 0,
+        resume: true,
+        ..CheckpointConfig::new(&dir_b)
+    };
+    let report_r = pretrain_resumable(
+        &mut model_r,
+        &ds,
+        &tiny_pretrain_cfg(40),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt_r),
+    )
+    .unwrap();
+
+    assert_eq!(report_r.resumed_from, Some(20));
+    assert_eq!(curve_bits(&report_r.curve), curve_bits(&report_a.curve));
+    assert_eq!(report_r.best_acc.to_bits(), report_a.best_acc.to_bits());
+    assert_eq!(report_r.best_step, report_a.best_step);
+    assert_eq!(param_bits(&model_r), param_bits(&model_a));
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// Recovery must skip a corrupted newest checkpoint and resume from the
+/// previous valid one, reporting what it skipped.
+#[test]
+fn resume_skips_corrupt_newest_checkpoint() {
+    let ds = CitationConfig::new("t", 300, 5, 32).generate();
+    let dir = tmpdir("skipcorrupt");
+    let mut model = GraphPrompterModel::new(tiny_model_cfg(16, 24, 0));
+    let ckpt = CheckpointConfig {
+        every: 10,
+        keep_last: 0,
+        ..CheckpointConfig::new(&dir)
+    };
+    pretrain_resumable(
+        &mut model,
+        &ds,
+        &tiny_pretrain_cfg(20),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt),
+    )
+    .unwrap();
+
+    // Flip a payload byte in the newest checkpoint (step 20).
+    let newest = dir.join(checkpoint_file_name(20));
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let mut resumed = GraphPrompterModel::new(tiny_model_cfg(16, 24, 0));
+    let ckpt_r = CheckpointConfig {
+        resume: true,
+        ..ckpt
+    };
+    let report = pretrain_resumable(
+        &mut resumed,
+        &ds,
+        &tiny_pretrain_cfg(20),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt_r),
+    )
+    .unwrap();
+    assert_eq!(
+        report.resumed_from,
+        Some(10),
+        "must fall back to the step-10 checkpoint"
+    );
+    assert_eq!(report.skipped_checkpoints.len(), 1);
+    assert!(
+        report.skipped_checkpoints[0].1.contains("checksum"),
+        "{:?}",
+        report.skipped_checkpoints
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Debris a killed process can leave behind — stale temp files from
+/// interrupted atomic writes, an empty final-name file, junk — must not
+/// confuse directory listing or recovery.
+#[test]
+fn recovery_ignores_kill_debris() {
+    let dir = tmpdir("debris");
+    let model = GraphPrompterModel::new(tiny_model_cfg(8, 12, 9));
+    let meta = TrainerMeta {
+        step: 10,
+        best_params: model.store.snapshot(),
+        ..TrainerMeta::default()
+    };
+    save_trainer_checkpoint(&dir.join(checkpoint_file_name(10)), &model, &meta).unwrap();
+
+    // A torn temp file (interrupted before rename) and assorted junk.
+    std::fs::write(
+        dir.join(format!("{}.tmp.12345", checkpoint_file_name(20))),
+        b"torn",
+    )
+    .unwrap();
+    std::fs::write(dir.join("notes.txt"), b"hello").unwrap();
+    // A zero-byte file under a checkpoint name (e.g. `touch`ed by hand).
+    std::fs::write(dir.join(checkpoint_file_name(30)), b"").unwrap();
+
+    let listed: Vec<usize> = list_checkpoints(&dir).into_iter().map(|(s, _)| s).collect();
+    assert_eq!(listed, vec![10, 30], "temp/junk files must not be listed");
+
+    let scan = scan_for_recovery(&dir);
+    let (step, _, _, recovered_meta) = scan.recovered.expect("valid checkpoint must recover");
+    assert_eq!(step, 10);
+    assert_eq!(recovered_meta.step, 10);
+    assert_eq!(
+        scan.skipped.len(),
+        1,
+        "only the empty ckpt-30 file is skipped"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming against a model built with a different architecture must be a
+/// typed error, not a silent shape-corrupted merge.
+#[test]
+fn resume_rejects_mismatched_model_config() {
+    let ds = CitationConfig::new("t", 300, 5, 33).generate();
+    let dir = tmpdir("mismatch");
+    let mut model = GraphPrompterModel::new(tiny_model_cfg(16, 24, 0));
+    let ckpt = CheckpointConfig {
+        every: 10,
+        keep_last: 0,
+        ..CheckpointConfig::new(&dir)
+    };
+    pretrain_resumable(
+        &mut model,
+        &ds,
+        &tiny_pretrain_cfg(10),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt),
+    )
+    .unwrap();
+
+    // Different embed width: the checkpoint must be refused.
+    let mut other = GraphPrompterModel::new(tiny_model_cfg(8, 24, 0));
+    let ckpt_r = CheckpointConfig {
+        resume: true,
+        ..ckpt
+    };
+    let err = pretrain_resumable(
+        &mut other,
+        &ds,
+        &tiny_pretrain_cfg(10),
+        StageConfig::full(),
+        10,
+        2,
+        Some(&ckpt_r),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("configuration"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

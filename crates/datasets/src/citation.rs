@@ -76,7 +76,10 @@ impl CitationConfig {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(self.seed);
         assert!(self.num_classes >= 2, "need at least 2 classes");
-        assert!(self.num_nodes >= self.num_classes * 4, "too few nodes per class");
+        assert!(
+            self.num_nodes >= self.num_classes * 4,
+            "too few nodes per class"
+        );
 
         // Random unit class centers.
         let centers: Vec<Tensor> = (0..self.num_classes)

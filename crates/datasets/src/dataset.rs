@@ -84,19 +84,58 @@ impl Dataset {
 
     /// Sanity-check internal consistency (labels in range, anchors valid).
     /// Used by tests and the experiment harness at startup.
+    ///
+    /// # Panics
+    /// Panics on the first inconsistency; use [`Dataset::try_validate`]
+    /// for data loaded from external files.
     pub fn validate(&self) {
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Dataset::validate`]: returns a description of the first
+    /// inconsistency instead of panicking, including datapoints that index
+    /// outside the graph (which the panicking path would hit as an
+    /// out-of-bounds access).
+    pub fn try_validate(&self) -> Result<(), String> {
         for dp in self.train.iter().chain(&self.valid).chain(&self.test) {
+            match *dp {
+                DataPoint::Node(n) => {
+                    if n as usize >= self.graph.num_nodes() {
+                        return Err(format!(
+                            "{}: node datapoint {n} outside graph of {} nodes",
+                            self.name,
+                            self.graph.num_nodes()
+                        ));
+                    }
+                }
+                DataPoint::Edge(eid) => {
+                    if eid as usize >= self.graph.num_edges() {
+                        return Err(format!(
+                            "{}: edge datapoint {eid} outside graph of {} edges",
+                            self.name,
+                            self.graph.num_edges()
+                        ));
+                    }
+                }
+            }
             let label = dp.label(&self.graph) as usize;
-            assert!(
-                label < self.num_classes,
-                "{}: label {label} out of {} classes",
-                self.name,
-                self.num_classes
-            );
+            if label >= self.num_classes {
+                return Err(format!(
+                    "{}: label {label} out of {} classes",
+                    self.name, self.num_classes
+                ));
+            }
             for a in dp.anchors(&self.graph) {
-                assert!((a as usize) < self.graph.num_nodes());
+                if a as usize >= self.graph.num_nodes() {
+                    return Err(format!(
+                        "{}: anchor node {a} outside graph of {} nodes",
+                        self.name,
+                        self.graph.num_nodes()
+                    ));
+                }
             }
         }
+        Ok(())
     }
 
     /// Number of datapoints across all splits.

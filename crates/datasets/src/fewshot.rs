@@ -104,7 +104,11 @@ pub fn sample_few_shot_from_splits<R: Rng + ?Sized>(
     queries.shuffle(rng);
     queries.truncate(num_queries);
 
-    FewShotTask { classes, candidates, queries }
+    FewShotTask {
+        classes,
+        candidates,
+        queries,
+    }
 }
 
 #[cfg(test)]

@@ -138,7 +138,9 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
     for line in meta.lines() {
         let mut parts = line.splitn(2, '\t');
         let key = parts.next().unwrap_or("");
-        let value = parts.next().ok_or_else(|| fmt_err("meta line missing value"))?;
+        let value = parts
+            .next()
+            .ok_or_else(|| fmt_err("meta line missing value"))?;
         match key {
             "task" => {
                 task = Some(match value {
@@ -147,9 +149,27 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
                     other => return Err(fmt_err(format!("unknown task '{other}'"))),
                 })
             }
-            "classes" => classes = value.parse().ok(),
-            "relations" => relations = value.parse().ok(),
-            "feat_dim" => feat_dim = value.parse().ok(),
+            "classes" => {
+                classes = Some(
+                    value
+                        .parse()
+                        .map_err(|_| fmt_err(format!("meta.tsv: bad classes '{value}'")))?,
+                )
+            }
+            "relations" => {
+                relations = Some(
+                    value
+                        .parse()
+                        .map_err(|_| fmt_err(format!("meta.tsv: bad relations '{value}'")))?,
+                )
+            }
+            "feat_dim" => {
+                feat_dim = Some(
+                    value
+                        .parse()
+                        .map_err(|_| fmt_err(format!("meta.tsv: bad feat_dim '{value}'")))?,
+                )
+            }
             "name" => name = value.to_string(),
             _ => {}
         }
@@ -173,7 +193,10 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
         }
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() < 3 {
-            return Err(fmt_err(format!("nodes.tsv:{}: expected ≥3 columns", lineno + 1)));
+            return Err(fmt_err(format!(
+                "nodes.tsv:{}: expected ≥3 columns",
+                lineno + 1
+            )));
         }
         let id: usize = cols[0]
             .parse()
@@ -222,7 +245,10 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
         }
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() < 3 {
-            return Err(fmt_err(format!("edges.tsv:{}: expected ≥3 columns", lineno + 1)));
+            return Err(fmt_err(format!(
+                "edges.tsv:{}: expected ≥3 columns",
+                lineno + 1
+            )));
         }
         let head: u32 = cols[0]
             .parse()
@@ -234,7 +260,10 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
             .parse()
             .map_err(|_| fmt_err(format!("edges.tsv:{}: bad tail", lineno + 1)))?;
         if head as usize >= count || tail as usize >= count || rel as usize >= relations {
-            return Err(fmt_err(format!("edges.tsv:{}: endpoint/relation out of range", lineno + 1)));
+            return Err(fmt_err(format!(
+                "edges.tsv:{}: endpoint/relation out of range",
+                lineno + 1
+            )));
         }
         builder.add_triple(head, rel, tail);
         edge_splits.push(cols.get(3).unwrap_or(&"-").to_string());
@@ -247,7 +276,12 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
     // Deterministic relation features: any hand-written dataset gets the
     // same embedding for relation r at the same REL_FEAT_DIM.
     let mut rel_rng = StdRng::seed_from_u64(0x7265_6c66);
-    builder.rel_features(trng::randn(&mut rel_rng, relations.max(1), REL_FEAT_DIM, 1.0));
+    builder.rel_features(trng::randn(
+        &mut rel_rng,
+        relations.max(1),
+        REL_FEAT_DIM,
+        1.0,
+    ));
     let graph = builder.build();
 
     // Splits.
@@ -267,18 +301,40 @@ pub fn load_dataset(dir: impl AsRef<Path>) -> Result<Dataset, IoError> {
     match task {
         Task::NodeClassification => {
             for (v, split) in node_splits.iter().enumerate() {
-                push(DataPoint::Node(v as u32), split, &mut train, &mut valid, &mut test);
+                push(
+                    DataPoint::Node(v as u32),
+                    split,
+                    &mut train,
+                    &mut valid,
+                    &mut test,
+                );
             }
         }
         Task::EdgeClassification => {
             for (e, split) in edge_splits.iter().enumerate() {
-                push(DataPoint::Edge(e as u32), split, &mut train, &mut valid, &mut test);
+                push(
+                    DataPoint::Edge(e as u32),
+                    split,
+                    &mut train,
+                    &mut valid,
+                    &mut test,
+                );
             }
         }
     }
 
-    let ds = Dataset { name, graph, task, num_classes: classes, train, valid, test };
-    ds.validate();
+    let ds = Dataset {
+        name,
+        graph,
+        task,
+        num_classes: classes,
+        train,
+        valid,
+        test,
+    };
+    // A structurally broken import must surface as a typed error, never as
+    // a panic inside the library.
+    ds.try_validate().map_err(IoError::Format)?;
     Ok(ds)
 }
 
@@ -304,7 +360,10 @@ mod tests {
         assert_eq!(back.graph.num_nodes(), ds.graph.num_nodes());
         assert_eq!(back.graph.num_edges(), ds.graph.num_edges());
         assert_eq!(back.graph.triples(), ds.graph.triples());
-        assert_eq!(back.graph.features().as_slice(), ds.graph.features().as_slice());
+        assert_eq!(
+            back.graph.features().as_slice(),
+            ds.graph.features().as_slice()
+        );
         assert_eq!(back.train.len(), ds.train.len());
         assert_eq!(back.test.len(), ds.test.len());
         std::fs::remove_dir_all(&dir).ok();
@@ -356,6 +415,48 @@ mod tests {
         std::fs::write(dir.join("edges.tsv"), "").unwrap();
         // Non-dense node ids.
         assert!(load_dataset(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_numeric_meta_is_a_typed_error_not_missing() {
+        let dir = tmpdir("badmeta");
+        std::fs::write(
+            dir.join("meta.tsv"),
+            "task\tnode\nclasses\tthree\nrelations\t1\nfeat_dim\t2\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("nodes.tsv"), "0\t0\t0.5 0.5\t-\n").unwrap();
+        std::fs::write(dir.join("edges.tsv"), "").unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        match err {
+            IoError::Format(m) => assert!(m.contains("bad classes"), "{m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inconsistent_dataset_returns_error_instead_of_panicking() {
+        // A label outside `classes` used to abort the process via
+        // `Dataset::validate`; it must now surface as IoError::Format.
+        let dir = tmpdir("badlabel");
+        std::fs::write(
+            dir.join("meta.tsv"),
+            "task\tnode\nclasses\t2\nrelations\t1\nfeat_dim\t2\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("nodes.tsv"),
+            "0\t0\t0.5 0.5\ttrain\n1\t7\t1 0\ttrain\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("edges.tsv"), "0\t0\t1\t-\n").unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        match err {
+            IoError::Format(m) => assert!(m.contains("label 7"), "{m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -100,8 +100,9 @@ impl KgConfig {
         let type_centers: Vec<Tensor> = (0..self.num_entity_types)
             .map(|_| trng::randn(&mut rng, 1, NODE_FEAT_DIM, 1.0).l2_normalize_rows(1e-9))
             .collect();
-        let entity_type: Vec<usize> =
-            (0..self.num_entities).map(|i| i % self.num_entity_types).collect();
+        let entity_type: Vec<usize> = (0..self.num_entities)
+            .map(|i| i % self.num_entity_types)
+            .collect();
         // Sub-mode offsets per (type, mode).
         let modes = self.modes_per_type.max(1);
         let mode_offsets: Vec<Tensor> = (0..self.num_entity_types * modes)
@@ -193,14 +194,18 @@ impl KgConfig {
         // 60/20/20 per relation. This reproduces the non-i.i.d. character
         // of real benchmark splits.
         let is_emerging = |dp: &DataPoint| -> bool {
-            let DataPoint::Edge(eid) = dp else { return false };
+            let DataPoint::Edge(eid) = dp else {
+                return false;
+            };
             let head = graph.triple(*eid).head as usize;
             self.modes_per_type > 1 && self.entity_mode(head) == self.modes_per_type - 1
         };
         let all: Vec<DataPoint> = (0..graph.num_edges() as u32)
             .map(DataPoint::Edge)
             .filter(|dp| {
-                let DataPoint::Edge(eid) = dp else { return true };
+                let DataPoint::Edge(eid) = dp else {
+                    return true;
+                };
                 !corrupted.contains(eid)
             })
             .collect();

@@ -51,7 +51,13 @@ pub fn arxiv_like(seed: u64) -> Dataset {
 
 /// ConceptNet stand-in: few-relation downstream KG.
 pub fn conceptnet_like(seed: u64) -> Dataset {
-    let mut cfg = KgConfig::new("conceptnet-like", 1500, 14, 10, PRESET_SEED_BASE ^ (seed + 4));
+    let mut cfg = KgConfig::new(
+        "conceptnet-like",
+        1500,
+        14,
+        10,
+        PRESET_SEED_BASE ^ (seed + 4),
+    );
     cfg.triples_per_entity = 4.0;
     cfg.type_noise = 0.12;
     cfg.feature_noise = 0.40;
@@ -61,7 +67,13 @@ pub fn conceptnet_like(seed: u64) -> Dataset {
 /// FB15K-237 stand-in: dense, 100-relation downstream KG (the paper's
 /// 200-relation graph scaled; Table V sweeps up to 100 ways).
 pub fn fb15k237_like(seed: u64) -> Dataset {
-    let mut cfg = KgConfig::new("fb15k237-like", 2600, 100, 30, PRESET_SEED_BASE ^ (seed + 5));
+    let mut cfg = KgConfig::new(
+        "fb15k237-like",
+        2600,
+        100,
+        30,
+        PRESET_SEED_BASE ^ (seed + 5),
+    );
     cfg.triples_per_entity = 8.0;
     cfg.type_noise = 0.10;
     cfg.feature_noise = 0.38;

@@ -11,12 +11,12 @@
 ///
 /// # Panics
 /// Panics on length mismatches or `bins == 0`.
-pub fn expected_calibration_error(
-    confidences: &[f32],
-    correct: &[bool],
-    bins: usize,
-) -> f32 {
-    assert_eq!(confidences.len(), correct.len(), "one correctness flag per confidence");
+pub fn expected_calibration_error(confidences: &[f32], correct: &[bool], bins: usize) -> f32 {
+    assert_eq!(
+        confidences.len(),
+        correct.len(),
+        "one correctness flag per confidence"
+    );
     assert!(bins > 0, "need at least one bin");
     if confidences.is_empty() {
         return 0.0;

@@ -26,7 +26,11 @@ pub fn silhouette_score(embeddings: &Tensor, labels: &[usize]) -> f32 {
     assert_eq!(labels.len(), n, "one label per embedding row");
     let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
     assert!(
-        labels.iter().collect::<std::collections::HashSet<_>>().len() >= 2,
+        labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            >= 2,
         "silhouette needs at least 2 classes"
     );
 

@@ -29,13 +29,20 @@ pub struct Series {
 impl Series {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, points: Vec<(f32, f32)>) -> Self {
-        Self { name: name.into(), points }
+        Self {
+            name: name.into(),
+            points,
+        }
     }
 }
 
 fn bounds(all: impl Iterator<Item = (f32, f32)>) -> (f32, f32, f32, f32) {
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    );
     for (x, y) in all {
         min_x = min_x.min(x);
         max_x = max_x.max(x);
@@ -119,13 +126,14 @@ fn axes(min_x: f32, max_x: f32, min_y: f32, max_y: f32) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a multi-series line chart to an SVG string.
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let (min_x, max_x, min_y, max_y) =
-        bounds(series.iter().flat_map(|s| s.points.iter().copied()));
+    let (min_x, max_x, min_y, max_y) = bounds(series.iter().flat_map(|s| s.points.iter().copied()));
     let mut svg = header(title, x_label, y_label);
     svg += &axes(min_x, max_x, min_y, max_y);
     for (i, s) in series.iter().enumerate() {
@@ -133,7 +141,12 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) 
         let mut path = String::new();
         for (j, &(x, y)) in s.points.iter().enumerate() {
             let cmd = if j == 0 { 'M' } else { 'L' };
-            let _ = write!(path, "{cmd}{:.1} {:.1} ", sx(x, min_x, max_x), sy(y, min_y, max_y));
+            let _ = write!(
+                path,
+                "{cmd}{:.1} {:.1} ",
+                sx(x, min_x, max_x),
+                sy(y, min_y, max_y)
+            );
         }
         let _ = write!(
             svg,
@@ -211,11 +224,7 @@ mod tests {
 
     #[test]
     fn scatter_colors_by_label() {
-        let svg = scatter_plot(
-            "t-SNE",
-            &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)],
-            &[0, 1, 0],
-        );
+        let svg = scatter_plot("t-SNE", &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)], &[0, 1, 0]);
         assert!(svg.contains(PALETTE[0]));
         assert!(svg.contains(PALETTE[1]));
         assert_eq!(svg.matches("<circle").count(), 3);

@@ -18,7 +18,11 @@ impl MeanStd {
     pub fn of(xs: &[f32]) -> Self {
         let n = xs.len();
         if n == 0 {
-            return Self { mean: 0.0, std: 0.0, n: 0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
         }
         let mean = xs.iter().sum::<f32>() / n as f32;
         let std = if n > 1 {
@@ -59,7 +63,11 @@ mod tests {
 
     #[test]
     fn display_matches_paper_format() {
-        let s = MeanStd { mean: 78.571, std: 15.21, n: 5 };
+        let s = MeanStd {
+            mean: 78.571,
+            std: 15.21,
+            n: 5,
+        };
         assert_eq!(s.to_string(), "78.57 ±15.21");
     }
 }

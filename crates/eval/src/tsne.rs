@@ -88,7 +88,11 @@ fn joint_probabilities(x: &Tensor, perplexity: f32) -> Vec<f32> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi.is_finite() { (beta + hi) / 2.0 } else { beta * 2.0 };
+                beta = if hi.is_finite() {
+                    (beta + hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -162,7 +166,11 @@ pub fn tsne(x: &Tensor, cfg: &TsneConfig) -> Tensor {
         let qsum = qsum.max(1e-12);
 
         // KL gradient: 4 Σ_j (p_ij − q_ij) (y_i − y_j) / (1 + ‖y_i − y_j‖²).
-        let exag = if iter < exaggerate_until { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exaggerate_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         let mut grad = Tensor::zeros(n, cfg.out_dim);
         for i in 0..n {
             for j in 0..n {
@@ -178,7 +186,9 @@ pub fn tsne(x: &Tensor, cfg: &TsneConfig) -> Tensor {
                 }
             }
         }
-        velocity = velocity.scale(cfg.momentum).sub(&grad.scale(cfg.learning_rate));
+        velocity = velocity
+            .scale(cfg.momentum)
+            .sub(&grad.scale(cfg.learning_rate));
         y = y.add(&velocity);
     }
     y
@@ -208,7 +218,13 @@ mod tests {
     #[test]
     fn output_shape_and_finiteness() {
         let (x, _) = blobs(8, 3.0, 0);
-        let y = tsne(&x, &TsneConfig { iterations: 100, ..TsneConfig::default() });
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 100,
+                ..TsneConfig::default()
+            },
+        );
         assert_eq!(y.shape(), (24, 2));
         assert!(y.all_finite());
     }
@@ -216,7 +232,13 @@ mod tests {
     #[test]
     fn preserves_blob_structure() {
         let (x, labels) = blobs(10, 5.0, 1);
-        let y = tsne(&x, &TsneConfig { iterations: 250, ..TsneConfig::default() });
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 250,
+                ..TsneConfig::default()
+            },
+        );
         // The 2-D embedding must keep the classes separated.
         let ratio = intra_inter_ratio(&y, &labels);
         assert!(ratio < 0.6, "t-SNE lost cluster structure: ratio {ratio}");
@@ -225,7 +247,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, _) = blobs(5, 3.0, 2);
-        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         let a = tsne(&x, &cfg);
         let b = tsne(&x, &cfg);
         assert_eq!(a, b);

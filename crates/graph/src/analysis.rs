@@ -63,7 +63,11 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
         max_degree,
         isolated,
         components,
-        largest_component_frac: if n == 0 { 0.0 } else { largest as f32 / n as f32 },
+        largest_component_frac: if n == 0 {
+            0.0
+        } else {
+            largest as f32 / n as f32
+        },
         homophily,
     }
 }

@@ -53,7 +53,10 @@ impl GraphBuilder {
     pub fn add_triple(&mut self, head: u32, rel: u16, tail: u32) -> &mut Self {
         assert!((head as usize) < self.num_nodes, "head {head} out of range");
         assert!((tail as usize) < self.num_nodes, "tail {tail} out of range");
-        assert!((rel as usize) < self.num_relations, "relation {rel} out of range");
+        assert!(
+            (rel as usize) < self.num_relations,
+            "relation {rel} out of range"
+        );
         self.triples.push(Triple::new(head, rel, tail));
         self
     }
@@ -121,9 +124,7 @@ impl GraphBuilder {
             adj_edge[cursor[ta]] = eid as u32;
             cursor[ta] += 1;
         }
-        let node_features = self
-            .node_features
-            .unwrap_or_else(|| Tensor::zeros(n, 1));
+        let node_features = self.node_features.unwrap_or_else(|| Tensor::zeros(n, 1));
         let rel_features = self.rel_features;
         Graph {
             num_nodes: n,
@@ -237,9 +238,7 @@ impl Graph {
     /// # Panics
     /// Panics if the graph carries no node labels.
     pub fn node_label(&self, node: u32) -> u16 {
-        self.node_labels
-            .as_ref()
-            .expect("graph has no node labels")[node as usize]
+        self.node_labels.as_ref().expect("graph has no node labels")[node as usize]
     }
 
     /// All directed triples.
@@ -296,7 +295,9 @@ mod tests {
     fn toy() -> Graph {
         // 0 -r0- 1 -r1- 2, 0 -r1- 2
         let mut b = GraphBuilder::new(3, 2);
-        b.add_triple(0, 0, 1).add_triple(1, 1, 2).add_triple(0, 1, 2);
+        b.add_triple(0, 0, 1)
+            .add_triple(1, 1, 2)
+            .add_triple(0, 1, 2);
         b.node_labels(vec![7, 8, 9]);
         b.node_features(Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]));
         b.build()
@@ -321,7 +322,8 @@ mod tests {
         for u in 0..g.num_nodes() as u32 {
             for (v, r, e) in g.neighbors(u) {
                 assert!(
-                    g.neighbors(v).any(|(w, r2, e2)| w == u && r2 == r && e2 == e),
+                    g.neighbors(v)
+                        .any(|(w, r2, e2)| w == u && r2 == r && e2 == e),
                     "edge {u}->{v} not mirrored"
                 );
             }

@@ -29,7 +29,11 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { hops: 1, max_nodes: 30, neighbors_per_node: 10 }
+        Self {
+            hops: 1,
+            max_nodes: 30,
+            neighbors_per_node: 10,
+        }
     }
 }
 
@@ -41,7 +45,10 @@ pub struct RandomWalkSampler {
 impl RandomWalkSampler {
     /// Build a sampler with the given config.
     pub fn new(config: SamplerConfig) -> Self {
-        assert!(config.max_nodes >= 2, "max_nodes must allow anchors + neighbors");
+        assert!(
+            config.max_nodes >= 2,
+            "max_nodes must allow anchors + neighbors"
+        );
         assert!(config.hops >= 1, "hops must be >= 1");
         Self { config }
     }
@@ -55,12 +62,7 @@ impl RandomWalkSampler {
     /// (1 node for node classification, 2 for edge classification).
     ///
     /// Returns the induced [`Subgraph`]; anchors are always included.
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        graph: &Graph,
-        anchors: &[u32],
-        rng: &mut R,
-    ) -> Subgraph {
+    pub fn sample<R: Rng + ?Sized>(&self, graph: &Graph, anchors: &[u32], rng: &mut R) -> Subgraph {
         assert!(!anchors.is_empty(), "at least one anchor required");
         let cap = self.config.max_nodes.max(anchors.len());
         let mut nodes: Vec<u32> = Vec::with_capacity(cap);
@@ -137,7 +139,11 @@ mod tests {
     #[test]
     fn node_cap_is_respected() {
         let g = ring(200);
-        let cfg = SamplerConfig { hops: 3, max_nodes: 12, neighbors_per_node: 8 };
+        let cfg = SamplerConfig {
+            hops: 3,
+            max_nodes: 12,
+            neighbors_per_node: 8,
+        };
         let s = RandomWalkSampler::new(cfg);
         let mut rng = StdRng::seed_from_u64(1);
         for seed_node in 0..20u32 {
@@ -149,7 +155,11 @@ mod tests {
     #[test]
     fn no_duplicate_nodes() {
         let g = ring(100);
-        let s = RandomWalkSampler::new(SamplerConfig { hops: 3, max_nodes: 25, neighbors_per_node: 6 });
+        let s = RandomWalkSampler::new(SamplerConfig {
+            hops: 3,
+            max_nodes: 25,
+            neighbors_per_node: 6,
+        });
         let mut rng = StdRng::seed_from_u64(2);
         let sg = s.sample(&g, &[7], &mut rng);
         let mut sorted = sg.nodes.clone();
@@ -173,8 +183,16 @@ mod tests {
     fn more_hops_reach_further() {
         let g = ring(500);
         let mut rng = StdRng::seed_from_u64(4);
-        let near = RandomWalkSampler::new(SamplerConfig { hops: 1, max_nodes: 100, neighbors_per_node: 4 });
-        let far = RandomWalkSampler::new(SamplerConfig { hops: 3, max_nodes: 100, neighbors_per_node: 4 });
+        let near = RandomWalkSampler::new(SamplerConfig {
+            hops: 1,
+            max_nodes: 100,
+            neighbors_per_node: 4,
+        });
+        let far = RandomWalkSampler::new(SamplerConfig {
+            hops: 3,
+            max_nodes: 100,
+            neighbors_per_node: 4,
+        });
         let avg = |s: &RandomWalkSampler, rng: &mut StdRng| -> f32 {
             let mut total = 0usize;
             for a in 0..30u32 {

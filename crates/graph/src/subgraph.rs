@@ -35,8 +35,7 @@ impl Subgraph {
     /// # Panics
     /// Panics if an anchor is not contained in `nodes`.
     pub fn induce(graph: &Graph, nodes: Vec<u32>, anchor_ids: &[u32]) -> Self {
-        let local: HashMap<u32, usize> =
-            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let local: HashMap<u32, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let anchors = anchor_ids
             .iter()
             .map(|a| *local.get(a).expect("anchor not in node set"))

@@ -55,7 +55,9 @@ fn normalize_per_dst(
     num_nodes: usize,
 ) -> Var {
     let ones = sess.data(Tensor::full(num_nodes, 1, 1.0));
-    let sums = sess.tape.spmm(edges.clone(), ones, Some(weights), num_nodes);
+    let sums = sess
+        .tape
+        .spmm(edges.clone(), ones, Some(weights), num_nodes);
     let dst_idx: Arc<Vec<usize>> = Arc::new((0..edges.len()).map(|e| edges.dst(e)).collect());
     let denom = sess.tape.gather_rows(sums, dst_idx);
     let inv = sess.tape.recip(denom, 1e-6);
@@ -110,10 +112,18 @@ impl GraphSage {
             .map(|(i, w)| SageLayer {
                 // Concat aggregator: input is [self | neighbors] → 2·w[0].
                 lin: Linear::new(store, rng_, &format!("{name}.sage{i}"), 2 * w[0], w[1]),
-                act: if i < last { Activation::Relu } else { Activation::None },
+                act: if i < last {
+                    Activation::Relu
+                } else {
+                    Activation::None
+                },
             })
             .collect();
-        Self { layers, out_dim: *dims.last().unwrap(), normalize_learned: true }
+        Self {
+            layers,
+            out_dim: *dims.last().unwrap(),
+            normalize_learned: true,
+        }
     }
 
     /// Choose how learned edge weights enter the aggregation: per-dst
@@ -177,11 +187,18 @@ impl Gcn {
             .map(|(i, w)| {
                 (
                     Linear::new(store, rng_, &format!("{name}.gcn{i}"), w[0], w[1]),
-                    if i < last { Activation::Relu } else { Activation::None },
+                    if i < last {
+                        Activation::Relu
+                    } else {
+                        Activation::None
+                    },
                 )
             })
             .collect();
-        Self { layers, out_dim: *dims.last().unwrap() }
+        Self {
+            layers,
+            out_dim: *dims.last().unwrap(),
+        }
     }
 }
 
@@ -291,11 +308,18 @@ impl Gat {
                             ),
                         })
                         .collect(),
-                    act: if i < last { Activation::LeakyRelu } else { Activation::None },
+                    act: if i < last {
+                        Activation::LeakyRelu
+                    } else {
+                        Activation::None
+                    },
                 }
             })
             .collect();
-        Self { layers, out_dim: *dims.last().unwrap() }
+        Self {
+            layers,
+            out_dim: *dims.last().unwrap(),
+        }
     }
 }
 

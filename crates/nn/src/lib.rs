@@ -26,7 +26,7 @@ pub mod task_graph;
 
 pub use gnn::{Gat, Gcn, GnnEncoder, GraphSage};
 pub use linear::{Activation, Linear, Mlp};
-pub use optim::{Adam, AdamW, Optimizer, Sgd};
-pub use params::{ParamId, ParamStore};
+pub use optim::{Adam, AdamW, OptimState, Optimizer, Sgd};
+pub use params::{ParamError, ParamId, ParamStore};
 pub use session::Session;
 pub use task_graph::TaskGraphAttention;

@@ -63,9 +63,17 @@ impl Linear {
         out_dim: usize,
         bias: bool,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), rng::xavier_uniform(rng_, in_dim, out_dim));
+        let w = store.add(
+            format!("{name}.w"),
+            rng::xavier_uniform(rng_, in_dim, out_dim),
+        );
         let b = bias.then(|| store.add(format!("{name}.b"), gp_tensor::Tensor::zeros(1, out_dim)));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -119,7 +127,11 @@ impl Mlp {
             .enumerate()
             .map(|(i, w)| Linear::new(store, rng_, &format!("{name}.{i}"), w[0], w[1]))
             .collect();
-        Self { layers, hidden_activation, output_activation }
+        Self {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
     }
 
     /// The paper's 2-layer shape: `in → hidden → out` with ReLU hidden.
@@ -131,7 +143,14 @@ impl Mlp {
         hidden: usize,
         out_dim: usize,
     ) -> Self {
-        Self::new(store, rng_, name, &[in_dim, hidden, out_dim], Activation::Relu, Activation::None)
+        Self::new(
+            store,
+            rng_,
+            name,
+            &[in_dim, hidden, out_dim],
+            Activation::Relu,
+            Activation::None,
+        )
     }
 
     /// Input width.

@@ -2,6 +2,56 @@
 
 use gp_tensor::Tensor;
 
+/// Typed error for fallible [`ParamStore`] mutations ([`ParamStore::try_set`],
+/// [`ParamStore::try_restore`]). The panicking variants remain for internal
+/// hot paths where a mismatch is a programmer error; checkpoint/restore code
+/// paths use the `try_` variants so corrupt or mismatched state surfaces as a
+/// recoverable error instead of a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// A tensor's shape does not match the registered parameter's shape.
+    ShapeMismatch {
+        /// Debug name of the parameter.
+        name: String,
+        /// Shape registered in the store.
+        expected: (usize, usize),
+        /// Shape that was offered.
+        got: (usize, usize),
+    },
+    /// A snapshot's tensor count does not match the store's.
+    LengthMismatch {
+        /// Number of tensors in the store.
+        expected: usize,
+        /// Number of tensors offered.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch for {name}: expected {expected:?}, got {got:?}"
+                )
+            }
+            ParamError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "snapshot length mismatch: store has {expected} tensors, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// Opaque handle to a parameter tensor inside a [`ParamStore`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ParamId(pub(crate) usize);
@@ -52,14 +102,27 @@ impl ParamStore {
     }
 
     /// Overwrite a parameter's value (e.g. loading a checkpoint).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch; use [`ParamStore::try_set`] where the
+    /// tensor comes from untrusted input (files, snapshots).
     pub fn set(&mut self, id: ParamId, tensor: Tensor) {
-        assert_eq!(
-            self.tensors[id.0].shape(),
-            tensor.shape(),
-            "ParamStore::set: shape mismatch for {}",
-            self.names[id.0]
-        );
+        self.try_set(id, tensor)
+            .unwrap_or_else(|e| panic!("ParamStore::set: {e}"));
+    }
+
+    /// Fallible [`ParamStore::set`]: rejects shape mismatches with a typed
+    /// error instead of panicking.
+    pub fn try_set(&mut self, id: ParamId, tensor: Tensor) -> Result<(), ParamError> {
+        if self.tensors[id.0].shape() != tensor.shape() {
+            return Err(ParamError::ShapeMismatch {
+                name: self.names[id.0].clone(),
+                expected: self.tensors[id.0].shape(),
+                got: tensor.shape(),
+            });
+        }
         self.tensors[id.0] = tensor;
+        Ok(())
     }
 
     /// Debug name of a parameter.
@@ -84,7 +147,10 @@ impl ParamStore {
 
     /// Iterate over all `(id, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
-        self.tensors.iter().enumerate().map(|(i, t)| (ParamId(i), t))
+        self.tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ParamId(i), t))
     }
 
     /// Snapshot all parameter values (cheap checkpointing).
@@ -95,13 +161,36 @@ impl ParamStore {
     /// Restore a snapshot taken with [`ParamStore::snapshot`].
     ///
     /// # Panics
-    /// Panics if the snapshot does not match the store layout.
+    /// Panics if the snapshot does not match the store layout; use
+    /// [`ParamStore::try_restore`] for snapshots loaded from disk.
     pub fn restore(&mut self, snapshot: &[Tensor]) {
-        assert_eq!(snapshot.len(), self.tensors.len(), "snapshot length mismatch");
+        self.try_restore(snapshot)
+            .unwrap_or_else(|e| panic!("ParamStore::restore: {e}"));
+    }
+
+    /// Fallible [`ParamStore::restore`]: validates the whole snapshot
+    /// (count and every shape) before mutating anything, so a failed
+    /// restore leaves the store untouched.
+    pub fn try_restore(&mut self, snapshot: &[Tensor]) -> Result<(), ParamError> {
+        if snapshot.len() != self.tensors.len() {
+            return Err(ParamError::LengthMismatch {
+                expected: self.tensors.len(),
+                got: snapshot.len(),
+            });
+        }
+        for (i, (t, s)) in self.tensors.iter().zip(snapshot).enumerate() {
+            if t.shape() != s.shape() {
+                return Err(ParamError::ShapeMismatch {
+                    name: self.names[i].clone(),
+                    expected: t.shape(),
+                    got: s.shape(),
+                });
+            }
+        }
         for (t, s) in self.tensors.iter_mut().zip(snapshot) {
-            assert_eq!(t.shape(), s.shape(), "snapshot shape mismatch");
             *t = s.clone();
         }
+        Ok(())
     }
 
     /// Serialize every parameter to a writer (little-endian binary:
@@ -204,7 +293,10 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let mut store = ParamStore::new();
-        store.add("w", Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 9.9, -7.25]));
+        store.add(
+            "w",
+            Tensor::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 9.9, -7.25]),
+        );
         store.add("b", Tensor::from_vec(1, 2, vec![0.5, -0.5]));
         let mut buf = Vec::new();
         store.save(&mut buf).unwrap();
@@ -251,5 +343,47 @@ mod tests {
         let mut store = ParamStore::new();
         let id = store.add("w", Tensor::zeros(2, 3));
         store.set(id, Tensor::zeros(3, 2));
+    }
+
+    #[test]
+    fn try_set_returns_typed_error() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(2, 3));
+        let err = store.try_set(id, Tensor::zeros(3, 2)).unwrap_err();
+        assert_eq!(
+            err,
+            ParamError::ShapeMismatch {
+                name: "w".into(),
+                expected: (2, 3),
+                got: (3, 2)
+            }
+        );
+        assert!(store.try_set(id, Tensor::full(2, 3, 1.0)).is_ok());
+        assert_eq!(store.get(id).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn try_restore_validates_before_mutating() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::full(1, 2, 1.0));
+        let b = store.add("b", Tensor::full(2, 2, 2.0));
+        // Wrong count.
+        let err = store.try_restore(&[Tensor::zeros(1, 2)]).unwrap_err();
+        assert_eq!(
+            err,
+            ParamError::LengthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        // Second tensor has the wrong shape: nothing may change.
+        let bad = vec![Tensor::zeros(1, 2), Tensor::zeros(9, 9)];
+        assert!(store.try_restore(&bad).is_err());
+        assert_eq!(store.get(a).get(0, 0), 1.0);
+        assert_eq!(store.get(b).get(0, 0), 2.0);
+        // A matching snapshot applies.
+        let good = vec![Tensor::full(1, 2, -1.0), Tensor::full(2, 2, -2.0)];
+        assert!(store.try_restore(&good).is_ok());
+        assert_eq!(store.get(a).get(0, 0), -1.0);
     }
 }

@@ -66,10 +66,7 @@ impl TaskGraphAttention {
             att: Linear::new(store, rng_, &format!("{name}.att"), hidden, 1),
             upd: Linear::new(store, rng_, &format!("{name}.upd"), hidden, dim),
             query_proj: Linear::new(store, rng_, &format!("{name}.qproj"), dim, dim),
-            proto_gate: store.add(
-                format!("{name}.proto_gate"),
-                gp_tensor::Tensor::scalar(0.5),
-            ),
+            proto_gate: store.add(format!("{name}.proto_gate"), gp_tensor::Tensor::scalar(0.5)),
             temperature: 10.0,
             use_prototype_residual: true,
             edge_dim,
@@ -157,7 +154,10 @@ impl TaskGraphAttention {
             let ln = sess.tape.row_l2_normalize(correction);
             let cos = sess.tape.matmul_tb(qn, ln);
             let logits = sess.tape.scale(cos, self.temperature);
-            return TaskGraphOutput { logits, label_embeddings: correction };
+            return TaskGraphOutput {
+                logits,
+                label_embeddings: correction,
+            };
         }
         let mut class_count = vec![0f32; m];
         for &y in prompt_labels {
@@ -194,7 +194,10 @@ impl TaskGraphAttention {
         let cos = sess.tape.matmul_tb(qn, ln);
         let logits = sess.tape.scale(cos, self.temperature);
 
-        TaskGraphOutput { logits, label_embeddings }
+        TaskGraphOutput {
+            logits,
+            label_embeddings,
+        }
     }
 
     /// Edge-attribute embedding width.
@@ -219,7 +222,13 @@ mod tests {
     }
 
     /// Cluster-separated prompt embeddings: class c centered at unit axis c.
-    fn clustered(n_per_class: usize, m: usize, dim: usize, noise: f32, seed: u64) -> (Tensor, Vec<usize>) {
+    fn clustered(
+        n_per_class: usize,
+        m: usize,
+        dim: usize,
+        noise: f32,
+        seed: u64,
+    ) -> (Tensor, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = Vec::new();
         let mut labels = Vec::new();
@@ -293,7 +302,11 @@ mod tests {
         // Labels only from class 0; class 1's label node aggregates F-edges.
         let (store, tg) = setup(4);
         let mut sess = Session::new(&store);
-        let pv = sess.data(Tensor::from_vec(2, 4, vec![1.0, 0.0, 0.0, 0.0, 0.9, 0.1, 0.0, 0.0]));
+        let pv = sess.data(Tensor::from_vec(
+            2,
+            4,
+            vec![1.0, 0.0, 0.0, 0.0, 0.9, 0.1, 0.0, 0.0],
+        ));
         let qv = sess.data(Tensor::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]));
         let out = tg.forward(&mut sess, pv, &[0, 0], qv, 2);
         assert!(sess.value(out.logits).all_finite());

@@ -18,7 +18,9 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 
 /// `rows×cols` tensor of N(0, std²) entries.
 pub fn randn<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Tensor {
-    let data = (0..rows * cols).map(|_| standard_normal(rng) * std).collect();
+    let data = (0..rows * cols)
+        .map(|_| standard_normal(rng) * std)
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 
@@ -32,7 +34,13 @@ pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usiz
 }
 
 /// `rows×cols` tensor of U(lo, hi) entries.
-pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+pub fn rand_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    lo: f32,
+    hi: f32,
+) -> Tensor {
     let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
     Tensor::from_vec(rows, cols, data)
 }

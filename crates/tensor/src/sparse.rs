@@ -63,10 +63,7 @@ impl EdgeList {
 
     /// Largest referenced node index + 1, or 0 when empty.
     pub fn min_num_nodes(&self) -> usize {
-        self.iter()
-            .map(|(s, d)| s.max(d) + 1)
-            .max()
-            .unwrap_or(0)
+        self.iter().map(|(s, d)| s.max(d) + 1).max().unwrap_or(0)
     }
 
     /// In-degree (number of incoming edges) per destination, for `n` nodes.

@@ -314,13 +314,25 @@ impl Tape {
                 }
             }
         }
-        self.push(out, Op::Spmm { x, w, edges, out_rows })
+        self.push(
+            out,
+            Op::Spmm {
+                x,
+                w,
+                edges,
+                out_rows,
+            },
+        )
     }
 
     /// Softmax of `E×1` edge scores grouped by destination node.
     pub fn edge_softmax(&mut self, edges: Arc<EdgeList>, scores: Var) -> Var {
         let sv = self.value(scores);
-        assert_eq!(sv.shape(), (edges.len(), 1), "edge_softmax: scores must be E×1");
+        assert_eq!(
+            sv.shape(),
+            (edges.len(), 1),
+            "edge_softmax: scores must be E×1"
+        );
         let n = edges.min_num_nodes();
         // Stable grouped softmax: subtract per-group max.
         let mut gmax = vec![f32::NEG_INFINITY; n];
@@ -364,15 +376,26 @@ impl Tape {
     /// Mean softmax cross-entropy of `logits` against integer `targets` → `1×1`.
     pub fn cross_entropy_logits(&mut self, logits: Var, targets: Arc<Vec<usize>>) -> Var {
         let lv = self.value(logits);
-        assert_eq!(lv.rows(), targets.len(), "cross_entropy: batch size mismatch");
+        assert_eq!(
+            lv.rows(),
+            targets.len(),
+            "cross_entropy: batch size mismatch"
+        );
         let ls = lv.log_softmax_rows();
         let mut loss = 0.0f32;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < lv.cols(), "cross_entropy: target {t} out of {} classes", lv.cols());
+            assert!(
+                t < lv.cols(),
+                "cross_entropy: target {t} out of {} classes",
+                lv.cols()
+            );
             loss -= ls.get(r, t);
         }
         loss /= targets.len().max(1) as f32;
-        self.push(Tensor::scalar(loss), Op::CrossEntropyLogits { logits, targets })
+        self.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropyLogits { logits, targets },
+        )
     }
 
     /// Reverse sweep from a scalar `loss` node; returns per-node gradients.
@@ -551,7 +574,12 @@ impl Tape {
                 }
                 Self::acc(grads, *x, dx);
             }
-            Op::Spmm { x, w, edges, out_rows: _ } => {
+            Op::Spmm {
+                x,
+                w,
+                edges,
+                out_rows: _,
+            } => {
                 let xv = self.value(*x);
                 let wslice = w.map(|wv| self.value(wv).as_slice());
                 let mut dx = Tensor::zeros(xv.rows(), xv.cols());
@@ -623,11 +651,7 @@ mod tests {
     use super::*;
 
     /// Central-difference gradient check for a scalar function of one input.
-    fn finite_diff_check(
-        input: Tensor,
-        f: impl Fn(&mut Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn finite_diff_check(input: Tensor, f: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
         let mut tape = Tape::new();
         let x = tape.input(input.clone());
         let loss = f(&mut tape, x);
@@ -672,7 +696,13 @@ mod tests {
 
     #[test]
     fn grad_matmul_tb() {
-        let b = Tensor::from_vec(4, 3, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1, 0.2, 0.4, -0.9, 1.0, 0.0, 0.6]);
+        let b = Tensor::from_vec(
+            4,
+            3,
+            vec![
+                0.5, -1.0, 2.0, 0.3, -0.7, 1.1, 0.2, 0.4, -0.9, 1.0, 0.0, 0.6,
+            ],
+        );
         finite_diff_check(
             Tensor::from_vec(2, 3, vec![1.0, -0.5, 0.2, 0.9, 2.0, -1.5]),
             move |t, x| {

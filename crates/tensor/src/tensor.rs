@@ -32,12 +32,20 @@ impl Tensor {
 
     /// An all-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A `1×1` scalar tensor.
@@ -222,14 +230,22 @@ impl Tensor {
 
     /// Elementwise binary op with shape check.
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape(), other.shape(), "elementwise op: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "elementwise op: shape mismatch"
+        );
         let data = self
             .data
             .iter()
             .zip(&other.data)
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise addition.
@@ -263,7 +279,11 @@ impl Tensor {
 
     /// In-place `self += other * s` (axpy).
     pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled_assign: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b * s;
         }
@@ -314,7 +334,11 @@ impl Tensor {
     /// Column vector (`n×1`) of per-row sums.
     pub fn sum_rows(&self) -> Tensor {
         let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
-        Tensor { rows: self.rows, cols: 1, data }
+        Tensor {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Row-wise softmax (numerically stable).
@@ -374,7 +398,11 @@ impl Tensor {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Tensor { rows: self.rows, cols, data }
+        Tensor {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Stack rows vertically (`a×d`, `b×d` → `(a+b)×d`).
@@ -383,17 +411,29 @@ impl Tensor {
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Select rows by index (duplicates allowed).
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         let mut data = Vec::with_capacity(idx.len() * self.cols);
         for &i in idx {
-            assert!(i < self.rows, "gather_rows: index {i} out of {} rows", self.rows);
+            assert!(
+                i < self.rows,
+                "gather_rows: index {i} out of {} rows",
+                self.rows
+            );
             data.extend_from_slice(self.row(i));
         }
-        Tensor { rows: idx.len(), cols: self.cols, data }
+        Tensor {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Index of the largest element in each row.
@@ -455,14 +495,22 @@ mod tests {
     #[test]
     fn matmul_tb_equals_matmul_with_transpose() {
         let a = t(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = t(4, 3, &[7.0, 8.0, 9.0, 1.0, -1.0, 2.0, 0.0, 3.0, 4.0, 2.0, 2.0, 2.0]);
+        let b = t(
+            4,
+            3,
+            &[7.0, 8.0, 9.0, 1.0, -1.0, 2.0, 0.0, 3.0, 4.0, 2.0, 2.0, 2.0],
+        );
         assert_eq!(a.matmul_tb(&b), a.matmul(&b.transpose()));
     }
 
     #[test]
     fn matmul_ta_equals_matmul_with_transpose() {
         let a = t(3, 2, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = t(3, 4, &[7.0, 8.0, 9.0, 1.0, -1.0, 2.0, 0.0, 3.0, 4.0, 2.0, 2.0, 2.0]);
+        let b = t(
+            3,
+            4,
+            &[7.0, 8.0, 9.0, 1.0, -1.0, 2.0, 0.0, 3.0, 4.0, 2.0, 2.0, 2.0],
+        );
         assert_eq!(a.matmul_ta(&b), a.transpose().matmul(&b));
     }
 

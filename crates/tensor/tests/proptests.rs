@@ -1,7 +1,6 @@
 //! Property-based tests: algebra laws and randomized finite-difference
 //! gradient checks over arbitrary shapes.
 
-
 use gp_tensor::{EdgeList, Tape, Tensor};
 use proptest::prelude::*;
 

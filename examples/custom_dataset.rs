@@ -10,8 +10,8 @@
 //! library.
 
 use graphprompter::core::{
-    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig,
-    PretrainConfig, StageConfig,
+    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig,
+    StageConfig,
 };
 use graphprompter::datasets::{load_dataset, save_dataset, CitationConfig};
 
@@ -48,7 +48,10 @@ fn main() {
     //    point `evaluate_episodes` at any other loaded dataset for the
     //    cross-domain setting).
     let mut model = GraphPrompterModel::new(ModelConfig::default());
-    let cfg = PretrainConfig { steps: 150, ..PretrainConfig::default() };
+    let cfg = PretrainConfig {
+        steps: 150,
+        ..PretrainConfig::default()
+    };
     pretrain(&mut model, &ds, &cfg, StageConfig::full());
     let accs = evaluate_episodes(&model, &ds, 4, 30, 3, &InferenceConfig::default());
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;

@@ -22,8 +22,16 @@ fn main() {
     let fb = presets::fb15k237_like(0);
 
     let mut model = GraphPrompterModel::new(ModelConfig::default());
-    pretrain(&mut model, &source, &PretrainConfig::default(), StageConfig::full());
-    println!("pre-trained on {} ({} relations)\n", source.name, source.num_classes);
+    pretrain(
+        &mut model,
+        &source,
+        &PretrainConfig::default(),
+        StageConfig::full(),
+    );
+    println!(
+        "pre-trained on {} ({} relations)\n",
+        source.name, source.num_classes
+    );
 
     // Aggregate accuracy on both downstream KGs.
     let cfg = InferenceConfig::default();

@@ -49,7 +49,12 @@ fn main() {
             ..graphprompter::core::InferenceConfig::default()
         };
         MeanStd::of(&graphprompter::core::evaluate_episodes(
-            &gp, &target, ways, protocol.queries, episodes, &cfg,
+            &gp,
+            &target,
+            ways,
+            protocol.queries,
+            episodes,
+            &cfg,
         ))
         .to_string()
     };

@@ -17,7 +17,10 @@ fn main() {
     cache.insert("rome", "capital_of it");
     cache.touch(&"paris"); // a hit protects the entry
     let evicted = cache.insert("berlin", "capital_of de");
-    println!("inserted berlin → evicted {:?} (LFU, not FIFO)", evicted.map(|e| e.0));
+    println!(
+        "inserted berlin → evicted {:?} (LFU, not FIFO)",
+        evicted.map(|e| e.0)
+    );
 
     // --- Prompt Augmenter over a toy episode -----------------------------
     println!("\n== Prompt Augmenter (3 classes, cache c = 2 per class) ==");
@@ -45,7 +48,11 @@ fn main() {
     let (embs, labels) = aug.cached_prompts(2).expect("cache is non-empty");
     println!("cached prompt set Ŝ∪C rows:");
     for (r, label) in labels.iter().enumerate() {
-        println!("  label {label} ← [{:+.2}, {:+.2}]", embs.get(r, 0), embs.get(r, 1));
+        println!(
+            "  label {label} ← [{:+.2}, {:+.2}]",
+            embs.get(r, 0),
+            embs.get(r, 1)
+        );
     }
 
     // The augmented set is what Alg. 2 feeds to the task graph alongside

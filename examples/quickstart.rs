@@ -7,8 +7,8 @@
 //! ```
 
 use graphprompter::core::{
-    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig,
-    PretrainConfig, StageConfig,
+    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig,
+    StageConfig,
 };
 use graphprompter::datasets::CitationConfig;
 use graphprompter::eval::MeanStd;
@@ -30,7 +30,10 @@ fn main() {
     // 2. Pre-train the full method (reconstruction + selection layers and
     //    the task graph train jointly; Alg. 1).
     let mut model = GraphPrompterModel::new(ModelConfig::default());
-    let cfg = PretrainConfig { steps: 200, ..PretrainConfig::default() };
+    let cfg = PretrainConfig {
+        steps: 200,
+        ..PretrainConfig::default()
+    };
     let curve = pretrain(&mut model, &source, &cfg, StageConfig::full());
     println!(
         "pre-trained {} parameters; loss {:.2} → {:.2}",
@@ -44,11 +47,17 @@ fn main() {
     //    Selector from N = 10 candidates.
     let infer = InferenceConfig::default();
     let accs = evaluate_episodes(&model, &target, 5, 30, 5, &infer);
-    println!("5-way in-context accuracy: {}% (chance 20%)", MeanStd::of(&accs));
+    println!(
+        "5-way in-context accuracy: {}% (chance 20%)",
+        MeanStd::of(&accs)
+    );
 
     // 4. The same model with every GraphPrompter stage disabled is the
     //    Prodigy baseline — compare.
-    let prodigy = InferenceConfig { stages: StageConfig::prodigy(), ..infer };
+    let prodigy = InferenceConfig {
+        stages: StageConfig::prodigy(),
+        ..infer
+    };
     let base = evaluate_episodes(&model, &target, 5, 30, 5, &prodigy);
     println!("…with random prompt selection:  {}%", MeanStd::of(&base));
 }

@@ -3,19 +3,28 @@
 //! ```text
 //! gp datasets                               # preset statistics
 //! gp pretrain  --source wiki --steps 400 --out model.gpck
+//!              [--checkpoint-dir ./ckpts] [--checkpoint-every 100]
+//!              [--keep-last 3] [--validate-every 100] [--resume]
 //! gp evaluate  --model model.gpck --dataset fb15k237 --ways 10 [--episodes 5]
 //!              [--prodigy]                  # random-selection baseline stages
 //! gp episode   --model model.gpck --dataset conceptnet --ways 4 [--seed 7]
 //! gp export    --dataset arxiv --dir ./my_arxiv       # dump to TSV
+//! gp inspect   model.gpck                   # validate + describe a checkpoint
 //! ```
 //!
 //! `evaluate`/`episode` also accept `--dataset-path <dir>` to run on a
 //! directory in the `gp export` TSV format (bring your own graph).
 //!
+//! With `--checkpoint-dir`, `pretrain` runs crash-safe: full trainer state
+//! is written atomically every `--checkpoint-every` steps and `--resume`
+//! continues from the newest valid checkpoint (corrupt files are skipped
+//! and reported).
+//!
 //! Dataset names: mag240m, wiki, arxiv, conceptnet, fb15k237, nell.
 
 use graphprompter::core::{
-    pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
+    inspect_checkpoint, pretrain, pretrain_resumable, CheckpointConfig, CheckpointKind,
+    GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
 };
 use graphprompter::datasets::{presets, sample_few_shot_task, Dataset, Task};
 use graphprompter::eval::{ConfusionMatrix, MeanStd, Table};
@@ -31,9 +40,10 @@ fn main() {
         "evaluate" => evaluate_cmd(&args[1..]),
         "episode" => episode_cmd(&args[1..]),
         "export" => export_cmd(&args[1..]),
+        "inspect" => inspect_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gp <datasets|pretrain|evaluate|episode|export> [flags]\n\
+                "usage: gp <datasets|pretrain|evaluate|episode|export|inspect> [flags]\n\
                  see the module docs in src/bin/gp.rs for flag details"
             );
             std::process::exit(2);
@@ -84,11 +94,26 @@ fn dataset_by_name(name: &str, seed: u64) -> Result<Dataset, String> {
 fn datasets(detail: bool) -> CliResult {
     let mut table = Table::new(
         "Preset datasets (paper Table II stand-ins)",
-        &["Name", "Task", "Nodes", "Edges", "Classes", "Train/Valid/Test"],
+        &[
+            "Name",
+            "Task",
+            "Nodes",
+            "Edges",
+            "Classes",
+            "Train/Valid/Test",
+        ],
     );
     let mut details = Table::new(
         "Structure",
-        &["Name", "MeanDeg", "MaxDeg", "Isolated", "Components", "LargestCC", "Homophily"],
+        &[
+            "Name",
+            "MeanDeg",
+            "MaxDeg",
+            "Isolated",
+            "Components",
+            "LargestCC",
+            "Homophily",
+        ],
     );
     for name in ["mag240m", "wiki", "arxiv", "conceptnet", "fb15k237", "nell"] {
         let ds = dataset_by_name(name, 0)?;
@@ -136,11 +161,62 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
         .map_err(|_| "--seed must be an integer")?;
 
     let ds = dataset_by_name(&source, seed)?;
-    let mut model = GraphPrompterModel::new(ModelConfig { seed, ..ModelConfig::default() });
-    let cfg = PretrainConfig { steps, seed, ..PretrainConfig::default() };
+    let mut model = GraphPrompterModel::new(ModelConfig {
+        seed,
+        ..ModelConfig::default()
+    });
+    let cfg = PretrainConfig {
+        steps,
+        seed,
+        ..PretrainConfig::default()
+    };
     eprintln!("pre-training on {} for {steps} steps...", ds.name);
     let started = std::time::Instant::now();
-    let curve = pretrain(&mut model, &ds, &cfg, StageConfig::full());
+
+    let curve = if let Some(dir) = flag(args, "--checkpoint-dir") {
+        let every: usize = flag(args, "--checkpoint-every")
+            .unwrap_or_else(|| "100".into())
+            .parse()
+            .map_err(|_| "--checkpoint-every must be an integer")?;
+        let keep_last: usize = flag(args, "--keep-last")
+            .unwrap_or_else(|| "3".into())
+            .parse()
+            .map_err(|_| "--keep-last must be an integer")?;
+        let validate_every: usize = flag(args, "--validate-every")
+            .unwrap_or_else(|| every.to_string())
+            .parse()
+            .map_err(|_| "--validate-every must be an integer")?;
+        let ckpt = CheckpointConfig {
+            every: every.max(1),
+            keep_last,
+            resume: has_flag(args, "--resume"),
+            ..CheckpointConfig::new(&dir)
+        };
+        let report = pretrain_resumable(
+            &mut model,
+            &ds,
+            &cfg,
+            StageConfig::full(),
+            validate_every.max(1),
+            4,
+            Some(&ckpt),
+        )
+        .map_err(|e| e.to_string())?;
+        for (path, why) in &report.skipped_checkpoints {
+            eprintln!("skipped corrupt checkpoint {}: {why}", path.display());
+        }
+        if let Some(step) = report.resumed_from {
+            eprintln!("resumed from checkpoint at step {step}");
+        }
+        eprintln!(
+            "best validation accuracy {:.3} at step {} (snapshot restored)",
+            report.best_acc, report.best_step
+        );
+        report.curve
+    } else {
+        pretrain(&mut model, &ds, &cfg, StageConfig::full())
+    };
+
     eprintln!(
         "done in {:?}; loss {:.3} → {:.3}, train acc {:.2}",
         started.elapsed(),
@@ -150,6 +226,37 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
     );
     model.save(&out).map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn inspect_cmd(args: &[String]) -> CliResult {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: gp inspect <checkpoint.gpck>")?;
+    let summary = inspect_checkpoint(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: INVALID: {e}"))?;
+    let kind = match summary.kind {
+        CheckpointKind::ModelV1 => "model (legacy v1, no checksum)",
+        CheckpointKind::ModelV2 => "model (GPCK v2)",
+        CheckpointKind::TrainerV2 => "trainer state (GPCK v2)",
+    };
+    println!("{path}: VALID");
+    println!("  kind        {kind}");
+    println!("  file size   {} bytes", summary.file_len);
+    let c = &summary.config;
+    println!(
+        "  config      feat={} rel={} embed={} hidden={} generator={:?} seed={}",
+        c.feat_dim, c.rel_dim, c.embed_dim, c.hidden_dim, c.generator, c.seed
+    );
+    println!(
+        "  parameters  {} tensors, {} scalars",
+        summary.num_tensors, summary.num_scalars
+    );
+    if let Some((step, best_acc, best_step, curve_points)) = summary.trainer {
+        println!("  trainer     step {step}, curve points {curve_points}");
+        println!("  best        acc {best_acc:.3} at step {best_step}");
+    }
     Ok(())
 }
 
@@ -181,7 +288,11 @@ fn evaluate_cmd(args: &[String]) -> CliResult {
     } else {
         StageConfig::full()
     };
-    let cfg = InferenceConfig { stages, seed, ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        stages,
+        seed,
+        ..InferenceConfig::default()
+    };
     let accs = graphprompter::core::evaluate_episodes(&model, &ds, ways, 50, episodes, &cfg);
     println!(
         "{} {}-way, {} episodes: {}% (chance {:.1}%)",
@@ -206,7 +317,10 @@ fn episode_cmd(args: &[String]) -> CliResult {
         .map_err(|_| "--seed must be an integer")?;
 
     let ds = resolve_dataset(args, 0)?;
-    let cfg = InferenceConfig { seed, ..InferenceConfig::default() };
+    let cfg = InferenceConfig {
+        seed,
+        ..InferenceConfig::default()
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let task = sample_few_shot_task(&ds, ways, cfg.candidates_per_class, 50, &mut rng);
     let res = graphprompter::core::run_episode(&model, &ds, &task, &cfg);
@@ -221,7 +335,10 @@ fn episode_cmd(args: &[String]) -> CliResult {
     );
     let cm = ConfusionMatrix::new(&res.query_labels, &res.predictions, ways);
     println!("macro-F1 {:.3}", cm.macro_f1());
-    let mut table = Table::new("Per-class recall/precision", &["Class", "Recall", "Precision"]);
+    let mut table = Table::new(
+        "Per-class recall/precision",
+        &["Class", "Recall", "Precision"],
+    );
     for c in 0..ways {
         table.row(&[
             task.classes[c].to_string(),
@@ -242,6 +359,9 @@ fn export_cmd(args: &[String]) -> CliResult {
         .map_err(|_| "--seed must be an integer")?;
     let ds = dataset_by_name(&name, seed)?;
     graphprompter::datasets::save_dataset(&ds, &dir).map_err(|e| e.to_string())?;
-    println!("{} exported to {dir} (meta.tsv, nodes.tsv, edges.tsv)", ds.name);
+    println!(
+        "{} exported to {dir} (meta.tsv, nodes.tsv, edges.tsv)",
+        ds.name
+    );
     Ok(())
 }

@@ -4,8 +4,8 @@
 
 use graphprompter::baselines::{EvalProtocol, IclBaseline, NoPretrain, Prodigy};
 use graphprompter::core::{
-    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig,
-    PretrainConfig, StageConfig,
+    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig,
+    StageConfig,
 };
 use graphprompter::datasets::{sample_few_shot_task, CitationConfig, KgConfig};
 use graphprompter::graph::SamplerConfig;
@@ -13,7 +13,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn tiny_model() -> ModelConfig {
-    ModelConfig { embed_dim: 16, hidden_dim: 24, ..ModelConfig::default() }
+    ModelConfig {
+        embed_dim: 16,
+        hidden_dim: 24,
+        ..ModelConfig::default()
+    }
 }
 
 fn tiny_pretrain(steps: usize) -> PretrainConfig {
@@ -26,7 +30,11 @@ fn tiny_pretrain(steps: usize) -> PretrainConfig {
         nm_shots: 2,
         nm_queries: 3,
         log_every: 10,
-        sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 10,
+            neighbors_per_node: 5,
+        },
         ..PretrainConfig::default()
     }
 }
@@ -36,7 +44,11 @@ fn tiny_infer() -> InferenceConfig {
         shots: 2,
         candidates_per_class: 4,
         query_batch: 5,
-        sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 10,
+            neighbors_per_node: 5,
+        },
         ..InferenceConfig::default()
     }
 }
@@ -49,7 +61,10 @@ fn end_to_end_node_classification_beats_chance() {
     pretrain(&mut model, &source, &tiny_pretrain(70), StageConfig::full());
     let accs = evaluate_episodes(&model, &target, 3, 12, 3, &tiny_infer());
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;
-    assert!(mean > 40.0, "cross-domain 3-way accuracy {mean}% ≤ chance+noise");
+    assert!(
+        mean > 40.0,
+        "cross-domain 3-way accuracy {mean}% ≤ chance+noise"
+    );
 }
 
 #[test]
@@ -67,10 +82,18 @@ fn end_to_end_edge_classification_beats_chance() {
     tgt_cfg.triples_per_entity = 6.0;
     let target = tgt_cfg.generate();
     let mut model = GraphPrompterModel::new(tiny_model());
-    pretrain(&mut model, &source, &tiny_pretrain(120), StageConfig::full());
+    pretrain(
+        &mut model,
+        &source,
+        &tiny_pretrain(120),
+        StageConfig::full(),
+    );
     let accs = evaluate_episodes(&model, &target, 3, 12, 3, &tiny_infer());
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;
-    assert!(mean > 40.0, "cross-domain 3-way KG accuracy {mean}% ≤ chance+noise");
+    assert!(
+        mean > 40.0,
+        "cross-domain 3-way KG accuracy {mean}% ≤ chance+noise"
+    );
 }
 
 #[test]
@@ -96,7 +119,10 @@ fn every_ablation_configuration_runs() {
         StageConfig::without_selection_layer(),
         StageConfig::without_augmenter(),
     ] {
-        let cfg = InferenceConfig { stages, ..tiny_infer() };
+        let cfg = InferenceConfig {
+            stages,
+            ..tiny_infer()
+        };
         let accs = evaluate_episodes(&model, &source, 3, 8, 1, &cfg);
         assert_eq!(accs.len(), 1);
         assert!((0.0..=100.0).contains(&accs[0]), "{stages:?} → {accs:?}");
@@ -110,14 +136,23 @@ fn baselines_share_the_episode_protocol() {
         shots: 2,
         candidates_per_class: 4,
         queries: 10,
-        sampler: SamplerConfig { hops: 1, max_nodes: 10, neighbors_per_node: 5 },
+        sampler: SamplerConfig {
+            hops: 1,
+            max_nodes: 10,
+            neighbors_per_node: 5,
+        },
         seed: 0,
     };
     let no_pre = NoPretrain::new(tiny_model());
     let prodigy = Prodigy::pretrain(&source, tiny_model(), &tiny_pretrain(15));
     for method in [&no_pre as &dyn IclBaseline, &prodigy] {
         let accs = method.evaluate(&source, 3, 2, &protocol);
-        assert_eq!(accs.len(), 2, "{} returned wrong episode count", method.name());
+        assert_eq!(
+            accs.len(),
+            2,
+            "{} returned wrong episode count",
+            method.name()
+        );
         assert!(accs.iter().all(|a| (0.0..=100.0).contains(a)));
     }
 }
@@ -128,11 +163,7 @@ fn pretrained_selector_orders_prompts_meaningfully() {
     // query batch — check on a hand-built geometry via the public API.
     use graphprompter::core::select_prompts;
     use graphprompter::tensor::Tensor;
-    let prompts = Tensor::from_vec(
-        4,
-        2,
-        vec![1.0, 0.0, -1.0, 0.0, 0.0, 1.0, 0.0, -1.0],
-    );
+    let prompts = Tensor::from_vec(4, 2, vec![1.0, 0.0, -1.0, 0.0, 0.0, 1.0, 0.0, -1.0]);
     let queries = Tensor::from_vec(2, 2, vec![1.0, 0.1, 0.1, 1.0]);
     let mut rng = StdRng::seed_from_u64(0);
     let out = select_prompts(
@@ -147,7 +178,11 @@ fn pretrained_selector_orders_prompts_meaningfully() {
         false,
         &mut rng,
     );
-    assert_eq!(out.selected, vec![0, 2], "kNN must pick the aligned candidates");
+    assert_eq!(
+        out.selected,
+        vec![0, 2],
+        "kNN must pick the aligned candidates"
+    );
 }
 
 #[test]
@@ -159,7 +194,10 @@ fn episode_timing_is_positive_and_bounded() {
     let task = sample_few_shot_task(&source, 3, 4, 8, &mut rng);
     let res = graphprompter::core::run_episode(&model, &source, &task, &tiny_infer());
     assert!(res.per_query_micros > 0.0);
-    assert!(res.per_query_micros < 5_000_000.0, "implausible per-query time");
+    assert!(
+        res.per_query_micros < 5_000_000.0,
+        "implausible per-query time"
+    );
 }
 
 #[test]
