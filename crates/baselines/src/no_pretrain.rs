@@ -1,6 +1,6 @@
 //! The NoPretrain baseline: identical architecture, random weights.
 
-use gp_core::{GraphPrompterModel, InferenceConfig, ModelConfig, StageConfig};
+use gp_core::{Engine, GraphPrompterModel, InferenceConfig, ModelConfig, StageConfig};
 use gp_datasets::Dataset;
 
 use crate::{EvalProtocol, IclBaseline};
@@ -9,20 +9,23 @@ use crate::{EvalProtocol, IclBaseline};
 /// pre-trained models, but with randomly initialized weights" (§V-A3).
 /// Evaluated with Prodigy's random-selection protocol.
 pub struct NoPretrain {
-    model: GraphPrompterModel,
+    engine: Engine,
 }
 
 impl NoPretrain {
     /// Build with fresh random weights.
     pub fn new(cfg: ModelConfig) -> Self {
         Self {
-            model: GraphPrompterModel::new(cfg),
+            engine: Engine::builder()
+                .model_config(cfg)
+                .try_build()
+                .expect("NoPretrain model config must be valid"),
         }
     }
 
     /// Access the wrapped (untrained) model.
     pub fn model(&self) -> &GraphPrompterModel {
-        &self.model
+        self.engine.model()
     }
 }
 
@@ -46,7 +49,8 @@ impl IclBaseline for NoPretrain {
             seed: protocol.seed,
             ..InferenceConfig::default()
         };
-        gp_core::evaluate_episodes(&self.model, dataset, ways, protocol.queries, episodes, &cfg)
+        self.engine
+            .evaluate_with(dataset, ways, protocol.queries, episodes, &cfg)
     }
 }
 

@@ -15,7 +15,9 @@
 //! the correct qualitative behaviour: between NoPretrain and Prodigy on
 //! average, with larger episode-to-episode variance.
 
-use gp_core::{pretrain, GraphPrompterModel, ModelConfig, PretrainConfig, StageConfig};
+use gp_core::{
+    Engine, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
+};
 use gp_datasets::Dataset;
 
 use crate::{EvalProtocol, IclBaseline, Prodigy};
@@ -23,7 +25,7 @@ use crate::{EvalProtocol, IclBaseline, Prodigy};
 /// The OFA-joint-lr analog: a prompt-graph model on a low-resource
 /// pre-training budget.
 pub struct Ofa {
-    model: GraphPrompterModel,
+    engine: Engine,
 }
 
 impl Ofa {
@@ -35,14 +37,22 @@ impl Ofa {
     pub fn pretrain(source: &Dataset, model_cfg: ModelConfig, pre_cfg: &PretrainConfig) -> Self {
         let mut lr_cfg = pre_cfg.clone();
         lr_cfg.steps = ((pre_cfg.steps as f32 * Self::LOW_RESOURCE_FRACTION) as usize).max(1);
-        let mut model = GraphPrompterModel::new(model_cfg);
-        pretrain(&mut model, source, &lr_cfg, StageConfig::prodigy());
-        Self { model }
+        let mut engine = Engine::builder()
+            .model_config(model_cfg)
+            .pretrain_config(lr_cfg)
+            .inference_config(InferenceConfig {
+                stages: StageConfig::prodigy(),
+                ..InferenceConfig::default()
+            })
+            .try_build()
+            .expect("OFA baseline configs must be valid");
+        engine.pretrain(source);
+        Self { engine }
     }
 
     /// Access the wrapped model.
     pub fn model(&self) -> &GraphPrompterModel {
-        &self.model
+        self.engine.model()
     }
 }
 
@@ -59,7 +69,8 @@ impl IclBaseline for Ofa {
         protocol: &EvalProtocol,
     ) -> Vec<f32> {
         let cfg = Prodigy::inference_config(protocol);
-        gp_core::evaluate_episodes(&self.model, dataset, ways, protocol.queries, episodes, &cfg)
+        self.engine
+            .evaluate_with(dataset, ways, protocol.queries, episodes, &cfg)
     }
 }
 

@@ -8,7 +8,7 @@
 //! GraphPrompter-vs-Prodigy comparison isolate exactly the contribution.
 
 use gp_core::{
-    pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
+    Engine, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
     TrainingCurve,
 };
 use gp_datasets::Dataset;
@@ -17,16 +17,24 @@ use crate::{EvalProtocol, IclBaseline};
 
 /// A Prodigy model pre-trained on a source dataset.
 pub struct Prodigy {
-    model: GraphPrompterModel,
+    engine: Engine,
     curve: TrainingCurve,
 }
 
 impl Prodigy {
     /// Pre-train on `source` with the plain Prodigy objective.
     pub fn pretrain(source: &Dataset, model_cfg: ModelConfig, pre_cfg: &PretrainConfig) -> Self {
-        let mut model = GraphPrompterModel::new(model_cfg);
-        let curve = pretrain(&mut model, source, pre_cfg, StageConfig::prodigy());
-        Self { model, curve }
+        let mut engine = Engine::builder()
+            .model_config(model_cfg)
+            .pretrain_config(pre_cfg.clone())
+            .inference_config(InferenceConfig {
+                stages: StageConfig::prodigy(),
+                ..InferenceConfig::default()
+            })
+            .try_build()
+            .expect("Prodigy baseline configs must be valid");
+        let curve = engine.pretrain(source);
+        Self { engine, curve }
     }
 
     /// The recorded pre-training curve (Fig. 9 comparison).
@@ -36,7 +44,7 @@ impl Prodigy {
 
     /// Access the wrapped model.
     pub fn model(&self) -> &GraphPrompterModel {
-        &self.model
+        self.engine.model()
     }
 
     /// The inference configuration Prodigy uses under `protocol`.
@@ -65,7 +73,8 @@ impl IclBaseline for Prodigy {
         protocol: &EvalProtocol,
     ) -> Vec<f32> {
         let cfg = Self::inference_config(protocol);
-        gp_core::evaluate_episodes(&self.model, dataset, ways, protocol.queries, episodes, &cfg)
+        self.engine
+            .evaluate_with(dataset, ways, protocol.queries, episodes, &cfg)
     }
 }
 

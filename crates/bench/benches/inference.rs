@@ -31,7 +31,7 @@ fn bench_inference(c: &mut Criterion) {
                 let cfg = suite.inference_config(stages);
                 let mut rng = StdRng::seed_from_u64(7);
                 let task = sample_few_shot_task(&fb, ways, cfg.candidates_per_class, 10, &mut rng);
-                b.iter(|| gp_core::run_episode(&gp.model, &fb, &task, &cfg).correct);
+                b.iter(|| gp.engine.run_episode_with(&fb, &task, &cfg).correct);
             });
         }
     }

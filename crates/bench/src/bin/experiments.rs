@@ -4,9 +4,11 @@
 //! cargo run -p gp-bench --release --bin experiments -- <id> [--smoke]
 //! ```
 //!
-//! `<id>` ∈ {table3..table8, fig3..fig9, all, calibrate}. `all` runs every
-//! experiment and regenerates EXPERIMENTS.md. `--smoke` shrinks the scale
-//! for a fast sanity pass.
+//! `<id>` ∈ {table3..table8, fig3..fig9, all, calibrate, bench-inference}.
+//! `all` runs every experiment and regenerates EXPERIMENTS.md;
+//! `bench-inference` times serial/warm-cache/parallel inference and
+//! rewrites BENCH_inference.json. `--smoke` shrinks the scale for a fast
+//! sanity pass.
 
 use std::time::Instant;
 
@@ -29,6 +31,7 @@ fn main() {
     match which {
         "calibrate" => calibrate(&suite),
         "all" => run_all(suite),
+        "bench-inference" => bench_inference(smoke),
         id if experiments::ALL_IDS.contains(&id) => {
             let mut ctx = Ctx::new(suite);
             let t0 = Instant::now();
@@ -39,12 +42,27 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiments <all|calibrate|{}> [--smoke]",
+                "usage: experiments <all|calibrate|bench-inference|{}> [--smoke]",
                 experiments::ALL_IDS.join("|")
             );
             std::process::exit(2);
         }
     }
+}
+
+/// Time serial / warm-cache / parallel inference and write the committed
+/// BENCH_inference.json artifact.
+fn bench_inference(smoke: bool) {
+    let t0 = Instant::now();
+    let report = gp_bench::infer_bench::run(smoke);
+    let json = report.to_json();
+    std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
+    print!("{json}");
+    eprintln!(
+        "[bench-inference done in {:?}; best speedup {:.2}x over serial]",
+        t0.elapsed(),
+        report.best_speedup()
+    );
 }
 
 /// Run every experiment and write EXPERIMENTS.md.
@@ -79,7 +97,7 @@ fn calibrate(suite: &Suite) {
     println!(
         "[{:?}] node side pre-trained ({} params)",
         t0.elapsed(),
-        gp.model.num_parameters()
+        gp.model().num_parameters()
     );
     for ways in [5usize, 10] {
         let g = MeanStd::of(&gp.evaluate(&arxiv, ways, suite.episodes, &protocol));

@@ -3,7 +3,7 @@
 //! reproduction's own design choices (DESIGN.md's calibration findings).
 
 use gp_baselines::IclBaseline;
-use gp_core::{pretrain, CachePolicy, DistanceMetric, GraphPrompterModel, StageConfig};
+use gp_core::{CachePolicy, DistanceMetric, Engine, PseudoLabelPolicy, StageConfig};
 use gp_eval::{MeanStd, Table};
 
 use crate::harness::{Ctx, GraphPrompterView};
@@ -37,14 +37,10 @@ pub fn metrics(ctx: &mut Ctx) -> String {
             for ways in [5usize, 10] {
                 let mut cfg = suite.inference_config(StageConfig::full());
                 cfg.knn_metric = metric;
-                let stats = MeanStd::of(&gp_core::evaluate_episodes(
-                    &gp.model,
-                    ds,
-                    ways,
-                    suite.queries,
-                    suite.episodes,
-                    &cfg,
-                ));
+                let stats = MeanStd::of(
+                    &gp.engine
+                        .evaluate_with(ds, ways, suite.queries, suite.episodes, &cfg),
+                );
                 row.push(stats.to_string());
             }
             table.row(&row);
@@ -85,15 +81,11 @@ pub fn cache_policy(ctx: &mut Ctx) -> String {
             let mut cfg = suite.inference_config(StageConfig::full());
             cfg.cache_policy = policy;
             // A lower gate keeps the cache active so the policy matters.
-            cfg.cache_min_confidence = 0.5;
-            let stats = MeanStd::of(&gp_core::evaluate_episodes(
-                &gp.model,
-                ds,
-                5,
-                suite.queries,
-                suite.episodes,
-                &cfg,
-            ));
+            cfg.pseudo_labels = PseudoLabelPolicy::Confidence { min: 0.5 };
+            let stats = MeanStd::of(
+                &gp.engine
+                    .evaluate_with(ds, 5, suite.queries, suite.episodes, &cfg),
+            );
             row.push(stats.to_string());
         }
         table.row(&row);
@@ -123,15 +115,15 @@ pub fn design_choices(ctx: &mut Ctx) -> String {
         let mut mc = suite.model_config();
         mc.recon_normalize = norm;
         mc.proto_residual = residual;
-        let mut model = GraphPrompterModel::new(mc);
-        pretrain(
-            &mut model,
-            ctx.wiki_ref(),
-            &suite.pretrain_config(),
-            StageConfig::full(),
-        );
+        let mut engine = Engine::builder()
+            .model_config(mc)
+            .pretrain_config(suite.pretrain_config())
+            .inference_config(suite.inference_config(StageConfig::full()))
+            .try_build()
+            .expect("suite configs must be valid");
+        engine.pretrain(ctx.wiki_ref());
         let view = GraphPrompterView {
-            model: &model,
+            engine: &engine,
             stages: StageConfig::full(),
         };
         let mut row = vec![norm.to_string(), residual.to_string()];

@@ -4,7 +4,7 @@
 //! is pre-trained from scratch on the Wiki-like source.
 
 use gp_baselines::IclBaseline;
-use gp_core::{pretrain, GeneratorKind, GraphPrompterModel, StageConfig};
+use gp_core::{Engine, GeneratorKind, StageConfig};
 use gp_eval::{MeanStd, Table};
 
 use crate::harness::{Ctx, GraphPrompterView};
@@ -33,14 +33,14 @@ pub fn run(ctx: &mut Ctx) -> String {
     ] {
         let mut mc = suite.model_config();
         mc.generator = kind;
-        let mut model = GraphPrompterModel::new(mc);
-        pretrain(
-            &mut model,
-            ctx.wiki_ref(),
-            &suite.pretrain_config(),
-            StageConfig::full(),
-        );
-        models.push((name, model));
+        let mut engine = Engine::builder()
+            .model_config(mc)
+            .pretrain_config(suite.pretrain_config())
+            .inference_config(suite.inference_config(StageConfig::full()))
+            .try_build()
+            .expect("suite configs must be valid");
+        engine.pretrain(ctx.wiki_ref());
+        models.push((name, engine));
     }
 
     let mut out = String::from("## Fig. 4 — GNN architecture comparison\n\n");
@@ -58,9 +58,9 @@ pub fn run(ctx: &mut Ctx) -> String {
             format!("Fig. 4 (measured): {} accuracy (%)", ds.name),
             &["Generator", "5-way", "10-way"],
         );
-        for (name, model) in &models {
+        for (name, engine) in &models {
             let view = GraphPrompterView {
-                model,
+                engine,
                 stages: StageConfig::full(),
             };
             let mut row = vec![name.to_string()];

@@ -7,7 +7,7 @@
 //! exercised at every size (at the production gate the cache rarely
 //! admits and the sweep would be flat).
 
-use gp_core::StageConfig;
+use gp_core::{PseudoLabelPolicy, StageConfig};
 use gp_eval::{line_chart, MeanStd, Series, Table};
 
 use crate::harness::Ctx;
@@ -53,15 +53,9 @@ pub fn run(ctx: &mut Ctx) -> String {
             };
             let mut cfg = suite.inference_config(stages);
             cfg.cache_size = c.max(1);
-            cfg.cache_min_confidence = 0.5;
-            let stats = MeanStd::of(&gp_core::evaluate_episodes(
-                &gp.model,
-                ds,
-                5,
-                suite.queries,
-                episodes,
-                &cfg,
-            ));
+            cfg.pseudo_labels = PseudoLabelPolicy::Confidence { min: 0.5 };
+            let stats =
+                MeanStd::of(&gp.engine.evaluate_with(ds, 5, suite.queries, episodes, &cfg));
             if c <= 3 {
                 small_avg += stats.mean;
             } else {

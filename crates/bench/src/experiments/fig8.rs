@@ -53,14 +53,10 @@ pub fn run(ctx: &mut Ctx) -> String {
             let run = |stages: StageConfig| {
                 let mut cfg = suite.inference_config(stages);
                 cfg.sampler = sampler;
-                MeanStd::of(&gp_core::evaluate_episodes(
-                    &gp.model,
-                    ds,
-                    5,
-                    suite.queries,
-                    suite.episodes,
-                    &cfg,
-                ))
+                MeanStd::of(
+                    &gp.engine
+                        .evaluate_with(ds, 5, suite.queries, suite.episodes, &cfg),
+                )
             };
             let g = run(StageConfig::full());
             let p = run(StageConfig::prodigy());

@@ -3,7 +3,7 @@
 //! NELL-like at 20 ways. The paper reports a ~2% drop for random
 //! pseudo-labels that still stays above the no-cache baseline's level.
 
-use gp_core::StageConfig;
+use gp_core::{PseudoLabelPolicy, StageConfig};
 use gp_datasets::sample_few_shot_task;
 use gp_eval::{MeanStd, Table};
 use rand::rngs::StdRng;
@@ -29,7 +29,7 @@ pub fn run(ctx: &mut Ctx) -> String {
     // 20 ways softmax confidences are small, so the gate is lowered for
     // this experiment (both policies use the same configuration).
     let mut cfg = suite.inference_config(StageConfig::full());
-    cfg.cache_min_confidence = 0.3;
+    cfg.pseudo_labels = PseudoLabelPolicy::Confidence { min: 0.3 };
 
     let mut out = String::from("## Table VII — random pseudo-label robustness (20-way)\n\n");
     let mut table = Table::new(
@@ -65,7 +65,8 @@ pub fn run(ctx: &mut Ctx) -> String {
             );
             let mut ep_cfg = cfg.clone();
             ep_cfg.seed = seed;
-            let res = gp_core::run_episode_with_policy(&gp.model, ds, &task, &ep_cfg, true);
+            ep_cfg.pseudo_labels = PseudoLabelPolicy::UniformRandom;
+            let res = gp.engine.run_episode_with(ds, &task, &ep_cfg);
             random_accs.push(res.accuracy() * 100.0);
         }
         // Confidence policy on the same episode seeds.
@@ -81,7 +82,7 @@ pub fn run(ctx: &mut Ctx) -> String {
             );
             let mut ep_cfg = cfg.clone();
             ep_cfg.seed = seed;
-            let res = gp_core::run_episode_with_policy(&gp.model, ds, &task, &ep_cfg, false);
+            let res = gp.engine.run_episode_with(ds, &task, &ep_cfg);
             conf_accs.push(res.accuracy() * 100.0);
         }
         let rnd = MeanStd::of(&random_accs);

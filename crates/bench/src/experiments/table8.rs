@@ -6,7 +6,7 @@
 //! query because of candidate retrieval (O((N+q)·m·d)) and the doubled
 //! prompt set in the task graph (Eqs. 15–16).
 
-use gp_core::StageConfig;
+use gp_core::{PseudoLabelPolicy, StageConfig};
 use gp_datasets::sample_few_shot_task;
 use gp_eval::Table;
 use rand::rngs::StdRng;
@@ -27,7 +27,7 @@ fn time_per_query(ctx: &Ctx, ds: &gp_datasets::Dataset, ways: usize, stages: Sta
         let mut c = suite.inference_config(stages);
         // Keep the cache engaged for the timing (it is part of the cost
         // the paper measures).
-        c.cache_min_confidence = 0.2;
+        c.pseudo_labels = PseudoLabelPolicy::Confidence { min: 0.2 };
         c
     };
     let gp = ctx.gp_wiki_ref();
@@ -42,7 +42,10 @@ fn time_per_query(ctx: &Ctx, ds: &gp_datasets::Dataset, ways: usize, stages: Sta
             suite.queries,
             &mut ep_rng,
         );
-        let res = gp_core::run_episode(&gp.model, ds, &task, &cfg);
+        // Cold embedding cache per episode: the paper times full
+        // inference, candidate embedding included.
+        gp.engine.clear_embed_cache();
+        let res = gp.engine.run_episode_with(ds, &task, &cfg);
         total += res.per_query_micros / 1000.0;
     }
     total / reps as f64

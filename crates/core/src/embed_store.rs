@@ -1,0 +1,294 @@
+//! Cross-episode memoization of candidate subgraph embeddings.
+//!
+//! Candidate datapoints repeat heavily across evaluation episodes (an
+//! episode draws `N` candidates per class from the same train split), and
+//! since PR "parallel kernels + embedding reuse" their subgraph RNG is
+//! derived purely from `(candidate_seed, datapoint)` — see
+//! [`crate::config::InferenceConfig::candidate_seed`] — a candidate's
+//! embedding is a pure function of:
+//!
+//! * the datapoint,
+//! * the candidate sampling seed,
+//! * the sampler geometry (hops, node cap, fan-out),
+//! * the reconstruction stage toggle,
+//! * and the model weights.
+//!
+//! [`EmbeddingStore`] memoizes exactly that function. Weights are tracked
+//! by [`gp_nn::ParamStore::revision`]: any mutation (an optimizer step,
+//! `try_set`, `try_restore`, a checkpoint load) bumps the revision, and
+//! the store drops its entire contents the next time it is consulted with
+//! a different revision — stale reuse is impossible by construction.
+//!
+//! The store is internally synchronized, so one instance can serve all
+//! episode worker threads of an `Engine` evaluation concurrently. Capacity
+//! is bounded with FIFO eviction; candidates are re-requested uniformly
+//! across episodes, so recency tracking buys nothing here.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use gp_datasets::DataPoint;
+use gp_graph::SamplerConfig;
+
+/// Memoization key: everything an embedding depends on except the weights
+/// (which are handled by revision tracking on the whole store).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    point: DataPoint,
+    candidate_seed: u64,
+    hops: usize,
+    max_nodes: usize,
+    neighbors_per_node: usize,
+    use_reconstruction: bool,
+}
+
+/// One memoized result: the embedding row and its selector importance.
+#[derive(Clone, Debug)]
+struct Entry {
+    embedding: Vec<f32>,
+    importance: f32,
+}
+
+struct Inner {
+    /// [`gp_nn::ParamStore::revision`] the entries were computed at.
+    revision: u64,
+    map: HashMap<Key, Entry>,
+    order: VecDeque<Key>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Counters describing how an [`EmbeddingStore`] has been used.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EmbedCacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that required a fresh embedding.
+    pub misses: u64,
+    /// Times the whole store was dropped because the model weights
+    /// changed underneath it.
+    pub invalidations: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+/// Bounded, internally synchronized memo table for candidate embeddings.
+pub struct EmbeddingStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl EmbeddingStore {
+    /// A store holding at most `capacity` embeddings (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                revision: 0,
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+                invalidations: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of resident embeddings.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn key(
+        point: DataPoint,
+        candidate_seed: u64,
+        sampler: &SamplerConfig,
+        use_reconstruction: bool,
+    ) -> Key {
+        Key {
+            point,
+            candidate_seed,
+            hops: sampler.hops,
+            max_nodes: sampler.max_nodes,
+            neighbors_per_node: sampler.neighbors_per_node,
+            use_reconstruction,
+        }
+    }
+
+    fn sync_revision(inner: &mut Inner, revision: u64) {
+        if inner.revision != revision {
+            if !inner.map.is_empty() {
+                inner.invalidations += 1;
+            }
+            inner.map.clear();
+            inner.order.clear();
+            inner.revision = revision;
+        }
+    }
+
+    /// Fetch a memoized embedding, if one computed at exactly `revision`
+    /// (the current [`gp_nn::ParamStore::revision`]) exists. A revision
+    /// change drops every entry before the lookup.
+    pub fn lookup(
+        &self,
+        revision: u64,
+        point: DataPoint,
+        candidate_seed: u64,
+        sampler: &SamplerConfig,
+        use_reconstruction: bool,
+    ) -> Option<(Vec<f32>, f32)> {
+        let key = Self::key(point, candidate_seed, sampler, use_reconstruction);
+        let mut inner = self.inner.lock().expect("EmbeddingStore lock");
+        Self::sync_revision(&mut inner, revision);
+        match inner.map.get(&key) {
+            Some(entry) => {
+                let out = (entry.embedding.clone(), entry.importance);
+                inner.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoize an embedding computed at `revision`. Entries computed at a
+    /// different revision than the store's current one evict everything
+    /// older first; FIFO eviction keeps the store within capacity.
+    pub fn insert(
+        &self,
+        revision: u64,
+        point: DataPoint,
+        candidate_seed: u64,
+        sampler: &SamplerConfig,
+        use_reconstruction: bool,
+        embedding: Vec<f32>,
+        importance: f32,
+    ) {
+        let key = Self::key(point, candidate_seed, sampler, use_reconstruction);
+        let mut inner = self.inner.lock().expect("EmbeddingStore lock");
+        Self::sync_revision(&mut inner, revision);
+        if inner.map.contains_key(&key) {
+            return; // concurrent worker beat us to it; entries are equal
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(victim) => {
+                    inner.map.remove(&victim);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key);
+        inner.map.insert(
+            key,
+            Entry {
+                embedding,
+                importance,
+            },
+        );
+    }
+
+    /// Drop every entry (counters survive).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("EmbeddingStore lock");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Usage counters and current size.
+    pub fn stats(&self) -> EmbedCacheStats {
+        let inner = self.inner.lock().expect("EmbeddingStore lock");
+        EmbedCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            invalidations: inner.invalidations,
+            len: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> SamplerConfig {
+        SamplerConfig::default()
+    }
+
+    #[test]
+    fn lookup_after_insert_hits() {
+        let store = EmbeddingStore::new(8);
+        let p = DataPoint::Node(3);
+        assert!(store.lookup(1, p, 0, &sampler(), true).is_none());
+        store.insert(1, p, 0, &sampler(), true, vec![1.0, 2.0], 0.5);
+        let (emb, imp) = store.lookup(1, p, 0, &sampler(), true).expect("hit");
+        assert_eq!(emb, vec![1.0, 2.0]);
+        assert_eq!(imp, 0.5);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_distinguishes_every_dimension() {
+        let store = EmbeddingStore::new(8);
+        let p = DataPoint::Node(3);
+        store.insert(1, p, 0, &sampler(), true, vec![1.0], 0.5);
+        // Different point, candidate seed, sampler geometry, stage flag.
+        assert!(store.lookup(1, DataPoint::Node(4), 0, &sampler(), true).is_none());
+        assert!(store.lookup(1, DataPoint::Edge(3), 0, &sampler(), true).is_none());
+        assert!(store.lookup(1, p, 9, &sampler(), true).is_none());
+        let mut other = sampler();
+        other.max_nodes += 1;
+        assert!(store.lookup(1, p, 0, &other, true).is_none());
+        assert!(store.lookup(1, p, 0, &sampler(), false).is_none());
+        assert!(store.lookup(1, p, 0, &sampler(), true).is_some());
+    }
+
+    #[test]
+    fn revision_change_drops_everything() {
+        let store = EmbeddingStore::new(8);
+        let p = DataPoint::Node(1);
+        store.insert(1, p, 0, &sampler(), true, vec![1.0], 0.1);
+        assert!(store.lookup(1, p, 0, &sampler(), true).is_some());
+        // The weights moved: the cached row must be gone.
+        assert!(store.lookup(2, p, 0, &sampler(), true).is_none());
+        assert_eq!(store.stats().invalidations, 1);
+        // And it stays gone for the old revision's entries.
+        assert_eq!(store.stats().len, 0);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_memory() {
+        let store = EmbeddingStore::new(2);
+        for i in 0..5u32 {
+            store.insert(1, DataPoint::Node(i), 0, &sampler(), true, vec![i as f32], 0.0);
+        }
+        assert_eq!(store.stats().len, 2);
+        // The two most recent survive.
+        assert!(store.lookup(1, DataPoint::Node(3), 0, &sampler(), true).is_some());
+        assert!(store.lookup(1, DataPoint::Node(4), 0, &sampler(), true).is_some());
+        assert!(store.lookup(1, DataPoint::Node(0), 0, &sampler(), true).is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = EmbeddingStore::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        let p = DataPoint::Node(i % 8);
+                        if store.lookup(1, p, 0, &sampler(), true).is_none() {
+                            store.insert(1, p, 0, &sampler(), true, vec![(i + t) as f32], 0.0);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(store.stats().len <= 8);
+    }
+}

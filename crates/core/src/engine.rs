@@ -1,0 +1,468 @@
+//! The single public entry point for the GraphPrompter pipeline.
+//!
+//! [`EngineBuilder`] validates every config up front ([`ConfigError`]),
+//! resolves the tensor-kernel [`Parallelism`], and decides whether the
+//! cross-episode [`EmbeddingStore`] is wired in. The built [`Engine`]
+//! then owns the model and exposes the whole lifecycle:
+//!
+//! ```
+//! use gp_core::{Engine, InferenceConfig, PretrainConfig};
+//!
+//! let source = gp_datasets::CitationConfig::new("pretrain", 300, 6, 1).generate();
+//! let target = gp_datasets::CitationConfig::new("downstream", 200, 5, 2).generate();
+//!
+//! let mut engine = Engine::builder()
+//!     .pretrain_config(PretrainConfig::builder().steps(30).try_build().unwrap())
+//!     .inference_config(InferenceConfig::default())
+//!     .try_build()
+//!     .unwrap();
+//! engine.pretrain(&source);
+//!
+//! // In-context adaptation: no gradient updates on the target graph.
+//! let accs = engine.evaluate(&target, 3, 10, 2);
+//! assert_eq!(accs.len(), 2);
+//! ```
+//!
+//! The free functions (`evaluate_episodes`, `run_episode`, …) remain as
+//! deprecated shims; they run the same pipeline without the embedding
+//! cache.
+
+use gp_datasets::{Dataset, FewShotTask};
+use gp_tensor::Parallelism;
+
+use crate::config::{ConfigError, InferenceConfig, ModelConfig, PretrainConfig};
+use crate::embed_store::{EmbedCacheStats, EmbeddingStore};
+use crate::guard::DivergenceError;
+use crate::infer::{evaluate_episodes_impl, run_episode_impl, EpisodeResult};
+use crate::model::GraphPrompterModel;
+use crate::pretrain::{pretrain, try_pretrain, TrainingCurve};
+
+/// Default capacity of the cross-episode embedding cache.
+pub const DEFAULT_EMBED_CACHE_CAPACITY: usize = 4096;
+
+/// Fallible builder for [`Engine`]; start from [`Engine::builder`].
+pub struct EngineBuilder {
+    model_cfg: ModelConfig,
+    model: Option<GraphPrompterModel>,
+    pretrain_cfg: PretrainConfig,
+    infer_cfg: InferenceConfig,
+    parallelism: Option<Parallelism>,
+    embed_cache: Option<usize>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            model_cfg: ModelConfig::default(),
+            model: None,
+            pretrain_cfg: PretrainConfig::default(),
+            infer_cfg: InferenceConfig::default(),
+            parallelism: None,
+            embed_cache: Some(DEFAULT_EMBED_CACHE_CAPACITY),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the paper's default protocol everywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Architecture config for the model the engine will create. Ignored
+    /// when [`EngineBuilder::model`] supplies a pre-built model.
+    pub fn model_config(mut self, cfg: ModelConfig) -> Self {
+        self.model_cfg = cfg;
+        self
+    }
+
+    /// Adopt an existing (e.g. already pre-trained or checkpoint-loaded)
+    /// model instead of creating a fresh one.
+    pub fn model(mut self, model: GraphPrompterModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Pre-training protocol for [`Engine::pretrain`].
+    pub fn pretrain_config(mut self, cfg: PretrainConfig) -> Self {
+        self.pretrain_cfg = cfg;
+        self
+    }
+
+    /// Inference protocol for [`Engine::evaluate`] / [`Engine::run_episode`].
+    pub fn inference_config(mut self, cfg: InferenceConfig) -> Self {
+        self.infer_cfg = cfg;
+        self
+    }
+
+    /// Tensor-kernel worker pool (process-wide; see
+    /// [`gp_tensor::parallel`]). Every setting produces bit-identical
+    /// results — this is purely a throughput knob. When not set, the
+    /// builder leaves the process-wide setting untouched (so transient
+    /// engines, e.g. inside baselines, inherit the caller's choice).
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = Some(p);
+        self
+    }
+
+    /// Capacity of the cross-episode candidate-embedding cache
+    /// (default [`DEFAULT_EMBED_CACHE_CAPACITY`]).
+    pub fn embedding_cache(mut self, capacity: usize) -> Self {
+        self.embed_cache = Some(capacity);
+        self
+    }
+
+    /// Disable the embedding cache: every episode embeds every candidate
+    /// from scratch (the pre-Engine behavior).
+    pub fn no_embedding_cache(mut self) -> Self {
+        self.embed_cache = None;
+        self
+    }
+
+    /// Validate all configs and build the engine. When a parallelism was
+    /// chosen, the process-wide tensor setting is updated on success.
+    pub fn try_build(self) -> Result<Engine, ConfigError> {
+        let model = match self.model {
+            Some(model) => {
+                model.config().validate()?;
+                model
+            }
+            None => {
+                self.model_cfg.validate()?;
+                GraphPrompterModel::new(self.model_cfg)
+            }
+        };
+        self.pretrain_cfg.validate()?;
+        self.infer_cfg.validate()?;
+        if let Some(p) = self.parallelism {
+            gp_tensor::set_parallelism(p);
+        }
+        Ok(Engine {
+            model,
+            pretrain_cfg: self.pretrain_cfg,
+            infer_cfg: self.infer_cfg,
+            parallelism: self.parallelism,
+            embed_store: self.embed_cache.map(EmbeddingStore::new),
+        })
+    }
+}
+
+/// Owns a [`GraphPrompterModel`], its validated configs, the tensor
+/// parallelism setting and the cross-episode [`EmbeddingStore`]; the one
+/// place the pretrain → evaluate lifecycle happens.
+pub struct Engine {
+    model: GraphPrompterModel,
+    pretrain_cfg: PretrainConfig,
+    infer_cfg: InferenceConfig,
+    parallelism: Option<Parallelism>,
+    embed_store: Option<EmbeddingStore>,
+}
+
+impl Engine {
+    /// Start building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Pre-train on `dataset` (Alg. 1) with the engine's pretrain config;
+    /// stage toggles follow the inference config's
+    /// [`crate::StageConfig`]. Weight updates automatically invalidate
+    /// the embedding cache (revision tracking), so a later
+    /// [`Engine::evaluate`] never sees stale embeddings.
+    ///
+    /// # Panics
+    /// Panics if the configured guard rail aborts; use
+    /// [`Engine::try_pretrain`] for a recoverable error.
+    pub fn pretrain(&mut self, dataset: &Dataset) -> TrainingCurve {
+        pretrain(
+            &mut self.model,
+            dataset,
+            &self.pretrain_cfg,
+            self.infer_cfg.stages,
+        )
+    }
+
+    /// As [`Engine::pretrain`], surfacing guard-rail aborts as a typed
+    /// [`DivergenceError`].
+    pub fn try_pretrain(&mut self, dataset: &Dataset) -> Result<TrainingCurve, DivergenceError> {
+        try_pretrain(
+            &mut self.model,
+            dataset,
+            &self.pretrain_cfg,
+            self.infer_cfg.stages,
+        )
+    }
+
+    /// Evaluate `episodes` independent `ways`-way episodes and return
+    /// per-episode accuracies in %. Candidate embeddings are memoized in
+    /// the engine's [`EmbeddingStore`] and shared across episodes (and
+    /// across repeated `evaluate` calls) — results are bit-identical to a
+    /// cache-less run.
+    pub fn evaluate(
+        &self,
+        dataset: &Dataset,
+        ways: usize,
+        queries_per_episode: usize,
+        episodes: usize,
+    ) -> Vec<f32> {
+        evaluate_episodes_impl(
+            &self.model,
+            dataset,
+            ways,
+            queries_per_episode,
+            episodes,
+            &self.infer_cfg,
+            self.embed_store.as_ref(),
+        )
+    }
+
+    /// As [`Engine::evaluate`], but under an explicit inference config
+    /// instead of the engine's own — for sweeps that vary the protocol
+    /// per call (the experiment harness, the baselines). The embedding
+    /// cache is still shared: its keys carry the sampler geometry, seed
+    /// and stage flags, so entries from different configs never collide.
+    pub fn evaluate_with(
+        &self,
+        dataset: &Dataset,
+        ways: usize,
+        queries_per_episode: usize,
+        episodes: usize,
+        cfg: &InferenceConfig,
+    ) -> Vec<f32> {
+        evaluate_episodes_impl(
+            &self.model,
+            dataset,
+            ways,
+            queries_per_episode,
+            episodes,
+            cfg,
+            self.embed_store.as_ref(),
+        )
+    }
+
+    /// Run Alg. 2 over one explicit episode.
+    pub fn run_episode(&self, dataset: &Dataset, task: &FewShotTask) -> EpisodeResult {
+        run_episode_impl(
+            &self.model,
+            dataset,
+            task,
+            &self.infer_cfg,
+            self.embed_store.as_ref(),
+        )
+    }
+
+    /// As [`Engine::run_episode`], under an explicit inference config.
+    pub fn run_episode_with(
+        &self,
+        dataset: &Dataset,
+        task: &FewShotTask,
+        cfg: &InferenceConfig,
+    ) -> EpisodeResult {
+        run_episode_impl(&self.model, dataset, task, cfg, self.embed_store.as_ref())
+    }
+
+    /// The owned model (read-only).
+    pub fn model(&self) -> &GraphPrompterModel {
+        &self.model
+    }
+
+    /// Mutable model access (checkpoint loading, manual surgery). Any
+    /// weight mutation bumps the [`gp_nn::ParamStore::revision`], which
+    /// invalidates the embedding cache on its next use.
+    pub fn model_mut(&mut self) -> &mut GraphPrompterModel {
+        &mut self.model
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> GraphPrompterModel {
+        self.model
+    }
+
+    /// The active inference config.
+    pub fn inference_config(&self) -> &InferenceConfig {
+        &self.infer_cfg
+    }
+
+    /// Replace the inference config (validated). Experiment sweeps use
+    /// this to vary cache size, metric, stages, … on one engine.
+    pub fn set_inference_config(&mut self, cfg: InferenceConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        self.infer_cfg = cfg;
+        Ok(())
+    }
+
+    /// The active pretrain config.
+    pub fn pretrain_config(&self) -> &PretrainConfig {
+        &self.pretrain_cfg
+    }
+
+    /// The tensor parallelism this engine was built with, or `None` when
+    /// the builder inherited the process-wide setting.
+    pub fn parallelism(&self) -> Option<Parallelism> {
+        self.parallelism
+    }
+
+    /// Usage counters of the embedding cache, or `None` when disabled.
+    pub fn embed_cache_stats(&self) -> Option<EmbedCacheStats> {
+        self.embed_store.as_ref().map(EmbeddingStore::stats)
+    }
+
+    /// Drop every memoized embedding (counters survive). Weight changes
+    /// do this automatically; an explicit clear is only useful for
+    /// benchmarking cold-cache behavior.
+    pub fn clear_embed_cache(&self) {
+        if let Some(store) = &self.embed_store {
+            store.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PseudoLabelPolicy, StageConfig};
+    use gp_datasets::CitationConfig;
+    use gp_graph::SamplerConfig;
+
+    fn tiny_infer() -> InferenceConfig {
+        InferenceConfig::builder()
+            .shots(2)
+            .candidates_per_class(4)
+            .cache_size(2)
+            .query_batch(5)
+            .sampler(SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            })
+            .try_build()
+            .expect("valid tiny inference config")
+    }
+
+    fn tiny_model() -> ModelConfig {
+        ModelConfig::builder()
+            .embed_dim(16)
+            .hidden_dim(24)
+            .try_build()
+            .expect("valid tiny model config")
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let err = Engine::builder()
+            .model_config(ModelConfig {
+                embed_dim: 0,
+                ..ModelConfig::default()
+            })
+            .try_build()
+            .err()
+            .expect("zero embed_dim must fail");
+        assert_eq!(err, ConfigError::ZeroField { field: "embed_dim" });
+
+        assert!(Engine::builder()
+            .inference_config(InferenceConfig {
+                shots: 9,
+                candidates_per_class: 3,
+                ..InferenceConfig::default()
+            })
+            .try_build()
+            .is_err());
+
+        assert!(Engine::builder()
+            .pretrain_config(PretrainConfig {
+                steps: 0,
+                ..PretrainConfig::default()
+            })
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn engine_lifecycle_pretrain_then_evaluate() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let pre = PretrainConfig::builder()
+            .steps(30)
+            .ways(4)
+            .shots(2)
+            .queries(4)
+            .nm_ways(3)
+            .nm_shots(2)
+            .nm_queries(3)
+            .log_every(15)
+            .sampler(SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            })
+            .try_build()
+            .expect("valid pretrain config");
+        let mut engine = Engine::builder()
+            .model_config(tiny_model())
+            .pretrain_config(pre)
+            .inference_config(tiny_infer())
+            .try_build()
+            .expect("valid engine");
+        let curve = engine.pretrain(&ds);
+        assert!(!curve.loss.is_empty());
+        let accs = engine.evaluate(&ds, 3, 8, 2);
+        assert_eq!(accs.len(), 2);
+        let stats = engine.embed_cache_stats().expect("cache on by default");
+        assert!(stats.hits + stats.misses > 0);
+    }
+
+    #[test]
+    fn engine_cache_matches_cacheless_engine_bitwise() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let cached = Engine::builder()
+            .model_config(tiny_model())
+            .inference_config(tiny_infer())
+            .try_build()
+            .expect("valid engine");
+        let plain = Engine::builder()
+            .model_config(tiny_model())
+            .inference_config(tiny_infer())
+            .no_embedding_cache()
+            .try_build()
+            .expect("valid engine");
+        let a = cached.evaluate(&ds, 3, 10, 3);
+        let b = plain.evaluate(&ds, 3, 10, 3);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert!(cached.embed_cache_stats().expect("cache on").misses > 0);
+        assert_eq!(plain.embed_cache_stats(), None);
+    }
+
+    #[test]
+    fn engine_adopts_existing_model() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let model = GraphPrompterModel::new(tiny_model());
+        let engine = Engine::builder()
+            .model(model)
+            .inference_config(tiny_infer())
+            .try_build()
+            .expect("valid engine");
+        let accs = engine.evaluate(&ds, 3, 6, 1);
+        assert_eq!(accs.len(), 1);
+        assert_eq!(engine.model().config().embed_dim, 16);
+    }
+
+    #[test]
+    fn set_inference_config_validates() {
+        let mut engine = Engine::builder()
+            .model_config(tiny_model())
+            .inference_config(tiny_infer())
+            .try_build()
+            .expect("valid engine");
+        let mut bad = tiny_infer();
+        bad.cache_size = 0;
+        assert!(engine.set_inference_config(bad).is_err());
+        let mut good = tiny_infer();
+        good.pseudo_labels = PseudoLabelPolicy::UniformRandom;
+        good.stages = StageConfig::without_knn();
+        assert!(engine.set_inference_config(good).is_ok());
+        assert_eq!(
+            engine.inference_config().pseudo_labels,
+            PseudoLabelPolicy::UniformRandom
+        );
+    }
+}

@@ -2,10 +2,24 @@
 //! episode — embed candidates once, then per query batch: embed, score
 //! (Eqs. 6–8), select, augment from the cache (Eq. 9), predict (Eqs.
 //! 10–11), and update the cache with high-confidence pseudo-labels.
+//!
+//! Entry points: [`crate::Engine`] (preferred; owns the model, validated
+//! configs and the cross-episode [`EmbeddingStore`]) or the deprecated
+//! free-function shims kept for source compatibility.
+//!
+//! # Determinism
+//!
+//! Candidate and query subgraphs are sampled from RNGs derived per
+//! datapoint — `mix(candidate_seed, point)` / `mix(seed, point)` — not
+//! from one shared sequential stream. A datapoint therefore embeds
+//! identically however the episode is batched, whatever the tensor-kernel
+//! worker count, and whether or not its embedding came from the
+//! [`EmbeddingStore`]: all three axes are bit-identical by construction
+//! and asserted in tests.
 
 use std::time::Instant;
 
-use gp_datasets::{Dataset, FewShotTask};
+use gp_datasets::{DataPoint, Dataset, FewShotTask};
 use gp_graph::RandomWalkSampler;
 use gp_nn::Session;
 use gp_tensor::Tensor;
@@ -14,7 +28,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::augmenter::PromptAugmenter;
 use crate::batch::SubgraphBatch;
-use crate::config::InferenceConfig;
+use crate::cache::CachePolicy;
+use crate::config::{InferenceConfig, PseudoLabelPolicy};
+use crate::embed_store::EmbeddingStore;
 use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
 use crate::selector::select_prompts_with_metric;
 
@@ -27,6 +43,11 @@ pub struct EpisodeResult {
     pub total: usize,
     /// Mean wall-clock time per query over the whole pipeline, µs.
     pub per_query_micros: f64,
+    /// Mean wall-clock time per query spent embedding subgraphs
+    /// (candidates amortized plus the query's own batch), µs. Always
+    /// ≤ [`EpisodeResult::per_query_micros`]; the gap is selector, task
+    /// graph and cache time.
+    pub embed_micros: f64,
     /// Query data-graph embeddings (for the Fig. 7 embedding analysis).
     pub query_embeddings: Tensor,
     /// Ground-truth episode labels per query.
@@ -46,70 +67,143 @@ impl EpisodeResult {
     }
 }
 
-/// Embed a set of datapoints with no gradient tracking; returns
-/// `(embeddings, importances)` as plain tensors.
+/// splitmix64-style combiner for deriving per-datapoint RNG seeds.
+fn mix(seed: u64, tag: u64) -> u64 {
+    let mut z = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable 64-bit tag for a datapoint (node and edge spaces disjoint).
+fn point_tag(p: DataPoint) -> u64 {
+    match p {
+        DataPoint::Node(n) => n as u64,
+        DataPoint::Edge(e) => (1u64 << 32) | e as u64,
+    }
+}
+
+/// Embed datapoints with no gradient tracking; each point's subgraph is
+/// sampled from its own derived RNG (`mix(stream_seed, point)`), so the
+/// result is independent of batch composition. With `cache` present,
+/// memoized rows are reused and fresh rows are memoized.
 fn embed_points(
     model: &GraphPrompterModel,
     dataset: &Dataset,
     sampler: &RandomWalkSampler,
-    points: &[gp_datasets::DataPoint],
+    points: &[DataPoint],
     use_reconstruction: bool,
-    rng: &mut StdRng,
+    stream_seed: u64,
+    cache: Option<&EmbeddingStore>,
 ) -> (Tensor, Vec<f32>) {
-    let sgs = sample_datapoint_subgraphs(&dataset.graph, sampler, points, dataset.task, rng);
-    let batch = SubgraphBatch::build(&dataset.graph, &sgs, model.config().rel_dim);
-    let mut sess = Session::new(&model.store);
-    let emb = model.embed_batch(&mut sess, &batch, use_reconstruction);
-    let e = sess.value(emb.embeddings).clone();
-    let i = sess.value(emb.importance).as_slice().to_vec();
-    (e, i)
+    let dim = model.config().embed_dim;
+    let revision = model.store.revision();
+    let sampler_cfg = sampler.config();
+
+    let mut rows: Vec<Option<(Vec<f32>, f32)>> = Vec::with_capacity(points.len());
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, &p) in points.iter().enumerate() {
+        let hit = cache.and_then(|c| {
+            c.lookup(revision, p, stream_seed, &sampler_cfg, use_reconstruction)
+        });
+        if hit.is_none() {
+            missing.push(i);
+        }
+        rows.push(hit);
+    }
+
+    if !missing.is_empty() {
+        // Sample every missing subgraph from its per-point RNG, embed them
+        // as one batch (embedding is row/graph-local, so the batch
+        // composition cannot affect any row's bits).
+        let mut sgs = Vec::with_capacity(missing.len());
+        for &i in &missing {
+            let mut rng = StdRng::seed_from_u64(mix(stream_seed, point_tag(points[i])));
+            let mut one = sample_datapoint_subgraphs(
+                &dataset.graph,
+                sampler,
+                &[points[i]],
+                dataset.task,
+                &mut rng,
+            );
+            sgs.push(one.pop().expect("one subgraph per point"));
+        }
+        let batch = SubgraphBatch::build(&dataset.graph, &sgs, model.config().rel_dim);
+        let mut sess = Session::new(&model.store);
+        let emb = model.embed_batch(&mut sess, &batch, use_reconstruction);
+        let e = sess.value(emb.embeddings);
+        let imps = sess.value(emb.importance).as_slice().to_vec();
+        for (slot, &i) in missing.iter().enumerate() {
+            let row = e.row(slot).to_vec();
+            let imp = imps[slot];
+            if let Some(c) = cache {
+                c.insert(
+                    revision,
+                    points[i],
+                    stream_seed,
+                    &sampler_cfg,
+                    use_reconstruction,
+                    row.clone(),
+                    imp,
+                );
+            }
+            rows[i] = Some((row, imp));
+        }
+    }
+
+    let mut data = Vec::with_capacity(points.len() * dim);
+    let mut importances = Vec::with_capacity(points.len());
+    for row in rows {
+        let (emb, imp) = row.expect("every row resolved");
+        debug_assert_eq!(emb.len(), dim);
+        data.extend_from_slice(&emb);
+        importances.push(imp);
+    }
+    (Tensor::from_vec(points.len(), dim, data), importances)
 }
 
-/// Run Alg. 2 over one episode and return predictions plus timing.
-pub fn run_episode(
+/// Run Alg. 2 over one episode; `cache` memoizes candidate embeddings
+/// across calls (the Engine passes its [`EmbeddingStore`]).
+pub(crate) fn run_episode_impl(
     model: &GraphPrompterModel,
     dataset: &Dataset,
     task: &FewShotTask,
     cfg: &InferenceConfig,
-) -> EpisodeResult {
-    run_episode_with_policy(model, dataset, task, cfg, false)
-}
-
-/// As [`run_episode`], with `random_pseudo_labels = true` admitting cache
-/// samples uniformly at random instead of by confidence (Table VII).
-pub fn run_episode_with_policy(
-    model: &GraphPrompterModel,
-    dataset: &Dataset,
-    task: &FewShotTask,
-    cfg: &InferenceConfig,
-    random_pseudo_labels: bool,
+    cache: Option<&EmbeddingStore>,
 ) -> EpisodeResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sampler = RandomWalkSampler::new(cfg.sampler);
     let m = task.ways();
     let stages = cfg.stages;
+    let random_pseudo_labels = cfg.pseudo_labels == PseudoLabelPolicy::UniformRandom;
 
     let started = Instant::now();
+    let mut embed_nanos = 0u128;
 
-    // Prompt Generator over the candidate set S (embedded once).
+    // Prompt Generator over the candidate set S (embedded once, memoized
+    // across episodes when a cache is present: candidate subgraph RNGs
+    // derive from `candidate_seed`, not the episode seed).
     let (cand_points, cand_labels): (Vec<_>, Vec<_>) = task.candidates.iter().copied().unzip();
+    let embed_started = Instant::now();
     let (cand_embs, cand_imps) = embed_points(
         model,
         dataset,
         &sampler,
         &cand_points,
         stages.use_reconstruction,
-        &mut rng,
+        cfg.candidate_seed,
+        cache,
     );
+    embed_nanos += embed_started.elapsed().as_nanos();
 
     // Per-class caches of size c; admission takes each class's most
     // confident gated query per batch ("|Q̂| ≤ m").
+    let min_confidence = match cfg.pseudo_labels {
+        PseudoLabelPolicy::Confidence { min } => min,
+        PseudoLabelPolicy::UniformRandom => 0.0,
+    };
     let mut augmenter = PromptAugmenter::with_policy(cfg.cache_size.max(1), m, cfg.cache_policy)
-        .with_min_confidence(if random_pseudo_labels {
-            0.0
-        } else {
-            cfg.cache_min_confidence
-        });
+        .with_min_confidence(min_confidence);
     let mut correct = 0usize;
     let mut predictions = Vec::with_capacity(task.queries.len());
     let mut query_labels = Vec::with_capacity(task.queries.len());
@@ -117,14 +211,19 @@ pub fn run_episode_with_policy(
 
     for chunk in task.queries.chunks(cfg.query_batch.max(1)) {
         let (q_points, q_labels): (Vec<_>, Vec<_>) = chunk.iter().copied().unzip();
+        // Query embeddings are never memoized: their RNG stream is
+        // per-episode (`cfg.seed`), and each query appears once.
+        let embed_started = Instant::now();
         let (q_embs, q_imps) = embed_points(
             model,
             dataset,
             &sampler,
             &q_points,
             stages.use_reconstruction,
-            &mut rng,
+            cfg.seed,
+            None,
         );
+        embed_nanos += embed_started.elapsed().as_nanos();
 
         // Prompt Selector: score + vote → Ŝ (k per class).
         let selection = select_prompts_with_metric(
@@ -196,8 +295,8 @@ pub fn run_episode_with_policy(
             } else {
                 q_embs.clone()
             };
-            // Debug-only oracle bound (used by the diagnose harness).
-            let confidences = if std::env::var_os("GP_CACHE_ORACLE").is_some() {
+            // Oracle bound: wrong pseudo-labels never enter the cache.
+            let confidences = if cfg.cache_policy == CachePolicy::Oracle {
                 preds
                     .iter()
                     .zip(&q_labels)
@@ -217,6 +316,7 @@ pub fn run_episode_with_policy(
         correct,
         total,
         per_query_micros: elapsed.as_micros() as f64 / total.max(1) as f64,
+        embed_micros: embed_nanos as f64 / 1000.0 / total.max(1) as f64,
         query_embeddings: all_query_embs
             .unwrap_or_else(|| Tensor::zeros(0, model.config().embed_dim)),
         query_labels,
@@ -224,16 +324,57 @@ pub fn run_episode_with_policy(
     }
 }
 
-/// Evaluate `episodes` independent episodes of `ways`-way classification
-/// and return per-episode accuracies (in %). Episode `i` uses seed
-/// `cfg.seed + i` for both the episode sampling and the pipeline RNG.
-pub fn evaluate_episodes(
+/// Run Alg. 2 over one episode and return predictions plus timing.
+///
+/// The pseudo-label admission policy travels in
+/// [`InferenceConfig::pseudo_labels`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use gp_core::Engine::run_episode (build one with EngineBuilder)"
+)]
+pub fn run_episode(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    task: &FewShotTask,
+    cfg: &InferenceConfig,
+) -> EpisodeResult {
+    run_episode_impl(model, dataset, task, cfg, None)
+}
+
+/// As [`run_episode`], with `random_pseudo_labels = true` overriding the
+/// config's policy to [`PseudoLabelPolicy::UniformRandom`] (Table VII).
+#[deprecated(
+    since = "0.2.0",
+    note = "set InferenceConfig::pseudo_labels (PseudoLabelPolicy) and use \
+            gp_core::Engine::run_episode instead of a boolean flag"
+)]
+pub fn run_episode_with_policy(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    task: &FewShotTask,
+    cfg: &InferenceConfig,
+    random_pseudo_labels: bool,
+) -> EpisodeResult {
+    let mut cfg = cfg.clone();
+    if random_pseudo_labels {
+        cfg.pseudo_labels = PseudoLabelPolicy::UniformRandom;
+    }
+    run_episode_impl(model, dataset, task, &cfg, None)
+}
+
+/// Evaluate `episodes` independent episodes; see the deprecated public
+/// wrapper [`evaluate_episodes`] for the protocol. `cache` is shared by
+/// every episode worker, so candidate embeddings computed by one episode
+/// are reused by all later ones (their subgraph RNGs derive from
+/// `cfg.candidate_seed`, which stays fixed across episodes).
+pub(crate) fn evaluate_episodes_impl(
     model: &GraphPrompterModel,
     dataset: &Dataset,
     ways: usize,
     queries_per_episode: usize,
     episodes: usize,
     cfg: &InferenceConfig,
+    cache: Option<&EmbeddingStore>,
 ) -> Vec<f32> {
     // Episodes are fully independent (fresh RNGs, read-only model), so
     // they run on all available cores. Results are returned in episode
@@ -249,7 +390,10 @@ pub fn evaluate_episodes(
         );
         let mut ep_cfg = cfg.clone();
         ep_cfg.seed = cfg.seed.wrapping_add(i as u64 * 104_729);
-        run_episode(model, dataset, &task, &ep_cfg).accuracy() * 100.0
+        // candidate_seed is deliberately NOT varied: episode i and episode
+        // j sample a shared candidate's subgraph identically, which is
+        // what lets `cache` serve both.
+        run_episode_impl(model, dataset, &task, &ep_cfg, cache).accuracy() * 100.0
     };
 
     let workers = std::thread::available_parallelism()
@@ -276,6 +420,25 @@ pub fn evaluate_episodes(
         }
     });
     results
+}
+
+/// Evaluate `episodes` independent episodes of `ways`-way classification
+/// and return per-episode accuracies (in %). Episode `i` derives its seed
+/// from `cfg.seed` for both the episode sampling and the pipeline RNG.
+#[deprecated(
+    since = "0.2.0",
+    note = "use gp_core::Engine::evaluate (build one with EngineBuilder); \
+            the Engine also memoizes candidate embeddings across episodes"
+)]
+pub fn evaluate_episodes(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    ways: usize,
+    queries_per_episode: usize,
+    episodes: usize,
+    cfg: &InferenceConfig,
+) -> Vec<f32> {
+    evaluate_episodes_impl(model, dataset, ways, queries_per_episode, episodes, cfg, None)
 }
 
 #[cfg(test)]
@@ -317,13 +480,15 @@ mod tests {
         let (model, ds) = tiny_setup();
         let mut rng = StdRng::seed_from_u64(0);
         let task = sample_few_shot_task(&ds, 3, 4, 12, &mut rng);
-        let res = run_episode(&model, &ds, &task, &tiny_cfg());
+        let res = run_episode_impl(&model, &ds, &task, &tiny_cfg(), None);
         assert_eq!(res.total, 12);
         assert_eq!(res.predictions.len(), 12);
         assert_eq!(res.query_labels.len(), 12);
         assert_eq!(res.query_embeddings.rows(), 12);
         assert!(res.correct <= res.total);
         assert!(res.per_query_micros > 0.0);
+        assert!(res.embed_micros > 0.0);
+        assert!(res.embed_micros <= res.per_query_micros);
         assert!(res.predictions.iter().all(|&p| p < 3));
     }
 
@@ -334,7 +499,7 @@ mod tests {
         let task = sample_few_shot_task(&ds, 3, 4, 9, &mut rng);
         let mut cfg = tiny_cfg();
         cfg.stages = StageConfig::prodigy();
-        let res = run_episode(&model, &ds, &task, &cfg);
+        let res = run_episode_impl(&model, &ds, &task, &cfg, None);
         assert_eq!(res.total, 9);
     }
 
@@ -344,8 +509,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
         let cfg = tiny_cfg();
-        let a = run_episode(&model, &ds, &task, &cfg);
-        let b = run_episode(&model, &ds, &task, &cfg);
+        let a = run_episode_impl(&model, &ds, &task, &cfg, None);
+        let b = run_episode_impl(&model, &ds, &task, &cfg, None);
         assert_eq!(a.predictions, b.predictions);
         assert_eq!(a.correct, b.correct);
     }
@@ -370,7 +535,7 @@ mod tests {
             ..PretrainConfig::default()
         };
         pretrain(&mut model, &ds, &pre, StageConfig::full());
-        let accs = evaluate_episodes(&model, &ds, 3, 12, 3, &tiny_cfg());
+        let accs = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &tiny_cfg(), None);
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
         // Chance is 33%; a pre-trained model must do clearly better.
         assert!(mean > 45.0, "mean accuracy {mean}% not above chance");
@@ -381,7 +546,113 @@ mod tests {
         let (model, ds) = tiny_setup();
         let mut rng = StdRng::seed_from_u64(3);
         let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
-        let res = run_episode_with_policy(&model, &ds, &task, &tiny_cfg(), true);
+        let mut cfg = tiny_cfg();
+        cfg.pseudo_labels = PseudoLabelPolicy::UniformRandom;
+        let res = run_episode_impl(&model, &ds, &task, &cfg, None);
         assert_eq!(res.total, 10);
+    }
+
+    #[test]
+    fn oracle_cache_policy_runs() {
+        let (model, ds) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
+        let mut cfg = tiny_cfg();
+        cfg.cache_policy = CachePolicy::Oracle;
+        cfg.pseudo_labels = PseudoLabelPolicy::Confidence { min: 0.0 };
+        let res = run_episode_impl(&model, &ds, &task, &cfg, None);
+        assert_eq!(res.total, 10);
+    }
+
+    #[test]
+    fn kernel_parallelism_is_bit_identical() {
+        // The whole-pipeline counterpart of the tensor-level proptests:
+        // accuracies (and predictions) must not depend on the tensor
+        // worker count.
+        let (model, ds) = tiny_setup();
+        let cfg = tiny_cfg();
+        gp_tensor::set_parallelism(gp_tensor::Parallelism::Serial);
+        let serial = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &cfg, None);
+        gp_tensor::set_parallelism(gp_tensor::Parallelism::Threads(4));
+        let parallel = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &cfg, None);
+        gp_tensor::set_parallelism(gp_tensor::Parallelism::Serial);
+        let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(to_bits(&serial), to_bits(&parallel));
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
+        gp_tensor::set_parallelism(gp_tensor::Parallelism::Threads(3));
+        let a = run_episode_impl(&model, &ds, &task, &cfg, None);
+        gp_tensor::set_parallelism(gp_tensor::Parallelism::Serial);
+        let b = run_episode_impl(&model, &ds, &task, &cfg, None);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(
+            to_bits(a.query_embeddings.as_slice()),
+            to_bits(b.query_embeddings.as_slice())
+        );
+    }
+
+    #[test]
+    fn embedding_cache_is_transparent_and_reused() {
+        let (model, ds) = tiny_setup();
+        let cfg = tiny_cfg();
+        let store = EmbeddingStore::new(4096);
+        let cold = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, None);
+        let warm1 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store));
+        let warm2 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store));
+        let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(to_bits(&cold), to_bits(&warm1), "cache must not change results");
+        assert_eq!(to_bits(&warm1), to_bits(&warm2));
+        let stats = store.stats();
+        assert!(stats.hits > 0, "second pass must hit: {stats:?}");
+        assert!(stats.len > 0);
+    }
+
+    #[test]
+    fn embedding_cache_invalidates_when_weights_change() {
+        let (mut model, ds) = tiny_setup();
+        let cfg = tiny_cfg();
+        let mut rng = StdRng::seed_from_u64(6);
+        let task = sample_few_shot_task(&ds, 3, 4, 8, &mut rng);
+        let store = EmbeddingStore::new(4096);
+
+        let before = run_episode_impl(&model, &ds, &task, &cfg, Some(&store));
+        assert!(store.stats().len > 0);
+
+        // Mutate one weight through try_set: revision bumps, and the next
+        // lookup must drop every memoized row instead of serving stale
+        // embeddings.
+        let (id, tensor) = {
+            let (id, t) = model.store.iter().next().expect("model has params");
+            (id, t.clone())
+        };
+        let mut bumped = tensor.clone();
+        bumped.as_mut_slice()[0] += 0.25;
+        model.store.try_set(id, bumped).expect("same shape");
+
+        let after = run_episode_impl(&model, &ds, &task, &cfg, Some(&store));
+        assert_eq!(store.stats().invalidations, 1, "{:?}", store.stats());
+
+        // Fresh embeddings under the new weights must equal a cache-less
+        // run — i.e. nothing stale leaked through.
+        let reference = run_episode_impl(&model, &ds, &task, &cfg, None);
+        assert_eq!(after.predictions, reference.predictions);
+        let to_bits = |t: &Tensor| t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(to_bits(&after.query_embeddings), to_bits(&reference.query_embeddings));
+
+        // And restoring the original weights (try_restore) invalidates again.
+        let snap: Vec<Tensor> = {
+            let mut m2 = GraphPrompterModel::new(ModelConfig {
+                embed_dim: 16,
+                hidden_dim: 24,
+                ..ModelConfig::default()
+            });
+            m2.store.try_set(id, tensor).expect("same shape");
+            m2.store.snapshot()
+        };
+        model.store.try_restore(&snap).expect("same layout");
+        let _ = run_episode_impl(&model, &ds, &task, &cfg, Some(&store));
+        assert_eq!(store.stats().invalidations, 2);
+        let _ = before;
     }
 }

@@ -23,21 +23,28 @@
 //! [`config::StageConfig`]; with all stages off the pipeline *is* the
 //! Prodigy baseline.
 //!
+//! The public entry point is the [`Engine`], built through the fallible
+//! [`EngineBuilder`]: it validates every config, owns the model, sets the
+//! tensor-kernel [`gp_tensor::Parallelism`], and memoizes candidate
+//! embeddings across episodes in an [`EmbeddingStore`] (invalidated
+//! automatically whenever the weights change).
+//!
 //! ```
-//! use gp_core::config::{InferenceConfig, ModelConfig, PretrainConfig, StageConfig};
-//! use gp_core::infer::evaluate_episodes;
-//! use gp_core::model::GraphPrompterModel;
-//! use gp_core::pretrain::pretrain;
+//! use gp_core::{Engine, InferenceConfig, ModelConfig, PretrainConfig};
 //!
 //! let source = gp_datasets::CitationConfig::new("pretrain", 300, 6, 1).generate();
 //! let target = gp_datasets::CitationConfig::new("downstream", 200, 5, 2).generate();
 //!
-//! let mut model = GraphPrompterModel::new(ModelConfig::default());
-//! let pre = PretrainConfig { steps: 30, ..PretrainConfig::default() };
-//! pretrain(&mut model, &source, &pre, StageConfig::full());
+//! let mut engine = Engine::builder()
+//!     .model_config(ModelConfig::default())
+//!     .pretrain_config(PretrainConfig::builder().steps(30).try_build().unwrap())
+//!     .inference_config(InferenceConfig::default())
+//!     .try_build()
+//!     .unwrap();
+//! engine.pretrain(&source);
 //!
 //! // In-context adaptation: no gradient updates on the target graph.
-//! let accs = evaluate_episodes(&model, &target, 3, 10, 2, &InferenceConfig::default());
+//! let accs = engine.evaluate(&target, 3, 10, 2);
 //! assert_eq!(accs.len(), 2);
 //! ```
 
@@ -46,6 +53,8 @@ pub mod batch;
 pub mod cache;
 pub mod checkpoint;
 pub mod config;
+pub mod embed_store;
+pub mod engine;
 pub mod guard;
 pub mod infer;
 pub mod lfu;
@@ -60,9 +69,16 @@ pub use checkpoint::{
     inspect_checkpoint, list_checkpoints, scan_for_recovery, CheckpointError, CheckpointKind,
     CheckpointSummary, RecoveryScan, TrainerMeta,
 };
-pub use config::{GeneratorKind, InferenceConfig, ModelConfig, PretrainConfig, StageConfig};
+pub use config::{
+    ConfigError, GeneratorKind, InferenceConfig, InferenceConfigBuilder, ModelConfig,
+    ModelConfigBuilder, PretrainConfig, PretrainConfigBuilder, PseudoLabelPolicy, StageConfig,
+};
+pub use embed_store::{EmbedCacheStats, EmbeddingStore};
+pub use engine::{Engine, EngineBuilder, DEFAULT_EMBED_CACHE_CAPACITY};
 pub use guard::{DivergenceError, GuardAction, GuardRail, GuardRailConfig, StepVerdict};
-pub use infer::{evaluate_episodes, run_episode, run_episode_with_policy, EpisodeResult};
+#[allow(deprecated)]
+pub use infer::{evaluate_episodes, run_episode, run_episode_with_policy};
+pub use infer::EpisodeResult;
 pub use lfu::LfuCache;
 pub use model::{sample_datapoint_subgraphs, GraphPrompterModel};
 pub use pretrain::{

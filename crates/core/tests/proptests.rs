@@ -1,7 +1,13 @@
 //! Property tests for the core components: cache policies, the prompt
-//! selector, and the augmenter's invariants.
+//! selector, the augmenter's invariants, and the cross-episode
+//! embedding store's transparency guarantees.
 
-use gp_core::{select_prompts, AnyCache, CachePolicy, LfuCache, PromptAugmenter};
+use gp_core::{
+    select_prompts, AnyCache, CachePolicy, Engine, InferenceConfig, LfuCache, ModelConfig,
+    PretrainConfig, PromptAugmenter,
+};
+use gp_datasets::CitationConfig;
+use gp_graph::SamplerConfig;
 use gp_tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -115,5 +121,91 @@ proptest! {
             prop_assert_eq!(embs.rows(), labels.len());
             prop_assert!(labels.iter().all(|&l| l < 4));
         }
+    }
+}
+
+/// A small engine over a generated citation graph, embedding cache on.
+fn tiny_engine(data_seed: u64) -> (Engine, gp_datasets::Dataset) {
+    let ds = CitationConfig::new("prop", 240, 5, 31 + data_seed).generate();
+    let sampler = SamplerConfig {
+        hops: 1,
+        max_nodes: 10,
+        neighbors_per_node: 5,
+    };
+    let engine = Engine::builder()
+        .model_config(
+            ModelConfig::builder()
+                .embed_dim(16)
+                .hidden_dim(24)
+                .try_build()
+                .expect("valid model config"),
+        )
+        .pretrain_config(
+            PretrainConfig::builder()
+                .steps(6)
+                .ways(3)
+                .shots(2)
+                .queries(3)
+                .nm_ways(3)
+                .nm_shots(2)
+                .nm_queries(3)
+                .log_every(100)
+                .sampler(sampler)
+                .try_build()
+                .expect("valid pretrain config"),
+        )
+        .inference_config(
+            InferenceConfig::builder()
+                .shots(2)
+                .candidates_per_class(4)
+                .cache_size(2)
+                .query_batch(5)
+                .sampler(sampler)
+                .try_build()
+                .expect("valid inference config"),
+        )
+        .try_build()
+        .expect("valid engine");
+    (engine, ds)
+}
+
+proptest! {
+    // Each case pre-trains a model, so keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The embedding store is a pure memo: reusing cached candidate
+    /// embeddings never changes predictions, and entries computed under
+    /// old weights are never served after the weights move.
+    #[test]
+    fn embedding_reuse_is_invisible_and_weight_changes_invalidate(
+        data_seed in 0u64..64,
+        task_seed in any::<u64>(),
+        ways in 2usize..4,
+    ) {
+        use gp_datasets::sample_few_shot_task;
+
+        let (mut engine, ds) = tiny_engine(data_seed);
+        let mut rng = StdRng::seed_from_u64(task_seed);
+        let candidates = engine.inference_config().candidates_per_class;
+        let task = sample_few_shot_task(&ds, ways, candidates, 6, &mut rng);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+        // Cold vs warm: the second run answers from the store.
+        let cold = engine.run_episode(&ds, &task);
+        let warm = engine.run_episode(&ds, &task);
+        prop_assert_eq!(&cold.predictions, &warm.predictions);
+        prop_assert_eq!(bits(&cold.query_embeddings), bits(&warm.query_embeddings));
+        let stats = engine.embed_cache_stats().expect("cache on by default");
+        prop_assert!(stats.hits > 0, "warm run must hit the store");
+
+        // Move the weights (bumps the ParamStore revision), then compare a
+        // store-carrying run against an explicitly cleared one: identical
+        // output means no stale embedding survived the weight change.
+        engine.pretrain(&ds);
+        let stale = engine.run_episode(&ds, &task);
+        engine.clear_embed_cache();
+        let fresh = engine.run_episode(&ds, &task);
+        prop_assert_eq!(&stale.predictions, &fresh.predictions);
+        prop_assert_eq!(bits(&stale.query_embeddings), bits(&fresh.query_embeddings));
     }
 }

@@ -428,7 +428,7 @@ mod tests {
         .unwrap();
         std::fs::write(dir.join("nodes.tsv"), "0\t0\t0.5 0.5\t-\n").unwrap();
         std::fs::write(dir.join("edges.tsv"), "").unwrap();
-        let err = load_dataset(&dir).unwrap_err();
+        let err = load_dataset(&dir).err().expect("load must fail");
         match err {
             IoError::Format(m) => assert!(m.contains("bad classes"), "{m}"),
             other => panic!("expected Format error, got {other:?}"),
@@ -452,7 +452,7 @@ mod tests {
         )
         .unwrap();
         std::fs::write(dir.join("edges.tsv"), "0\t0\t1\t-\n").unwrap();
-        let err = load_dataset(&dir).unwrap_err();
+        let err = load_dataset(&dir).err().expect("load must fail");
         match err {
             IoError::Format(m) => assert!(m.contains("label 7"), "{m}"),
             other => panic!("expected Format error, got {other:?}"),

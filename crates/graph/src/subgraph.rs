@@ -45,7 +45,11 @@ impl Subgraph {
         let mut dst = Vec::new();
         let mut rels = Vec::new();
         let mut seen_edge = std::collections::HashSet::new();
-        for (&orig, &lu) in &local {
+        // Iterate nodes in their (deterministic) local order, NOT the hash
+        // map: edge order fixes the floating-point accumulation order of
+        // every aggregation downstream, so it must be reproducible across
+        // runs for bit-identical inference.
+        for (lu, &orig) in nodes.iter().enumerate() {
             for (v, r, eid) in graph.neighbors(orig) {
                 if let Some(&lv) = local.get(&v) {
                     // Each triple appears in both endpoints' adjacency; dedupe

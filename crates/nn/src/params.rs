@@ -74,6 +74,7 @@ impl ParamId {
 pub struct ParamStore {
     tensors: Vec<Tensor>,
     names: Vec<String>,
+    revision: u64,
 }
 
 impl ParamStore {
@@ -82,8 +83,21 @@ impl ParamStore {
         Self::default()
     }
 
+    /// Monotonic counter bumped by every (potential) mutation of parameter
+    /// values: [`ParamStore::add`], [`ParamStore::get_mut`],
+    /// [`ParamStore::set`]/[`ParamStore::try_set`],
+    /// [`ParamStore::restore`]/[`ParamStore::try_restore`] and successful
+    /// [`ParamStore::load`]. Caches keyed on model weights (e.g. memoized
+    /// embeddings) compare revisions to detect staleness without hashing
+    /// tensor data.
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Register a parameter; `name` is for debugging/reporting only.
     pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
+        self.revision += 1;
         self.tensors.push(tensor);
         self.names.push(name.into());
         ParamId(self.tensors.len() - 1)
@@ -95,9 +109,11 @@ impl ParamStore {
         &self.tensors[id.0]
     }
 
-    /// Mutable access (used by optimizers).
+    /// Mutable access (used by optimizers). Conservatively counts as a
+    /// mutation for [`ParamStore::revision`].
     #[inline]
     pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        self.revision += 1;
         &mut self.tensors[id.0]
     }
 
@@ -121,6 +137,7 @@ impl ParamStore {
                 got: tensor.shape(),
             });
         }
+        self.revision += 1;
         self.tensors[id.0] = tensor;
         Ok(())
     }
@@ -187,6 +204,7 @@ impl ParamStore {
                 });
             }
         }
+        self.revision += 1;
         for (t, s) in self.tensors.iter_mut().zip(snapshot) {
             *t = s.clone();
         }
@@ -256,6 +274,7 @@ impl ParamStore {
                 r.read_exact(&mut u32b)?;
                 *v = f32::from_le_bytes(u32b);
             }
+            self.revision += 1;
             self.tensors[i] = Tensor::from_vec(rows, cols, data);
         }
         Ok(())
@@ -360,6 +379,44 @@ mod tests {
         );
         assert!(store.try_set(id, Tensor::full(2, 3, 1.0)).is_ok());
         assert_eq!(store.get(id).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn revision_bumps_on_every_mutation_path() {
+        let mut store = ParamStore::new();
+        let r0 = store.revision();
+        let id = store.add("w", Tensor::zeros(2, 2));
+        assert!(store.revision() > r0, "add must bump");
+
+        let r1 = store.revision();
+        store.get(id);
+        store.iter().count();
+        let _ = store.snapshot();
+        assert_eq!(store.revision(), r1, "reads must not bump");
+
+        store.get_mut(id).as_mut_slice()[0] = 1.0;
+        let r2 = store.revision();
+        assert!(r2 > r1, "get_mut must bump");
+
+        // A failed try_set leaves the revision alone.
+        assert!(store.try_set(id, Tensor::zeros(9, 9)).is_err());
+        assert_eq!(store.revision(), r2);
+        assert!(store.try_set(id, Tensor::full(2, 2, 2.0)).is_ok());
+        let r3 = store.revision();
+        assert!(r3 > r2, "try_set must bump");
+
+        let snap = store.snapshot();
+        assert!(store.try_restore(&[Tensor::zeros(1, 1)]).is_err());
+        assert_eq!(store.revision(), r3, "failed restore must not bump");
+        store.restore(&snap);
+        let r4 = store.revision();
+        assert!(r4 > r3, "restore must bump");
+
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        assert_eq!(store.revision(), r4, "save is a read");
+        store.load(&mut buf.as_slice()).unwrap();
+        assert!(store.revision() > r4, "load must bump");
     }
 
     #[test]

@@ -20,15 +20,19 @@
 //!   task-graph attention GNN.
 //!
 //! The engine is deliberately minimal: 2-D shapes only (vectors are `n×1`
-//! or `1×d`), `f32` only, single-threaded. Model sizes in this reproduction
-//! (hidden dims ≤ 128, subgraphs ≤ a few hundred nodes) make that the right
-//! trade-off; see DESIGN.md.
+//! or `1×d`), `f32` only. Model sizes in this reproduction (hidden dims
+//! ≤ 128, subgraphs ≤ a few hundred nodes) keep kernels simple; see
+//! DESIGN.md. Heavy row-parallel kernels (`matmul` and friends) can fan
+//! out over a deterministic worker pool — see [`parallel`] — and stay
+//! **bit-identical** to the serial path for every worker count.
 
+pub mod parallel;
 pub mod rng;
 pub mod sparse;
 pub mod tape;
 pub mod tensor;
 
+pub use parallel::{set_parallelism, Parallelism};
 pub use sparse::EdgeList;
 pub use tape::{Op, Tape, Var};
 pub use tensor::Tensor;

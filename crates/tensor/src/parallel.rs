@@ -1,0 +1,153 @@
+//! Deterministic worker-pool parallelism for tensor kernels.
+//!
+//! The heavy kernels ([`crate::Tensor::matmul`] and friends, the row-wise
+//! normalizations) partition their *output rows* into disjoint contiguous
+//! blocks and run the exact same per-row scalar loop on each block, one
+//! block per worker thread. Because no accumulation ever crosses a row
+//! boundary, the floating-point evaluation order of every output element
+//! is identical for any worker count — results are **bit-identical** to
+//! the serial path by construction (asserted by proptests).
+//!
+//! Threads come from [`std::thread::scope`]; there is no persistent pool
+//! and no extra dependency. Spawning a thread costs ~10µs on Linux, so
+//! kernels only fan out when the estimated scalar-op count clears
+//! [`MIN_PARALLEL_WORK`].
+//!
+//! The process-wide worker count is set with [`set_parallelism`] (default
+//! [`Parallelism::Serial`]); `gp_core`'s `EngineBuilder` exposes it as a
+//! builder knob.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads the tensor kernels may use.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One thread; every kernel runs its classic serial loop (default).
+    #[default]
+    Serial,
+    /// Exactly `n` worker threads (clamped to ≥ 1).
+    Threads(usize),
+    /// One worker per available hardware thread.
+    Auto,
+}
+
+impl Parallelism {
+    /// The worker count this setting resolves to on this host.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Minimum estimated scalar ops before a kernel fans out. Below this the
+/// ~10µs-per-thread spawn cost dominates any speedup.
+pub const MIN_PARALLEL_WORK: usize = 1 << 15;
+
+static WORKERS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the process-wide kernel parallelism. Takes effect for every
+/// subsequent kernel call in any thread.
+pub fn set_parallelism(p: Parallelism) {
+    WORKERS.store(p.workers(), Ordering::Relaxed);
+}
+
+/// The currently configured worker count (≥ 1).
+pub fn configured_workers() -> usize {
+    WORKERS.load(Ordering::Relaxed).max(1)
+}
+
+/// Worker count a kernel with `rows` independent output rows and
+/// `total_work` estimated scalar ops should use under the current setting:
+/// 1 when parallelism is off or the job is too small, else
+/// `min(configured, rows)`.
+pub fn workers_for(rows: usize, total_work: usize) -> usize {
+    let w = configured_workers();
+    if w <= 1 || rows < 2 || total_work < MIN_PARALLEL_WORK {
+        1
+    } else {
+        w.min(rows)
+    }
+}
+
+/// Run `f(rows_range, block)` over disjoint contiguous row blocks of the
+/// row-major buffer `out` (`rows × cols`), one block per worker.
+///
+/// With `workers <= 1` this is a plain call `f(0..rows, out)` on the
+/// current thread — the serial path and the parallel path execute the very
+/// same closure, which is what makes bit-identity a structural property
+/// rather than a testing aspiration.
+pub fn for_row_blocks<F>(out: &mut [f32], rows: usize, cols: usize, workers: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * cols, "for_row_blocks: buffer shape");
+    let workers = workers.max(1).min(rows.max(1));
+    if workers <= 1 {
+        f(0..rows, out);
+        return;
+    }
+    let block_rows = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = out;
+        let mut start = 0usize;
+        while start < rows {
+            let take = block_rows.min(rows - start);
+            let (block, tail) = rest.split_at_mut(take * cols);
+            rest = tail;
+            let range = start..start + take;
+            scope.spawn(move || f(range, block));
+            start += take;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_resolves_to_positive_workers() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(4).workers(), 4);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn row_blocks_cover_every_row_exactly_once() {
+        for workers in [1usize, 2, 3, 7, 16] {
+            let rows = 11;
+            let cols = 3;
+            let mut out = vec![0.0f32; rows * cols];
+            for_row_blocks(&mut out, rows, cols, workers, |range, block| {
+                assert_eq!(block.len(), range.len() * cols);
+                for (local, r) in range.enumerate() {
+                    for c in 0..cols {
+                        block[local * cols + c] += (r * cols + c) as f32 + 1.0;
+                    }
+                }
+            });
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as f32 + 1.0, "row coverage broke at {i} (workers={workers})");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_for_respects_thresholds() {
+        set_parallelism(Parallelism::Threads(4));
+        assert_eq!(workers_for(100, MIN_PARALLEL_WORK), 4);
+        assert_eq!(workers_for(100, MIN_PARALLEL_WORK - 1), 1);
+        assert_eq!(workers_for(1, usize::MAX), 1);
+        assert_eq!(workers_for(3, MIN_PARALLEL_WORK), 3);
+        set_parallelism(Parallelism::Serial);
+        assert_eq!(workers_for(100, usize::MAX), 1);
+    }
+}

@@ -144,8 +144,20 @@ impl Tensor {
     /// Matrix multiply `self (n×k) · other (k×m) -> n×m`.
     ///
     /// Uses the cache-friendly `i-k-j` loop order (the inner loop streams
-    /// over contiguous rows of both the output and `other`).
+    /// over contiguous rows of both the output and `other`). Fans out over
+    /// output-row blocks when [`crate::parallel`] is enabled; every worker
+    /// count produces bit-identical results.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_workers(other, crate::parallel::workers_for(self.rows, work))
+    }
+
+    /// As [`Tensor::matmul`] with an explicit worker count (`1` = serial).
+    ///
+    /// Output rows are computed by the same per-row loop regardless of how
+    /// they are blocked across workers, so any `workers` value yields
+    /// bit-identical results (asserted by the parallel proptests).
+    pub fn matmul_workers(&self, other: &Tensor, workers: usize) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} · {}x{}",
@@ -153,24 +165,35 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out.data[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::parallel::for_row_blocks(&mut out.data, n, m, workers, |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let o_row = &mut block[local * m..(local + 1) * m];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * m..(kk + 1) * m];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self (n×k) · other^T (m×k) -> n×m` without materializing the transpose.
     pub fn matmul_tb(&self, other: &Tensor) -> Tensor {
+        let work = self.rows * self.cols * other.rows;
+        self.matmul_tb_workers(other, crate::parallel::workers_for(self.rows, work))
+    }
+
+    /// As [`Tensor::matmul_tb`] with an explicit worker count (`1` = serial);
+    /// bit-identical for every `workers` value.
+    pub fn matmul_tb_workers(&self, other: &Tensor, workers: usize) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
             "matmul_tb: {}x{} · ({}x{})^T",
@@ -178,21 +201,31 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            for j in 0..m {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::parallel::for_row_blocks(&mut out.data, n, m, workers, |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let o_row = &mut block[local * m..(local + 1) * m];
+                for (j, o) in o_row.iter_mut().enumerate() {
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a_row[kk] * b_row[kk];
+                    }
+                    *o = acc;
                 }
-                out.data[i * m + j] = acc;
             }
-        }
+        });
         out
     }
 
     /// `self^T (k×n) · other (k×m) -> n×m` without materializing the transpose.
+    ///
+    /// The serial path keeps the cache-friendly `k`-outer loop; the blocked
+    /// path recomputes each output row with the same `kk`-ascending,
+    /// zero-skipping accumulation per element, so both orders produce
+    /// bit-identical sums.
     pub fn matmul_ta(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -200,20 +233,41 @@ impl Tensor {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
+        let workers = crate::parallel::workers_for(n, k * n * m);
         let mut out = Tensor::zeros(n, m);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out.data[i * m..(i + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if workers <= 1 {
+            for kk in 0..k {
+                let a_row = self.row(kk);
+                let b_row = other.row(kk);
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let o_row = &mut out.data[i * m..(i + 1) * m];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+            return out;
         }
+        let a_data = &self.data;
+        let b_data = &other.data;
+        crate::parallel::for_row_blocks(&mut out.data, n, m, workers, |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let o_row = &mut block[local * m..(local + 1) * m];
+                for kk in 0..k {
+                    let a = a_data[kk * n + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * m..(kk + 1) * m];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
         out
     }
 

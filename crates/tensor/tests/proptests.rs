@@ -123,6 +123,74 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_serial(
+        n in 1usize..24,
+        k in 1usize..12,
+        m in 1usize..12,
+        workers in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = gp_tensor::rng::randn(&mut rng, n, k, 1.0);
+        let b = gp_tensor::rng::randn(&mut rng, k, m, 1.0);
+        let serial = a.matmul_workers(&b, 1);
+        let blocked = a.matmul_workers(&b, workers);
+        for (x, y) in serial.as_slice().iter().zip(blocked.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y} (workers={})", workers);
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_tb_is_bit_identical_to_serial(
+        n in 1usize..24,
+        k in 1usize..12,
+        m in 1usize..12,
+        workers in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = gp_tensor::rng::randn(&mut rng, n, k, 1.0);
+        let b = gp_tensor::rng::randn(&mut rng, m, k, 1.0);
+        let serial = a.matmul_tb_workers(&b, 1);
+        let blocked = a.matmul_tb_workers(&b, workers);
+        for (x, y) in serial.as_slice().iter().zip(blocked.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y} (workers={})", workers);
+        }
+    }
+
+    #[test]
+    fn matmul_ta_is_bit_identical_across_parallelism(
+        n in 2usize..8,
+        m in 2usize..8,
+        workers in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        use gp_tensor::{set_parallelism, Parallelism};
+        use rand::SeedableRng;
+        // matmul_ta resolves its worker count from the process-wide setting,
+        // so pick k large enough that k·n·m clears the fan-out threshold and
+        // the blocked path genuinely runs.
+        let k = gp_tensor::parallel::MIN_PARALLEL_WORK / (n * m) + 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = gp_tensor::rng::randn(&mut rng, k, n, 1.0);
+        let b = gp_tensor::rng::randn(&mut rng, k, m, 1.0);
+        set_parallelism(Parallelism::Serial);
+        let serial = a.matmul_ta(&b);
+        set_parallelism(Parallelism::Threads(workers));
+        let blocked = a.matmul_ta(&b);
+        set_parallelism(Parallelism::Serial);
+        for (x, y) in serial.as_slice().iter().zip(blocked.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y} (workers={})", workers);
+        }
+    }
+}
+
 /// Random edge-list strategy over `n` nodes.
 fn edges_strategy(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     proptest::collection::vec((0..n as u32, 0..n as u32), 1..12)

@@ -9,11 +9,8 @@
 //! produces, so any external pipeline that can write TSV can feed this
 //! library.
 
-use graphprompter::core::{
-    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig,
-    StageConfig,
-};
 use graphprompter::datasets::{load_dataset, save_dataset, CitationConfig};
+use graphprompter::prelude::*;
 
 fn main() {
     let dir = std::env::temp_dir().join("gp_custom_dataset_example");
@@ -45,15 +42,18 @@ fn main() {
     );
 
     // 3. Pre-train on it and evaluate in-context (here source == target;
-    //    point `evaluate_episodes` at any other loaded dataset for the
+    //    point `Engine::evaluate` at any other loaded dataset for the
     //    cross-domain setting).
-    let mut model = GraphPrompterModel::new(ModelConfig::default());
-    let cfg = PretrainConfig {
-        steps: 150,
-        ..PretrainConfig::default()
-    };
-    pretrain(&mut model, &ds, &cfg, StageConfig::full());
-    let accs = evaluate_episodes(&model, &ds, 4, 30, 3, &InferenceConfig::default());
+    let mut engine = Engine::builder()
+        .model_config(ModelConfig::default())
+        .pretrain_config(PretrainConfig {
+            steps: 150,
+            ..PretrainConfig::default()
+        })
+        .try_build()
+        .expect("default configs are valid");
+    engine.pretrain(&ds);
+    let accs = engine.evaluate(&ds, 4, 30, 3);
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;
     println!("\n4-way in-context accuracy on the imported graph: {mean:.1}% (chance 25%)");
 

@@ -7,12 +7,9 @@
 //! cargo run --release --example edge_classification
 //! ```
 
-use graphprompter::core::{
-    pretrain, run_episode, select_prompts, GraphPrompterModel, InferenceConfig, ModelConfig,
-    PretrainConfig, StageConfig,
-};
-use graphprompter::datasets::{presets, sample_few_shot_task};
+use graphprompter::core::select_prompts;
 use graphprompter::eval::MeanStd;
+use graphprompter::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,22 +18,19 @@ fn main() {
     let concept = presets::conceptnet_like(0);
     let fb = presets::fb15k237_like(0);
 
-    let mut model = GraphPrompterModel::new(ModelConfig::default());
-    pretrain(
-        &mut model,
-        &source,
-        &PretrainConfig::default(),
-        StageConfig::full(),
-    );
+    let mut engine = Engine::builder()
+        .model_config(ModelConfig::default())
+        .try_build()
+        .expect("default configs are valid");
+    engine.pretrain(&source);
     println!(
         "pre-trained on {} ({} relations)\n",
         source.name, source.num_classes
     );
 
     // Aggregate accuracy on both downstream KGs.
-    let cfg = InferenceConfig::default();
     for (ds, ways) in [(&concept, 4usize), (&fb, 10)] {
-        let accs = graphprompter::core::evaluate_episodes(&model, ds, ways, 40, 5, &cfg);
+        let accs = engine.evaluate(ds, ways, 40, 5);
         println!(
             "{} {}-way relation classification: {}% (chance {:.0}%)",
             ds.name,
@@ -50,7 +44,7 @@ fn main() {
     // show the voting outcome (Eqs. 6–8).
     let mut rng = StdRng::seed_from_u64(42);
     let task = sample_few_shot_task(&fb, 5, 10, 20, &mut rng);
-    let res = run_episode(&model, &fb, &task, &cfg);
+    let res = engine.run_episode(&fb, &task);
     println!(
         "\nepisode on {}: {}/{} queries correct ({:.1} µs/query)",
         fb.name, res.correct, res.total, res.per_query_micros

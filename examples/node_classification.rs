@@ -8,9 +8,8 @@
 //! ```
 
 use graphprompter::baselines::{IclBaseline, NoPretrain, Prodigy};
-use graphprompter::core::{pretrain, GraphPrompterModel, StageConfig};
-use graphprompter::datasets::presets;
 use graphprompter::eval::{MeanStd, Table};
+use graphprompter::prelude::*;
 
 fn main() {
     let suite_seed = 0;
@@ -26,12 +25,16 @@ fn main() {
         target.num_classes
     );
 
-    let model_cfg = graphprompter::core::ModelConfig::default();
-    let pre_cfg = graphprompter::core::PretrainConfig::default();
+    let model_cfg = ModelConfig::default();
+    let pre_cfg = PretrainConfig::default();
 
     // GraphPrompter: node tasks run without the augmenter (§V-B).
-    let mut gp = GraphPrompterModel::new(model_cfg.clone());
-    pretrain(&mut gp, &source, &pre_cfg, StageConfig::full());
+    let mut gp = Engine::builder()
+        .model_config(model_cfg.clone())
+        .pretrain_config(pre_cfg.clone())
+        .try_build()
+        .expect("default configs are valid");
+    gp.pretrain(&source);
 
     let prodigy = Prodigy::pretrain(&source, model_cfg.clone(), &pre_cfg);
     let no_pre = NoPretrain::new(model_cfg);
@@ -44,19 +47,11 @@ fn main() {
         &["Method", "5-way", "10-way", "20-way"],
     );
     let gp_eval = |ways: usize| {
-        let cfg = graphprompter::core::InferenceConfig {
+        let cfg = InferenceConfig {
             stages: StageConfig::without_augmenter(),
-            ..graphprompter::core::InferenceConfig::default()
+            ..InferenceConfig::default()
         };
-        MeanStd::of(&graphprompter::core::evaluate_episodes(
-            &gp,
-            &target,
-            ways,
-            protocol.queries,
-            episodes,
-            &cfg,
-        ))
-        .to_string()
+        MeanStd::of(&gp.evaluate_with(&target, ways, protocol.queries, episodes, &cfg)).to_string()
     };
     table.row(&[
         "NoPretrain".into(),

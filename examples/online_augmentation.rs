@@ -56,7 +56,7 @@ fn main() {
     }
 
     // The augmented set is what Alg. 2 feeds to the task graph alongside
-    // the Prompt Selector's Ŝ — see `gp_core::run_episode` for the full
+    // the Prompt Selector's Ŝ — see `Engine::run_episode` for the full
     // pipeline and `experiments fig5` for the cache-size sweep.
     println!("\n(see `cargo run -p gp-bench --release --bin experiments -- fig5`)");
 }

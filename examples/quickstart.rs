@@ -6,12 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use graphprompter::core::{
-    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig,
-    StageConfig,
-};
 use graphprompter::datasets::CitationConfig;
 use graphprompter::eval::MeanStd;
+use graphprompter::prelude::*;
 
 fn main() {
     // 1. Two citation graphs with unrelated class geometry (different
@@ -27,37 +24,47 @@ fn main() {
         target.num_classes
     );
 
-    // 2. Pre-train the full method (reconstruction + selection layers and
-    //    the task graph train jointly; Alg. 1).
-    let mut model = GraphPrompterModel::new(ModelConfig::default());
-    let cfg = PretrainConfig {
-        steps: 200,
-        ..PretrainConfig::default()
-    };
-    let curve = pretrain(&mut model, &source, &cfg, StageConfig::full());
+    // 2. Build the engine (configs are validated here) and pre-train the
+    //    full method (reconstruction + selection layers and the task graph
+    //    train jointly; Alg. 1).
+    let mut engine = Engine::builder()
+        .model_config(ModelConfig::default())
+        .pretrain_config(PretrainConfig {
+            steps: 200,
+            ..PretrainConfig::default()
+        })
+        .try_build()
+        .expect("default configs are valid");
+    let curve = engine.pretrain(&source);
     println!(
         "pre-trained {} parameters; loss {:.2} → {:.2}",
-        model.num_parameters(),
+        engine.model().num_parameters(),
         curve.loss.first().unwrap(),
         curve.loss.last().unwrap()
     );
 
     // 3. In-context evaluation on the unseen target graph (Alg. 2):
     //    5-way episodes, 3 prompts per class chosen by the Prompt
-    //    Selector from N = 10 candidates.
-    let infer = InferenceConfig::default();
-    let accs = evaluate_episodes(&model, &target, 5, 30, 5, &infer);
+    //    Selector from N = 10 candidates. Candidate embeddings are
+    //    memoized across episodes in the engine's embedding cache.
+    let accs = engine.evaluate(&target, 5, 30, 5);
     println!(
         "5-way in-context accuracy: {}% (chance 20%)",
         MeanStd::of(&accs)
     );
+    if let Some(stats) = engine.embed_cache_stats() {
+        println!(
+            "embedding cache: {} hits / {} misses",
+            stats.hits, stats.misses
+        );
+    }
 
     // 4. The same model with every GraphPrompter stage disabled is the
     //    Prodigy baseline — compare.
     let prodigy = InferenceConfig {
         stages: StageConfig::prodigy(),
-        ..infer
+        ..InferenceConfig::default()
     };
-    let base = evaluate_episodes(&model, &target, 5, 30, 5, &prodigy);
+    let base = engine.evaluate_with(&target, 5, 30, 5, &prodigy);
     println!("…with random prompt selection:  {}%", MeanStd::of(&base));
 }

@@ -13,7 +13,9 @@
 //! ```
 //!
 //! `evaluate`/`episode` also accept `--dataset-path <dir>` to run on a
-//! directory in the `gp export` TSV format (bring your own graph).
+//! directory in the `gp export` TSV format (bring your own graph), and
+//! `--threads <n>` to spread tensor kernels over `n` worker threads
+//! (`--threads 0` = one per core; results are bit-identical either way).
 //!
 //! With `--checkpoint-dir`, `pretrain` runs crash-safe: full trainer state
 //! is written atomically every `--checkpoint-every` steps and `--resume`
@@ -23,11 +25,12 @@
 //! Dataset names: mag240m, wiki, arxiv, conceptnet, fb15k237, nell.
 
 use graphprompter::core::{
-    inspect_checkpoint, pretrain, pretrain_resumable, CheckpointConfig, CheckpointKind,
-    GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
+    inspect_checkpoint, pretrain_resumable, CheckpointConfig, CheckpointKind, GraphPrompterModel,
+    InferenceConfig, ModelConfig, PretrainConfig, StageConfig,
 };
 use graphprompter::datasets::{presets, sample_few_shot_task, Dataset, Task};
 use graphprompter::eval::{ConfusionMatrix, MeanStd, Table};
+use graphprompter::prelude::{Engine, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,6 +69,19 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parse `--threads <n>` into a tensor parallelism setting. Absent → the
+/// serial default; `0` → one worker per core.
+fn parallelism(args: &[String]) -> Result<Parallelism, String> {
+    match flag(args, "--threads") {
+        None => Ok(Parallelism::Serial),
+        Some(s) => match s.parse::<usize>() {
+            Ok(0) => Ok(Parallelism::Auto),
+            Ok(n) => Ok(Parallelism::Threads(n)),
+            Err(_) => Err("--threads must be an integer (0 = one per core)".into()),
+        },
+    }
 }
 
 /// Resolve a dataset: a preset name, or a directory path previously
@@ -161,15 +177,20 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
         .map_err(|_| "--seed must be an integer")?;
 
     let ds = dataset_by_name(&source, seed)?;
-    let mut model = GraphPrompterModel::new(ModelConfig {
-        seed,
-        ..ModelConfig::default()
-    });
     let cfg = PretrainConfig {
         steps,
         seed,
         ..PretrainConfig::default()
     };
+    let mut engine = Engine::builder()
+        .model_config(ModelConfig {
+            seed,
+            ..ModelConfig::default()
+        })
+        .pretrain_config(cfg.clone())
+        .parallelism(parallelism(args)?)
+        .try_build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
     eprintln!("pre-training on {} for {steps} steps...", ds.name);
     let started = std::time::Instant::now();
 
@@ -193,7 +214,7 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
             ..CheckpointConfig::new(&dir)
         };
         let report = pretrain_resumable(
-            &mut model,
+            engine.model_mut(),
             &ds,
             &cfg,
             StageConfig::full(),
@@ -214,7 +235,7 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
         );
         report.curve
     } else {
-        pretrain(&mut model, &ds, &cfg, StageConfig::full())
+        engine.pretrain(&ds)
     };
 
     eprintln!(
@@ -224,7 +245,7 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
         curve.loss.last().copied().unwrap_or(f32::NAN),
         curve.accuracy.last().copied().unwrap_or(f32::NAN),
     );
-    model.save(&out).map_err(|e| e.to_string())?;
+    engine.model().save(&out).map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
     Ok(())
 }
@@ -288,12 +309,17 @@ fn evaluate_cmd(args: &[String]) -> CliResult {
     } else {
         StageConfig::full()
     };
-    let cfg = InferenceConfig {
-        stages,
-        seed,
-        ..InferenceConfig::default()
-    };
-    let accs = graphprompter::core::evaluate_episodes(&model, &ds, ways, 50, episodes, &cfg);
+    let engine = Engine::builder()
+        .model(model)
+        .inference_config(InferenceConfig {
+            stages,
+            seed,
+            ..InferenceConfig::default()
+        })
+        .parallelism(parallelism(args)?)
+        .try_build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
+    let accs = engine.evaluate(&ds, ways, 50, episodes);
     println!(
         "{} {}-way, {} episodes: {}% (chance {:.1}%)",
         ds.name,
@@ -317,13 +343,19 @@ fn episode_cmd(args: &[String]) -> CliResult {
         .map_err(|_| "--seed must be an integer")?;
 
     let ds = resolve_dataset(args, 0)?;
-    let cfg = InferenceConfig {
-        seed,
-        ..InferenceConfig::default()
-    };
+    let engine = Engine::builder()
+        .model(model)
+        .inference_config(InferenceConfig {
+            seed,
+            ..InferenceConfig::default()
+        })
+        .parallelism(parallelism(args)?)
+        .try_build()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let task = sample_few_shot_task(&ds, ways, cfg.candidates_per_class, 50, &mut rng);
-    let res = graphprompter::core::run_episode(&model, &ds, &task, &cfg);
+    let candidates = engine.inference_config().candidates_per_class;
+    let task = sample_few_shot_task(&ds, ways, candidates, 50, &mut rng);
+    let res = engine.run_episode(&ds, &task);
     println!(
         "{} {}-way episode: {}/{} correct ({:.1}%), {:.0} µs/query",
         ds.name,

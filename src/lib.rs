@@ -12,6 +12,10 @@
 //! * [`baselines`] — comparison methods ([`gp_baselines`])
 //! * [`eval`] — metrics, t-SNE, tables ([`gp_eval`])
 //!
+//! The public entry point is [`Engine`] (built through the fallible
+//! [`EngineBuilder`]); `use graphprompter::prelude::*;` pulls in
+//! everything the pretrain → evaluate lifecycle needs.
+//!
 //! See `examples/quickstart.rs` for the end-to-end flow and DESIGN.md for
 //! the system inventory.
 
@@ -23,6 +27,19 @@ pub use gp_graph as graph;
 pub use gp_nn as nn;
 pub use gp_tensor as tensor;
 
+pub use gp_core::{ConfigError, Engine, EngineBuilder};
+
+/// Everything the typical pretrain → evaluate flow needs in one import.
+pub mod prelude {
+    pub use gp_core::{
+        ConfigError, EmbedCacheStats, Engine, EngineBuilder, EpisodeResult, InferenceConfig,
+        ModelConfig, PretrainConfig, PseudoLabelPolicy, StageConfig, TrainingCurve,
+    };
+    pub use gp_datasets::{presets, sample_few_shot_task, Dataset, FewShotTask};
+    pub use gp_graph::SamplerConfig;
+    pub use gp_tensor::{set_parallelism, Parallelism};
+}
+
 /// Workspace version, from the facade crate.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
@@ -33,5 +50,15 @@ mod tests {
         let _ = crate::tensor::Tensor::zeros(1, 1);
         let _ = crate::core::StageConfig::full();
         assert!(!crate::VERSION.is_empty());
+    }
+
+    #[test]
+    fn prelude_builds_an_engine() {
+        use crate::prelude::*;
+        let engine = Engine::builder()
+            .inference_config(InferenceConfig::default())
+            .try_build()
+            .expect("defaults are valid");
+        assert!(engine.embed_cache_stats().is_some());
     }
 }

@@ -3,12 +3,8 @@
 //! and cross-crate invariants the unit tests cannot see.
 
 use graphprompter::baselines::{EvalProtocol, IclBaseline, NoPretrain, Prodigy};
-use graphprompter::core::{
-    evaluate_episodes, pretrain, GraphPrompterModel, InferenceConfig, ModelConfig, PretrainConfig,
-    StageConfig,
-};
-use graphprompter::datasets::{sample_few_shot_task, CitationConfig, KgConfig};
-use graphprompter::graph::SamplerConfig;
+use graphprompter::datasets::{CitationConfig, KgConfig};
+use graphprompter::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,13 +49,23 @@ fn tiny_infer() -> InferenceConfig {
     }
 }
 
+fn tiny_engine(steps: usize, source: &Dataset) -> Engine {
+    let mut engine = Engine::builder()
+        .model_config(tiny_model())
+        .pretrain_config(tiny_pretrain(steps))
+        .inference_config(tiny_infer())
+        .try_build()
+        .expect("tiny configs are valid");
+    engine.pretrain(source);
+    engine
+}
+
 #[test]
 fn end_to_end_node_classification_beats_chance() {
     let source = CitationConfig::new("src", 300, 6, 101).generate();
     let target = CitationConfig::new("tgt", 250, 4, 102).generate();
-    let mut model = GraphPrompterModel::new(tiny_model());
-    pretrain(&mut model, &source, &tiny_pretrain(70), StageConfig::full());
-    let accs = evaluate_episodes(&model, &target, 3, 12, 3, &tiny_infer());
+    let engine = tiny_engine(70, &source);
+    let accs = engine.evaluate(&target, 3, 12, 3);
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;
     assert!(
         mean > 40.0,
@@ -81,14 +87,8 @@ fn end_to_end_edge_classification_beats_chance() {
     tgt_cfg.feature_noise = 0.2;
     tgt_cfg.triples_per_entity = 6.0;
     let target = tgt_cfg.generate();
-    let mut model = GraphPrompterModel::new(tiny_model());
-    pretrain(
-        &mut model,
-        &source,
-        &tiny_pretrain(120),
-        StageConfig::full(),
-    );
-    let accs = evaluate_episodes(&model, &target, 3, 12, 3, &tiny_infer());
+    let engine = tiny_engine(120, &source);
+    let accs = engine.evaluate(&target, 3, 12, 3);
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;
     assert!(
         mean > 40.0,
@@ -99,18 +99,35 @@ fn end_to_end_edge_classification_beats_chance() {
 #[test]
 fn inference_is_deterministic_for_fixed_seeds() {
     let source = CitationConfig::new("src", 250, 4, 105).generate();
-    let mut model = GraphPrompterModel::new(tiny_model());
-    pretrain(&mut model, &source, &tiny_pretrain(20), StageConfig::full());
-    let a = evaluate_episodes(&model, &source, 3, 10, 2, &tiny_infer());
-    let b = evaluate_episodes(&model, &source, 3, 10, 2, &tiny_infer());
+    let engine = tiny_engine(20, &source);
+    let a = engine.evaluate(&source, 3, 10, 2);
+    let b = engine.evaluate(&source, 3, 10, 2);
     assert_eq!(a, b, "same seeds must give identical results");
+    // The second pass must have reused memoized candidate embeddings.
+    assert!(engine.embed_cache_stats().expect("cache on").hits > 0);
+}
+
+#[test]
+fn parallel_kernels_match_serial_bitwise_end_to_end() {
+    let source = CitationConfig::new("src", 250, 4, 109).generate();
+    let engine = tiny_engine(20, &source);
+    set_parallelism(Parallelism::Serial);
+    let serial = engine.evaluate(&source, 3, 10, 2);
+    set_parallelism(Parallelism::Threads(4));
+    let threaded = engine.evaluate(&source, 3, 10, 2);
+    set_parallelism(Parallelism::Serial);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&serial),
+        bits(&threaded),
+        "worker count must not change predictions"
+    );
 }
 
 #[test]
 fn every_ablation_configuration_runs() {
     let source = CitationConfig::new("src", 250, 4, 106).generate();
-    let mut model = GraphPrompterModel::new(tiny_model());
-    pretrain(&mut model, &source, &tiny_pretrain(15), StageConfig::full());
+    let engine = tiny_engine(15, &source);
     for stages in [
         StageConfig::full(),
         StageConfig::prodigy(),
@@ -123,10 +140,26 @@ fn every_ablation_configuration_runs() {
             stages,
             ..tiny_infer()
         };
-        let accs = evaluate_episodes(&model, &source, 3, 8, 1, &cfg);
+        let accs = engine.evaluate_with(&source, 3, 8, 1, &cfg);
         assert_eq!(accs.len(), 1);
         assert!((0.0..=100.0).contains(&accs[0]), "{stages:?} → {accs:?}");
     }
+}
+
+#[test]
+fn builders_reject_bad_configs_at_the_facade() {
+    let err = Engine::builder()
+        .inference_config(InferenceConfig {
+            shots: 9,
+            candidates_per_class: 3,
+            ..InferenceConfig::default()
+        })
+        .try_build()
+        .err()
+        .expect("shots > candidates must fail");
+    assert!(matches!(err, ConfigError::ShotsExceedCandidates { .. }));
+    // Message must be human-readable for the CLI.
+    assert!(err.to_string().contains("shots"));
 }
 
 #[test]
@@ -188,12 +221,12 @@ fn pretrained_selector_orders_prompts_meaningfully() {
 #[test]
 fn episode_timing_is_positive_and_bounded() {
     let source = CitationConfig::new("src", 250, 4, 108).generate();
-    let mut model = GraphPrompterModel::new(tiny_model());
-    pretrain(&mut model, &source, &tiny_pretrain(10), StageConfig::full());
+    let engine = tiny_engine(10, &source);
     let mut rng = StdRng::seed_from_u64(3);
     let task = sample_few_shot_task(&source, 3, 4, 8, &mut rng);
-    let res = graphprompter::core::run_episode(&model, &source, &task, &tiny_infer());
+    let res = engine.run_episode(&source, &task);
     assert!(res.per_query_micros > 0.0);
+    assert!(res.embed_micros >= 0.0);
     assert!(
         res.per_query_micros < 5_000_000.0,
         "implausible per-query time"
