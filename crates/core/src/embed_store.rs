@@ -13,7 +13,14 @@
 //! * the reconstruction stage toggle,
 //! * and the model weights.
 //!
-//! [`EmbeddingStore`] memoizes exactly that function. Weights are tracked
+//! * the dataset the point indexes into (a `DataPoint` is only an id;
+//!   `Node(7)` on two graphs is two different subgraphs),
+//!
+//! [`EmbeddingStore`] memoizes exactly that function. The dataset enters
+//! the key as a fingerprint ([`EmbeddingStore::dataset_id`]) so one store
+//! can serve an `Engine` that is evaluated against several graphs in turn
+//! (the experiment harness does exactly that) without cross-dataset
+//! collisions. Weights are tracked
 //! by [`gp_nn::ParamStore::revision`]: any mutation (an optimizer step,
 //! `try_set`, `try_restore`, a checkpoint load) bumps the revision, and
 //! the store drops its entire contents the next time it is consulted with
@@ -25,15 +32,17 @@
 //! across episodes, so recency tracking buys nothing here.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use gp_datasets::DataPoint;
+use gp_datasets::{DataPoint, Dataset, Task};
 use gp_graph::SamplerConfig;
 
 /// Memoization key: everything an embedding depends on except the weights
 /// (which are handled by revision tracking on the whole store).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 struct Key {
+    dataset_id: u64,
     point: DataPoint,
     candidate_seed: u64,
     hops: usize,
@@ -100,13 +109,39 @@ impl EmbeddingStore {
         self.capacity
     }
 
+    /// Fingerprint used as the dataset axis of the memoization key. Hashes
+    /// the dataset's name, task, class count, graph size and split sizes —
+    /// cheap, stable for the lifetime of a `Dataset`, and distinct for any
+    /// two datasets a caller could plausibly interleave on one engine. Two
+    /// genuinely identical datasets (same generator config) fingerprint
+    /// identically, so regenerating a dataset does not cold-start the
+    /// cache.
+    pub fn dataset_id(dataset: &Dataset) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        dataset.name.hash(&mut h);
+        match dataset.task {
+            Task::NodeClassification => 0u8.hash(&mut h),
+            Task::EdgeClassification => 1u8.hash(&mut h),
+        }
+        dataset.num_classes.hash(&mut h);
+        dataset.graph.num_nodes().hash(&mut h);
+        dataset.graph.num_edges().hash(&mut h);
+        dataset.train.len().hash(&mut h);
+        dataset.valid.len().hash(&mut h);
+        dataset.test.len().hash(&mut h);
+        h.finish()
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn key(
+        dataset_id: u64,
         point: DataPoint,
         candidate_seed: u64,
         sampler: &SamplerConfig,
         use_reconstruction: bool,
     ) -> Key {
         Key {
+            dataset_id,
             point,
             candidate_seed,
             hops: sampler.hops,
@@ -116,8 +151,13 @@ impl EmbeddingStore {
         }
     }
 
+    /// Adopt `revision` if it is newer than the store's, dropping every
+    /// entry computed under older weights. Older revisions are never
+    /// adopted ([`gp_nn::ParamStore::revision`] is monotonic, so an older
+    /// revision can only mean a stale caller) — the callers treat them as
+    /// a miss / no-op instead of letting them clear fresher entries.
     fn sync_revision(inner: &mut Inner, revision: u64) {
-        if inner.revision != revision {
+        if revision > inner.revision {
             if !inner.map.is_empty() {
                 inner.invalidations += 1;
             }
@@ -128,38 +168,45 @@ impl EmbeddingStore {
     }
 
     /// Fetch a memoized embedding, if one computed at exactly `revision`
-    /// (the current [`gp_nn::ParamStore::revision`]) exists. A revision
-    /// change drops every entry before the lookup.
+    /// (the current [`gp_nn::ParamStore::revision`]) exists. A newer
+    /// revision drops every entry before the lookup; an older one is
+    /// answered as a miss without touching the store.
+    #[allow(clippy::too_many_arguments)]
     pub fn lookup(
         &self,
         revision: u64,
+        dataset_id: u64,
         point: DataPoint,
         candidate_seed: u64,
         sampler: &SamplerConfig,
         use_reconstruction: bool,
     ) -> Option<(Vec<f32>, f32)> {
-        let key = Self::key(point, candidate_seed, sampler, use_reconstruction);
+        let key = Self::key(dataset_id, point, candidate_seed, sampler, use_reconstruction);
         let mut inner = self.inner.lock().expect("EmbeddingStore lock");
         Self::sync_revision(&mut inner, revision);
         match inner.map.get(&key) {
-            Some(entry) => {
+            Some(entry) if inner.revision == revision => {
                 let out = (entry.embedding.clone(), entry.importance);
                 inner.hits += 1;
                 Some(out)
             }
-            None => {
+            _ => {
                 inner.misses += 1;
                 None
             }
         }
     }
 
-    /// Memoize an embedding computed at `revision`. Entries computed at a
-    /// different revision than the store's current one evict everything
-    /// older first; FIFO eviction keeps the store within capacity.
+    /// Memoize an embedding computed at `revision`. A newer revision
+    /// evicts everything older first; an embedding computed at an older
+    /// revision than the store's current one is silently discarded (it
+    /// belongs to weights that no longer exist). FIFO eviction keeps the
+    /// store within capacity.
+    #[allow(clippy::too_many_arguments)]
     pub fn insert(
         &self,
         revision: u64,
+        dataset_id: u64,
         point: DataPoint,
         candidate_seed: u64,
         sampler: &SamplerConfig,
@@ -167,11 +214,14 @@ impl EmbeddingStore {
         embedding: Vec<f32>,
         importance: f32,
     ) {
-        let key = Self::key(point, candidate_seed, sampler, use_reconstruction);
+        let key = Self::key(dataset_id, point, candidate_seed, sampler, use_reconstruction);
         let mut inner = self.inner.lock().expect("EmbeddingStore lock");
         Self::sync_revision(&mut inner, revision);
-        if inner.map.contains_key(&key) {
-            return; // concurrent worker beat us to it; entries are equal
+        if inner.revision != revision || inner.map.contains_key(&key) {
+            // Stale revision (weights moved since this embedding was
+            // computed) or a concurrent worker beat us to the slot with an
+            // equal entry — either way there is nothing to store.
+            return;
         }
         while inner.map.len() >= self.capacity {
             match inner.order.pop_front() {
@@ -214,6 +264,9 @@ impl EmbeddingStore {
 mod tests {
     use super::*;
 
+    /// Dataset axis used by tests that are not about dataset separation.
+    const DS: u64 = 7;
+
     fn sampler() -> SamplerConfig {
         SamplerConfig::default()
     }
@@ -222,9 +275,9 @@ mod tests {
     fn lookup_after_insert_hits() {
         let store = EmbeddingStore::new(8);
         let p = DataPoint::Node(3);
-        assert!(store.lookup(1, p, 0, &sampler(), true).is_none());
-        store.insert(1, p, 0, &sampler(), true, vec![1.0, 2.0], 0.5);
-        let (emb, imp) = store.lookup(1, p, 0, &sampler(), true).expect("hit");
+        assert!(store.lookup(1, DS, p, 0, &sampler(), true).is_none());
+        store.insert(1, DS, p, 0, &sampler(), true, vec![1.0, 2.0], 0.5);
+        let (emb, imp) = store.lookup(1, DS, p, 0, &sampler(), true).expect("hit");
         assert_eq!(emb, vec![1.0, 2.0]);
         assert_eq!(imp, 0.5);
         let s = store.stats();
@@ -235,42 +288,83 @@ mod tests {
     fn key_distinguishes_every_dimension() {
         let store = EmbeddingStore::new(8);
         let p = DataPoint::Node(3);
-        store.insert(1, p, 0, &sampler(), true, vec![1.0], 0.5);
-        // Different point, candidate seed, sampler geometry, stage flag.
-        assert!(store.lookup(1, DataPoint::Node(4), 0, &sampler(), true).is_none());
-        assert!(store.lookup(1, DataPoint::Edge(3), 0, &sampler(), true).is_none());
-        assert!(store.lookup(1, p, 9, &sampler(), true).is_none());
+        store.insert(1, DS, p, 0, &sampler(), true, vec![1.0], 0.5);
+        // Different dataset, point, candidate seed, sampler geometry,
+        // stage flag.
+        assert!(store.lookup(1, DS + 1, p, 0, &sampler(), true).is_none());
+        assert!(store.lookup(1, DS, DataPoint::Node(4), 0, &sampler(), true).is_none());
+        assert!(store.lookup(1, DS, DataPoint::Edge(3), 0, &sampler(), true).is_none());
+        assert!(store.lookup(1, DS, p, 9, &sampler(), true).is_none());
         let mut other = sampler();
         other.max_nodes += 1;
-        assert!(store.lookup(1, p, 0, &other, true).is_none());
-        assert!(store.lookup(1, p, 0, &sampler(), false).is_none());
-        assert!(store.lookup(1, p, 0, &sampler(), true).is_some());
+        assert!(store.lookup(1, DS, p, 0, &other, true).is_none());
+        assert!(store.lookup(1, DS, p, 0, &sampler(), false).is_none());
+        assert!(store.lookup(1, DS, p, 0, &sampler(), true).is_some());
+    }
+
+    #[test]
+    fn same_point_id_on_two_datasets_never_collides() {
+        // The high-stakes case: Node(i) on graph A and Node(i) on graph B
+        // are different subgraphs; the store must keep both.
+        let store = EmbeddingStore::new(8);
+        let p = DataPoint::Node(3);
+        store.insert(1, 100, p, 0, &sampler(), true, vec![1.0], 0.1);
+        store.insert(1, 200, p, 0, &sampler(), true, vec![2.0], 0.2);
+        assert_eq!(store.lookup(1, 100, p, 0, &sampler(), true).unwrap().0, vec![1.0]);
+        assert_eq!(store.lookup(1, 200, p, 0, &sampler(), true).unwrap().0, vec![2.0]);
+        assert_eq!(store.stats().len, 2);
+    }
+
+    #[test]
+    fn dataset_id_separates_different_graphs_and_is_stable() {
+        let a = gp_datasets::CitationConfig::new("a", 120, 4, 1).generate();
+        let b = gp_datasets::CitationConfig::new("b", 150, 5, 2).generate();
+        assert_ne!(EmbeddingStore::dataset_id(&a), EmbeddingStore::dataset_id(&b));
+        // Same generator config → same fingerprint (regeneration must not
+        // cold-start the cache).
+        let a2 = gp_datasets::CitationConfig::new("a", 120, 4, 1).generate();
+        assert_eq!(EmbeddingStore::dataset_id(&a), EmbeddingStore::dataset_id(&a2));
     }
 
     #[test]
     fn revision_change_drops_everything() {
         let store = EmbeddingStore::new(8);
         let p = DataPoint::Node(1);
-        store.insert(1, p, 0, &sampler(), true, vec![1.0], 0.1);
-        assert!(store.lookup(1, p, 0, &sampler(), true).is_some());
+        store.insert(1, DS, p, 0, &sampler(), true, vec![1.0], 0.1);
+        assert!(store.lookup(1, DS, p, 0, &sampler(), true).is_some());
         // The weights moved: the cached row must be gone.
-        assert!(store.lookup(2, p, 0, &sampler(), true).is_none());
+        assert!(store.lookup(2, DS, p, 0, &sampler(), true).is_none());
         assert_eq!(store.stats().invalidations, 1);
         // And it stays gone for the old revision's entries.
         assert_eq!(store.stats().len, 0);
     }
 
     #[test]
+    fn stale_revision_never_clears_or_pollutes_newer_entries() {
+        let store = EmbeddingStore::new(8);
+        let p = DataPoint::Node(1);
+        store.insert(2, DS, p, 0, &sampler(), true, vec![2.0], 0.2);
+        // A straggler insert computed under older weights is discarded…
+        store.insert(1, DS, DataPoint::Node(9), 0, &sampler(), true, vec![1.0], 0.1);
+        // …and a stale lookup is a plain miss: neither may drop the
+        // revision-2 entry.
+        assert!(store.lookup(1, DS, p, 0, &sampler(), true).is_none());
+        assert_eq!(store.stats().len, 1);
+        let (emb, _) = store.lookup(2, DS, p, 0, &sampler(), true).expect("fresh entry survives");
+        assert_eq!(emb, vec![2.0]);
+    }
+
+    #[test]
     fn fifo_eviction_bounds_memory() {
         let store = EmbeddingStore::new(2);
         for i in 0..5u32 {
-            store.insert(1, DataPoint::Node(i), 0, &sampler(), true, vec![i as f32], 0.0);
+            store.insert(1, DS, DataPoint::Node(i), 0, &sampler(), true, vec![i as f32], 0.0);
         }
         assert_eq!(store.stats().len, 2);
         // The two most recent survive.
-        assert!(store.lookup(1, DataPoint::Node(3), 0, &sampler(), true).is_some());
-        assert!(store.lookup(1, DataPoint::Node(4), 0, &sampler(), true).is_some());
-        assert!(store.lookup(1, DataPoint::Node(0), 0, &sampler(), true).is_none());
+        assert!(store.lookup(1, DS, DataPoint::Node(3), 0, &sampler(), true).is_some());
+        assert!(store.lookup(1, DS, DataPoint::Node(4), 0, &sampler(), true).is_some());
+        assert!(store.lookup(1, DS, DataPoint::Node(0), 0, &sampler(), true).is_none());
     }
 
     #[test]
@@ -282,8 +376,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..50u32 {
                         let p = DataPoint::Node(i % 8);
-                        if store.lookup(1, p, 0, &sampler(), true).is_none() {
-                            store.insert(1, p, 0, &sampler(), true, vec![(i + t) as f32], 0.0);
+                        if store.lookup(1, DS, p, 0, &sampler(), true).is_none() {
+                            store.insert(1, DS, p, 0, &sampler(), true, vec![(i + t) as f32], 0.0);
                         }
                     }
                 });

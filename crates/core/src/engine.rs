@@ -100,6 +100,12 @@ impl EngineBuilder {
     /// results — this is purely a throughput knob. When not set, the
     /// builder leaves the process-wide setting untouched (so transient
     /// engines, e.g. inside baselines, inherit the caller's choice).
+    ///
+    /// Because the underlying setting is process-wide, an engine with an
+    /// explicit parallelism re-applies it at the start of every
+    /// `pretrain`/`evaluate`/`run_episode` call, so two engines built with
+    /// different settings each run under their own (results are identical
+    /// either way; only throughput differs).
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = Some(p);
         self
@@ -164,6 +170,17 @@ impl Engine {
         EngineBuilder::new()
     }
 
+    /// Re-assert this engine's tensor parallelism. The setting is
+    /// process-wide, so another engine (or a direct
+    /// [`gp_tensor::set_parallelism`] call) may have changed it since this
+    /// engine was built; every entry point below re-applies it first.
+    /// Purely a throughput knob — results are bit-identical regardless.
+    fn apply_parallelism(&self) {
+        if let Some(p) = self.parallelism {
+            gp_tensor::set_parallelism(p);
+        }
+    }
+
     /// Pre-train on `dataset` (Alg. 1) with the engine's pretrain config;
     /// stage toggles follow the inference config's
     /// [`crate::StageConfig`]. Weight updates automatically invalidate
@@ -174,6 +191,7 @@ impl Engine {
     /// Panics if the configured guard rail aborts; use
     /// [`Engine::try_pretrain`] for a recoverable error.
     pub fn pretrain(&mut self, dataset: &Dataset) -> TrainingCurve {
+        self.apply_parallelism();
         pretrain(
             &mut self.model,
             dataset,
@@ -185,6 +203,7 @@ impl Engine {
     /// As [`Engine::pretrain`], surfacing guard-rail aborts as a typed
     /// [`DivergenceError`].
     pub fn try_pretrain(&mut self, dataset: &Dataset) -> Result<TrainingCurve, DivergenceError> {
+        self.apply_parallelism();
         try_pretrain(
             &mut self.model,
             dataset,
@@ -205,6 +224,7 @@ impl Engine {
         queries_per_episode: usize,
         episodes: usize,
     ) -> Vec<f32> {
+        self.apply_parallelism();
         evaluate_episodes_impl(
             &self.model,
             dataset,
@@ -219,8 +239,10 @@ impl Engine {
     /// As [`Engine::evaluate`], but under an explicit inference config
     /// instead of the engine's own — for sweeps that vary the protocol
     /// per call (the experiment harness, the baselines). The embedding
-    /// cache is still shared: its keys carry the sampler geometry, seed
-    /// and stage flags, so entries from different configs never collide.
+    /// cache is still shared: its keys carry the dataset fingerprint,
+    /// sampler geometry, seed and stage flags, so entries from different
+    /// configs — or from different datasets evaluated on one engine —
+    /// never collide.
     pub fn evaluate_with(
         &self,
         dataset: &Dataset,
@@ -229,6 +251,7 @@ impl Engine {
         episodes: usize,
         cfg: &InferenceConfig,
     ) -> Vec<f32> {
+        self.apply_parallelism();
         evaluate_episodes_impl(
             &self.model,
             dataset,
@@ -242,6 +265,7 @@ impl Engine {
 
     /// Run Alg. 2 over one explicit episode.
     pub fn run_episode(&self, dataset: &Dataset, task: &FewShotTask) -> EpisodeResult {
+        self.apply_parallelism();
         run_episode_impl(
             &self.model,
             dataset,
@@ -258,6 +282,7 @@ impl Engine {
         task: &FewShotTask,
         cfg: &InferenceConfig,
     ) -> EpisodeResult {
+        self.apply_parallelism();
         run_episode_impl(&self.model, dataset, task, cfg, self.embed_store.as_ref())
     }
 
@@ -297,7 +322,11 @@ impl Engine {
     }
 
     /// The tensor parallelism this engine was built with, or `None` when
-    /// the builder inherited the process-wide setting.
+    /// the builder inherited the process-wide setting. The underlying
+    /// knob is process-wide, so another engine may change it between this
+    /// engine's calls — a `Some` setting is re-applied at the start of
+    /// every `pretrain`/`evaluate`/`run_episode` call, which is the only
+    /// window where it matters.
     pub fn parallelism(&self) -> Option<Parallelism> {
         self.parallelism
     }

@@ -99,12 +99,19 @@ fn embed_points(
     let dim = model.config().embed_dim;
     let revision = model.store.revision();
     let sampler_cfg = sampler.config();
+    // The dataset is part of the memo key: a DataPoint is only an id, so
+    // Node(i) on two graphs names two different subgraphs.
+    let dataset_id = if cache.is_some() {
+        EmbeddingStore::dataset_id(dataset)
+    } else {
+        0
+    };
 
     let mut rows: Vec<Option<(Vec<f32>, f32)>> = Vec::with_capacity(points.len());
     let mut missing: Vec<usize> = Vec::new();
     for (i, &p) in points.iter().enumerate() {
         let hit = cache.and_then(|c| {
-            c.lookup(revision, p, stream_seed, &sampler_cfg, use_reconstruction)
+            c.lookup(revision, dataset_id, p, stream_seed, &sampler_cfg, use_reconstruction)
         });
         if hit.is_none() {
             missing.push(i);
@@ -139,6 +146,7 @@ fn embed_points(
             if let Some(c) = cache {
                 c.insert(
                     revision,
+                    dataset_id,
                     points[i],
                     stream_seed,
                     &sampler_cfg,
@@ -606,6 +614,29 @@ mod tests {
         let stats = store.stats();
         assert!(stats.hits > 0, "second pass must hit: {stats:?}");
         assert!(stats.len > 0);
+    }
+
+    #[test]
+    fn embedding_cache_shared_across_datasets_stays_transparent() {
+        // Regression: the same store serving evaluations of two different
+        // graphs (same candidate_seed, sampler, stages, weights — as the
+        // experiment harness does with one Engine) must never serve one
+        // graph's Node(i)/Edge(i) embedding for the other.
+        let (model, ds_a) = tiny_setup();
+        let ds_b = CitationConfig::new("other", 280, 4, 77).generate();
+        let cfg = tiny_cfg();
+        let store = EmbeddingStore::new(4096);
+        let a_ref = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, None);
+        let b_ref = evaluate_episodes_impl(&model, &ds_b, 3, 12, 3, &cfg, None);
+        // Warm the store on dataset A, then evaluate B against the warm
+        // store, then A again (B's entries now resident too).
+        let a1 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store));
+        let b1 = evaluate_episodes_impl(&model, &ds_b, 3, 12, 3, &cfg, Some(&store));
+        let a2 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store));
+        let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(to_bits(&a_ref), to_bits(&a1));
+        assert_eq!(to_bits(&b_ref), to_bits(&b1), "dataset B served A's embeddings");
+        assert_eq!(to_bits(&a_ref), to_bits(&a2));
     }
 
     #[test]
