@@ -12,7 +12,10 @@
 //!
 //! The headline number is `best_speedup` over `serial_cold`: on a
 //! multi-core host the parallel row alone clears 2×, on a single-core
-//! host the warm embedding cache carries the claim.
+//! host the warm embedding cache carries the claim. Each mode also
+//! reports its embedding-cache hit rate (from the always-on
+//! [`gp_core::EmbedCacheStats`] counters) so the speedup can be traced
+//! to actual cache behavior rather than inferred from timings alone.
 
 use std::time::Instant;
 
@@ -31,6 +34,13 @@ pub struct ModeTiming {
     pub per_query_micros: f64,
     /// Mean microseconds per query spent embedding subgraphs.
     pub embed_micros: f64,
+    /// Embedding-cache hit rate over the timed reps, in `[0, 1]`.
+    ///
+    /// Computed from [`gp_core::EmbedCacheStats`] deltas around the timed
+    /// loop — the always-on cache counters, not the gp-obs registry — so
+    /// collecting it costs nothing and timings stay comparable with older
+    /// artifacts.
+    pub embed_hit_rate: f64,
     /// Episode accuracy sum, kept to prove the modes agree.
     pub correct: usize,
 }
@@ -77,8 +87,8 @@ impl InferBenchReport {
     pub fn to_json(&self) -> String {
         fn mode(t: &ModeTiming) -> String {
             format!(
-                "{{\"per_query_micros\": {:.2}, \"embed_micros\": {:.2}, \"correct\": {}}}",
-                t.per_query_micros, t.embed_micros, t.correct
+                "{{\"per_query_micros\": {:.2}, \"embed_micros\": {:.2}, \"embed_hit_rate\": {:.4}, \"correct\": {}}}",
+                t.per_query_micros, t.embed_micros, t.embed_hit_rate, t.correct
             )
         }
         let parallel = match &self.parallel_cold {
@@ -144,6 +154,7 @@ pub fn run(smoke: bool) -> InferBenchReport {
         let mut per_query = 0.0;
         let mut embed = 0.0;
         let mut correct = 0;
+        let stats0 = engine.embed_cache_stats().unwrap_or_default();
         for _ in 0..reps {
             if !warm {
                 engine.clear_embed_cache();
@@ -158,9 +169,18 @@ pub fn run(smoke: bool) -> InferBenchReport {
             correct += res.correct;
         }
         set_parallelism(Parallelism::Serial);
+        let stats1 = engine.embed_cache_stats().unwrap_or_default();
+        let hits = stats1.hits.saturating_sub(stats0.hits);
+        let misses = stats1.misses.saturating_sub(stats0.misses);
+        let lookups = hits + misses;
         ModeTiming {
             per_query_micros: per_query / reps as f64,
             embed_micros: embed / reps as f64,
+            embed_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
             correct,
         }
     };

@@ -13,9 +13,16 @@
 //! Per-class caches keep the domain pull symmetric, which is what makes
 //! test-time adaptation work in the T3A/TENT line the paper builds on.
 
-use gp_tensor::Tensor;
+use gp_tensor::{cosine_slices, Tensor};
 
 use crate::cache::{AnyCache, CachePolicy};
+
+static ADMISSIONS: gp_obs::Counter = gp_obs::Counter::new("augmenter.admissions");
+static REJECTED_BY_GATE: gp_obs::Counter = gp_obs::Counter::new("augmenter.rejected_by_gate");
+static TOUCH_HITS: gp_obs::Counter = gp_obs::Counter::new("augmenter.touch_hits");
+static EVICTIONS: gp_obs::Counter = gp_obs::Counter::new("augmenter.evictions");
+static CACHED_ENTRIES: gp_obs::Gauge = gp_obs::Gauge::new("augmenter.cached_entries");
+static LFU_BUCKET_MEMBERS: gp_obs::Gauge = gp_obs::Gauge::new("augmenter.lfu_bucket_members");
 
 /// One cached pseudo-labelled sample.
 #[derive(Clone, Debug)]
@@ -72,6 +79,14 @@ impl PromptAugmenter {
         self
     }
 
+    /// Set how many top-similarity cached entries each incoming query
+    /// refreshes (builder style; the paper's "top-k highest similarity
+    /// scores are considered hits"). Defaults to 1.
+    pub fn with_hit_k(mut self, hit_k: usize) -> Self {
+        self.hit_k = hit_k;
+        self
+    }
+
     /// Total cached samples across classes.
     pub fn len(&self) -> usize {
         self.caches.iter().map(AnyCache::len).sum()
@@ -116,18 +131,25 @@ impl PromptAugmenter {
         assert_eq!(predictions.len(), n, "one prediction per query");
         assert_eq!(confidences.len(), n, "one confidence per query");
 
-        // 1. Similarity hits refresh frequently-relevant entries.
+        // 1. Similarity hits refresh frequently-relevant entries. Cosine
+        //    runs directly over each entry's stored `&[f32]` embedding —
+        //    the old path materialised a fresh 1-row `Tensor` (an
+        //    allocation plus a full copy) per (query × cached entry),
+        //    which dominated warm-cache inference profiles.
+        let mut sims: Vec<(usize, u64, f32)> = Vec::new();
         for q in 0..n {
-            let mut sims: Vec<(usize, u64, f32)> = Vec::new();
+            sims.clear();
+            let query = query_embs.row(q);
             for (class, cache) in self.caches.iter().enumerate() {
                 for (key, entry) in cache.iter() {
-                    let emb = Tensor::from_vec(1, entry.embedding.len(), entry.embedding.clone());
-                    sims.push((class, *key, query_embs.cosine_rows(q, &emb, 0)));
+                    sims.push((class, *key, cosine_slices(query, &entry.embedding)));
                 }
             }
             sims.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-            for (class, key, _) in sims.into_iter().take(self.hit_k) {
-                self.caches[class].touch(&key);
+            for &(class, key, _) in sims.iter().take(self.hit_k) {
+                if self.caches[class].touch(&key) {
+                    TOUCH_HITS.inc();
+                }
             }
         }
 
@@ -135,7 +157,11 @@ impl PromptAugmenter {
         let mut best: Vec<Option<usize>> = vec![None; self.caches.len()];
         for q in 0..n {
             let class = predictions[q];
-            if class >= self.caches.len() || confidences[q] < self.min_confidence {
+            if class >= self.caches.len() {
+                continue;
+            }
+            if confidences[q] < self.min_confidence {
+                REJECTED_BY_GATE.inc();
                 continue;
             }
             match best[class] {
@@ -152,9 +178,13 @@ impl PromptAugmenter {
                 };
                 let key = self.next_id;
                 self.next_id += 1;
-                self.caches[class].insert(key, entry);
+                ADMISSIONS.inc();
+                if self.caches[class].insert(key, entry).is_some() {
+                    EVICTIONS.inc();
+                }
             }
         }
+        self.update_gauges();
     }
 
     /// Admit one sample directly into its class cache (used by the
@@ -165,13 +195,36 @@ impl PromptAugmenter {
         }
         let key = self.next_id;
         self.next_id += 1;
-        self.caches[label].insert(
-            key,
-            CacheEntry {
-                embedding,
-                label,
-                confidence,
-            },
+        ADMISSIONS.inc();
+        if self.caches[label]
+            .insert(
+                key,
+                CacheEntry {
+                    embedding,
+                    label,
+                    confidence,
+                },
+            )
+            .is_some()
+        {
+            EVICTIONS.inc();
+        }
+        self.update_gauges();
+    }
+
+    /// Refresh the live-size gauges. `bucket_members` walks the LFU lists
+    /// (O(len)), so it only runs when metrics are actually enabled — with
+    /// metrics off this is a single relaxed atomic load.
+    fn update_gauges(&self) {
+        if !gp_obs::enabled() {
+            return;
+        }
+        CACHED_ENTRIES.set(self.len() as i64);
+        LFU_BUCKET_MEMBERS.set(
+            self.caches
+                .iter()
+                .map(AnyCache::bucket_members)
+                .sum::<usize>() as i64,
         );
     }
 }
@@ -254,6 +307,45 @@ mod tests {
         let mut aug = PromptAugmenter::new(2, 2);
         aug.admit(vec![1.0], 7, 0.9);
         assert!(aug.is_empty());
+    }
+
+    /// One query refreshes exactly `hit_k` entries. With `hit_k = 1` only
+    /// the most similar entry (A) is protected and B is the LFU victim;
+    /// with `hit_k = 2` both are refreshed, the tie breaks FIFO, and the
+    /// older A is evicted instead.
+    #[test]
+    fn hit_k_controls_how_many_entries_a_query_refreshes() {
+        let setup = || {
+            let mut aug = PromptAugmenter::new(2, 2).with_min_confidence(0.5);
+            aug.admit(vec![1.0, 0.0], 0, 0.9); // A
+            aug.admit(vec![0.8, 0.6], 0, 0.9); // B
+            aug.admit(vec![0.0, 1.0], 1, 0.9); // other class
+            aug
+        };
+        let q = embs(1, 2, |_, c| if c == 0 { 1.0 } else { 0.0 });
+        let class0_rows = |aug: &PromptAugmenter| -> Vec<Vec<f32>> {
+            let (emb, labels) = aug.cached_prompts(2).unwrap();
+            labels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l == 0)
+                .map(|(i, _)| emb.row(i).to_vec())
+                .collect()
+        };
+
+        let mut aug = setup();
+        aug.observe(&q, &[0], &[0.1]); // below gate: hits only, no admission
+        aug.admit(vec![0.5, 0.5], 0, 0.9); // forces one class-0 eviction
+        let rows = class0_rows(&aug);
+        assert!(rows.contains(&vec![1.0, 0.0]), "A survives under hit_k=1");
+        assert!(!rows.contains(&vec![0.8, 0.6]), "B is the victim under hit_k=1");
+
+        let mut aug = setup().with_hit_k(2);
+        aug.observe(&q, &[0], &[0.1]);
+        aug.admit(vec![0.5, 0.5], 0, 0.9);
+        let rows = class0_rows(&aug);
+        assert!(rows.contains(&vec![0.8, 0.6]), "B survives under hit_k=2");
+        assert!(!rows.contains(&vec![1.0, 0.0]), "A is the victim under hit_k=2");
     }
 
     #[test]

@@ -223,6 +223,18 @@ impl<K: Eq + Hash + Clone, V> AnyCache<K, V> {
             AnyCache::Fifo(c) => Box::new(c.iter()),
         }
     }
+
+    /// Internal bookkeeping size: LFU frequency-bucket membership (see
+    /// [`LfuCache::bucket_members`]), or plain [`AnyCache::len`] for
+    /// policies without auxiliary index structures. Diagnostics only —
+    /// feeds the `augmenter.lfu_bucket_members` gauge.
+    pub fn bucket_members(&self) -> usize {
+        match self {
+            AnyCache::Lfu(c) => c.bucket_members(),
+            AnyCache::Lru(c) => c.len(),
+            AnyCache::Fifo(c) => c.len(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,11 @@ use std::sync::Mutex;
 use gp_datasets::{DataPoint, Dataset, Task};
 use gp_graph::SamplerConfig;
 
+static HITS: gp_obs::Counter = gp_obs::Counter::new("embed_store.hits");
+static MISSES: gp_obs::Counter = gp_obs::Counter::new("embed_store.misses");
+static INVALIDATIONS: gp_obs::Counter = gp_obs::Counter::new("embed_store.invalidations");
+static LEN: gp_obs::Gauge = gp_obs::Gauge::new("embed_store.len");
+
 /// Memoization key: everything an embedding depends on except the weights
 /// (which are handled by revision tracking on the whole store).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -160,6 +165,8 @@ impl EmbeddingStore {
         if revision > inner.revision {
             if !inner.map.is_empty() {
                 inner.invalidations += 1;
+                INVALIDATIONS.inc();
+                LEN.set(0);
             }
             inner.map.clear();
             inner.order.clear();
@@ -188,10 +195,12 @@ impl EmbeddingStore {
             Some(entry) if inner.revision == revision => {
                 let out = (entry.embedding.clone(), entry.importance);
                 inner.hits += 1;
+                HITS.inc();
                 Some(out)
             }
             _ => {
                 inner.misses += 1;
+                MISSES.inc();
                 None
             }
         }
@@ -239,6 +248,7 @@ impl EmbeddingStore {
                 importance,
             },
         );
+        LEN.set(inner.map.len() as i64);
     }
 
     /// Drop every entry (counters survive).
@@ -246,6 +256,7 @@ impl EmbeddingStore {
         let mut inner = self.inner.lock().expect("EmbeddingStore lock");
         inner.map.clear();
         inner.order.clear();
+        LEN.set(0);
     }
 
     /// Usage counters and current size.

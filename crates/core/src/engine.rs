@@ -344,6 +344,15 @@ impl Engine {
             store.clear();
         }
     }
+
+    /// Snapshot of the process-wide metrics registry (counters, gauges,
+    /// per-stage latency histograms). Metrics collection is off by default
+    /// — enable it with [`gp_obs::set_enabled`] before the calls you want
+    /// observed, or the snapshot will be empty. Instruments are process-
+    /// global, so two engines in one process share one registry.
+    pub fn metrics_snapshot(&self) -> gp_obs::MetricsSnapshot {
+        gp_obs::snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -459,6 +468,44 @@ mod tests {
         assert_eq!(bits(&a), bits(&b));
         assert!(cached.embed_cache_stats().expect("cache on").misses > 0);
         assert_eq!(plain.embed_cache_stats(), None);
+    }
+
+    /// Enabling metrics must observe the pipeline, never perturb it:
+    /// per-episode accuracies are bit-identical with collection on and
+    /// off, and the per-stage inference histograms actually fill.
+    #[test]
+    fn metrics_collection_never_changes_predictions() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let engine = Engine::builder()
+            .model_config(tiny_model())
+            .inference_config(tiny_infer())
+            .no_embedding_cache()
+            .try_build()
+            .expect("valid engine");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+        let off = engine.evaluate(&ds, 3, 8, 2);
+        let selection_before = engine
+            .metrics_snapshot()
+            .histogram("infer.selection_micros")
+            .map_or(0, |h| h.count);
+        gp_obs::set_enabled(true);
+        let on = engine.evaluate(&ds, 3, 8, 2);
+        gp_obs::set_enabled(false);
+        assert_eq!(bits(&off), bits(&on), "metrics must be read-only");
+
+        // Delta assertions only: the registry is process-global and other
+        // tests in this binary run concurrently.
+        let snap = engine.metrics_snapshot();
+        let selection_after = snap
+            .histogram("infer.selection_micros")
+            .map_or(0, |h| h.count);
+        assert!(
+            selection_after > selection_before,
+            "selection span did not record ({selection_before} -> {selection_after})"
+        );
+        let again = engine.evaluate(&ds, 3, 8, 2);
+        assert_eq!(bits(&off), bits(&again), "disabling must also be clean");
     }
 
     #[test]

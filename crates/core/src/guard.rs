@@ -14,6 +14,22 @@ use std::collections::VecDeque;
 use gp_nn::ParamId;
 use gp_tensor::Tensor;
 
+static GUARD_SKIPS: gp_obs::Counter = gp_obs::Counter::new("pretrain.guard_skips");
+static GUARD_CLIPS: gp_obs::Counter = gp_obs::Counter::new("pretrain.guard_clips");
+
+/// Global L2 norm over all gradient tensors (shared with the pretrain
+/// loop's `pretrain.grad_norm_milli` histogram).
+pub(crate) fn grad_l2_norm(grads: &[(ParamId, Tensor)]) -> f32 {
+    grads
+        .iter()
+        .map(|(_, g)| {
+            let n = g.frobenius_norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
 /// What to do when a guard-rail check trips.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum GuardAction {
@@ -232,14 +248,7 @@ impl GuardRail {
 
     /// Global L2 norm over all gradient tensors.
     fn global_grad_norm(grads: &[(ParamId, Tensor)]) -> f32 {
-        grads
-            .iter()
-            .map(|(_, g)| {
-                let n = g.frobenius_norm();
-                n * n
-            })
-            .sum::<f32>()
-            .sqrt()
+        grad_l2_norm(grads)
     }
 
     /// Diagnose the step; `None` means healthy.
@@ -300,6 +309,7 @@ impl GuardRail {
                 );
                 if !clippable {
                     self.skipped += 1;
+                    GUARD_SKIPS.inc();
                     return Ok(StepVerdict::Skip(incident));
                 }
                 let target = self.cfg.clip_norm.unwrap_or(1.0);
@@ -311,11 +321,13 @@ impl GuardRail {
                     }
                 }
                 self.clipped += 1;
+                GUARD_CLIPS.inc();
                 self.record_healthy(loss);
                 Ok(StepVerdict::Proceed)
             }
             GuardAction::Skip => {
                 self.skipped += 1;
+                GUARD_SKIPS.inc();
                 Ok(StepVerdict::Skip(incident))
             }
         }
@@ -329,6 +341,7 @@ impl GuardRail {
             return None;
         }
         self.skipped += 1;
+        GUARD_SKIPS.inc();
         Some(DivergenceError::NonFiniteParams { step })
     }
 }

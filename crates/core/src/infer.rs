@@ -34,6 +34,17 @@ use crate::embed_store::EmbeddingStore;
 use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
 use crate::selector::select_prompts_with_metric;
 
+// Per-stage wall-clock of the Alg. 2 pipeline, recorded once per call to
+// the corresponding stage (µs). Surfaced via `Engine::metrics_snapshot`
+// and `gp --metrics`.
+static SAMPLING_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.sampling_micros");
+static RECONSTRUCTION_MICROS: gp_obs::Histogram =
+    gp_obs::Histogram::new("infer.reconstruction_micros");
+static SELECTION_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.selection_micros");
+static AUGMENTATION_MICROS: gp_obs::Histogram =
+    gp_obs::Histogram::new("infer.augmentation_micros");
+static TASK_GRAPH_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.task_graph_micros");
+
 /// Outcome of one evaluated episode.
 #[derive(Clone, Debug)]
 pub struct EpisodeResult {
@@ -124,17 +135,21 @@ fn embed_points(
         // as one batch (embedding is row/graph-local, so the batch
         // composition cannot affect any row's bits).
         let mut sgs = Vec::with_capacity(missing.len());
-        for &i in &missing {
-            let mut rng = StdRng::seed_from_u64(mix(stream_seed, point_tag(points[i])));
-            let mut one = sample_datapoint_subgraphs(
-                &dataset.graph,
-                sampler,
-                &[points[i]],
-                dataset.task,
-                &mut rng,
-            );
-            sgs.push(one.pop().expect("one subgraph per point"));
+        {
+            let _span = SAMPLING_MICROS.span();
+            for &i in &missing {
+                let mut rng = StdRng::seed_from_u64(mix(stream_seed, point_tag(points[i])));
+                let mut one = sample_datapoint_subgraphs(
+                    &dataset.graph,
+                    sampler,
+                    &[points[i]],
+                    dataset.task,
+                    &mut rng,
+                );
+                sgs.push(one.pop().expect("one subgraph per point"));
+            }
         }
+        let _span = RECONSTRUCTION_MICROS.span();
         let batch = SubgraphBatch::build(&dataset.graph, &sgs, model.config().rel_dim);
         let mut sess = Session::new(&model.store);
         let emb = model.embed_batch(&mut sess, &batch, use_reconstruction);
@@ -234,19 +249,22 @@ pub(crate) fn run_episode_impl(
         embed_nanos += embed_started.elapsed().as_nanos();
 
         // Prompt Selector: score + vote → Ŝ (k per class).
-        let selection = select_prompts_with_metric(
-            &cand_embs,
-            &cand_imps,
-            &cand_labels,
-            &q_embs,
-            &q_imps,
-            m,
-            cfg.shots,
-            stages.use_knn,
-            stages.use_selection_layer,
-            cfg.knn_metric,
-            &mut rng,
-        );
+        let selection = {
+            let _span = SELECTION_MICROS.span();
+            select_prompts_with_metric(
+                &cand_embs,
+                &cand_imps,
+                &cand_labels,
+                &q_embs,
+                &q_imps,
+                m,
+                cfg.shots,
+                stages.use_knn,
+                stages.use_selection_layer,
+                cfg.knn_metric,
+                &mut rng,
+            )
+        };
 
         // Assemble the task-graph prompt rows: Ŝ, importance-weighted when
         // the selection layer is active, then Ŝ' = Ŝ ∪ C (Eq. 9).
@@ -261,6 +279,7 @@ pub(crate) fn run_episode_impl(
         }
         let mut p_labels: Vec<usize> = selection.selected.iter().map(|&i| cand_labels[i]).collect();
         if stages.use_augmenter {
+            let _span = AUGMENTATION_MICROS.span();
             if let Some((c_embs, c_labels)) = augmenter.cached_prompts(cand_embs.cols()) {
                 p_rows = p_rows.concat_rows(&c_embs.scale(cfg.cache_prompt_scale));
                 p_labels.extend(c_labels);
@@ -268,11 +287,13 @@ pub(crate) fn run_episode_impl(
         }
 
         // Task graph (Eq. 10) + cosine argmax prediction (Eq. 11).
+        let task_span = TASK_GRAPH_MICROS.span();
         let mut sess = Session::new(&model.store);
         let pv = sess.data(p_rows);
         let qv = sess.data(q_embs.clone());
         let out = model.task_forward(&mut sess, pv, &p_labels, qv, m);
         let logits = sess.value(out.logits).clone();
+        drop(task_span);
         let preds = logits.argmax_rows();
         let probs = logits.softmax_rows();
         let confidences: Vec<f32> = (0..preds.len())
@@ -297,6 +318,7 @@ pub(crate) fn run_episode_impl(
         // embeddings are importance-weighted exactly like selected prompts
         // (Ŝ and C must live on the same scale inside the task graph).
         if stages.use_augmenter {
+            let _span = AUGMENTATION_MICROS.span();
             let admit_embs = if stages.use_selection_layer {
                 let imps = Tensor::from_vec(q_imps.len(), 1, q_imps.clone());
                 q_embs.mul_rows_by_col(&imps)

@@ -1,20 +1,38 @@
-//! O(1) Least-Frequently-Used cache, after Matani, Shah & Mitra,
+//! Least-Frequently-Used cache, after Matani, Shah & Mitra,
 //! *“An O(1) algorithm for implementing the LFU cache eviction scheme”*
 //! (the paper's reference \[51\]).
 //!
-//! Design: a `HashMap<K, Entry>` stores values and their current use
-//! count; a `HashMap<u64, VecDeque<K>>` buckets keys by frequency, and a
-//! tracked `min_freq` makes eviction O(1). Ties within a frequency bucket
-//! evict FIFO (oldest inserted/promoted first). Bucket membership is
-//! maintained lazily: a key may linger in an old bucket after promotion
-//! and is skipped (its stored frequency disagrees) when popped.
+//! Design: a `HashMap<K, Entry>` stores values, use counts and intrusive
+//! FIFO links; a `BTreeMap<u64, (head, tail)>` indexes the non-empty
+//! frequency buckets, each bucket being a doubly-linked list threaded
+//! through the entries. Ties within a frequency evict FIFO (oldest
+//! promoted into the bucket first).
+//!
+//! A key is removed from its old bucket **eagerly** on every promotion
+//! and empty buckets are pruned, so total bucket membership is exactly
+//! [`LfuCache::len`] at all times (asserted by [`LfuCache::bucket_members`]
+//! and a churn test) — an earlier lazy-removal design let stale key clones
+//! accumulate without bound under touch-heavy workloads.
+//!
+//! Complexity: `get`/`touch`/`insert`/`evict` are O(1) hash operations
+//! plus one O(log F) bucket-map lookup, where F is the number of
+//! *distinct live frequencies* (≤ `len()`, tiny in practice) — there are
+//! no scans over entries anywhere.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
-struct Entry<V> {
+static INSERTIONS: gp_obs::Counter = gp_obs::Counter::new("lfu.insertions");
+static EVICTIONS: gp_obs::Counter = gp_obs::Counter::new("lfu.evictions");
+static TOUCHES: gp_obs::Counter = gp_obs::Counter::new("lfu.touches");
+
+struct Entry<K, V> {
     value: V,
     freq: u64,
+    /// Previous (older) key in this entry's frequency bucket.
+    prev: Option<K>,
+    /// Next (newer) key in this entry's frequency bucket.
+    next: Option<K>,
 }
 
 /// A fixed-capacity LFU cache.
@@ -31,9 +49,11 @@ struct Entry<V> {
 /// ```
 pub struct LfuCache<K: Eq + Hash + Clone, V> {
     capacity: usize,
-    entries: HashMap<K, Entry<V>>,
-    buckets: HashMap<u64, VecDeque<K>>,
-    min_freq: u64,
+    entries: HashMap<K, Entry<K, V>>,
+    /// `freq → (head, tail)` of that bucket's FIFO list. Invariant: a
+    /// bucket is present iff it has at least one member, so
+    /// `first_key_value` is always the live minimum frequency.
+    buckets: BTreeMap<u64, (K, K)>,
 }
 
 impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
@@ -46,8 +66,7 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
         Self {
             capacity,
             entries: HashMap::new(),
-            buckets: HashMap::new(),
-            min_freq: 1,
+            buckets: BTreeMap::new(),
         }
     }
 
@@ -80,20 +99,20 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
     }
 
     /// Bump a key's use count without reading it (a "hit" in the paper's
-    /// Prompt Augmenter: similar queries refresh cached prompts).
+    /// Prompt Augmenter: similar queries refresh cached prompts). The key
+    /// moves from its old frequency bucket to the new one eagerly.
     pub fn touch(&mut self, key: &K) -> bool {
-        let Some(e) = self.entries.get_mut(key) else {
+        if !self.entries.contains_key(key) {
             return false;
-        };
-        let old = e.freq;
-        e.freq += 1;
-        let new = e.freq;
-        self.buckets.entry(new).or_default().push_back(key.clone());
-        // Lazy removal: the stale copy in bucket `old` is skipped at pop
-        // time. Advance min_freq if this was its last live member.
-        if old == self.min_freq && !self.bucket_has_live(old) {
-            self.min_freq = new.min(self.live_min_freq());
         }
+        TOUCHES.inc();
+        self.unlink(key);
+        let new_freq = {
+            let e = self.entries.get_mut(key).expect("checked above");
+            e.freq += 1;
+            e.freq
+        };
+        self.push_tail(new_freq, key.clone());
         true
     }
 
@@ -110,9 +129,17 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
         } else {
             None
         };
-        self.entries.insert(key.clone(), Entry { value, freq: 1 });
-        self.buckets.entry(1).or_default().push_back(key);
-        self.min_freq = 1;
+        INSERTIONS.inc();
+        self.entries.insert(
+            key.clone(),
+            Entry {
+                value,
+                freq: 1,
+                prev: None,
+                next: None,
+            },
+        );
+        self.push_tail(1, key);
         evicted
     }
 
@@ -121,41 +148,80 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
         self.entries.iter().map(|(k, e)| (k, &e.value, e.freq))
     }
 
-    /// Remove and return the least frequently used entry.
+    /// Remove and return the least frequently used entry (FIFO within the
+    /// minimum frequency).
     pub fn evict(&mut self) -> Option<(K, V)> {
-        if self.entries.is_empty() {
-            return None;
-        }
-        // min_freq may be stale (all members promoted); resync if needed.
-        if !self.bucket_has_live(self.min_freq) {
-            self.min_freq = self.live_min_freq();
-        }
-        let bucket = self.buckets.get_mut(&self.min_freq)?;
-        while let Some(key) = bucket.pop_front() {
-            let live = matches!(self.entries.get(&key), Some(e) if e.freq == self.min_freq);
-            if live {
-                let entry = self.entries.remove(&key).expect("checked above");
-                if self.entries.is_empty() {
-                    self.min_freq = 1;
-                } else if !self.bucket_has_live(self.min_freq) {
-                    self.min_freq = self.live_min_freq();
-                }
-                return Some((key, entry.value));
+        let victim = self.buckets.first_key_value()?.1 .0.clone();
+        self.unlink(&victim);
+        let entry = self.entries.remove(&victim).expect("bucket member exists");
+        EVICTIONS.inc();
+        Some((victim, entry.value))
+    }
+
+    /// Total membership across all frequency buckets, counted by walking
+    /// the lists. Diagnostics only (O(len)): by construction this always
+    /// equals [`LfuCache::len`] — the churn test and the augmenter's
+    /// `augmenter.lfu_bucket_members` gauge use it as a regression
+    /// tripwire against stale-entry growth.
+    pub fn bucket_members(&self) -> usize {
+        let mut n = 0usize;
+        for (head, _) in self.buckets.values() {
+            let mut cur = Some(head.clone());
+            while let Some(k) = cur {
+                n += 1;
+                cur = self
+                    .entries
+                    .get(&k)
+                    .expect("bucket links point at live entries")
+                    .next
+                    .clone();
             }
-            // Stale bucket member (key promoted or removed): skip.
         }
-        unreachable!("min_freq bucket guaranteed to contain a live key");
+        n
     }
 
-    fn bucket_has_live(&self, freq: u64) -> bool {
-        self.buckets.get(&freq).is_some_and(|b| {
-            b.iter()
-                .any(|k| matches!(self.entries.get(k), Some(e) if e.freq == freq))
-        })
+    /// Detach `key` from its frequency bucket, pruning the bucket when it
+    /// empties. The entry stays in `entries` with cleared links.
+    fn unlink(&mut self, key: &K) {
+        let (freq, prev, next) = {
+            let e = self.entries.get_mut(key).expect("unlink of live key");
+            (e.freq, e.prev.take(), e.next.take())
+        };
+        if let Some(p) = &prev {
+            self.entries.get_mut(p).expect("prev link is live").next = next.clone();
+        }
+        if let Some(n) = &next {
+            self.entries.get_mut(n).expect("next link is live").prev = prev.clone();
+        }
+        match (prev, next) {
+            (None, None) => {
+                self.buckets.remove(&freq);
+            }
+            (None, Some(n)) => {
+                self.buckets.get_mut(&freq).expect("bucket exists").0 = n;
+            }
+            (Some(p), None) => {
+                self.buckets.get_mut(&freq).expect("bucket exists").1 = p;
+            }
+            (Some(_), Some(_)) => {}
+        }
     }
 
-    fn live_min_freq(&self) -> u64 {
-        self.entries.values().map(|e| e.freq).min().unwrap_or(1)
+    /// Append `key` (links already cleared) to the tail of bucket `freq`.
+    fn push_tail(&mut self, freq: u64, key: K) {
+        match self.buckets.get_mut(&freq) {
+            Some((_, tail)) => {
+                let old_tail = std::mem::replace(tail, key.clone());
+                self.entries
+                    .get_mut(&old_tail)
+                    .expect("tail link is live")
+                    .next = Some(key.clone());
+                self.entries.get_mut(&key).expect("pushed key is live").prev = Some(old_tail);
+            }
+            None => {
+                self.buckets.insert(freq, (key.clone(), key));
+            }
+        }
     }
 }
 
@@ -257,5 +323,152 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _: LfuCache<u8, u8> = LfuCache::new(0);
+    }
+
+    /// The regression the lazy-removal design failed: under touch-heavy
+    /// churn, internal bucket membership must stay exactly `len()` —
+    /// stale key clones used to accumulate without bound.
+    #[test]
+    fn bucket_membership_bounded_under_touch_heavy_churn() {
+        let mut c: LfuCache<u64, u64> = LfuCache::new(8);
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..10_000u64 {
+            match rng() % 10 {
+                // Touch-heavy mix: 70% touches, 20% inserts, 10% evict/get.
+                0..=6 => {
+                    c.touch(&(rng() % 16));
+                }
+                7..=8 => {
+                    c.insert(rng() % 16, i);
+                }
+                9 => {
+                    if i % 2 == 0 {
+                        c.evict();
+                    } else {
+                        c.get(&(rng() % 16));
+                    }
+                }
+                _ => unreachable!(),
+            }
+            assert!(c.len() <= 8);
+            let members = c.bucket_members();
+            assert!(
+                members <= c.len(),
+                "step {i}: {members} bucket members for {} entries",
+                c.len()
+            );
+            assert_eq!(members, c.len(), "membership must be exact, step {i}");
+        }
+    }
+
+    /// Naive O(n²) reference model: victim is min by (freq, order of
+    /// promotion into its current frequency).
+    struct NaiveLfu {
+        cap: usize,
+        /// `(key, value, freq, promoted_at)`.
+        entries: Vec<(u64, u64, u64, u64)>,
+        clock: u64,
+    }
+
+    impl NaiveLfu {
+        fn new(cap: usize) -> Self {
+            Self {
+                cap,
+                entries: Vec::new(),
+                clock: 0,
+            }
+        }
+
+        fn touch(&mut self, key: u64) -> bool {
+            self.clock += 1;
+            for e in &mut self.entries {
+                if e.0 == key {
+                    e.2 += 1;
+                    e.3 = self.clock;
+                    return true;
+                }
+            }
+            false
+        }
+
+        fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+            if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+                e.1 = value;
+                self.touch(key);
+                return None;
+            }
+            let evicted = if self.entries.len() >= self.cap {
+                self.evict()
+            } else {
+                None
+            };
+            self.clock += 1;
+            self.entries.push((key, value, 1, self.clock));
+            evicted
+        }
+
+        fn evict(&mut self) -> Option<u64> {
+            let pos = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.2, e.3))
+                .map(|(i, _)| i)?;
+            Some(self.entries.remove(pos).0)
+        }
+    }
+
+    /// Deterministic mirror of the CI proptest: the repaired cache agrees
+    /// with the naive reference on every evicted key and on the final
+    /// contents, over a long random op sequence.
+    #[test]
+    fn agrees_with_naive_reference_model() {
+        for seed in [1u64, 7, 42, 1234] {
+            let cap = 1 + (seed as usize % 6);
+            let mut real: LfuCache<u64, u64> = LfuCache::new(cap);
+            let mut naive = NaiveLfu::new(cap);
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in 0..2_000u64 {
+                let key = rng() % 12;
+                match rng() % 4 {
+                    0 | 1 => {
+                        let got = real.insert(key, i).map(|(k, _)| k);
+                        let want = naive.insert(key, i);
+                        assert_eq!(got, want, "seed {seed} step {i}: eviction disagreed");
+                    }
+                    2 => {
+                        assert_eq!(real.touch(&key), naive.touch(key), "seed {seed} step {i}");
+                    }
+                    3 => {
+                        let got = real.evict().map(|(k, _)| k);
+                        let want = naive.evict();
+                        assert_eq!(got, want, "seed {seed} step {i}: evict() disagreed");
+                    }
+                    _ => unreachable!(),
+                }
+                assert_eq!(real.len(), naive.entries.len());
+                assert_eq!(real.bucket_members(), real.len());
+            }
+            // Final contents agree: same keys, values and frequencies.
+            let mut got: Vec<(u64, u64, u64)> =
+                real.iter().map(|(k, v, f)| (*k, *v, f)).collect();
+            got.sort_unstable();
+            let mut want: Vec<(u64, u64, u64)> =
+                naive.entries.iter().map(|e| (e.0, e.1, e.2)).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "seed {seed}: final contents disagreed");
+        }
     }
 }

@@ -26,6 +26,12 @@ use crate::config::{PretrainConfig, StageConfig};
 use crate::guard::{DivergenceError, GuardAction, GuardRail, StepVerdict};
 use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
 
+static LOSS_MILLI: gp_obs::Histogram = gp_obs::Histogram::new("pretrain.loss_milli");
+static GRAD_NORM_MILLI: gp_obs::Histogram = gp_obs::Histogram::new("pretrain.grad_norm_milli");
+static STEP_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("pretrain.step_micros");
+static CHECKPOINT_WRITE_MICROS: gp_obs::Histogram =
+    gp_obs::Histogram::new("pretrain.checkpoint_write_micros");
+
 /// Loss/accuracy trajectory recorded during pre-training (Fig. 9).
 #[derive(Clone, Debug, Default)]
 pub struct TrainingCurve {
@@ -363,7 +369,10 @@ pub fn pretrain_resumable(
                     guard_window: guard.as_ref().map(GuardRail::window).unwrap_or_default(),
                 };
                 let path = c.dir.join(checkpoint::checkpoint_file_name(done));
-                checkpoint::save_trainer_checkpoint(&path, model, &meta)?;
+                {
+                    let _span = CHECKPOINT_WRITE_MICROS.span();
+                    checkpoint::save_trainer_checkpoint(&path, model, &meta)?;
+                }
                 if c.keep_last > 0 {
                     checkpoint::prune_checkpoints(&c.dir, c.keep_last);
                 }
@@ -484,6 +493,7 @@ fn pretrain_steps(
 
     let ways = cfg.ways.min(dataset.num_classes);
     for step in 0..cfg.steps {
+        let _step_span = STEP_MICROS.span();
         let mut sess = Session::new(&model.store);
 
         // Multi-Task episode (Eq. 13): real labels, few-shot prompt format.
@@ -571,6 +581,12 @@ fn pretrain_steps(
             None => mt_loss,
         };
         let (loss_value, mut grads) = sess.grads(total);
+        if gp_obs::enabled() {
+            // The grad-norm pass is only worth its O(params) cost when
+            // someone is actually collecting metrics.
+            LOSS_MILLI.record_f64(f64::from(loss_value) * 1000.0);
+            GRAD_NORM_MILLI.record_f64(f64::from(crate::guard::grad_l2_norm(&grads)) * 1000.0);
+        }
         let abs_step = step_offset + step;
         let mut apply = true;
         if let Some(rail) = guard.as_deref_mut() {

@@ -30,6 +30,84 @@ fn ops_strategy() -> impl Strategy<Value = Vec<CacheOp>> {
     )
 }
 
+/// Operations for the LFU-vs-reference agreement test ([`LfuCache`] also
+/// exposes explicit eviction, unlike [`AnyCache`]).
+#[derive(Clone, Debug)]
+enum LfuOp {
+    Insert(u8),
+    Touch(u8),
+    Evict,
+}
+
+fn lfu_ops_strategy() -> impl Strategy<Value = Vec<LfuOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u8..16).prop_map(LfuOp::Insert),
+            4 => (0u8..16).prop_map(LfuOp::Touch),
+            1 => Just(LfuOp::Evict),
+        ],
+        1..400,
+    )
+}
+
+/// Naive O(n²) LFU reference model: the victim is the minimum by
+/// `(frequency, time of promotion into its current frequency)`, which is
+/// exactly the FIFO-within-bucket rule the real cache implements.
+struct NaiveLfu {
+    cap: usize,
+    /// `(key, value, freq, promoted_at)`.
+    entries: Vec<(u8, u32, u64, u64)>,
+    clock: u64,
+}
+
+impl NaiveLfu {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            entries: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, key: u8) -> bool {
+        self.clock += 1;
+        for e in &mut self.entries {
+            if e.0 == key {
+                e.2 += 1;
+                e.3 = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn insert(&mut self, key: u8, value: u32) -> Option<u8> {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == key) {
+            e.1 = value;
+            self.touch(key);
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.cap {
+            self.evict()
+        } else {
+            None
+        };
+        self.clock += 1;
+        self.entries.push((key, value, 1, self.clock));
+        evicted
+    }
+
+    fn evict(&mut self) -> Option<u8> {
+        let pos = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.2, e.3))
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(pos).0)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -49,6 +127,41 @@ proptest! {
                 prop_assert!(cache.len() <= cap, "{policy:?} overflowed");
             }
         }
+    }
+
+    /// The intrusive-list LFU agrees with the naive reference on every
+    /// evicted key and on the final contents, and its internal bucket
+    /// membership stays exactly `len()` — the invariant the lazy-removal
+    /// design violated.
+    #[test]
+    fn lfu_agrees_with_naive_reference(ops in lfu_ops_strategy(), cap in 1usize..7) {
+        let mut real: LfuCache<u8, u32> = LfuCache::new(cap);
+        let mut naive = NaiveLfu::new(cap);
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                LfuOp::Insert(k) => {
+                    let got = real.insert(k, i as u32).map(|(k, _)| k);
+                    let want = naive.insert(k, i as u32);
+                    prop_assert_eq!(got, want, "step {}: eviction disagreed", i);
+                }
+                LfuOp::Touch(k) => {
+                    prop_assert_eq!(real.touch(&k), naive.touch(k), "step {}", i);
+                }
+                LfuOp::Evict => {
+                    let got = real.evict().map(|(k, _)| k);
+                    let want = naive.evict();
+                    prop_assert_eq!(got, want, "step {}: evict() disagreed", i);
+                }
+            }
+            prop_assert_eq!(real.len(), naive.entries.len());
+            prop_assert_eq!(real.bucket_members(), real.len(), "stale bucket members");
+        }
+        let mut got: Vec<(u8, u32, u64)> = real.iter().map(|(k, v, f)| (*k, *v, f)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u8, u32, u64)> =
+            naive.entries.iter().map(|e| (e.0, e.1, e.2)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want, "final contents disagreed");
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub struct MeanStd {
 
 impl MeanStd {
     /// Aggregate a slice of scores.
+    ///
+    /// Accumulation runs in `f64` so many-episode runs don't lose digits
+    /// to f32 rounding — summing thousands of near-equal f32 scores can
+    /// otherwise report a spurious non-zero std for identical inputs.
     pub fn of(xs: &[f32]) -> Self {
         let n = xs.len();
         if n == 0 {
@@ -24,13 +28,21 @@ impl MeanStd {
                 n: 0,
             };
         }
-        let mean = xs.iter().sum::<f32>() / n as f32;
+        let mean = xs.iter().map(|&x| f64::from(x)).sum::<f64>() / n as f64;
         let std = if n > 1 {
-            (xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / (n - 1) as f32).sqrt()
+            (xs.iter()
+                .map(|&x| (f64::from(x) - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1) as f64)
+                .sqrt()
         } else {
             0.0
         };
-        Self { mean, std, n }
+        Self {
+            mean: mean as f32,
+            std: std as f32,
+            n,
+        }
     }
 }
 
@@ -59,6 +71,18 @@ mod tests {
         let one = MeanStd::of(&[3.5]);
         assert_eq!(one.mean, 3.5);
         assert_eq!(one.std, 0.0);
+    }
+
+    /// Regression for the f32-accumulation bug: 10 000 copies of the same
+    /// value must give exactly that mean and *exactly* zero std — the old
+    /// f32 sums drifted enough that `(x - mean)` was non-zero.
+    #[test]
+    fn identical_values_have_exactly_zero_std() {
+        let xs = vec![0.8712345f32; 10_000];
+        let s = MeanStd::of(&xs);
+        assert_eq!(s.mean, 0.8712345);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.n, 10_000);
     }
 
     #[test]

@@ -6,6 +6,8 @@ use gp_tensor::Tensor;
 
 use crate::params::{ParamId, ParamStore};
 
+static OPTIMIZER_STEPS: gp_obs::Counter = gp_obs::Counter::new("nn.optimizer_steps");
+
 /// A gradient-descent optimizer.
 pub trait Optimizer {
     /// Apply one update step given `(param, grad)` pairs.
@@ -65,6 +67,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        OPTIMIZER_STEPS.inc();
         for (id, g) in grads {
             if self.momentum > 0.0 {
                 let v = self
@@ -112,6 +115,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        OPTIMIZER_STEPS.inc();
         self.t += 1;
         adam_update(
             store,
@@ -187,6 +191,7 @@ impl AdamW {
 
 impl Optimizer for AdamW {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Tensor)]) {
+        OPTIMIZER_STEPS.inc();
         self.t += 1;
         // Decoupled decay first: θ ← θ (1 − lr·λ).
         if self.weight_decay > 0.0 {

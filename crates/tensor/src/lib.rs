@@ -35,4 +35,4 @@ pub mod tensor;
 pub use parallel::{set_parallelism, Parallelism};
 pub use sparse::EdgeList;
 pub use tape::{Op, Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{cosine_slices, Tensor};

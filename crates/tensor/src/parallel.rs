@@ -20,6 +20,11 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+static WORKERS_GAUGE: gp_obs::Gauge = gp_obs::Gauge::new("tensor.parallel.workers");
+static FANOUTS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.fanouts");
+static SERIAL_RUNS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.serial_runs");
+static TASKS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.tasks");
+
 /// How many worker threads the tensor kernels may use.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Parallelism {
@@ -54,7 +59,9 @@ static WORKERS: AtomicUsize = AtomicUsize::new(1);
 /// Set the process-wide kernel parallelism. Takes effect for every
 /// subsequent kernel call in any thread.
 pub fn set_parallelism(p: Parallelism) {
-    WORKERS.store(p.workers(), Ordering::Relaxed);
+    let workers = p.workers();
+    WORKERS.store(workers, Ordering::Relaxed);
+    WORKERS_GAUGE.set(workers as i64);
 }
 
 /// The currently configured worker count (≥ 1).
@@ -89,10 +96,15 @@ where
     debug_assert_eq!(out.len(), rows * cols, "for_row_blocks: buffer shape");
     let workers = workers.max(1).min(rows.max(1));
     if workers <= 1 {
+        SERIAL_RUNS.inc();
         f(0..rows, out);
         return;
     }
+    FANOUTS.inc();
     let block_rows = rows.div_ceil(workers);
+    // Actual spawned blocks can be fewer than `workers` when rounding up
+    // the block size covers the rows early (e.g. 11 rows / 7 workers).
+    TASKS.add(rows.div_ceil(block_rows) as u64);
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest = out;

@@ -507,16 +507,7 @@ impl Tensor {
     /// Cosine similarity between row `i` of `self` and row `j` of `other`.
     pub fn cosine_rows(&self, i: usize, other: &Tensor, j: usize) -> f32 {
         assert_eq!(self.cols, other.cols, "cosine_rows: width mismatch");
-        let a = self.row(i);
-        let b = other.row(j);
-        let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
-        for k in 0..self.cols {
-            dot += a[k] * b[k];
-            na += a[k] * a[k];
-            nb += b[k] * b[k];
-        }
-        let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
-        dot / denom
+        cosine_slices(self.row(i), other.row(j))
     }
 
     /// Frobenius norm.
@@ -528,6 +519,25 @@ impl Tensor {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
     }
+}
+
+/// Cosine similarity between two raw slices, without materialising a
+/// [`Tensor`]. This is the single implementation [`Tensor::cosine_rows`]
+/// delegates to, so callers holding plain `&[f32]` embeddings (e.g. the
+/// Prompt Augmenter's cache) get bit-identical scores with no allocation.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine_slices: length mismatch");
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for k in 0..a.len() {
+        dot += a[k] * b[k];
+        na += a[k] * a[k];
+        nb += b[k] * b[k];
+    }
+    let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+    dot / denom
 }
 
 #[cfg(test)]
@@ -644,6 +654,26 @@ mod tests {
         assert_eq!(a.argmax_rows(), vec![1, 0]);
         let b = t(1, 3, &[0.2, 1.8, 0.0]);
         assert!((a.cosine_rows(0, &b, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_slices_is_bitwise_identical_to_cosine_rows() {
+        let a = t(2, 4, &[0.3, -1.2, 5.0, 0.01, 2.0, 2.0, -7.5, 0.0]);
+        let b = t(1, 4, &[1.0, 0.25, -3.0, 8.8]);
+        for i in 0..2 {
+            assert_eq!(
+                a.cosine_rows(i, &b, 0).to_bits(),
+                cosine_slices(a.row(i), b.row(0)).to_bits()
+            );
+        }
+        // Zero vectors hit the 1e-12 denominator clamp, not NaN.
+        assert_eq!(cosine_slices(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cosine_slices: length mismatch")]
+    fn cosine_slices_length_mismatch_panics() {
+        let _ = cosine_slices(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! `--threads <n>` to spread tensor kernels over `n` worker threads
 //! (`--threads 0` = one per core; results are bit-identical either way).
 //!
+//! Every command accepts `--metrics` (human-readable report on stderr
+//! when the command finishes) or `--metrics-json` (JSON on stdout):
+//! process-wide counters, gauges and per-stage latency histograms from
+//! the `gp-obs` registry. Collection is off unless one of the flags is
+//! given, and enabling it never changes any result (asserted in tests).
+//!
 //! With `--checkpoint-dir`, `pretrain` runs crash-safe: full trainer state
 //! is written atomically every `--checkpoint-every` steps and `--resume`
 //! continues from the newest valid checkpoint (corrupt files are skipped
@@ -36,6 +42,11 @@ use rand::SeedableRng;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_text = has_flag(&args, "--metrics");
+    let metrics_json = has_flag(&args, "--metrics-json");
+    if metrics_text || metrics_json {
+        graphprompter::obs::set_enabled(true);
+    }
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
         "datasets" => datasets(has_flag(&args[1..], "--detail")),
@@ -47,11 +58,19 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: gp <datasets|pretrain|evaluate|episode|export|inspect> [flags]\n\
+                 common flags: --metrics | --metrics-json (print collected metrics on exit)\n\
                  see the module docs in src/bin/gp.rs for flag details"
             );
             std::process::exit(2);
         }
     };
+    // Report even when the command failed: the counters collected up to
+    // the failure are exactly what a post-mortem wants.
+    if metrics_json {
+        println!("{}", graphprompter::obs::snapshot().to_json());
+    } else if metrics_text {
+        eprintln!("{}", graphprompter::obs::snapshot().to_text());
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -11,6 +11,7 @@
 //! * [`core`] — the GraphPrompter method ([`gp_core`])
 //! * [`baselines`] — comparison methods ([`gp_baselines`])
 //! * [`eval`] — metrics, t-SNE, tables ([`gp_eval`])
+//! * [`obs`] — zero-dependency metrics registry ([`gp_obs`])
 //!
 //! The public entry point is [`Engine`] (built through the fallible
 //! [`EngineBuilder`]); `use graphprompter::prelude::*;` pulls in
@@ -25,6 +26,7 @@ pub use gp_datasets as datasets;
 pub use gp_eval as eval;
 pub use gp_graph as graph;
 pub use gp_nn as nn;
+pub use gp_obs as obs;
 pub use gp_tensor as tensor;
 
 pub use gp_core::{ConfigError, Engine, EngineBuilder};
@@ -37,6 +39,7 @@ pub mod prelude {
     };
     pub use gp_datasets::{presets, sample_few_shot_task, Dataset, FewShotTask};
     pub use gp_graph::SamplerConfig;
+    pub use gp_obs::MetricsSnapshot;
     pub use gp_tensor::{set_parallelism, Parallelism};
 }
 

@@ -125,6 +125,45 @@ fn parallel_kernels_match_serial_bitwise_end_to_end() {
 }
 
 #[test]
+fn metrics_collection_is_invisible_to_predictions_end_to_end() {
+    // The observability layer must be read-only: turning collection on
+    // changes no prediction bit. Delta-based assertions because the
+    // registry is process-global and other tests share it.
+    let source = CitationConfig::new("src", 250, 4, 110).generate();
+    let engine = tiny_engine(20, &source);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let off = engine.evaluate(&source, 3, 10, 2);
+    let spans_before = engine
+        .metrics_snapshot()
+        .histogram("infer.selection_micros")
+        .map(|h| h.count)
+        .unwrap_or(0);
+
+    graphprompter::obs::set_enabled(true);
+    let on = engine.evaluate(&source, 3, 10, 2);
+    graphprompter::obs::set_enabled(false);
+
+    assert_eq!(
+        bits(&off),
+        bits(&on),
+        "metrics collection must not change predictions"
+    );
+    let spans_after = engine
+        .metrics_snapshot()
+        .histogram("infer.selection_micros")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert!(
+        spans_after > spans_before,
+        "enabled run must record per-stage spans"
+    );
+
+    let off_again = engine.evaluate(&source, 3, 10, 2);
+    assert_eq!(bits(&off), bits(&off_again), "disabling must restore no-op");
+}
+
+#[test]
 fn every_ablation_configuration_runs() {
     let source = CitationConfig::new("src", 250, 4, 106).generate();
     let engine = tiny_engine(15, &source);
