@@ -1,14 +1,17 @@
 //! Experiment runner: one subcommand per table/figure of the paper.
 //!
 //! ```text
-//! cargo run -p gp-bench --release --bin experiments -- <id> [--smoke]
+//! cargo run -p gp-bench --release --bin experiments -- <id> [--smoke] [--threads <n>]
 //! ```
 //!
 //! `<id>` ∈ {table3..table8, fig3..fig9, all, calibrate, bench-inference}.
 //! `all` runs every experiment and regenerates EXPERIMENTS.md;
 //! `bench-inference` times serial/warm-cache/parallel inference and
-//! rewrites BENCH_inference.json. `--smoke` shrinks the scale for a fast
-//! sanity pass.
+//! rewrites BENCH_inference.json — it runs in the engine's timing mode
+//! (episode fan-out pinned to 1, uncontended per-query latency), and
+//! `--threads <n>` forces the parallel mode's thread budget to `n`
+//! (emitting the parallel row even on a single-core host). `--smoke`
+//! shrinks the scale for a fast sanity pass.
 
 use std::time::Instant;
 
@@ -21,6 +24,16 @@ use gp_eval::MeanStd;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--threads expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            })
+        });
     let suite = if smoke {
         Suite::smoke()
     } else {
@@ -31,7 +44,7 @@ fn main() {
     match which {
         "calibrate" => calibrate(&suite),
         "all" => run_all(suite),
-        "bench-inference" => bench_inference(smoke),
+        "bench-inference" => bench_inference(smoke, threads),
         id if experiments::ALL_IDS.contains(&id) => {
             let mut ctx = Ctx::new(suite);
             let t0 = Instant::now();
@@ -42,7 +55,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiments <all|calibrate|bench-inference|{}> [--smoke]",
+                "usage: experiments <all|calibrate|bench-inference|{}> [--smoke] [--threads <n>]",
                 experiments::ALL_IDS.join("|")
             );
             std::process::exit(2);
@@ -52,9 +65,9 @@ fn main() {
 
 /// Time serial / warm-cache / parallel inference and write the committed
 /// BENCH_inference.json artifact.
-fn bench_inference(smoke: bool) {
+fn bench_inference(smoke: bool, threads: Option<usize>) {
     let t0 = Instant::now();
-    let report = gp_bench::infer_bench::run(smoke);
+    let report = gp_bench::infer_bench::run(smoke, threads);
     let json = report.to_json();
     std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
     print!("{json}");

@@ -16,12 +16,18 @@
 //! reports its embedding-cache hit rate (from the always-on
 //! [`gp_core::EmbedCacheStats`] counters) so the speedup can be traced
 //! to actual cache behavior rather than inferred from timings alone.
+//!
+//! All modes run in the engine's **timing mode**: episode-level fan-out
+//! is pinned to 1, so a single episode at a time owns the whole thread
+//! budget and per-query latency is measured uncontended. Budgets are set
+//! per-engine via [`Engine::set_parallelism`] — nothing here touches
+//! process-wide state anymore.
 
 use std::time::Instant;
 
 use gp_core::{Engine, PretrainConfig, StageConfig};
 use gp_datasets::{presets, sample_few_shot_task};
-use gp_tensor::{set_parallelism, Parallelism};
+use gp_tensor::Parallelism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,8 +122,10 @@ impl InferBenchReport {
 }
 
 /// Run the benchmark. `smoke` shrinks pre-training and repetitions to a
-/// CI-sized sanity pass (a single tiny episode per mode).
-pub fn run(smoke: bool) -> InferBenchReport {
+/// CI-sized sanity pass (a single tiny episode per mode). `threads`
+/// forces the parallel mode's thread budget (and emits the parallel row
+/// even on a single-core host); `None` keeps the per-core default.
+pub fn run(smoke: bool, threads: Option<usize>) -> InferBenchReport {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -134,6 +142,8 @@ pub fn run(smoke: bool) -> InferBenchReport {
             ..suite.pretrain_config()
         })
         .inference_config(suite.inference_config(StageConfig::full()))
+        .parallelism(Parallelism::Serial)
+        .timing_mode(true)
         .try_build()
         .expect("suite configs must be valid");
     engine.pretrain(&wiki);
@@ -144,8 +154,8 @@ pub fn run(smoke: bool) -> InferBenchReport {
     let mut rng = StdRng::seed_from_u64(suite.seed.wrapping_add(7));
     let task = sample_few_shot_task(&fb, ways, cfg.candidates_per_class, queries, &mut rng);
 
-    let measure = |workers: Parallelism, warm: bool| -> ModeTiming {
-        set_parallelism(workers);
+    let mut measure = |workers: Parallelism, warm: bool| -> ModeTiming {
+        engine.set_parallelism(Some(workers));
         engine.clear_embed_cache();
         if warm {
             // Populate the store once; the timed reps then hit it.
@@ -168,7 +178,7 @@ pub fn run(smoke: bool) -> InferBenchReport {
             embed += res.embed_micros;
             correct += res.correct;
         }
-        set_parallelism(Parallelism::Serial);
+        engine.set_parallelism(Some(Parallelism::Serial));
         let stats1 = engine.embed_cache_stats().unwrap_or_default();
         let hits = stats1.hits.saturating_sub(stats0.hits);
         let misses = stats1.misses.saturating_sub(stats0.misses);
@@ -187,7 +197,13 @@ pub fn run(smoke: bool) -> InferBenchReport {
 
     let serial_cold = measure(Parallelism::Serial, false);
     let serial_warm = measure(Parallelism::Serial, true);
-    let parallel_cold = (host_cores > 1).then(|| measure(Parallelism::Auto, false));
+    let parallel_threads = threads.filter(|&n| n > 1);
+    let parallel_cold = (host_cores > 1 || parallel_threads.is_some()).then(|| {
+        measure(
+            parallel_threads.map_or(Parallelism::Auto, Parallelism::Threads),
+            false,
+        )
+    });
 
     // Bit-identity across modes is asserted in gp-core's tests; here we
     // sanity-check the cheap observable so a regression cannot ship a

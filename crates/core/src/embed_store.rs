@@ -379,6 +379,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // raw threads on purpose: hammer the store from outside any pool
     fn concurrent_access_is_safe() {
         let store = EmbeddingStore::new(64);
         std::thread::scope(|s| {

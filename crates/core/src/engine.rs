@@ -1,9 +1,12 @@
 //! The single public entry point for the GraphPrompter pipeline.
 //!
 //! [`EngineBuilder`] validates every config up front ([`ConfigError`]),
-//! resolves the tensor-kernel [`Parallelism`], and decides whether the
-//! cross-episode [`EmbeddingStore`] is wired in. The built [`Engine`]
-//! then owns the model and exposes the whole lifecycle:
+//! fixes the engine's **thread budget** ([`Parallelism`]) and decides
+//! whether the cross-episode [`EmbeddingStore`] is wired in. The built
+//! [`Engine`] owns a persistent [`gp_tensor::WorkerPool`] sized to that
+//! budget — episode fan-out and tensor-kernel row-blocks all draw from
+//! the one pool, so `--threads n` really means at most `n` live threads
+//! — and exposes the whole lifecycle:
 //!
 //! ```
 //! use gp_core::{Engine, InferenceConfig, PretrainConfig};
@@ -27,8 +30,10 @@
 //! deprecated shims; they run the same pipeline without the embedding
 //! cache.
 
+use std::sync::{Arc, Mutex};
+
 use gp_datasets::{Dataset, FewShotTask};
-use gp_tensor::Parallelism;
+use gp_tensor::{Parallelism, PoolStats, WorkerPool};
 
 use crate::config::{ConfigError, InferenceConfig, ModelConfig, PretrainConfig};
 use crate::embed_store::{EmbedCacheStats, EmbeddingStore};
@@ -47,6 +52,7 @@ pub struct EngineBuilder {
     pretrain_cfg: PretrainConfig,
     infer_cfg: InferenceConfig,
     parallelism: Option<Parallelism>,
+    timing_mode: bool,
     embed_cache: Option<usize>,
 }
 
@@ -58,6 +64,7 @@ impl Default for EngineBuilder {
             pretrain_cfg: PretrainConfig::default(),
             infer_cfg: InferenceConfig::default(),
             parallelism: None,
+            timing_mode: false,
             embed_cache: Some(DEFAULT_EMBED_CACHE_CAPACITY),
         }
     }
@@ -95,19 +102,31 @@ impl EngineBuilder {
         self
     }
 
-    /// Tensor-kernel worker pool (process-wide; see
-    /// [`gp_tensor::parallel`]). Every setting produces bit-identical
-    /// results — this is purely a throughput knob. When not set, the
-    /// builder leaves the process-wide setting untouched (so transient
-    /// engines, e.g. inside baselines, inherit the caller's choice).
+    /// The engine's **thread budget** — the total number of threads its
+    /// [`gp_tensor::WorkerPool`] may occupy across *every* parallelism
+    /// layer: episode fan-out in [`Engine::evaluate`] and tensor-kernel
+    /// row-blocks alike draw from this one allowance, so
+    /// `Parallelism::Threads(n)` means at most `n` live threads, not
+    /// `n × n`. Every budget produces bit-identical results — this is
+    /// purely a throughput knob.
     ///
-    /// Because the underlying setting is process-wide, an engine with an
-    /// explicit parallelism re-applies it at the start of every
-    /// `pretrain`/`evaluate`/`run_episode` call, so two engines built with
-    /// different settings each run under their own (results are identical
-    /// either way; only throughput differs).
+    /// The pool is per-engine: two engines with different settings no
+    /// longer stomp a process-wide atomic. When not set, the engine
+    /// resolves its budget from the ambient
+    /// [`gp_tensor::configured_workers`] at each call (so transient
+    /// engines, e.g. inside baselines, inherit the caller's choice).
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = Some(p);
+        self
+    }
+
+    /// Timing mode: pin episode-level fan-out to 1 so [`Engine::evaluate`]
+    /// measures uncontended per-query cost — the whole budget goes to the
+    /// kernels of one episode at a time instead of episodes competing for
+    /// it. The benchmarks (`experiments bench-inference` / `table8`) run
+    /// this way; results are bit-identical either way.
+    pub fn timing_mode(mut self, on: bool) -> Self {
+        self.timing_mode = on;
         self
     }
 
@@ -125,8 +144,9 @@ impl EngineBuilder {
         self
     }
 
-    /// Validate all configs and build the engine. When a parallelism was
-    /// chosen, the process-wide tensor setting is updated on success.
+    /// Validate all configs and build the engine. The worker pool itself
+    /// is created lazily on the first `pretrain`/`evaluate`/`run_episode`
+    /// call (a budget of 1 never spawns any thread at all).
     pub fn try_build(self) -> Result<Engine, ConfigError> {
         let model = match self.model {
             Some(model) => {
@@ -140,27 +160,31 @@ impl EngineBuilder {
         };
         self.pretrain_cfg.validate()?;
         self.infer_cfg.validate()?;
-        if let Some(p) = self.parallelism {
-            gp_tensor::set_parallelism(p);
-        }
         Ok(Engine {
             model,
             pretrain_cfg: self.pretrain_cfg,
             infer_cfg: self.infer_cfg,
             parallelism: self.parallelism,
+            timing_mode: self.timing_mode,
+            pool: Mutex::new(None),
             embed_store: self.embed_cache.map(EmbeddingStore::new),
         })
     }
 }
 
-/// Owns a [`GraphPrompterModel`], its validated configs, the tensor
-/// parallelism setting and the cross-episode [`EmbeddingStore`]; the one
-/// place the pretrain → evaluate lifecycle happens.
+/// Owns a [`GraphPrompterModel`], its validated configs, a budgeted
+/// [`WorkerPool`] and the cross-episode [`EmbeddingStore`]; the one place
+/// the pretrain → evaluate lifecycle happens.
 pub struct Engine {
     model: GraphPrompterModel,
     pretrain_cfg: PretrainConfig,
     infer_cfg: InferenceConfig,
     parallelism: Option<Parallelism>,
+    timing_mode: bool,
+    /// Lazily built, cached worker pool; rebuilt when the resolved budget
+    /// changes (e.g. an inherited ambient setting moved, or
+    /// [`Engine::set_parallelism`] was called).
+    pool: Mutex<Option<Arc<WorkerPool>>>,
     embed_store: Option<EmbeddingStore>,
 }
 
@@ -170,14 +194,35 @@ impl Engine {
         EngineBuilder::new()
     }
 
-    /// Re-assert this engine's tensor parallelism. The setting is
-    /// process-wide, so another engine (or a direct
-    /// [`gp_tensor::set_parallelism`] call) may have changed it since this
-    /// engine was built; every entry point below re-applies it first.
-    /// Purely a throughput knob — results are bit-identical regardless.
-    fn apply_parallelism(&self) {
-        if let Some(p) = self.parallelism {
-            gp_tensor::set_parallelism(p);
+    /// The engine's worker pool at the currently resolved budget
+    /// (explicit [`Parallelism`] if set, else the ambient
+    /// [`gp_tensor::configured_workers`]), creating or resizing it as
+    /// needed. Every entry point installs this pool for the duration of
+    /// the call, so all kernel and episode fan-out shares one budget.
+    fn thread_pool(&self) -> Arc<WorkerPool> {
+        let want = self
+            .parallelism
+            .map_or_else(gp_tensor::configured_workers, Parallelism::workers)
+            .max(1);
+        let mut slot = self.pool.lock().expect("engine pool lock");
+        match slot.as_ref() {
+            Some(pool) if pool.budget() == want => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(WorkerPool::with_budget(want));
+                *slot = Some(Arc::clone(&pool));
+                pool
+            }
+        }
+    }
+
+    /// Episode-level workers for an `episodes`-episode evaluation: 1 in
+    /// timing mode, else up to the whole budget (kernel fan-out inside
+    /// the episodes shares the same pool either way).
+    fn episode_workers(&self, pool: &WorkerPool, episodes: usize) -> usize {
+        if self.timing_mode {
+            1
+        } else {
+            pool.budget().min(episodes.max(1))
         }
     }
 
@@ -191,7 +236,8 @@ impl Engine {
     /// Panics if the configured guard rail aborts; use
     /// [`Engine::try_pretrain`] for a recoverable error.
     pub fn pretrain(&mut self, dataset: &Dataset) -> TrainingCurve {
-        self.apply_parallelism();
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
         pretrain(
             &mut self.model,
             dataset,
@@ -203,7 +249,8 @@ impl Engine {
     /// As [`Engine::pretrain`], surfacing guard-rail aborts as a typed
     /// [`DivergenceError`].
     pub fn try_pretrain(&mut self, dataset: &Dataset) -> Result<TrainingCurve, DivergenceError> {
-        self.apply_parallelism();
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
         try_pretrain(
             &mut self.model,
             dataset,
@@ -224,7 +271,9 @@ impl Engine {
         queries_per_episode: usize,
         episodes: usize,
     ) -> Vec<f32> {
-        self.apply_parallelism();
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
+        let episode_workers = self.episode_workers(&pool, episodes);
         evaluate_episodes_impl(
             &self.model,
             dataset,
@@ -233,6 +282,8 @@ impl Engine {
             episodes,
             &self.infer_cfg,
             self.embed_store.as_ref(),
+            Some(&pool),
+            episode_workers,
         )
     }
 
@@ -251,7 +302,9 @@ impl Engine {
         episodes: usize,
         cfg: &InferenceConfig,
     ) -> Vec<f32> {
-        self.apply_parallelism();
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
+        let episode_workers = self.episode_workers(&pool, episodes);
         evaluate_episodes_impl(
             &self.model,
             dataset,
@@ -260,12 +313,15 @@ impl Engine {
             episodes,
             cfg,
             self.embed_store.as_ref(),
+            Some(&pool),
+            episode_workers,
         )
     }
 
     /// Run Alg. 2 over one explicit episode.
     pub fn run_episode(&self, dataset: &Dataset, task: &FewShotTask) -> EpisodeResult {
-        self.apply_parallelism();
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
         run_episode_impl(
             &self.model,
             dataset,
@@ -282,7 +338,8 @@ impl Engine {
         task: &FewShotTask,
         cfg: &InferenceConfig,
     ) -> EpisodeResult {
-        self.apply_parallelism();
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
         run_episode_impl(&self.model, dataset, task, cfg, self.embed_store.as_ref())
     }
 
@@ -321,14 +378,40 @@ impl Engine {
         &self.pretrain_cfg
     }
 
-    /// The tensor parallelism this engine was built with, or `None` when
-    /// the builder inherited the process-wide setting. The underlying
-    /// knob is process-wide, so another engine may change it between this
-    /// engine's calls — a `Some` setting is re-applied at the start of
-    /// every `pretrain`/`evaluate`/`run_episode` call, which is the only
-    /// window where it matters.
+    /// The thread budget this engine was built with, or `None` when it
+    /// inherits the ambient [`gp_tensor::configured_workers`] at each
+    /// call. The budget is per-engine: it sizes this engine's own
+    /// [`WorkerPool`] and never touches process-wide state.
     pub fn parallelism(&self) -> Option<Parallelism> {
         self.parallelism
+    }
+
+    /// Change the thread budget. The cached worker pool is dropped (its
+    /// threads join) and a pool at the new budget is built lazily on the
+    /// next `pretrain`/`evaluate`/`run_episode` call. Results are
+    /// bit-identical across budgets — this only changes throughput.
+    pub fn set_parallelism(&mut self, p: Option<Parallelism>) {
+        self.parallelism = p;
+        *self.pool.lock().expect("engine pool lock") = None;
+    }
+
+    /// Whether episode-level fan-out is pinned to 1
+    /// ([`EngineBuilder::timing_mode`]).
+    pub fn timing_mode(&self) -> bool {
+        self.timing_mode
+    }
+
+    /// Counters of the engine's worker pool (budget, spawned workers,
+    /// peak concurrently active tasks, executed/stolen task counts), or
+    /// `None` before the first `pretrain`/`evaluate`/`run_episode` call
+    /// builds the pool. The regression tests use `peak_active ≤ budget`
+    /// to pin down that nested fan-out cannot oversubscribe.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool
+            .lock()
+            .expect("engine pool lock")
+            .as_ref()
+            .map(|p| p.stats())
     }
 
     /// Usage counters of the embedding cache, or `None` when disabled.
@@ -520,6 +603,68 @@ mod tests {
         let accs = engine.evaluate(&ds, 3, 6, 1);
         assert_eq!(accs.len(), 1);
         assert_eq!(engine.model().config().embed_dim, 16);
+    }
+
+    /// The tentpole invariant, engine-level: one budget bounds *total*
+    /// thread use across episode fan-out and kernel fan-out, a Serial
+    /// engine never spawns a worker, and every budget is bit-identical.
+    #[test]
+    fn thread_budget_bounds_total_threads_and_preserves_bits() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let build = |p: Parallelism| {
+            Engine::builder()
+                .model_config(tiny_model())
+                .inference_config(tiny_infer())
+                .parallelism(p)
+                .try_build()
+                .expect("valid engine")
+        };
+
+        let serial = build(Parallelism::Serial);
+        let base = serial.evaluate(&ds, 3, 8, 4);
+        let stats = serial.pool_stats().expect("pool built by evaluate");
+        assert_eq!(stats.budget, 1);
+        assert_eq!(stats.spawned_workers, 0, "budget 1 must not spawn");
+        assert_eq!(stats.peak_active, 0, "budget 1 must run inline");
+
+        let budgeted = build(Parallelism::Threads(3));
+        let accs = budgeted.evaluate(&ds, 3, 8, 4);
+        let stats = budgeted.pool_stats().expect("pool built by evaluate");
+        assert_eq!(stats.budget, 3);
+        assert_eq!(stats.spawned_workers, 2, "budget B spawns B-1 workers");
+        assert!(
+            stats.peak_active <= 3,
+            "peak active tasks {} exceeded budget 3",
+            stats.peak_active
+        );
+        assert!(stats.tasks_executed >= 4, "episodes should ride the pool");
+
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&base), bits(&accs), "budget must not change results");
+    }
+
+    /// Timing mode pins episode fan-out to 1 while keeping the budget for
+    /// kernels — and `set_parallelism` rebuilds the pool at the new size.
+    #[test]
+    fn timing_mode_and_set_parallelism_resize_pool() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let mut engine = Engine::builder()
+            .model_config(tiny_model())
+            .inference_config(tiny_infer())
+            .parallelism(Parallelism::Threads(2))
+            .timing_mode(true)
+            .try_build()
+            .expect("valid engine");
+        assert!(engine.timing_mode());
+        let base = engine.evaluate(&ds, 3, 8, 2);
+        assert_eq!(engine.pool_stats().expect("pool").budget, 2);
+
+        engine.set_parallelism(Some(Parallelism::Serial));
+        assert_eq!(engine.pool_stats(), None, "set_parallelism drops pool");
+        let again = engine.evaluate(&ds, 3, 8, 2);
+        assert_eq!(engine.pool_stats().expect("pool").budget, 1);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&base), bits(&again));
     }
 
     #[test]

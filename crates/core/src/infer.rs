@@ -22,7 +22,7 @@ use std::time::Instant;
 use gp_datasets::{DataPoint, Dataset, FewShotTask};
 use gp_graph::RandomWalkSampler;
 use gp_nn::Session;
-use gp_tensor::Tensor;
+use gp_tensor::{Tensor, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -230,7 +230,11 @@ pub(crate) fn run_episode_impl(
     let mut correct = 0usize;
     let mut predictions = Vec::with_capacity(task.queries.len());
     let mut query_labels = Vec::with_capacity(task.queries.len());
-    let mut all_query_embs: Option<Tensor> = None;
+    // Raw row accumulator, materialized as one Tensor at the end: a
+    // per-chunk `concat_rows` re-copied every prior row each iteration
+    // (O(Q²) in the query count).
+    let embed_dim = model.config().embed_dim;
+    let mut all_query_embs: Vec<f32> = Vec::with_capacity(task.queries.len() * embed_dim);
 
     for chunk in task.queries.chunks(cfg.query_batch.max(1)) {
         let (q_points, q_labels): (Vec<_>, Vec<_>) = chunk.iter().copied().unzip();
@@ -309,10 +313,7 @@ pub(crate) fn run_episode_impl(
         correct += preds.iter().zip(&q_labels).filter(|(a, b)| a == b).count();
         predictions.extend(preds.iter().copied());
         query_labels.extend(q_labels.iter().copied());
-        all_query_embs = Some(match all_query_embs {
-            Some(acc) => acc.concat_rows(&q_embs),
-            None => q_embs.clone(),
-        });
+        all_query_embs.extend_from_slice(q_embs.as_slice());
 
         // Prompt Augmenter: LFU hits + high-confidence admissions. Cached
         // embeddings are importance-weighted exactly like selected prompts
@@ -347,8 +348,7 @@ pub(crate) fn run_episode_impl(
         total,
         per_query_micros: elapsed.as_micros() as f64 / total.max(1) as f64,
         embed_micros: embed_nanos as f64 / 1000.0 / total.max(1) as f64,
-        query_embeddings: all_query_embs
-            .unwrap_or_else(|| Tensor::zeros(0, model.config().embed_dim)),
+        query_embeddings: Tensor::from_vec(query_labels.len(), embed_dim, all_query_embs),
         query_labels,
         predictions,
     }
@@ -397,6 +397,14 @@ pub fn run_episode_with_policy(
 /// every episode worker, so candidate embeddings computed by one episode
 /// are reused by all later ones (their subgraph RNGs derive from
 /// `cfg.candidate_seed`, which stays fixed across episodes).
+///
+/// Episode-level parallelism draws from the same thread budget as the
+/// tensor kernels: with `episode_workers > 1` the episodes run as tasks
+/// on `pool` (or a transient budget-sized [`WorkerPool`] when none is
+/// given), whose queue also executes any kernel fan-out from inside an
+/// episode — total live threads never exceed the budget. Results land in
+/// fixed per-episode slots, so scheduling order cannot perturb them:
+/// accuracies are bit-identical to a sequential run for any worker count.
 pub(crate) fn evaluate_episodes_impl(
     model: &GraphPrompterModel,
     dataset: &Dataset,
@@ -405,10 +413,9 @@ pub(crate) fn evaluate_episodes_impl(
     episodes: usize,
     cfg: &InferenceConfig,
     cache: Option<&EmbeddingStore>,
+    pool: Option<&WorkerPool>,
+    episode_workers: usize,
 ) -> Vec<f32> {
-    // Episodes are fully independent (fresh RNGs, read-only model), so
-    // they run on all available cores. Results are returned in episode
-    // order regardless of completion order, preserving determinism.
     let one = |i: usize| -> f32 {
         let mut ep_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64 * 7919));
         let task = gp_datasets::sample_few_shot_task(
@@ -426,39 +433,44 @@ pub(crate) fn evaluate_episodes_impl(
         run_episode_impl(model, dataset, &task, &ep_cfg, cache).accuracy() * 100.0
     };
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(episodes.max(1));
-    if workers <= 1 || episodes <= 1 {
+    if episode_workers <= 1 || episodes <= 1 {
         return (0..episodes).map(one).collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let transient;
+    let pool = match pool {
+        Some(p) => p,
+        None => {
+            transient = WorkerPool::with_budget(episode_workers);
+            &transient
+        }
+    };
+    // Kernels inside the episodes must share the budget too (idle pool
+    // workers steal their row-blocks instead of new threads spawning).
+    let _ctx = pool.install();
     let mut results = vec![0.0f32; episodes];
     let slots: Vec<std::sync::Mutex<&mut f32>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= episodes {
-                    break;
-                }
-                let acc = one(i);
-                **slots[i].lock().expect("unpoisoned slot") = acc;
-            });
-        }
+    pool.for_each_index(episodes, |i| {
+        let acc = one(i);
+        **slots[i].lock().expect("unpoisoned slot") = acc;
     });
+    drop(slots);
     results
 }
 
 /// Evaluate `episodes` independent episodes of `ways`-way classification
 /// and return per-episode accuracies (in %). Episode `i` derives its seed
 /// from `cfg.seed` for both the episode sampling and the pipeline RNG.
+///
+/// Episode workers come from the ambient thread budget
+/// ([`gp_tensor::configured_workers`], default 1 — this shim no longer
+/// silently fans out to `available_parallelism()` threads on top of the
+/// kernel workers; `Engine::evaluate` sizes both layers from one budget).
 #[deprecated(
     since = "0.2.0",
     note = "use gp_core::Engine::evaluate (build one with EngineBuilder); \
-            the Engine also memoizes candidate embeddings across episodes"
+            the Engine also memoizes candidate embeddings across episodes \
+            and owns the thread budget"
 )]
 pub fn evaluate_episodes(
     model: &GraphPrompterModel,
@@ -468,7 +480,18 @@ pub fn evaluate_episodes(
     episodes: usize,
     cfg: &InferenceConfig,
 ) -> Vec<f32> {
-    evaluate_episodes_impl(model, dataset, ways, queries_per_episode, episodes, cfg, None)
+    let episode_workers = gp_tensor::configured_workers().min(episodes.max(1));
+    evaluate_episodes_impl(
+        model,
+        dataset,
+        ways,
+        queries_per_episode,
+        episodes,
+        cfg,
+        None,
+        None,
+        episode_workers,
+    )
 }
 
 #[cfg(test)]
@@ -565,7 +588,7 @@ mod tests {
             ..PretrainConfig::default()
         };
         pretrain(&mut model, &ds, &pre, StageConfig::full());
-        let accs = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &tiny_cfg(), None);
+        let accs = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &tiny_cfg(), None, None, 1);
         let mean = accs.iter().sum::<f32>() / accs.len() as f32;
         // Chance is 33%; a pre-trained model must do clearly better.
         assert!(mean > 45.0, "mean accuracy {mean}% not above chance");
@@ -597,23 +620,27 @@ mod tests {
     #[test]
     fn kernel_parallelism_is_bit_identical() {
         // The whole-pipeline counterpart of the tensor-level proptests:
-        // accuracies (and predictions) must not depend on the tensor
-        // worker count.
+        // accuracies (and predictions) must not depend on the thread
+        // budget. Per-instance pools, not the deprecated global knob — the
+        // old version raced against sibling tests in this binary.
         let (model, ds) = tiny_setup();
         let cfg = tiny_cfg();
-        gp_tensor::set_parallelism(gp_tensor::Parallelism::Serial);
-        let serial = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &cfg, None);
-        gp_tensor::set_parallelism(gp_tensor::Parallelism::Threads(4));
-        let parallel = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &cfg, None);
-        gp_tensor::set_parallelism(gp_tensor::Parallelism::Serial);
+        let serial = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &cfg, None, None, 1);
+        let pool = gp_tensor::WorkerPool::with_budget(4);
+        let parallel = evaluate_episodes_impl(&model, &ds, 3, 12, 3, &cfg, None, Some(&pool), 4);
         let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(to_bits(&serial), to_bits(&parallel));
+        let stats = pool.stats();
+        assert!(stats.peak_active <= 4, "budget exceeded: {stats:?}");
+        assert!(stats.tasks_executed >= 3, "episodes must run on the pool");
 
         let mut rng = StdRng::seed_from_u64(5);
         let task = sample_few_shot_task(&ds, 3, 4, 10, &mut rng);
-        gp_tensor::set_parallelism(gp_tensor::Parallelism::Threads(3));
-        let a = run_episode_impl(&model, &ds, &task, &cfg, None);
-        gp_tensor::set_parallelism(gp_tensor::Parallelism::Serial);
+        let a = {
+            let kernel_pool = gp_tensor::WorkerPool::with_budget(3);
+            let _ctx = kernel_pool.install();
+            run_episode_impl(&model, &ds, &task, &cfg, None)
+        };
         let b = run_episode_impl(&model, &ds, &task, &cfg, None);
         assert_eq!(a.predictions, b.predictions);
         assert_eq!(
@@ -627,9 +654,9 @@ mod tests {
         let (model, ds) = tiny_setup();
         let cfg = tiny_cfg();
         let store = EmbeddingStore::new(4096);
-        let cold = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, None);
-        let warm1 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store));
-        let warm2 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store));
+        let cold = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, None, None, 1);
+        let warm1 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store), None, 1);
+        let warm2 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store), None, 1);
         let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(to_bits(&cold), to_bits(&warm1), "cache must not change results");
         assert_eq!(to_bits(&warm1), to_bits(&warm2));
@@ -648,13 +675,13 @@ mod tests {
         let ds_b = CitationConfig::new("other", 280, 4, 77).generate();
         let cfg = tiny_cfg();
         let store = EmbeddingStore::new(4096);
-        let a_ref = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, None);
-        let b_ref = evaluate_episodes_impl(&model, &ds_b, 3, 12, 3, &cfg, None);
+        let a_ref = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, None, None, 1);
+        let b_ref = evaluate_episodes_impl(&model, &ds_b, 3, 12, 3, &cfg, None, None, 1);
         // Warm the store on dataset A, then evaluate B against the warm
         // store, then A again (B's entries now resident too).
-        let a1 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store));
-        let b1 = evaluate_episodes_impl(&model, &ds_b, 3, 12, 3, &cfg, Some(&store));
-        let a2 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store));
+        let a1 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store), None, 1);
+        let b1 = evaluate_episodes_impl(&model, &ds_b, 3, 12, 3, &cfg, Some(&store), None, 1);
+        let a2 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store), None, 1);
         let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(to_bits(&a_ref), to_bits(&a1));
         assert_eq!(to_bits(&b_ref), to_bits(&b1), "dataset B served A's embeddings");

@@ -24,10 +24,11 @@
 //! Prodigy baseline.
 //!
 //! The public entry point is the [`Engine`], built through the fallible
-//! [`EngineBuilder`]: it validates every config, owns the model, sets the
-//! tensor-kernel [`gp_tensor::Parallelism`], and memoizes candidate
-//! embeddings across episodes in an [`EmbeddingStore`] (invalidated
-//! automatically whenever the weights change).
+//! [`EngineBuilder`]: it validates every config, owns the model, owns a
+//! [`gp_tensor::WorkerPool`] sized to one [`gp_tensor::Parallelism`]
+//! thread budget shared by episode and kernel fan-out, and memoizes
+//! candidate embeddings across episodes in an [`EmbeddingStore`]
+//! (invalidated automatically whenever the weights change).
 //!
 //! ```
 //! use gp_core::{Engine, InferenceConfig, ModelConfig, PretrainConfig};

@@ -733,7 +733,7 @@ mod tests {
             candidates_per_class: 4,
             ..crate::config::InferenceConfig::default()
         };
-        let accs = crate::infer::evaluate_episodes_impl(&model, &ds, 3, 8, 1, &cfg, None);
+        let accs = crate::infer::evaluate_episodes_impl(&model, &ds, 3, 8, 1, &cfg, None, None, 1);
         assert_eq!(accs.len(), 1);
     }
 

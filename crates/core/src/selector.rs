@@ -139,7 +139,17 @@ pub fn select_prompts_with_metric<R: Rng + ?Sized>(
     }
 
     // Eq. 7: score(p, q) = sim(p, q) + I_p · I_q, with each term gated by
-    // its ablation toggle.
+    // its ablation toggle. Cosine norms depend on one row only, so they
+    // are hoisted out of the P×Q loop (P+Q norms instead of 2·P·Q);
+    // the dot/norm accumulation order is unchanged, keeping every score
+    // bit-identical to the naive per-pair form.
+    let cosine_knn = use_knn && metric == DistanceMetric::Cosine;
+    let (prompt_norms, query_norms) = if cosine_knn {
+        let norms = |t: &Tensor| (0..t.rows()).map(|r| gp_tensor::l2_norm(t.row(r))).collect();
+        (norms(prompt_embs), norms(query_embs))
+    } else {
+        (Vec::new(), Vec::new())
+    };
     let mut votes = vec![0.0f32; p];
     let top = (num_classes * shots).min(p);
     let mut scores: Vec<(usize, f32)> = Vec::with_capacity(p);
@@ -147,7 +157,14 @@ pub fn select_prompts_with_metric<R: Rng + ?Sized>(
         scores.clear();
         for i in 0..p {
             let mut s = 0.0;
-            if use_knn {
+            if cosine_knn {
+                s += gp_tensor::cosine_slices_with_norms(
+                    prompt_embs.row(i),
+                    query_embs.row(q),
+                    prompt_norms[i],
+                    query_norms[q],
+                );
+            } else if use_knn {
                 s += metric.similarity(prompt_embs, i, query_embs, q);
             }
             if use_selection {
@@ -327,6 +344,28 @@ mod tests {
         }
         assert!((DistanceMetric::Euclidean.similarity(&a, 0, &b, 0) + 2f32.sqrt()).abs() < 1e-6);
         assert!((DistanceMetric::Manhattan.similarity(&a, 0, &b, 0) + 2.0).abs() < 1e-6);
+    }
+
+    /// The hoisted-norm cosine used inside the scoring loop must be
+    /// bit-identical to the naive per-pair [`DistanceMetric::similarity`]
+    /// it replaced, for every (prompt, query) pair of the fixture.
+    #[test]
+    fn hoisted_norm_cosine_is_bitwise_identical_to_per_pair() {
+        let (p, _, _, q, _) = fixture();
+        let p_norms: Vec<f32> = (0..p.rows()).map(|r| gp_tensor::l2_norm(p.row(r))).collect();
+        let q_norms: Vec<f32> = (0..q.rows()).map(|r| gp_tensor::l2_norm(q.row(r))).collect();
+        for i in 0..p.rows() {
+            for j in 0..q.rows() {
+                let naive = DistanceMetric::Cosine.similarity(&p, i, &q, j);
+                let hoisted =
+                    gp_tensor::cosine_slices_with_norms(p.row(i), q.row(j), p_norms[i], q_norms[j]);
+                assert_eq!(
+                    naive.to_bits(),
+                    hoisted.to_bits(),
+                    "pair ({i},{j}): {naive} vs {hoisted}"
+                );
+            }
+        }
     }
 
     #[test]

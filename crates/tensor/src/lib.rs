@@ -23,8 +23,9 @@
 //! or `1×d`), `f32` only. Model sizes in this reproduction (hidden dims
 //! ≤ 128, subgraphs ≤ a few hundred nodes) keep kernels simple; see
 //! DESIGN.md. Heavy row-parallel kernels (`matmul` and friends) can fan
-//! out over a deterministic worker pool — see [`parallel`] — and stay
-//! **bit-identical** to the serial path for every worker count.
+//! out over a persistent, budget-bounded [`parallel::WorkerPool`] — see
+//! [`parallel`] — and stay **bit-identical** to the serial path for every
+//! worker count.
 
 pub mod parallel;
 pub mod rng;
@@ -32,7 +33,11 @@ pub mod sparse;
 pub mod tape;
 pub mod tensor;
 
-pub use parallel::{set_parallelism, Parallelism};
+#[allow(deprecated)]
+pub use parallel::set_parallelism;
+pub use parallel::{
+    configured_workers, workers_for_budget, Parallelism, PoolGuard, PoolStats, WorkerPool,
+};
 pub use sparse::EdgeList;
 pub use tape::{Op, Tape, Var};
-pub use tensor::{cosine_slices, Tensor};
+pub use tensor::{cosine_slices, cosine_slices_with_norms, l2_norm, Tensor};

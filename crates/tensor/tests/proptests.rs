@@ -171,22 +171,40 @@ proptest! {
         workers in 2usize..9,
         seed in any::<u64>(),
     ) {
-        use gp_tensor::{set_parallelism, Parallelism};
         use rand::SeedableRng;
-        // matmul_ta resolves its worker count from the process-wide setting,
-        // so pick k large enough that k·n·m clears the fan-out threshold and
-        // the blocked path genuinely runs.
+        // Explicit worker counts (no process-wide knob: mutating that from
+        // a concurrently-run test raced against its siblings). k is large
+        // enough that the blocked path is the one a real pool would take.
         let k = gp_tensor::parallel::MIN_PARALLEL_WORK / (n * m) + 1;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let a = gp_tensor::rng::randn(&mut rng, k, n, 1.0);
         let b = gp_tensor::rng::randn(&mut rng, k, m, 1.0);
-        set_parallelism(Parallelism::Serial);
-        let serial = a.matmul_ta(&b);
-        set_parallelism(Parallelism::Threads(workers));
-        let blocked = a.matmul_ta(&b);
-        set_parallelism(Parallelism::Serial);
+        let serial = a.matmul_ta_workers(&b, 1);
+        let blocked = a.matmul_ta_workers(&b, workers);
         for (x, y) in serial.as_slice().iter().zip(blocked.as_slice()) {
             prop_assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y} (workers={})", workers);
+        }
+    }
+
+    #[test]
+    fn pooled_kernels_are_bit_identical_to_serial(
+        n in 2usize..24,
+        k in 1usize..12,
+        m in 1usize..12,
+        budget in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        use gp_tensor::WorkerPool;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = gp_tensor::rng::randn(&mut rng, n, k, 1.0);
+        let b = gp_tensor::rng::randn(&mut rng, k, m, 1.0);
+        let serial = a.matmul_workers(&b, 1);
+        let pool = WorkerPool::with_budget(budget);
+        let _ctx = pool.install();
+        let pooled = a.matmul_workers(&b, budget);
+        for (x, y) in serial.as_slice().iter().zip(pooled.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y} (budget={})", budget);
         }
     }
 }

@@ -14,8 +14,10 @@
 //!
 //! `evaluate`/`episode` also accept `--dataset-path <dir>` to run on a
 //! directory in the `gp export` TSV format (bring your own graph), and
-//! `--threads <n>` to spread tensor kernels over `n` worker threads
-//! (`--threads 0` = one per core; results are bit-identical either way).
+//! `--threads <n>` as the engine's **thread budget**: at most `n` live
+//! threads in total, shared by episode fan-out and tensor-kernel
+//! row-blocks (`--threads 0` = one per core; `--threads 1` spawns no
+//! worker threads at all; results are bit-identical either way).
 //!
 //! Every command accepts `--metrics` (human-readable report on stderr
 //! when the command finishes) or `--metrics-json` (JSON on stdout):
@@ -90,8 +92,9 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-/// Parse `--threads <n>` into a tensor parallelism setting. Absent → the
-/// serial default; `0` → one worker per core.
+/// Parse `--threads <n>` into the engine's thread budget. Absent → the
+/// serial default; `0` → one worker per core. The budget bounds *total*
+/// threads: episodes and kernels share one worker pool.
 fn parallelism(args: &[String]) -> Result<Parallelism, String> {
     match flag(args, "--threads") {
         None => Ok(Parallelism::Serial),

@@ -40,7 +40,9 @@ pub mod prelude {
     pub use gp_datasets::{presets, sample_few_shot_task, Dataset, FewShotTask};
     pub use gp_graph::SamplerConfig;
     pub use gp_obs::MetricsSnapshot;
-    pub use gp_tensor::{set_parallelism, Parallelism};
+    #[allow(deprecated)]
+    pub use gp_tensor::set_parallelism;
+    pub use gp_tensor::{Parallelism, PoolStats, WorkerPool};
 }
 
 /// Workspace version, from the facade crate.

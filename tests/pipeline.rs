@@ -110,18 +110,56 @@ fn inference_is_deterministic_for_fixed_seeds() {
 #[test]
 fn parallel_kernels_match_serial_bitwise_end_to_end() {
     let source = CitationConfig::new("src", 250, 4, 109).generate();
-    let engine = tiny_engine(20, &source);
-    set_parallelism(Parallelism::Serial);
+    let mut engine = tiny_engine(20, &source);
+    engine.set_parallelism(Some(Parallelism::Serial));
     let serial = engine.evaluate(&source, 3, 10, 2);
-    set_parallelism(Parallelism::Threads(4));
+    engine.set_parallelism(Some(Parallelism::Threads(4)));
     let threaded = engine.evaluate(&source, 3, 10, 2);
-    set_parallelism(Parallelism::Serial);
     let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
     assert_eq!(
         bits(&serial),
         bits(&threaded),
-        "worker count must not change predictions"
+        "thread budget must not change predictions"
     );
+}
+
+/// The oversubscription regression test: one budget bounds *all* threads
+/// — episode fan-out and kernel fan-out share the engine's worker pool,
+/// `--threads 1` spawns nothing, and every budget is bit-identical.
+#[test]
+fn thread_budget_bounds_total_threads_end_to_end() {
+    let source = CitationConfig::new("src", 250, 4, 109).generate();
+
+    let mut engine = tiny_engine(20, &source);
+    engine.set_parallelism(Some(Parallelism::Serial));
+    let serial = engine.evaluate(&source, 3, 10, 4);
+    let stats = engine.pool_stats().expect("pool built by evaluate");
+    assert_eq!(stats.budget, 1);
+    assert_eq!(stats.spawned_workers, 0, "--threads 1 must spawn nothing");
+    assert_eq!(stats.peak_active, 0, "budget 1 must run fully inline");
+
+    for budget in [2usize, 3, 5] {
+        engine.set_parallelism(Some(Parallelism::Threads(budget)));
+        let accs = engine.evaluate(&source, 3, 10, 4);
+        let stats = engine.pool_stats().expect("pool built by evaluate");
+        assert_eq!(stats.budget, budget);
+        assert_eq!(
+            stats.spawned_workers,
+            budget - 1,
+            "budget B keeps the caller + B-1 workers"
+        );
+        assert!(
+            stats.peak_active <= budget,
+            "budget {budget}: peak active tasks {} oversubscribed",
+            stats.peak_active
+        );
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&serial),
+            bits(&accs),
+            "budget {budget} changed predictions"
+        );
+    }
 }
 
 #[test]
