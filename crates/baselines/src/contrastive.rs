@@ -259,11 +259,14 @@ impl Contrastive {
         (0..query_embs.rows())
             .map(|q| {
                 (0..ways)
+                    // Total comparator: a NaN cosine (zero-norm class
+                    // mean) loses every comparison instead of making the
+                    // argmax order-dependent (gp-lint rule D2).
                     .max_by(|&a, &b| {
-                        query_embs
-                            .cosine_rows(q, &means, a)
-                            .partial_cmp(&query_embs.cosine_rows(q, &means, b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                        gp_tensor::rank_asc(
+                            query_embs.cosine_rows(q, &means, a),
+                            query_embs.cosine_rows(q, &means, b),
+                        )
                     })
                     .unwrap_or(0)
             })

@@ -106,7 +106,10 @@ impl PromptAugmenter {
         let mut data = Vec::new();
         let mut labels = Vec::new();
         for cache in &self.caches {
-            for (_, entry) in cache.iter() {
+            // Admission-id order: the raw cache iteration order is
+            // hash-map order, and `Ŝ' = Ŝ ∪ C` row order feeds the label
+            // embedding sums downstream — it must not vary run to run.
+            for (_, entry) in cache.sorted_iter() {
                 assert_eq!(entry.embedding.len(), dim, "cached embedding width drifted");
                 data.extend_from_slice(&entry.embedding);
                 labels.push(entry.label);
@@ -141,11 +144,15 @@ impl PromptAugmenter {
             sims.clear();
             let query = query_embs.row(q);
             for (class, cache) in self.caches.iter().enumerate() {
-                for (key, entry) in cache.iter() {
+                // Admission-id order so similarity ties (and the stable
+                // sort below) break identically on every run.
+                for (key, entry) in cache.sorted_iter() {
                     sims.push((class, *key, cosine_slices(query, &entry.embedding)));
                 }
             }
-            sims.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            // Total comparator: a NaN similarity ranks last instead of
+            // scrambling the order (gp-lint rule D2).
+            sims.sort_by(|a, b| gp_tensor::rank_desc(a.2, b.2));
             for &(class, key, _) in sims.iter().take(self.hit_k) {
                 if self.caches[class].touch(&key) {
                     TOUCH_HITS.inc();

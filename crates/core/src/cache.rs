@@ -86,6 +86,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let evicted = if self.entries.len() >= self.capacity {
             let victim = self
                 .entries
+                // gp-lint: allow(D1) — min_by_key over per-entry stamps; the clock is strictly monotonic so the minimum is unique and independent of map iteration order
                 .iter()
                 .min_by_key(|(_, (_, stamp))| *stamp)
                 .map(|(k, _)| k.clone())?;
@@ -99,6 +100,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Iterate `(key, value)` in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        // gp-lint: allow(D1) — order-erased diagnostic API; result-affecting callers go through AnyCache::sorted_iter
         self.entries.iter().map(|(k, (v, _))| (k, v))
     }
 }
@@ -222,6 +224,20 @@ impl<K: Eq + Hash + Clone, V> AnyCache<K, V> {
             AnyCache::Lru(c) => Box::new(c.iter()),
             AnyCache::Fifo(c) => Box::new(c.iter()),
         }
+    }
+
+    /// `(key, value)` pairs in ascending key order — the deterministic
+    /// traversal result-affecting callers must use. The LFU/LRU stores
+    /// are hash maps whose raw iteration order varies run to run; the
+    /// Prompt Augmenter keys entries by a monotonic admission id, so
+    /// sorting by key yields admission order regardless of policy.
+    pub fn sorted_iter(&self) -> Vec<(&K, &V)>
+    where
+        K: Ord,
+    {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
     }
 
     /// Internal bookkeeping size: LFU frequency-bucket membership (see

@@ -145,6 +145,7 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
 
     /// Iterate `(key, value, freq)` in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V, u64)> {
+        // gp-lint: allow(D1) — order-erased diagnostic API; result-affecting callers go through AnyCache::sorted_iter
         self.entries.iter().map(|(k, e)| (k, &e.value, e.freq))
     }
 

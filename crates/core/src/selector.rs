@@ -177,8 +177,11 @@ pub fn select_prompts_with_metric<R: Rng + ?Sized>(
         // (Eq. 8) a prompt appearing in many top-k lists under a negative
         // metric (Euclidean/Manhattan, or anti-aligned cosine) would
         // accumulate more *negative* mass and rank lower, inverting the
-        // vote's intent.
-        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // vote's intent. The comparator is total (gp_tensor::rank_desc):
+        // a NaN score — e.g. the cosine of a zero-norm embedding — ranks
+        // last instead of leaving the order at the mercy of sort
+        // internals, and NaN-free inputs sort exactly as partial_cmp did.
+        scores.sort_by(|a, b| gp_tensor::rank_desc(a.1, b.1));
         let floor = scores
             .iter()
             .take(top)
@@ -195,11 +198,9 @@ pub fn select_prompts_with_metric<R: Rng + ?Sized>(
     let mut selected = Vec::new();
     for class in 0..num_classes {
         let mut pool: Vec<usize> = (0..p).filter(|&i| prompt_labels[i] == class).collect();
-        pool.sort_by(|&a, &b| {
-            votes[b]
-                .partial_cmp(&votes[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Vote tie-break is total as well: a candidate whose votes went
+        // NaN (it only ever received NaN scores) ranks last in its class.
+        pool.sort_by(|&a, &b| gp_tensor::rank_desc(votes[a], votes[b]));
         selected.extend(pool.into_iter().take(shots));
     }
     SelectionOutcome { selected, votes }
@@ -366,6 +367,76 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// 2 classes × 2 candidates scored purely by the selection layer
+    /// (Eq. 7's `I_p · I_q` term), with candidate 0's importance poisoned
+    /// to NaN — the same failure mode a zero-norm embedding produces.
+    fn nan_fixture() -> (Tensor, Vec<f32>, Vec<usize>, Tensor, Vec<f32>) {
+        let prompts = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9]);
+        let imps = vec![f32::NAN, 0.5, 0.9, 0.4];
+        let labels = vec![0, 0, 1, 1];
+        let queries = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let q_imps = vec![1.0, 1.0];
+        (prompts, imps, labels, queries, q_imps)
+    }
+
+    /// Regression for the `partial_cmp(..).unwrap_or(Equal)` hazard: a
+    /// candidate whose score goes NaN must rank *last* — never selected
+    /// while a healthy same-class candidate remains — and the outcome
+    /// must be identical on every run instead of depending on sort
+    /// internals and input order.
+    #[test]
+    fn nan_scored_candidate_ranks_last_deterministically() {
+        let (p, i, l, q, qi) = nan_fixture();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(0);
+            // shots = 1 → per-query top list holds 2 of 4 candidates; the
+            // NaN candidate sorts below every finite score, stays out of
+            // every top list, and collects zero votes.
+            select_prompts(&p, &i, &l, &q, &qi, 2, 1, false, true, &mut rng)
+        };
+        let out = run();
+        assert_eq!(
+            out.selected,
+            vec![1, 2],
+            "healthy candidates win: {:?}",
+            out.selected
+        );
+        for _ in 0..4 {
+            let again = run();
+            assert_eq!(again.selected, out.selected, "selection must be stable");
+            assert_eq!(
+                again.votes.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.votes.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "votes must be bit-identical across runs"
+            );
+        }
+    }
+
+    /// Even when the NaN-scored candidate cannot be dodged (shots take
+    /// every candidate, so its votes themselves go NaN), it is appended
+    /// last in its class group rather than displacing a healthy pick.
+    #[test]
+    fn nan_votes_lose_the_class_tie_break() {
+        let (p, i, l, q, qi) = nan_fixture();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = select_prompts(&p, &i, &l, &q, &qi, 2, 2, false, true, &mut rng);
+        let class0: Vec<usize> = out
+            .selected
+            .iter()
+            .copied()
+            .filter(|&s| l[s] == 0)
+            .collect();
+        assert_eq!(
+            class0,
+            vec![1, 0],
+            "NaN candidate must rank last in its class"
+        );
+        assert!(
+            out.votes[0].is_nan(),
+            "forced-in NaN candidate accumulates NaN votes"
+        );
     }
 
     #[test]

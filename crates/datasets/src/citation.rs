@@ -171,7 +171,13 @@ impl CitationConfig {
             .map(DataPoint::Node)
             .collect();
         let (mut train, mut valid, test) = stratified_split(&graph, points, self.num_classes);
-        for (i, n) in corrupted.iter().enumerate() {
+        // Sorted node order: iterating the HashSet directly would hand the
+        // train/valid assignment (`i % 5`) to the hash seed, making the
+        // generated splits differ run to run (gp-lint rule D1).
+        // gp-lint: allow(D1) — drained into a Vec and sorted on the next line; hash order never escapes
+        let mut corrupted_sorted: Vec<u32> = corrupted.into_iter().collect();
+        corrupted_sorted.sort_unstable();
+        for (i, n) in corrupted_sorted.iter().enumerate() {
             if i % 5 == 4 {
                 valid.push(DataPoint::Node(*n));
             } else {

@@ -213,7 +213,13 @@ impl KgConfig {
         let (mut train, mut valid, mut test) =
             stratified_split(&graph, regular, self.num_relations);
         // Noisy facts live only in the candidate pool (train) and valid.
-        for (i, eid) in corrupted.iter().enumerate() {
+        // Sorted edge order: iterating the HashSet directly would hand the
+        // train/valid assignment (`i % 5`) to the hash seed, making the
+        // generated splits differ run to run (gp-lint rule D1).
+        // gp-lint: allow(D1) — drained into a Vec and sorted on the next line; hash order never escapes
+        let mut corrupted_sorted: Vec<u32> = corrupted.into_iter().collect();
+        corrupted_sorted.sort_unstable();
+        for (i, eid) in corrupted_sorted.iter().enumerate() {
             let dp = DataPoint::Edge(*eid);
             if i % 5 == 4 {
                 valid.push(dp);

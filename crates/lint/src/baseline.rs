@@ -1,0 +1,223 @@
+//! The R1 ratchet baseline: a committed TOML file recording, per crate,
+//! how many `unwrap`/`expect`/`panic!`/`unreachable!` sites its library
+//! code still contains.
+//!
+//! Semantics (see [`crate::rules::Rule::R1`]):
+//! * a crate's current count **above** its baseline fails `--check`
+//!   (new panicking code was added);
+//! * a count **below** its baseline passes but prints a notice — run
+//!   `gp-lint --update-baseline` to lower the floor and lock in the
+//!   improvement;
+//! * a crate missing from the file has baseline **0** (new crates start
+//!   clean; gp-lint itself is pinned there).
+//!
+//! The file is a deliberately tiny TOML subset so the linter stays
+//! dependency-free: `#` comments, one `[R1]` table, and bare
+//! `crate-name = count` pairs (hyphens are legal in bare TOML keys).
+//! [`Baseline::render`] writes crates sorted by name so regeneration is
+//! byte-stable.
+
+/// Parsed baseline: per-crate R1 counts, sorted by crate name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(crate, allowed R1 count)`, sorted by crate name.
+    pub r1: Vec<(String, usize)>,
+}
+
+impl Baseline {
+    /// The ratcheted ceiling for `crate_name` (0 when absent).
+    pub fn get(&self, crate_name: &str) -> usize {
+        self.r1
+            .iter()
+            .find(|(c, _)| c == crate_name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Build a baseline from observed counts (zeros are written out too,
+    /// so a clean crate's cleanliness is itself ratcheted).
+    pub fn from_counts(counts: &[(String, usize)]) -> Self {
+        let mut r1: Vec<(String, usize)> = counts.to_vec();
+        r1.sort_by(|a, b| a.0.cmp(&b.0));
+        r1.dedup_by(|a, b| a.0 == b.0);
+        Baseline { r1 }
+    }
+
+    /// Parse the TOML subset. Unknown sections are rejected rather than
+    /// skipped — a typo like `[R2]` must not silently drop the ratchet.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut section: Option<String> = None;
+        let mut r1: Vec<(String, usize)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!(
+                        "baseline line {}: unterminated section header",
+                        lineno + 1
+                    ));
+                };
+                let name = name.trim();
+                if name != "R1" {
+                    return Err(format!(
+                        "baseline line {}: unknown section [{name}] (only [R1] is ratcheted)",
+                        lineno + 1
+                    ));
+                }
+                section = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "baseline line {}: expected `crate = count`",
+                    lineno + 1
+                ));
+            };
+            if section.as_deref() != Some("R1") {
+                return Err(format!(
+                    "baseline line {}: entry outside the [R1] section",
+                    lineno + 1
+                ));
+            }
+            let key = key.trim();
+            let ok_key = !key.is_empty()
+                && key
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+            if !ok_key {
+                return Err(format!(
+                    "baseline line {}: `{key}` is not a bare key",
+                    lineno + 1
+                ));
+            }
+            let count: usize = value.trim().parse().map_err(|_| {
+                format!(
+                    "baseline line {}: `{}` is not a count",
+                    lineno + 1,
+                    value.trim()
+                )
+            })?;
+            if r1.iter().any(|(c, _)| c == key) {
+                return Err(format!(
+                    "baseline line {}: duplicate crate `{key}`",
+                    lineno + 1
+                ));
+            }
+            r1.push((key.to_string(), count));
+        }
+        r1.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Baseline { r1 })
+    }
+
+    /// Byte-stable rendering (sorted crates, fixed header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# gp-lint R1 ratchet baseline — per-crate counts of unwrap/expect/\n\
+             # panic!/unreachable! in non-test library code. CI fails when a count\n\
+             # rises; run `gp-lint --update-baseline` after lowering one.\n\
+             \n\
+             [R1]\n",
+        );
+        let mut sorted = self.r1.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, count) in &sorted {
+            out.push_str(&format!("{name} = {count}\n"));
+        }
+        out
+    }
+}
+
+/// Outcome of comparing observed counts to the committed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct RatchetReport {
+    /// Crates whose count rose: `(crate, baseline, observed)` — errors.
+    pub regressed: Vec<(String, usize, usize)>,
+    /// Crates whose count fell: `(crate, baseline, observed)` — notices.
+    pub improved: Vec<(String, usize, usize)>,
+}
+
+impl RatchetReport {
+    /// Compare observed per-crate counts against `baseline`.
+    pub fn compare(baseline: &Baseline, observed: &[(String, usize)]) -> Self {
+        let mut rep = RatchetReport::default();
+        for (name, n) in observed {
+            let allowed = baseline.get(name);
+            if *n > allowed {
+                rep.regressed.push((name.clone(), allowed, *n));
+            } else if *n < allowed {
+                rep.improved.push((name.clone(), allowed, *n));
+            }
+        }
+        rep.regressed.sort();
+        rep.improved.sort();
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_is_stable() {
+        let b = Baseline::from_counts(&[
+            ("gp-core".into(), 12),
+            ("gp-lint".into(), 0),
+            ("gp-tensor".into(), 3),
+        ]);
+        let text = b.render();
+        let b2 = Baseline::parse(&text).unwrap();
+        assert_eq!(b, b2);
+        assert_eq!(text, b2.render(), "render is byte-stable");
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let text = "# header\n\n[R1]\n  gp-core = 4  # trailing note\n\ngp_x = 0\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.get("gp-core"), 4);
+        assert_eq!(b.get("gp_x"), 0);
+    }
+
+    #[test]
+    fn missing_crate_defaults_to_zero() {
+        let b = Baseline::parse("[R1]\ngp-core = 2\n").unwrap();
+        assert_eq!(b.get("gp-new-crate"), 0);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "[R2]\ngp-core = 1\n",              // unknown section
+            "gp-core = 1\n",                    // entry before any section
+            "[R1]\ngp core = 1\n",              // not a bare key
+            "[R1]\ngp-core = many\n",           // not a count
+            "[R1]\ngp-core = 1\ngp-core = 2\n", // duplicate
+            "[R1\ngp-core = 1\n",               // unterminated header
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn ratchet_classifies_rises_and_falls() {
+        let b = Baseline::parse("[R1]\na = 5\nb = 2\n").unwrap();
+        let rep = RatchetReport::compare(&b, &[("a".into(), 7), ("b".into(), 1), ("c".into(), 0)]);
+        assert_eq!(rep.regressed, vec![("a".into(), 5, 7)]);
+        assert_eq!(rep.improved, vec![("b".into(), 2, 1)]);
+    }
+
+    #[test]
+    fn new_crate_with_sites_regresses_against_zero() {
+        let b = Baseline::default();
+        let rep = RatchetReport::compare(&b, &[("fresh".into(), 1)]);
+        assert_eq!(rep.regressed, vec![("fresh".into(), 0, 1)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! **gp-lint** — GraphPrompter's zero-dependency determinism &
+//! robustness linter.
+//!
+//! The workspace promises bit-identical results across runs and thread
+//! counts (prompt scores Eq. 7, class votes Eq. 8, `WorkerPool`
+//! fixed-order reduction). That promise dies quietly: one
+//! `HashMap::iter()` feeding a float accumulation, one
+//! `partial_cmp(..).unwrap_or(Equal)` comparator, one `thread_rng()`,
+//! and runs stop reproducing with no test failing. `gp-lint` walks
+//! every `.rs` file with a hand-rolled token scanner (no `syn` — the
+//! build container has no network, so the linter depends on nothing)
+//! and enforces the invariants mechanically; see [`rules`] for the
+//! rule-by-rule rationale and [`baseline`] for the R1 ratchet.
+//!
+//! Entry points:
+//! * [`run_cli`] — what `gp-lint` (and `gp lint`) call: parse args,
+//!   lint, return `(report, exit_code)`;
+//! * [`runner::run`] — programmatic access to the full [`runner::Outcome`];
+//! * [`rules::lint_source`] — lint one in-memory file (what the
+//!   fixture-based integration tests use);
+//! * [`scanner::scan`] — the raw strip/regions/pragmas pass.
+
+pub mod baseline;
+pub mod rules;
+pub mod runner;
+pub mod scanner;
+
+pub use baseline::{Baseline, RatchetReport};
+pub use rules::{classify, lint_source, FileKind, Rule, Violation};
+pub use runner::{run, run_cli, Options, Outcome, BASELINE_FILE};
+pub use scanner::{scan, Scanned};

@@ -1,0 +1,14 @@
+//! `gp-lint` binary: thin shell over [`gp_lint::run_cli`]. All logic —
+//! and all testability — lives in the library; the binary only prints
+//! and sets the exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (report, code) = gp_lint::run_cli(&args);
+    if code == 0 {
+        print!("{report}");
+    } else {
+        eprint!("{report}");
+    }
+    std::process::exit(code);
+}

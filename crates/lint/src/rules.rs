@@ -1,0 +1,987 @@
+//! The determinism & robustness rules gp-lint enforces.
+//!
+//! GraphPrompter's pipeline is specified to be **bit-identical across
+//! runs and thread counts**: prompt scores (Eq. 7) and class votes
+//! (Eq. 8) are ranked with total comparators, the `WorkerPool` reduces
+//! partial results in a fixed order, and every cache dump is sorted
+//! before it can feed a downstream computation. Each rule below guards
+//! one way that property has historically been lost in this codebase:
+//!
+//! * **D1 — no hash-order iteration in result-affecting crates.**
+//!   `std::collections::HashMap`/`HashSet` use a per-instance random
+//!   hasher seed, so `.iter()`/`.keys()`/`.values()`/`.drain()` (and
+//!   `for .. in &map`) yield a different order every process. If that
+//!   order reaches an accumulation (e.g. the augmenter's label-embedding
+//!   sums) the floating-point result changes run to run even though the
+//!   math is "the same". Result-affecting crates
+//!   ([`RESULT_AFFECTING_CRATES`]) must iterate sorted snapshots
+//!   (`AnyCache::sorted_iter`, `BTreeMap`) or carry a
+//!   `// gp-lint: allow(D1) — <why order cannot escape>` pragma.
+//!
+//! * **D2 — no `partial_cmp` in float comparators.** `partial_cmp`
+//!   returns `None` for NaN, which `sort_by(|a, b|
+//!   a.partial_cmp(b).unwrap())` turns into a panic and
+//!   `unwrap_or(Ordering::Equal)` turns into an *order-dependent* sort
+//!   (NaN placement then depends on the input permutation — exactly
+//!   what Eq. 7/8 ranking must not do). Use `f32::total_cmp` or the
+//!   canonicalizing wrappers `gp_tensor::rank_asc`/`rank_desc`, which
+//!   are bit-identical to `partial_cmp` on NaN-free data and rank NaN
+//!   last otherwise.
+//!
+//! * **D3 — no unseeded randomness.** `thread_rng()`, `from_entropy()`
+//!   and `rand::random()` draw from OS entropy; every run differs.
+//!   All stochastic components take an explicit `u64` seed. Tests and
+//!   benches are exempt (they already pin seeds by construction or
+//!   measure wall time, not results).
+//!
+//! * **D4 — no wall-clock in result-affecting crates.**
+//!   `Instant::now()`/`SystemTime::now()` in library code invites
+//!   time-dependent behavior (timeouts, time-keyed caching). Timing
+//!   belongs in `gp-obs`, `gp-bench` and binaries; the only sanctioned
+//!   library uses are diagnostics fields that never feed a prediction,
+//!   each carrying an `allow(D4)` pragma saying so.
+//!
+//! * **R1 — no `unwrap`/`expect`/`panic!`/`unreachable!` in library
+//!   code.** Enforced as a **ratchet**, not an absolute ban: the
+//!   committed `lint-baseline.toml` records today's per-crate counts;
+//!   CI fails when a count rises and `--update-baseline` rewrites the
+//!   file when counts fall. The floor only moves down.
+//!
+//! * **O1 — no `println!`/`eprintln!` in library crates.** Libraries
+//!   report through return values and `gp-obs`; stdout belongs to the
+//!   binaries.
+//!
+//! * **P1 — malformed suppression pragma.** `// gp-lint: allow(<rule>)
+//!   — <reason>` requires a known rule id and a non-empty reason; a
+//!   pragma that cannot be verified is itself an error (never silently
+//!   ignored).
+
+use crate::scanner::{scan, Scanned};
+
+/// Crates whose code can change reported numbers: everything upstream
+/// of an `EpisodeResult`. `gp-obs`, `gp-bench` and `gp-eval` only
+/// observe/aggregate and are exempt from D1/D4.
+pub const RESULT_AFFECTING_CRATES: &[&str] = &[
+    "gp-core",
+    "gp-tensor",
+    "gp-nn",
+    "gp-graph",
+    "gp-datasets",
+    "gp-baselines",
+];
+
+/// `(crate, module-path prefix)` pairs where D1 is allowed wholesale.
+/// Deliberately empty: every real exception is documented at its site
+/// with an inline `allow(D1)` pragma, which keeps the reason next to
+/// the code it excuses. The mechanism stays so a future module whose
+/// *entire purpose* is order-free (e.g. a counting sketch) can opt out
+/// without a pragma on every line.
+pub const D1_ALLOWED_MODULES: &[(&str, &str)] = &[];
+
+/// Rule identifiers, in report order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Hash-order iteration in a result-affecting crate.
+    D1,
+    /// `partial_cmp` in a sort/max/min comparator or bare-unwrapped.
+    D2,
+    /// Unseeded randomness outside tests/benches.
+    D3,
+    /// Wall-clock reads in a result-affecting library crate.
+    D4,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!` in library code (ratcheted).
+    R1,
+    /// `println!`-family output from a library crate.
+    O1,
+    /// Malformed or unknown suppression pragma.
+    P1,
+}
+
+impl Rule {
+    /// Stable id used in reports and pragmas.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::R1 => "R1",
+            Rule::O1 => "O1",
+            Rule::P1 => "P1",
+        }
+    }
+
+    /// Human category shown before the id, e.g. `determinism[D1]`.
+    pub fn category(self) -> &'static str {
+        match self {
+            Rule::D1 | Rule::D2 | Rule::D3 | Rule::D4 => "determinism",
+            Rule::R1 => "robustness",
+            Rule::O1 => "hygiene",
+            Rule::P1 => "pragma",
+        }
+    }
+
+    /// All rules a pragma may name.
+    pub fn suppressible() -> &'static [&'static str] {
+        &["D1", "D2", "D3", "D4", "R1", "O1"]
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "no HashMap/HashSet iteration in result-affecting crates",
+            Rule::D2 => "no partial_cmp in float comparators; use total_cmp / rank_asc",
+            Rule::D3 => "no unseeded randomness (thread_rng/from_entropy/rand::random)",
+            Rule::D4 => "no Instant::now/SystemTime::now in result-affecting crates",
+            Rule::R1 => "no unwrap/expect/panic!/unreachable! in library code (ratcheted)",
+            Rule::O1 => "no println!/eprintln! in library crates",
+            Rule::P1 => "suppression pragmas must name known rules and give a reason",
+        }
+    }
+}
+
+/// How a file participates in the build, derived from its path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code — all rules apply.
+    Lib,
+    /// Binary target (`src/main.rs`, `src/bin/*`): D4/R1/O1 waived.
+    Bin,
+    /// Tests, benches, examples: only P1 applies.
+    Harness,
+}
+
+/// Classify a repo-relative path.
+pub fn classify(path: &str) -> FileKind {
+    let p = path.replace('\\', "/");
+    if p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.starts_with("tests/")
+        || p.starts_with("benches/")
+        || p.starts_with("examples/")
+    {
+        return FileKind::Harness;
+    }
+    if p.contains("/src/bin/")
+        || p.starts_with("src/bin/")
+        || p.ends_with("/src/main.rs")
+        || p == "src/main.rs"
+    {
+        return FileKind::Bin;
+    }
+    FileKind::Lib
+}
+
+/// One finding at a source position.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What happened and what to do instead.
+    pub message: String,
+}
+
+impl Violation {
+    /// Stable report line: `file:line: category[ID] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}] {}",
+            self.file,
+            self.line,
+            self.rule.category(),
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Everything the rules found in one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// Hard violations (D1–D4, O1, P1) — each one fails `--check`.
+    pub violations: Vec<Violation>,
+    /// R1 sites, reported only when the crate exceeds its baseline.
+    pub r1_sites: Vec<Violation>,
+    /// Sites silenced by a verified pragma (for `--json` stats).
+    pub suppressed: usize,
+}
+
+/// Lint one file's source. `path` is used only for labeling; the
+/// walker (see [`crate::runner`]) decides which paths get here.
+pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -> FileReport {
+    let sc = scan(source);
+    let mut rep = FileReport::default();
+
+    // P1 first — a broken pragma must never silently un-suppress.
+    for m in &sc.malformed {
+        rep.violations.push(Violation {
+            file: path.to_string(),
+            line: m.line,
+            rule: Rule::P1,
+            message: m.why.clone(),
+        });
+    }
+    for p in &sc.pragmas {
+        for r in &p.rules {
+            if !Rule::suppressible().contains(&r.as_str()) {
+                rep.violations.push(Violation {
+                    file: path.to_string(),
+                    line: p.line,
+                    rule: Rule::P1,
+                    message: format!("pragma names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+    if kind == FileKind::Harness {
+        // Test/bench harnesses pin their own seeds and may panic freely;
+        // only pragma hygiene applies there.
+        return rep;
+    }
+
+    let chars: Vec<char> = sc.code.chars().collect();
+    let lines = line_index(&chars);
+    let words = collect_words(&chars);
+    let result_affecting = RESULT_AFFECTING_CRATES.contains(&crate_name);
+
+    let push = |rep: &mut FileReport, rule: Rule, line: usize, msg: String| {
+        if sc.is_test_line(line) {
+            return;
+        }
+        if is_suppressed(&sc, rule, line) {
+            rep.suppressed += 1;
+            return;
+        }
+        let v = Violation {
+            file: path.to_string(),
+            line,
+            rule,
+            message: msg,
+        };
+        if rule == Rule::R1 {
+            rep.r1_sites.push(v);
+        } else {
+            rep.violations.push(v);
+        }
+    };
+
+    if result_affecting && !d1_module_allowed(crate_name, &sc, &lines) {
+        for (line, recv) in d1_hits(&chars, &lines, &words) {
+            if d1_line_allowed(crate_name, &sc, line) {
+                continue;
+            }
+            push(
+                &mut rep,
+                Rule::D1,
+                line,
+                format!(
+                    "iteration over hash-ordered `{recv}` — order varies per process; \
+                     sort first (AnyCache::sorted_iter, BTreeMap) or justify with \
+                     `// gp-lint: allow(D1) — <reason>`"
+                ),
+            );
+        }
+    }
+    for line in d2_hits(&chars, &lines, &words) {
+        push(
+            &mut rep,
+            Rule::D2,
+            line,
+            "partial_cmp in a comparator (or bare-unwrapped): NaN makes the order \
+             input-dependent or panics; use f32::total_cmp or gp_tensor::rank_asc/rank_desc"
+                .to_string(),
+        );
+    }
+    for (line, tok) in d3_hits(&chars, &lines, &words) {
+        push(
+            &mut rep,
+            Rule::D3,
+            line,
+            format!("`{tok}` draws OS entropy — take an explicit u64 seed instead"),
+        );
+    }
+    if result_affecting && kind == FileKind::Lib {
+        for (line, tok) in d4_hits(&chars, &lines, &words) {
+            push(
+                &mut rep,
+                Rule::D4,
+                line,
+                format!(
+                    "`{tok}` in a result-affecting crate — move timing to gp-obs/gp-bench \
+                     or justify with `// gp-lint: allow(D4) — <reason>`"
+                ),
+            );
+        }
+    }
+    if kind == FileKind::Lib {
+        for (line, tok) in r1_hits(&chars, &lines, &words) {
+            push(
+                &mut rep,
+                Rule::R1,
+                line,
+                format!("`{tok}` in library code — return a Result or restructure"),
+            );
+        }
+        for (line, tok) in o1_hits(&chars, &lines, &words) {
+            push(
+                &mut rep,
+                Rule::O1,
+                line,
+                format!("`{tok}` from a library crate — report through gp-obs or return values"),
+            );
+        }
+    }
+    // Per-file stability: detectors run rule-by-rule, so line order
+    // needs restoring before anything downstream sees the report.
+    rep.violations
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    rep.r1_sites.sort_by_key(|v| v.line);
+    rep
+}
+
+fn is_suppressed(sc: &Scanned, rule: Rule, line: usize) -> bool {
+    sc.suppressed_lines(rule.id()).contains(&line)
+}
+
+/// Whole-module D1 allowlist: true when *every* line's module path in
+/// this file starts with an allowlisted prefix for this crate. (With
+/// the table empty this is always false; kept for the documented
+/// opt-out mechanism.)
+fn d1_module_allowed(crate_name: &str, sc: &Scanned, _lines: &[usize]) -> bool {
+    let prefixes: Vec<&str> = D1_ALLOWED_MODULES
+        .iter()
+        .filter(|(c, _)| *c == crate_name)
+        .map(|(_, m)| *m)
+        .collect();
+    if prefixes.is_empty() {
+        return false;
+    }
+    sc.module_path
+        .iter()
+        .all(|p| prefixes.iter().any(|pre| p.starts_with(pre)))
+}
+
+/// Per-line D1 allowlist check against the module path of `line`.
+fn d1_line_allowed(crate_name: &str, sc: &Scanned, line: usize) -> bool {
+    let Some(path) = sc.module_path.get(line.saturating_sub(1)) else {
+        return false;
+    };
+    D1_ALLOWED_MODULES
+        .iter()
+        .any(|(c, m)| *c == crate_name && path.starts_with(m))
+}
+
+// ---------------------------------------------------------------------------
+// Lexical helpers over stripped code.
+
+/// Per-char 1-based line numbers.
+fn line_index(chars: &[char]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(chars.len());
+    let mut line = 1usize;
+    for &c in chars {
+        out.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+    out
+}
+
+/// `(start, end)` index ranges of identifier-ish words.
+fn collect_words(chars: &[char]) -> Vec<(usize, usize)> {
+    let mut words = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i].is_alphanumeric() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            words.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    words
+}
+
+fn word_at<'a>(chars: &'a [char], w: (usize, usize)) -> String {
+    chars[w.0..w.1].iter().collect::<String>()
+}
+
+fn line_of(lines: &[usize], idx: usize) -> usize {
+    lines.get(idx).copied().unwrap_or(1)
+}
+
+/// Next non-whitespace char at or after `i`.
+fn next_nonws(chars: &[char], mut i: usize) -> Option<(usize, char)> {
+    while i < chars.len() {
+        if !chars[i].is_whitespace() {
+            return Some((i, chars[i]));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Previous non-whitespace char strictly before `i`.
+fn prev_nonws(chars: &[char], i: usize) -> Option<(usize, char)> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        if !chars[j].is_whitespace() {
+            return Some((j, chars[j]));
+        }
+    }
+    None
+}
+
+/// Identifier ending at (exclusive) `end`, scanned backward.
+fn ident_before(chars: &[char], end: usize) -> Option<String> {
+    let mut start = end;
+    while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
+        start -= 1;
+    }
+    if start == end {
+        None
+    } else {
+        Some(chars[start..end].iter().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D1 — hash-order iteration.
+
+const D1_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers the file binds to a HashMap/HashSet: `name: HashMap<…>`
+/// (fields, params, ascriptions, incl. `&`/`&mut` borrows) and
+/// `name = HashMap::…` (constructor bindings). Deliberately
+/// conservative — a false positive costs one documented pragma; a
+/// false negative costs silent nondeterminism.
+fn hash_bound_idents(chars: &[char], words: &[(usize, usize)]) -> Vec<String> {
+    // Non-whitespace separator chars between two adjacent words.
+    let sep = |a: (usize, usize), b: (usize, usize)| -> String {
+        chars[a.1..b.0]
+            .iter()
+            .filter(|c| !c.is_whitespace())
+            .collect()
+    };
+    let mut bound = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let name = word_at(chars, w);
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        // Step back over `seg::` path qualifiers (`std::collections::`).
+        let mut head = wi;
+        while head > 0 && sep(words[head - 1], words[head]) == "::" {
+            head -= 1;
+        }
+        if head == 0 {
+            continue;
+        }
+        // `m: Map`, `m: &Map`, `m: &mut Map`, `m = Map::new()`.
+        let mut prev = head - 1;
+        let mut s = sep(words[prev], words[head]);
+        if word_at(chars, words[prev]) == "mut" {
+            if prev == 0 {
+                continue;
+            }
+            s = format!("{}{}", sep(words[prev - 1], words[prev]), s);
+            prev -= 1;
+        }
+        let shape_ok = (s.starts_with(':') && !s.starts_with("::"))
+            || (s.starts_with('=') && !s.starts_with("=="));
+        if !shape_ok {
+            continue;
+        }
+        let ident = word_at(chars, words[prev]);
+        if ident == "let" || ident == "mut" || ident.is_empty() {
+            continue;
+        }
+        if !bound.contains(&ident) {
+            bound.push(ident);
+        }
+    }
+    bound
+}
+
+/// `(line, receiver)` for each hash-ordered iteration site.
+fn d1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    let bound = hash_bound_idents(chars, words);
+    let mut hits = Vec::new();
+    if bound.is_empty() {
+        return d1_for_loop_hits(chars, lines, words, &bound);
+    }
+    for &w in words {
+        let name = word_at(chars, w);
+        if !D1_METHODS.contains(&name.as_str()) {
+            continue;
+        }
+        // Must be a method call: `.name(`.
+        let Some((_, prev)) = prev_nonws(chars, w.0) else {
+            continue;
+        };
+        if prev != '.' {
+            continue;
+        }
+        if next_nonws(chars, w.1).map(|(_, c)| c) != Some('(') {
+            continue;
+        }
+        // Receiver identifier just before the dot.
+        let Some((dot, _)) = prev_nonws(chars, w.0) else {
+            continue;
+        };
+        let Some(recv) = ident_before(chars, dot).or_else(|| {
+            prev_nonws(chars, dot).and_then(|(e, c)| {
+                if c.is_alphanumeric() || c == '_' {
+                    ident_before(chars, e + 1)
+                } else {
+                    None
+                }
+            })
+        }) else {
+            continue;
+        };
+        if bound.contains(&recv) {
+            hits.push((line_of(lines, w.0), format!("{recv}.{name}()")));
+        }
+    }
+    hits.extend(d1_for_loop_hits(chars, lines, words, &bound));
+    hits
+}
+
+/// `for pat in [&[mut ]]path.ident {` where `ident` is hash-bound, or
+/// the collection literally is `HashMap`/`HashSet` (e.g. a fresh temp).
+fn d1_for_loop_hits(
+    chars: &[char],
+    lines: &[usize],
+    words: &[(usize, usize)],
+    bound: &[String],
+) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    let mut wi = 0usize;
+    while wi < words.len() {
+        if word_at(chars, words[wi]) != "for" {
+            wi += 1;
+            continue;
+        }
+        // Find the matching `in` within the next few words (patterns can
+        // be tuples: `for (k, v) in`).
+        let mut ji = wi + 1;
+        let mut found_in = None;
+        while ji < words.len() && ji < wi + 12 {
+            if word_at(chars, words[ji]) == "in" {
+                found_in = Some(ji);
+                break;
+            }
+            ji += 1;
+        }
+        let Some(in_i) = found_in else {
+            wi += 1;
+            continue;
+        };
+        // The iterated expression: words after `in` up to `{`. If it
+        // contains a call `(`, the method rule already covers it.
+        let expr_start = words[in_i].1;
+        let mut k = expr_start;
+        let mut expr = String::new();
+        while k < chars.len() && chars[k] != '{' && chars[k] != '\n' && chars[k] != ';' {
+            expr.push(chars[k]);
+            k += 1;
+        }
+        if chars.get(k) == Some(&'{') && !expr.contains('(') {
+            let last = expr
+                .trim()
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .split('.')
+                .next_back()
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            if !last.is_empty() && bound.iter().any(|b| *b == last) {
+                hits.push((line_of(lines, expr_start), format!("for .. in {last}")));
+            }
+        }
+        wi = in_i + 1;
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// D2 — partial_cmp in comparators.
+
+const D2_SORTERS: &[&str] = &[
+    "sort_by(",
+    "sort_unstable_by(",
+    "max_by(",
+    "min_by(",
+    "binary_search_by(",
+];
+
+fn d2_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for &w in words {
+        if word_at(chars, w) != "partial_cmp" {
+            continue;
+        }
+        let line = line_of(lines, w.0);
+        // (a) inside a sorting comparator: a sorter call opens within a
+        // bounded backward window (closures are short; 250 chars spans
+        // any realistic comparator header). The window stops at the
+        // nearest statement/block boundary so a standalone partial_cmp
+        // that merely *follows* an unrelated sort is not implicated.
+        let mut back_start = w.0.saturating_sub(250);
+        for j in (back_start..w.0).rev() {
+            if matches!(chars[j], ';' | '{' | '}') {
+                back_start = j + 1;
+                break;
+            }
+        }
+        let window: String = chars[back_start..w.0].iter().collect();
+        if D2_SORTERS.iter().any(|s| window.contains(s)) {
+            hits.push(line);
+            continue;
+        }
+        // (b) bare `.partial_cmp(..).unwrap()/expect()/unwrap_or(..)`:
+        // skip the balanced argument list, then look at the next method.
+        let Some((open, '(')) = next_nonws(chars, w.1) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < chars.len() {
+            match chars[j] {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= chars.len() {
+            continue;
+        }
+        if let Some((dot, '.')) = next_nonws(chars, j + 1) {
+            let after: String = chars[dot + 1..(dot + 12).min(chars.len())].iter().collect();
+            if after.starts_with("unwrap") || after.starts_with("expect") {
+                hits.push(line);
+            }
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// D3 — unseeded randomness.
+
+fn d3_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let name = word_at(chars, w);
+        match name.as_str() {
+            "thread_rng" | "from_entropy" => {
+                hits.push((line_of(lines, w.0), format!("{name}()")));
+            }
+            "random" => {
+                // Only `rand::random` — a method called `random` on a
+                // seeded generator is fine.
+                if wi >= 1
+                    && word_at(chars, words[wi - 1]) == "rand"
+                    && chars[words[wi - 1].1..w.0]
+                        .iter()
+                        .collect::<String>()
+                        .trim()
+                        == "::"
+                {
+                    hits.push((line_of(lines, w.0), "rand::random()".to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// D4 — wall-clock reads.
+
+fn d4_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let name = word_at(chars, w);
+        if name != "Instant" && name != "SystemTime" {
+            continue;
+        }
+        let Some(&next) = words.get(wi + 1) else {
+            continue;
+        };
+        let sep: String = chars[w.1..next.0]
+            .iter()
+            .collect::<String>()
+            .trim()
+            .to_string();
+        if sep == "::" && word_at(chars, next) == "now" {
+            hits.push((line_of(lines, w.0), format!("{name}::now()")));
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// R1 — panicking constructs in library code.
+
+fn r1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for &w in words {
+        let name = word_at(chars, w);
+        match name.as_str() {
+            "unwrap" | "expect" => {
+                // Method-call shape: `.name(` — excludes unwrap_or,
+                // expect_err etc. by word boundary, and bare fn names.
+                let is_method = prev_nonws(chars, w.0).map(|(_, c)| c) == Some('.');
+                let called = next_nonws(chars, w.1).map(|(_, c)| c) == Some('(');
+                if is_method && called {
+                    hits.push((line_of(lines, w.0), format!(".{name}()")));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                if next_nonws(chars, w.1).map(|(_, c)| c) == Some('!') {
+                    // `#[should_panic]` never gets here (word boundary),
+                    // but `debug_assert!`-style macros with other names
+                    // are intentionally not counted.
+                    hits.push((line_of(lines, w.0), format!("{name}!")));
+                }
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
+// O1 — stdout/stderr from libraries.
+
+fn o1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for &w in words {
+        let name = word_at(chars, w);
+        if matches!(name.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && next_nonws(chars, w.1).map(|(_, c)| c) == Some('!')
+        {
+            hits.push((line_of(lines, w.0), format!("{name}!")));
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> FileReport {
+        lint_source("x/src/lib.rs", "gp-core", FileKind::Lib, src)
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/selector.rs"), FileKind::Lib);
+        assert_eq!(classify("src/bin/gp.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("tests/pipeline.rs"), FileKind::Harness);
+        assert_eq!(
+            classify("crates/core/benches/infer_bench.rs"),
+            FileKind::Harness
+        );
+    }
+
+    #[test]
+    fn d1_flags_bound_map_iteration() {
+        let src = "struct C { entries: std::collections::HashMap<u64, u32> }\n\
+                   impl C { fn f(&self) { for x in self.entries.iter() { use_(x); } } }\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert_eq!(rep.violations[0].rule, Rule::D1);
+        assert_eq!(rep.violations[0].line, 2);
+    }
+
+    #[test]
+    fn d1_flags_constructor_binding_and_for_loop() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2);\n\
+                   for (k, v) in &m { sink(k, v); } }\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert_eq!(rep.violations[0].rule, Rule::D1);
+    }
+
+    #[test]
+    fn d1_ignores_vec_iteration_and_other_crates() {
+        let src = "fn f(v: &Vec<u32>, m: &HashMap<u32, u32>) { for x in v.iter() { m.get(x); } }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        let rep2 = lint_source(
+            "crates/obs/src/lib.rs",
+            "gp-obs",
+            FileKind::Lib,
+            "fn f(m: &HashMap<u32, u32>) { for x in m.keys() { sink(x); } }",
+        );
+        assert!(rep2.violations.is_empty(), "gp-obs is not result-affecting");
+    }
+
+    #[test]
+    fn d1_pragma_suppresses_with_reason() {
+        let src = "fn f(m: &HashMap<u32, u32>) {\n\
+                   // gp-lint: allow(D1) — membership only, order never escapes\n\
+                   for x in m.keys() { sink(x); } }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert_eq!(rep.suppressed, 1);
+    }
+
+    #[test]
+    fn d2_flags_partial_cmp_in_sort_and_bare_unwrap() {
+        let src = "fn f(v: &mut Vec<f32>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, Rule::D2);
+
+        let bare = "fn g(a: f32, b: f32) -> std::cmp::Ordering { a.partial_cmp(&b).unwrap() }\n";
+        let rep2 = lint_lib(bare);
+        assert_eq!(rep2.violations.len(), 1);
+        assert_eq!(rep2.violations[0].rule, Rule::D2);
+    }
+
+    #[test]
+    fn d2_allows_total_cmp_and_standalone_partial_cmp() {
+        let src = "fn f(v: &mut Vec<f32>) { v.sort_by(|a, b| a.total_cmp(b)); }\n\
+                   fn g(a: f32, b: f32) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn d3_flags_entropy_sources_everywhere_but_harness() {
+        let src = "fn f() { let mut r = thread_rng(); let x: f32 = rand::random(); let s = StdRng::from_entropy(); }\n";
+        let rep = lint_source("crates/obs/src/x.rs", "gp-obs", FileKind::Lib, src);
+        assert_eq!(rep.violations.len(), 3, "{:?}", rep.violations);
+        assert!(rep.violations.iter().all(|v| v.rule == Rule::D3));
+        let harness = lint_source("crates/core/tests/t.rs", "gp-core", FileKind::Harness, src);
+        assert!(harness.violations.is_empty());
+    }
+
+    #[test]
+    fn d3_allows_seeded_random_method() {
+        let src = "fn f(rng: &mut StdRng) { let x: f32 = rng.random(); }\n";
+        assert!(lint_lib(src).violations.is_empty());
+    }
+
+    #[test]
+    fn d4_flags_wall_clock_in_result_affecting_lib_only() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 2);
+        assert!(rep.violations.iter().all(|v| v.rule == Rule::D4));
+        let obs = lint_source("crates/obs/src/l.rs", "gp-obs", FileKind::Lib, src);
+        assert!(obs.violations.is_empty(), "gp-obs may read the clock");
+        let bin = lint_source("src/bin/gp.rs", "graphprompter", FileKind::Bin, src);
+        assert!(bin.violations.is_empty(), "binaries may read the clock");
+    }
+
+    #[test]
+    fn r1_counts_panicking_constructs_with_word_boundaries() {
+        let src = "fn f(o: Option<u32>) -> u32 {\n\
+                   let a = o.unwrap();\n\
+                   let b = o.expect(\"msg\");\n\
+                   let c = o.unwrap_or(3);\n\
+                   let d = o.unwrap_or_else(|| 4);\n\
+                   if a > b { panic!(\"boom\") } else { unreachable!() }\n\
+                   }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.r1_sites.len(), 4, "{:?}", rep.r1_sites);
+    }
+
+    #[test]
+    fn r1_ignores_test_code_and_bins() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }\n";
+        assert!(lint_lib(src).r1_sites.is_empty());
+        let bin = lint_source(
+            "src/main.rs",
+            "graphprompter",
+            FileKind::Bin,
+            "fn main() { std::fs::read(\"x\").unwrap(); }",
+        );
+        assert!(bin.r1_sites.is_empty());
+    }
+
+    #[test]
+    fn o1_flags_println_in_lib_not_bin() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 2);
+        assert!(rep.violations.iter().all(|v| v.rule == Rule::O1));
+        let bin = lint_source("src/bin/gp.rs", "graphprompter", FileKind::Bin, src);
+        assert!(bin.violations.is_empty());
+    }
+
+    #[test]
+    fn p1_fires_for_missing_reason_and_unknown_rule() {
+        let src = "// gp-lint: allow(D1)\nfn f() {}\n// gp-lint: allow(Z9) — whatever\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 2, "{:?}", rep.violations);
+        assert!(rep.violations.iter().all(|v| v.rule == Rule::P1));
+    }
+
+    #[test]
+    fn p1_applies_even_in_harness_files() {
+        let src = "// gp-lint: allow(D1)\nfn t() {}\n";
+        let rep = lint_source("tests/x.rs", "graphprompter", FileKind::Harness, src);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, Rule::P1);
+    }
+
+    #[test]
+    fn rule_mentions_in_comments_and_strings_do_not_fire() {
+        let src = "// thread_rng() and partial_cmp and Instant::now()\n\
+                   fn f() -> &'static str { \"println! unwrap() HashMap .iter()\" }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert!(rep.r1_sites.is_empty());
+    }
+
+    #[test]
+    fn render_is_stable_format() {
+        let v = Violation {
+            file: "crates/core/src/selector.rs".into(),
+            line: 42,
+            rule: Rule::D2,
+            message: "msg".into(),
+        };
+        assert_eq!(
+            v.render(),
+            "crates/core/src/selector.rs:42: determinism[D2] msg"
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! Workspace walker, aggregation, ratchet enforcement and the CLI.
+//!
+//! Library-side everything is pure: [`run`] returns an [`Outcome`] and
+//! [`run_cli`] returns `(report_text, exit_code)` — printing is the
+//! binary's job, so gp-lint passes its own O1 rule ("no `println!` in
+//! library crates") and its own R1 ratchet (zero panicking constructs:
+//! every fallible step routes through `Result<_, String>`).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{Baseline, RatchetReport};
+use crate::rules::{classify, lint_source, FileKind, Rule, Violation};
+
+/// Default name of the committed ratchet file, at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Workspace root (autodetected from cwd when not given).
+    pub root: PathBuf,
+    /// Emit the report as JSON instead of text.
+    pub json: bool,
+    /// Rewrite the baseline file with the observed R1 counts.
+    pub update_baseline: bool,
+    /// Path to the baseline file (default `<root>/lint-baseline.toml`).
+    pub baseline: PathBuf,
+}
+
+/// Everything one lint run produced.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Hard violations (D1–D4, O1, P1 plus over-baseline R1), sorted by
+    /// `(file, line, rule)` so output is byte-stable across runs.
+    pub violations: Vec<Violation>,
+    /// Per-crate observed R1 counts (library code, unsuppressed), sorted.
+    pub r1_counts: Vec<(String, usize)>,
+    /// Ratchet comparison against the committed baseline.
+    pub ratchet: RatchetReport,
+    /// Total sites silenced by verified pragmas.
+    pub suppressed: usize,
+    /// Number of `.rs` files linted.
+    pub files_scanned: usize,
+    /// True when the baseline file was rewritten this run.
+    pub baseline_updated: bool,
+}
+
+impl Outcome {
+    /// Did the run pass (no hard violations, no ratchet regressions)?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint every `.rs` file under `opts.root` (skipping `target/`, dot
+/// directories and the linter's own fixture corpus) and enforce the
+/// R1 ratchet against `opts.baseline`.
+pub fn run(opts: &Options) -> Result<Outcome, String> {
+    let files = collect_rs_files(&opts.root)?;
+    let mut crate_names: CrateNameCache = HashMap::new();
+    let mut out = Outcome::default();
+    let mut r1_by_crate: Vec<(String, usize)> = Vec::new();
+    let mut r1_sites_by_crate: Vec<(String, Vec<Violation>)> = Vec::new();
+
+    for path in &files {
+        let rel = rel_label(&opts.root, path);
+        let crate_name = crate_name_for(&mut crate_names, &opts.root, path)?;
+        let kind = classify(&rel);
+        let source =
+            fs::read_to_string(path).map_err(|e| format!("gp-lint: cannot read {rel}: {e}"))?;
+        let rep = lint_source(&rel, &crate_name, kind, &source);
+        out.files_scanned += 1;
+        out.suppressed += rep.suppressed;
+        out.violations.extend(rep.violations);
+        if !rep.r1_sites.is_empty() {
+            bump(&mut r1_by_crate, &crate_name, rep.r1_sites.len());
+            match r1_sites_by_crate.iter_mut().find(|(c, _)| c == &crate_name) {
+                Some((_, sites)) => sites.extend(rep.r1_sites),
+                None => r1_sites_by_crate.push((crate_name.clone(), rep.r1_sites)),
+            }
+        } else if kind == FileKind::Lib {
+            // Record the crate with zero sites so clean crates appear in
+            // the baseline and stay ratcheted at zero.
+            bump(&mut r1_by_crate, &crate_name, 0);
+        }
+    }
+    r1_by_crate.sort_by(|a, b| a.0.cmp(&b.0));
+    out.r1_counts = r1_by_crate;
+
+    // Ratchet: load the committed baseline (absent file = empty = all
+    // zeros, so a fresh workspace must start clean or commit a baseline).
+    let baseline = match fs::read_to_string(&opts.baseline) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => {
+            return Err(format!(
+                "gp-lint: cannot read {}: {e}",
+                opts.baseline.display()
+            ))
+        }
+    };
+    out.ratchet = RatchetReport::compare(&baseline, &out.r1_counts);
+
+    if opts.update_baseline {
+        let next = Baseline::from_counts(&out.r1_counts);
+        fs::write(&opts.baseline, next.render())
+            .map_err(|e| format!("gp-lint: cannot write {}: {e}", opts.baseline.display()))?;
+        out.baseline_updated = true;
+    } else {
+        // Regressions become hard violations: the per-crate summary plus
+        // every site in the regressed crate (the new one is among them).
+        let baseline_label = rel_label(&opts.root, &opts.baseline);
+        for (name, allowed, observed) in &out.ratchet.regressed {
+            out.violations.push(Violation {
+                file: baseline_label.clone(),
+                line: 1,
+                rule: Rule::R1,
+                message: format!(
+                    "crate {name} has {observed} panicking sites but the ratchet allows \
+                     {allowed} — remove the new unwrap/expect/panic (all {name} sites listed)"
+                ),
+            });
+            if let Some((_, sites)) = r1_sites_by_crate.iter().find(|(c, _)| c == name) {
+                out.violations.extend(sites.iter().cloned());
+            }
+        }
+    }
+
+    out.violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+type CrateNameCache = HashMap<PathBuf, String>;
+
+fn bump(counts: &mut Vec<(String, usize)>, name: &str, by: usize) {
+    match counts.iter_mut().find(|(c, _)| c == name) {
+        Some((_, n)) => *n += by,
+        None => counts.push((name.to_string(), by)),
+    }
+}
+
+/// Repo-relative, `/`-separated label for reports.
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// All `.rs` files under `root`, deterministically sorted. Skips
+/// `target/`, dot-directories and `crates/lint/tests/fixtures` (the
+/// deliberately-dirty corpus the integration tests lint by hand).
+fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let rd = fs::read_dir(&dir)
+            .map_err(|e| format!("gp-lint: cannot list {}: {e}", dir.display()))?;
+        let mut entries: Vec<PathBuf> = Vec::new();
+        for entry in rd {
+            let entry =
+                entry.map_err(|e| format!("gp-lint: walk error in {}: {e}", dir.display()))?;
+            entries.push(entry.path());
+        }
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                if rel_label(root, &path) == "crates/lint/tests/fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Package name from the nearest ancestor `Cargo.toml` (cached per
+/// directory). Falls back to the directory name if no manifest declares
+/// a `[package] name`.
+fn crate_name_for(cache: &mut CrateNameCache, root: &Path, file: &Path) -> Result<String, String> {
+    let mut dir = file.parent().map(Path::to_path_buf);
+    while let Some(d) = dir {
+        if let Some(name) = cache.get(&d) {
+            return Ok(name.clone());
+        }
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("gp-lint: cannot read {}: {e}", manifest.display()))?;
+            if let Some(name) = package_name(&text) {
+                cache.insert(d, name.clone());
+                return Ok(name);
+            }
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Ok(file
+        .parent()
+        .and_then(Path::file_name)
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string()))
+}
+
+/// `name = "…"` out of a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        if key.trim() == "name" {
+            return Some(value.trim().trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Reports.
+
+/// Stable text report: sorted violations, ratchet notices, a summary line.
+pub fn render_text(out: &Outcome) -> String {
+    let mut s = String::new();
+    for v in &out.violations {
+        s.push_str(&v.render());
+        s.push('\n');
+    }
+    for (name, allowed, observed) in &out.ratchet.improved {
+        s.push_str(&format!(
+            "notice: crate {name} improved to {observed} panicking sites (baseline {allowed}) — \
+             run `gp-lint --update-baseline` to ratchet\n"
+        ));
+    }
+    if out.baseline_updated {
+        s.push_str("baseline updated\n");
+    }
+    if out.ok() {
+        s.push_str(&format!(
+            "gp-lint: clean — {} files, {} suppressed sites, R1 total {}\n",
+            out.files_scanned,
+            out.suppressed,
+            out.r1_counts.iter().map(|(_, n)| n).sum::<usize>()
+        ));
+    } else {
+        s.push_str(&format!(
+            "gp-lint: {} violations in {} files\n",
+            out.violations.len(),
+            out.files_scanned
+        ));
+    }
+    s
+}
+
+/// Hand-rolled JSON report (the linter is dependency-free by design).
+pub fn render_json(out: &Outcome) -> String {
+    let mut s = String::from("{\n  \"ok\": ");
+    s.push_str(if out.ok() { "true" } else { "false" });
+    s.push_str(&format!(
+        ",\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \"violations\": [",
+        out.files_scanned, out.suppressed
+    ));
+    for (i, v) in out.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"category\": {}, \"message\": {}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule.id()),
+            json_str(v.rule.category()),
+            json_str(&v.message)
+        ));
+    }
+    s.push_str("\n  ],\n  \"r1_counts\": {");
+    for (i, (name, n)) in out.r1_counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    {}: {}", json_str(name), n));
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// CLI.
+
+const USAGE: &str = "\
+gp-lint — GraphPrompter determinism & robustness linter (zero deps)
+
+USAGE:
+    gp-lint [--check] [--json] [--update-baseline]
+            [--root <dir>] [--baseline <file>] [--list-rules]
+
+    --check              lint and exit nonzero on violations (default)
+    --json               machine-readable report
+    --update-baseline    rewrite the R1 ratchet file with observed counts
+    --root <dir>         workspace root (default: autodetect from cwd)
+    --baseline <file>    ratchet file (default: <root>/lint-baseline.toml)
+    --list-rules         print the rule table and exit
+";
+
+/// Parse args and run. Returns `(text_to_print, exit_code)`; the binary
+/// prints — the library never touches stdout (its own O1 rule).
+pub fn run_cli(args: &[String]) -> (String, i32) {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {}
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return (format!("gp-lint: --root needs a value\n{USAGE}"), 2);
+                };
+                root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return (format!("gp-lint: --baseline needs a value\n{USAGE}"), 2);
+                };
+                baseline = Some(PathBuf::from(v));
+            }
+            "--list-rules" => return (list_rules(), 0),
+            "--help" | "-h" => return (USAGE.to_string(), 0),
+            other => {
+                return (format!("gp-lint: unknown argument `{other}`\n{USAGE}"), 2);
+            }
+        }
+        i += 1;
+    }
+    let root = match root.map(Ok).unwrap_or_else(detect_root) {
+        Ok(r) => r,
+        Err(e) => return (format!("{e}\n"), 2),
+    };
+    let baseline = baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let opts = Options {
+        root,
+        json,
+        update_baseline,
+        baseline,
+    };
+    match run(&opts) {
+        Ok(out) => {
+            let text = if opts.json {
+                render_json(&out)
+            } else {
+                render_text(&out)
+            };
+            (text, if out.ok() { 0 } else { 1 })
+        }
+        Err(e) => (format!("{e}\n"), 2),
+    }
+}
+
+fn list_rules() -> String {
+    let mut s = String::new();
+    for r in [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::R1,
+        Rule::O1,
+        Rule::P1,
+    ] {
+        s.push_str(&format!(
+            "{:12}[{}] {}\n",
+            r.category(),
+            r.id(),
+            r.describe()
+        ));
+    }
+    s
+}
+
+/// Walk up from the cwd to the manifest that declares `[workspace]`.
+fn detect_root() -> Result<PathBuf, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("gp-lint: cannot determine cwd: {e}"))?;
+    let mut dir = Some(cwd.as_path());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("gp-lint: cannot read {}: {e}", manifest.display()))?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err("gp-lint: no workspace root found above the cwd (pass --root)".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_the_package_section_only() {
+        let m = "[workspace]\nmembers = [\"x\"]\n[package]\nname = \"gp-core\"\n\
+                 [dependencies]\nname = \"decoy\"\n";
+        assert_eq!(package_name(m), Some("gp-core".to_string()));
+        assert_eq!(package_name("[workspace]\n"), None);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn cli_rejects_unknown_flags() {
+        let (msg, code) = run_cli(&["--frobnicate".to_string()]);
+        assert_eq!(code, 2);
+        assert!(msg.contains("unknown argument"));
+    }
+
+    #[test]
+    fn cli_lists_rules() {
+        let (msg, code) = run_cli(&["--list-rules".to_string()]);
+        assert_eq!(code, 0);
+        for id in ["D1", "D2", "D3", "D4", "R1", "O1", "P1"] {
+            assert!(msg.contains(&format!("[{id}]")), "missing {id}");
+        }
+    }
+}

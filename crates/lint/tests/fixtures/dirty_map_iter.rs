@@ -1,0 +1,34 @@
+// Fixture: D1 violations — hash-order iteration in a result-affecting
+// crate. Fed to the linter as text, never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Scores {
+    by_node: HashMap<u64, f32>,
+    seen: HashSet<u64>,
+}
+
+impl Scores {
+    pub fn total(&self) -> f32 {
+        // Violation: float accumulation in hash order.
+        self.by_node.values().sum()
+    }
+
+    pub fn first_seen(&self) -> Option<u64> {
+        // Violation: `for .. in &set` walks hash order.
+        for id in &self.seen {
+            return Some(*id);
+        }
+        None
+    }
+
+    pub fn drained(&mut self) -> Vec<(u64, f32)> {
+        // Violation: drain order is hash order.
+        self.by_node.drain().collect()
+    }
+
+    pub fn lookup(&self, id: u64) -> Option<f32> {
+        // No violation: point lookups are order-free.
+        self.by_node.get(&id).copied()
+    }
+}

@@ -1,0 +1,46 @@
+// Fixture: D4 / R1 / O1 / P1 material in one file. Text-only corpus.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> u64 {
+    // D4 violation: wall clock in a result-affecting library crate.
+    let t = Instant::now();
+    let s = SystemTime::now();
+    drop(s);
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn risky(o: Option<u32>) -> u32 {
+    // R1 sites: unwrap, expect, panic!.
+    let a = o.unwrap();
+    let b = o.expect("present");
+    if a != b {
+        panic!("impossible");
+    }
+    a
+}
+
+pub fn noisy() {
+    // O1 violation.
+    println!("debug output from a library");
+}
+
+// gp-lint: allow(D1)
+pub fn bad_pragma_above() {}
+
+pub fn suppressed() -> u64 {
+    // gp-lint: allow(D4) — feeds a diagnostics field only, never a result
+    let t = SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        None::<u32>.unwrap_or(1);
+        Some(2u32).unwrap();
+    }
+}

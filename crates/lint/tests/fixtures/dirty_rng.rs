@@ -1,0 +1,16 @@
+// Fixture: every line here is a deliberate D3 violation.
+// This file is NOT compiled — the integration test feeds it to the
+// linter as text. The walker skips crates/lint/tests/fixtures entirely.
+
+pub fn roll() -> f32 {
+    let mut rng = thread_rng();
+    let seeded_elsewhere = StdRng::from_entropy();
+    let x: f32 = rand::random();
+    drop(seeded_elsewhere);
+    rng.r#gen()
+}
+
+pub fn seeded_ok(seed: u64) -> StdRng {
+    // A seeded generator is the sanctioned pattern — no violation here.
+    StdRng::seed_from_u64(seed)
+}

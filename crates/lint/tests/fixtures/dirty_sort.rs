@@ -1,0 +1,23 @@
+// Fixture: D2 violations — partial_cmp comparators. Text-only corpus.
+
+pub fn rank(scores: &mut Vec<(usize, f32)>) {
+    // Violation: NaN turns this comparator order-dependent.
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn best(xs: &[f32]) -> Option<f32> {
+    // Violation: max_by with partial_cmp.
+    xs.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+pub fn bare(a: f32, b: f32) -> std::cmp::Ordering {
+    // Violation: bare partial_cmp().unwrap() panics on NaN.
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn fine(scores: &mut Vec<(usize, f32)>) -> Option<std::cmp::Ordering> {
+    // No violation: total_cmp comparator, and a standalone partial_cmp
+    // whose Option is handled by the caller.
+    scores.sort_by(|a, b| a.1.total_cmp(&b.1));
+    scores.first().map(|a| a.1.total_cmp(&1.0))
+}

@@ -1,0 +1,246 @@
+//! Integration tests: run the linter over the deliberately-dirty fixture
+//! corpus (as text — the fixtures are never compiled) and over a
+//! synthetic on-disk workspace exercising the walker + ratchet end to end.
+
+use gp_lint::{lint_source, runner, Baseline, FileKind, Options, Rule};
+
+const DIRTY_RNG: &str = include_str!("fixtures/dirty_rng.rs");
+const DIRTY_MAP: &str = include_str!("fixtures/dirty_map_iter.rs");
+const DIRTY_SORT: &str = include_str!("fixtures/dirty_sort.rs");
+const DIRTY_MISC: &str = include_str!("fixtures/dirty_misc.rs");
+
+fn hits(src: &str, rule: Rule) -> Vec<usize> {
+    let rep = lint_source("fixture.rs", "gp-core", FileKind::Lib, src);
+    let pool = if rule == Rule::R1 {
+        &rep.r1_sites
+    } else {
+        &rep.violations
+    };
+    pool.iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn catches_unseeded_randomness_in_fixture() {
+    assert_eq!(hits(DIRTY_RNG, Rule::D3), vec![6, 7, 8]);
+    // Nothing else fires: the seeded path is clean.
+    let rep = lint_source("f.rs", "gp-core", FileKind::Lib, DIRTY_RNG);
+    assert_eq!(rep.violations.len(), 3, "{:?}", rep.violations);
+}
+
+#[test]
+fn catches_hashmap_iteration_in_fixture() {
+    assert_eq!(hits(DIRTY_MAP, Rule::D1), vec![14, 19, 27]);
+    // Point lookups (`get`) stay clean, and the same file linted as a
+    // non-result-affecting crate raises nothing.
+    let rep = lint_source("f.rs", "gp-obs", FileKind::Lib, DIRTY_MAP);
+    assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+}
+
+#[test]
+fn catches_partial_cmp_sorts_in_fixture() {
+    assert_eq!(hits(DIRTY_SORT, Rule::D2), vec![5, 10, 15]);
+}
+
+#[test]
+fn catches_clock_panics_prints_and_bad_pragmas_in_fixture() {
+    assert_eq!(
+        hits(DIRTY_MISC, Rule::D4),
+        vec![7, 8],
+        "suppressed site must not appear"
+    );
+    assert_eq!(
+        hits(DIRTY_MISC, Rule::R1),
+        vec![15, 16, 18],
+        "test-mod unwraps exempt"
+    );
+    assert_eq!(hits(DIRTY_MISC, Rule::O1), vec![25]);
+    assert_eq!(
+        hits(DIRTY_MISC, Rule::P1),
+        vec![28],
+        "reason-less pragma is an error"
+    );
+    let rep = lint_source("f.rs", "gp-core", FileKind::Lib, DIRTY_MISC);
+    assert_eq!(
+        rep.suppressed, 1,
+        "the justified allow(D4) counts as suppressed"
+    );
+}
+
+#[test]
+fn fixtures_are_rule_free_when_linted_as_harness_code() {
+    for src in [DIRTY_RNG, DIRTY_MAP, DIRTY_SORT] {
+        let rep = lint_source("crates/x/tests/t.rs", "gp-core", FileKind::Harness, src);
+        assert!(rep.violations.is_empty());
+        assert!(rep.r1_sites.is_empty());
+    }
+    // …except pragma hygiene, which holds everywhere.
+    let rep = lint_source(
+        "crates/x/tests/t.rs",
+        "gp-core",
+        FileKind::Harness,
+        DIRTY_MISC,
+    );
+    assert_eq!(rep.violations.len(), 1);
+    assert_eq!(rep.violations[0].rule, Rule::P1);
+}
+
+#[test]
+fn report_lines_are_sorted_and_stably_formatted() {
+    let rep = lint_source("crates/core/src/x.rs", "gp-core", FileKind::Lib, DIRTY_MISC);
+    let rendered: Vec<String> = rep.violations.iter().map(|v| v.render()).collect();
+    for line in &rendered {
+        assert!(
+            line.starts_with("crates/core/src/x.rs:"),
+            "bad prefix: {line}"
+        );
+    }
+    assert!(rendered.iter().any(|l| l.contains("determinism[D4]")));
+    assert!(rendered.iter().any(|l| l.contains("hygiene[O1]")));
+    assert!(rendered.iter().any(|l| l.contains("pragma[P1]")));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: walker + crate resolution + ratchet on a synthetic workspace.
+
+struct TempWs {
+    root: std::path::PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("gp-lint-it-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let p = self.root.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, content).unwrap();
+    }
+
+    fn opts(&self) -> Options {
+        Options {
+            root: self.root.clone(),
+            json: false,
+            update_baseline: false,
+            baseline: self.root.join(runner::BASELINE_FILE),
+        }
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn mini_workspace(tag: &str) -> TempWs {
+    let ws = TempWs::new(tag);
+    ws.write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    ws.write(
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"gp-core\"\nversion = \"0.1.0\"\n",
+    );
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    );
+    ws.write(
+        "crates/core/tests/t.rs",
+        "#[test]\nfn t() { assert_eq!(gp_core::f(Some(1)), 1); }\n",
+    );
+    // target/ and dotdirs must be skipped even when full of horrors.
+    ws.write("target/debug/gen.rs", "pub fn x() { thread_rng(); }\n");
+    ws.write(".hidden/x.rs", "pub fn x() { thread_rng(); }\n");
+    ws
+}
+
+#[test]
+fn walker_ratchet_end_to_end() {
+    let ws = mini_workspace("e2e");
+    // 1. No baseline: the single unwrap regresses against an implicit 0.
+    let out = runner::run(&ws.opts()).unwrap();
+    assert_eq!(out.files_scanned, 2, "target/ and .hidden/ are skipped");
+    assert!(!out.ok());
+    assert_eq!(out.r1_counts, vec![("gp-core".to_string(), 1)]);
+    assert_eq!(out.ratchet.regressed, vec![("gp-core".to_string(), 0, 1)]);
+
+    // 2. --update-baseline writes the ratchet; a rerun is clean.
+    let mut upd = ws.opts();
+    upd.update_baseline = true;
+    let out = runner::run(&upd).unwrap();
+    assert!(out.baseline_updated);
+    let text = std::fs::read_to_string(ws.root.join(runner::BASELINE_FILE)).unwrap();
+    let parsed = Baseline::parse(&text).unwrap();
+    assert_eq!(parsed.get("gp-core"), 1);
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+
+    // 3. A new unwrap in the same crate regresses the ratchet again.
+    ws.write(
+        "crates/core/src/extra.rs",
+        "pub fn g(o: Option<u32>) -> u32 { o.expect(\"x\") }\n",
+    );
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(!out.ok());
+    assert_eq!(out.ratchet.regressed, vec![("gp-core".to_string(), 1, 2)]);
+    // The summary + both candidate sites are reported.
+    assert!(out
+        .violations
+        .iter()
+        .any(|v| v.file == "lint-baseline.toml"));
+    assert!(out
+        .violations
+        .iter()
+        .any(|v| v.file == "crates/core/src/extra.rs" && v.line == 1));
+
+    // 4. Fixing both sites makes the run pass and report an improvement.
+    ws.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) }\n",
+    );
+    ws.write(
+        "crates/core/src/extra.rs",
+        "pub fn g(o: Option<u32>) -> u32 { o.unwrap_or(0) }\n",
+    );
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok());
+    assert_eq!(out.ratchet.improved, vec![("gp-core".to_string(), 1, 0)]);
+    let text = runner::render_text(&out);
+    assert!(text.contains("--update-baseline"), "{text}");
+}
+
+#[test]
+fn hard_violations_fail_regardless_of_baseline() {
+    let ws = mini_workspace("hard");
+    ws.write(
+        "crates/core/src/rngy.rs",
+        "pub fn r() -> u64 { let mut g = thread_rng(); g.next_u64() }\n",
+    );
+    let mut upd = ws.opts();
+    upd.update_baseline = true;
+    runner::run(&upd).unwrap(); // ratchet the unwrap away
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(!out.ok(), "D3 is not ratcheted — it always fails");
+    assert_eq!(out.violations.len(), 1);
+    assert_eq!(out.violations[0].rule, Rule::D3);
+    assert_eq!(out.violations[0].file, "crates/core/src/rngy.rs");
+}
+
+#[test]
+fn json_report_is_well_formed_enough() {
+    let ws = mini_workspace("json");
+    let out = runner::run(&ws.opts()).unwrap();
+    let json = runner::render_json(&out);
+    assert!(json.contains("\"ok\": false"));
+    assert!(json.contains("\"rule\": \"R1\""));
+    assert!(json.contains("\"gp-core\": 1"));
+    // Balanced braces/brackets as a cheap structural check.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}

@@ -1,0 +1,72 @@
+//! Property tests for the token scanner: on *arbitrary* input — not
+//! just valid Rust — scanning never panics, preserves line structure,
+//! and is idempotent (stripped output re-strips to itself).
+//!
+//! These mirror the deterministic xorshift fuzz test in
+//! `scanner::tests` with proptest's shrinking on top; they only build
+//! where the registry is reachable (CI), like the other crates'
+//! proptest suites.
+
+use gp_lint::{lint_source, scan, FileKind};
+use proptest::prelude::*;
+
+/// Token soup biased toward the scanner's tricky atoms.
+fn soup() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("\"".to_string()),
+        Just("'".to_string()),
+        Just("\\".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("r#ident".to_string()),
+        Just("b\"".to_string()),
+        Just("br##\"".to_string()),
+        Just("//".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("\n".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just(";".to_string()),
+        Just("#[cfg(test)]".to_string()),
+        Just("mod tests".to_string()),
+        Just("'a".to_string()),
+        Just("'\\''".to_string()),
+        Just("gp-lint: allow(D1) — reason".to_string()),
+        Just("partial_cmp".to_string()),
+        Just(".unwrap()".to_string()),
+        "[ -~]{0,6}",
+        "\\PC{0,4}",
+    ];
+    proptest::collection::vec(atom, 0..64).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #[test]
+    fn scan_never_panics_and_preserves_lines(src in soup()) {
+        let out = scan(&src);
+        prop_assert_eq!(
+            out.code.chars().filter(|&c| c == '\n').count(),
+            src.chars().filter(|&c| c == '\n').count(),
+            "stripping must keep the newline structure"
+        );
+        prop_assert_eq!(out.in_test.len(), out.module_path.len());
+    }
+
+    #[test]
+    fn scan_is_idempotent(src in soup()) {
+        let once = scan(&src);
+        let twice = scan(&once.code);
+        prop_assert_eq!(&once.code, &twice.code);
+        prop_assert_eq!(&once.in_test, &twice.in_test);
+    }
+
+    #[test]
+    fn lint_never_panics_on_soup(src in soup()) {
+        // Full rule pass on garbage: must terminate without panicking,
+        // for every file kind.
+        for kind in [FileKind::Lib, FileKind::Bin, FileKind::Harness] {
+            let _ = lint_source("soup.rs", "gp-core", kind, &src);
+        }
+    }
+}

@@ -40,4 +40,4 @@ pub use parallel::{
 };
 pub use sparse::EdgeList;
 pub use tape::{Op, Tape, Var};
-pub use tensor::{cosine_slices, cosine_slices_with_norms, l2_norm, Tensor};
+pub use tensor::{cosine_slices, cosine_slices_with_norms, l2_norm, rank_asc, rank_desc, Tensor};

@@ -496,14 +496,17 @@ impl Tensor {
         }
     }
 
-    /// Index of the largest element in each row.
+    /// Index of the largest element in each row. NaN entries never win:
+    /// [`rank_asc`] ranks them below every number, so a row with a broken
+    /// logit still yields the argmax of its finite entries (an all-NaN
+    /// row deterministically yields the last index).
     pub fn argmax_rows(&self) -> Vec<usize> {
         (0..self.rows)
             .map(|r| {
                 let row = self.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| rank_asc(*a.1, *b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -578,12 +581,119 @@ pub fn cosine_slices_with_norms(a: &[f32], b: &[f32], a_norm: f32, b_norm: f32) 
     dot / (a_norm * b_norm).max(1e-12)
 }
 
+/// Canonical key for deterministic float ordering: every NaN (either
+/// sign, any payload) maps to the canonical *negative* NaN and `-0.0`
+/// maps to `+0.0`, so that [`f32::total_cmp`] over the keys agrees with
+/// `partial_cmp` on every pair of comparable floats (total_cmp only
+/// disagrees on NaN and on `-0.0` vs `+0.0`, and both are canonicalized
+/// away) while still totally ordering NaN — strictly below `-∞`, since
+/// total_cmp places sign-negative NaN under every real value.
+#[inline]
+fn rank_key(v: f32) -> f32 {
+    if v.is_nan() {
+        f32::from_bits(0xffc0_0000) // canonical -NaN: below -∞ in total_cmp
+    } else if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Deterministic **ascending** comparator for `f32` scores.
+///
+/// `sort_by(partial_cmp(..).unwrap_or(Equal))` silently turns any NaN
+/// into an ordering that depends on sort internals and input order —
+/// exactly the nondeterminism the Eq. 7–8 prompt ranking and the
+/// WorkerPool bit-identity contract cannot tolerate. This comparator is
+/// total: NaN (either sign) ranks **below every number**, so a broken
+/// score (e.g. the cosine of a zero-norm embedding) loses every `max_by`
+/// and lands last in a descending sort instead of poisoning the order.
+///
+/// On NaN-free inputs it is indistinguishable from `partial_cmp`: the
+/// only other pair where [`f32::total_cmp`] disagrees with IEEE order is
+/// `-0.0` vs `+0.0`, which [`rank_desc`]/`rank_asc` canonicalize to
+/// equal. Every float sort in result-affecting crates must go through
+/// these comparators (enforced by `gp-lint` rule D2).
+#[inline]
+pub fn rank_asc(a: f32, b: f32) -> std::cmp::Ordering {
+    rank_key(a).total_cmp(&rank_key(b))
+}
+
+/// Deterministic **descending** comparator for `f32` scores: the reverse
+/// of [`rank_asc`], so NaN still ranks last. Use as
+/// `scores.sort_by(|a, b| rank_desc(a.score, b.score))` for
+/// best-first orderings.
+#[inline]
+pub fn rank_desc(a: f32, b: f32) -> std::cmp::Ordering {
+    rank_asc(b, a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor {
         Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn rank_comparators_agree_with_partial_cmp_on_comparable_floats() {
+        let vals = [
+            -f32::INFINITY,
+            -1.5e30,
+            -1.0,
+            -f32::MIN_POSITIVE / 2.0, // subnormal
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE / 2.0,
+            1.0,
+            1.5e30,
+            f32::INFINITY,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let want = a.partial_cmp(&b).expect("comparable");
+                assert_eq!(rank_asc(a, b), want, "asc({a}, {b})");
+                assert_eq!(rank_desc(a, b), want.reverse(), "desc({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_comparators_put_nan_last() {
+        use std::cmp::Ordering;
+        for nan in [f32::NAN, -f32::NAN, f32::from_bits(0x7fc0_0001)] {
+            for &v in &[-f32::INFINITY, -1.0, 0.0, 1.0, f32::INFINITY] {
+                assert_eq!(rank_asc(nan, v), Ordering::Less, "NaN must rank below {v}");
+                assert_eq!(rank_desc(nan, v), Ordering::Greater);
+            }
+            assert_eq!(rank_asc(nan, f32::NAN), Ordering::Equal);
+        }
+        // A descending sort pushes NaN to the back deterministically.
+        let mut scores = vec![0.5, f32::NAN, 2.0, -1.0, -f32::NAN];
+        scores.sort_by(|a, b| rank_desc(*a, *b));
+        assert_eq!(&scores[..3], &[2.0, 0.5, -1.0]);
+        assert!(scores[3].is_nan() && scores[4].is_nan());
+    }
+
+    #[test]
+    fn argmax_ignores_nan_entries() {
+        let m = t(
+            3,
+            3,
+            &[
+                f32::NAN,
+                2.0,
+                1.0,
+                1.0,
+                f32::NAN,
+                3.0,
+                f32::NAN,
+                f32::NAN,
+                f32::NAN,
+            ],
+        );
+        assert_eq!(m.argmax_rows(), vec![1, 2, 2]);
     }
 
     #[test]

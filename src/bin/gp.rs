@@ -57,9 +57,10 @@ fn main() {
         "episode" => episode_cmd(&args[1..]),
         "export" => export_cmd(&args[1..]),
         "inspect" => inspect_cmd(&args[1..]),
+        "lint" => lint_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gp <datasets|pretrain|evaluate|episode|export|inspect> [flags]\n\
+                "usage: gp <datasets|pretrain|evaluate|episode|export|inspect|lint> [flags]\n\
                  common flags: --metrics | --metrics-json (print collected metrics on exit)\n\
                  see the module docs in src/bin/gp.rs for flag details"
             );
@@ -80,6 +81,20 @@ fn main() {
 }
 
 type CliResult = Result<(), String>;
+
+/// `gp lint [gp-lint flags]` — the determinism & robustness linter,
+/// delegated to [`graphprompter::lint::run_cli`] (same engine as the
+/// standalone `gp-lint` binary; see `gp lint --help` for its flags).
+fn lint_cmd(args: &[String]) -> CliResult {
+    let (report, code) = graphprompter::lint::run_cli(args);
+    if code == 0 {
+        print!("{report}");
+        Ok(())
+    } else {
+        eprint!("{report}");
+        std::process::exit(code);
+    }
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()

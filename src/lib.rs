@@ -12,6 +12,7 @@
 //! * [`baselines`] — comparison methods ([`gp_baselines`])
 //! * [`eval`] — metrics, t-SNE, tables ([`gp_eval`])
 //! * [`obs`] — zero-dependency metrics registry ([`gp_obs`])
+//! * [`lint`] — workspace determinism & robustness linter ([`gp_lint`])
 //!
 //! The public entry point is [`Engine`] (built through the fallible
 //! [`EngineBuilder`]); `use graphprompter::prelude::*;` pulls in
@@ -25,6 +26,7 @@ pub use gp_core as core;
 pub use gp_datasets as datasets;
 pub use gp_eval as eval;
 pub use gp_graph as graph;
+pub use gp_lint as lint;
 pub use gp_nn as nn;
 pub use gp_obs as obs;
 pub use gp_tensor as tensor;

@@ -296,6 +296,68 @@ fn pretrained_selector_orders_prompts_meaningfully() {
 }
 
 #[test]
+fn total_cmp_ranking_is_bit_identical_to_partial_cmp_on_nan_free_scores() {
+    // The D2 sweep swapped every `partial_cmp(..).unwrap_or(Equal)`
+    // comparator for the canonicalizing total comparators
+    // `rank_asc`/`rank_desc`. On NaN-free inputs the two must be
+    // indistinguishable: same permutation, bit-for-bit. Check on real
+    // pipeline scores (cosine similarities over generated features and
+    // selector votes), not synthetic grids.
+    use graphprompter::core::select_prompts;
+    use graphprompter::tensor::{rank_desc, Tensor};
+    use std::cmp::Ordering;
+
+    let reference_desc = |a: f32, b: f32| b.partial_cmp(&a).unwrap_or(Ordering::Equal);
+    let assert_same_order = |scores: &[f32]| {
+        assert!(
+            scores.iter().all(|s| !s.is_nan()),
+            "fixture must be NaN-free"
+        );
+        let indexed: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        let mut with_total = indexed.clone();
+        with_total.sort_by(|x, y| rank_desc(x.1, y.1));
+        let mut with_partial = indexed;
+        with_partial.sort_by(|x, y| reference_desc(x.1, y.1));
+        let bits =
+            |v: &[(usize, f32)]| v.iter().map(|(i, s)| (*i, s.to_bits())).collect::<Vec<_>>();
+        assert_eq!(bits(&with_total), bits(&with_partial));
+    };
+
+    // Cosine scores straight off a generated dataset (ties included:
+    // every row scores 1.0 against itself-aligned rows).
+    let source = CitationConfig::new("src", 250, 4, 111).generate();
+    let feats = source.graph.features();
+    for probe in [0usize, 17, 111] {
+        let sims: Vec<f32> = (0..feats.rows())
+            .map(|i| feats.cosine_rows(probe, feats, i))
+            .collect();
+        assert_same_order(&sims);
+    }
+
+    // Selector votes from the real selection path.
+    let prompts = Tensor::from_vec(
+        6,
+        2,
+        vec![1.0, 0.0, 0.9, 0.1, 0.7, 0.3, 0.0, 1.0, 0.1, 0.9, 0.3, 0.7],
+    );
+    let queries = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+    let mut rng = StdRng::seed_from_u64(11);
+    let out = select_prompts(
+        &prompts,
+        &[0.8, 0.6, 0.4, 0.8, 0.6, 0.4],
+        &[0, 0, 0, 1, 1, 1],
+        &queries,
+        &[1.0, 1.0],
+        2,
+        2,
+        true,
+        true,
+        &mut rng,
+    );
+    assert_same_order(&out.votes);
+}
+
+#[test]
 fn episode_timing_is_positive_and_bounded() {
     let source = CitationConfig::new("src", 250, 4, 108).generate();
     let engine = tiny_engine(10, &source);
