@@ -4,14 +4,17 @@
 //! cargo run -p gp-bench --release --bin experiments -- <id> [--smoke] [--threads <n>]
 //! ```
 //!
-//! `<id>` ∈ {table3..table8, fig3..fig9, all, calibrate, bench-inference}.
+//! `<id>` ∈ {table3..table8, fig3..fig9, all, calibrate, bench-inference,
+//! bench-serve}.
 //! `all` runs every experiment and regenerates EXPERIMENTS.md;
 //! `bench-inference` times serial/warm-cache/parallel inference and
 //! rewrites BENCH_inference.json — it runs in the engine's timing mode
 //! (episode fan-out pinned to 1, uncontended per-query latency), and
 //! `--threads <n>` forces the parallel mode's thread budget to `n`
-//! (emitting the parallel row even on a single-core host). `--smoke`
-//! shrinks the scale for a fast sanity pass.
+//! (emitting the parallel row even on a single-core host). `bench-serve`
+//! load-tests the gp-serve HTTP server (baseline latency, saturation
+//! QPS, shed rate and admitted p99 under 2× overload) and rewrites
+//! BENCH_serve.json. `--smoke` shrinks the scale for a fast sanity pass.
 
 use std::time::Instant;
 
@@ -45,6 +48,7 @@ fn main() {
         "calibrate" => calibrate(&suite),
         "all" => run_all(suite),
         "bench-inference" => bench_inference(smoke, threads),
+        "bench-serve" => bench_serve(smoke),
         id if experiments::ALL_IDS.contains(&id) => {
             let mut ctx = Ctx::new(suite);
             let t0 = Instant::now();
@@ -55,7 +59,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiments <all|calibrate|bench-inference|{}> [--smoke] [--threads <n>]",
+                "usage: experiments <all|calibrate|bench-inference|bench-serve|{}> [--smoke] [--threads <n>]",
                 experiments::ALL_IDS.join("|")
             );
             std::process::exit(2);
@@ -75,6 +79,28 @@ fn bench_inference(smoke: bool, threads: Option<usize>) {
         "[bench-inference done in {:?}; best speedup {:.2}x over serial]",
         t0.elapsed(),
         report.best_speedup()
+    );
+}
+
+/// Load-test the gp-serve server and write the committed
+/// BENCH_serve.json artifact.
+fn bench_serve(smoke: bool) {
+    let t0 = Instant::now();
+    let report = match gp_bench::serve_bench::run(smoke) {
+        Ok(report) => report,
+        Err(why) => {
+            eprintln!("bench-serve failed: {why}");
+            std::process::exit(1);
+        }
+    };
+    let json = report.to_json();
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!(
+        "[bench-serve done in {:?}; shed rate {:.1}% at 2x, admitted p99 {:.2}x baseline]",
+        t0.elapsed(),
+        100.0 * report.shed_rate(),
+        report.admitted_p99_ratio()
     );
 }
 

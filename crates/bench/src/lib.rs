@@ -9,6 +9,8 @@
 pub mod experiments;
 pub mod harness;
 pub mod infer_bench;
+pub mod serve_bench;
 
 pub use harness::{Ctx, GraphPrompterMethod, GraphPrompterView, Suite};
 pub use infer_bench::{InferBenchReport, ModeTiming};
+pub use serve_bench::{PhaseStats, ServeBenchReport};

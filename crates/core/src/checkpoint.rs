@@ -240,6 +240,45 @@ impl<'a> Reader<'a> {
 /// fsync of the directory. A crash at any point leaves either the old
 /// file or the new one, never a torn mix.
 pub fn write_container(path: &Path, payload: &[u8]) -> Result<(), CheckpointError> {
+    write_container_impl(path, payload, None)
+}
+
+/// Simulated crash points inside the atomic container write, for the
+/// fault-injection tests that prove the old-or-new (never torn) contract.
+/// Each variant stops the write exactly where a real power cut or kill
+/// could, leaving the same on-disk residue behind.
+#[doc(hidden)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Die mid-`write_all`, before any fsync: only a prefix of the bytes
+    /// reaches the (still temp-named) file.
+    TornWrite,
+    /// Die after the temp file is fully written and fsynced but before
+    /// the rename: a complete orphan temp file, final name untouched.
+    BeforeRename,
+}
+
+/// [`write_container`] with an injected crash at `fault`. Always returns
+/// `Err`; the on-disk state afterwards is what a real crash at that point
+/// would leave.
+#[doc(hidden)]
+pub fn write_container_faulty(
+    path: &Path,
+    payload: &[u8],
+    fault: WriteFault,
+) -> Result<(), CheckpointError> {
+    write_container_impl(path, payload, Some(fault))
+}
+
+fn injected_fault(what: &str) -> CheckpointError {
+    CheckpointError::Io(std::io::Error::other(format!("injected fault: {what}")))
+}
+
+fn write_container_impl(
+    path: &Path,
+    payload: &[u8],
+    fault: Option<WriteFault>,
+) -> Result<(), CheckpointError> {
     use std::io::Write;
 
     let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
@@ -256,8 +295,17 @@ pub fn write_container(path: &Path, payload: &[u8]) -> Result<(), CheckpointErro
     let tmp = path.with_file_name(format!("{file_name}.tmp.{}", std::process::id()));
     {
         let mut f = std::fs::File::create(&tmp).map_err(CheckpointError::Io)?;
+        if fault == Some(WriteFault::TornWrite) {
+            // Crash mid-write: half the bytes land, no fsync, no rename.
+            f.write_all(&file[..file.len() / 2]).map_err(CheckpointError::Io)?;
+            return Err(injected_fault("torn write before sync"));
+        }
         f.write_all(&file).map_err(CheckpointError::Io)?;
         f.sync_all().map_err(CheckpointError::Io)?;
+        if fault == Some(WriteFault::BeforeRename) {
+            // Crash between fsync and rename: durable orphan temp file.
+            return Err(injected_fault("crash before rename"));
+        }
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
         std::fs::remove_file(&tmp).ok();
@@ -601,6 +649,24 @@ pub fn save_trainer_checkpoint(
     encode_params(&mut payload, model);
     encode_trainer(&mut payload, meta);
     write_container(path, &payload)
+}
+
+/// [`save_trainer_checkpoint`] with an injected crash ([`WriteFault`])
+/// inside the container write — the fault-injection tests use this to
+/// leave realistic crash residue at a real checkpoint path.
+#[doc(hidden)]
+pub fn save_trainer_checkpoint_faulty(
+    path: &Path,
+    model: &GraphPrompterModel,
+    meta: &TrainerMeta,
+    fault: WriteFault,
+) -> Result<(), CheckpointError> {
+    let mut payload = Vec::new();
+    payload.push(KIND_TRAINER);
+    encode_config(&mut payload, model.config());
+    encode_params(&mut payload, model);
+    encode_trainer(&mut payload, meta);
+    write_container_faulty(path, &payload, fault)
 }
 
 /// Load a trainer checkpoint written by [`save_trainer_checkpoint`],

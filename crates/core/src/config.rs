@@ -601,6 +601,33 @@ impl PretrainConfig {
             });
         }
         require_in_range(self.weight_decay, 0.0, f32::MAX, "weight_decay")?;
+        if let Some(g) = &self.guard {
+            // The trailing median is undefined over an empty window, and a
+            // zero window would make every comparison vacuous.
+            require_nonzero(g.window, "guard.window")?;
+            // Non-positive disables spike detection (documented contract);
+            // a positive factor must be finite and above 1.0, or every
+            // healthy fluctuation would count as a spike.
+            let sf = g.spike_factor;
+            if sf.is_nan() || (sf > 0.0 && !(sf.is_finite() && sf > 1.0)) {
+                return Err(ConfigError::OutOfRange {
+                    field: "guard.spike_factor",
+                    value: sf,
+                    lo: 1.0,
+                    hi: f32::MAX,
+                });
+            }
+            if let Some(c) = g.clip_norm {
+                if !c.is_finite() || c <= 0.0 {
+                    return Err(ConfigError::OutOfRange {
+                        field: "guard.clip_norm",
+                        value: c,
+                        lo: f32::MIN_POSITIVE,
+                        hi: f32::MAX,
+                    });
+                }
+            }
+        }
         validate_sampler(&self.sampler)
     }
 }
@@ -698,6 +725,32 @@ impl PretrainConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pretrain_validates_guard_rail() {
+        use crate::guard::GuardRailConfig;
+        let with_guard = |g: GuardRailConfig| PretrainConfig::builder().guard(Some(g)).try_build();
+
+        assert!(with_guard(GuardRailConfig::default()).is_ok());
+        assert!(
+            with_guard(GuardRailConfig::skip().with_window(1).with_warmup(0)).is_ok(),
+            "minimal window is legal"
+        );
+        assert!(
+            with_guard(GuardRailConfig::skip().with_spike_factor(-1.0)).is_ok(),
+            "non-positive factor disables spike detection"
+        );
+
+        let err = with_guard(GuardRailConfig::skip().with_window(0))
+            .err()
+            .expect("zero window must fail");
+        assert_eq!(err, ConfigError::ZeroField { field: "guard.window" });
+        assert!(with_guard(GuardRailConfig::skip().with_spike_factor(f32::NAN)).is_err());
+        assert!(with_guard(GuardRailConfig::skip().with_spike_factor(1.0)).is_err());
+        assert!(with_guard(GuardRailConfig::skip().with_spike_factor(f32::INFINITY)).is_err());
+        assert!(with_guard(GuardRailConfig::clip(0.0)).is_err());
+        assert!(with_guard(GuardRailConfig::clip(f32::NAN)).is_err());
+    }
 
     #[test]
     fn prodigy_config_disables_everything() {

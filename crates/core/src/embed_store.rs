@@ -189,7 +189,10 @@ impl EmbeddingStore {
         use_reconstruction: bool,
     ) -> Option<(Vec<f32>, f32)> {
         let key = Self::key(dataset_id, point, candidate_seed, sampler, use_reconstruction);
-        let mut inner = self.inner.lock().expect("EmbeddingStore lock");
+        // Poison recovery everywhere in this store: entries are only ever
+        // written whole under the lock, so a panicking holder cannot leave
+        // a torn entry — the worst case after recovery is a stale miss.
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::sync_revision(&mut inner, revision);
         match inner.map.get(&key) {
             Some(entry) if inner.revision == revision => {
@@ -224,7 +227,7 @@ impl EmbeddingStore {
         importance: f32,
     ) {
         let key = Self::key(dataset_id, point, candidate_seed, sampler, use_reconstruction);
-        let mut inner = self.inner.lock().expect("EmbeddingStore lock");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::sync_revision(&mut inner, revision);
         if inner.revision != revision || inner.map.contains_key(&key) {
             // Stale revision (weights moved since this embedding was
@@ -253,7 +256,7 @@ impl EmbeddingStore {
 
     /// Drop every entry (counters survive).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("EmbeddingStore lock");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.map.clear();
         inner.order.clear();
         LEN.set(0);
@@ -261,7 +264,7 @@ impl EmbeddingStore {
 
     /// Usage counters and current size.
     pub fn stats(&self) -> EmbedCacheStats {
-        let inner = self.inner.lock().expect("EmbeddingStore lock");
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         EmbedCacheStats {
             hits: inner.hits,
             misses: inner.misses,

@@ -30,15 +30,19 @@
 //! deprecated shims; they run the same pipeline without the embedding
 //! cache.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use gp_datasets::{Dataset, FewShotTask};
 use gp_tensor::{Parallelism, PoolStats, WorkerPool};
 
 use crate::config::{ConfigError, InferenceConfig, ModelConfig, PretrainConfig};
+use crate::deadline::Deadline;
 use crate::embed_store::{EmbedCacheStats, EmbeddingStore};
+use crate::error::EngineError;
 use crate::guard::DivergenceError;
-use crate::infer::{evaluate_episodes_impl, run_episode_impl, EpisodeResult};
+use crate::infer::{
+    evaluate_episodes_impl, run_episode_deadline_impl, run_episode_impl, EpisodeResult,
+};
 use crate::model::GraphPrompterModel;
 use crate::pretrain::{pretrain, try_pretrain, TrainingCurve};
 
@@ -54,6 +58,7 @@ pub struct EngineBuilder {
     parallelism: Option<Parallelism>,
     timing_mode: bool,
     embed_cache: Option<usize>,
+    shared_pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for EngineBuilder {
@@ -66,6 +71,7 @@ impl Default for EngineBuilder {
             parallelism: None,
             timing_mode: false,
             embed_cache: Some(DEFAULT_EMBED_CACHE_CAPACITY),
+            shared_pool: None,
         }
     }
 }
@@ -130,6 +136,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Share an existing [`WorkerPool`] instead of owning one: every
+    /// engine built with the same `Arc` draws from that pool's single
+    /// thread budget, so N engines in one process (e.g. gp-serve's
+    /// per-session engines) together never exceed the pool's budget.
+    /// Takes precedence over [`EngineBuilder::parallelism`], and
+    /// [`Engine::set_parallelism`] becomes a no-op on the pool.
+    pub fn worker_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.shared_pool = Some(pool);
+        self
+    }
+
     /// Capacity of the cross-episode candidate-embedding cache
     /// (default [`DEFAULT_EMBED_CACHE_CAPACITY`]).
     pub fn embedding_cache(mut self, capacity: usize) -> Self {
@@ -167,6 +184,7 @@ impl EngineBuilder {
             parallelism: self.parallelism,
             timing_mode: self.timing_mode,
             pool: Mutex::new(None),
+            shared_pool: self.shared_pool,
             embed_store: self.embed_cache.map(EmbeddingStore::new),
         })
     }
@@ -185,6 +203,9 @@ pub struct Engine {
     /// changes (e.g. an inherited ambient setting moved, or
     /// [`Engine::set_parallelism`] was called).
     pool: Mutex<Option<Arc<WorkerPool>>>,
+    /// Externally owned pool shared across engines
+    /// ([`EngineBuilder::worker_pool`]); takes precedence over `pool`.
+    shared_pool: Option<Arc<WorkerPool>>,
     embed_store: Option<EmbeddingStore>,
 }
 
@@ -200,11 +221,17 @@ impl Engine {
     /// needed. Every entry point installs this pool for the duration of
     /// the call, so all kernel and episode fan-out shares one budget.
     fn thread_pool(&self) -> Arc<WorkerPool> {
+        if let Some(shared) = &self.shared_pool {
+            return Arc::clone(shared);
+        }
         let want = self
             .parallelism
             .map_or_else(gp_tensor::configured_workers, Parallelism::workers)
             .max(1);
-        let mut slot = self.pool.lock().expect("engine pool lock");
+        // A poisoned slot only means a panicking thread held the lock; the
+        // cached pool handle inside is still valid, so recover it rather
+        // than cascading the panic into every later request.
+        let mut slot = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
         match slot.as_ref() {
             Some(pool) if pool.budget() == want => Arc::clone(pool),
             _ => {
@@ -331,6 +358,32 @@ impl Engine {
         )
     }
 
+    /// As [`Engine::run_episode`], enforcing `deadline` at the stage
+    /// boundaries of the pipeline. `Err(EngineError::DeadlineExceeded)`
+    /// reports the expiring stage, the queries completed, and the partial
+    /// per-stage wall-clock — gp-serve maps it to HTTP 504. An expired
+    /// deadline never corrupts engine state: the episode aborts between
+    /// stages, the shared embedding cache keeps whatever was memoized,
+    /// and the worker pool releases every thread it borrowed.
+    pub fn run_episode_deadline(
+        &self,
+        dataset: &Dataset,
+        task: &FewShotTask,
+        deadline: Deadline,
+    ) -> Result<EpisodeResult, EngineError> {
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
+        run_episode_deadline_impl(
+            &self.model,
+            dataset,
+            task,
+            &self.infer_cfg,
+            self.embed_store.as_ref(),
+            Some(deadline),
+        )
+        .map_err(EngineError::from)
+    }
+
     /// As [`Engine::run_episode`], under an explicit inference config.
     pub fn run_episode_with(
         &self,
@@ -346,6 +399,13 @@ impl Engine {
     /// The owned model (read-only).
     pub fn model(&self) -> &GraphPrompterModel {
         &self.model
+    }
+
+    /// The model's weight revision: bumped on every parameter mutation
+    /// (pretraining steps, checkpoint loads). gp-serve reports it from
+    /// `/v1/health` so a client can detect an engine swap mid-session.
+    pub fn revision(&self) -> u64 {
+        self.model.store.revision()
     }
 
     /// Mutable model access (checkpoint loading, manual surgery). Any
@@ -392,7 +452,7 @@ impl Engine {
     /// bit-identical across budgets — this only changes throughput.
     pub fn set_parallelism(&mut self, p: Option<Parallelism>) {
         self.parallelism = p;
-        *self.pool.lock().expect("engine pool lock") = None;
+        *self.pool.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Whether episode-level fan-out is pinned to 1
@@ -407,9 +467,12 @@ impl Engine {
     /// builds the pool. The regression tests use `peak_active ≤ budget`
     /// to pin down that nested fan-out cannot oversubscribe.
     pub fn pool_stats(&self) -> Option<PoolStats> {
+        if let Some(shared) = &self.shared_pool {
+            return Some(shared.stats());
+        }
         self.pool
             .lock()
-            .expect("engine pool lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
             .map(|p| p.stats())
     }
@@ -665,6 +728,89 @@ mod tests {
         assert_eq!(engine.pool_stats().expect("pool").budget, 1);
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&base), bits(&again));
+    }
+
+    /// A generous deadline is invisible (bit-identical results, populated
+    /// confidences); an already-expired one aborts at the first stage
+    /// boundary with a typed diagnosis, and the engine stays fully
+    /// usable afterwards — no poisoned lock, no leaked pool thread.
+    #[test]
+    fn deadline_episode_matches_undeadlined_and_expires_cleanly() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let engine = Engine::builder()
+            .model_config(tiny_model())
+            .inference_config(tiny_infer())
+            .parallelism(Parallelism::Threads(2))
+            .try_build()
+            .expect("valid engine");
+        let mut rng = StdRng::seed_from_u64(9);
+        let task = gp_datasets::sample_few_shot_task(&ds, 3, 4, 8, &mut rng);
+
+        let plain = engine.run_episode(&ds, &task);
+        let timed = engine
+            .run_episode_deadline(&ds, &task, Deadline::after_millis(120_000))
+            .expect("a two-minute deadline cannot expire here");
+        assert_eq!(plain.predictions, timed.predictions);
+        assert_eq!(timed.confidences.len(), timed.total);
+        assert!(timed.confidences.iter().all(|c| (0.0..=1.0).contains(c)));
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain.confidences), bits(&timed.confidences));
+
+        let err = engine
+            .run_episode_deadline(&ds, &task, Deadline::after_millis(0))
+            .err()
+            .expect("an expired deadline must abort");
+        match err {
+            EngineError::DeadlineExceeded(d) => {
+                assert_eq!(d.stage, "candidate_embed");
+                assert_eq!(d.completed_queries, 0);
+                assert_eq!(d.total_queries, 8);
+                assert!(
+                    d.stage_micros.iter().any(|(s, _)| *s == "candidate_embed"),
+                    "partial timing must cover the aborting stage: {:?}",
+                    d.stage_micros
+                );
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+
+        let again = engine.run_episode(&ds, &task);
+        assert_eq!(bits(&[again.accuracy()]), bits(&[plain.accuracy()]));
+        let stats = engine.pool_stats().expect("pool built");
+        assert!(
+            stats.peak_active <= stats.budget,
+            "aborted episodes must release their pool slots"
+        );
+    }
+
+    /// Engines sharing one pool ([`EngineBuilder::worker_pool`]) draw
+    /// from a single thread budget — the gp-serve sessions model.
+    #[test]
+    fn shared_worker_pool_bounds_engines_jointly() {
+        let ds = CitationConfig::new("t", 300, 5, 31).generate();
+        let pool = Arc::new(WorkerPool::with_budget(2));
+        let build = || {
+            Engine::builder()
+                .model_config(tiny_model())
+                .inference_config(tiny_infer())
+                .worker_pool(Arc::clone(&pool))
+                .try_build()
+                .expect("valid engine")
+        };
+        let a = build();
+        let b = build();
+        let ra = a.evaluate(&ds, 3, 6, 2);
+        let rb = b.evaluate(&ds, 3, 6, 2);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&ra), bits(&rb), "same pool, same weights, same task");
+        let stats = pool.stats();
+        assert_eq!(stats.budget, 2);
+        assert!(stats.peak_active <= 2, "shared budget must bound both engines");
+        assert_eq!(a.pool_stats().expect("shared").budget, 2);
+        assert_eq!(a.revision(), b.revision());
     }
 
     #[test]

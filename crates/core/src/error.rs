@@ -1,0 +1,131 @@
+//! The unified typed error surface of the [`crate::Engine`].
+//!
+//! Every fallible engine entry point reports through [`EngineError`], so
+//! a caller serving many heterogeneous requests (gp-serve) can map
+//! failures to a transport status uniformly:
+//!
+//! | variant | meaning | gp-serve mapping |
+//! |---|---|---|
+//! | [`EngineError::Config`] | invalid request/engine configuration | 400 Bad Request |
+//! | [`EngineError::Divergence`] | guard rail aborted training | 500 Internal |
+//! | [`EngineError::DeadlineExceeded`] | the request deadline fired at a stage boundary | 504 Gateway Timeout |
+
+use crate::config::ConfigError;
+use crate::guard::DivergenceError;
+
+/// Diagnosis of a request that ran out of budget: which stage boundary
+/// observed the expiry, how much of the episode had completed, and the
+/// per-stage wall-clock collected up to that point (the "partial-stage
+/// timing" a 504 response attaches).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// Name of the stage boundary where the expiry was observed
+    /// (`"candidate_embed"`, `"query_embed"`, `"selection"`,
+    /// `"task_graph"`).
+    pub stage: &'static str,
+    /// Queries fully predicted before the abort.
+    pub completed_queries: usize,
+    /// Queries the episode was asked for.
+    pub total_queries: usize,
+    /// `(stage, cumulative µs)` pairs in pipeline order for every stage
+    /// that ran at all before the abort.
+    pub stage_micros: Vec<(&'static str, u64)>,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadline exceeded at stage `{}` after {}/{} queries",
+            self.stage, self.completed_queries, self.total_queries
+        )?;
+        if !self.stage_micros.is_empty() {
+            write!(f, " (")?;
+            for (i, (stage, us)) in self.stage_micros.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{stage}={us}µs")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// Any failure an [`crate::Engine`] entry point can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A config failed validation (bad request or bad engine setup).
+    Config(ConfigError),
+    /// The training guard rail aborted on divergence.
+    Divergence(DivergenceError),
+    /// A request deadline fired at a pipeline stage boundary.
+    DeadlineExceeded(DeadlineExceeded),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "configuration: {e}"),
+            EngineError::Divergence(e) => write!(f, "divergence: {e}"),
+            EngineError::DeadlineExceeded(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<DivergenceError> for EngineError {
+    fn from(e: DivergenceError) -> Self {
+        EngineError::Divergence(e)
+    }
+}
+
+impl From<DeadlineExceeded> for EngineError {
+    fn from(e: DeadlineExceeded) -> Self {
+        EngineError::DeadlineExceeded(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_exceeded_display_lists_partial_stages() {
+        let e = DeadlineExceeded {
+            stage: "selection",
+            completed_queries: 5,
+            total_queries: 12,
+            stage_micros: vec![("candidate_embed", 900), ("query_embed", 400)],
+        };
+        let s = e.to_string();
+        assert!(s.contains("`selection`"), "{s}");
+        assert!(s.contains("5/12"), "{s}");
+        assert!(s.contains("candidate_embed=900µs"), "{s}");
+    }
+
+    #[test]
+    fn engine_error_wraps_all_sources() {
+        let c: EngineError = ConfigError::ZeroField { field: "steps" }.into();
+        assert!(matches!(c, EngineError::Config(_)));
+        assert!(c.to_string().contains("steps"));
+        let d: EngineError = DeadlineExceeded {
+            stage: "task_graph",
+            completed_queries: 0,
+            total_queries: 1,
+            stage_micros: vec![],
+        }
+        .into();
+        assert!(matches!(d, EngineError::DeadlineExceeded(_)));
+    }
+}

@@ -95,6 +95,25 @@ impl GuardRailConfig {
             ..Self::default()
         }
     }
+
+    /// Set the trailing-median window (number of healthy losses kept).
+    /// Validated by [`crate::PretrainConfig::validate`]: must be ≥ 1.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Set the warmup count before spike detection activates.
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Set the spike factor (non-positive disables spike detection).
+    pub fn with_spike_factor(mut self, factor: f32) -> Self {
+        self.spike_factor = factor;
+        self
+    }
 }
 
 /// Typed divergence diagnosis, returned as an error under

@@ -30,7 +30,9 @@ use crate::augmenter::PromptAugmenter;
 use crate::batch::SubgraphBatch;
 use crate::cache::CachePolicy;
 use crate::config::{InferenceConfig, PseudoLabelPolicy};
+use crate::deadline::Deadline;
 use crate::embed_store::EmbeddingStore;
+use crate::error::DeadlineExceeded;
 use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
 use crate::selector::select_prompts_with_metric;
 
@@ -65,6 +67,9 @@ pub struct EpisodeResult {
     pub query_labels: Vec<usize>,
     /// Predicted episode labels per query.
     pub predictions: Vec<usize>,
+    /// Softmax probability of the predicted class per query — the model's
+    /// confidence, independent of the pseudo-label admission policy.
+    pub confidences: Vec<f32>,
 }
 
 impl EpisodeResult {
@@ -185,6 +190,66 @@ fn embed_points(
     (Tensor::from_vec(points.len(), dim, data), importances)
 }
 
+/// Cumulative per-stage wall-clock for the partial-timing diagnostics a
+/// deadline abort carries. Only active when a deadline is present, so
+/// the deadline-free path pays no extra clock reads.
+struct StageClock {
+    active: bool,
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl StageClock {
+    fn new(active: bool) -> Self {
+        Self {
+            active,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Time `f`, attributing its wall-clock to `stage`.
+    fn time<T>(&mut self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        if !self.active {
+            return f();
+        }
+        // gp-lint: allow(D4) — deadline-abort diagnostics only; never feeds a prediction
+        let started = Instant::now();
+        let out = f();
+        self.add(stage, started.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Accumulate `micros` onto `stage`.
+    fn add(&mut self, stage: &'static str, micros: u64) {
+        if !self.active {
+            return;
+        }
+        match self.stages.iter_mut().find(|(s, _)| *s == stage) {
+            Some((_, total)) => *total += micros,
+            None => self.stages.push((stage, micros)),
+        }
+    }
+}
+
+/// `Err` when `deadline` has expired at the boundary named `stage`,
+/// carrying progress and the partial stage timing collected so far.
+fn check_deadline(
+    deadline: Option<Deadline>,
+    stage: &'static str,
+    completed_queries: usize,
+    total_queries: usize,
+    clock: &StageClock,
+) -> Result<(), DeadlineExceeded> {
+    match deadline {
+        Some(d) if d.expired() => Err(DeadlineExceeded {
+            stage,
+            completed_queries,
+            total_queries,
+            stage_micros: clock.stages.clone(),
+        }),
+        _ => Ok(()),
+    }
+}
+
 /// Run Alg. 2 over one episode; `cache` memoizes candidate embeddings
 /// across calls (the Engine passes its [`EmbeddingStore`]).
 pub(crate) fn run_episode_impl(
@@ -194,6 +259,28 @@ pub(crate) fn run_episode_impl(
     cfg: &InferenceConfig,
     cache: Option<&EmbeddingStore>,
 ) -> EpisodeResult {
+    match run_episode_deadline_impl(model, dataset, task, cfg, cache, None) {
+        Ok(res) => res,
+        // gp-lint: allow(R1) — structurally impossible: a None deadline never expires
+        Err(_) => unreachable!("an episode without a deadline cannot time out"),
+    }
+}
+
+/// As [`run_episode_impl`], enforcing `deadline` at the stage boundaries
+/// of the pipeline: after candidate embedding, and after each query
+/// batch's embed / selection / task-graph stages. Work completed before
+/// the expiry is bit-identical to an undeadlined run — the clock decides
+/// only whether to continue, never what to compute.
+pub(crate) fn run_episode_deadline_impl(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    task: &FewShotTask,
+    cfg: &InferenceConfig,
+    cache: Option<&EmbeddingStore>,
+    deadline: Option<Deadline>,
+) -> Result<EpisodeResult, DeadlineExceeded> {
+    let mut clock = StageClock::new(deadline.is_some());
+    let total_queries = task.queries.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sampler = RandomWalkSampler::new(cfg.sampler);
     let m = task.ways();
@@ -219,7 +306,10 @@ pub(crate) fn run_episode_impl(
         cfg.candidate_seed,
         cache,
     );
-    embed_nanos += embed_started.elapsed().as_nanos();
+    let cand_embed_nanos = embed_started.elapsed().as_nanos();
+    embed_nanos += cand_embed_nanos;
+    clock.add("candidate_embed", (cand_embed_nanos / 1_000) as u64);
+    check_deadline(deadline, "candidate_embed", 0, total_queries, &clock)?;
 
     // Per-class caches of size c; admission takes each class's most
     // confident gated query per batch ("|Q̂| ≤ m").
@@ -231,6 +321,7 @@ pub(crate) fn run_episode_impl(
         .with_min_confidence(min_confidence);
     let mut correct = 0usize;
     let mut predictions = Vec::with_capacity(task.queries.len());
+    let mut all_confidences = Vec::with_capacity(task.queries.len());
     let mut query_labels = Vec::with_capacity(task.queries.len());
     // Raw row accumulator, materialized as one Tensor at the end: a
     // per-chunk `concat_rows` re-copied every prior row each iteration
@@ -253,10 +344,13 @@ pub(crate) fn run_episode_impl(
             cfg.seed,
             None,
         );
-        embed_nanos += embed_started.elapsed().as_nanos();
+        let q_embed_nanos = embed_started.elapsed().as_nanos();
+        embed_nanos += q_embed_nanos;
+        clock.add("query_embed", (q_embed_nanos / 1_000) as u64);
+        check_deadline(deadline, "query_embed", predictions.len(), total_queries, &clock)?;
 
         // Prompt Selector: score + vote → Ŝ (k per class).
-        let selection = {
+        let selection = clock.time("selection", || {
             let _span = SELECTION_MICROS.span();
             select_prompts_with_metric(
                 &cand_embs,
@@ -271,7 +365,8 @@ pub(crate) fn run_episode_impl(
                 cfg.knn_metric,
                 &mut rng,
             )
-        };
+        });
+        check_deadline(deadline, "selection", predictions.len(), total_queries, &clock)?;
 
         // Assemble the task-graph prompt rows: Ŝ, importance-weighted when
         // the selection layer is active, then Ŝ' = Ŝ ∪ C (Eq. 9).
@@ -294,13 +389,14 @@ pub(crate) fn run_episode_impl(
         }
 
         // Task graph (Eq. 10) + cosine argmax prediction (Eq. 11).
-        let task_span = TASK_GRAPH_MICROS.span();
-        let mut sess = Session::new(&model.store);
-        let pv = sess.data(p_rows);
-        let qv = sess.data(q_embs.clone());
-        let out = model.task_forward(&mut sess, pv, &p_labels, qv, m);
-        let logits = sess.value(out.logits).clone();
-        drop(task_span);
+        let logits = clock.time("task_graph", || {
+            let _span = TASK_GRAPH_MICROS.span();
+            let mut sess = Session::new(&model.store);
+            let pv = sess.data(p_rows);
+            let qv = sess.data(q_embs.clone());
+            let out = model.task_forward(&mut sess, pv, &p_labels, qv, m);
+            sess.value(out.logits).clone()
+        });
         let preds = logits.argmax_rows();
         let probs = logits.softmax_rows();
         let confidences: Vec<f32> = (0..preds.len())
@@ -314,6 +410,10 @@ pub(crate) fn run_episode_impl(
             .collect();
 
         correct += preds.iter().zip(&q_labels).filter(|(a, b)| a == b).count();
+        // Model confidence per query (always the softmax of the argmax:
+        // the pseudo-label policy above may randomize its own copy, but
+        // the reported confidence stays the model's).
+        all_confidences.extend((0..preds.len()).map(|r| probs.get(r, preds[r])));
         predictions.extend(preds.iter().copied());
         query_labels.extend(q_labels.iter().copied());
         all_query_embs.extend_from_slice(q_embs.as_slice());
@@ -342,11 +442,16 @@ pub(crate) fn run_episode_impl(
             };
             augmenter.observe(&admit_embs, &preds, &confidences);
         }
+        // A finished episode is always returned, even if the deadline
+        // fired during its final chunk — the work is already done.
+        if predictions.len() < total_queries {
+            check_deadline(deadline, "task_graph", predictions.len(), total_queries, &clock)?;
+        }
     }
 
     let total = task.queries.len();
     let elapsed = started.elapsed();
-    EpisodeResult {
+    Ok(EpisodeResult {
         correct,
         total,
         per_query_micros: elapsed.as_micros() as f64 / total.max(1) as f64,
@@ -354,7 +459,8 @@ pub(crate) fn run_episode_impl(
         query_embeddings: Tensor::from_vec(query_labels.len(), embed_dim, all_query_embs),
         query_labels,
         predictions,
-    }
+        confidences: all_confidences,
+    })
 }
 
 /// Run Alg. 2 over one episode and return predictions plus timing.
@@ -455,7 +561,11 @@ pub(crate) fn evaluate_episodes_impl(
         results.iter_mut().map(std::sync::Mutex::new).collect();
     pool.for_each_index(episodes, |i| {
         let acc = one(i);
-        **slots[i].lock().expect("unpoisoned slot") = acc;
+        // Each slot is touched by exactly one task; a poisoned lock can
+        // only mean that task already panicked, so recovery is safe.
+        **slots[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = acc;
     });
     drop(slots);
     results

@@ -54,8 +54,10 @@ pub mod batch;
 pub mod cache;
 pub mod checkpoint;
 pub mod config;
+pub mod deadline;
 pub mod embed_store;
 pub mod engine;
+pub mod error;
 pub mod guard;
 pub mod infer;
 pub mod lfu;
@@ -74,8 +76,10 @@ pub use config::{
     ConfigError, GeneratorKind, InferenceConfig, InferenceConfigBuilder, ModelConfig,
     ModelConfigBuilder, PretrainConfig, PretrainConfigBuilder, PseudoLabelPolicy, StageConfig,
 };
+pub use deadline::Deadline;
 pub use embed_store::{EmbedCacheStats, EmbeddingStore};
 pub use engine::{Engine, EngineBuilder, DEFAULT_EMBED_CACHE_CAPACITY};
+pub use error::{DeadlineExceeded, EngineError};
 pub use guard::{DivergenceError, GuardAction, GuardRail, GuardRailConfig, StepVerdict};
 #[allow(deprecated)]
 pub use infer::{evaluate_episodes, run_episode, run_episode_with_policy};

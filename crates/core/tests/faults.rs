@@ -10,8 +10,9 @@
 use std::path::PathBuf;
 
 use gp_core::checkpoint::{
-    checkpoint_file_name, list_checkpoints, load_trainer_checkpoint, save_model,
-    save_trainer_checkpoint, scan_for_recovery, TrainerMeta,
+    checkpoint_file_name, list_checkpoints, load_trainer_checkpoint, read_container, save_model,
+    save_trainer_checkpoint, save_trainer_checkpoint_faulty, scan_for_recovery, TrainerMeta,
+    WriteFault,
 };
 use gp_core::{
     pretrain_resumable, CheckpointConfig, GraphPrompterModel, ModelConfig, PretrainConfig,
@@ -329,6 +330,61 @@ fn recovery_ignores_kill_debris() {
         1,
         "only the empty ckpt-30 file is skipped"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Injected crashes inside the atomic writer itself — mid-`write` before
+/// any fsync, and between fsync and rename — must leave the newest valid
+/// checkpoint recoverable and must never surface a partial file under a
+/// final checkpoint name.
+#[test]
+fn injected_writer_crash_never_loses_newest_valid_checkpoint() {
+    let dir = tmpdir("faultywrite");
+    let model = GraphPrompterModel::new(tiny_model_cfg(8, 12, 9));
+    let meta_at = |step: usize| TrainerMeta {
+        step,
+        best_params: model.store.snapshot(),
+        ..TrainerMeta::default()
+    };
+    save_trainer_checkpoint(&dir.join(checkpoint_file_name(10)), &model, &meta_at(10)).unwrap();
+
+    for fault in [WriteFault::TornWrite, WriteFault::BeforeRename] {
+        let newer = dir.join(checkpoint_file_name(20));
+        let err = save_trainer_checkpoint_faulty(&newer, &model, &meta_at(20), fault)
+            .expect_err("an injected crash must report failure");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+
+        // The final name must not exist at all: the crash happened before
+        // the rename, so there is nothing — partial or whole — to load.
+        assert!(
+            !newer.exists(),
+            "{fault:?} must never materialize the final checkpoint name"
+        );
+        let listed: Vec<usize> = list_checkpoints(&dir).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(listed, vec![10], "{fault:?} residue must not be listed");
+
+        let scan = scan_for_recovery(&dir);
+        let (step, _, _, meta) = scan.recovered.expect("step 10 must survive the crash");
+        assert_eq!((step, meta.step), (10, 10), "{fault:?} lost the newest valid checkpoint");
+        assert!(scan.skipped.is_empty(), "{fault:?} residue reached recovery");
+    }
+
+    // The post-fsync orphan temp file is a *complete* container (that is
+    // what "synced before rename" means) — recovery just never looks at
+    // temp names, so it cannot be half-adopted.
+    let orphan = dir.join(format!(
+        "{}.tmp.{}",
+        checkpoint_file_name(20),
+        std::process::id()
+    ));
+    assert!(orphan.exists(), "BeforeRename must leave its temp file");
+    read_container(&orphan).expect("the synced orphan is internally complete");
+
+    // A later healthy write at the same step goes through cleanly and
+    // becomes the recovery target.
+    save_trainer_checkpoint(&dir.join(checkpoint_file_name(20)), &model, &meta_at(20)).unwrap();
+    let scan = scan_for_recovery(&dir);
+    assert_eq!(scan.recovered.expect("recovers").0, 20);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,10 +1,11 @@
-//! The R1 ratchet baseline: a committed TOML file recording, per crate,
-//! how many `unwrap`/`expect`/`panic!`/`unreachable!` sites its library
-//! code still contains.
+//! The ratchet baseline: a committed TOML file recording, per crate,
+//! how many sites of each *ratcheted* rule its library code still
+//! contains — `[R1]` counts `unwrap`/`expect`/`panic!`/`unreachable!`
+//! sites, `[B1]` counts unbounded channel/queue constructions.
 //!
-//! Semantics (see [`crate::rules::Rule::R1`]):
+//! Semantics (see [`crate::rules::Rule::R1`] / [`crate::rules::Rule::B1`]):
 //! * a crate's current count **above** its baseline fails `--check`
-//!   (new panicking code was added);
+//!   (new panicking / unbounded-queue code was added);
 //! * a count **below** its baseline passes but prints a notice — run
 //!   `gp-lint --update-baseline` to lower the floor and lock in the
 //!   improvement;
@@ -12,35 +13,53 @@
 //!   clean; gp-lint itself is pinned there).
 //!
 //! The file is a deliberately tiny TOML subset so the linter stays
-//! dependency-free: `#` comments, one `[R1]` table, and bare
-//! `crate-name = count` pairs (hyphens are legal in bare TOML keys).
-//! [`Baseline::render`] writes crates sorted by name so regeneration is
-//! byte-stable.
+//! dependency-free: `#` comments, the `[R1]` and `[B1]` tables, and
+//! bare `crate-name = count` pairs (hyphens are legal in bare TOML
+//! keys). [`Baseline::render`] writes sections in fixed order and
+//! crates sorted by name so regeneration is byte-stable.
 
-/// Parsed baseline: per-crate R1 counts, sorted by crate name.
+/// Parsed baseline: per-crate counts for each ratcheted rule.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// `(crate, allowed R1 count)`, sorted by crate name.
     pub r1: Vec<(String, usize)>,
+    /// `(crate, allowed B1 count)`, sorted by crate name.
+    pub b1: Vec<(String, usize)>,
+}
+
+fn lookup(section: &[(String, usize)], crate_name: &str) -> usize {
+    section
+        .iter()
+        .find(|(c, _)| c == crate_name)
+        .map(|(_, n)| *n)
+        .unwrap_or(0)
+}
+
+fn sorted_dedup(counts: &[(String, usize)]) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = counts.to_vec();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
 }
 
 impl Baseline {
-    /// The ratcheted ceiling for `crate_name` (0 when absent).
+    /// The ratcheted R1 ceiling for `crate_name` (0 when absent).
     pub fn get(&self, crate_name: &str) -> usize {
-        self.r1
-            .iter()
-            .find(|(c, _)| c == crate_name)
-            .map(|(_, n)| *n)
-            .unwrap_or(0)
+        lookup(&self.r1, crate_name)
+    }
+
+    /// The ratcheted B1 ceiling for `crate_name` (0 when absent).
+    pub fn get_b1(&self, crate_name: &str) -> usize {
+        lookup(&self.b1, crate_name)
     }
 
     /// Build a baseline from observed counts (zeros are written out too,
     /// so a clean crate's cleanliness is itself ratcheted).
-    pub fn from_counts(counts: &[(String, usize)]) -> Self {
-        let mut r1: Vec<(String, usize)> = counts.to_vec();
-        r1.sort_by(|a, b| a.0.cmp(&b.0));
-        r1.dedup_by(|a, b| a.0 == b.0);
-        Baseline { r1 }
+    pub fn from_counts(r1: &[(String, usize)], b1: &[(String, usize)]) -> Self {
+        Baseline {
+            r1: sorted_dedup(r1),
+            b1: sorted_dedup(b1),
+        }
     }
 
     /// Parse the TOML subset. Unknown sections are rejected rather than
@@ -48,6 +67,7 @@ impl Baseline {
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut section: Option<String> = None;
         let mut r1: Vec<(String, usize)> = Vec::new();
+        let mut b1: Vec<(String, usize)> = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = match raw.find('#') {
                 Some(i) => &raw[..i],
@@ -65,9 +85,9 @@ impl Baseline {
                     ));
                 };
                 let name = name.trim();
-                if name != "R1" {
+                if name != "R1" && name != "B1" {
                     return Err(format!(
-                        "baseline line {}: unknown section [{name}] (only [R1] is ratcheted)",
+                        "baseline line {}: unknown section [{name}] (only [R1] and [B1] are ratcheted)",
                         lineno + 1
                     ));
                 }
@@ -80,12 +100,16 @@ impl Baseline {
                     lineno + 1
                 ));
             };
-            if section.as_deref() != Some("R1") {
-                return Err(format!(
-                    "baseline line {}: entry outside the [R1] section",
-                    lineno + 1
-                ));
-            }
+            let into = match section.as_deref() {
+                Some("R1") => &mut r1,
+                Some("B1") => &mut b1,
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: entry outside the [R1]/[B1] sections",
+                        lineno + 1
+                    ));
+                }
+            };
             let key = key.trim();
             let ok_key = !key.is_empty()
                 && key
@@ -104,37 +128,47 @@ impl Baseline {
                     value.trim()
                 )
             })?;
-            if r1.iter().any(|(c, _)| c == key) {
+            if into.iter().any(|(c, _)| c == key) {
                 return Err(format!(
                     "baseline line {}: duplicate crate `{key}`",
                     lineno + 1
                 ));
             }
-            r1.push((key.to_string(), count));
+            into.push((key.to_string(), count));
         }
         r1.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(Baseline { r1 })
+        b1.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Baseline { r1, b1 })
     }
 
-    /// Byte-stable rendering (sorted crates, fixed header).
+    /// Byte-stable rendering (fixed section order, sorted crates,
+    /// fixed header).
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# gp-lint R1 ratchet baseline — per-crate counts of unwrap/expect/\n\
-             # panic!/unreachable! in non-test library code. CI fails when a count\n\
+            "# gp-lint ratchet baseline — per-crate counts of non-test library-code\n\
+             # sites for the ratcheted rules: [R1] unwrap/expect/panic!/unreachable!,\n\
+             # [B1] unbounded channel/queue construction. CI fails when a count\n\
              # rises; run `gp-lint --update-baseline` after lowering one.\n\
              \n\
              [R1]\n",
         );
-        let mut sorted = self.r1.clone();
-        sorted.sort_by(|a, b| a.0.cmp(&b.0));
-        for (name, count) in &sorted {
+        let mut r1 = self.r1.clone();
+        r1.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, count) in &r1 {
+            out.push_str(&format!("{name} = {count}\n"));
+        }
+        out.push_str("\n[B1]\n");
+        let mut b1 = self.b1.clone();
+        b1.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, count) in &b1 {
             out.push_str(&format!("{name} = {count}\n"));
         }
         out
     }
 }
 
-/// Outcome of comparing observed counts to the committed baseline.
+/// Outcome of comparing one rule's observed counts to its baseline
+/// section.
 #[derive(Clone, Debug, Default)]
 pub struct RatchetReport {
     /// Crates whose count rose: `(crate, baseline, observed)` — errors.
@@ -144,15 +178,16 @@ pub struct RatchetReport {
 }
 
 impl RatchetReport {
-    /// Compare observed per-crate counts against `baseline`.
-    pub fn compare(baseline: &Baseline, observed: &[(String, usize)]) -> Self {
+    /// Compare observed per-crate counts against one baseline section
+    /// (`baseline.r1` or `baseline.b1`).
+    pub fn compare(allowed: &[(String, usize)], observed: &[(String, usize)]) -> Self {
         let mut rep = RatchetReport::default();
         for (name, n) in observed {
-            let allowed = baseline.get(name);
-            if *n > allowed {
-                rep.regressed.push((name.clone(), allowed, *n));
-            } else if *n < allowed {
-                rep.improved.push((name.clone(), allowed, *n));
+            let ceiling = lookup(allowed, name);
+            if *n > ceiling {
+                rep.regressed.push((name.clone(), ceiling, *n));
+            } else if *n < ceiling {
+                rep.improved.push((name.clone(), ceiling, *n));
             }
         }
         rep.regressed.sort();
@@ -167,11 +202,14 @@ mod tests {
 
     #[test]
     fn parse_roundtrip_is_stable() {
-        let b = Baseline::from_counts(&[
-            ("gp-core".into(), 12),
-            ("gp-lint".into(), 0),
-            ("gp-tensor".into(), 3),
-        ]);
+        let b = Baseline::from_counts(
+            &[
+                ("gp-core".into(), 12),
+                ("gp-lint".into(), 0),
+                ("gp-tensor".into(), 3),
+            ],
+            &[("gp-bench".into(), 2), ("gp-core".into(), 0)],
+        );
         let text = b.render();
         let b2 = Baseline::parse(&text).unwrap();
         assert_eq!(b, b2);
@@ -180,16 +218,25 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_tolerated() {
-        let text = "# header\n\n[R1]\n  gp-core = 4  # trailing note\n\ngp_x = 0\n";
+        let text = "# header\n\n[R1]\n  gp-core = 4  # trailing note\n\ngp_x = 0\n\n[B1]\ngp-core = 1\n";
         let b = Baseline::parse(text).unwrap();
         assert_eq!(b.get("gp-core"), 4);
         assert_eq!(b.get("gp_x"), 0);
+        assert_eq!(b.get_b1("gp-core"), 1);
     }
 
     #[test]
     fn missing_crate_defaults_to_zero() {
         let b = Baseline::parse("[R1]\ngp-core = 2\n").unwrap();
         assert_eq!(b.get("gp-new-crate"), 0);
+        assert_eq!(b.get_b1("gp-core"), 0, "absent [B1] section means 0");
+    }
+
+    #[test]
+    fn same_crate_may_appear_in_both_sections() {
+        let b = Baseline::parse("[R1]\ngp-core = 2\n[B1]\ngp-core = 3\n").unwrap();
+        assert_eq!(b.get("gp-core"), 2);
+        assert_eq!(b.get_b1("gp-core"), 3);
     }
 
     #[test]
@@ -200,6 +247,7 @@ mod tests {
             "[R1]\ngp core = 1\n",              // not a bare key
             "[R1]\ngp-core = many\n",           // not a count
             "[R1]\ngp-core = 1\ngp-core = 2\n", // duplicate
+            "[B1]\ngp-core = 1\ngp-core = 2\n", // duplicate within [B1]
             "[R1\ngp-core = 1\n",               // unterminated header
         ] {
             assert!(Baseline::parse(bad).is_err(), "{bad:?} must fail");
@@ -209,7 +257,8 @@ mod tests {
     #[test]
     fn ratchet_classifies_rises_and_falls() {
         let b = Baseline::parse("[R1]\na = 5\nb = 2\n").unwrap();
-        let rep = RatchetReport::compare(&b, &[("a".into(), 7), ("b".into(), 1), ("c".into(), 0)]);
+        let rep =
+            RatchetReport::compare(&b.r1, &[("a".into(), 7), ("b".into(), 1), ("c".into(), 0)]);
         assert_eq!(rep.regressed, vec![("a".into(), 5, 7)]);
         assert_eq!(rep.improved, vec![("b".into(), 2, 1)]);
     }
@@ -217,7 +266,7 @@ mod tests {
     #[test]
     fn new_crate_with_sites_regresses_against_zero() {
         let b = Baseline::default();
-        let rep = RatchetReport::compare(&b, &[("fresh".into(), 1)]);
+        let rep = RatchetReport::compare(&b.b1, &[("fresh".into(), 1)]);
         assert_eq!(rep.regressed, vec![("fresh".into(), 0, 1)]);
     }
 }

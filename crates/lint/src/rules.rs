@@ -47,6 +47,17 @@
 //!   CI fails when a count rises and `--update-baseline` rewrites the
 //!   file when counts fall. The floor only moves down.
 //!
+//! * **B1 — no unbounded channel/queue construction in library code.**
+//!   `mpsc::channel()` and `VecDeque::new()` have no capacity bound, so
+//!   a producer that outruns its consumer turns back-pressure into
+//!   unbounded memory growth — the failure mode gp-serve's admission
+//!   queue exists to prevent. Bound it (`mpsc::sync_channel(n)`,
+//!   `gp_serve::BoundedQueue`), size it (`VecDeque::with_capacity(n)`
+//!   plus an explicit cap check), or justify the site with
+//!   `// gp-lint: allow(B1) — <why depth is bounded by construction>`.
+//!   Ratcheted like R1: `lint-baseline.toml` records today's per-crate
+//!   counts and the floor only moves down.
+//!
 //! * **O1 — no `println!`/`eprintln!` in library crates.** Libraries
 //!   report through return values and `gp-obs`; stdout belongs to the
 //!   binaries.
@@ -91,6 +102,8 @@ pub enum Rule {
     D4,
     /// `unwrap`/`expect`/`panic!`/`unreachable!` in library code (ratcheted).
     R1,
+    /// Unbounded channel/queue construction in library code (ratcheted).
+    B1,
     /// `println!`-family output from a library crate.
     O1,
     /// Malformed or unknown suppression pragma.
@@ -106,6 +119,7 @@ impl Rule {
             Rule::D3 => "D3",
             Rule::D4 => "D4",
             Rule::R1 => "R1",
+            Rule::B1 => "B1",
             Rule::O1 => "O1",
             Rule::P1 => "P1",
         }
@@ -115,7 +129,7 @@ impl Rule {
     pub fn category(self) -> &'static str {
         match self {
             Rule::D1 | Rule::D2 | Rule::D3 | Rule::D4 => "determinism",
-            Rule::R1 => "robustness",
+            Rule::R1 | Rule::B1 => "robustness",
             Rule::O1 => "hygiene",
             Rule::P1 => "pragma",
         }
@@ -123,7 +137,7 @@ impl Rule {
 
     /// All rules a pragma may name.
     pub fn suppressible() -> &'static [&'static str] {
-        &["D1", "D2", "D3", "D4", "R1", "O1"]
+        &["D1", "D2", "D3", "D4", "R1", "B1", "O1"]
     }
 
     /// One-line description for `--list-rules`.
@@ -134,6 +148,7 @@ impl Rule {
             Rule::D3 => "no unseeded randomness (thread_rng/from_entropy/rand::random)",
             Rule::D4 => "no Instant::now/SystemTime::now in result-affecting crates",
             Rule::R1 => "no unwrap/expect/panic!/unreachable! in library code (ratcheted)",
+            Rule::B1 => "no unbounded channel/queue construction in library code (ratcheted)",
             Rule::O1 => "no println!/eprintln! in library crates",
             Rule::P1 => "suppression pragmas must name known rules and give a reason",
         }
@@ -207,6 +222,8 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// R1 sites, reported only when the crate exceeds its baseline.
     pub r1_sites: Vec<Violation>,
+    /// B1 sites (unbounded channel/queue), ratcheted like R1.
+    pub b1_sites: Vec<Violation>,
     /// Sites silenced by a verified pragma (for `--json` stats).
     pub suppressed: usize,
 }
@@ -265,6 +282,8 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
         };
         if rule == Rule::R1 {
             rep.r1_sites.push(v);
+        } else if rule == Rule::B1 {
+            rep.b1_sites.push(v);
         } else {
             rep.violations.push(v);
         }
@@ -335,12 +354,25 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
                 format!("`{tok}` from a library crate — report through gp-obs or return values"),
             );
         }
+        for (line, tok) in b1_hits(&chars, &lines, &words) {
+            push(
+                &mut rep,
+                Rule::B1,
+                line,
+                format!(
+                    "`{tok}` has no capacity bound — use mpsc::sync_channel / \
+                     gp_serve::BoundedQueue / VecDeque::with_capacity, or justify with \
+                     `// gp-lint: allow(B1) — <reason>`"
+                ),
+            );
+        }
     }
     // Per-file stability: detectors run rule-by-rule, so line order
     // needs restoring before anything downstream sees the report.
     rep.violations
         .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     rep.r1_sites.sort_by_key(|v| v.line);
+    rep.b1_sites.sort_by_key(|v| v.line);
     rep
 }
 
@@ -782,6 +814,54 @@ fn r1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(us
 }
 
 // ---------------------------------------------------------------------------
+// B1 — unbounded channel/queue construction.
+
+fn b1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    // Non-whitespace separator chars between two adjacent words.
+    let sep = |a: (usize, usize), b: (usize, usize)| -> String {
+        chars[a.1..b.0]
+            .iter()
+            .filter(|c| !c.is_whitespace())
+            .collect()
+    };
+    let mut hits = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let name = word_at(chars, w);
+        match name.as_str() {
+            "channel" => {
+                // Only `mpsc::channel(` (incl. turbofish) — `sync_channel`
+                // is a different word, and a local fn named `channel`
+                // without the mpsc qualifier is not implicated.
+                let qualified = wi >= 1
+                    && word_at(chars, words[wi - 1]) == "mpsc"
+                    && sep(words[wi - 1], w) == "::";
+                let invoked = matches!(
+                    next_nonws(chars, w.1).map(|(_, c)| c),
+                    Some('(') | Some(':')
+                );
+                if qualified && invoked {
+                    hits.push((line_of(lines, w.0), "mpsc::channel()".to_string()));
+                }
+            }
+            "VecDeque" => {
+                // `VecDeque::new()` — `with_capacity` signals a conscious
+                // size decision and is allowed (pair it with a cap check).
+                if let Some(&next) = words.get(wi + 1) {
+                    if sep(w, next) == "::"
+                        && word_at(chars, next) == "new"
+                        && next_nonws(chars, next.1).map(|(_, c)| c) == Some('(')
+                    {
+                        hits.push((line_of(lines, w.0), "VecDeque::new()".to_string()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
 // O1 — stdout/stderr from libraries.
 
 fn o1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
@@ -934,6 +1014,48 @@ mod tests {
             "fn main() { std::fs::read(\"x\").unwrap(); }",
         );
         assert!(bin.r1_sites.is_empty());
+    }
+
+    #[test]
+    fn b1_flags_unbounded_channel_and_vecdeque() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel::<u32>(); sink(tx, rx);\n\
+                   let mut q = VecDeque::new(); q.push_back(1); }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert_eq!(rep.b1_sites.len(), 2, "{:?}", rep.b1_sites);
+        assert!(rep.b1_sites.iter().all(|v| v.rule == Rule::B1));
+        assert_eq!(rep.b1_sites[0].line, 1);
+        assert_eq!(rep.b1_sites[1].line, 2);
+    }
+
+    #[test]
+    fn b1_allows_bounded_constructions() {
+        let src = "fn f() { let (tx, rx) = mpsc::sync_channel(8); sink(tx, rx);\n\
+                   let q: VecDeque<u32> = VecDeque::with_capacity(8); use_(q); }\n";
+        let rep = lint_lib(src);
+        assert!(rep.b1_sites.is_empty(), "{:?}", rep.b1_sites);
+    }
+
+    #[test]
+    fn b1_ignores_harness_bins_and_unqualified_channel() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); sink(tx, rx); }\n";
+        let harness = lint_source("crates/serve/tests/t.rs", "gp-serve", FileKind::Harness, src);
+        assert!(harness.b1_sites.is_empty());
+        let bin = lint_source("src/bin/gp.rs", "graphprompter", FileKind::Bin, src);
+        assert!(bin.b1_sites.is_empty());
+        // A fn merely named `channel` with no mpsc qualifier is fine.
+        let local = lint_lib("fn f() { let c = channel(); use_(c); }\n");
+        assert!(local.b1_sites.is_empty(), "{:?}", local.b1_sites);
+    }
+
+    #[test]
+    fn b1_pragma_suppresses_with_reason() {
+        let src = "fn f() {\n\
+                   // gp-lint: allow(B1) — one message per worker, depth bounded by the pool budget\n\
+                   let (tx, rx) = mpsc::channel(); sink(tx, rx); }\n";
+        let rep = lint_lib(src);
+        assert!(rep.b1_sites.is_empty(), "{:?}", rep.b1_sites);
+        assert_eq!(rep.suppressed, 1);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Library-side everything is pure: [`run`] returns an [`Outcome`] and
 //! [`run_cli`] returns `(report_text, exit_code)` — printing is the
 //! binary's job, so gp-lint passes its own O1 rule ("no `println!` in
-//! library crates") and its own R1 ratchet (zero panicking constructs:
-//! every fallible step routes through `Result<_, String>`).
+//! library crates") and its own R1/B1 ratchets (zero panicking
+//! constructs, zero unbounded queues: every fallible step routes
+//! through `Result<_, String>`).
 
 use std::collections::HashMap;
 use std::fs;
@@ -23,7 +24,7 @@ pub struct Options {
     pub root: PathBuf,
     /// Emit the report as JSON instead of text.
     pub json: bool,
-    /// Rewrite the baseline file with the observed R1 counts.
+    /// Rewrite the baseline file with the observed R1/B1 counts.
     pub update_baseline: bool,
     /// Path to the baseline file (default `<root>/lint-baseline.toml`).
     pub baseline: PathBuf,
@@ -32,13 +33,17 @@ pub struct Options {
 /// Everything one lint run produced.
 #[derive(Clone, Debug, Default)]
 pub struct Outcome {
-    /// Hard violations (D1–D4, O1, P1 plus over-baseline R1), sorted by
-    /// `(file, line, rule)` so output is byte-stable across runs.
+    /// Hard violations (D1–D4, O1, P1 plus over-baseline R1/B1), sorted
+    /// by `(file, line, rule)` so output is byte-stable across runs.
     pub violations: Vec<Violation>,
     /// Per-crate observed R1 counts (library code, unsuppressed), sorted.
     pub r1_counts: Vec<(String, usize)>,
-    /// Ratchet comparison against the committed baseline.
+    /// Per-crate observed B1 counts (library code, unsuppressed), sorted.
+    pub b1_counts: Vec<(String, usize)>,
+    /// R1 ratchet comparison against the committed baseline.
     pub ratchet: RatchetReport,
+    /// B1 ratchet comparison against the committed baseline.
+    pub ratchet_b1: RatchetReport,
     /// Total sites silenced by verified pragmas.
     pub suppressed: usize,
     /// Number of `.rs` files linted.
@@ -56,13 +61,15 @@ impl Outcome {
 
 /// Lint every `.rs` file under `opts.root` (skipping `target/`, dot
 /// directories and the linter's own fixture corpus) and enforce the
-/// R1 ratchet against `opts.baseline`.
+/// R1/B1 ratchets against `opts.baseline`.
 pub fn run(opts: &Options) -> Result<Outcome, String> {
     let files = collect_rs_files(&opts.root)?;
     let mut crate_names: CrateNameCache = HashMap::new();
     let mut out = Outcome::default();
     let mut r1_by_crate: Vec<(String, usize)> = Vec::new();
     let mut r1_sites_by_crate: Vec<(String, Vec<Violation>)> = Vec::new();
+    let mut b1_by_crate: Vec<(String, usize)> = Vec::new();
+    let mut b1_sites_by_crate: Vec<(String, Vec<Violation>)> = Vec::new();
 
     for path in &files {
         let rel = rel_label(&opts.root, path);
@@ -85,9 +92,20 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
             // the baseline and stay ratcheted at zero.
             bump(&mut r1_by_crate, &crate_name, 0);
         }
+        if !rep.b1_sites.is_empty() {
+            bump(&mut b1_by_crate, &crate_name, rep.b1_sites.len());
+            match b1_sites_by_crate.iter_mut().find(|(c, _)| c == &crate_name) {
+                Some((_, sites)) => sites.extend(rep.b1_sites),
+                None => b1_sites_by_crate.push((crate_name.clone(), rep.b1_sites)),
+            }
+        } else if kind == FileKind::Lib {
+            bump(&mut b1_by_crate, &crate_name, 0);
+        }
     }
     r1_by_crate.sort_by(|a, b| a.0.cmp(&b.0));
     out.r1_counts = r1_by_crate;
+    b1_by_crate.sort_by(|a, b| a.0.cmp(&b.0));
+    out.b1_counts = b1_by_crate;
 
     // Ratchet: load the committed baseline (absent file = empty = all
     // zeros, so a fresh workspace must start clean or commit a baseline).
@@ -101,10 +119,11 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
             ))
         }
     };
-    out.ratchet = RatchetReport::compare(&baseline, &out.r1_counts);
+    out.ratchet = RatchetReport::compare(&baseline.r1, &out.r1_counts);
+    out.ratchet_b1 = RatchetReport::compare(&baseline.b1, &out.b1_counts);
 
     if opts.update_baseline {
-        let next = Baseline::from_counts(&out.r1_counts);
+        let next = Baseline::from_counts(&out.r1_counts, &out.b1_counts);
         fs::write(&opts.baseline, next.render())
             .map_err(|e| format!("gp-lint: cannot write {}: {e}", opts.baseline.display()))?;
         out.baseline_updated = true;
@@ -123,6 +142,20 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
                 ),
             });
             if let Some((_, sites)) = r1_sites_by_crate.iter().find(|(c, _)| c == name) {
+                out.violations.extend(sites.iter().cloned());
+            }
+        }
+        for (name, allowed, observed) in &out.ratchet_b1.regressed {
+            out.violations.push(Violation {
+                file: baseline_label.clone(),
+                line: 1,
+                rule: Rule::B1,
+                message: format!(
+                    "crate {name} has {observed} unbounded channel/queue sites but the \
+                     ratchet allows {allowed} — bound the new queue (all {name} sites listed)"
+                ),
+            });
+            if let Some((_, sites)) = b1_sites_by_crate.iter().find(|(c, _)| c == name) {
                 out.violations.extend(sites.iter().cloned());
             }
         }
@@ -256,15 +289,22 @@ pub fn render_text(out: &Outcome) -> String {
              run `gp-lint --update-baseline` to ratchet\n"
         ));
     }
+    for (name, allowed, observed) in &out.ratchet_b1.improved {
+        s.push_str(&format!(
+            "notice: crate {name} improved to {observed} unbounded-queue sites (baseline \
+             {allowed}) — run `gp-lint --update-baseline` to ratchet\n"
+        ));
+    }
     if out.baseline_updated {
         s.push_str("baseline updated\n");
     }
     if out.ok() {
         s.push_str(&format!(
-            "gp-lint: clean — {} files, {} suppressed sites, R1 total {}\n",
+            "gp-lint: clean — {} files, {} suppressed sites, R1 total {}, B1 total {}\n",
             out.files_scanned,
             out.suppressed,
-            out.r1_counts.iter().map(|(_, n)| n).sum::<usize>()
+            out.r1_counts.iter().map(|(_, n)| n).sum::<usize>(),
+            out.b1_counts.iter().map(|(_, n)| n).sum::<usize>()
         ));
     } else {
         s.push_str(&format!(
@@ -304,6 +344,13 @@ pub fn render_json(out: &Outcome) -> String {
         }
         s.push_str(&format!("\n    {}: {}", json_str(name), n));
     }
+    s.push_str("\n  },\n  \"b1_counts\": {");
+    for (i, (name, n)) in out.b1_counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    {}: {}", json_str(name), n));
+    }
     s.push_str("\n  }\n}\n");
     s
 }
@@ -338,7 +385,7 @@ USAGE:
 
     --check              lint and exit nonzero on violations (default)
     --json               machine-readable report
-    --update-baseline    rewrite the R1 ratchet file with observed counts
+    --update-baseline    rewrite the R1/B1 ratchet file with observed counts
     --root <dir>         workspace root (default: autodetect from cwd)
     --baseline <file>    ratchet file (default: <root>/lint-baseline.toml)
     --list-rules         print the rule table and exit
@@ -411,6 +458,7 @@ fn list_rules() -> String {
         Rule::D3,
         Rule::D4,
         Rule::R1,
+        Rule::B1,
         Rule::O1,
         Rule::P1,
     ] {
@@ -470,7 +518,7 @@ mod tests {
     fn cli_lists_rules() {
         let (msg, code) = run_cli(&["--list-rules".to_string()]);
         assert_eq!(code, 0);
-        for id in ["D1", "D2", "D3", "D4", "R1", "O1", "P1"] {
+        for id in ["D1", "D2", "D3", "D4", "R1", "B1", "O1", "P1"] {
             assert!(msg.contains(&format!("[{id}]")), "missing {id}");
         }
     }

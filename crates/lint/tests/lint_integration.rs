@@ -216,6 +216,42 @@ fn walker_ratchet_end_to_end() {
 }
 
 #[test]
+fn b1_ratchet_end_to_end() {
+    let ws = mini_workspace("b1");
+    ws.write(
+        "crates/core/src/chan.rs",
+        "pub fn c() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); drop((tx, rx)); }\n",
+    );
+    // Both ratchets regress against the implicit all-zero baseline.
+    let out = runner::run(&ws.opts()).unwrap();
+    assert_eq!(out.b1_counts, vec![("gp-core".to_string(), 1)]);
+    assert_eq!(out.ratchet_b1.regressed, vec![("gp-core".to_string(), 0, 1)]);
+    assert!(out.violations.iter().any(|v| v.rule == Rule::B1));
+
+    // --update-baseline records both sections; the rerun is clean.
+    let mut upd = ws.opts();
+    upd.update_baseline = true;
+    runner::run(&upd).unwrap();
+    let text = std::fs::read_to_string(ws.root.join(runner::BASELINE_FILE)).unwrap();
+    let parsed = Baseline::parse(&text).unwrap();
+    assert_eq!(parsed.get("gp-core"), 1, "[R1] section: the seeded unwrap");
+    assert_eq!(parsed.get_b1("gp-core"), 1, "[B1] section: the channel");
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+
+    // Bounding the channel passes and reports a B1 improvement.
+    ws.write(
+        "crates/core/src/chan.rs",
+        "pub fn c() { let (tx, rx) = std::sync::mpsc::sync_channel::<u32>(1); drop((tx, rx)); }\n",
+    );
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+    assert_eq!(out.ratchet_b1.improved, vec![("gp-core".to_string(), 1, 0)]);
+    let text = runner::render_text(&out);
+    assert!(text.contains("unbounded-queue"), "{text}");
+}
+
+#[test]
 fn hard_violations_fail_regardless_of_baseline() {
     let ws = mini_workspace("hard");
     ws.write(

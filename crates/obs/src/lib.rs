@@ -46,7 +46,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
@@ -77,6 +77,11 @@ pub fn set_enabled(on: bool) {
 // Registry
 // ---------------------------------------------------------------------------
 
+// Registry locks recover from poisoning: instruments are process-global
+// and shared with request threads that may panic (gp-serve isolates such
+// panics per request). Every write under these locks is a single map
+// insert or an atomic-cell store, so a poisoned lock never guards torn
+// data — metrics must keep flowing after one observer crashes.
 #[derive(Default)]
 struct Registry {
     counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
@@ -94,14 +99,14 @@ fn registry() -> &'static Registry {
 /// resets before the measured run so the report covers only that run.
 pub fn reset() {
     let reg = registry();
-    for c in reg.counters.lock().expect("obs counters").values() {
+    for c in reg.counters.lock().unwrap_or_else(PoisonError::into_inner).values() {
         c.store(0, Ordering::Relaxed);
     }
-    for g in reg.gauges.lock().expect("obs gauges").values() {
+    for g in reg.gauges.lock().unwrap_or_else(PoisonError::into_inner).values() {
         g.store(0, Ordering::Relaxed);
     }
-    for h in reg.histograms.lock().expect("obs histograms").values() {
-        *h.lock().expect("obs histogram") = HistoInner::default();
+    for h in reg.histograms.lock().unwrap_or_else(PoisonError::into_inner).values() {
+        *h.lock().unwrap_or_else(PoisonError::into_inner) = HistoInner::default();
     }
 }
 
@@ -131,7 +136,7 @@ impl Counter {
                 registry()
                     .counters
                     .lock()
-                    .expect("obs counters")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .entry(self.name)
                     .or_default(),
             )
@@ -186,7 +191,7 @@ impl Gauge {
                 registry()
                     .gauges
                     .lock()
-                    .expect("obs gauges")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .entry(self.name)
                     .or_default(),
             )
@@ -276,7 +281,7 @@ impl Histogram {
                 registry()
                     .histograms
                     .lock()
-                    .expect("obs histograms")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .entry(self.name)
                     .or_insert_with(|| Arc::new(Mutex::new(HistoInner::default()))),
             )
@@ -289,7 +294,7 @@ impl Histogram {
         if !enabled() {
             return;
         }
-        let mut h = self.slot().lock().expect("obs histogram");
+        let mut h = self.slot().lock().unwrap_or_else(PoisonError::into_inner);
         h.count += 1;
         h.sum = h.sum.saturating_add(v);
         h.min = h.min.min(v);
@@ -487,7 +492,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut counters: Vec<(String, u64)> = reg
         .counters
         .lock()
-        .expect("obs counters")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(n, v)| (n.to_string(), v.load(Ordering::Relaxed)))
         .collect();
@@ -495,7 +500,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut gauges: Vec<(String, i64)> = reg
         .gauges
         .lock()
-        .expect("obs gauges")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(n, v)| (n.to_string(), v.load(Ordering::Relaxed)))
         .collect();
@@ -503,10 +508,10 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut histograms: Vec<HistogramSnapshot> = reg
         .histograms
         .lock()
-        .expect("obs histograms")
+        .unwrap_or_else(PoisonError::into_inner)
         .iter()
         .map(|(n, h)| {
-            let h = h.lock().expect("obs histogram");
+            let h = h.lock().unwrap_or_else(PoisonError::into_inner);
             HistogramSnapshot {
                 name: n.to_string(),
                 count: h.count,

@@ -1,0 +1,485 @@
+//! The classify application: routes the three endpoints onto a
+//! [`SessionHost`] of per-session [`Engine`]s that all share ONE
+//! `WorkerPool` thread budget.
+//!
+//! Sharing the pool is the robustness point, not a convenience: when a
+//! request times out at a stage boundary (504) its engine keeps its
+//! handle on the *same* budgeted pool, so deadline churn cannot
+//! accumulate threads — `PoolStats::peak_active ≤ budget` holds across
+//! any mix of sessions, timeouts and panics (asserted by
+//! `deadline_exhaustion_leaks_no_pool_threads` in `tests/overload.rs`).
+//!
+//! Sessions are deterministic replicas: every session engine is
+//! `GraphPrompterModel::new(config)` (same seed → same Xavier init)
+//! with the host's base weight snapshot restored, so `engine_revision`
+//! is identical across sessions and a given `(seed, ways, queries)`
+//! request returns bit-identical predictions on any session.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use gp_core::{
+    Deadline, Engine, EngineError, EpisodeResult, GraphPrompterModel, InferenceConfig, ModelConfig,
+};
+use gp_datasets::{sample_few_shot_task, Dataset};
+use gp_tensor::WorkerPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::http::{Request, Response};
+use crate::json::{escape_json, parse, Value};
+use crate::server::{Handler, ServeContext};
+
+/// Upper bounds on request parameters, enforced before any work: a
+/// hostile body must not be able to order an arbitrarily large episode.
+pub const MAX_WAYS: usize = 32;
+pub const MAX_QUERIES: usize = 512;
+
+/// Owns the base model weights and builds per-session engine replicas
+/// on demand, all sharing one worker pool.
+pub struct SessionHost {
+    model_config: ModelConfig,
+    base_snapshot: Vec<gp_tensor::Tensor>,
+    infer: InferenceConfig,
+    pool: Arc<WorkerPool>,
+    dataset: Dataset,
+    max_sessions: usize,
+    sessions: Mutex<HashMap<String, Arc<Engine>>>,
+}
+
+impl SessionHost {
+    /// Capture `model`'s weights as the base snapshot and eagerly build
+    /// the `"default"` session so configuration errors surface at
+    /// startup, not on the first request.
+    pub fn new(
+        model: &GraphPrompterModel,
+        dataset: Dataset,
+        infer: InferenceConfig,
+        pool: Arc<WorkerPool>,
+        max_sessions: usize,
+    ) -> Result<Self, String> {
+        let host = Self {
+            model_config: model.config().clone(),
+            base_snapshot: model.store.snapshot(),
+            infer,
+            pool,
+            dataset,
+            max_sessions: max_sessions.max(1),
+            sessions: Mutex::new(HashMap::new()),
+        };
+        host.engine_for("default").map_err(|e| e.to_string())?;
+        Ok(host)
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Engine>>> {
+        // Poison recovery: the map only ever gains fully-built engines,
+        // so a panicking holder cannot leave a half-entry behind.
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fetch or lazily build the engine for `session`.
+    fn engine_for(&self, session: &str) -> Result<Arc<Engine>, SessionError> {
+        if let Some(engine) = self.lock_sessions().get(session).cloned() {
+            return Ok(engine);
+        }
+        // Build outside the lock: engine construction embeds nothing
+        // but does clone the weight snapshot, and serving must not
+        // stall on it. Two racers may build twice; last insert wins and
+        // both replicas are identical by construction.
+        let engine = Arc::new(self.build_replica()?);
+        let mut sessions = self.lock_sessions();
+        if !sessions.contains_key(session) && sessions.len() >= self.max_sessions {
+            return Err(SessionError::TooManySessions(self.max_sessions));
+        }
+        Ok(sessions
+            .entry(session.to_string())
+            .or_insert(engine)
+            .clone())
+    }
+
+    fn build_replica(&self) -> Result<Engine, SessionError> {
+        let mut model = GraphPrompterModel::new(self.model_config.clone());
+        model
+            .store
+            .try_restore(&self.base_snapshot)
+            .map_err(|e| SessionError::Build(e.to_string()))?;
+        Engine::builder()
+            .model(model)
+            .inference_config(self.infer.clone())
+            .worker_pool(Arc::clone(&self.pool))
+            .try_build()
+            .map_err(|e| SessionError::Build(e.to_string()))
+    }
+
+    pub fn session_count(&self) -> usize {
+        self.lock_sessions().len()
+    }
+
+    /// Weight revision shared by every session replica.
+    pub fn revision(&self) -> u64 {
+        self.lock_sessions()
+            .get("default")
+            .map(|e| e.revision())
+            .unwrap_or(0)
+    }
+
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+}
+
+enum SessionError {
+    TooManySessions(usize),
+    Build(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::TooManySessions(max) => {
+                write!(f, "session limit reached ({max}); reuse an existing session")
+            }
+            SessionError::Build(why) => write!(f, "building session engine: {why}"),
+        }
+    }
+}
+
+impl SessionError {
+    fn status(&self) -> u16 {
+        match self {
+            SessionError::TooManySessions(_) => 429,
+            SessionError::Build(_) => 500,
+        }
+    }
+}
+
+/// [`Handler`] for the three serve endpoints.
+pub struct ClassifyApp {
+    host: SessionHost,
+}
+
+impl ClassifyApp {
+    pub fn new(host: SessionHost) -> Self {
+        Self { host }
+    }
+
+    pub fn host(&self) -> &SessionHost {
+        &self.host
+    }
+
+    fn health(&self, ctx: &ServeContext) -> Response {
+        Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"queue_depth\":{},\"sessions\":{},\"engine_revision\":{}}}",
+                ctx.queue_depth,
+                self.host.session_count(),
+                self.host.revision()
+            ),
+        )
+    }
+
+    fn metrics(&self) -> Response {
+        Response::json(200, gp_obs::snapshot().to_json())
+    }
+
+    fn classify(&self, req: &Request, ctx: &ServeContext) -> Response {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        let doc = match parse(body) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+
+        let session = doc
+            .get("session")
+            .and_then(Value::as_str)
+            .unwrap_or("default")
+            .to_string();
+        let ways = doc.get("ways").and_then(Value::as_u64).unwrap_or(3) as usize;
+        let queries = doc.get("queries").and_then(Value::as_u64).unwrap_or(8) as usize;
+        let seed = doc.get("seed").and_then(Value::as_u64).unwrap_or(0);
+        let deadline_ms = doc
+            .get("deadline_ms")
+            .and_then(Value::as_u64)
+            .unwrap_or(ctx.default_deadline_ms);
+
+        let dataset = self.host.dataset();
+        if !(2..=MAX_WAYS).contains(&ways) || ways > dataset.num_classes {
+            return Response::error(
+                400,
+                &format!(
+                    "ways must be in 2..={} and <= dataset classes ({})",
+                    MAX_WAYS, dataset.num_classes
+                ),
+            );
+        }
+        if !(1..=MAX_QUERIES).contains(&queries) {
+            return Response::error(400, &format!("queries must be in 1..={MAX_QUERIES}"));
+        }
+
+        let engine = match self.host.engine_for(&session) {
+            Ok(engine) => engine,
+            Err(e) => return Response::error(e.status(), &e.to_string()),
+        };
+
+        // The episode is a pure function of (dataset seed, request
+        // seed): the sampler RNG is fresh per request, never shared, so
+        // replaying a request replays its answer bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let task = sample_few_shot_task(
+            dataset,
+            ways,
+            self.host.infer.candidates_per_class,
+            queries,
+            &mut rng,
+        );
+
+        // Deadline counts from ADMISSION: a request that waited out its
+        // budget in the queue 504s at the first stage boundary instead
+        // of consuming compute it can no longer use.
+        let deadline = Deadline::at(ctx.admitted_at + Duration::from_millis(deadline_ms));
+        match engine.run_episode_deadline(dataset, &task, deadline) {
+            Ok(result) => Response::json(200, render_episode(&result, &session, engine.revision())),
+            Err(e) => engine_error_response(&e),
+        }
+    }
+}
+
+impl Handler for ClassifyApp {
+    fn handle(&self, req: &Request, ctx: &ServeContext) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/v1/health") => self.health(ctx),
+            ("GET", "/v1/metrics") => self.metrics(),
+            ("POST", "/v1/classify") => self.classify(req, ctx),
+            (_, "/v1/health" | "/v1/metrics" | "/v1/classify") => {
+                Response::error(405, "method not allowed on this endpoint")
+            }
+            _ => Response::error(404, "unknown endpoint"),
+        }
+    }
+}
+
+/// Map an [`EngineError`] to the wire per the table in
+/// `gp_core::error`: Config → 400, Divergence → 500, Deadline → 504.
+/// The 504 body carries the partial-stage evidence — which Alg. 2 stage
+/// hit the wall and where the time went — so a client can tell "server
+/// slow" from "deadline too tight".
+fn engine_error_response(e: &EngineError) -> Response {
+    match e {
+        EngineError::Config(c) => Response::error(400, &c.to_string()),
+        EngineError::Divergence(d) => Response::error(500, &d.to_string()),
+        EngineError::DeadlineExceeded(d) => {
+            let stages = d
+                .stage_micros
+                .iter()
+                .map(|(name, micros)| format!("\"{}\":{}", escape_json(name), micros))
+                .collect::<Vec<_>>()
+                .join(",");
+            Response::json(
+                504,
+                format!(
+                    "{{\"error\":\"deadline exceeded\",\"stage\":\"{}\",\
+                     \"completed_queries\":{},\"total_queries\":{},\"stage_micros\":{{{}}}}}",
+                    escape_json(d.stage),
+                    d.completed_queries,
+                    d.total_queries,
+                    stages
+                ),
+            )
+        }
+    }
+}
+
+fn render_u64s(xs: impl Iterator<Item = u64>) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn render_episode(r: &EpisodeResult, session: &str, revision: u64) -> String {
+    let confidences = {
+        let mut out = String::from("[");
+        for (i, c) in r.confidences.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{c:.6}"));
+        }
+        out.push(']');
+        out
+    };
+    format!(
+        "{{\"session\":\"{}\",\"engine_revision\":{},\"correct\":{},\"total\":{},\
+         \"accuracy\":{:.6},\"predictions\":{},\"labels\":{},\"confidences\":{},\
+         \"per_query_micros\":{:.1}}}",
+        escape_json(session),
+        revision,
+        r.correct,
+        r.total,
+        r.accuracy(),
+        render_u64s(r.predictions.iter().map(|p| *p as u64)),
+        render_u64s(r.query_labels.iter().map(|l| *l as u64)),
+        confidences,
+        r.per_query_micros,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_datasets::CitationConfig;
+    use std::time::Instant;
+
+    fn tiny_host() -> SessionHost {
+        let dataset = CitationConfig::new("serve-test", 160, 6, 9).generate();
+        let model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 16,
+            seed: 7,
+            ..ModelConfig::default()
+        });
+        let infer = InferenceConfig {
+            candidates_per_class: 4,
+            ..InferenceConfig::default()
+        };
+        let pool = Arc::new(WorkerPool::with_budget(2));
+        SessionHost::new(&model, dataset, infer, pool, 3).expect("host builds")
+    }
+
+    fn ctx() -> ServeContext {
+        ServeContext {
+            admitted_at: Instant::now(),
+            queue_depth: 0,
+            default_deadline_ms: 60_000,
+        }
+    }
+
+    /// Everything before the wall-clock tail — the deterministic part
+    /// of a classify body (predictions, confidences, labels, …).
+    fn sans_timing(body: &str) -> &str {
+        body.split("\"per_query_micros\"").next().unwrap_or(body)
+    }
+
+    fn post_classify(app: &ClassifyApp, body: &str) -> Response {
+        let req = Request {
+            method: "POST".to_string(),
+            path: "/v1/classify".to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        app.handle(&req, &ctx())
+    }
+
+    #[test]
+    fn classify_is_deterministic_per_seed() {
+        let app = ClassifyApp::new(tiny_host());
+        let a = post_classify(&app, r#"{"ways": 3, "queries": 6, "seed": 11}"#);
+        let b = post_classify(&app, r#"{"ways": 3, "queries": 6, "seed": 11}"#);
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(
+            sans_timing(&a.body),
+            sans_timing(&b.body),
+            "same request must replay bit-identically"
+        );
+        let c = post_classify(&app, r#"{"ways": 3, "queries": 6, "seed": 12}"#);
+        assert_eq!(c.status, 200, "{}", c.body);
+    }
+
+    #[test]
+    fn sessions_are_identical_replicas_and_capped() {
+        let app = ClassifyApp::new(tiny_host());
+        let a = post_classify(&app, r#"{"session": "a", "seed": 5}"#);
+        let b = post_classify(&app, r#"{"session": "b", "seed": 5}"#);
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(
+            sans_timing(&a.body).replace("\"session\":\"a\"", "\"session\":\"b\""),
+            sans_timing(&b.body),
+            "replica sessions must answer identically"
+        );
+        // Cap is 3 and default+a+b exist → a new session is refused...
+        let d = post_classify(&app, r#"{"session": "c", "seed": 5}"#);
+        assert_eq!(d.status, 429, "{}", d.body);
+        // ...but existing sessions keep working.
+        let again = post_classify(&app, r#"{"session": "a", "seed": 5}"#);
+        assert_eq!(again.status, 200);
+    }
+
+    #[test]
+    fn invalid_parameters_are_400() {
+        let app = ClassifyApp::new(tiny_host());
+        for body in [
+            "{\"ways\": 1}",
+            "{\"ways\": 99}",
+            "{\"queries\": 0}",
+            "{\"queries\": 100000}",
+            "not json",
+        ] {
+            let resp = post_classify(&app, body);
+            assert_eq!(resp.status, 400, "{body} → {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn immediate_deadline_is_504_with_stage_evidence() {
+        let app = ClassifyApp::new(tiny_host());
+        let resp = post_classify(&app, r#"{"ways": 3, "queries": 6, "deadline_ms": 0}"#);
+        assert_eq!(resp.status, 504, "{}", resp.body);
+        assert!(resp.body.contains("\"stage\":\"candidate_embed\""), "{}", resp.body);
+        assert!(resp.body.contains("\"total_queries\":6"), "{}", resp.body);
+        // Engine still healthy afterwards.
+        let ok = post_classify(&app, r#"{"ways": 3, "queries": 6}"#);
+        assert_eq!(ok.status, 200, "{}", ok.body);
+    }
+
+    #[test]
+    fn health_and_routing() {
+        let app = ClassifyApp::new(tiny_host());
+        let health = app.handle(
+            &Request {
+                method: "GET".to_string(),
+                path: "/v1/health".to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+            &ctx(),
+        );
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+        assert!(health.body.contains("\"engine_revision\":"), "{}", health.body);
+
+        let wrong = app.handle(
+            &Request {
+                method: "DELETE".to_string(),
+                path: "/v1/classify".to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+            &ctx(),
+        );
+        assert_eq!(wrong.status, 405);
+        let missing = app.handle(
+            &Request {
+                method: "GET".to_string(),
+                path: "/nope".to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            },
+            &ctx(),
+        );
+        assert_eq!(missing.status, 404);
+    }
+}

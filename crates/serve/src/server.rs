@@ -1,0 +1,378 @@
+//! The server runtime: one accept thread, a bounded admission queue,
+//! and a fixed worker pool, assembled so that every overload mode has
+//! exactly one designed outcome:
+//!
+//! * queue full → the **accept thread** writes `503 + Retry-After`
+//!   immediately (shedding is the cheap path; it never waits on a
+//!   worker) and [`crate::metrics::SHED_TOTAL`] ticks;
+//! * handler panic → contained by `catch_unwind`, answered with 500;
+//!   nothing is poisoned because every lock in the path recovers
+//!   ([`crate::queue`], `gp-core`'s engine/pool);
+//! * slow or hostile client → the read/write timeouts in
+//!   [`crate::http`] bound how long a worker can be held;
+//! * shutdown → accept stops, the listener closes, queued connections
+//!   drain to completion, workers join. Zero admitted requests are
+//!   dropped ([`ServerHandle::shutdown`]).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_request, write_response_with, Limits, Request, Response};
+use crate::metrics::{
+    DEADLINE_EXCEEDED_TOTAL, INFLIGHT, PANICS_TOTAL, QUEUE_DEPTH, QUEUE_WAIT_MICROS,
+    REQUESTS_TOTAL, REQUEST_MICROS, SHED_TOTAL,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Tunables for one server instance. Defaults are sized for the
+/// integration tests and the `bench-serve` load generator; `gp serve`
+/// exposes the interesting ones as flags.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (0 = ephemeral port).
+    pub addr: String,
+    /// Admission queue capacity — the backpressure knob. Beyond this
+    /// many waiting connections, new arrivals are shed with 503.
+    pub queue_capacity: usize,
+    /// Worker threads reading/handling/answering requests.
+    pub workers: usize,
+    pub max_header_bytes: usize,
+    pub max_body_bytes: usize,
+    pub read_timeout_ms: u64,
+    pub write_timeout_ms: u64,
+    /// Deadline applied to classify requests that don't send their own
+    /// `deadline_ms`. Counted from *admission*, so queue wait spends it.
+    pub default_deadline_ms: u64,
+    /// Value for the `Retry-After` header on shed responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 64,
+            workers: 4,
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 256 * 1024,
+            read_timeout_ms: 2000,
+            write_timeout_ms: 2000,
+            default_deadline_ms: 30_000,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+impl ServerConfig {
+    pub(crate) fn limits(&self) -> Limits {
+        Limits {
+            max_header_bytes: self.max_header_bytes,
+            max_body_bytes: self.max_body_bytes,
+            read_timeout: Duration::from_millis(self.read_timeout_ms),
+            write_timeout: Duration::from_millis(self.write_timeout_ms),
+        }
+    }
+}
+
+/// Per-request context handed to the [`Handler`] alongside the parsed
+/// request.
+pub struct ServeContext {
+    /// When the accept thread admitted the connection. Deadlines count
+    /// from here so time spent queued is not free.
+    pub admitted_at: Instant,
+    /// Queue depth observed when the worker picked this request up.
+    pub queue_depth: usize,
+    /// Deadline to apply when the request doesn't carry one.
+    pub default_deadline_ms: u64,
+}
+
+/// Application layer: maps one request to one response. Must be
+/// panic-tolerant in aggregate — a panic here is contained per-request
+/// by the worker and answered with a 500.
+pub trait Handler: Send + Sync + 'static {
+    fn handle(&self, req: &Request, ctx: &ServeContext) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request, &ServeContext) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &Request, ctx: &ServeContext) -> Response {
+        self(req, ctx)
+    }
+}
+
+/// A connection sitting in the admission queue. The request bytes have
+/// NOT been read yet — admission control runs before any parsing so a
+/// flood of garbage costs one queue slot each, not a parse each.
+struct Conn {
+    stream: TcpStream,
+    admitted_at: Instant,
+}
+
+/// Running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`].
+pub struct Server;
+
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept thread and `config.workers` workers, and
+    /// return immediately.
+    pub fn start<H: Handler>(config: ServerConfig, handler: Arc<H>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::<Conn>::new(config.queue_capacity));
+        let limits = config.limits();
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let handler = Arc::clone(&handler);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("gp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, handler.as_ref(), &cfg))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let cfg = config.clone();
+            std::thread::Builder::new()
+                .name("gp-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, &stop, &queue, &cfg, &limits))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal drain without blocking: the accept loop stops admitting,
+    /// closes the listener, then closes the queue so workers exit once
+    /// it is empty. Admitted requests keep running.
+    pub fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful drain: [`Self::begin_shutdown`] + join everything.
+    /// Returns only after every admitted request has been answered.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: &AtomicBool,
+    queue: &BoundedQueue<Conn>,
+    cfg: &ServerConfig,
+    limits: &Limits,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets may inherit the listener's
+                // non-blocking flag on some platforms; the read path
+                // needs plain blocking + SO_RCVTIMEO semantics.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let conn = Conn {
+                    stream,
+                    admitted_at: Instant::now(),
+                };
+                match queue.try_push(conn) {
+                    Ok(()) => QUEUE_DEPTH.offset(1),
+                    Err(e) => {
+                        let (conn, resp) = match e {
+                            PushError::Full(c) => (
+                                c,
+                                Response::error(503, "admission queue full; retry later")
+                                    .with_retry_after(cfg.retry_after_secs),
+                            ),
+                            PushError::Closed(c) => {
+                                (c, Response::error(503, "server is draining"))
+                            }
+                        };
+                        SHED_TOTAL.inc();
+                        // Inline shed from the accept thread: the ~100
+                        // byte response fits any fresh socket buffer,
+                        // so this cannot stall admission beyond the
+                        // write timeout even against a dead peer. The
+                        // request bytes were never read — drain them
+                        // first or closing would RST the 503 away.
+                        let mut stream = conn.stream;
+                        crate::http::drain_pending(&stream);
+                        let _ = write_response_with(&mut stream, &resp, limits);
+                    }
+                }
+            }
+            // 1ms poll: bounds both the stop-flag latency and the
+            // accept delay a sparse connection can see (a coarser
+            // sleep here shows up directly as client-visible jitter).
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Listener drops here: the OS refuses new connections from this
+    // point. Then close the queue — workers drain what was admitted
+    // and exit; nothing admitted is ever dropped.
+    drop(listener);
+    queue.close();
+}
+
+fn worker_loop<H: Handler + ?Sized>(queue: &BoundedQueue<Conn>, handler: &H, cfg: &ServerConfig) {
+    let limits = cfg.limits();
+    while let Some(conn) = queue.pop() {
+        QUEUE_DEPTH.offset(-1);
+        QUEUE_WAIT_MICROS.record(conn.admitted_at.elapsed().as_micros() as u64);
+        INFLIGHT.offset(1);
+        let started = Instant::now();
+        let mut stream = conn.stream;
+
+        let resp = match read_request(&mut stream, &limits) {
+            Err(e) => {
+                // The request was not fully read (caps/timeouts cut it
+                // short); drain what's buffered so the error response
+                // survives the close instead of being RST away.
+                crate::http::drain_pending(&stream);
+                Response::error(e.status(), &e.message())
+            }
+            Ok(req) => {
+                let ctx = ServeContext {
+                    admitted_at: conn.admitted_at,
+                    queue_depth: queue.len(),
+                    default_deadline_ms: cfg.default_deadline_ms,
+                };
+                // Contain handler panics to the request that caused
+                // them: answer 500 and keep the worker alive. All locks
+                // on the path recover from poisoning, so one bad
+                // request cannot wedge the next.
+                match catch_unwind(AssertUnwindSafe(|| handler.handle(&req, &ctx))) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        PANICS_TOTAL.inc();
+                        Response::error(500, "internal error: handler panicked; request isolated")
+                    }
+                }
+            }
+        };
+        if resp.status == 504 {
+            DEADLINE_EXCEEDED_TOTAL.inc();
+        }
+        let _ = write_response_with(&mut stream, &resp, &limits);
+        REQUEST_MICROS.record(started.elapsed().as_micros() as u64);
+        REQUESTS_TOTAL.inc();
+        INFLIGHT.offset(-1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .expect("send");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    fn tiny_config() -> ServerConfig {
+        ServerConfig {
+            queue_capacity: 4,
+            workers: 2,
+            read_timeout_ms: 300,
+            write_timeout_ms: 300,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_requests_and_drains_on_shutdown() {
+        let handler = Arc::new(|req: &Request, _ctx: &ServeContext| {
+            Response::json(200, format!("{{\"path\":\"{}\"}}", req.path))
+        });
+        let h = Server::start(tiny_config(), handler).expect("start");
+        let addr = h.addr();
+        for _ in 0..3 {
+            let got = get(addr, "/v1/health");
+            assert!(got.starts_with("HTTP/1.1 200 OK\r\n"), "{got}");
+            assert!(got.ends_with("{\"path\":\"/v1/health\"}"), "{got}");
+        }
+        h.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || get_soft(addr).is_none(),
+            "listener must refuse connections after drain"
+        );
+    }
+
+    /// Connect + send after shutdown; `None` when the server is gone
+    /// (connect refused or reset before a status line).
+    fn get_soft(addr: SocketAddr) -> Option<String> {
+        let mut s = TcpStream::connect(addr).ok()?;
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").ok()?;
+        let mut out = String::new();
+        s.read_to_string(&mut out).ok()?;
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    #[test]
+    fn handler_panic_becomes_500_and_server_survives() {
+        let handler = Arc::new(|req: &Request, _ctx: &ServeContext| -> Response {
+            if req.path == "/boom" {
+                panic!("injected handler panic");
+            }
+            Response::json(200, "{\"ok\":true}")
+        });
+        let h = Server::start(tiny_config(), handler).expect("start");
+        let addr = h.addr();
+        let got = get(addr, "/boom");
+        assert!(got.starts_with("HTTP/1.1 500 "), "{got}");
+        // Same worker pool keeps serving afterwards.
+        let got = get(addr, "/fine");
+        assert!(got.starts_with("HTTP/1.1 200 OK"), "{got}");
+        h.shutdown();
+    }
+}

@@ -44,7 +44,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 static WORKERS_GAUGE: gp_obs::Gauge = gp_obs::Gauge::new("tensor.parallel.workers");
 static FANOUTS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.fanouts");
@@ -330,13 +330,20 @@ impl Drop for PoolGuard {
     }
 }
 
+// Pool locks recover from poisoning throughout: tasks run under
+// `catch_unwind`, but a panic in the submitter itself (e.g. a request
+// thread killed mid-episode) may still poison the queue or a job's done
+// state. Both hold plain counters and task handles that are valid at
+// every step, so the pool must keep serving later submitters instead of
+// cascading the panic — one crashed request must not take the pool down.
+
 fn worker_loop(shared: Arc<PoolShared>) {
     // Workers run under their own pool's budget, so kernels inside a
     // stolen episode task fan out through the same queue.
     CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(&shared)));
     loop {
         let task = {
-            let mut queue = shared.queue.lock().expect("pool queue");
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(t) = queue.pop_front() {
                     break Some(t);
@@ -344,7 +351,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                queue = shared.work_cv.wait(queue).expect("pool queue wait");
+                queue = shared.work_cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
         match task {
@@ -382,7 +389,7 @@ fn execute(shared: &PoolShared, task: PendingTask, stolen: bool) {
         POOL_ACTIVE.offset(-1);
         IN_TASK.with(|t| t.set(false));
     }
-    let mut done = task.job.done.lock().expect("pool job state");
+    let mut done = task.job.done.lock().unwrap_or_else(PoisonError::into_inner);
     done.pending -= 1;
     if let Err(panic) = result {
         done.panic.get_or_insert(panic);
@@ -421,7 +428,7 @@ fn run_tasks_on(shared: &Arc<PoolShared>, count: usize, f: &(dyn Fn(usize) + Syn
         done_cv: Condvar::new(),
     });
     {
-        let mut queue = shared.queue.lock().expect("pool queue");
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
         for index in 0..count {
             queue.push_back(PendingTask {
                 job: Arc::clone(&job),
@@ -436,7 +443,7 @@ fn run_tasks_on(shared: &Arc<PoolShared>, count: usize, f: &(dyn Fn(usize) + Syn
     // Drain our own job: the submitting thread is one of the budget.
     loop {
         let task = {
-            let mut queue = shared.queue.lock().expect("pool queue");
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             match queue.iter().position(|t| Arc::ptr_eq(&t.job, &job)) {
                 Some(pos) => queue.remove(pos),
                 None => None,
@@ -451,9 +458,9 @@ fn run_tasks_on(shared: &Arc<PoolShared>, count: usize, f: &(dyn Fn(usize) + Syn
         }
     }
 
-    let mut done = job.done.lock().expect("pool job state");
+    let mut done = job.done.lock().unwrap_or_else(PoisonError::into_inner);
     while done.pending > 0 {
-        done = job.done_cv.wait(done).expect("pool job wait");
+        done = job.done_cv.wait(done).unwrap_or_else(PoisonError::into_inner);
     }
     if let Some(panic) = done.panic.take() {
         drop(done);

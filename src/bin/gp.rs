@@ -10,7 +10,15 @@
 //! gp episode   --model model.gpck --dataset conceptnet --ways 4 [--seed 7]
 //! gp export    --dataset arxiv --dir ./my_arxiv       # dump to TSV
 //! gp inspect   model.gpck                   # validate + describe a checkpoint
+//! gp serve     --dataset wiki [--model model.gpck] [--addr 127.0.0.1:7431]
+//!              [--workers 4] [--queue 64] [--deadline-ms 30000]
+//!              [--max-sessions 64] [--threads 2]
 //! ```
+//!
+//! `serve` runs the overload-safe inference server (`gp-serve`):
+//! `POST /v1/classify`, `GET /v1/metrics`, `GET /v1/health`. SIGTERM
+//! or SIGINT drains gracefully — in-flight and queued requests finish,
+//! then the process exits. See README § "Serving & overload behavior".
 //!
 //! `evaluate`/`episode` also accept `--dataset-path <dir>` to run on a
 //! directory in the `gp export` TSV format (bring your own graph), and
@@ -58,9 +66,10 @@ fn main() {
         "export" => export_cmd(&args[1..]),
         "inspect" => inspect_cmd(&args[1..]),
         "lint" => lint_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: gp <datasets|pretrain|evaluate|episode|export|inspect|lint> [flags]\n\
+                "usage: gp <datasets|pretrain|evaluate|episode|export|inspect|lint|serve> [flags]\n\
                  common flags: --metrics | --metrics-json (print collected metrics on exit)\n\
                  see the module docs in src/bin/gp.rs for flag details"
             );
@@ -284,6 +293,101 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
     );
     engine.model().save(&out).map_err(|e| e.to_string())?;
     println!("checkpoint written to {out}");
+    Ok(())
+}
+
+/// Drain request flag flipped by SIGTERM/SIGINT; polled by `serve_cmd`.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Route SIGTERM and SIGINT into [`SHUTDOWN_REQUESTED`] via raw
+/// `signal(2)` — no libc crate in this workspace. Only the flag store
+/// happens in the handler (async-signal-safe); all real work runs on
+/// the main thread's poll loop.
+#[cfg(unix)]
+fn install_drain_signals() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_signals() {}
+
+fn serve_cmd(args: &[String]) -> CliResult {
+    use graphprompter::serve::{ClassifyApp, Server, ServerConfig, SessionHost};
+    use std::sync::Arc;
+
+    let seed: u64 = flag(args, "--seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed must be an integer")?;
+    let ds = resolve_dataset(args, seed)?;
+    let model = if flag(args, "--model").is_some() {
+        load_model(args)?
+    } else {
+        eprintln!("no --model given; serving an untrained model (seed {seed})");
+        GraphPrompterModel::new(ModelConfig {
+            seed,
+            ..ModelConfig::default()
+        })
+    };
+
+    let parse_or = |name: &str, default: u64| -> Result<u64, String> {
+        flag(args, name)
+            .map(|s| s.parse().map_err(|_| format!("{name} must be an integer")))
+            .unwrap_or(Ok(default))
+    };
+    let budget = match parallelism(args)? {
+        Parallelism::Serial => 2,
+        Parallelism::Auto => std::thread::available_parallelism().map_or(2, |n| n.get()),
+        Parallelism::Threads(n) => n.max(1),
+    };
+    let config = ServerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".into()),
+        workers: parse_or("--workers", 4)? as usize,
+        queue_capacity: parse_or("--queue", 64)? as usize,
+        default_deadline_ms: parse_or("--deadline-ms", 30_000)?,
+        ..ServerConfig::default()
+    };
+
+    let pool = Arc::new(graphprompter::prelude::WorkerPool::with_budget(budget));
+    let infer = InferenceConfig {
+        seed,
+        ..InferenceConfig::default()
+    };
+    let host = SessionHost::new(
+        &model,
+        ds,
+        infer,
+        pool,
+        parse_or("--max-sessions", 64)? as usize,
+    )?;
+    let revision = host.revision();
+    let handle =
+        Server::start(config, Arc::new(ClassifyApp::new(host))).map_err(|e| e.to_string())?;
+
+    install_drain_signals();
+    println!("gp-serve listening on {}", handle.addr());
+    println!("  POST /v1/classify   {{\"ways\", \"queries\", \"seed\", \"deadline_ms\"?, \"session\"?}}");
+    println!("  GET  /v1/metrics    gp-obs snapshot (enable with --metrics-json)");
+    println!("  GET  /v1/health     liveness + queue depth + engine revision {revision}");
+    println!("SIGTERM/SIGINT drains gracefully.");
+
+    while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("drain requested; finishing admitted requests...");
+    handle.shutdown();
+    eprintln!("drained cleanly.");
     Ok(())
 }
 

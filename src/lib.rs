@@ -13,6 +13,7 @@
 //! * [`eval`] — metrics, t-SNE, tables ([`gp_eval`])
 //! * [`obs`] — zero-dependency metrics registry ([`gp_obs`])
 //! * [`lint`] — workspace determinism & robustness linter ([`gp_lint`])
+//! * [`serve`] — overload-safe HTTP inference server ([`gp_serve`])
 //!
 //! The public entry point is [`Engine`] (built through the fallible
 //! [`EngineBuilder`]); `use graphprompter::prelude::*;` pulls in
@@ -29,6 +30,7 @@ pub use gp_graph as graph;
 pub use gp_lint as lint;
 pub use gp_nn as nn;
 pub use gp_obs as obs;
+pub use gp_serve as serve;
 pub use gp_tensor as tensor;
 
 pub use gp_core::{ConfigError, Engine, EngineBuilder};

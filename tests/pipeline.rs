@@ -87,8 +87,8 @@ fn end_to_end_edge_classification_beats_chance() {
     tgt_cfg.feature_noise = 0.2;
     tgt_cfg.triples_per_entity = 6.0;
     let target = tgt_cfg.generate();
-    let engine = tiny_engine(120, &source);
-    let accs = engine.evaluate(&target, 3, 12, 3);
+    let engine = tiny_engine(200, &source);
+    let accs = engine.evaluate(&target, 3, 12, 6);
     let mean = accs.iter().sum::<f32>() / accs.len() as f32;
     assert!(
         mean > 40.0,
