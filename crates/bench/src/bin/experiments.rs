@@ -11,7 +11,10 @@
 //! rewrites BENCH_inference.json — it runs in the engine's timing mode
 //! (episode fan-out pinned to 1, uncontended per-query latency), and
 //! `--threads <n>` forces the parallel mode's thread budget to `n`
-//! (emitting the parallel row even on a single-core host). `bench-serve`
+//! (emitting the parallel row even on a single-core host), and
+//! `--backend {reference,fast}` restricts the episode rows to one
+//! compute backend (default: both; the wide-matmul microbench always
+//! compares both). `bench-serve`
 //! load-tests the gp-serve HTTP server (baseline latency, saturation
 //! QPS, shed rate and admitted p99 under 2× overload) and rewrites
 //! BENCH_serve.json. `--smoke` shrinks the scale for a fast sanity pass.
@@ -37,6 +40,16 @@ fn main() {
                 std::process::exit(2);
             })
         });
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<gp_tensor::Backend>().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        });
     let suite = if smoke {
         Suite::smoke()
     } else {
@@ -47,7 +60,7 @@ fn main() {
     match which {
         "calibrate" => calibrate(&suite),
         "all" => run_all(suite),
-        "bench-inference" => bench_inference(smoke, threads),
+        "bench-inference" => bench_inference(smoke, threads, backend),
         "bench-serve" => bench_serve(smoke),
         id if experiments::ALL_IDS.contains(&id) => {
             let mut ctx = Ctx::new(suite);
@@ -59,7 +72,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiments <all|calibrate|bench-inference|bench-serve|{}> [--smoke] [--threads <n>]",
+                "usage: experiments <all|calibrate|bench-inference|bench-serve|{}> [--smoke] [--threads <n>] [--backend reference|fast]",
                 experiments::ALL_IDS.join("|")
             );
             std::process::exit(2);
@@ -67,18 +80,20 @@ fn main() {
     }
 }
 
-/// Time serial / warm-cache / parallel inference and write the committed
-/// BENCH_inference.json artifact.
-fn bench_inference(smoke: bool, threads: Option<usize>) {
+/// Time serial / warm-cache / parallel inference per backend and write
+/// the committed BENCH_inference.json artifact.
+fn bench_inference(smoke: bool, threads: Option<usize>, backend: Option<gp_tensor::Backend>) {
     let t0 = Instant::now();
-    let report = gp_bench::infer_bench::run(smoke, threads);
+    let report = gp_bench::infer_bench::run(smoke, threads, backend);
     let json = report.to_json();
     std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
     print!("{json}");
     eprintln!(
-        "[bench-inference done in {:?}; best speedup {:.2}x over serial]",
+        "[bench-inference done in {:?}; best speedup {:.2}x over serial, \
+         wide-matmul fast/reference {:.2}x]",
         t0.elapsed(),
-        report.best_speedup()
+        report.best_speedup(),
+        report.wide_matmul.speedup()
     );
 }
 

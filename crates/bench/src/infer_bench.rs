@@ -1,7 +1,8 @@
 //! The committed inference benchmark behind `BENCH_inference.json`.
 //!
 //! Measures Alg. 2 per-query latency under the three execution modes the
-//! "parallel kernels + embedding reuse" PR added:
+//! "parallel kernels + embedding reuse" PR added, for each compute
+//! backend the tensor crate ships:
 //!
 //! * `serial_cold` — the recorded baseline: one worker, embedding cache
 //!   cleared before every episode (the pre-PR behavior).
@@ -10,24 +11,32 @@
 //! * `parallel_cold` — cold cache, one kernel worker per core (only
 //!   emitted on multi-core hosts; kernels are bit-identical either way).
 //!
-//! The headline number is `best_speedup` over `serial_cold`: on a
-//! multi-core host the parallel row alone clears 2×, on a single-core
-//! host the warm embedding cache carries the claim. Each mode also
-//! reports its embedding-cache hit rate (from the always-on
-//! [`gp_core::EmbedCacheStats`] counters) so the speedup can be traced
-//! to actual cache behavior rather than inferred from timings alone.
+//! The `reference` rows are the bit-exact ground truth and stay
+//! comparable with older artifacts; the `fast` rows run the same
+//! workload on the tiled/SIMD kernels ([`Backend::Fast`]), and the
+//! `wide_matmul` microbench pins the kernel-level speedup claim on the
+//! dot-product-shaped matmul the scoring path leans on (a reduction the
+//! scalar kernels cannot auto-vectorize, so this is where SIMD pays).
+//!
+//! The headline number is `best_speedup` over the reference
+//! `serial_cold`: on a multi-core host the parallel row alone clears 2×,
+//! on a single-core host the warm embedding cache carries the claim.
+//! Each mode also reports its embedding-cache hit rate (from the
+//! always-on [`gp_core::EmbedCacheStats`] counters) so the speedup can
+//! be traced to actual cache behavior rather than inferred from timings
+//! alone.
 //!
 //! All modes run in the engine's **timing mode**: episode-level fan-out
 //! is pinned to 1, so a single episode at a time owns the whole thread
 //! budget and per-query latency is measured uncontended. Budgets are set
-//! per-engine via [`Engine::set_parallelism`] — nothing here touches
-//! process-wide state anymore.
+//! per-engine via [`Engine::set_parallelism`] and backends via
+//! [`Engine::set_backend`] — nothing here touches process-wide state.
 
 use std::time::Instant;
 
 use gp_core::{Engine, PretrainConfig, StageConfig};
 use gp_datasets::{presets, sample_few_shot_task};
-use gp_tensor::Parallelism;
+use gp_tensor::{Backend, Parallelism, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,6 +60,65 @@ pub struct ModeTiming {
     pub correct: usize,
 }
 
+/// The three execution modes measured on one compute backend.
+#[derive(Clone, Debug)]
+pub struct BackendRows {
+    /// Which kernels these rows ran on.
+    pub backend: Backend,
+    /// Cold-cache serial baseline.
+    pub serial_cold: ModeTiming,
+    /// Warm embedding cache, serial kernels.
+    pub serial_warm: ModeTiming,
+    /// Cold cache, one worker per core; `None` on single-core hosts.
+    pub parallel_cold: Option<ModeTiming>,
+}
+
+impl BackendRows {
+    /// Warm-cache speedup over this backend's serial cold baseline.
+    pub fn warm_speedup(&self) -> f64 {
+        self.serial_cold.per_query_micros / self.serial_warm.per_query_micros.max(1e-9)
+    }
+
+    /// Parallel speedup over this backend's serial cold baseline.
+    pub fn parallel_speedup(&self) -> Option<f64> {
+        self.parallel_cold
+            .as_ref()
+            .map(|p| self.serial_cold.per_query_micros / p.per_query_micros.max(1e-9))
+    }
+
+    /// Best measured speedup over this backend's serial baseline.
+    pub fn best_speedup(&self) -> f64 {
+        self.parallel_speedup()
+            .unwrap_or(0.0)
+            .max(self.warm_speedup())
+    }
+}
+
+/// Kernel-level microbenchmark: one wide `A · Bᵀ` matmul (the
+/// dot-product reduction behind cosine scoring) timed on both backends.
+#[derive(Copy, Clone, Debug)]
+pub struct WideMatmul {
+    /// Rows of `A` (and of the output).
+    pub rows: usize,
+    /// Shared inner dimension — the "wide" axis the reduction runs over.
+    pub inner: usize,
+    /// Rows of `B` (columns of the output).
+    pub cols: usize,
+    /// Timed repetitions per backend (after warm-up).
+    pub reps: usize,
+    /// Mean microseconds per matmul on [`Backend::Reference`].
+    pub reference_micros: f64,
+    /// Mean microseconds per matmul on [`Backend::Fast`].
+    pub fast_micros: f64,
+}
+
+impl WideMatmul {
+    /// Fast-kernel speedup over the reference kernel.
+    pub fn speedup(&self) -> f64 {
+        self.reference_micros / self.fast_micros.max(1e-9)
+    }
+}
+
 /// The full benchmark result; `to_json` renders the committed artifact.
 #[derive(Clone, Debug)]
 pub struct InferBenchReport {
@@ -62,31 +130,33 @@ pub struct InferBenchReport {
     pub queries: usize,
     /// Timed repetitions per mode.
     pub reps: usize,
-    /// Cold-cache serial baseline.
-    pub serial_cold: ModeTiming,
-    /// Warm embedding cache, serial kernels.
-    pub serial_warm: ModeTiming,
-    /// Cold cache, one worker per core; `None` on single-core hosts.
-    pub parallel_cold: Option<ModeTiming>,
+    /// One set of mode rows per measured backend (reference first).
+    pub backends: Vec<BackendRows>,
+    /// The kernel-level reference-vs-fast microbench.
+    pub wide_matmul: WideMatmul,
 }
 
 impl InferBenchReport {
-    /// Warm-cache speedup over the serial cold baseline.
-    pub fn warm_speedup(&self) -> f64 {
-        self.serial_cold.per_query_micros / self.serial_warm.per_query_micros.max(1e-9)
+    /// The rows measured on `backend`, if that backend was run.
+    pub fn row(&self, backend: Backend) -> Option<&BackendRows> {
+        self.backends.iter().find(|r| r.backend == backend)
     }
 
-    /// Parallel speedup over the serial cold baseline, when measured.
-    pub fn parallel_speedup(&self) -> Option<f64> {
-        self.parallel_cold
-            .map(|p| self.serial_cold.per_query_micros / p.per_query_micros.max(1e-9))
-    }
-
-    /// The headline: best measured speedup over the serial baseline.
+    /// The headline: best measured speedup over the serial baseline of
+    /// the reference backend (falling back to the first measured backend
+    /// when reference was skipped).
     pub fn best_speedup(&self) -> f64 {
-        self.parallel_speedup()
-            .unwrap_or(0.0)
-            .max(self.warm_speedup())
+        self.row(Backend::Reference)
+            .or_else(|| self.backends.first())
+            .map_or(0.0, BackendRows::best_speedup)
+    }
+
+    /// End-to-end fast-vs-reference speedup on the warm serial path
+    /// (the steady-state serving configuration), when both were run.
+    pub fn fast_vs_reference_warm(&self) -> Option<f64> {
+        let reference = self.row(Backend::Reference)?;
+        let fast = self.row(Backend::Fast)?;
+        Some(reference.serial_warm.per_query_micros / fast.serial_warm.per_query_micros.max(1e-9))
     }
 
     /// Render the committed `BENCH_inference.json` artifact.
@@ -97,27 +167,95 @@ impl InferBenchReport {
                 t.per_query_micros, t.embed_micros, t.embed_hit_rate, t.correct
             )
         }
-        let parallel = match &self.parallel_cold {
-            Some(p) => mode(p),
-            None => "null".into(),
-        };
-        let parallel_speedup = match self.parallel_speedup() {
+        let backends = self
+            .backends
+            .iter()
+            .map(|row| {
+                let parallel = match &row.parallel_cold {
+                    Some(p) => mode(p),
+                    None => "null".into(),
+                };
+                let parallel_speedup = match row.parallel_speedup() {
+                    Some(s) => format!("{s:.2}"),
+                    None => "null".into(),
+                };
+                format!(
+                    "    {{\n      \"backend\": \"{}\",\n      \"serial_cold\": {},\n      \"serial_warm\": {},\n      \"parallel_cold\": {},\n      \"speedup_warm_vs_serial\": {:.2},\n      \"speedup_parallel_vs_serial\": {},\n      \"best_speedup_vs_serial\": {:.2}\n    }}",
+                    row.backend.name(),
+                    mode(&row.serial_cold),
+                    mode(&row.serial_warm),
+                    parallel,
+                    row.warm_speedup(),
+                    parallel_speedup,
+                    row.best_speedup()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let fast_vs_reference = match self.fast_vs_reference_warm() {
             Some(s) => format!("{s:.2}"),
             None => "null".into(),
         };
         format!(
-            "{{\n  \"bench\": \"inference\",\n  \"host_cores\": {},\n  \"ways\": {},\n  \"queries\": {},\n  \"reps\": {},\n  \"serial_cold\": {},\n  \"serial_warm\": {},\n  \"parallel_cold\": {},\n  \"speedup_warm_vs_serial\": {:.2},\n  \"speedup_parallel_vs_serial\": {},\n  \"best_speedup_vs_serial\": {:.2}\n}}\n",
+            "{{\n  \"bench\": \"inference\",\n  \"host_cores\": {},\n  \"ways\": {},\n  \"queries\": {},\n  \"reps\": {},\n  \"backends\": [\n{}\n  ],\n  \"speedup_fast_vs_reference_warm\": {},\n  \"wide_matmul\": {{\"rows\": {}, \"inner\": {}, \"cols\": {}, \"reps\": {}, \"reference_micros\": {:.2}, \"fast_micros\": {:.2}, \"speedup\": {:.2}}}\n}}\n",
             self.host_cores,
             self.ways,
             self.queries,
             self.reps,
-            mode(&self.serial_cold),
-            mode(&self.serial_warm),
-            parallel,
-            self.warm_speedup(),
-            parallel_speedup,
-            self.best_speedup()
+            backends,
+            fast_vs_reference,
+            self.wide_matmul.rows,
+            self.wide_matmul.inner,
+            self.wide_matmul.cols,
+            self.wide_matmul.reps,
+            self.wide_matmul.reference_micros,
+            self.wide_matmul.fast_micros,
+            self.wide_matmul.speedup()
         )
+    }
+}
+
+/// Time one wide `A · Bᵀ` on both backends. The inner dimension is the
+/// wide axis: each output element is a length-`inner` dot product, the
+/// shape the scalar reference kernel cannot vectorize (serial float
+/// dependency chain) and the SIMD kernels fold 32 lanes at a time.
+fn wide_matmul_bench(smoke: bool) -> WideMatmul {
+    let (rows, inner, cols) = (64, 512, 64);
+    let reps = if smoke { 10 } else { 400 };
+    let mut state = 0x9e37_79b9_u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    let a = Tensor::from_vec(rows, inner, (0..rows * inner).map(|_| next()).collect());
+    let b = Tensor::from_vec(cols, inner, (0..cols * inner).map(|_| next()).collect());
+
+    let time = |backend: Backend| -> f64 {
+        let _be = backend.install();
+        let mut sink = 0.0f32;
+        sink += a.matmul_tb(&b).get(0, 0); // warm-up, also keeps `sink` live
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            sink += a.matmul_tb(&b).get(rows - 1, cols - 1);
+        }
+        let mean = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        std::hint::black_box(sink);
+        mean
+    };
+
+    // Reference timed last so any first-touch page-fault cost lands on
+    // the backend we expect to win (conservative for the speedup claim).
+    let fast_micros = time(Backend::Fast);
+    let reference_micros = time(Backend::Reference);
+    WideMatmul {
+        rows,
+        inner,
+        cols,
+        reps,
+        reference_micros,
+        fast_micros,
     }
 }
 
@@ -125,11 +263,17 @@ impl InferBenchReport {
 /// CI-sized sanity pass (a single tiny episode per mode). `threads`
 /// forces the parallel mode's thread budget (and emits the parallel row
 /// even on a single-core host); `None` keeps the per-core default.
-pub fn run(smoke: bool, threads: Option<usize>) -> InferBenchReport {
+/// `backend` restricts the episode rows to one backend; `None` measures
+/// both. The wide-matmul microbench always measures both backends.
+pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> InferBenchReport {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let suite = if smoke { Suite::smoke() } else { Suite::default() };
+    let suite = if smoke {
+        Suite::smoke()
+    } else {
+        Suite::default()
+    };
     let (ways, reps) = if smoke { (5, 1) } else { (10, 3) };
     let queries = suite.queries;
 
@@ -146,6 +290,8 @@ pub fn run(smoke: bool, threads: Option<usize>) -> InferBenchReport {
         .timing_mode(true)
         .try_build()
         .expect("suite configs must be valid");
+    // Pre-training always runs on the reference backend so the measured
+    // weights are identical across rows — only inference kernels differ.
     engine.pretrain(&wiki);
 
     // One fixed episode: the comparison is about execution mode, not task
@@ -154,7 +300,7 @@ pub fn run(smoke: bool, threads: Option<usize>) -> InferBenchReport {
     let mut rng = StdRng::seed_from_u64(suite.seed.wrapping_add(7));
     let task = sample_few_shot_task(&fb, ways, cfg.candidates_per_class, queries, &mut rng);
 
-    let mut measure = |workers: Parallelism, warm: bool| -> ModeTiming {
+    let measure = |engine: &mut Engine, workers: Parallelism, warm: bool| -> ModeTiming {
         engine.set_parallelism(Some(workers));
         engine.clear_embed_cache();
         if warm {
@@ -195,31 +341,51 @@ pub fn run(smoke: bool, threads: Option<usize>) -> InferBenchReport {
         }
     };
 
-    let serial_cold = measure(Parallelism::Serial, false);
-    let serial_warm = measure(Parallelism::Serial, true);
+    let which = match backend {
+        Some(b) => vec![b],
+        None => vec![Backend::Reference, Backend::Fast],
+    };
     let parallel_threads = threads.filter(|&n| n > 1);
-    let parallel_cold = (host_cores > 1 || parallel_threads.is_some()).then(|| {
-        measure(
-            parallel_threads.map_or(Parallelism::Auto, Parallelism::Threads),
-            false,
-        )
-    });
+    let mut rows = Vec::with_capacity(which.len());
+    for b in which {
+        engine.set_backend(b);
+        // Embeddings memoized under one backend must not leak into the
+        // other's rows: Fast is only tolerance-equal to Reference.
+        engine.clear_embed_cache();
+        let serial_cold = measure(&mut engine, Parallelism::Serial, false);
+        let serial_warm = measure(&mut engine, Parallelism::Serial, true);
+        let parallel_cold = (host_cores > 1 || parallel_threads.is_some()).then(|| {
+            measure(
+                &mut engine,
+                parallel_threads.map_or(Parallelism::Auto, Parallelism::Threads),
+                false,
+            )
+        });
 
-    // Bit-identity across modes is asserted in gp-core's tests; here we
-    // sanity-check the cheap observable so a regression cannot ship a
-    // benchmark comparing different predictions.
-    assert_eq!(serial_cold.correct, serial_warm.correct);
-    if let Some(p) = &parallel_cold {
-        assert_eq!(serial_cold.correct, p.correct);
+        // Bit-identity across modes of ONE backend is asserted in
+        // gp-core's tests; here we sanity-check the cheap observable so a
+        // regression cannot ship a benchmark comparing different
+        // predictions. Across backends the counts may legitimately drift
+        // by tolerance, so no cross-row assert.
+        assert_eq!(serial_cold.correct, serial_warm.correct);
+        if let Some(p) = &parallel_cold {
+            assert_eq!(serial_cold.correct, p.correct);
+        }
+        rows.push(BackendRows {
+            backend: b,
+            serial_cold,
+            serial_warm,
+            parallel_cold,
+        });
     }
+    engine.set_backend(Backend::Reference);
 
     InferBenchReport {
         host_cores,
         ways,
         queries,
         reps,
-        serial_cold,
-        serial_warm,
-        parallel_cold,
+        backends: rows,
+        wide_matmul: wide_matmul_bench(smoke),
     }
 }

@@ -161,7 +161,10 @@ fn request_status(addr: SocketAddr, body: &str) -> u16 {
     if s.read_to_string(&mut out).is_err() {
         return 0;
     }
-    out.split(' ').nth(1).and_then(|c| c.parse().ok()).unwrap_or(0)
+    out.split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Read `queue_depth` off `/v1/health`. The probe rides the same
@@ -172,7 +175,8 @@ fn request_status(addr: SocketAddr, body: &str) -> u16 {
 fn sample_queue_depth(addr: SocketAddr, capacity: usize) -> Option<u64> {
     let mut s = TcpStream::connect(addr).ok()?;
     s.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
-    s.write_all(b"GET /v1/health HTTP/1.1\r\nHost: b\r\n\r\n").ok()?;
+    s.write_all(b"GET /v1/health HTTP/1.1\r\nHost: b\r\n\r\n")
+        .ok()?;
     let mut out = String::new();
     s.read_to_string(&mut out).ok()?;
     if out.starts_with("HTTP/1.1 503") {
@@ -233,7 +237,14 @@ fn start_server(workers: usize, queue_capacity: usize) -> Result<BenchServer, St
     };
     let pool_budget = 2;
     let pool = Arc::new(WorkerPool::with_budget(pool_budget));
-    let host = SessionHost::new(&model, dataset, infer, pool, 4)?;
+    let host = SessionHost::new(
+        &model,
+        dataset,
+        infer,
+        pool,
+        4,
+        gp_tensor::Backend::Reference,
+    )?;
     let config = ServerConfig {
         workers,
         queue_capacity,

@@ -332,10 +332,9 @@ impl Default for StageConfig {
 
 /// How the Prompt Augmenter scores pseudo-labels for cache admission.
 ///
-/// Replaces the old `random_pseudo_labels: bool` flag on
-/// `run_episode_with_policy`: the policy now travels inside
-/// [`InferenceConfig`], so there is exactly one way to configure an
-/// episode.
+/// The policy travels inside [`InferenceConfig`], so there is exactly
+/// one way to configure an episode (Table VII's random-pseudo-label
+/// ablation sets [`PseudoLabelPolicy::UniformRandom`]).
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub enum PseudoLabelPolicy {
     /// Admit a query's pseudo-label when its softmax confidence clears
@@ -744,7 +743,12 @@ mod tests {
         let err = with_guard(GuardRailConfig::skip().with_window(0))
             .err()
             .expect("zero window must fail");
-        assert_eq!(err, ConfigError::ZeroField { field: "guard.window" });
+        assert_eq!(
+            err,
+            ConfigError::ZeroField {
+                field: "guard.window"
+            }
+        );
         assert!(with_guard(GuardRailConfig::skip().with_spike_factor(f32::NAN)).is_err());
         assert!(with_guard(GuardRailConfig::skip().with_spike_factor(1.0)).is_err());
         assert!(with_guard(GuardRailConfig::skip().with_spike_factor(f32::INFINITY)).is_err());
@@ -823,7 +827,9 @@ mod tests {
         );
         assert_eq!(
             InferenceConfig::builder().cache_size(0).try_build().err(),
-            Some(ConfigError::ZeroField { field: "cache_size" })
+            Some(ConfigError::ZeroField {
+                field: "cache_size"
+            })
         );
         assert!(matches!(
             InferenceConfig::builder()

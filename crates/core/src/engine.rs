@@ -26,14 +26,17 @@
 //! assert_eq!(accs.len(), 2);
 //! ```
 //!
-//! The free functions (`evaluate_episodes`, `run_episode`, …) remain as
-//! deprecated shims; they run the same pipeline without the embedding
-//! cache.
+//! Kernel numerics are selected per engine with
+//! [`EngineBuilder::backend`]: [`gp_tensor::Backend::Reference`] (the
+//! default) keeps the historical bit-exact accumulation order, while
+//! [`gp_tensor::Backend::Fast`] swaps in the tiled/SIMD kernels. Every
+//! entry point installs the engine's backend alongside its worker pool,
+//! so episode fan-out runs under the same kernels.
 
 use std::sync::{Arc, Mutex, PoisonError};
 
 use gp_datasets::{Dataset, FewShotTask};
-use gp_tensor::{Parallelism, PoolStats, WorkerPool};
+use gp_tensor::{Backend, Parallelism, PoolStats, WorkerPool};
 
 use crate::config::{ConfigError, InferenceConfig, ModelConfig, PretrainConfig};
 use crate::deadline::Deadline;
@@ -59,6 +62,7 @@ pub struct EngineBuilder {
     timing_mode: bool,
     embed_cache: Option<usize>,
     shared_pool: Option<Arc<WorkerPool>>,
+    backend: Backend,
 }
 
 impl Default for EngineBuilder {
@@ -72,6 +76,7 @@ impl Default for EngineBuilder {
             timing_mode: false,
             embed_cache: Some(DEFAULT_EMBED_CACHE_CAPACITY),
             shared_pool: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -147,6 +152,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Compute backend for every tensor kernel the engine runs:
+    /// [`Backend::Reference`] (the default) is the bit-exact ground
+    /// truth, [`Backend::Fast`] the tiled/SIMD implementation that is
+    /// tolerance-equal to it. Both are bit-identical across worker
+    /// counts; only Reference is bit-identical across *backends* of
+    /// historical runs, so CI accuracy pins stay on Reference.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Capacity of the cross-episode candidate-embedding cache
     /// (default [`DEFAULT_EMBED_CACHE_CAPACITY`]).
     pub fn embedding_cache(mut self, capacity: usize) -> Self {
@@ -186,6 +202,7 @@ impl EngineBuilder {
             pool: Mutex::new(None),
             shared_pool: self.shared_pool,
             embed_store: self.embed_cache.map(EmbeddingStore::new),
+            backend: self.backend,
         })
     }
 }
@@ -207,6 +224,7 @@ pub struct Engine {
     /// ([`EngineBuilder::worker_pool`]); takes precedence over `pool`.
     shared_pool: Option<Arc<WorkerPool>>,
     embed_store: Option<EmbeddingStore>,
+    backend: Backend,
 }
 
 impl Engine {
@@ -265,6 +283,7 @@ impl Engine {
     pub fn pretrain(&mut self, dataset: &Dataset) -> TrainingCurve {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         pretrain(
             &mut self.model,
             dataset,
@@ -278,6 +297,7 @@ impl Engine {
     pub fn try_pretrain(&mut self, dataset: &Dataset) -> Result<TrainingCurve, DivergenceError> {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         try_pretrain(
             &mut self.model,
             dataset,
@@ -300,6 +320,7 @@ impl Engine {
     ) -> Vec<f32> {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         let episode_workers = self.episode_workers(&pool, episodes);
         evaluate_episodes_impl(
             &self.model,
@@ -331,6 +352,7 @@ impl Engine {
     ) -> Vec<f32> {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         let episode_workers = self.episode_workers(&pool, episodes);
         evaluate_episodes_impl(
             &self.model,
@@ -349,6 +371,7 @@ impl Engine {
     pub fn run_episode(&self, dataset: &Dataset, task: &FewShotTask) -> EpisodeResult {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         run_episode_impl(
             &self.model,
             dataset,
@@ -373,6 +396,7 @@ impl Engine {
     ) -> Result<EpisodeResult, EngineError> {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         run_episode_deadline_impl(
             &self.model,
             dataset,
@@ -393,6 +417,7 @@ impl Engine {
     ) -> EpisodeResult {
         let pool = self.thread_pool();
         let _ctx = pool.install();
+        let _be = self.backend.install();
         run_episode_impl(&self.model, dataset, task, cfg, self.embed_store.as_ref())
     }
 
@@ -459,6 +484,21 @@ impl Engine {
     /// ([`EngineBuilder::timing_mode`]).
     pub fn timing_mode(&self) -> bool {
         self.timing_mode
+    }
+
+    /// The compute backend this engine installs around every call
+    /// ([`EngineBuilder::backend`]).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Switch the compute backend. Takes effect on the next
+    /// `pretrain`/`evaluate`/`run_episode` call; no cached state depends
+    /// on the backend (the embedding cache is keyed by protocol + weights
+    /// and Fast is only tolerance-equal to Reference, so benchmarks that
+    /// flip backends on one engine should clear it between rows).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
     }
 
     /// Counters of the engine's worker pool (budget, spawned workers,
@@ -808,7 +848,10 @@ mod tests {
         assert_eq!(bits(&ra), bits(&rb), "same pool, same weights, same task");
         let stats = pool.stats();
         assert_eq!(stats.budget, 2);
-        assert!(stats.peak_active <= 2, "shared budget must bound both engines");
+        assert!(
+            stats.peak_active <= 2,
+            "shared budget must bound both engines"
+        );
         assert_eq!(a.pool_stats().expect("shared").budget, 2);
         assert_eq!(a.revision(), b.revision());
     }

@@ -43,8 +43,7 @@ static SAMPLING_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.sampli
 static RECONSTRUCTION_MICROS: gp_obs::Histogram =
     gp_obs::Histogram::new("infer.reconstruction_micros");
 static SELECTION_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.selection_micros");
-static AUGMENTATION_MICROS: gp_obs::Histogram =
-    gp_obs::Histogram::new("infer.augmentation_micros");
+static AUGMENTATION_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.augmentation_micros");
 static TASK_GRAPH_MICROS: gp_obs::Histogram = gp_obs::Histogram::new("infer.task_graph_micros");
 
 /// Outcome of one evaluated episode.
@@ -85,7 +84,10 @@ impl EpisodeResult {
 
 /// splitmix64-style combiner for deriving per-datapoint RNG seeds.
 fn mix(seed: u64, tag: u64) -> u64 {
-    let mut z = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+    let mut z = seed
+        ^ tag
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1234_5678_9ABC_DEF1);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -127,7 +129,14 @@ fn embed_points(
     let mut missing: Vec<usize> = Vec::new();
     for (i, &p) in points.iter().enumerate() {
         let hit = cache.and_then(|c| {
-            c.lookup(revision, dataset_id, p, stream_seed, &sampler_cfg, use_reconstruction)
+            c.lookup(
+                revision,
+                dataset_id,
+                p,
+                stream_seed,
+                &sampler_cfg,
+                use_reconstruction,
+            )
         });
         if hit.is_none() {
             missing.push(i);
@@ -347,7 +356,13 @@ pub(crate) fn run_episode_deadline_impl(
         let q_embed_nanos = embed_started.elapsed().as_nanos();
         embed_nanos += q_embed_nanos;
         clock.add("query_embed", (q_embed_nanos / 1_000) as u64);
-        check_deadline(deadline, "query_embed", predictions.len(), total_queries, &clock)?;
+        check_deadline(
+            deadline,
+            "query_embed",
+            predictions.len(),
+            total_queries,
+            &clock,
+        )?;
 
         // Prompt Selector: score + vote → Ŝ (k per class).
         let selection = clock.time("selection", || {
@@ -366,7 +381,13 @@ pub(crate) fn run_episode_deadline_impl(
                 &mut rng,
             )
         });
-        check_deadline(deadline, "selection", predictions.len(), total_queries, &clock)?;
+        check_deadline(
+            deadline,
+            "selection",
+            predictions.len(),
+            total_queries,
+            &clock,
+        )?;
 
         // Assemble the task-graph prompt rows: Ŝ, importance-weighted when
         // the selection layer is active, then Ŝ' = Ŝ ∪ C (Eq. 9).
@@ -445,7 +466,13 @@ pub(crate) fn run_episode_deadline_impl(
         // A finished episode is always returned, even if the deadline
         // fired during its final chunk — the work is already done.
         if predictions.len() < total_queries {
-            check_deadline(deadline, "task_graph", predictions.len(), total_queries, &clock)?;
+            check_deadline(
+                deadline,
+                "task_graph",
+                predictions.len(),
+                total_queries,
+                &clock,
+            )?;
         }
     }
 
@@ -463,46 +490,9 @@ pub(crate) fn run_episode_deadline_impl(
     })
 }
 
-/// Run Alg. 2 over one episode and return predictions plus timing.
-///
-/// The pseudo-label admission policy travels in
-/// [`InferenceConfig::pseudo_labels`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use gp_core::Engine::run_episode (build one with EngineBuilder)"
-)]
-pub fn run_episode(
-    model: &GraphPrompterModel,
-    dataset: &Dataset,
-    task: &FewShotTask,
-    cfg: &InferenceConfig,
-) -> EpisodeResult {
-    run_episode_impl(model, dataset, task, cfg, None)
-}
-
-/// As [`run_episode`], with `random_pseudo_labels = true` overriding the
-/// config's policy to [`PseudoLabelPolicy::UniformRandom`] (Table VII).
-#[deprecated(
-    since = "0.2.0",
-    note = "set InferenceConfig::pseudo_labels (PseudoLabelPolicy) and use \
-            gp_core::Engine::run_episode instead of a boolean flag"
-)]
-pub fn run_episode_with_policy(
-    model: &GraphPrompterModel,
-    dataset: &Dataset,
-    task: &FewShotTask,
-    cfg: &InferenceConfig,
-    random_pseudo_labels: bool,
-) -> EpisodeResult {
-    let mut cfg = cfg.clone();
-    if random_pseudo_labels {
-        cfg.pseudo_labels = PseudoLabelPolicy::UniformRandom;
-    }
-    run_episode_impl(model, dataset, task, &cfg, None)
-}
-
-/// Evaluate `episodes` independent episodes; see the deprecated public
-/// wrapper [`evaluate_episodes`] for the protocol. `cache` is shared by
+/// Evaluate `episodes` independent episodes of `ways`-way classification
+/// and return per-episode accuracies (in %). Episode `i` derives its
+/// episode-sampling and pipeline seeds from `cfg.seed`. `cache` is shared by
 /// every episode worker, so candidate embeddings computed by one episode
 /// are reused by all later ones (their subgraph RNGs derive from
 /// `cfg.candidate_seed`, which stays fixed across episodes).
@@ -514,6 +504,11 @@ pub fn run_episode_with_policy(
 /// episode — total live threads never exceed the budget. Results land in
 /// fixed per-episode slots, so scheduling order cannot perturb them:
 /// accuracies are bit-identical to a sequential run for any worker count.
+///
+/// The caller's active [`gp_tensor::Backend`] is captured on entry and
+/// re-installed inside every episode task — pool workers have their own
+/// thread-local backend slot, so without this an engine configured for
+/// the Fast kernels would silently run pooled episodes on Reference.
 pub(crate) fn evaluate_episodes_impl(
     model: &GraphPrompterModel,
     dataset: &Dataset,
@@ -525,7 +520,9 @@ pub(crate) fn evaluate_episodes_impl(
     pool: Option<&WorkerPool>,
     episode_workers: usize,
 ) -> Vec<f32> {
+    let backend = gp_tensor::installed_backend();
     let one = |i: usize| -> f32 {
+        let _be = backend.install();
         let mut ep_rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64 * 7919));
         let task = gp_datasets::sample_few_shot_task(
             dataset,
@@ -569,42 +566,6 @@ pub(crate) fn evaluate_episodes_impl(
     });
     drop(slots);
     results
-}
-
-/// Evaluate `episodes` independent episodes of `ways`-way classification
-/// and return per-episode accuracies (in %). Episode `i` derives its seed
-/// from `cfg.seed` for both the episode sampling and the pipeline RNG.
-///
-/// Episode workers come from the ambient thread budget
-/// ([`gp_tensor::configured_workers`], default 1 — this shim no longer
-/// silently fans out to `available_parallelism()` threads on top of the
-/// kernel workers; `Engine::evaluate` sizes both layers from one budget).
-#[deprecated(
-    since = "0.2.0",
-    note = "use gp_core::Engine::evaluate (build one with EngineBuilder); \
-            the Engine also memoizes candidate embeddings across episodes \
-            and owns the thread budget"
-)]
-pub fn evaluate_episodes(
-    model: &GraphPrompterModel,
-    dataset: &Dataset,
-    ways: usize,
-    queries_per_episode: usize,
-    episodes: usize,
-    cfg: &InferenceConfig,
-) -> Vec<f32> {
-    let episode_workers = gp_tensor::configured_workers().min(episodes.max(1));
-    evaluate_episodes_impl(
-        model,
-        dataset,
-        ways,
-        queries_per_episode,
-        episodes,
-        cfg,
-        None,
-        None,
-        episode_workers,
-    )
 }
 
 #[cfg(test)]
@@ -771,7 +732,11 @@ mod tests {
         let warm1 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store), None, 1);
         let warm2 = evaluate_episodes_impl(&model, &ds, 3, 12, 4, &cfg, Some(&store), None, 1);
         let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-        assert_eq!(to_bits(&cold), to_bits(&warm1), "cache must not change results");
+        assert_eq!(
+            to_bits(&cold),
+            to_bits(&warm1),
+            "cache must not change results"
+        );
         assert_eq!(to_bits(&warm1), to_bits(&warm2));
         let stats = store.stats();
         assert!(stats.hits > 0, "second pass must hit: {stats:?}");
@@ -797,7 +762,11 @@ mod tests {
         let a2 = evaluate_episodes_impl(&model, &ds_a, 3, 12, 3, &cfg, Some(&store), None, 1);
         let to_bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(to_bits(&a_ref), to_bits(&a1));
-        assert_eq!(to_bits(&b_ref), to_bits(&b1), "dataset B served A's embeddings");
+        assert_eq!(
+            to_bits(&b_ref),
+            to_bits(&b1),
+            "dataset B served A's embeddings"
+        );
         assert_eq!(to_bits(&a_ref), to_bits(&a2));
     }
 
@@ -831,7 +800,10 @@ mod tests {
         let reference = run_episode_impl(&model, &ds, &task, &cfg, None);
         assert_eq!(after.predictions, reference.predictions);
         let to_bits = |t: &Tensor| t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-        assert_eq!(to_bits(&after.query_embeddings), to_bits(&reference.query_embeddings));
+        assert_eq!(
+            to_bits(&after.query_embeddings),
+            to_bits(&reference.query_embeddings)
+        );
 
         // And restoring the original weights (try_restore) invalidates again.
         let snap: Vec<Tensor> = {

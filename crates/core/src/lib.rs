@@ -81,8 +81,6 @@ pub use embed_store::{EmbedCacheStats, EmbeddingStore};
 pub use engine::{Engine, EngineBuilder, DEFAULT_EMBED_CACHE_CAPACITY};
 pub use error::{DeadlineExceeded, EngineError};
 pub use guard::{DivergenceError, GuardAction, GuardRail, GuardRailConfig, StepVerdict};
-#[allow(deprecated)]
-pub use infer::{evaluate_episodes, run_episode, run_episode_with_policy};
 pub use infer::EpisodeResult;
 pub use lfu::LfuCache;
 pub use model::{sample_datapoint_subgraphs, GraphPrompterModel};

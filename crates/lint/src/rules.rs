@@ -62,6 +62,14 @@
 //!   report through return values and `gp-obs`; stdout belongs to the
 //!   binaries.
 //!
+//! * **A1 — no `std::arch`/`core::arch` outside the tensor backend.**
+//!   Architecture-specific intrinsics live in exactly one place,
+//!   `crates/tensor/src/backend`, behind the `ComputeBackend` dispatch
+//!   with runtime feature detection and a scalar fallback. SIMD
+//!   anywhere else bypasses that detection (an illegal-instruction
+//!   trap on older hosts) and forks the numerics outside the
+//!   reference-vs-fast tolerance contract.
+//!
 //! * **P1 — malformed suppression pragma.** `// gp-lint: allow(<rule>)
 //!   — <reason>` requires a known rule id and a non-empty reason; a
 //!   pragma that cannot be verified is itself an error (never silently
@@ -106,6 +114,8 @@ pub enum Rule {
     B1,
     /// `println!`-family output from a library crate.
     O1,
+    /// `std::arch`/`core::arch` outside `crates/tensor/src/backend`.
+    A1,
     /// Malformed or unknown suppression pragma.
     P1,
 }
@@ -121,6 +131,7 @@ impl Rule {
             Rule::R1 => "R1",
             Rule::B1 => "B1",
             Rule::O1 => "O1",
+            Rule::A1 => "A1",
             Rule::P1 => "P1",
         }
     }
@@ -131,13 +142,14 @@ impl Rule {
             Rule::D1 | Rule::D2 | Rule::D3 | Rule::D4 => "determinism",
             Rule::R1 | Rule::B1 => "robustness",
             Rule::O1 => "hygiene",
+            Rule::A1 => "isolation",
             Rule::P1 => "pragma",
         }
     }
 
     /// All rules a pragma may name.
     pub fn suppressible() -> &'static [&'static str] {
-        &["D1", "D2", "D3", "D4", "R1", "B1", "O1"]
+        &["D1", "D2", "D3", "D4", "R1", "B1", "O1", "A1"]
     }
 
     /// One-line description for `--list-rules`.
@@ -150,6 +162,7 @@ impl Rule {
             Rule::R1 => "no unwrap/expect/panic!/unreachable! in library code (ratcheted)",
             Rule::B1 => "no unbounded channel/queue construction in library code (ratcheted)",
             Rule::O1 => "no println!/eprintln! in library crates",
+            Rule::A1 => "no std::arch/core::arch outside crates/tensor/src/backend",
             Rule::P1 => "suppression pragmas must name known rules and give a reason",
         }
     }
@@ -333,6 +346,27 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
                 format!(
                     "`{tok}` in a result-affecting crate — move timing to gp-obs/gp-bench \
                      or justify with `// gp-lint: allow(D4) — <reason>`"
+                ),
+            );
+        }
+    }
+    // A1 applies to libraries AND binaries (only the harness is exempt):
+    // intrinsics in a bin would dodge runtime feature detection just as
+    // badly. The backend module is the one sanctioned home.
+    if kind != FileKind::Harness
+        && !path
+            .replace('\\', "/")
+            .contains("crates/tensor/src/backend")
+    {
+        for (line, tok) in a1_hits(&chars, &lines, &words) {
+            push(
+                &mut rep,
+                Rule::A1,
+                line,
+                format!(
+                    "`{tok}` outside crates/tensor/src/backend — route SIMD through the \
+                     gp_tensor ComputeBackend (runtime feature detection + scalar fallback) \
+                     or justify with `// gp-lint: allow(A1) — <reason>`"
                 ),
             );
         }
@@ -783,6 +817,31 @@ fn d4_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(us
 }
 
 // ---------------------------------------------------------------------------
+// A1 — architecture intrinsics outside the tensor backend module.
+
+fn a1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
+    let mut hits = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let name = word_at(chars, w);
+        if name != "std" && name != "core" {
+            continue;
+        }
+        let Some(&next) = words.get(wi + 1) else {
+            continue;
+        };
+        let sep: String = chars[w.1..next.0]
+            .iter()
+            .collect::<String>()
+            .trim()
+            .to_string();
+        if sep == "::" && word_at(chars, next) == "arch" {
+            hits.push((line_of(lines, w.0), format!("{name}::arch")));
+        }
+    }
+    hits
+}
+
+// ---------------------------------------------------------------------------
 // R1 — panicking constructs in library code.
 
 fn r1_hits(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Vec<(usize, String)> {
@@ -1039,7 +1098,12 @@ mod tests {
     #[test]
     fn b1_ignores_harness_bins_and_unqualified_channel() {
         let src = "fn f() { let (tx, rx) = mpsc::channel(); sink(tx, rx); }\n";
-        let harness = lint_source("crates/serve/tests/t.rs", "gp-serve", FileKind::Harness, src);
+        let harness = lint_source(
+            "crates/serve/tests/t.rs",
+            "gp-serve",
+            FileKind::Harness,
+            src,
+        );
         assert!(harness.b1_sites.is_empty());
         let bin = lint_source("src/bin/gp.rs", "graphprompter", FileKind::Bin, src);
         assert!(bin.b1_sites.is_empty());
@@ -1066,6 +1130,50 @@ mod tests {
         assert!(rep.violations.iter().all(|v| v.rule == Rule::O1));
         let bin = lint_source("src/bin/gp.rs", "graphprompter", FileKind::Bin, src);
         assert!(bin.violations.is_empty());
+    }
+
+    #[test]
+    fn a1_flags_arch_intrinsics_outside_backend() {
+        let src = "use std::arch::x86_64::*;\nfn f() { core::arch::asm!(\"nop\"); }\n";
+        let rep = lint_lib(src);
+        assert_eq!(rep.violations.len(), 2, "{:?}", rep.violations);
+        assert!(rep.violations.iter().all(|v| v.rule == Rule::A1));
+        // Binaries are NOT exempt — intrinsics there dodge detection too.
+        let bin = lint_source("src/bin/gp.rs", "graphprompter", FileKind::Bin, src);
+        assert_eq!(bin.violations.len(), 2, "{:?}", bin.violations);
+        // Harness code may poke at intrinsics for test scaffolding.
+        let harness = lint_source("tests/x.rs", "graphprompter", FileKind::Harness, src);
+        assert!(harness.violations.is_empty(), "{:?}", harness.violations);
+    }
+
+    #[test]
+    fn a1_exempts_the_tensor_backend_module() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\nuse std::arch::x86_64::*;\n";
+        for path in [
+            "crates/tensor/src/backend/fast.rs",
+            "crates/tensor/src/backend/mod.rs",
+        ] {
+            let rep = lint_source(path, "gp-tensor", FileKind::Lib, src);
+            assert!(rep.violations.is_empty(), "{path}: {:?}", rep.violations);
+        }
+        // The rest of gp-tensor is not exempt.
+        let rep = lint_source(
+            "crates/tensor/src/tensor.rs",
+            "gp-tensor",
+            FileKind::Lib,
+            src,
+        );
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert_eq!(rep.violations[0].rule, Rule::A1);
+    }
+
+    #[test]
+    fn a1_is_suppressible_with_a_reason() {
+        let src = "// gp-lint: allow(A1) — cpuid probe only, no numerics\n\
+                   fn f() { std::arch::x86_64::__cpuid(0); }\n";
+        let rep = lint_lib(src);
+        assert!(rep.violations.is_empty(), "{:?}", rep.violations);
+        assert_eq!(rep.suppressed, 1);
     }
 
     #[test]

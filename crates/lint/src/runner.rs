@@ -460,6 +460,7 @@ fn list_rules() -> String {
         Rule::R1,
         Rule::B1,
         Rule::O1,
+        Rule::A1,
         Rule::P1,
     ] {
         s.push_str(&format!(

@@ -23,7 +23,7 @@ use gp_core::{
     Deadline, Engine, EngineError, EpisodeResult, GraphPrompterModel, InferenceConfig, ModelConfig,
 };
 use gp_datasets::{sample_few_shot_task, Dataset};
-use gp_tensor::WorkerPool;
+use gp_tensor::{Backend, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,19 +45,24 @@ pub struct SessionHost {
     pool: Arc<WorkerPool>,
     dataset: Dataset,
     max_sessions: usize,
+    default_backend: Backend,
     sessions: Mutex<HashMap<String, Arc<Engine>>>,
 }
 
 impl SessionHost {
     /// Capture `model`'s weights as the base snapshot and eagerly build
     /// the `"default"` session so configuration errors surface at
-    /// startup, not on the first request.
+    /// startup, not on the first request. `default_backend` is the
+    /// compute backend sessions run on unless a request picks one
+    /// explicitly (`"backend"` body field) when a session is first
+    /// created; a session's backend is fixed for its lifetime.
     pub fn new(
         model: &GraphPrompterModel,
         dataset: Dataset,
         infer: InferenceConfig,
         pool: Arc<WorkerPool>,
         max_sessions: usize,
+        default_backend: Backend,
     ) -> Result<Self, String> {
         let host = Self {
             model_config: model.config().clone(),
@@ -66,9 +71,11 @@ impl SessionHost {
             pool,
             dataset,
             max_sessions: max_sessions.max(1),
+            default_backend,
             sessions: Mutex::new(HashMap::new()),
         };
-        host.engine_for("default").map_err(|e| e.to_string())?;
+        host.engine_for("default", None)
+            .map_err(|e| e.to_string())?;
         Ok(host)
     }
 
@@ -78,27 +85,57 @@ impl SessionHost {
         self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Fetch or lazily build the engine for `session`.
-    fn engine_for(&self, session: &str) -> Result<Arc<Engine>, SessionError> {
+    /// Fetch or lazily build the engine for `session`. A `Some(backend)`
+    /// request pins a *new* session to that backend; on an existing
+    /// session it must match the backend the session was created with
+    /// (answers within a session stay mutually consistent — Fast is only
+    /// tolerance-equal to Reference, so silently flipping mid-session
+    /// would break the bit-exact replay guarantee).
+    fn engine_for(
+        &self,
+        session: &str,
+        backend: Option<Backend>,
+    ) -> Result<Arc<Engine>, SessionError> {
         if let Some(engine) = self.lock_sessions().get(session).cloned() {
+            if let Some(want) = backend {
+                if want != engine.backend() {
+                    return Err(SessionError::BackendConflict {
+                        session: session.to_string(),
+                        have: engine.backend(),
+                        want,
+                    });
+                }
+            }
             return Ok(engine);
         }
         // Build outside the lock: engine construction embeds nothing
         // but does clone the weight snapshot, and serving must not
         // stall on it. Two racers may build twice; last insert wins and
-        // both replicas are identical by construction.
-        let engine = Arc::new(self.build_replica()?);
+        // both replicas are identical by construction (racers with
+        // conflicting explicit backends are resolved the same way: the
+        // losing insert re-validates against the surviving engine).
+        let engine = Arc::new(self.build_replica(backend.unwrap_or(self.default_backend))?);
         let mut sessions = self.lock_sessions();
         if !sessions.contains_key(session) && sessions.len() >= self.max_sessions {
             return Err(SessionError::TooManySessions(self.max_sessions));
         }
-        Ok(sessions
+        let engine = sessions
             .entry(session.to_string())
             .or_insert(engine)
-            .clone())
+            .clone();
+        if let Some(want) = backend {
+            if want != engine.backend() {
+                return Err(SessionError::BackendConflict {
+                    session: session.to_string(),
+                    have: engine.backend(),
+                    want,
+                });
+            }
+        }
+        Ok(engine)
     }
 
-    fn build_replica(&self) -> Result<Engine, SessionError> {
+    fn build_replica(&self, backend: Backend) -> Result<Engine, SessionError> {
         let mut model = GraphPrompterModel::new(self.model_config.clone());
         model
             .store
@@ -108,6 +145,7 @@ impl SessionHost {
             .model(model)
             .inference_config(self.infer.clone())
             .worker_pool(Arc::clone(&self.pool))
+            .backend(backend)
             .try_build()
             .map_err(|e| SessionError::Build(e.to_string()))
     }
@@ -136,15 +174,32 @@ impl SessionHost {
 enum SessionError {
     TooManySessions(usize),
     Build(String),
+    BackendConflict {
+        session: String,
+        have: Backend,
+        want: Backend,
+    },
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::TooManySessions(max) => {
-                write!(f, "session limit reached ({max}); reuse an existing session")
+                write!(
+                    f,
+                    "session limit reached ({max}); reuse an existing session"
+                )
             }
             SessionError::Build(why) => write!(f, "building session engine: {why}"),
+            SessionError::BackendConflict {
+                session,
+                have,
+                want,
+            } => write!(
+                f,
+                "session '{session}' runs backend '{have}' but the request asked for \
+                 '{want}'; a session's backend is fixed at creation — use another session"
+            ),
         }
     }
 }
@@ -154,6 +209,7 @@ impl SessionError {
         match self {
             SessionError::TooManySessions(_) => 429,
             SessionError::Build(_) => 500,
+            SessionError::BackendConflict { .. } => 400,
         }
     }
 }
@@ -210,6 +266,13 @@ impl ClassifyApp {
             .get("deadline_ms")
             .and_then(Value::as_u64)
             .unwrap_or(ctx.default_deadline_ms);
+        let backend = match doc.get("backend").and_then(Value::as_str) {
+            Some(name) => match name.parse::<Backend>() {
+                Ok(b) => Some(b),
+                Err(e) => return Response::error(400, &e),
+            },
+            None => None,
+        };
 
         let dataset = self.host.dataset();
         if !(2..=MAX_WAYS).contains(&ways) || ways > dataset.num_classes {
@@ -225,7 +288,7 @@ impl ClassifyApp {
             return Response::error(400, &format!("queries must be in 1..={MAX_QUERIES}"));
         }
 
-        let engine = match self.host.engine_for(&session) {
+        let engine = match self.host.engine_for(&session, backend) {
             Ok(engine) => engine,
             Err(e) => return Response::error(e.status(), &e.to_string()),
         };
@@ -247,7 +310,10 @@ impl ClassifyApp {
         // of consuming compute it can no longer use.
         let deadline = Deadline::at(ctx.admitted_at + Duration::from_millis(deadline_ms));
         match engine.run_episode_deadline(dataset, &task, deadline) {
-            Ok(result) => Response::json(200, render_episode(&result, &session, engine.revision())),
+            Ok(result) => Response::json(
+                200,
+                render_episode(&result, &session, engine.revision(), engine.backend()),
+            ),
             Err(e) => engine_error_response(&e),
         }
     }
@@ -310,7 +376,7 @@ fn render_u64s(xs: impl Iterator<Item = u64>) -> String {
     out
 }
 
-fn render_episode(r: &EpisodeResult, session: &str, revision: u64) -> String {
+fn render_episode(r: &EpisodeResult, session: &str, revision: u64, backend: Backend) -> String {
     let confidences = {
         let mut out = String::from("[");
         for (i, c) in r.confidences.iter().enumerate() {
@@ -323,11 +389,12 @@ fn render_episode(r: &EpisodeResult, session: &str, revision: u64) -> String {
         out
     };
     format!(
-        "{{\"session\":\"{}\",\"engine_revision\":{},\"correct\":{},\"total\":{},\
-         \"accuracy\":{:.6},\"predictions\":{},\"labels\":{},\"confidences\":{},\
+        "{{\"session\":\"{}\",\"engine_revision\":{},\"backend\":\"{}\",\"correct\":{},\
+         \"total\":{},\"accuracy\":{:.6},\"predictions\":{},\"labels\":{},\"confidences\":{},\
          \"per_query_micros\":{:.1}}}",
         escape_json(session),
         revision,
+        backend.name(),
         r.correct,
         r.total,
         r.accuracy(),
@@ -357,7 +424,7 @@ mod tests {
             ..InferenceConfig::default()
         };
         let pool = Arc::new(WorkerPool::with_budget(2));
-        SessionHost::new(&model, dataset, infer, pool, 3).expect("host builds")
+        SessionHost::new(&model, dataset, infer, pool, 3, Backend::Reference).expect("host builds")
     }
 
     fn ctx() -> ServeContext {
@@ -419,6 +486,46 @@ mod tests {
     }
 
     #[test]
+    fn backend_is_pinned_per_session_and_reported() {
+        let app = ClassifyApp::new(tiny_host());
+        // Default session was built on the host's default backend.
+        let a = post_classify(&app, r#"{"seed": 3, "backend": "reference"}"#);
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert!(a.body.contains("\"backend\":\"reference\""), "{}", a.body);
+
+        // A fresh session can pick the fast kernels; replays on that
+        // session are still bit-identical (Fast is deterministic within
+        // itself, only tolerance-equal to Reference).
+        let f1 = post_classify(&app, r#"{"session": "f", "seed": 3, "backend": "fast"}"#);
+        let f2 = post_classify(&app, r#"{"session": "f", "seed": 3, "backend": "fast"}"#);
+        assert_eq!(f1.status, 200, "{}", f1.body);
+        assert!(f1.body.contains("\"backend\":\"fast\""), "{}", f1.body);
+        assert_eq!(sans_timing(&f1.body), sans_timing(&f2.body));
+
+        // Asking an existing session for the other backend is a 400;
+        // omitting the field keeps working.
+        let conflict = post_classify(&app, r#"{"session": "f", "backend": "reference"}"#);
+        assert_eq!(conflict.status, 400, "{}", conflict.body);
+        assert!(
+            conflict.body.contains("fixed at creation"),
+            "{}",
+            conflict.body
+        );
+        let sticky = post_classify(&app, r#"{"session": "f", "seed": 3}"#);
+        assert_eq!(sticky.status, 200);
+        assert!(
+            sticky.body.contains("\"backend\":\"fast\""),
+            "{}",
+            sticky.body
+        );
+
+        // Unknown backend names are rejected before any work.
+        let bad = post_classify(&app, r#"{"backend": "gpu"}"#);
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert!(bad.body.contains("unknown backend"), "{}", bad.body);
+    }
+
+    #[test]
     fn invalid_parameters_are_400() {
         let app = ClassifyApp::new(tiny_host());
         for body in [
@@ -438,7 +545,11 @@ mod tests {
         let app = ClassifyApp::new(tiny_host());
         let resp = post_classify(&app, r#"{"ways": 3, "queries": 6, "deadline_ms": 0}"#);
         assert_eq!(resp.status, 504, "{}", resp.body);
-        assert!(resp.body.contains("\"stage\":\"candidate_embed\""), "{}", resp.body);
+        assert!(
+            resp.body.contains("\"stage\":\"candidate_embed\""),
+            "{}",
+            resp.body
+        );
         assert!(resp.body.contains("\"total_queries\":6"), "{}", resp.body);
         // Engine still healthy afterwards.
         let ok = post_classify(&app, r#"{"ways": 3, "queries": 6}"#);
@@ -459,7 +570,11 @@ mod tests {
         );
         assert_eq!(health.status, 200);
         assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
-        assert!(health.body.contains("\"engine_revision\":"), "{}", health.body);
+        assert!(
+            health.body.contains("\"engine_revision\":"),
+            "{}",
+            health.body
+        );
 
         let wrong = app.handle(
             &Request {

@@ -120,7 +120,17 @@ fn tiny_app() -> ClassifyApp {
         ..InferenceConfig::default()
     };
     let pool = Arc::new(WorkerPool::with_budget(2));
-    ClassifyApp::new(SessionHost::new(&model, dataset, infer, pool, 8).expect("host"))
+    ClassifyApp::new(
+        SessionHost::new(
+            &model,
+            dataset,
+            infer,
+            pool,
+            8,
+            gp_tensor::Backend::Reference,
+        )
+        .expect("host"),
+    )
 }
 
 fn quick_config(workers: usize, queue_capacity: usize) -> ServerConfig {
@@ -156,10 +166,7 @@ fn saturated_queue_sheds_immediately_with_503() {
     };
 
     // Pin both workers inside the handler, then flood.
-    let mut clients = vec![
-        spawn_client(tx.clone()),
-        spawn_client(tx.clone()),
-    ];
+    let mut clients = vec![spawn_client(tx.clone()), spawn_client(tx.clone())];
     gated.wait_entered(2, Duration::from_secs(10));
     for _ in 0..8 {
         clients.push(spawn_client(tx.clone()));
@@ -255,8 +262,11 @@ fn slow_and_malformed_clients_are_bounded() {
     assert_eq!(status_of(&resp), 400, "{resp}");
 
     // Chunked transfer (unsupported by design) → 400.
-    let resp = raw_roundtrip(addr, b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
-        .expect("reply");
+    let resp = raw_roundtrip(
+        addr,
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    )
+    .expect("reply");
     assert_eq!(status_of(&resp), 400, "{resp}");
 
     // Truncated body: claims 100 bytes, sends 3, then stalls → 408
@@ -265,7 +275,8 @@ fn slow_and_malformed_clients_are_bounded() {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.write_all(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nabc")
         .expect("send");
-    s.set_read_timeout(Some(Duration::from_secs(20))).expect("cfg");
+    s.set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("cfg");
     let mut out = String::new();
     let _ = s.read_to_string(&mut out);
     assert_eq!(status_of(&out), 408, "{out}");
@@ -275,8 +286,8 @@ fn slow_and_malformed_clients_are_bounded() {
     );
 
     // Declared oversized body → 413 without reading it.
-    let resp = raw_roundtrip(addr, b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
-        .expect("reply");
+    let resp =
+        raw_roundtrip(addr, b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").expect("reply");
     assert_eq!(status_of(&resp), 413, "{resp}");
 
     // Oversized headers → 431.
@@ -287,7 +298,8 @@ fn slow_and_malformed_clients_are_bounded() {
 
     // Slow-loris: a header byte every 150ms → overall deadline trips.
     let mut s = TcpStream::connect(addr).expect("connect");
-    s.set_read_timeout(Some(Duration::from_secs(20))).expect("cfg");
+    s.set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("cfg");
     let loris = std::thread::spawn(move || {
         for b in b"GET / HTTP/1.1\r\nX-Slow: yes\r\n".iter() {
             if s.write_all(&[*b]).is_err() {
@@ -362,8 +374,12 @@ fn deadline_exhaustion_leaks_no_pool_threads() {
         .expect("reply");
         assert_eq!(status_of(&resp), 504, "round {round}: {resp}");
     }
-    let resp = post_json(addr, "/v1/classify", r#"{"ways": 3, "queries": 6, "seed": 1}"#)
-        .expect("reply");
+    let resp = post_json(
+        addr,
+        "/v1/classify",
+        r#"{"ways": 3, "queries": 6, "seed": 1}"#,
+    )
+    .expect("reply");
     assert_eq!(status_of(&resp), 200, "{resp}");
     h.shutdown();
 
@@ -406,7 +422,11 @@ fn graceful_drain_completes_admitted_requests() {
     // answered with a 200 either way).
     match get(addr, "/late") {
         None => {}
-        Some(resp) => assert_ne!(status_of(&resp), 200, "drain must not admit new work: {resp}"),
+        Some(resp) => assert_ne!(
+            status_of(&resp),
+            200,
+            "drain must not admit new work: {resp}"
+        ),
     }
 
     gated.release();
@@ -433,13 +453,22 @@ fn health_and_metrics_endpoints_are_well_formed() {
 
     let health = get(addr, "/v1/health").expect("health");
     assert_eq!(status_of(&health), 200, "{health}");
-    for key in ["\"status\":\"ok\"", "\"queue_depth\":", "\"sessions\":", "\"engine_revision\":"] {
+    for key in [
+        "\"status\":\"ok\"",
+        "\"queue_depth\":",
+        "\"sessions\":",
+        "\"engine_revision\":",
+    ] {
         assert!(health.contains(key), "missing {key} in {health}");
     }
 
     // Generate some traffic, then the metrics snapshot must mention the
     // serve-layer instruments.
-    let _ = post_json(addr, "/v1/classify", r#"{"ways": 3, "queries": 4, "seed": 2}"#);
+    let _ = post_json(
+        addr,
+        "/v1/classify",
+        r#"{"ways": 3, "queries": 4, "seed": 2}"#,
+    );
     let metrics = get(addr, "/v1/metrics").expect("metrics");
     assert_eq!(status_of(&metrics), 200);
     assert!(metrics.contains("serve.requests_total"), "{metrics}");

@@ -1,0 +1,201 @@
+//! The bit-exact scalar kernels, hoisted verbatim from the pre-backend
+//! `Tensor`/`Tape` implementations.
+//!
+//! **Do not "optimize" anything in this file.** Every loop below *is*
+//! the determinism contract: its exact accumulation order is pinned by
+//! the kernel unit tests, the parallel bit-identity proptests, and the
+//! end-to-end pipeline tests. A change that is mathematically neutral
+//! but reorders a floating-point sum breaks bit-identity with every
+//! previously committed prediction. Speed belongs in
+//! [`FastBackend`](super::FastBackend).
+
+use std::ops::Range;
+
+use super::{Backend, ComputeBackend};
+use crate::sparse::EdgeList;
+use crate::tensor::Tensor;
+
+/// The default backend: scalar kernels with a pinned accumulation
+/// order, bit-identical across runs, hosts, and worker counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceBackend;
+
+impl ComputeBackend for ReferenceBackend {
+    fn kind(&self) -> Backend {
+        Backend::Reference
+    }
+
+    /// Cache-friendly `i-k-j` order: the inner loop streams contiguous
+    /// rows of both `b` and the output; zero `a` entries skip their
+    /// whole `b` row (subgraph one-hots are sparse).
+    fn matmul_block(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        m: usize,
+        rows: Range<usize>,
+        block: &mut [f32],
+    ) {
+        for (local, i) in rows.enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut block[local * m..(local + 1) * m];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * m..(kk + 1) * m];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Per-element `kk`-ascending dot product.
+    fn matmul_tb_block(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        k: usize,
+        m: usize,
+        rows: Range<usize>,
+        block: &mut [f32],
+    ) {
+        for (local, i) in rows.enumerate() {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut block[local * m..(local + 1) * m];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// `k`-outer loop streaming whole rows of `a` and `b`; each output
+    /// element still accumulates in `kk`-ascending order, which is why
+    /// this is bit-identical to the row-blocked path below.
+    fn matmul_ta_serial(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+        out: &mut [f32],
+    ) {
+        for kk in 0..k {
+            let a_row = &a[kk * n..(kk + 1) * n];
+            let b_row = &b[kk * m..(kk + 1) * m];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * m..(i + 1) * m];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Per-row recomputation with the same `kk`-ascending, zero-skipping
+    /// accumulation per element as the serial path.
+    fn matmul_ta_block(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        n: usize,
+        k: usize,
+        m: usize,
+        rows: Range<usize>,
+        block: &mut [f32],
+    ) {
+        for (local, i) in rows.enumerate() {
+            let o_row = &mut block[local * m..(local + 1) * m];
+            for kk in 0..k {
+                let av = a[kk * n + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * m..(kk + 1) * m];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// Ascending-index sum — the exact loop `cosine` runs for its `dot`
+    /// accumulator, so precomputed-norm cosine stays bit-identical.
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let mut dot = 0.0f32;
+        for kk in 0..a.len() {
+            dot += a[kk] * b[kk];
+        }
+        dot
+    }
+
+    /// Ascending-index sum of squares (the pre-sqrt half of `l2_norm`).
+    fn sum_sq(&self, a: &[f32]) -> f32 {
+        let mut n = 0.0f32;
+        for &x in a {
+            n += x * x;
+        }
+        n
+    }
+
+    /// Three independent `k`-ascending accumulators in one pass; each
+    /// matches the corresponding standalone [`dot`](Self::dot)/
+    /// [`sum_sq`](Self::sum_sq) sum bit-for-bit.
+    fn cosine(&self, a: &[f32], b: &[f32]) -> f32 {
+        let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+        for k in 0..a.len() {
+            dot += a[k] * b[k];
+            na += a[k] * a[k];
+            nb += b[k] * b[k];
+        }
+        let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
+        dot / denom
+    }
+
+    /// Edge-order scatter; zero-weight edges are skipped entirely.
+    fn spmm(&self, edges: &EdgeList, x: &Tensor, w: Option<&[f32]>, out: &mut Tensor) {
+        for e in 0..edges.len() {
+            let (s, t) = (edges.src(e), edges.dst(e));
+            let we = w.map_or(1.0, |ws| ws[e]);
+            if we == 0.0 {
+                continue;
+            }
+            let src_row = x.row(s);
+            let dst_row = out.row_mut(t);
+            for (o, &v) in dst_row.iter_mut().zip(src_row) {
+                *o += we * v;
+            }
+        }
+    }
+
+    /// Stable grouped softmax: per-destination max subtraction, then
+    /// edge-order exp/sum/normalize with the `1e-12` empty-group guard.
+    fn edge_softmax(&self, edges: &EdgeList, scores: &[f32], out: &mut [f32]) {
+        let n = edges.min_num_nodes();
+        let mut gmax = vec![f32::NEG_INFINITY; n];
+        for e in 0..edges.len() {
+            let d = edges.dst(e);
+            gmax[d] = gmax[d].max(scores[e]);
+        }
+        let mut gsum = vec![0.0f32; n];
+        for (e, x) in out.iter_mut().enumerate() {
+            let d = edges.dst(e);
+            *x = (scores[e] - gmax[d]).exp();
+            gsum[d] += *x;
+        }
+        for (e, x) in out.iter_mut().enumerate() {
+            *x /= gsum[edges.dst(e)].max(1e-12);
+        }
+    }
+}

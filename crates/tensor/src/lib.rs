@@ -21,20 +21,32 @@
 //!
 //! The engine is deliberately minimal: 2-D shapes only (vectors are `n×1`
 //! or `1×d`), `f32` only. Model sizes in this reproduction (hidden dims
-//! ≤ 128, subgraphs ≤ a few hundred nodes) keep kernels simple; see
-//! DESIGN.md. Heavy row-parallel kernels (`matmul` and friends) can fan
-//! out over a persistent, budget-bounded [`parallel::WorkerPool`] — see
-//! [`parallel`] — and stay **bit-identical** to the serial path for every
-//! worker count.
+//! ≤ 128, subgraphs ≤ a few hundred nodes) keep tensors simple; see
+//! DESIGN.md.
+//!
+//! Kernels are **pluggable**: every dense/sparse op dispatches through the
+//! thread's active [`ComputeBackend`] (see [`backend`]). The default
+//! [`Backend::Reference`] keeps the historical bit-exact accumulation
+//! order — results bit-identical across runs, hosts, and worker counts —
+//! while [`Backend::Fast`] swaps in register-tiled `std::arch` SIMD
+//! kernels (AVX2/NEON behind runtime detection, scalar-tiled fallback)
+//! that are tolerance-equal to Reference. Heavy row-parallel kernels
+//! (`matmul` and friends) additionally fan out over a persistent,
+//! budget-bounded [`parallel::WorkerPool`] — see [`parallel`] — and both
+//! backends stay bit-identical to their own serial path for every worker
+//! count, because rows are never split across workers.
 
+pub mod backend;
 pub mod parallel;
 pub mod rng;
 pub mod sparse;
 pub mod tape;
 pub mod tensor;
 
-#[allow(deprecated)]
-pub use parallel::set_parallelism;
+pub use backend::{
+    active_backend, installed_backend, Backend, BackendGuard, ComputeBackend, FastBackend,
+    ReferenceBackend,
+};
 pub use parallel::{
     configured_workers, workers_for_budget, Parallelism, PoolGuard, PoolStats, WorkerPool,
 };

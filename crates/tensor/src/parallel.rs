@@ -31,10 +31,11 @@
 //! `gp_core`'s `Engine` owns a pool sized from its `Parallelism` setting
 //! and installs it (via [`WorkerPool::install`]) for the duration of each
 //! `pretrain` / `evaluate` / `run_episode` call; kernels pick it up
-//! through a thread-local, so two engines in one process no longer stomp
-//! a shared global. The process-wide [`set_parallelism`] knob is kept as
-//! a deprecated fallback for code that predates the pool; kernels running
-//! with no pool installed fall back to a scoped fan-out at that setting.
+//! through a thread-local, so two engines in one process never stomp a
+//! shared global. There is no ambient process-wide setting: kernels
+//! running with no pool installed simply execute serially (the
+//! deprecated `set_parallelism` fallback was removed with the backend
+//! redesign).
 //!
 //! Spawning a thread costs ~10µs on Linux — the pool pays it once per
 //! engine, not once per matmul. Kernels still only fan out when the
@@ -46,7 +47,6 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
-static WORKERS_GAUGE: gp_obs::Gauge = gp_obs::Gauge::new("tensor.parallel.workers");
 static FANOUTS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.fanouts");
 static SERIAL_RUNS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.serial_runs");
 static TASKS: gp_obs::Counter = gp_obs::Counter::new("tensor.parallel.tasks");
@@ -88,29 +88,10 @@ impl Parallelism {
 /// per-task dispatch cost dominates any speedup.
 pub const MIN_PARALLEL_WORK: usize = 1 << 15;
 
-static WORKERS: AtomicUsize = AtomicUsize::new(1);
-
-/// Set the process-wide *fallback* kernel parallelism, used only by code
-/// running with no [`WorkerPool`] installed.
-#[deprecated(
-    since = "0.4.0",
-    note = "process-wide and racy across engines; build a WorkerPool (or set \
-            EngineBuilder::parallelism) so the budget is per-instance"
-)]
-pub fn set_parallelism(p: Parallelism) {
-    let workers = p.workers();
-    WORKERS.store(workers, Ordering::Relaxed);
-    WORKERS_GAUGE.set(workers as i64);
-}
-
 /// The ambient worker budget (≥ 1): the installed [`WorkerPool`]'s budget
-/// when one is active on this thread, else the deprecated process-wide
-/// fallback setting.
+/// when one is active on this thread, else 1 (serial).
 pub fn configured_workers() -> usize {
-    if let Some(pool) = current_pool() {
-        return pool.budget;
-    }
-    WORKERS.load(Ordering::Relaxed).max(1)
+    current_pool().map_or(1, |pool| pool.budget)
 }
 
 /// Worker count a kernel with `rows` independent output rows and
@@ -351,7 +332,10 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                queue = shared.work_cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
+                queue = shared
+                    .work_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         match task {
@@ -460,7 +444,10 @@ fn run_tasks_on(shared: &Arc<PoolShared>, count: usize, f: &(dyn Fn(usize) + Syn
 
     let mut done = job.done.lock().unwrap_or_else(PoisonError::into_inner);
     while done.pending > 0 {
-        done = job.done_cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+        done = job
+            .done_cv
+            .wait(done)
+            .unwrap_or_else(PoisonError::into_inner);
     }
     if let Some(panic) = done.panic.take() {
         drop(done);
@@ -528,50 +515,28 @@ fn run_blocks_on<F>(
 /// rather than a testing aspiration.
 ///
 /// When a [`WorkerPool`] is installed on this thread the blocks run on it
-/// (clamped to its budget); otherwise a scoped fan-out at the deprecated
-/// process-wide setting is used, so pre-pool callers keep working.
+/// (clamped to its budget); with no pool installed the call runs serially
+/// on the current thread — bit-identical by the same structural argument,
+/// since the serial path executes the very same closure over `0..rows`.
 pub fn for_row_blocks<F>(out: &mut [f32], rows: usize, cols: usize, workers: usize, f: F)
 where
     F: Fn(Range<usize>, &mut [f32]) + Sync,
 {
     debug_assert_eq!(out.len(), rows * cols, "for_row_blocks: buffer shape");
     let workers = workers.max(1).min(rows.max(1));
-    if workers <= 1 {
-        SERIAL_RUNS.inc();
-        f(0..rows, out);
-        return;
-    }
-    if let Some(shared) = current_pool() {
-        run_blocks_on(&shared, out, rows, cols, workers, f);
-        return;
-    }
-    // Legacy fallback (no pool installed): fresh scoped threads per call.
-    FANOUTS.inc();
-    let block_rows = rows.div_ceil(workers);
-    TASKS.add(rows.div_ceil(block_rows) as u64);
-    #[allow(clippy::disallowed_methods)] // pre-pool fallback, this module only
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest = out;
-        let mut start = 0usize;
-        while start < rows {
-            let take = block_rows.min(rows - start);
-            let (block, tail) = rest.split_at_mut(take * cols);
-            rest = tail;
-            let range = start..start + take;
-            scope.spawn(move || f(range, block));
-            start += take;
+    if workers > 1 {
+        if let Some(shared) = current_pool() {
+            run_blocks_on(&shared, out, rows, cols, workers, f);
+            return;
         }
-    });
+    }
+    SERIAL_RUNS.inc();
+    f(0..rows, out);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Serializes the tests that touch the deprecated process-wide WORKERS
-    /// fallback; everything else in this binary uses per-instance pools.
-    static GLOBAL_KNOB: Mutex<()> = Mutex::new(());
 
     #[test]
     fn parallelism_resolves_to_positive_workers() {
@@ -588,7 +553,11 @@ mod tests {
             let mut out = vec![0.0f32; rows * cols];
             run(&mut out, rows, cols, workers);
             for (i, v) in out.iter().enumerate() {
-                assert_eq!(*v, i as f32 + 1.0, "row coverage broke at {i} (workers={workers})");
+                assert_eq!(
+                    *v,
+                    i as f32 + 1.0,
+                    "row coverage broke at {i} (workers={workers})"
+                );
             }
         }
     }
@@ -603,7 +572,7 @@ mod tests {
 
     #[test]
     fn row_blocks_cover_every_row_exactly_once() {
-        // No pool installed: exercises the legacy scoped fallback.
+        // No pool installed: every workers value runs the serial path.
         check_row_coverage(|out, rows, cols, workers| {
             for_row_blocks(out, rows, cols, workers, |range, block| {
                 assert_eq!(block.len(), range.len() * cols);
@@ -724,20 +693,15 @@ mod tests {
     }
 
     #[test]
-    fn ambient_workers_prefer_installed_pool_over_global() {
-        let _serialized = GLOBAL_KNOB.lock().expect("knob mutex");
-        #[allow(deprecated)]
-        set_parallelism(Parallelism::Threads(2));
-        assert_eq!(configured_workers(), 2);
+    fn ambient_workers_come_from_installed_pool_only() {
+        assert_eq!(configured_workers(), 1, "no pool installed: serial");
+        assert_eq!(workers_for(100, usize::MAX), 1);
         {
             let pool = WorkerPool::with_budget(5);
             let _ctx = pool.install();
             assert_eq!(configured_workers(), 5, "installed pool must win");
             assert_eq!(workers_for(100, MIN_PARALLEL_WORK), 5);
         }
-        assert_eq!(configured_workers(), 2, "guard drop must restore");
-        #[allow(deprecated)]
-        set_parallelism(Parallelism::Serial);
-        assert_eq!(workers_for(100, usize::MAX), 1);
+        assert_eq!(configured_workers(), 1, "guard drop must restore");
     }
 }

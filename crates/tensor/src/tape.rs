@@ -301,18 +301,7 @@ impl Tape {
         {
             let xv = self.value(x);
             let wslice = w.map(|wv| self.value(wv).as_slice());
-            for e in 0..edges.len() {
-                let (s, t) = (edges.src(e), edges.dst(e));
-                let we = wslice.map_or(1.0, |ws| ws[e]);
-                if we == 0.0 {
-                    continue;
-                }
-                let src_row = xv.row(s);
-                let dst_row = out.row_mut(t);
-                for (o, &v) in dst_row.iter_mut().zip(src_row) {
-                    *o += we * v;
-                }
-            }
+            crate::backend::active_backend().spmm(&edges, xv, wslice, &mut out);
         }
         self.push(
             out,
@@ -333,23 +322,10 @@ impl Tape {
             (edges.len(), 1),
             "edge_softmax: scores must be E×1"
         );
-        let n = edges.min_num_nodes();
-        // Stable grouped softmax: subtract per-group max.
-        let mut gmax = vec![f32::NEG_INFINITY; n];
-        for e in 0..edges.len() {
-            let d = edges.dst(e);
-            gmax[d] = gmax[d].max(sv.as_slice()[e]);
-        }
-        let mut gsum = vec![0.0f32; n];
+        // Stable grouped softmax (per-group max subtraction) — the loop
+        // lives in the active backend.
         let mut exp = vec![0.0f32; edges.len()];
-        for (e, x) in exp.iter_mut().enumerate() {
-            let d = edges.dst(e);
-            *x = (sv.as_slice()[e] - gmax[d]).exp();
-            gsum[d] += *x;
-        }
-        for (e, x) in exp.iter_mut().enumerate() {
-            *x /= gsum[edges.dst(e)].max(1e-12);
-        }
+        crate::backend::active_backend().edge_softmax(&edges, sv.as_slice(), &mut exp);
         let out = Tensor::from_vec(edges.len(), 1, exp);
         self.push(out, Op::EdgeSoftmax { scores, edges })
     }

@@ -143,10 +143,12 @@ impl Tensor {
 
     /// Matrix multiply `self (n×k) · other (k×m) -> n×m`.
     ///
-    /// Uses the cache-friendly `i-k-j` loop order (the inner loop streams
-    /// over contiguous rows of both the output and `other`). Fans out over
-    /// output-row blocks when [`crate::parallel`] is enabled; every worker
-    /// count produces bit-identical results.
+    /// Dispatches to the thread's active [`ComputeBackend`]
+    /// (see [`crate::backend`]): Reference runs the cache-friendly
+    /// `i-k-j` scalar loop, Fast the register-tiled SIMD kernel. Fans
+    /// out over output-row blocks when [`crate::parallel`] is enabled;
+    /// for either backend every worker count produces bit-identical
+    /// results, because rows are never split across workers.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let work = self.rows * self.cols * other.cols;
         self.matmul_workers(other, crate::parallel::workers_for(self.rows, work))
@@ -154,8 +156,8 @@ impl Tensor {
 
     /// As [`Tensor::matmul`] with an explicit worker count (`1` = serial).
     ///
-    /// Output rows are computed by the same per-row loop regardless of how
-    /// they are blocked across workers, so any `workers` value yields
+    /// Output rows are computed by the same per-row kernel regardless of
+    /// how they are blocked across workers, so any `workers` value yields
     /// bit-identical results (asserted by the parallel proptests).
     pub fn matmul_workers(&self, other: &Tensor, workers: usize) -> Tensor {
         assert_eq!(
@@ -167,20 +169,11 @@ impl Tensor {
         let mut out = Tensor::zeros(n, m);
         let a_data = &self.data;
         let b_data = &other.data;
+        // Captured here: pool workers run the block under the backend of
+        // the thread that *submitted* the kernel, not their own default.
+        let be = crate::backend::active_backend();
         crate::parallel::for_row_blocks(&mut out.data, n, m, workers, |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let a_row = &a_data[i * k..(i + 1) * k];
-                let o_row = &mut block[local * m..(local + 1) * m];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_data[kk * m..(kk + 1) * m];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            be.matmul_block(a_data, b_data, k, m, rows, block);
         });
         out
     }
@@ -203,19 +196,9 @@ impl Tensor {
         let mut out = Tensor::zeros(n, m);
         let a_data = &self.data;
         let b_data = &other.data;
+        let be = crate::backend::active_backend();
         crate::parallel::for_row_blocks(&mut out.data, n, m, workers, |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let a_row = &a_data[i * k..(i + 1) * k];
-                let o_row = &mut block[local * m..(local + 1) * m];
-                for (j, o) in o_row.iter_mut().enumerate() {
-                    let b_row = &b_data[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for kk in 0..k {
-                        acc += a_row[kk] * b_row[kk];
-                    }
-                    *o = acc;
-                }
-            }
+            be.matmul_tb_block(a_data, b_data, k, m, rows, block);
         });
         out
     }
@@ -241,38 +224,15 @@ impl Tensor {
         );
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
+        let be = crate::backend::active_backend();
         if workers <= 1 {
-            for kk in 0..k {
-                let a_row = self.row(kk);
-                let b_row = other.row(kk);
-                for (i, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let o_row = &mut out.data[i * m..(i + 1) * m];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            be.matmul_ta_serial(&self.data, &other.data, n, k, m, &mut out.data);
             return out;
         }
         let a_data = &self.data;
         let b_data = &other.data;
         crate::parallel::for_row_blocks(&mut out.data, n, m, workers, |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let o_row = &mut block[local * m..(local + 1) * m];
-                for kk in 0..k {
-                    let a = a_data[kk * n + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b_data[kk * m..(kk + 1) * m];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            be.matmul_ta_block(a_data, b_data, n, k, m, rows, block);
         });
         out
     }
@@ -533,32 +493,27 @@ impl Tensor {
 /// Cosine similarity between two raw slices, without materialising a
 /// [`Tensor`]. This is the single implementation [`Tensor::cosine_rows`]
 /// delegates to, so callers holding plain `&[f32]` embeddings (e.g. the
-/// Prompt Augmenter's cache) get bit-identical scores with no allocation.
+/// Prompt Augmenter's cache) get identical scores with no allocation.
+///
+/// Dispatches to the active [`ComputeBackend`](crate::ComputeBackend);
+/// under the default Reference backend the three accumulators (`dot`,
+/// `na`, `nb`) are `k`-ascending scalar sums, bit-identical to the
+/// historical implementation.
 ///
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn cosine_slices(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "cosine_slices: length mismatch");
-    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
-    for k in 0..a.len() {
-        dot += a[k] * b[k];
-        na += a[k] * a[k];
-        nb += b[k] * b[k];
-    }
-    let denom = (na.sqrt() * nb.sqrt()).max(1e-12);
-    dot / denom
+    crate::backend::active_backend().cosine(a, b)
 }
 
-/// L2 norm of a slice, accumulated in ascending index order — the exact
-/// summation [`cosine_slices`] performs internally for each operand, so
+/// L2 norm of a slice — the exact summation [`cosine_slices`] performs
+/// internally for each operand under the same backend, so
 /// `cosine_slices_with_norms(a, b, l2_norm(a), l2_norm(b))` is
-/// bit-identical to `cosine_slices(a, b)`.
+/// bit-identical to `cosine_slices(a, b)` (for Reference: a
+/// `k`-ascending scalar sum of squares, then sqrt).
 pub fn l2_norm(a: &[f32]) -> f32 {
-    let mut n = 0.0f32;
-    for &x in a {
-        n += x * x;
-    }
-    n.sqrt()
+    crate::backend::active_backend().sum_sq(a).sqrt()
 }
 
 /// [`cosine_slices`] with both row norms precomputed (via [`l2_norm`]).
@@ -567,17 +522,20 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 /// (`P×N` combinations) recompute each row's norm `N` (resp. `P`) times
 /// through `cosine_slices`; hoisting the norms cuts the inner loop to the
 /// dot product alone — ~3× fewer flops — without changing a single bit:
-/// each accumulator (`dot`, `na`, `nb`) is an independent `k`-ascending
-/// sum, so splitting them across loops preserves every rounding step.
+/// each accumulator (`dot`, `na`, `nb`) is an independent sum under the
+/// active backend, so splitting them across loops preserves every
+/// rounding step. This holds for Fast too (its fused cosine runs the
+/// same SIMD reduction per accumulator).
 ///
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn cosine_slices_with_norms(a: &[f32], b: &[f32], a_norm: f32, b_norm: f32) -> f32 {
-    assert_eq!(a.len(), b.len(), "cosine_slices_with_norms: length mismatch");
-    let mut dot = 0.0f32;
-    for k in 0..a.len() {
-        dot += a[k] * b[k];
-    }
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "cosine_slices_with_norms: length mismatch"
+    );
+    let dot = crate::backend::active_backend().dot(a, b);
     dot / (a_norm * b_norm).max(1e-12)
 }
 
@@ -828,20 +786,27 @@ mod tests {
     fn cosine_with_precomputed_norms_is_bitwise_identical() {
         // Values chosen to be inexact in f32 so any change in summation
         // order or rounding sequence would flip low-order bits.
-        let a = t(3, 5, &[
-            0.1, -0.7, 3.3, 0.013, -2.9, //
-            1.7, 1.7, -7.5, 0.31, 0.0, //
-            -0.003, 12.5, 0.77, -0.1, 4.4,
-        ]);
-        let b = t(2, 5, &[1.1, 0.25, -3.3, 8.8, 0.09, -0.5, 0.6, -0.7, 0.8, -0.9]);
+        let a = t(
+            3,
+            5,
+            &[
+                0.1, -0.7, 3.3, 0.013, -2.9, //
+                1.7, 1.7, -7.5, 0.31, 0.0, //
+                -0.003, 12.5, 0.77, -0.1, 4.4,
+            ],
+        );
+        let b = t(
+            2,
+            5,
+            &[1.1, 0.25, -3.3, 8.8, 0.09, -0.5, 0.6, -0.7, 0.8, -0.9],
+        );
         let a_norms: Vec<f32> = (0..a.rows()).map(|i| l2_norm(a.row(i))).collect();
         let b_norms: Vec<f32> = (0..b.rows()).map(|j| l2_norm(b.row(j))).collect();
         for i in 0..a.rows() {
             for j in 0..b.rows() {
                 assert_eq!(
                     cosine_slices(a.row(i), b.row(j)).to_bits(),
-                    cosine_slices_with_norms(a.row(i), b.row(j), a_norms[i], b_norms[j])
-                        .to_bits(),
+                    cosine_slices_with_norms(a.row(i), b.row(j), a_norms[i], b_norms[j]).to_bits(),
                     "({i},{j})"
                 );
             }
@@ -849,7 +814,13 @@ mod tests {
         // The zero-vector clamp behaves identically too.
         assert_eq!(
             cosine_slices(&[0.0, 0.0], &[1.0, 2.0]).to_bits(),
-            cosine_slices_with_norms(&[0.0, 0.0], &[1.0, 2.0], l2_norm(&[0.0, 0.0]), l2_norm(&[1.0, 2.0])).to_bits()
+            cosine_slices_with_norms(
+                &[0.0, 0.0],
+                &[1.0, 2.0],
+                l2_norm(&[0.0, 0.0]),
+                l2_norm(&[1.0, 2.0])
+            )
+            .to_bits()
         );
     }
 

@@ -305,3 +305,148 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Backend equivalence: the Fast (tiled/SIMD) kernels must stay within
+// float tolerance of the bit-exact Reference kernels on every shape —
+// rectangular, tile-sized, and degenerate (0-row, 1-col, non-multiples
+// of the 8/16-lane tiles) — and stay bit-identical to themselves across
+// worker counts.
+
+use gp_tensor::Backend;
+
+/// |fast - reference| within mixed absolute/relative tolerance.
+fn close_enough(fast: f32, reference: f32) -> bool {
+    (fast - reference).abs() <= 1e-4 + 1e-4 * reference.abs()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_matmul_is_tolerance_equal_to_reference(
+        n in 0usize..34,
+        k in 0usize..34,
+        m in 0usize..34,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec(n, k, (0..n * k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let b = Tensor::from_vec(k, m, (0..k * m).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let reference = {
+            let _g = Backend::Reference.install();
+            a.matmul(&b)
+        };
+        let fast = {
+            let _g = Backend::Fast.install();
+            a.matmul(&b)
+        };
+        for (f, r) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!(close_enough(*f, *r), "{f} vs {r} ({n}x{k}x{m})");
+        }
+    }
+
+    #[test]
+    fn fast_matmul_tb_and_ta_are_tolerance_equal_to_reference(
+        n in 1usize..26,
+        k in 1usize..70,
+        m in 1usize..26,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec(n, k, (0..n * k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let bt = Tensor::from_vec(m, k, (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let at = Tensor::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let b = Tensor::from_vec(k, m, (0..k * m).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let (tb_ref, ta_ref) = {
+            let _g = Backend::Reference.install();
+            (a.matmul_tb(&bt), at.matmul_ta(&b))
+        };
+        let (tb_fast, ta_fast) = {
+            let _g = Backend::Fast.install();
+            (a.matmul_tb(&bt), at.matmul_ta(&b))
+        };
+        for (f, r) in tb_fast.as_slice().iter().zip(tb_ref.as_slice()) {
+            prop_assert!(close_enough(*f, *r), "tb: {f} vs {r}");
+        }
+        for (f, r) in ta_fast.as_slice().iter().zip(ta_ref.as_slice()) {
+            prop_assert!(close_enough(*f, *r), "ta: {f} vs {r}");
+        }
+    }
+
+    #[test]
+    fn fast_cosine_and_norm_are_tolerance_equal_to_reference(
+        xs in proptest::collection::vec(-2.0f32..2.0, 1..70),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ys: Vec<f32> = (0..xs.len()).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let (cos_ref, norm_ref) = {
+            let _g = Backend::Reference.install();
+            (gp_tensor::cosine_slices(&xs, &ys), gp_tensor::l2_norm(&xs))
+        };
+        let (cos_fast, norm_fast) = {
+            let _g = Backend::Fast.install();
+            (gp_tensor::cosine_slices(&xs, &ys), gp_tensor::l2_norm(&xs))
+        };
+        prop_assert!(close_enough(cos_fast, cos_ref), "{cos_fast} vs {cos_ref}");
+        prop_assert!(close_enough(norm_fast, norm_ref), "{norm_fast} vs {norm_ref}");
+    }
+
+    #[test]
+    fn fast_is_bit_identical_across_worker_counts(
+        n in 1usize..34,
+        k in 1usize..34,
+        m in 1usize..34,
+        workers in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec(n, k, (0..n * k).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let b = Tensor::from_vec(k, m, (0..k * m).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let _g = Backend::Fast.install();
+        let serial = a.matmul_workers(&b, 1);
+        let pool = gp_tensor::WorkerPool::with_budget(workers);
+        let _ctx = pool.install();
+        let pooled = a.matmul_workers(&b, workers);
+        for (s, p) in serial.as_slice().iter().zip(pooled.as_slice()) {
+            prop_assert_eq!(s.to_bits(), p.to_bits(),
+                "fast kernels must not let worker count change bits");
+        }
+    }
+
+    #[test]
+    fn fast_spmm_and_edge_softmax_are_tolerance_equal_to_reference(
+        pairs in edges_strategy(4),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges = EdgeList::from_pairs(pairs).into_shared();
+        let e = edges.len();
+        let n = edges.min_num_nodes();
+        let x = Tensor::from_vec(n, 3, (0..n * 3).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let w = Tensor::from_vec(e, 1, (0..e).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let run = |backend: Backend| {
+            let _g = backend.install();
+            let mut tape = Tape::new();
+            let xi = tape.input(x.clone());
+            let wi = tape.input(w.clone());
+            let agg = tape.spmm(edges.clone(), xi, Some(wi), n);
+            let soft = tape.edge_softmax(edges.clone(), wi);
+            (tape.value(agg).clone(), tape.value(soft).clone())
+        };
+        let (agg_ref, soft_ref) = run(Backend::Reference);
+        let (agg_fast, soft_fast) = run(Backend::Fast);
+        for (f, r) in agg_fast.as_slice().iter().zip(agg_ref.as_slice()) {
+            prop_assert!(close_enough(*f, *r), "spmm: {f} vs {r}");
+        }
+        for (f, r) in soft_fast.as_slice().iter().zip(soft_ref.as_slice()) {
+            prop_assert!(close_enough(*f, *r), "edge_softmax: {f} vs {r}");
+        }
+    }
+}

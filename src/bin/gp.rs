@@ -8,6 +8,8 @@
 //! gp evaluate  --model model.gpck --dataset fb15k237 --ways 10 [--episodes 5]
 //!              [--prodigy]                  # random-selection baseline stages
 //! gp episode   --model model.gpck --dataset conceptnet --ways 4 [--seed 7]
+//!              # pretrain/evaluate/episode/serve also take
+//!              # --backend {reference,fast} (default reference)
 //! gp export    --dataset arxiv --dir ./my_arxiv       # dump to TSV
 //! gp inspect   model.gpck                   # validate + describe a checkpoint
 //! gp serve     --dataset wiki [--model model.gpck] [--addr 127.0.0.1:7431]
@@ -26,6 +28,12 @@
 //! threads in total, shared by episode fan-out and tensor-kernel
 //! row-blocks (`--threads 0` = one per core; `--threads 1` spawns no
 //! worker threads at all; results are bit-identical either way).
+//!
+//! `--backend {reference,fast}` selects the tensor kernels: `reference`
+//! (default) is the bit-exact ground truth, `fast` the tiled/SIMD
+//! implementation with tolerance-equal results. For `serve` this sets
+//! the default; a request's `"backend"` body field can pin a new
+//! session to either.
 //!
 //! Every command accepts `--metrics` (human-readable report on stderr
 //! when the command finishes) or `--metrics-json` (JSON on stdout):
@@ -46,7 +54,7 @@ use graphprompter::core::{
 };
 use graphprompter::datasets::{presets, sample_few_shot_task, Dataset, Task};
 use graphprompter::eval::{ConfusionMatrix, MeanStd, Table};
-use graphprompter::prelude::{Engine, Parallelism};
+use graphprompter::prelude::{Backend, Engine, Parallelism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -127,6 +135,17 @@ fn parallelism(args: &[String]) -> Result<Parallelism, String> {
             Ok(n) => Ok(Parallelism::Threads(n)),
             Err(_) => Err("--threads must be an integer (0 = one per core)".into()),
         },
+    }
+}
+
+/// Parse `--backend <name>` into a compute backend. Absent →
+/// `reference`, the bit-exact default; `fast` swaps every tensor kernel
+/// for the tiled/SIMD implementation (tolerance-equal results, still
+/// bit-identical across `--threads` values and across replays).
+fn backend(args: &[String]) -> Result<Backend, String> {
+    match flag(args, "--backend") {
+        None => Ok(Backend::Reference),
+        Some(s) => s.parse::<Backend>(),
     }
 }
 
@@ -235,6 +254,7 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
         })
         .pretrain_config(cfg.clone())
         .parallelism(parallelism(args)?)
+        .backend(backend(args)?)
         .try_build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     eprintln!("pre-training on {} for {steps} steps...", ds.name);
@@ -297,7 +317,8 @@ fn pretrain_cmd(args: &[String]) -> CliResult {
 }
 
 /// Drain request flag flipped by SIGTERM/SIGINT; polled by `serve_cmd`.
-static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// Route SIGTERM and SIGINT into [`SHUTDOWN_REQUESTED`] via raw
 /// `signal(2)` — no libc crate in this workspace. Only the flag store
@@ -370,6 +391,7 @@ fn serve_cmd(args: &[String]) -> CliResult {
         infer,
         pool,
         parse_or("--max-sessions", 64)? as usize,
+        backend(args)?,
     )?;
     let revision = host.revision();
     let handle =
@@ -377,7 +399,7 @@ fn serve_cmd(args: &[String]) -> CliResult {
 
     install_drain_signals();
     println!("gp-serve listening on {}", handle.addr());
-    println!("  POST /v1/classify   {{\"ways\", \"queries\", \"seed\", \"deadline_ms\"?, \"session\"?}}");
+    println!("  POST /v1/classify   {{\"ways\", \"queries\", \"seed\", \"deadline_ms\"?, \"session\"?, \"backend\"?}}");
     println!("  GET  /v1/metrics    gp-obs snapshot (enable with --metrics-json)");
     println!("  GET  /v1/health     liveness + queue depth + engine revision {revision}");
     println!("SIGTERM/SIGINT drains gracefully.");
@@ -458,6 +480,7 @@ fn evaluate_cmd(args: &[String]) -> CliResult {
             ..InferenceConfig::default()
         })
         .parallelism(parallelism(args)?)
+        .backend(backend(args)?)
         .try_build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     let accs = engine.evaluate(&ds, ways, 50, episodes);
@@ -491,6 +514,7 @@ fn episode_cmd(args: &[String]) -> CliResult {
             ..InferenceConfig::default()
         })
         .parallelism(parallelism(args)?)
+        .backend(backend(args)?)
         .try_build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -44,9 +44,9 @@ pub mod prelude {
     pub use gp_datasets::{presets, sample_few_shot_task, Dataset, FewShotTask};
     pub use gp_graph::SamplerConfig;
     pub use gp_obs::MetricsSnapshot;
-    #[allow(deprecated)]
-    pub use gp_tensor::set_parallelism;
-    pub use gp_tensor::{Parallelism, PoolStats, WorkerPool};
+    pub use gp_tensor::{
+        Backend, BackendGuard, ComputeBackend, Parallelism, PoolStats, WorkerPool,
+    };
 }
 
 /// Workspace version, from the facade crate.

@@ -123,6 +123,75 @@ fn parallel_kernels_match_serial_bitwise_end_to_end() {
     );
 }
 
+/// The backend-refactor bit-identity contract: an engine that never
+/// names a backend, and one built with an explicit
+/// `Backend::Reference`, replay each other bitwise — even while a
+/// different backend is installed on the calling thread (every entry
+/// point installs the engine's own choice).
+#[test]
+fn reference_backend_replays_the_default_engine_bitwise() {
+    let source = CitationConfig::new("src", 250, 4, 117).generate();
+    let default_engine = tiny_engine(20, &source);
+    let a = default_engine.evaluate(&source, 3, 10, 2);
+
+    let mut explicit = Engine::builder()
+        .model_config(tiny_model())
+        .pretrain_config(tiny_pretrain(20))
+        .inference_config(tiny_infer())
+        .backend(Backend::Reference)
+        .try_build()
+        .expect("tiny configs are valid");
+    explicit.pretrain(&source);
+    // A hostile ambient backend must not leak into the engine's calls.
+    let _ambient = Backend::Fast.install();
+    let b = explicit.evaluate(&source, 3, 10, 2);
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&a),
+        bits(&b),
+        "explicit Reference must be bit-identical to the default engine"
+    );
+}
+
+/// The Fast backend end-to-end: tolerance-equal to Reference on the same
+/// weights, bit-identical on replay, and bit-identical across worker
+/// counts (rows are never split across workers).
+#[test]
+fn fast_backend_is_tolerance_equal_and_deterministic_end_to_end() {
+    let source = CitationConfig::new("src", 250, 4, 118).generate();
+    let mut engine = tiny_engine(20, &source);
+    let reference = engine.evaluate(&source, 3, 10, 2);
+
+    engine.set_backend(Backend::Fast);
+    // Embeddings memoized under Reference are only tolerance-equal to
+    // what Fast would compute; start the comparison from a cold cache.
+    engine.clear_embed_cache();
+    let fast = engine.evaluate(&source, 3, 10, 2);
+    for (f, r) in fast.iter().zip(&reference) {
+        assert!(
+            (f - r).abs() <= 20.0,
+            "fast accuracy {f}% drifted from reference {r}%"
+        );
+    }
+
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    let replay = engine.evaluate(&source, 3, 10, 2);
+    assert_eq!(
+        bits(&fast),
+        bits(&replay),
+        "fast replay must be bit-identical"
+    );
+
+    engine.set_parallelism(Some(Parallelism::Threads(4)));
+    let threaded = engine.evaluate(&source, 3, 10, 2);
+    assert_eq!(
+        bits(&fast),
+        bits(&threaded),
+        "worker count must not change fast-backend bits"
+    );
+}
+
 /// The oversubscription regression test: one budget bounds *all* threads
 /// — episode fan-out and kernel fan-out share the engine's worker pool,
 /// `--threads 1` spawns nothing, and every budget is bit-identical.
