@@ -141,7 +141,11 @@ impl Contrastive {
                 views.push(drop_edges(&sg, cfg.edge_drop, &mut rng));
                 views.push(drop_edges(&sg, cfg.edge_drop, &mut rng));
             }
-            let batch = SubgraphBatch::build(graph, &views, gp_datasets::REL_FEAT_DIM);
+            let batch = match SubgraphBatch::build(graph, &views, gp_datasets::REL_FEAT_DIM) {
+                Ok(b) => b,
+                // gp-lint: allow(R1) — structurally impossible: sampled subgraphs are non-empty and anchored
+                Err(e) => unreachable!("subgraph fusion failed: {e}"),
+            };
             let masked = mask_features(&batch.features, cfg.feature_mask, &mut rng);
 
             let mut sess = Session::new(&self.store);
@@ -187,7 +191,11 @@ impl Contrastive {
         rng: &mut StdRng,
     ) -> Tensor {
         let sgs = gp_core::sample_datapoint_subgraphs(graph, sampler, points, task, rng);
-        let batch = SubgraphBatch::build(graph, &sgs, gp_datasets::REL_FEAT_DIM);
+        let batch = match SubgraphBatch::build(graph, &sgs, gp_datasets::REL_FEAT_DIM) {
+            Ok(b) => b,
+            // gp-lint: allow(R1) — structurally impossible: sampled subgraphs are non-empty and anchored
+            Err(e) => unreachable!("subgraph fusion failed: {e}"),
+        };
         let mut sess = Session::new(&self.store);
         let x = sess.data(batch.features.clone());
         let h = self

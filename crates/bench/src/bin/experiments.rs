@@ -14,10 +14,13 @@
 //! (emitting the parallel row even on a single-core host), and
 //! `--backend {reference,fast}` restricts the episode rows to one
 //! compute backend (default: both; the wide-matmul microbench always
-//! compares both). `bench-serve`
+//! compares both) — it also measures the cross-request batching rows
+//! (solo vs fused per-query cost at batch sizes 1/2/4/8). `bench-serve`
 //! load-tests the gp-serve HTTP server (baseline latency, saturation
-//! QPS, shed rate and admitted p99 under 2× overload) and rewrites
-//! BENCH_serve.json. `--smoke` shrinks the scale for a fast sanity pass.
+//! QPS, shed rate and admitted p99 under 2× overload, plus a keep-alive
+//! batched phase — `--max-batch <n>` sets its coalescer cap, default 4,
+//! 1 disables) and rewrites BENCH_serve.json. `--smoke` shrinks the
+//! scale for a fast sanity pass.
 
 use std::time::Instant;
 
@@ -50,6 +53,16 @@ fn main() {
                 std::process::exit(2);
             })
         });
+    let max_batch = args
+        .iter()
+        .position(|a| a == "--max-batch")
+        .and_then(|i| args.get(i + 1))
+        .map_or(4, |v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--max-batch expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            })
+        });
     let suite = if smoke {
         Suite::smoke()
     } else {
@@ -61,7 +74,7 @@ fn main() {
         "calibrate" => calibrate(&suite),
         "all" => run_all(suite),
         "bench-inference" => bench_inference(smoke, threads, backend),
-        "bench-serve" => bench_serve(smoke),
+        "bench-serve" => bench_serve(smoke, max_batch),
         id if experiments::ALL_IDS.contains(&id) => {
             let mut ctx = Ctx::new(suite);
             let t0 = Instant::now();
@@ -72,7 +85,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: experiments <all|calibrate|bench-inference|bench-serve|{}> [--smoke] [--threads <n>] [--backend reference|fast]",
+                "usage: experiments <all|calibrate|bench-inference|bench-serve|{}> [--smoke] [--threads <n>] [--backend reference|fast] [--max-batch <n>]",
                 experiments::ALL_IDS.join("|")
             );
             std::process::exit(2);
@@ -99,9 +112,9 @@ fn bench_inference(smoke: bool, threads: Option<usize>, backend: Option<gp_tenso
 
 /// Load-test the gp-serve server and write the committed
 /// BENCH_serve.json artifact.
-fn bench_serve(smoke: bool) {
+fn bench_serve(smoke: bool, max_batch: usize) {
     let t0 = Instant::now();
-    let report = match gp_bench::serve_bench::run(smoke) {
+    let report = match gp_bench::serve_bench::run(smoke, max_batch) {
         Ok(report) => report,
         Err(why) => {
             eprintln!("bench-serve failed: {why}");
@@ -111,8 +124,14 @@ fn bench_serve(smoke: bool) {
     let json = report.to_json();
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     print!("{json}");
+    let fused = report
+        .batched
+        .as_ref()
+        .map_or("batching off".to_string(), |b| {
+            format!("mean fused batch {:.2}/{}", b.mean_batch_size, b.max_batch)
+        });
     eprintln!(
-        "[bench-serve done in {:?}; shed rate {:.1}% at 2x, admitted p99 {:.2}x baseline]",
+        "[bench-serve done in {:?}; shed rate {:.1}% at 2x, admitted p99 {:.2}x baseline, {fused}]",
         t0.elapsed(),
         100.0 * report.shed_rate(),
         report.admitted_p99_ratio()

@@ -34,8 +34,8 @@
 
 use std::time::Instant;
 
-use gp_core::{Engine, PretrainConfig, StageConfig};
-use gp_datasets::{presets, sample_few_shot_task};
+use gp_core::{Engine, EpisodeRequest, PretrainConfig, StageConfig};
+use gp_datasets::{presets, sample_few_shot_task, FewShotTask};
 use gp_tensor::{Backend, Parallelism, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,6 +60,36 @@ pub struct ModeTiming {
     pub correct: usize,
 }
 
+/// One cross-request batching measurement: `batch` members sharing a
+/// class space (concurrent requests against one serving session), each
+/// with its own queries, run both ways on a cold store.
+///
+/// `serial` is what `batch` independent requests pay on an idle server
+/// — each episode alone, each re-embedding the full candidate pool.
+/// `batched` is one fused [`Engine::run_episodes_batched`] pass over
+/// the same members: the candidate union is embedded once and shared.
+/// The gain is amortization, not parallelism — both sides run the same
+/// kernels on the same thread budget.
+#[derive(Copy, Clone, Debug)]
+pub struct BatchedTiming {
+    /// Members fused per pass.
+    pub batch: usize,
+    /// Queries each member carries.
+    pub queries_per_member: usize,
+    /// Mean microseconds per query, members run one at a time (cold).
+    pub serial_per_query_micros: f64,
+    /// Mean microseconds per query, members fused into one pass (cold).
+    pub batched_per_query_micros: f64,
+}
+
+impl BatchedTiming {
+    /// Fused cost as a fraction of the solo cost (< 1 means batching
+    /// pays; the acceptance bar is ≤ 0.5 at batch 8).
+    pub fn cost_ratio(&self) -> f64 {
+        self.batched_per_query_micros / self.serial_per_query_micros.max(1e-9)
+    }
+}
+
 /// The three execution modes measured on one compute backend.
 #[derive(Clone, Debug)]
 pub struct BackendRows {
@@ -71,6 +101,8 @@ pub struct BackendRows {
     pub serial_warm: ModeTiming,
     /// Cold cache, one worker per core; `None` on single-core hosts.
     pub parallel_cold: Option<ModeTiming>,
+    /// Cross-request batching rows, one per fused batch size.
+    pub batched: Vec<BatchedTiming>,
 }
 
 impl BackendRows {
@@ -91,6 +123,12 @@ impl BackendRows {
         self.parallel_speedup()
             .unwrap_or(0.0)
             .max(self.warm_speedup())
+    }
+
+    /// Cost ratio of the largest fused batch measured (the headline
+    /// batching claim), if batching rows were recorded.
+    pub fn largest_batch_cost_ratio(&self) -> Option<f64> {
+        self.batched.last().map(BatchedTiming::cost_ratio)
     }
 }
 
@@ -179,15 +217,31 @@ impl InferBenchReport {
                     Some(s) => format!("{s:.2}"),
                     None => "null".into(),
                 };
+                let batched = row
+                    .batched
+                    .iter()
+                    .map(|b| {
+                        format!(
+                            "        {{\"batch\": {}, \"queries_per_member\": {}, \"serial_per_query_micros\": {:.2}, \"batched_per_query_micros\": {:.2}, \"cost_ratio\": {:.3}}}",
+                            b.batch,
+                            b.queries_per_member,
+                            b.serial_per_query_micros,
+                            b.batched_per_query_micros,
+                            b.cost_ratio()
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
                 format!(
-                    "    {{\n      \"backend\": \"{}\",\n      \"serial_cold\": {},\n      \"serial_warm\": {},\n      \"parallel_cold\": {},\n      \"speedup_warm_vs_serial\": {:.2},\n      \"speedup_parallel_vs_serial\": {},\n      \"best_speedup_vs_serial\": {:.2}\n    }}",
+                    "    {{\n      \"backend\": \"{}\",\n      \"serial_cold\": {},\n      \"serial_warm\": {},\n      \"parallel_cold\": {},\n      \"speedup_warm_vs_serial\": {:.2},\n      \"speedup_parallel_vs_serial\": {},\n      \"best_speedup_vs_serial\": {:.2},\n      \"batched\": [\n{}\n      ]\n    }}",
                     row.backend.name(),
                     mode(&row.serial_cold),
                     mode(&row.serial_warm),
                     parallel,
                     row.warm_speedup(),
                     parallel_speedup,
-                    row.best_speedup()
+                    row.best_speedup(),
+                    batched
                 )
             })
             .collect::<Vec<_>>()
@@ -196,14 +250,23 @@ impl InferBenchReport {
             Some(s) => format!("{s:.2}"),
             None => "null".into(),
         };
+        let batch_ratio = match self
+            .row(Backend::Reference)
+            .or_else(|| self.backends.first())
+            .and_then(BackendRows::largest_batch_cost_ratio)
+        {
+            Some(r) => format!("{r:.3}"),
+            None => "null".into(),
+        };
         format!(
-            "{{\n  \"bench\": \"inference\",\n  \"host_cores\": {},\n  \"ways\": {},\n  \"queries\": {},\n  \"reps\": {},\n  \"backends\": [\n{}\n  ],\n  \"speedup_fast_vs_reference_warm\": {},\n  \"wide_matmul\": {{\"rows\": {}, \"inner\": {}, \"cols\": {}, \"reps\": {}, \"reference_micros\": {:.2}, \"fast_micros\": {:.2}, \"speedup\": {:.2}}}\n}}\n",
+            "{{\n  \"bench\": \"inference\",\n  \"host_cores\": {},\n  \"ways\": {},\n  \"queries\": {},\n  \"reps\": {},\n  \"backends\": [\n{}\n  ],\n  \"speedup_fast_vs_reference_warm\": {},\n  \"largest_batch_cost_ratio\": {},\n  \"wide_matmul\": {{\"rows\": {}, \"inner\": {}, \"cols\": {}, \"reps\": {}, \"reference_micros\": {:.2}, \"fast_micros\": {:.2}, \"speedup\": {:.2}}}\n}}\n",
             self.host_cores,
             self.ways,
             self.queries,
             self.reps,
             backends,
             fast_vs_reference,
+            batch_ratio,
             self.wide_matmul.rows,
             self.wide_matmul.inner,
             self.wide_matmul.cols,
@@ -300,6 +363,35 @@ pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> Inf
     let mut rng = StdRng::seed_from_u64(suite.seed.wrapping_add(7));
     let task = sample_few_shot_task(&fb, ways, cfg.candidates_per_class, queries, &mut rng);
 
+    // Cross-request batching workload: up to 8 members sharing one class
+    // space (concurrent requests against the same serving session), each
+    // carrying its own slice of queries. One oversized task is sampled
+    // and its queries dealt across the members so both sides of the
+    // comparison run exactly the same total work.
+    let max_fused = 8usize;
+    let queries_per_member = if smoke { 2 } else { 5 };
+    let mut batch_rng = StdRng::seed_from_u64(suite.seed.wrapping_add(13));
+    let fused_pool = sample_few_shot_task(
+        &fb,
+        ways,
+        cfg.candidates_per_class,
+        max_fused * queries_per_member,
+        &mut batch_rng,
+    );
+    assert_eq!(
+        fused_pool.queries.len(),
+        max_fused * queries_per_member,
+        "preset test split too small for the batching workload"
+    );
+    let members: Vec<FewShotTask> = (0..max_fused)
+        .map(|i| FewShotTask {
+            classes: fused_pool.classes.clone(),
+            candidates: fused_pool.candidates.clone(),
+            queries: fused_pool.queries[i * queries_per_member..(i + 1) * queries_per_member]
+                .to_vec(),
+        })
+        .collect();
+
     let measure = |engine: &mut Engine, workers: Parallelism, warm: bool| -> ModeTiming {
         engine.set_parallelism(Some(workers));
         engine.clear_embed_cache();
@@ -362,6 +454,57 @@ pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> Inf
             )
         });
 
+        // Cross-request batching rows: the same members run solo (cold —
+        // what independent requests pay) and fused (one candidate-union
+        // pass). Both sides are serial on the same kernels; the ratio
+        // isolates the amortization win.
+        let mut batched = Vec::new();
+        for &fused in &[1usize, 2, 4, 8] {
+            let group = &members[..fused];
+            let total_queries = (fused * queries_per_member) as f64;
+            let mut serial_wall = 0.0;
+            let mut batched_wall = 0.0;
+            for _ in 0..reps {
+                let mut solo_results = Vec::with_capacity(fused);
+                let t0 = Instant::now();
+                for m in group {
+                    engine.clear_embed_cache();
+                    solo_results.push(engine.run_episode(&fb, m));
+                }
+                serial_wall += t0.elapsed().as_secs_f64() * 1e6 / total_queries;
+
+                engine.clear_embed_cache();
+                let requests: Vec<EpisodeRequest> = group
+                    .iter()
+                    .map(|m| EpisodeRequest {
+                        task: m,
+                        deadline: None,
+                    })
+                    .collect();
+                let t0 = Instant::now();
+                let fused_results = engine.run_episodes_batched(&fb, &requests);
+                batched_wall += t0.elapsed().as_secs_f64() * 1e6 / total_queries;
+
+                // The benchmark must never compare runs that answered
+                // differently: fused members are bit-identical to solo
+                // runs on Reference, tolerance-equal on Fast — either
+                // way the predictions agree.
+                for (solo, fused_r) in solo_results.iter().zip(&fused_results) {
+                    assert_eq!(
+                        Some(&solo.predictions),
+                        fused_r.as_ref().ok().map(|f| &f.predictions),
+                        "fused member must succeed (no deadline) and agree with solo"
+                    );
+                }
+            }
+            batched.push(BatchedTiming {
+                batch: fused,
+                queries_per_member,
+                serial_per_query_micros: serial_wall / reps as f64,
+                batched_per_query_micros: batched_wall / reps as f64,
+            });
+        }
+
         // Bit-identity across modes of ONE backend is asserted in
         // gp-core's tests; here we sanity-check the cheap observable so a
         // regression cannot ship a benchmark comparing different
@@ -376,6 +519,7 @@ pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> Inf
             serial_cold,
             serial_warm,
             parallel_cold,
+            batched,
         });
     }
     engine.set_backend(Backend::Reference);

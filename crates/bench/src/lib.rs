@@ -12,5 +12,5 @@ pub mod infer_bench;
 pub mod serve_bench;
 
 pub use harness::{Ctx, GraphPrompterMethod, GraphPrompterView, Suite};
-pub use infer_bench::{BackendRows, InferBenchReport, ModeTiming, WideMatmul};
-pub use serve_bench::{PhaseStats, ServeBenchReport};
+pub use infer_bench::{BackendRows, BatchedTiming, InferBenchReport, ModeTiming, WideMatmul};
+pub use serve_bench::{BatchedPhase, PhaseStats, ServeBenchReport};

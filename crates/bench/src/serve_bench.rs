@@ -13,14 +13,25 @@
 //! 3. **overload** — an open-loop arrival process offering **2×** the
 //!    measured saturation rate, recording the shed rate, the latency
 //!    of the requests that were admitted, and the queue-depth
-//!    trajectory sampled from `/v1/health`.
+//!    trajectory sampled from `/v1/health`;
+//! 4. **batched** — `max_batch` keep-alive clients fire aligned rounds
+//!    of classify requests at a batching-enabled server (its own
+//!    instance, sized so every round can fuse), recording per-request
+//!    latency and the fused batch size each response reports. Clients
+//!    hold one connection for the whole phase (`Connection:
+//!    keep-alive`) and frame responses by `Content-Length` via
+//!    [`gp_serve::http::read_response`].
 //!
 //! The contract the artifact documents (and `gp-serve`'s tests enforce
 //! mechanism-by-mechanism): under 2× overload the server sheds the
 //! excess with fast 503s instead of queueing without bound, and the
 //! p99 of *admitted* requests stays within ~2× the uncontended p99
 //! because the bounded queue caps how much waiting a request can
-//! accumulate (`admitted_p99_ratio` in the JSON).
+//! accumulate (`admitted_p99_ratio` in the JSON). The batched phase
+//! documents that concurrent same-session requests actually fuse
+//! (`mean_batch_size` ≈ `max_batch`); the per-query cost win of fusion
+//! itself is pinned down by the batched rows of `BENCH_inference.json`,
+//! measured without HTTP noise.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -74,6 +85,23 @@ pub struct ServeBenchReport {
     /// Queue depth sampled from `/v1/health` every ~50ms during the
     /// overload phase.
     pub queue_depth_trajectory: Vec<u64>,
+    /// Cross-request batching phase; `None` when run with
+    /// `--max-batch 1` (batching disabled).
+    pub batched: Option<BatchedPhase>,
+}
+
+/// Stats for the keep-alive batched phase.
+#[derive(Clone, Debug)]
+pub struct BatchedPhase {
+    /// Coalescer member cap the phase's server ran with.
+    pub max_batch: usize,
+    /// Aligned request rounds each client fired.
+    pub rounds: usize,
+    /// Latency/outcome summary over every request of every round.
+    pub stats: PhaseStats,
+    /// Mean of the `batch_size` field the 200 responses reported —
+    /// ≈ `max_batch` when coalescing is actually happening.
+    pub mean_batch_size: f64,
 }
 
 impl ServeBenchReport {
@@ -107,12 +135,22 @@ impl ServeBenchReport {
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join(", ");
+        let batched = match &self.batched {
+            Some(b) => format!(
+                "{{\"max_batch\": {}, \"rounds\": {}, \"stats\": {}, \"mean_batch_size\": {:.2}}}",
+                b.max_batch,
+                b.rounds,
+                phase(&b.stats),
+                b.mean_batch_size
+            ),
+            None => "null".into(),
+        };
         format!(
             "{{\n  \"bench\": \"serve\",\n  \"workers\": {},\n  \"queue_capacity\": {},\n  \
              \"pool_budget\": {},\n  \"ways\": {},\n  \"queries\": {},\n  \
              \"uncontended\": {},\n  \"saturation_qps\": {:.1},\n  \"overload_2x\": {},\n  \
              \"shed_rate_2x\": {:.3},\n  \"admitted_p99_ratio\": {:.2},\n  \
-             \"queue_depth_trajectory\": [{}]\n}}\n",
+             \"queue_depth_trajectory\": [{}],\n  \"batched\": {}\n}}\n",
             self.workers,
             self.queue_capacity,
             self.pool_budget,
@@ -123,7 +161,8 @@ impl ServeBenchReport {
             phase(&self.overload),
             self.shed_rate(),
             self.admitted_p99_ratio(),
-            trajectory
+            trajectory,
+            batched
         )
     }
 }
@@ -220,7 +259,11 @@ struct BenchServer {
     pool_budget: usize,
 }
 
-fn start_server(workers: usize, queue_capacity: usize) -> Result<BenchServer, String> {
+fn start_server(
+    workers: usize,
+    queue_capacity: usize,
+    batching: Option<(usize, u64)>,
+) -> Result<BenchServer, String> {
     // Sized so one classify costs a few milliseconds of real GNN work:
     // accept-poll and client-scheduling noise (tens to hundreds of µs)
     // must not dominate what the latency percentiles measure.
@@ -250,17 +293,116 @@ fn start_server(workers: usize, queue_capacity: usize) -> Result<BenchServer, St
         queue_capacity,
         ..ServerConfig::default()
     };
-    let handle = Server::start(config, Arc::new(ClassifyApp::new(host)))
-        .map_err(|e| format!("starting server: {e}"))?;
+    let mut app = ClassifyApp::new(host);
+    if let Some((max_batch, window_ms)) = batching {
+        app = app.with_batching(max_batch, window_ms);
+    }
+    let handle =
+        Server::start(config, Arc::new(app)).map_err(|e| format!("starting server: {e}"))?;
     Ok(BenchServer {
         handle,
         pool_budget,
     })
 }
 
-/// Run the benchmark. `smoke` shrinks both phases to a CI-sized sanity
+/// One keep-alive classify exchange on an already-open connection:
+/// write the request with `Connection: keep-alive`, frame the response
+/// by `Content-Length`, and pull the fused `batch_size` out of the
+/// body. Returns `(status, latency_micros, batch_size)`.
+fn classify_keepalive(stream: &mut TcpStream, seed: u64) -> std::io::Result<(u16, u64, u64)> {
+    let body = format!("{{\"ways\": {WAYS}, \"queries\": {QUERIES}, \"seed\": {seed}}}");
+    let req = format!(
+        "POST /v1/classify HTTP/1.1\r\nHost: b\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let started = Instant::now();
+    stream.write_all(req.as_bytes())?;
+    let (status, resp_body) = gp_serve::http::read_response(stream)?;
+    let micros = started.elapsed().as_micros() as u64;
+    let batch_size = resp_body
+        .split("\"batch_size\":")
+        .nth(1)
+        .map(|tail| {
+            tail.chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+        })
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(0);
+    Ok((status, micros, batch_size))
+}
+
+/// The batched phase: its own server (sized so a full round can fuse:
+/// one worker and one coalescer slot per client), `max_batch` clients
+/// on persistent connections firing barrier-aligned rounds.
+fn batched_phase(max_batch: usize, rounds: usize) -> Result<BatchedPhase, String> {
+    let server = start_server(max_batch, max_batch, Some((max_batch, 25)))?;
+    let addr = server.handle.addr();
+
+    let barrier = Arc::new(std::sync::Barrier::new(max_batch));
+    let phase_start = Instant::now();
+    let clients: Vec<_> = (0..max_batch)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Vec<(u16, u64, u64)> {
+                // A client that loses its connection keeps hitting the
+                // barrier (recording nothing) — the others must never
+                // deadlock waiting for a dead peer.
+                let mut stream = TcpStream::connect(addr)
+                    .ok()
+                    .filter(|s| s.set_read_timeout(Some(Duration::from_secs(30))).is_ok());
+                let mut out = Vec::with_capacity(rounds);
+                for r in 0..rounds {
+                    barrier.wait();
+                    let Some(s) = stream.as_mut() else { continue };
+                    let seed = 50_000 + (r * max_batch + c) as u64;
+                    match classify_keepalive(s, seed) {
+                        Ok(sample) => out.push(sample),
+                        Err(_) => stream = None,
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    let mut samples: Vec<(u16, u64, u64)> = Vec::with_capacity(max_batch * rounds);
+    for c in clients {
+        samples.extend(c.join().unwrap_or_default());
+    }
+    let wall = phase_start.elapsed();
+    server.handle.shutdown();
+
+    if samples.len() != max_batch * rounds {
+        return Err(format!(
+            "batched phase dropped requests: {} of {} answered",
+            samples.len(),
+            max_batch * rounds
+        ));
+    }
+    let results: Vec<(u16, u64)> = samples.iter().map(|&(s, l, _)| (s, l)).collect();
+    let fused: Vec<u64> = samples
+        .iter()
+        .filter(|(s, _, _)| *s == 200)
+        .map(|&(_, _, b)| b)
+        .collect();
+    let mean_batch_size = if fused.is_empty() {
+        0.0
+    } else {
+        fused.iter().sum::<u64>() as f64 / fused.len() as f64
+    };
+    Ok(BatchedPhase {
+        max_batch,
+        rounds,
+        stats: phase_stats(&results, wall),
+        mean_batch_size,
+    })
+}
+
+/// Run the benchmark. `smoke` shrinks every phase to a CI-sized sanity
 /// pass (a handful of requests; the numbers are real but noisy).
-pub fn run(smoke: bool) -> Result<ServeBenchReport, String> {
+/// `max_batch > 1` adds the batched phase with that coalescer cap;
+/// `max_batch ≤ 1` skips it (`"batched": null` in the artifact).
+pub fn run(smoke: bool, max_batch: usize) -> Result<ServeBenchReport, String> {
     // One server worker per physical core this box actually has (CI
     // containers here expose a single CPU; more workers would only
     // time-slice the same core and smear the latency tail).
@@ -281,7 +423,7 @@ pub fn run(smoke: bool) -> Result<ServeBenchReport, String> {
         (10, 120, 100, 4.0, 1200)
     };
 
-    let server = start_server(workers, queue_capacity)?;
+    let server = start_server(workers, queue_capacity, None)?;
     let addr = server.handle.addr();
 
     // Phase 1: closed-loop baseline (includes engine cache warmup).
@@ -397,6 +539,17 @@ pub fn run(smoke: bool) -> Result<ServeBenchReport, String> {
 
     server.handle.shutdown();
 
+    // Phase 4: cross-request batching on its own, batching-enabled
+    // server instance (the main phases stay comparable with older
+    // artifacts). Rounds stay under the keep-alive budget so each
+    // client's connection survives the whole phase.
+    let batched = if max_batch > 1 {
+        let rounds = if smoke { 5 } else { 30 };
+        Some(batched_phase(max_batch, rounds)?)
+    } else {
+        None
+    };
+
     Ok(ServeBenchReport {
         workers,
         queue_capacity,
@@ -407,6 +560,7 @@ pub fn run(smoke: bool) -> Result<ServeBenchReport, String> {
         saturation_qps,
         overload: phase_stats(&overload_results, overload_wall),
         queue_depth_trajectory,
+        batched,
     })
 }
 
@@ -425,15 +579,22 @@ mod tests {
 
     #[test]
     fn smoke_bench_produces_sane_artifact() {
-        let report = run(true).expect("smoke bench runs");
+        let report = run(true, 2).expect("smoke bench runs");
         assert!(report.uncontended.ok > 0);
         assert!(report.saturation_qps > 0.0);
         assert_eq!(
             report.overload.offered,
             report.overload.ok + report.overload.shed + report.overload.other
         );
+        let batched = report.batched.as_ref().expect("batched phase ran");
+        assert_eq!(batched.stats.ok, batched.stats.offered, "no batched drops");
+        assert!(
+            batched.mean_batch_size >= 1.0,
+            "fused responses must report a batch size"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"serve\""), "{json}");
         assert!(json.contains("\"queue_depth_trajectory\""), "{json}");
+        assert!(json.contains("\"mean_batch_size\""), "{json}");
     }
 }

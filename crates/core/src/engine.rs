@@ -44,9 +44,11 @@ use crate::embed_store::{EmbedCacheStats, EmbeddingStore};
 use crate::error::EngineError;
 use crate::guard::DivergenceError;
 use crate::infer::{
-    evaluate_episodes_impl, run_episode_deadline_impl, run_episode_impl, EpisodeResult,
+    evaluate_episodes_impl, run_episode_deadline_impl, run_episode_impl, run_episodes_batched_impl,
+    EpisodeResult,
 };
 use crate::model::GraphPrompterModel;
+use crate::planner::EpisodeRequest;
 use crate::pretrain::{pretrain, try_pretrain, TrainingCurve};
 
 /// Default capacity of the cross-episode embedding cache.
@@ -406,6 +408,40 @@ impl Engine {
             Some(deadline),
         )
         .map_err(EngineError::from)
+    }
+
+    /// Run several episodes as one fused cross-request batch (the
+    /// [`crate::BatchPlanner`] layer). Candidate embedding runs once over
+    /// the deduplicated union of every member's candidates, and all live
+    /// members' queries go through a single stacked
+    /// [`crate::SubgraphBatch`] pass — amortizing the per-request embed
+    /// cost without changing any member's result: on
+    /// [`Backend::Reference`] every member is **bit-identical** to a solo
+    /// [`Engine::run_episode_deadline`] call (per-datapoint RNG streams +
+    /// row-local embedding; asserted by proptest in
+    /// `crates/core/tests/batching.rs`).
+    ///
+    /// Deadlines stay per member: an expired member gets its own
+    /// `Err(EngineError::DeadlineExceeded)` slot while the rest of the
+    /// batch completes.
+    pub fn run_episodes_batched(
+        &self,
+        dataset: &Dataset,
+        requests: &[EpisodeRequest<'_>],
+    ) -> Vec<Result<EpisodeResult, EngineError>> {
+        let pool = self.thread_pool();
+        let _ctx = pool.install();
+        let _be = self.backend.install();
+        run_episodes_batched_impl(
+            &self.model,
+            dataset,
+            requests,
+            &self.infer_cfg,
+            self.embed_store.as_ref(),
+        )
+        .into_iter()
+        .map(|r| r.map_err(EngineError::from))
+        .collect()
     }
 
     /// As [`Engine::run_episode`], under an explicit inference config.

@@ -21,7 +21,9 @@ use crate::guard::DivergenceError;
 pub struct DeadlineExceeded {
     /// Name of the stage boundary where the expiry was observed
     /// (`"candidate_embed"`, `"query_embed"`, `"selection"`,
-    /// `"task_graph"`).
+    /// `"task_graph"`; a serving layer that coalesces requests may also
+    /// report `"batch_collect"` for a deadline that fired while the
+    /// request waited for batch-mates).
     pub stage: &'static str,
     /// Queries fully predicted before the abort.
     pub completed_queries: usize,

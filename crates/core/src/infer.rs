@@ -34,6 +34,7 @@ use crate::deadline::Deadline;
 use crate::embed_store::EmbeddingStore;
 use crate::error::DeadlineExceeded;
 use crate::model::{sample_datapoint_subgraphs, GraphPrompterModel};
+use crate::planner::EpisodeRequest;
 use crate::selector::select_prompts_with_metric;
 
 // Per-stage wall-clock of the Alg. 2 pipeline, recorded once per call to
@@ -164,7 +165,11 @@ fn embed_points(
             }
         }
         let _span = RECONSTRUCTION_MICROS.span();
-        let batch = SubgraphBatch::build(&dataset.graph, &sgs, model.config().rel_dim);
+        let batch = match SubgraphBatch::build(&dataset.graph, &sgs, model.config().rel_dim) {
+            Ok(b) => b,
+            // gp-lint: allow(R1) — structurally impossible: `missing` is non-empty and sampled subgraphs always carry their anchors
+            Err(e) => unreachable!("subgraph fusion failed: {e}"),
+        };
         let mut sess = Session::new(&model.store);
         let emb = model.embed_batch(&mut sess, &batch, use_reconstruction);
         let e = sess.value(emb.embeddings);
@@ -288,6 +293,36 @@ pub(crate) fn run_episode_deadline_impl(
     cache: Option<&EmbeddingStore>,
     deadline: Option<Deadline>,
 ) -> Result<EpisodeResult, DeadlineExceeded> {
+    run_episode_inner(model, dataset, task, cfg, cache, deadline, None)
+}
+
+/// Query rows for one episode pre-embedded by a fused cross-request pass.
+/// Row `i` corresponds to `task.queries[i]` and is bit-identical to what
+/// the serial path would compute: each row's subgraph RNG derives from
+/// `mix(cfg.seed, point)` and embedding is row/graph-local, so batch
+/// composition cannot leak into any member's bits.
+struct PreparedQueries {
+    /// `Q×embed_dim` query embeddings in episode-local row order.
+    embs: Tensor,
+    /// Importance scalars parallel to `embs` rows.
+    imps: Vec<f32>,
+    /// This member's share of fused-pass wall-clock, µs (diagnostics only).
+    fused_micros: u64,
+}
+
+/// The single-episode pipeline behind both the serial and the batched
+/// entry points. With `prepared` present, query chunks gather their rows
+/// from the fused pass instead of embedding on the spot; everything
+/// downstream (selection, augmenter, task graph, RNG draws) is identical.
+fn run_episode_inner(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    task: &FewShotTask,
+    cfg: &InferenceConfig,
+    cache: Option<&EmbeddingStore>,
+    deadline: Option<Deadline>,
+    prepared: Option<&PreparedQueries>,
+) -> Result<EpisodeResult, DeadlineExceeded> {
     let mut clock = StageClock::new(deadline.is_some());
     let total_queries = task.queries.len();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -299,6 +334,12 @@ pub(crate) fn run_episode_deadline_impl(
     // gp-lint: allow(D4) — wall time feeds only the EpisodeResult timing diagnostics, never a prediction
     let started = Instant::now();
     let mut embed_nanos = 0u128;
+    if let Some(p) = prepared {
+        // The fused cross-request passes already paid this member's embed
+        // cost; surface it in the same diagnostics a serial run reports.
+        embed_nanos += u128::from(p.fused_micros) * 1_000;
+        clock.add("query_embed", p.fused_micros);
+    }
 
     // Prompt Generator over the candidate set S (embedded once, memoized
     // across episodes when a cache is present: candidate subgraph RNGs
@@ -338,24 +379,41 @@ pub(crate) fn run_episode_deadline_impl(
     let embed_dim = model.config().embed_dim;
     let mut all_query_embs: Vec<f32> = Vec::with_capacity(task.queries.len() * embed_dim);
 
+    let mut q_offset = 0usize;
     for chunk in task.queries.chunks(cfg.query_batch.max(1)) {
         let (q_points, q_labels): (Vec<_>, Vec<_>) = chunk.iter().copied().unzip();
-        // Query embeddings are never memoized: their RNG stream is
-        // per-episode (`cfg.seed`), and each query appears once.
-        // gp-lint: allow(D4) — wall time feeds only the EpisodeResult timing diagnostics, never a prediction
-        let embed_started = Instant::now();
-        let (q_embs, q_imps) = embed_points(
-            model,
-            dataset,
-            &sampler,
-            &q_points,
-            stages.use_reconstruction,
-            cfg.seed,
-            None,
-        );
-        let q_embed_nanos = embed_started.elapsed().as_nanos();
-        embed_nanos += q_embed_nanos;
-        clock.add("query_embed", (q_embed_nanos / 1_000) as u64);
+        let (q_embs, q_imps) = match prepared {
+            // Fused path: this chunk's rows were embedded by the shared
+            // cross-request pass; gathering them is bit-identical to
+            // embedding the chunk alone.
+            Some(p) => {
+                let idx: Vec<usize> = (q_offset..q_offset + chunk.len()).collect();
+                (
+                    p.embs.gather_rows(&idx),
+                    p.imps[q_offset..q_offset + chunk.len()].to_vec(),
+                )
+            }
+            None => {
+                // Query embeddings are never memoized: their RNG stream is
+                // per-episode (`cfg.seed`), and each query appears once.
+                // gp-lint: allow(D4) — wall time feeds only the EpisodeResult timing diagnostics, never a prediction
+                let embed_started = Instant::now();
+                let out = embed_points(
+                    model,
+                    dataset,
+                    &sampler,
+                    &q_points,
+                    stages.use_reconstruction,
+                    cfg.seed,
+                    None,
+                );
+                let q_embed_nanos = embed_started.elapsed().as_nanos();
+                embed_nanos += q_embed_nanos;
+                clock.add("query_embed", (q_embed_nanos / 1_000) as u64);
+                out
+            }
+        };
+        q_offset += chunk.len();
         check_deadline(
             deadline,
             "query_embed",
@@ -488,6 +546,166 @@ pub(crate) fn run_episode_deadline_impl(
         predictions,
         confidences: all_confidences,
     })
+}
+
+/// Run Alg. 2 over several episodes as one fused batch (the cross-request
+/// batching layer behind [`crate::Engine::run_episodes_batched`]).
+///
+/// Two fused passes amortize the embedding cost across members:
+/// 1. the deduplicated union of every member's candidate points is
+///    embedded once through the (possibly transient) [`EmbeddingStore`],
+///    so each member's candidate gather is a cache hit;
+/// 2. every live member's query points are stacked into one
+///    block-diagonal [`SubgraphBatch`] pass, and per-member rows are
+///    sliced back out.
+///
+/// Because subgraph RNGs derive per datapoint and embedding is
+/// row/graph-local, results are bit-identical on `Backend::Reference` to
+/// running each member alone — batch membership cannot leak into any
+/// member's predictions, embeddings, or confidences. Deadlines stay
+/// per-member: an expired member yields its own [`DeadlineExceeded`]
+/// without poisoning the rest of the batch.
+pub(crate) fn run_episodes_batched_impl(
+    model: &GraphPrompterModel,
+    dataset: &Dataset,
+    requests: &[EpisodeRequest<'_>],
+    cfg: &InferenceConfig,
+    cache: Option<&EmbeddingStore>,
+) -> Vec<Result<EpisodeResult, DeadlineExceeded>> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    if requests.len() == 1 {
+        let req = &requests[0];
+        return vec![run_episode_inner(
+            model,
+            dataset,
+            req.task,
+            cfg,
+            cache,
+            req.deadline,
+            None,
+        )];
+    }
+    let sampler = RandomWalkSampler::new(cfg.sampler);
+    let stages = cfg.stages;
+
+    // Candidate union, deduplicated by point tag (sorted Vec membership —
+    // no hash iteration), preserving first-seen order.
+    let mut union_points: Vec<DataPoint> = Vec::new();
+    let mut seen_tags: Vec<u64> = Vec::new();
+    for req in requests {
+        for &(p, _) in &req.task.candidates {
+            let tag = point_tag(p);
+            if let Err(pos) = seen_tags.binary_search(&tag) {
+                seen_tags.insert(pos, tag);
+                union_points.push(p);
+            }
+        }
+    }
+
+    // The fused candidate pass lands in the engine's store when present,
+    // else in a transient one scoped to this batch. The store is
+    // transparent (asserted in tests), so member bits cannot change.
+    let transient;
+    let store: &EmbeddingStore = match cache {
+        Some(c) => c,
+        None => {
+            transient = EmbeddingStore::new(union_points.len().max(1));
+            &transient
+        }
+    };
+
+    // gp-lint: allow(D4) — wall time feeds only timing diagnostics, never a prediction
+    let cand_started = Instant::now();
+    if !union_points.is_empty() {
+        let _ = embed_points(
+            model,
+            dataset,
+            &sampler,
+            &union_points,
+            stages.use_reconstruction,
+            cfg.candidate_seed,
+            Some(store),
+        );
+    }
+    let union_micros = cand_started.elapsed().as_micros() as u64;
+
+    // Members whose deadline expired while the shared candidate pass ran
+    // abort at the same boundary a serial run would.
+    let mut results: Vec<Option<Result<EpisodeResult, DeadlineExceeded>>> =
+        requests.iter().map(|_| None).collect();
+    let mut live: Vec<usize> = Vec::new();
+    for (i, req) in requests.iter().enumerate() {
+        match req.deadline {
+            Some(d) if d.expired() => {
+                results[i] = Some(Err(DeadlineExceeded {
+                    stage: "candidate_embed",
+                    completed_queries: 0,
+                    total_queries: req.task.queries.len(),
+                    stage_micros: vec![("candidate_embed", union_micros)],
+                }));
+            }
+            _ => live.push(i),
+        }
+    }
+
+    // One stacked pass over every live member's queries. Queries are
+    // never memoized (their RNG stream is the per-episode `cfg.seed`), so
+    // this goes straight through `embed_points` with no cache.
+    let q_points: Vec<DataPoint> = live
+        .iter()
+        .flat_map(|&i| requests[i].task.queries.iter().map(|&(p, _)| p))
+        .collect();
+    let mut fused = None;
+    let mut fused_q_micros = 0u64;
+    if !q_points.is_empty() {
+        // gp-lint: allow(D4) — wall time feeds only timing diagnostics, never a prediction
+        let q_started = Instant::now();
+        fused = Some(embed_points(
+            model,
+            dataset,
+            &sampler,
+            &q_points,
+            stages.use_reconstruction,
+            cfg.seed,
+            None,
+        ));
+        fused_q_micros = q_started.elapsed().as_micros() as u64;
+    }
+
+    let mut offset = 0usize;
+    for &i in &live {
+        let req = &requests[i];
+        let q = req.task.queries.len();
+        let prepared = fused.as_ref().map(|(embs, imps)| {
+            let idx: Vec<usize> = (offset..offset + q).collect();
+            PreparedQueries {
+                embs: embs.gather_rows(&idx),
+                imps: imps[offset..offset + q].to_vec(),
+                fused_micros: union_micros + fused_q_micros,
+            }
+        });
+        offset += q;
+        results[i] = Some(run_episode_inner(
+            model,
+            dataset,
+            req.task,
+            cfg,
+            Some(store),
+            req.deadline,
+            prepared.as_ref(),
+        ));
+    }
+
+    results
+        .into_iter()
+        .map(|r| match r {
+            Some(r) => r,
+            // gp-lint: allow(R1) — structurally impossible: every index is either expired above or in `live`
+            None => unreachable!("batched episode slot left unfilled"),
+        })
+        .collect()
 }
 
 /// Evaluate `episodes` independent episodes of `ways`-way classification

@@ -62,11 +62,12 @@ pub mod guard;
 pub mod infer;
 pub mod lfu;
 pub mod model;
+pub mod planner;
 pub mod pretrain;
 pub mod selector;
 
 pub use augmenter::{CacheEntry, PromptAugmenter};
-pub use batch::SubgraphBatch;
+pub use batch::{BatchError, SubgraphBatch};
 pub use cache::{AnyCache, CachePolicy, FifoCache, LruCache};
 pub use checkpoint::{
     inspect_checkpoint, list_checkpoints, scan_for_recovery, CheckpointError, CheckpointKind,
@@ -84,6 +85,7 @@ pub use guard::{DivergenceError, GuardAction, GuardRail, GuardRailConfig, StepVe
 pub use infer::EpisodeResult;
 pub use lfu::LfuCache;
 pub use model::{sample_datapoint_subgraphs, GraphPrompterModel};
+pub use planner::{batch_deadline, BatchKey, BatchPlanner, EpisodeRequest, PlannedBatch};
 pub use pretrain::{
     pretrain, pretrain_resumable, pretrain_with_validation, try_pretrain, CheckpointConfig,
     PretrainError, PretrainReport, TrainingCurve,

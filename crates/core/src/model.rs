@@ -295,7 +295,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let points: Vec<DataPoint> = ds.train[..6].to_vec();
         let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
-        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim).unwrap();
         let mut sess = Session::new(&model.store);
         let emb = model.embed_batch(&mut sess, &batch, true);
         let g = sess.value(emb.embeddings);
@@ -317,7 +317,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let points: Vec<DataPoint> = ds.train[..4].to_vec();
         let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
-        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim).unwrap();
         let mut s1 = Session::new(&model.store);
         let e1 = model.embed_batch(&mut s1, &batch, true);
         let mut s2 = Session::new(&model.store);
@@ -342,7 +342,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(2);
             let points: Vec<DataPoint> = ds.train[..3].to_vec();
             let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
-            let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+            let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim).unwrap();
             let mut sess = Session::new(&model.store);
             let emb = model.embed_batch(&mut sess, &batch, true);
             assert_eq!(sess.value(emb.embeddings).shape(), (3, 8));
@@ -366,7 +366,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let points: Vec<DataPoint> = ds.train[..4].to_vec();
         let sgs = sample_datapoint_subgraphs(&ds.graph, &sampler, &points, ds.task, &mut rng);
-        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim);
+        let batch = SubgraphBatch::build(&ds.graph, &sgs, model.config().rel_dim).unwrap();
         let mut s1 = Session::new(&model.store);
         let e1 = model.embed_batch(&mut s1, &batch, true);
         let mut s2 = Session::new(&loaded.store);

@@ -64,7 +64,11 @@ pub(crate) fn episode_loss(
     let p = prompt_sgs.len();
     let n = query_sgs.len();
     let all: Vec<Subgraph> = prompt_sgs.iter().chain(query_sgs).cloned().collect();
-    let batch = SubgraphBatch::build(graph, &all, model.config().rel_dim);
+    let batch = match SubgraphBatch::build(graph, &all, model.config().rel_dim) {
+        Ok(b) => b,
+        // gp-lint: allow(R1) — structurally impossible: sampled subgraphs are non-empty and anchored
+        Err(e) => unreachable!("subgraph fusion failed: {e}"),
+    };
     let emb = model.embed_batch(sess, &batch, stages.use_reconstruction);
 
     let p_idx: Arc<Vec<usize>> = Arc::new((0..p).collect());

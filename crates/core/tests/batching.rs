@@ -1,0 +1,229 @@
+//! Property suite for cross-request batched inference (the
+//! `BatchPlanner` / `run_episodes_batched` layer behind
+//! `gp serve --max-batch`).
+//!
+//! The contract under test: **batch membership is invisible in
+//! results**. On `Backend::Reference` a fused member must be
+//! bit-identical to running the same episode alone — same predictions,
+//! same labels, confidences equal to the bit — for every batch size,
+//! any mix of member shapes, and any mix of deadlines. On
+//! `Backend::Fast` the fused pass must stay within the same numeric
+//! tolerance the backend already promises for solo runs.
+//!
+//! Locally these compile against the proptest stub (one deterministic
+//! case per property, `build.sh check-faults`); CI runs the full
+//! random-case sweep against the real crate.
+
+use gp_core::{Deadline, Engine, EngineError, EpisodeRequest, EpisodeResult};
+use gp_datasets::{sample_few_shot_task, CitationConfig, Dataset, FewShotTask};
+use gp_graph::SamplerConfig;
+use gp_tensor::Backend;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_engine(source: &Dataset, backend: Backend) -> Engine {
+    let mut engine = Engine::builder()
+        .model_config(gp_core::ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 24,
+            ..gp_core::ModelConfig::default()
+        })
+        .pretrain_config(gp_core::PretrainConfig {
+            steps: 12,
+            ways: 3,
+            shots: 2,
+            queries: 3,
+            nm_ways: 3,
+            nm_shots: 2,
+            nm_queries: 3,
+            log_every: 10,
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            },
+            ..gp_core::PretrainConfig::default()
+        })
+        .inference_config(gp_core::InferenceConfig {
+            shots: 2,
+            candidates_per_class: 4,
+            query_batch: 5,
+            sampler: SamplerConfig {
+                hops: 1,
+                max_nodes: 10,
+                neighbors_per_node: 5,
+            },
+            ..gp_core::InferenceConfig::default()
+        })
+        .backend(backend)
+        .try_build()
+        .expect("tiny configs are valid");
+    engine.pretrain(source);
+    engine
+}
+
+/// `count` tasks with shapes drawn from `rng` (2–4 ways, 1–12 queries).
+fn varied_tasks(source: &Dataset, count: usize, rng: &mut StdRng) -> Vec<FewShotTask> {
+    use rand::Rng;
+    (0..count)
+        .map(|_| {
+            let ways = rng.gen_range(2..=4usize);
+            let queries = rng.gen_range(1..=12usize);
+            sample_few_shot_task(source, ways, 4, queries, rng)
+        })
+        .collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_bit_identical(batched: &EpisodeResult, serial: &EpisodeResult, label: &str) {
+    assert_eq!(batched.predictions, serial.predictions, "{label}");
+    assert_eq!(batched.query_labels, serial.query_labels, "{label}");
+    assert_eq!(
+        bits(&batched.confidences),
+        bits(&serial.confidences),
+        "{label}: confidences must match to the bit"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Reference backend: any batch size from 1 to all members, over
+    /// randomly-shaped episodes, is bit-identical to serial runs.
+    #[test]
+    fn batched_reference_is_bit_identical_to_serial(
+        task_seed in any::<u64>(),
+        data_seed in 100u64..140,
+    ) {
+        let source = CitationConfig::new("batch-prop", 250, 4, data_seed).generate();
+        let engine = tiny_engine(&source, Backend::Reference);
+        let mut rng = StdRng::seed_from_u64(task_seed);
+        let tasks = varied_tasks(&source, 8, &mut rng);
+        let serial: Vec<EpisodeResult> =
+            tasks.iter().map(|t| engine.run_episode(&source, t)).collect();
+
+        for batch_size in [1usize, 2, 5, 8] {
+            let requests: Vec<EpisodeRequest> = tasks[..batch_size]
+                .iter()
+                .map(|t| EpisodeRequest { task: t, deadline: None })
+                .collect();
+            let batched = engine.run_episodes_batched(&source, &requests);
+            prop_assert_eq!(batched.len(), batch_size);
+            for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+                let b = b.as_ref().expect("no deadline must not expire");
+                assert_bit_identical(b, s, &format!("batch {batch_size} member {i}"));
+            }
+        }
+    }
+
+    /// Deadlines are per-member properties: a batch mixing generous
+    /// deadlines with none at all answers every member bit-identically
+    /// to its solo run — a neighbour's deadline never perturbs results.
+    #[test]
+    fn mixed_deadlines_do_not_perturb_members(
+        task_seed in any::<u64>(),
+        stagger in 1u64..4,
+    ) {
+        let source = CitationConfig::new("batch-prop-ddl", 250, 4, 123).generate();
+        let engine = tiny_engine(&source, Backend::Reference);
+        let mut rng = StdRng::seed_from_u64(task_seed);
+        let tasks = varied_tasks(&source, 6, &mut rng);
+        let serial: Vec<EpisodeResult> =
+            tasks.iter().map(|t| engine.run_episode(&source, t)).collect();
+
+        let requests: Vec<EpisodeRequest> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| EpisodeRequest {
+                task: t,
+                deadline: (i as u64 % stagger != 0)
+                    .then(|| Deadline::after_millis(600_000)),
+            })
+            .collect();
+        let batched = engine.run_episodes_batched(&source, &requests);
+        for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            let b = b.as_ref().expect("generous deadline must not expire");
+            assert_bit_identical(b, s, &format!("mixed-deadline member {i}"));
+        }
+    }
+
+    /// A member whose deadline is already gone when the fused pass
+    /// starts is reported as `DeadlineExceeded` for that member alone;
+    /// every live member still answers bit-identically to serial.
+    #[test]
+    fn expired_member_does_not_poison_the_batch(
+        task_seed in any::<u64>(),
+        victim in 0usize..4,
+    ) {
+        let source = CitationConfig::new("batch-prop-exp", 250, 4, 129).generate();
+        let engine = tiny_engine(&source, Backend::Reference);
+        let mut rng = StdRng::seed_from_u64(task_seed);
+        let tasks = varied_tasks(&source, 4, &mut rng);
+        let serial: Vec<EpisodeResult> =
+            tasks.iter().map(|t| engine.run_episode(&source, t)).collect();
+
+        let requests: Vec<EpisodeRequest> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| EpisodeRequest {
+                task: t,
+                deadline: Some(if i == victim {
+                    Deadline::after_millis(0) // expired before dispatch
+                } else {
+                    Deadline::after_millis(600_000)
+                }),
+            })
+            .collect();
+        let batched = engine.run_episodes_batched(&source, &requests);
+        prop_assert_eq!(batched.len(), tasks.len());
+        for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            if i == victim {
+                match b {
+                    Err(EngineError::DeadlineExceeded(d)) => {
+                        prop_assert_eq!(d.completed_queries, 0, "victim ran no queries");
+                    }
+                    other => panic!("victim must expire, got {other:?}"),
+                }
+            } else {
+                let b = b.as_ref().expect("live member must not expire");
+                assert_bit_identical(b, s, &format!("live member {i}"));
+            }
+        }
+    }
+
+    /// Fast backend: fused members stay within the backend's own solo
+    /// tolerance — same predictions, confidences within 1e-4.
+    #[test]
+    fn batched_fast_matches_serial_within_tolerance(
+        task_seed in any::<u64>(),
+    ) {
+        let source = CitationConfig::new("batch-prop-fast", 250, 4, 131).generate();
+        let engine = tiny_engine(&source, Backend::Fast);
+        let mut rng = StdRng::seed_from_u64(task_seed);
+        let tasks = varied_tasks(&source, 5, &mut rng);
+        let serial: Vec<EpisodeResult> =
+            tasks.iter().map(|t| engine.run_episode(&source, t)).collect();
+
+        let requests: Vec<EpisodeRequest> = tasks
+            .iter()
+            .map(|t| EpisodeRequest { task: t, deadline: None })
+            .collect();
+        let batched = engine.run_episodes_batched(&source, &requests);
+        for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            let b = b.as_ref().expect("no deadline must not expire");
+            prop_assert_eq!(&b.predictions, &s.predictions, "fast member {}", i);
+            prop_assert_eq!(&b.query_labels, &s.query_labels, "fast member {}", i);
+            for (j, (bc, sc)) in b.confidences.iter().zip(&s.confidences).enumerate() {
+                prop_assert!(
+                    (bc - sc).abs() <= 1e-4,
+                    "fast member {} confidence {}: {} vs {}",
+                    i, j, bc, sc
+                );
+            }
+        }
+    }
+}

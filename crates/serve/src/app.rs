@@ -20,13 +20,15 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use gp_core::{
-    Deadline, Engine, EngineError, EpisodeResult, GraphPrompterModel, InferenceConfig, ModelConfig,
+    BatchKey, Deadline, EmbeddingStore, Engine, EngineError, EpisodeResult, GraphPrompterModel,
+    InferenceConfig, ModelConfig,
 };
 use gp_datasets::{sample_few_shot_task, Dataset};
 use gp_tensor::{Backend, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::coalesce::{CoalesceOutcome, Coalescer};
 use crate::http::{Request, Response};
 use crate::json::{escape_json, parse, Value};
 use crate::server::{Handler, ServeContext};
@@ -44,6 +46,7 @@ pub struct SessionHost {
     infer: InferenceConfig,
     pool: Arc<WorkerPool>,
     dataset: Dataset,
+    dataset_fingerprint: u64,
     max_sessions: usize,
     default_backend: Backend,
     sessions: Mutex<HashMap<String, Arc<Engine>>>,
@@ -64,12 +67,14 @@ impl SessionHost {
         max_sessions: usize,
         default_backend: Backend,
     ) -> Result<Self, String> {
+        let dataset_fingerprint = EmbeddingStore::dataset_id(&dataset);
         let host = Self {
             model_config: model.config().clone(),
             base_snapshot: model.store.snapshot(),
             infer,
             pool,
             dataset,
+            dataset_fingerprint,
             max_sessions: max_sessions.max(1),
             default_backend,
             sessions: Mutex::new(HashMap::new()),
@@ -169,6 +174,13 @@ impl SessionHost {
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
     }
+
+    /// Content hash of the host's dataset, computed once at startup
+    /// ([`EmbeddingStore::dataset_id`]) — the dataset axis of the
+    /// coalescer's [`BatchKey`].
+    pub fn dataset_fingerprint(&self) -> u64 {
+        self.dataset_fingerprint
+    }
 }
 
 enum SessionError {
@@ -217,11 +229,33 @@ impl SessionError {
 /// [`Handler`] for the three serve endpoints.
 pub struct ClassifyApp {
     host: SessionHost,
+    coalescer: Coalescer,
 }
 
 impl ClassifyApp {
+    /// An app with cross-request batching OFF (every episode runs solo,
+    /// exactly the pre-batching behavior).
     pub fn new(host: SessionHost) -> Self {
-        Self { host }
+        Self {
+            host,
+            coalescer: Coalescer::new(1, Duration::from_millis(0)),
+        }
+    }
+
+    /// Enable cross-request batching: concurrent classify requests with
+    /// the same `(dataset, revision, backend)` are fused — up to
+    /// `max_batch` members, collected for at most `window_ms` — into one
+    /// [`Engine::run_episodes_batched`] pass. Results are bit-identical
+    /// to solo runs on `Backend::Reference`; only timings and the
+    /// reported `batch_size` change.
+    pub fn with_batching(mut self, max_batch: usize, window_ms: u64) -> Self {
+        self.coalescer = Coalescer::new(max_batch, Duration::from_millis(window_ms));
+        self
+    }
+
+    /// The coalescer's per-batch member cap (1 = batching off).
+    pub fn max_batch(&self) -> usize {
+        self.coalescer.max_batch()
     }
 
     pub fn host(&self) -> &SessionHost {
@@ -254,38 +288,71 @@ impl ClassifyApp {
             Err(e) => return Response::error(400, &e.to_string()),
         };
 
-        let session = doc
-            .get("session")
-            .and_then(Value::as_str)
-            .unwrap_or("default")
-            .to_string();
-        let ways = doc.get("ways").and_then(Value::as_u64).unwrap_or(3) as usize;
-        let queries = doc.get("queries").and_then(Value::as_u64).unwrap_or(8) as usize;
-        let seed = doc.get("seed").and_then(Value::as_u64).unwrap_or(0);
-        let deadline_ms = doc
-            .get("deadline_ms")
-            .and_then(Value::as_u64)
-            .unwrap_or(ctx.default_deadline_ms);
-        let backend = match doc.get("backend").and_then(Value::as_str) {
-            Some(name) => match name.parse::<Backend>() {
-                Ok(b) => Some(b),
-                Err(e) => return Response::error(400, &e),
+        // Typed extraction first: a wrong-typed field is a 400 naming
+        // the field, never a silent fallback to the default.
+        let session = match doc.get("session") {
+            None => "default".to_string(),
+            Some(v) => match v.as_str() {
+                Some(s) => s.to_string(),
+                None => return field_error("session", "must be a string"),
             },
+        };
+        let ways = match u64_field(&doc, "ways", 3) {
+            Ok(v) => v as usize,
+            Err(resp) => return resp,
+        };
+        let queries = match u64_field(&doc, "queries", 8) {
+            Ok(v) => v as usize,
+            Err(resp) => return resp,
+        };
+        let seed = match u64_field(&doc, "seed", 0) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        // `deadline_ms` is validated against the server-side cap: 0
+        // would be an always-expired request, and an unbounded value
+        // both overflows deadline arithmetic and parks effectively
+        // undeadlined work on a worker.
+        let deadline_ms = match doc.get("deadline_ms") {
+            None => ctx.default_deadline_ms.clamp(1, ctx.max_deadline_ms),
+            Some(v) => match v.as_u64() {
+                None => return field_error("deadline_ms", "must be a non-negative integer"),
+                Some(ms) if !(1..=ctx.max_deadline_ms).contains(&ms) => {
+                    return field_error(
+                        "deadline_ms",
+                        &format!("must be in 1..={}", ctx.max_deadline_ms),
+                    )
+                }
+                Some(ms) => ms,
+            },
+        };
+        let backend = match doc.get("backend") {
             None => None,
+            Some(v) => match v.as_str() {
+                None => return field_error("backend", "must be a string"),
+                Some(name) => match name.parse::<Backend>() {
+                    Ok(b) => Some(b),
+                    Err(e) => return field_error("backend", &e),
+                },
+            },
         };
 
+        // Range checks against the effective caps: the server config's,
+        // clamped by the crate hard limits.
         let dataset = self.host.dataset();
-        if !(2..=MAX_WAYS).contains(&ways) || ways > dataset.num_classes {
-            return Response::error(
-                400,
+        let max_ways = (ctx.max_ways.min(MAX_WAYS as u64)) as usize;
+        let max_queries = (ctx.max_queries.min(MAX_QUERIES as u64)) as usize;
+        if !(2..=max_ways).contains(&ways) || ways > dataset.num_classes {
+            return field_error(
+                "ways",
                 &format!(
-                    "ways must be in 2..={} and <= dataset classes ({})",
-                    MAX_WAYS, dataset.num_classes
+                    "must be in 2..={} and <= dataset classes ({})",
+                    max_ways, dataset.num_classes
                 ),
             );
         }
-        if !(1..=MAX_QUERIES).contains(&queries) {
-            return Response::error(400, &format!("queries must be in 1..={MAX_QUERIES}"));
+        if !(1..=max_queries).contains(&queries) {
+            return field_error("queries", &format!("must be in 1..={max_queries}"));
         }
 
         let engine = match self.host.engine_for(&session, backend) {
@@ -307,15 +374,58 @@ impl ClassifyApp {
 
         // Deadline counts from ADMISSION: a request that waited out its
         // budget in the queue 504s at the first stage boundary instead
-        // of consuming compute it can no longer use.
+        // of consuming compute it can no longer use. (`deadline_ms ≤
+        // max_deadline_ms` keeps the add overflow-free.)
         let deadline = Deadline::at(ctx.admitted_at + Duration::from_millis(deadline_ms));
-        match engine.run_episode_deadline(dataset, &task, deadline) {
-            Ok(result) => Response::json(
-                200,
-                render_episode(&result, &session, engine.revision(), engine.backend()),
+        let key = BatchKey {
+            dataset_id: self.host.dataset_fingerprint(),
+            revision: engine.revision(),
+            backend: engine.backend(),
+        };
+        match self.coalescer.submit(key, &engine, dataset, task, deadline) {
+            CoalesceOutcome::Done { result, batch_size } => match *result {
+                Ok(result) => Response::json(
+                    200,
+                    render_episode(
+                        &result,
+                        &session,
+                        engine.revision(),
+                        engine.backend(),
+                        batch_size,
+                    ),
+                ),
+                Err(e) => engine_error_response(&e),
+            },
+            CoalesceOutcome::LeaderFailed => Response::error(
+                500,
+                "internal error: batch leader panicked; request isolated",
             ),
-            Err(e) => engine_error_response(&e),
         }
+    }
+}
+
+/// 400 whose body names the offending field machine-readably:
+/// `{"error":"<field> <why>","field":"<field>"}`.
+fn field_error(field: &str, why: &str) -> Response {
+    Response::json(
+        400,
+        format!(
+            "{{\"error\":\"{} {}\",\"field\":\"{}\"}}",
+            escape_json(field),
+            escape_json(why),
+            escape_json(field)
+        ),
+    )
+}
+
+/// Optional unsigned-integer body field: absent → `default`; present
+/// with any non-u64 value → field-naming 400.
+fn u64_field(doc: &Value, field: &'static str, default: u64) -> Result<u64, Response> {
+    match doc.get(field) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| field_error(field, "must be a non-negative integer")),
     }
 }
 
@@ -376,7 +486,13 @@ fn render_u64s(xs: impl Iterator<Item = u64>) -> String {
     out
 }
 
-fn render_episode(r: &EpisodeResult, session: &str, revision: u64, backend: Backend) -> String {
+fn render_episode(
+    r: &EpisodeResult,
+    session: &str,
+    revision: u64,
+    backend: Backend,
+    batch_size: usize,
+) -> String {
     let confidences = {
         let mut out = String::from("[");
         for (i, c) in r.confidences.iter().enumerate() {
@@ -388,10 +504,13 @@ fn render_episode(r: &EpisodeResult, session: &str, revision: u64, backend: Back
         out.push(']');
         out
     };
+    // `batch_size` sits AFTER `per_query_micros`: everything before the
+    // timing tail is the deterministic replay surface, and batch
+    // membership (like wall-clock) must never be part of it.
     format!(
         "{{\"session\":\"{}\",\"engine_revision\":{},\"backend\":\"{}\",\"correct\":{},\
          \"total\":{},\"accuracy\":{:.6},\"predictions\":{},\"labels\":{},\"confidences\":{},\
-         \"per_query_micros\":{:.1}}}",
+         \"per_query_micros\":{:.1},\"batch_size\":{}}}",
         escape_json(session),
         revision,
         backend.name(),
@@ -402,6 +521,7 @@ fn render_episode(r: &EpisodeResult, session: &str, revision: u64, backend: Back
         render_u64s(r.query_labels.iter().map(|l| *l as u64)),
         confidences,
         r.per_query_micros,
+        batch_size,
     )
 }
 
@@ -432,6 +552,9 @@ mod tests {
             admitted_at: Instant::now(),
             queue_depth: 0,
             default_deadline_ms: 60_000,
+            max_ways: MAX_WAYS as u64,
+            max_queries: MAX_QUERIES as u64,
+            max_deadline_ms: 3_600_000,
         }
     }
 
@@ -441,14 +564,18 @@ mod tests {
         body.split("\"per_query_micros\"").next().unwrap_or(body)
     }
 
-    fn post_classify(app: &ClassifyApp, body: &str) -> Response {
+    fn post_classify_ctx(app: &ClassifyApp, body: &str, ctx: &ServeContext) -> Response {
         let req = Request {
             method: "POST".to_string(),
             path: "/v1/classify".to_string(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         };
-        app.handle(&req, &ctx())
+        app.handle(&req, ctx)
+    }
+
+    fn post_classify(app: &ClassifyApp, body: &str) -> Response {
+        post_classify_ctx(app, body, &ctx())
     }
 
     #[test]
@@ -526,24 +653,77 @@ mod tests {
     }
 
     #[test]
-    fn invalid_parameters_are_400() {
+    fn invalid_parameters_are_400_naming_the_field() {
         let app = ClassifyApp::new(tiny_host());
-        for body in [
-            "{\"ways\": 1}",
-            "{\"ways\": 99}",
-            "{\"queries\": 0}",
-            "{\"queries\": 100000}",
-            "not json",
+        for (body, field) in [
+            ("{\"ways\": 1}", Some("ways")),
+            ("{\"ways\": 99}", Some("ways")),
+            ("{\"ways\": \"three\"}", Some("ways")),
+            ("{\"queries\": 0}", Some("queries")),
+            ("{\"queries\": 100000}", Some("queries")),
+            ("{\"queries\": \"many\"}", Some("queries")),
+            ("{\"deadline_ms\": 0}", Some("deadline_ms")),
+            ("{\"deadline_ms\": 99999999999}", Some("deadline_ms")),
+            ("{\"deadline_ms\": \"soon\"}", Some("deadline_ms")),
+            ("{\"seed\": \"x\"}", Some("seed")),
+            ("{\"session\": 7}", Some("session")),
+            ("{\"backend\": 1}", Some("backend")),
+            ("not json", None),
         ] {
             let resp = post_classify(&app, body);
             assert_eq!(resp.status, 400, "{body} → {}", resp.body);
+            if let Some(field) = field {
+                assert!(
+                    resp.body.contains(&format!("\"field\":\"{field}\"")),
+                    "{body} → {}",
+                    resp.body
+                );
+            }
         }
     }
 
     #[test]
-    fn immediate_deadline_is_504_with_stage_evidence() {
+    fn server_side_caps_bound_request_parameters() {
         let app = ClassifyApp::new(tiny_host());
-        let resp = post_classify(&app, r#"{"ways": 3, "queries": 6, "deadline_ms": 0}"#);
+        let mut tight = ctx();
+        tight.max_ways = 3;
+        tight.max_queries = 4;
+        tight.max_deadline_ms = 1_000;
+        let resp = post_classify_ctx(&app, "{\"ways\": 4}", &tight);
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("\"field\":\"ways\""), "{}", resp.body);
+        let resp = post_classify_ctx(&app, "{\"queries\": 5}", &tight);
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("\"field\":\"queries\""), "{}", resp.body);
+        let resp = post_classify_ctx(&app, "{\"deadline_ms\": 2000}", &tight);
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"field\":\"deadline_ms\""),
+            "{}",
+            resp.body
+        );
+        // Within the tightened caps everything still runs (the missing
+        // deadline default is clamped into the valid range).
+        let resp = post_classify_ctx(&app, "{\"ways\": 3, \"queries\": 4}", &tight);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+
+    #[test]
+    fn expired_deadline_is_504_with_stage_evidence() {
+        let app = ClassifyApp::new(tiny_host());
+        // Admitted long ago with a 1ms budget: the deadline is already
+        // gone when the episode starts, so the first stage boundary
+        // reports it. (`deadline_ms: 0` is a 400 now — an
+        // always-expired request is a client bug, not a server state.)
+        let mut stale = ctx();
+        stale.admitted_at = Instant::now()
+            .checked_sub(Duration::from_secs(10))
+            .unwrap_or_else(Instant::now);
+        let resp = post_classify_ctx(
+            &app,
+            r#"{"ways": 3, "queries": 6, "deadline_ms": 1}"#,
+            &stale,
+        );
         assert_eq!(resp.status, 504, "{}", resp.body);
         assert!(
             resp.body.contains("\"stage\":\"candidate_embed\""),
@@ -554,6 +734,25 @@ mod tests {
         // Engine still healthy afterwards.
         let ok = post_classify(&app, r#"{"ways": 3, "queries": 6}"#);
         assert_eq!(ok.status, 200, "{}", ok.body);
+    }
+
+    #[test]
+    fn batched_app_answers_bit_identically_to_solo() {
+        let solo = ClassifyApp::new(tiny_host());
+        let fused = ClassifyApp::new(tiny_host()).with_batching(4, 3);
+        assert_eq!(fused.max_batch(), 4);
+        let body = r#"{"ways": 3, "queries": 6, "seed": 11}"#;
+        let a = post_classify(&solo, body);
+        let b = post_classify(&fused, body);
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(b.status, 200, "{}", b.body);
+        assert_eq!(
+            sans_timing(&a.body),
+            sans_timing(&b.body),
+            "batch membership must be invisible in the replay surface"
+        );
+        assert!(a.body.contains("\"batch_size\":1"), "{}", a.body);
+        assert!(b.body.contains("\"batch_size\":1"), "{}", b.body);
     }
 
     #[test]

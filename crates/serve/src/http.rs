@@ -12,10 +12,16 @@
 //! | body-read deadline          | slow/truncated body            | 408    |
 //! | write timeout               | client that never reads        | drop   |
 //!
-//! Connections are `Connection: close` only: one request per TCP
+//! Connections default to `Connection: close` — one request per TCP
 //! connection keeps the state machine trivially auditable, which for an
 //! inference server (requests cost milliseconds, not microseconds) is
-//! the right trade.
+//! the right trade. A client that explicitly sends
+//! `Connection: keep-alive` may pipeline up to
+//! `ServerConfig::keepalive_requests` sequential requests on one
+//! connection; every request still gets its own full read deadline, so
+//! the slow-client limits above hold per request, not per connection.
+//! Keep-alive responses carry `Content-Length` (they always did), so
+//! clients must frame by length instead of EOF.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -57,6 +63,14 @@ impl Request {
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client explicitly opted into connection reuse with
+    /// `Connection: keep-alive`. Absent or any other value (including
+    /// `close`) means one-request-per-connection, the safe default.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("Connection")
+            .is_some_and(|v| v.trim().eq_ignore_ascii_case("keep-alive"))
     }
 }
 
@@ -304,33 +318,93 @@ pub fn drain_pending(stream: &TcpStream) {
     let _ = stream.set_nonblocking(false);
 }
 
-/// Serialize and send with default limits; see [`write_response_with`].
+/// Serialize and send with default limits and `Connection: close`; see
+/// [`write_response_with`].
 pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    write_response_with(stream, resp, &Limits::default())
+    write_response_with(stream, resp, &Limits::default(), false)
 }
 
-/// Serialize and send; `Connection: close` always. A client that stops
+/// Serialize and send. `keep_alive` selects the `Connection:` header the
+/// response advertises; the caller (the worker loop) owns the decision
+/// of whether the connection actually survives. A client that stops
 /// reading trips the write timeout and the connection is dropped —
 /// workers never block on a dead peer.
 pub fn write_response_with(
     stream: &mut TcpStream,
     resp: &Response,
     limits: &Limits,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     stream.set_write_timeout(Some(limits.write_timeout))?;
+    let conn = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
-        resp.body.len()
+        resp.body.len(),
+        conn
     );
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
     head.push_str("\r\n");
+    // One write for head + body: a split write on a keep-alive
+    // connection trips Nagle against the client's delayed ACK (the
+    // body segment sits ~40ms waiting for the head's ACK). With
+    // `Connection: close` the FIN flushed it, which is why only
+    // keep-alive clients ever saw the stall.
+    head.push_str(&resp.body);
     stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
     stream.flush()
+}
+
+/// Client-side counterpart of [`write_response_with`]: read exactly one
+/// `Content-Length`-framed response off the stream and return
+/// `(status, body)`. Unlike reading to EOF this works on keep-alive
+/// connections, where the stream stays open after the response — the
+/// integration tests and the `bench-serve` load generator use it to
+/// drive several requests through one connection.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    use std::io::{Error, ErrorKind};
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "eof before headers"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    let content_length = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                value.trim().parse::<usize>().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0);
+    let mut body: Vec<u8> = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "eof inside body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok((status, String::from_utf8_lossy(&body).to_string()))
 }
 
 #[cfg(test)]
@@ -477,5 +551,39 @@ mod tests {
         assert!(got.contains("Retry-After: 2\r\n"), "{got}");
         assert!(got.contains("Connection: close\r\n"), "{got}");
         assert!(got.ends_with("{\"error\":\"shedding\"}"), "{got}");
+    }
+
+    #[test]
+    fn keep_alive_wire_format() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let h = std::thread::spawn(move || {
+            let (mut server, _) = listener.accept().expect("accept");
+            let resp = Response::json(200, "{\"ok\":true}");
+            write_response_with(&mut server, &resp, &Limits::default(), true).expect("write");
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let mut got = String::new();
+        client.read_to_string(&mut got).expect("read");
+        h.join().expect("server");
+        assert!(got.contains("Connection: keep-alive\r\n"), "{got}");
+        assert!(got.contains("Content-Length: 11\r\n"), "{got}");
+    }
+
+    #[test]
+    fn wants_keep_alive_requires_explicit_opt_in() {
+        let mk = |headers: Vec<(&str, &str)>| Request {
+            method: "GET".to_string(),
+            path: "/".to_string(),
+            headers: headers
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+        assert!(!mk(vec![]).wants_keep_alive());
+        assert!(!mk(vec![("Connection", "close")]).wants_keep_alive());
+        assert!(mk(vec![("Connection", "keep-alive")]).wants_keep_alive());
+        assert!(mk(vec![("connection", "Keep-Alive")]).wants_keep_alive());
     }
 }

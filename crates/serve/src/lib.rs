@@ -23,6 +23,9 @@
 //! | header/body size caps, 431/413           | [`http::Limits`]             | `slow_and_malformed_clients_are_bounded`       |
 //! | graceful drain, zero dropped in-flight   | [`server::ServerHandle`]     | `graceful_drain_completes_admitted_requests`   |
 //! | admitted p99 ≤ 2× uncontended under 2× load | queue sized to the SLO    | `overload_keeps_admitted_p99_within_twice_uncontended` |
+//! | field-naming 400s, server-side caps      | `app::classify` validation   | `request_validation_is_hardened`               |
+//! | bounded keep-alive, per-request deadlines | [`server`] worker loop      | `keep_alive_connection_serves_many_requests`   |
+//! | cross-request batching, per-member 504   | [`coalesce::Coalescer`]      | `mid_collection_expiry_504s_one_member_not_the_batch` |
 //!
 //! ## Degradation ladder
 //!
@@ -41,9 +44,14 @@
 //! request `(seed, ways, queries)` and the host's weights, deadlines
 //! only ever *cut off* work at stage boundaries (completed stages are
 //! bit-identical to an undeadlined run), and session replicas share
-//! one revision. See `README.md` § "Serving & overload behavior".
+//! one revision. Cross-request batching ([`coalesce`]) keeps that
+//! contract — fused members are bit-identical on `Backend::Reference`
+//! to solo runs, so batching is purely a throughput knob
+//! (`gp serve --max-batch/--batch-window-ms`). See `README.md`
+//! § "Request batching".
 
 pub mod app;
+pub mod coalesce;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -51,6 +59,7 @@ pub mod queue;
 pub mod server;
 
 pub use app::{ClassifyApp, SessionHost, MAX_QUERIES, MAX_WAYS};
+pub use coalesce::Coalescer;
 pub use http::{Limits, Request, Response};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Handler, ServeContext, Server, ServerConfig, ServerHandle};

@@ -13,6 +13,13 @@
 //! * shutdown → accept stops, the listener closes, queued connections
 //!   drain to completion, workers join. Zero admitted requests are
 //!   dropped ([`ServerHandle::shutdown`]).
+//!
+//! Connections are one-request by default; a client sending
+//! `Connection: keep-alive` may reuse the connection for up to
+//! [`ServerConfig::keepalive_requests`] sequential requests. Each one
+//! gets its own read deadline, an idle peer is closed silently at the
+//! read timeout, and a drain ends reuse at the next response — so
+//! keep-alive never weakens the slow-client or shutdown guarantees.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -49,6 +56,19 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Value for the `Retry-After` header on shed responses.
     pub retry_after_secs: u64,
+    /// Server-side cap on the `ways` a classify request may ask for;
+    /// clamped to the crate hard limit [`crate::app::MAX_WAYS`].
+    pub max_ways: u64,
+    /// Server-side cap on `queries`; clamped to
+    /// [`crate::app::MAX_QUERIES`].
+    pub max_queries: u64,
+    /// Largest `deadline_ms` a request may declare. Bounding it keeps
+    /// deadline arithmetic overflow-free and stops a client from
+    /// parking an effectively-undeadlined request on a worker.
+    pub max_deadline_ms: u64,
+    /// Requests served per connection when the client opts into
+    /// `Connection: keep-alive`. 1 disables reuse entirely.
+    pub keepalive_requests: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +83,10 @@ impl Default for ServerConfig {
             write_timeout_ms: 2000,
             default_deadline_ms: 30_000,
             retry_after_secs: 1,
+            max_ways: crate::app::MAX_WAYS as u64,
+            max_queries: crate::app::MAX_QUERIES as u64,
+            max_deadline_ms: 3_600_000,
+            keepalive_requests: 32,
         }
     }
 }
@@ -88,6 +112,29 @@ pub struct ServeContext {
     pub queue_depth: usize,
     /// Deadline to apply when the request doesn't carry one.
     pub default_deadline_ms: u64,
+    /// Effective `ways` cap ([`ServerConfig::max_ways`], already clamped
+    /// to the crate hard limit).
+    pub max_ways: u64,
+    /// Effective `queries` cap, likewise clamped.
+    pub max_queries: u64,
+    /// Largest `deadline_ms` a request may declare.
+    pub max_deadline_ms: u64,
+}
+
+impl ServeContext {
+    /// Context carrying a config's request caps, admitted now with an
+    /// empty queue — what the worker builds per request, minus the live
+    /// admission data. Test fixtures use it to avoid restating caps.
+    pub fn for_config(cfg: &ServerConfig) -> Self {
+        Self {
+            admitted_at: Instant::now(),
+            queue_depth: 0,
+            default_deadline_ms: cfg.default_deadline_ms,
+            max_ways: cfg.max_ways.min(crate::app::MAX_WAYS as u64),
+            max_queries: cfg.max_queries.min(crate::app::MAX_QUERIES as u64),
+            max_deadline_ms: cfg.max_deadline_ms,
+        }
+    }
 }
 
 /// Application layer: maps one request to one response. Must be
@@ -142,9 +189,10 @@ impl Server {
                 let queue = Arc::clone(&queue);
                 let handler = Arc::clone(&handler);
                 let cfg = config.clone();
+                let stop = Arc::clone(&stop);
                 std::thread::Builder::new()
                     .name(format!("gp-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, handler.as_ref(), &cfg))
+                    .spawn(move || worker_loop(&queue, handler.as_ref(), &cfg, &stop))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
@@ -208,6 +256,11 @@ fn accept_loop(
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
+                // Responses are latency-sensitive and written whole;
+                // Nagle only adds delayed-ACK stalls on keep-alive
+                // connections. Best-effort: a socket we cannot
+                // configure still gets served.
+                let _ = stream.set_nodelay(true);
                 let conn = Conn {
                     stream,
                     admitted_at: Instant::now(),
@@ -234,7 +287,7 @@ fn accept_loop(
                         // first or closing would RST the 503 away.
                         let mut stream = conn.stream;
                         crate::http::drain_pending(&stream);
-                        let _ = write_response_with(&mut stream, &resp, limits);
+                        let _ = write_response_with(&mut stream, &resp, limits, false);
                     }
                 }
             }
@@ -254,49 +307,91 @@ fn accept_loop(
     queue.close();
 }
 
-fn worker_loop<H: Handler + ?Sized>(queue: &BoundedQueue<Conn>, handler: &H, cfg: &ServerConfig) {
+fn worker_loop<H: Handler + ?Sized>(
+    queue: &BoundedQueue<Conn>,
+    handler: &H,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+) {
     let limits = cfg.limits();
+    let max_requests = cfg.keepalive_requests.max(1);
     while let Some(conn) = queue.pop() {
         QUEUE_DEPTH.offset(-1);
         QUEUE_WAIT_MICROS.record(conn.admitted_at.elapsed().as_micros() as u64);
-        INFLIGHT.offset(1);
-        let started = Instant::now();
         let mut stream = conn.stream;
+        // First request's deadline counts from admission (queue wait is
+        // not free); each keep-alive successor counts from its own read
+        // start, since it never waited in the queue.
+        let mut admitted_at = conn.admitted_at;
 
-        let resp = match read_request(&mut stream, &limits) {
-            Err(e) => {
-                // The request was not fully read (caps/timeouts cut it
-                // short); drain what's buffered so the error response
-                // survives the close instead of being RST away.
-                crate::http::drain_pending(&stream);
-                Response::error(e.status(), &e.message())
-            }
-            Ok(req) => {
-                let ctx = ServeContext {
-                    admitted_at: conn.admitted_at,
-                    queue_depth: queue.len(),
-                    default_deadline_ms: cfg.default_deadline_ms,
-                };
-                // Contain handler panics to the request that caused
-                // them: answer 500 and keep the worker alive. All locks
-                // on the path recover from poisoning, so one bad
-                // request cannot wedge the next.
-                match catch_unwind(AssertUnwindSafe(|| handler.handle(&req, &ctx))) {
-                    Ok(resp) => resp,
-                    Err(_) => {
-                        PANICS_TOTAL.inc();
-                        Response::error(500, "internal error: handler panicked; request isolated")
+        for served in 0..max_requests {
+            INFLIGHT.offset(1);
+            let started = Instant::now();
+            let mut client_keep_alive = false;
+            let resp = match read_request(&mut stream, &limits) {
+                Err(e) => {
+                    // An idle keep-alive peer that goes quiet or hangs
+                    // up between requests is a normal close, not an
+                    // error worth answering.
+                    if served > 0
+                        && matches!(
+                            e,
+                            crate::http::ReadError::TimedOut | crate::http::ReadError::Disconnected
+                        )
+                    {
+                        INFLIGHT.offset(-1);
+                        break;
+                    }
+                    // The request was not fully read (caps/timeouts cut
+                    // it short); drain what's buffered so the error
+                    // response survives the close instead of being RST
+                    // away.
+                    crate::http::drain_pending(&stream);
+                    Response::error(e.status(), &e.message())
+                }
+                Ok(req) => {
+                    client_keep_alive = req.wants_keep_alive();
+                    let ctx = ServeContext {
+                        admitted_at,
+                        queue_depth: queue.len(),
+                        default_deadline_ms: cfg.default_deadline_ms,
+                        max_ways: cfg.max_ways.min(crate::app::MAX_WAYS as u64),
+                        max_queries: cfg.max_queries.min(crate::app::MAX_QUERIES as u64),
+                        max_deadline_ms: cfg.max_deadline_ms,
+                    };
+                    // Contain handler panics to the request that caused
+                    // them: answer 500 and keep the worker alive. All
+                    // locks on the path recover from poisoning, so one
+                    // bad request cannot wedge the next.
+                    match catch_unwind(AssertUnwindSafe(|| handler.handle(&req, &ctx))) {
+                        Ok(resp) => resp,
+                        Err(_) => {
+                            PANICS_TOTAL.inc();
+                            Response::error(
+                                500,
+                                "internal error: handler panicked; request isolated",
+                            )
+                        }
                     }
                 }
+            };
+            if resp.status == 504 {
+                DEADLINE_EXCEEDED_TOTAL.inc();
             }
-        };
-        if resp.status == 504 {
-            DEADLINE_EXCEEDED_TOTAL.inc();
+            // Reuse only when the client opted in, there is budget left
+            // on this connection, and the server is not draining (a
+            // drain must not wait out an idle keep-alive hold).
+            let keep =
+                client_keep_alive && served + 1 < max_requests && !stop.load(Ordering::SeqCst);
+            let wrote = write_response_with(&mut stream, &resp, &limits, keep);
+            REQUEST_MICROS.record(started.elapsed().as_micros() as u64);
+            REQUESTS_TOTAL.inc();
+            INFLIGHT.offset(-1);
+            if !keep || wrote.is_err() {
+                break;
+            }
+            admitted_at = Instant::now();
         }
-        let _ = write_response_with(&mut stream, &resp, &limits);
-        REQUEST_MICROS.record(started.elapsed().as_micros() as u64);
-        REQUESTS_TOTAL.inc();
-        INFLIGHT.offset(-1);
     }
 }
 
@@ -356,6 +451,53 @@ mod tests {
         } else {
             Some(out)
         }
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_for_many_requests() {
+        let handler = Arc::new(|req: &Request, _ctx: &ServeContext| {
+            Response::json(200, format!("{{\"path\":\"{}\"}}", req.path))
+        });
+        let h = Server::start(tiny_config(), handler).expect("start");
+        let addr = h.addr();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        for i in 0..3 {
+            s.write_all(
+                format!("GET /r{i} HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+                    .as_bytes(),
+            )
+            .expect("send");
+            let (status, body) = crate::http::read_response(&mut s).expect("framed response");
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("{{\"path\":\"/r{i}\"}}"));
+        }
+        drop(s);
+        h.shutdown();
+    }
+
+    #[test]
+    fn keepalive_budget_closes_connection_at_the_cap() {
+        let handler =
+            Arc::new(|_req: &Request, _ctx: &ServeContext| Response::json(200, "{\"ok\":true}"));
+        let cfg = ServerConfig {
+            keepalive_requests: 2,
+            ..tiny_config()
+        };
+        let h = Server::start(cfg, handler).expect("start");
+        let addr = h.addr();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        for _ in 0..2 {
+            s.write_all(b"GET / HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n")
+                .expect("send");
+            let (status, _) = crate::http::read_response(&mut s).expect("framed response");
+            assert_eq!(status, 200);
+        }
+        // Budget spent: the server must have closed its side, so the
+        // next read sees EOF rather than hanging.
+        let mut rest = String::new();
+        s.read_to_string(&mut rest).expect("eof after budget");
+        assert!(rest.is_empty(), "{rest}");
+        h.shutdown();
     }
 
     #[test]

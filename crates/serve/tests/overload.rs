@@ -51,6 +51,28 @@ fn post_json(addr: SocketAddr, path: &str, body: &str) -> Option<String> {
     )
 }
 
+/// Connect, stall for `delay_ms`, then send. Deadlines are anchored at
+/// admission (`admitted_at` is stamped in the accept thread), so the
+/// stall burns the request's budget before the body even arrives —
+/// the deterministic way to exercise an already-expired deadline.
+fn post_json_stale(addr: SocketAddr, path: &str, body: &str, delay_ms: u64) -> Option<String> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(20))).ok()?;
+    std::thread::sleep(Duration::from_millis(delay_ms));
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).ok()?;
+    let mut out = String::new();
+    s.read_to_string(&mut out).ok()?;
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
 fn status_of(response: &str) -> u16 {
     response
         .split(' ')
@@ -131,6 +153,23 @@ fn tiny_app() -> ClassifyApp {
         )
         .expect("host"),
     )
+}
+
+/// Same host, cross-request batching on.
+fn tiny_app_batched(max_batch: usize, window_ms: u64) -> ClassifyApp {
+    tiny_app().with_batching(max_batch, window_ms)
+}
+
+/// Body of a raw HTTP response (headers stripped — `Content-Length`
+/// varies with the timing digits, so comparisons must skip it).
+fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or(response)
+}
+
+/// The deterministic replay surface of a classify body — everything
+/// before the wall-clock tail (`per_query_micros`, `batch_size`).
+fn sans_timing(body: &str) -> &str {
+    body.split("\"per_query_micros\"").next().unwrap_or(body)
 }
 
 fn quick_config(workers: usize, queue_capacity: usize) -> ServerConfig {
@@ -329,10 +368,14 @@ fn deadline_returns_504_with_partial_stage_timing() {
     let h = Server::start(quick_config(2, 8), Arc::clone(&app)).expect("start");
     let addr = h.addr();
 
-    let resp = post_json(
+    // 1ms of budget (0 is rejected by validation now), burned in
+    // admission by a client that stalls 30ms before sending: the
+    // deadline is already gone at the first stage boundary.
+    let resp = post_json_stale(
         addr,
         "/v1/classify",
-        r#"{"ways": 3, "queries": 6, "seed": 4, "deadline_ms": 0}"#,
+        r#"{"ways": 3, "queries": 6, "seed": 4, "deadline_ms": 1}"#,
+        30,
     )
     .expect("reply");
     assert_eq!(status_of(&resp), 504, "{resp}");
@@ -363,13 +406,15 @@ fn deadline_exhaustion_leaks_no_pool_threads() {
     let h = Server::start(quick_config(4, 8), Arc::clone(&app)).expect("start");
     let addr = h.addr();
 
-    // Hammer with instant deadlines interleaved with real work across
-    // 4 server workers sharing the budget-2 engine pool.
+    // Hammer with already-expired deadlines (budget burned in
+    // admission, see `post_json_stale`) interleaved with real work
+    // across 4 server workers sharing the budget-2 engine pool.
     for round in 0..6 {
-        let resp = post_json(
+        let resp = post_json_stale(
             addr,
             "/v1/classify",
-            r#"{"ways": 3, "queries": 6, "seed": 1, "deadline_ms": 0}"#,
+            r#"{"ways": 3, "queries": 6, "seed": 1, "deadline_ms": 1}"#,
+            30,
         )
         .expect("reply");
         assert_eq!(status_of(&resp), 504, "round {round}: {resp}");
@@ -476,6 +521,172 @@ fn health_and_metrics_endpoints_are_well_formed() {
     let missing = get(addr, "/v1/nope").expect("404");
     assert_eq!(status_of(&missing), 404, "{missing}");
     h.shutdown();
+}
+
+#[test]
+fn request_validation_is_hardened() {
+    let app = Arc::new(tiny_app());
+    let h = Server::start(quick_config(2, 8), Arc::clone(&app)).expect("start");
+    let addr = h.addr();
+
+    // Out-of-range and wrong-typed fields → 400 whose body names the
+    // offending field; nothing falls back to a silent default.
+    for (body, field) in [
+        (r#"{"ways": 0}"#, "ways"),
+        (r#"{"ways": "three"}"#, "ways"),
+        (r#"{"queries": 0}"#, "queries"),
+        (r#"{"queries": 100000}"#, "queries"),
+        (r#"{"deadline_ms": 0}"#, "deadline_ms"),
+        (r#"{"deadline_ms": 99999999999999}"#, "deadline_ms"),
+        (r#"{"deadline_ms": "soon"}"#, "deadline_ms"),
+        (r#"{"seed": "x"}"#, "seed"),
+        (r#"{"session": 7}"#, "session"),
+    ] {
+        let resp = post_json(addr, "/v1/classify", body).expect("reply");
+        assert_eq!(status_of(&resp), 400, "{body} → {resp}");
+        assert!(
+            resp.contains(&format!("\"field\":\"{field}\"")),
+            "{body} → {resp}"
+        );
+    }
+
+    // A legitimate request on the same server still runs.
+    let resp = post_json(addr, "/v1/classify", r#"{"ways": 3, "queries": 4}"#).expect("reply");
+    assert_eq!(status_of(&resp), 200, "{resp}");
+    h.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let app = Arc::new(tiny_app());
+    let h = Server::start(quick_config(2, 8), Arc::clone(&app)).expect("start");
+    let addr = h.addr();
+
+    let body = r#"{"ways": 3, "queries": 4, "seed": 9}"#;
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("cfg");
+    let mut replies = Vec::new();
+    for _ in 0..3 {
+        s.write_all(
+            format!(
+                "POST /v1/classify HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+        let (status, reply) = gp_serve::http::read_response(&mut s).expect("framed response");
+        assert_eq!(status, 200, "{reply}");
+        replies.push(reply);
+    }
+    // Replays over one reused connection stay bit-identical.
+    assert_eq!(sans_timing(&replies[0]), sans_timing(&replies[1]));
+    assert_eq!(sans_timing(&replies[0]), sans_timing(&replies[2]));
+
+    // Then go idle: the server must close the connection at its read
+    // deadline instead of letting a quiet client park a worker.
+    let idled = Instant::now();
+    let mut rest = String::new();
+    s.read_to_string(&mut rest).expect("eof on idle keep-alive");
+    assert!(rest.is_empty(), "{rest}");
+    assert!(
+        idled.elapsed() < Duration::from_secs(10),
+        "idle keep-alive hold must be bounded by the read deadline"
+    );
+    h.shutdown();
+}
+
+#[test]
+fn concurrent_requests_fuse_and_match_solo_results() {
+    // Solo baseline server (batching off) and a fused server whose
+    // 2-member batches dispatch the moment the second member joins (the
+    // 5s window is a ceiling the full-batch path never waits out).
+    let solo = Server::start(quick_config(2, 8), Arc::new(tiny_app())).expect("start solo");
+    let fused =
+        Server::start(quick_config(2, 8), Arc::new(tiny_app_batched(2, 5_000))).expect("start");
+    let solo_addr = solo.addr();
+    let fused_addr = fused.addr();
+
+    let bodies = [
+        r#"{"ways": 3, "queries": 4, "seed": 5}"#,
+        r#"{"ways": 4, "queries": 7, "seed": 6}"#,
+    ];
+    let baselines: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let resp = post_json(solo_addr, "/v1/classify", b).expect("solo reply");
+            assert_eq!(status_of(&resp), 200, "{resp}");
+            body_of(&resp).to_string()
+        })
+        .collect();
+
+    let clients: Vec<_> = bodies
+        .iter()
+        .map(|&b| {
+            std::thread::spawn(move || post_json(fused_addr, "/v1/classify", b).unwrap_or_default())
+        })
+        .collect();
+    let fused_replies: Vec<String> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    solo.shutdown();
+    fused.shutdown();
+
+    for (baseline, reply) in baselines.iter().zip(&fused_replies) {
+        assert_eq!(status_of(reply), 200, "{reply}");
+        assert_eq!(
+            sans_timing(baseline),
+            sans_timing(body_of(reply)),
+            "a fused member must answer bit-identically to its solo run"
+        );
+        assert!(
+            body_of(reply).contains("\"batch_size\":2"),
+            "both members were in flight, so the pass must have fused them: {reply}"
+        );
+    }
+}
+
+#[test]
+fn mid_collection_expiry_504s_one_member_not_the_batch() {
+    // max_batch 3 with only two members: the group never fills, so the
+    // leader holds until the earliest member deadline (A's 60ms), by
+    // which point A has expired mid-collection while B is still good.
+    let app = Arc::new(tiny_app_batched(3, 400));
+    let h = Server::start(quick_config(2, 8), Arc::clone(&app)).expect("start");
+    let addr = h.addr();
+
+    let a = std::thread::spawn(move || {
+        post_json(
+            addr,
+            "/v1/classify",
+            r#"{"ways": 3, "queries": 4, "seed": 5, "deadline_ms": 60}"#,
+        )
+        .unwrap_or_default()
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    let b = std::thread::spawn(move || {
+        post_json(
+            addr,
+            "/v1/classify",
+            r#"{"ways": 3, "queries": 4, "seed": 6}"#,
+        )
+        .unwrap_or_default()
+    });
+    let resp_a = a.join().expect("client a");
+    let resp_b = b.join().expect("client b");
+    h.shutdown();
+
+    // A ran out while waiting for batch-mates: 504 blaming the
+    // collection stage, zero queries run.
+    assert_eq!(status_of(&resp_a), 504, "{resp_a}");
+    assert!(resp_a.contains("\"stage\":\"batch_collect\""), "{resp_a}");
+    assert!(resp_a.contains("\"completed_queries\":0"), "{resp_a}");
+    // B was not poisoned by A's expiry: it completed normally.
+    assert_eq!(status_of(&resp_b), 200, "{resp_b}");
+    assert!(body_of(&resp_b).contains("\"predictions\":["), "{resp_b}");
 }
 
 /// A handler whose service time is named by the request path

@@ -15,12 +15,20 @@
 //! gp serve     --dataset wiki [--model model.gpck] [--addr 127.0.0.1:7431]
 //!              [--workers 4] [--queue 64] [--deadline-ms 30000]
 //!              [--max-sessions 64] [--threads 2]
+//!              [--max-batch 1] [--batch-window-ms 2]
 //! ```
 //!
 //! `serve` runs the overload-safe inference server (`gp-serve`):
 //! `POST /v1/classify`, `GET /v1/metrics`, `GET /v1/health`. SIGTERM
 //! or SIGINT drains gracefully — in-flight and queued requests finish,
 //! then the process exits. See README § "Serving & overload behavior".
+//!
+//! `--max-batch N` (N > 1) turns on cross-request batching: concurrent
+//! classify requests against the same dataset/revision/backend are
+//! coalesced for up to `--batch-window-ms` and run as one fused
+//! inference pass, amortizing the candidate-embedding stage. Results
+//! are bit-identical to `--max-batch 1`; only throughput changes. See
+//! README § "Request batching".
 //!
 //! `evaluate`/`episode` also accept `--dataset-path <dir>` to run on a
 //! directory in the `gp export` TSV format (bring your own graph), and
@@ -394,8 +402,13 @@ fn serve_cmd(args: &[String]) -> CliResult {
         backend(args)?,
     )?;
     let revision = host.revision();
-    let handle =
-        Server::start(config, Arc::new(ClassifyApp::new(host))).map_err(|e| e.to_string())?;
+    let max_batch = parse_or("--max-batch", 1)? as usize;
+    let batch_window_ms = parse_or("--batch-window-ms", 2)?;
+    let app = ClassifyApp::new(host).with_batching(max_batch, batch_window_ms);
+    if max_batch > 1 {
+        println!("cross-request batching: up to {max_batch} fused per pass, {batch_window_ms}ms collect window");
+    }
+    let handle = Server::start(config, Arc::new(app)).map_err(|e| e.to_string())?;
 
     install_drain_signals();
     println!("gp-serve listening on {}", handle.addr());

@@ -426,6 +426,72 @@ fn total_cmp_ranking_is_bit_identical_to_partial_cmp_on_nan_free_scores() {
     assert_same_order(&out.votes);
 }
 
+/// The cross-request batching contract (README § "Request batching"):
+/// on `Backend::Reference`, every member of a fused
+/// `run_episodes_batched` pass is bit-identical to running its episode
+/// alone — batch membership must be invisible in results, only in
+/// throughput. Exercised across batch sizes, mixed shapes and mixed
+/// deadline membership.
+#[test]
+fn batched_inference_is_bit_identical_to_serial() {
+    use graphprompter::core::{Deadline, EpisodeRequest};
+    let source = CitationConfig::new("src", 250, 4, 111).generate();
+    let engine = tiny_engine(20, &source);
+    let mut rng = StdRng::seed_from_u64(17);
+    let shapes = [(3usize, 6usize), (4, 9), (3, 1), (4, 12), (2, 5)];
+    let tasks: Vec<FewShotTask> = shapes
+        .iter()
+        .map(|&(ways, queries)| sample_few_shot_task(&source, ways, 4, queries, &mut rng))
+        .collect();
+
+    let serial: Vec<EpisodeResult> = tasks
+        .iter()
+        .map(|t| engine.run_episode(&source, t))
+        .collect();
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let check = |batched: Vec<Result<EpisodeResult, _>>, label: &str| {
+        for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            let b = b.as_ref().expect("generous/no deadline must not expire");
+            assert_eq!(b.predictions, s.predictions, "{label} member {i}");
+            assert_eq!(b.query_labels, s.query_labels, "{label} member {i}");
+            assert_eq!(
+                bits(&b.confidences),
+                bits(&s.confidences),
+                "{label} member {i}: confidences must be bit-identical"
+            );
+        }
+    };
+
+    for batch_size in [1usize, 2, 5] {
+        let requests: Vec<EpisodeRequest> = tasks[..batch_size]
+            .iter()
+            .map(|t| EpisodeRequest {
+                task: t,
+                deadline: None,
+            })
+            .collect();
+        let batched = engine.run_episodes_batched(&source, &requests);
+        assert_eq!(batched.len(), batch_size);
+        check(batched, &format!("batch of {batch_size}"));
+    }
+
+    // Mixed-deadline membership: generous deadlines on some members,
+    // none on others — still bit-identical.
+    let requests: Vec<EpisodeRequest> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| EpisodeRequest {
+            task: t,
+            deadline: (i % 2 == 0).then(|| Deadline::after_millis(600_000)),
+        })
+        .collect();
+    check(
+        engine.run_episodes_batched(&source, &requests),
+        "mixed-deadline batch",
+    );
+}
+
 #[test]
 fn episode_timing_is_positive_and_bounded() {
     let source = CitationConfig::new("src", 250, 4, 108).generate();
