@@ -15,7 +15,10 @@
 //! `--backend {reference,fast}` restricts the episode rows to one
 //! compute backend (default: both; the wide-matmul microbench always
 //! compares both) — it also measures the cross-request batching rows
-//! (solo vs fused per-query cost at batch sizes 1/2/4/8). `bench-serve`
+//! (solo vs fused per-query cost at batch sizes 1/2/4/8) and a
+//! `disk_warm` row: a restarted engine's first episode against a warm
+//! persistent embedding tier (`--embed-store-dir <dir>` overrides the
+//! scratch directory it uses). `bench-serve`
 //! load-tests the gp-serve HTTP server (baseline latency, saturation
 //! QPS, shed rate and admitted p99 under 2× overload, plus a keep-alive
 //! batched phase — `--max-batch <n>` sets its coalescer cap, default 4,
@@ -53,6 +56,11 @@ fn main() {
                 std::process::exit(2);
             })
         });
+    let embed_store_dir = args
+        .iter()
+        .position(|a| a == "--embed-store-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let max_batch = args
         .iter()
         .position(|a| a == "--max-batch")
@@ -73,7 +81,7 @@ fn main() {
     match which {
         "calibrate" => calibrate(&suite),
         "all" => run_all(suite),
-        "bench-inference" => bench_inference(smoke, threads, backend),
+        "bench-inference" => bench_inference(smoke, threads, backend, embed_store_dir),
         "bench-serve" => bench_serve(smoke, max_batch),
         id if experiments::ALL_IDS.contains(&id) => {
             let mut ctx = Ctx::new(suite);
@@ -93,17 +101,33 @@ fn main() {
     }
 }
 
-/// Time serial / warm-cache / parallel inference per backend and write
-/// the committed BENCH_inference.json artifact.
-fn bench_inference(smoke: bool, threads: Option<usize>, backend: Option<gp_tensor::Backend>) {
+/// Time serial / warm-cache / parallel / disk-warm-restart inference per
+/// backend and write the committed BENCH_inference.json artifact. The
+/// disk-warm row uses `--embed-store-dir` when given, else a scratch
+/// directory under the OS temp dir (wiped afterwards either way).
+fn bench_inference(
+    smoke: bool,
+    threads: Option<usize>,
+    backend: Option<gp_tensor::Backend>,
+    embed_store_dir: Option<std::path::PathBuf>,
+) {
     let t0 = Instant::now();
-    let report = gp_bench::infer_bench::run(smoke, threads, backend);
+    let store_dir = embed_store_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("gp-bench-embed-{}", std::process::id()))
+    });
+    let report = gp_bench::infer_bench::run(smoke, threads, backend, Some(store_dir.clone()));
+    let _ = std::fs::remove_dir_all(&store_dir);
     let json = report.to_json();
     std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
     print!("{json}");
+    let disk_warm = report
+        .backends
+        .first()
+        .and_then(gp_bench::BackendRows::disk_warm_speedup)
+        .map_or("n/a".to_string(), |s| format!("{s:.2}x"));
     eprintln!(
         "[bench-inference done in {:?}; best speedup {:.2}x over serial, \
-         wide-matmul fast/reference {:.2}x]",
+         disk-warm restart {disk_warm} vs cold, wide-matmul fast/reference {:.2}x]",
         t0.elapsed(),
         report.best_speedup(),
         report.wide_matmul.speedup()

@@ -32,9 +32,10 @@
 //! per-engine via [`Engine::set_parallelism`] and backends via
 //! [`Engine::set_backend`] — nothing here touches process-wide state.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
-use gp_core::{Engine, EpisodeRequest, PretrainConfig, StageConfig};
+use gp_core::{Engine, EpisodeRequest, GraphPrompterModel, PretrainConfig, StageConfig};
 use gp_datasets::{presets, sample_few_shot_task, FewShotTask};
 use gp_tensor::{Backend, Parallelism, Tensor};
 use rand::rngs::StdRng;
@@ -101,6 +102,11 @@ pub struct BackendRows {
     pub serial_warm: ModeTiming,
     /// Cold cache, one worker per core; `None` on single-core hosts.
     pub parallel_cold: Option<ModeTiming>,
+    /// A *restarted* engine's first episode against a warm persistent
+    /// disk tier (cold RAM, GPES shards on disk): the gp-serve
+    /// warm-start scenario. `None` when the benchmark ran without an
+    /// embedding-store directory.
+    pub disk_warm: Option<ModeTiming>,
     /// Cross-request batching rows, one per fused batch size.
     pub batched: Vec<BatchedTiming>,
 }
@@ -109,6 +115,15 @@ impl BackendRows {
     /// Warm-cache speedup over this backend's serial cold baseline.
     pub fn warm_speedup(&self) -> f64 {
         self.serial_cold.per_query_micros / self.serial_warm.per_query_micros.max(1e-9)
+    }
+
+    /// Restart-with-warm-disk speedup over this backend's serial cold
+    /// baseline — the cold-query reduction a restarted server gets from
+    /// the persistent tier.
+    pub fn disk_warm_speedup(&self) -> Option<f64> {
+        self.disk_warm
+            .as_ref()
+            .map(|d| self.serial_cold.per_query_micros / d.per_query_micros.max(1e-9))
     }
 
     /// Parallel speedup over this backend's serial cold baseline.
@@ -217,6 +232,14 @@ impl InferBenchReport {
                     Some(s) => format!("{s:.2}"),
                     None => "null".into(),
                 };
+                let disk_warm = match &row.disk_warm {
+                    Some(d) => mode(d),
+                    None => "null".into(),
+                };
+                let disk_warm_speedup = match row.disk_warm_speedup() {
+                    Some(s) => format!("{s:.2}"),
+                    None => "null".into(),
+                };
                 let batched = row
                     .batched
                     .iter()
@@ -233,13 +256,15 @@ impl InferBenchReport {
                     .collect::<Vec<_>>()
                     .join(",\n");
                 format!(
-                    "    {{\n      \"backend\": \"{}\",\n      \"serial_cold\": {},\n      \"serial_warm\": {},\n      \"parallel_cold\": {},\n      \"speedup_warm_vs_serial\": {:.2},\n      \"speedup_parallel_vs_serial\": {},\n      \"best_speedup_vs_serial\": {:.2},\n      \"batched\": [\n{}\n      ]\n    }}",
+                    "    {{\n      \"backend\": \"{}\",\n      \"serial_cold\": {},\n      \"serial_warm\": {},\n      \"parallel_cold\": {},\n      \"disk_warm\": {},\n      \"speedup_warm_vs_serial\": {:.2},\n      \"speedup_parallel_vs_serial\": {},\n      \"speedup_disk_warm_vs_serial\": {},\n      \"best_speedup_vs_serial\": {:.2},\n      \"batched\": [\n{}\n      ]\n    }}",
                     row.backend.name(),
                     mode(&row.serial_cold),
                     mode(&row.serial_warm),
                     parallel,
+                    disk_warm,
                     row.warm_speedup(),
                     parallel_speedup,
+                    disk_warm_speedup,
                     row.best_speedup(),
                     batched
                 )
@@ -328,7 +353,20 @@ fn wide_matmul_bench(smoke: bool) -> WideMatmul {
 /// even on a single-core host); `None` keeps the per-core default.
 /// `backend` restricts the episode rows to one backend; `None` measures
 /// both. The wide-matmul microbench always measures both backends.
-pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> InferBenchReport {
+///
+/// With `embed_store_dir` set, each backend also gets a `disk_warm` row:
+/// one engine populates a persistent embedding tier under that directory
+/// and is dropped; then per rep a *fresh* engine (cold RAM, same
+/// weights) is built against the directory and its first episode is
+/// timed — the gp-serve restart-with-warm-shards scenario. Shards are
+/// written f32, so the warm answers are asserted bit-identical to the
+/// writer's. The directory is wiped before and after.
+pub fn run(
+    smoke: bool,
+    threads: Option<usize>,
+    backend: Option<Backend>,
+    embed_store_dir: Option<PathBuf>,
+) -> InferBenchReport {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -454,6 +492,74 @@ pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> Inf
             )
         });
 
+        // Restart-with-warm-disk: a writer engine populates the
+        // persistent tier and flushes; each rep then builds a FRESH
+        // engine (new process stand-in: cold RAM tier, new revision
+        // counter, same weight bits) and times its first episode. Only
+        // the weight fingerprint can connect it to the shards — exactly
+        // what a restarted gp-serve relies on.
+        let disk_warm = embed_store_dir.as_ref().map(|base| {
+            let dir = base.join(format!("disk-warm-{}", b.name()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let snapshot = engine.model().store.snapshot();
+            let build = || -> Engine {
+                let mut model = GraphPrompterModel::new(suite.model_config());
+                model
+                    .store
+                    .try_restore(&snapshot)
+                    // gp-lint: allow(R1) — bench harness: the snapshot came from an identically-configured model two lines up; a mismatch is a bug worth aborting the measurement over
+                    .expect("snapshot restores onto an identically-shaped model");
+                Engine::builder()
+                    .model(model)
+                    .inference_config(cfg.clone())
+                    .parallelism(Parallelism::Serial)
+                    .timing_mode(true)
+                    .backend(b)
+                    .embed_store_dir(&dir)
+                    .try_build()
+                    // gp-lint: allow(R1) — bench harness: same knobs the suite engine above already built with; abort loudly rather than skip the row
+                    .expect("bench engine config must be valid")
+            };
+            let writer = build();
+            let baseline = writer.run_episode(&fb, &task);
+            let flushed = writer.flush_embed_store();
+            assert!(flushed > 0, "the writer must persist its embeddings");
+            drop(writer);
+
+            let mut per_query = 0.0;
+            let mut embed = 0.0;
+            let mut correct = 0;
+            let (mut hits, mut lookups) = (0u64, 0u64);
+            for _ in 0..reps {
+                let restarted = build();
+                let t0 = Instant::now();
+                let res = restarted.run_episode(&fb, &task);
+                per_query += t0.elapsed().as_secs_f64() * 1e6 / res.total.max(1) as f64;
+                embed += res.embed_micros;
+                correct += res.correct;
+                // f32 shards roundtrip bit-exactly: the restarted engine
+                // must answer exactly as the writer did.
+                assert_eq!(
+                    res.predictions, baseline.predictions,
+                    "disk warm start must not change predictions"
+                );
+                let s = restarted.embed_cache_stats().unwrap_or_default();
+                hits += s.hits;
+                lookups += s.hits + s.misses;
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            ModeTiming {
+                per_query_micros: per_query / reps as f64,
+                embed_micros: embed / reps as f64,
+                embed_hit_rate: if lookups == 0 {
+                    0.0
+                } else {
+                    hits as f64 / lookups as f64
+                },
+                correct,
+            }
+        });
+
         // Cross-request batching rows: the same members run solo (cold —
         // what independent requests pay) and fused (one candidate-union
         // pass). Both sides are serial on the same kernels; the ratio
@@ -514,11 +620,15 @@ pub fn run(smoke: bool, threads: Option<usize>, backend: Option<Backend>) -> Inf
         if let Some(p) = &parallel_cold {
             assert_eq!(serial_cold.correct, p.correct);
         }
+        if let Some(d) = &disk_warm {
+            assert_eq!(serial_cold.correct, d.correct);
+        }
         rows.push(BackendRows {
             backend: b,
             serial_cold,
             serial_warm,
             parallel_cold,
+            disk_warm,
             batched,
         });
     }

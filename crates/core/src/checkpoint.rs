@@ -35,7 +35,9 @@ pub const MAGIC: &[u8; 4] = b"GPCK";
 /// Current container format version.
 pub const FORMAT_VERSION: u32 = 2;
 /// Container header size: magic + version + payload length + CRC32.
-const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+/// Shared with every container family that reuses the GPCK discipline
+/// (GPES embedding shards use the same header with their own magic).
+pub(crate) const HEADER_LEN: usize = 4 + 4 + 8 + 4;
 /// Legacy (v1) model files start with the config magic.
 const LEGACY_MAGIC: &[u8; 4] = b"GPMC";
 
@@ -134,15 +136,15 @@ pub fn crc32(data: &[u8]) -> u32 {
 // Little-endian payload reader/writer.
 // ---------------------------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f32(buf: &mut Vec<u8>, v: f32) {
+pub(crate) fn put_f32(buf: &mut Vec<u8>, v: f32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -160,18 +162,19 @@ fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
 }
 
 /// Bounds-checked cursor over a payload; running past the end is a
-/// [`CheckpointError::Truncated`], never a panic.
-struct Reader<'a> {
+/// [`CheckpointError::Truncated`], never a panic. Shared with the GPES
+/// embedding-shard codec ([`crate::embed_disk`]).
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
         if end > self.buf.len() {
             return Err(CheckpointError::Truncated);
@@ -181,29 +184,33 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CheckpointError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn usize(&mut self) -> Result<usize, CheckpointError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, CheckpointError> {
         usize::try_from(self.u64()?).map_err(|_| CheckpointError::Truncated)
     }
 
-    fn f32(&mut self) -> Result<f32, CheckpointError> {
+    pub(crate) fn f32(&mut self) -> Result<f32, CheckpointError> {
         let b = self.take(4)?;
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.pos == self.buf.len()
     }
 
     fn string(&mut self) -> Result<String, CheckpointError> {
@@ -224,10 +231,6 @@ impl<'a> Reader<'a> {
             .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
             .collect();
         Ok(Tensor::from_vec(rows, cols, data))
-    }
-
-    fn finished(&self) -> bool {
-        self.pos == self.buf.len()
     }
 }
 
@@ -279,11 +282,25 @@ fn write_container_impl(
     payload: &[u8],
     fault: Option<WriteFault>,
 ) -> Result<(), CheckpointError> {
+    write_tagged_container(path, MAGIC, FORMAT_VERSION, payload, fault)
+}
+
+/// The GPCK atomic-write discipline, generalized over the container
+/// family: magic + version + payload length + CRC32, written to a temp
+/// file, fsynced, renamed over the final name, directory fsynced.
+/// [`crate::embed_disk`] reuses this for GPES embedding shards.
+pub(crate) fn write_tagged_container(
+    path: &Path,
+    magic: &[u8; 4],
+    version: u32,
+    payload: &[u8],
+    fault: Option<WriteFault>,
+) -> Result<(), CheckpointError> {
     use std::io::Write;
 
     let mut file = Vec::with_capacity(HEADER_LEN + payload.len());
-    file.extend_from_slice(MAGIC);
-    put_u32(&mut file, FORMAT_VERSION);
+    file.extend_from_slice(magic);
+    put_u32(&mut file, version);
     put_u64(&mut file, payload.len() as u64);
     put_u32(&mut file, crc32(payload));
     file.extend_from_slice(payload);
@@ -329,10 +346,20 @@ pub fn read_container(path: &Path) -> Result<Vec<u8>, CheckpointError> {
 }
 
 fn container_payload(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    tagged_container_payload(bytes, MAGIC, FORMAT_VERSION)
+}
+
+/// Validate a tagged container (magic, version, exact length, CRC32) and
+/// return its payload. The read half of [`write_tagged_container`].
+pub(crate) fn tagged_container_payload<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    expect_version: u32,
+) -> Result<&'a [u8], CheckpointError> {
     if bytes.len() < 4 {
         return Err(CheckpointError::Truncated);
     }
-    if &bytes[..4] != MAGIC {
+    if &bytes[..4] != magic {
         return Err(CheckpointError::BadMagic);
     }
     if bytes.len() < HEADER_LEN {
@@ -340,7 +367,7 @@ fn container_payload(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
     }
     let mut r = Reader::new(&bytes[4..HEADER_LEN]);
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    if version != expect_version {
         return Err(CheckpointError::VersionUnsupported(version));
     }
     let payload_len = r.u64()?;

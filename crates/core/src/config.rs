@@ -38,6 +38,11 @@ pub enum ConfigError {
         /// Minimum accepted value.
         min: usize,
     },
+    /// A persistent embedding disk tier was configured while the
+    /// in-memory embedding cache is disabled. The disk tier is the
+    /// cache's L1 — entries reach it only by demotion from the RAM tier —
+    /// so the combination cannot do anything.
+    DiskTierWithoutCache,
     /// A float field fell outside its valid range (or was non-finite).
     OutOfRange {
         /// Field name.
@@ -64,6 +69,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::SamplerTooSmall { field, value, min } => {
                 write!(f, "sampler.{field} is {value}, but must be at least {min}")
             }
+            ConfigError::DiskTierWithoutCache => write!(
+                f,
+                "embed_store_dir requires the in-memory embedding cache \
+                 (remove no_embedding_cache or drop the disk tier)"
+            ),
             ConfigError::OutOfRange {
                 field,
                 value,

@@ -33,6 +33,9 @@
 //! entry point installs the engine's backend alongside its worker pool,
 //! so episode fan-out runs under the same kernels.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use gp_datasets::{Dataset, FewShotTask};
@@ -40,6 +43,7 @@ use gp_tensor::{Backend, Parallelism, PoolStats, WorkerPool};
 
 use crate::config::{ConfigError, InferenceConfig, ModelConfig, PretrainConfig};
 use crate::deadline::Deadline;
+use crate::embed_disk::{DiskTierConfig, Quantization};
 use crate::embed_store::{EmbedCacheStats, EmbeddingStore};
 use crate::error::EngineError;
 use crate::guard::DivergenceError;
@@ -63,6 +67,8 @@ pub struct EngineBuilder {
     parallelism: Option<Parallelism>,
     timing_mode: bool,
     embed_cache: Option<usize>,
+    embed_store_dir: Option<PathBuf>,
+    embed_quantization: Quantization,
     shared_pool: Option<Arc<WorkerPool>>,
     backend: Backend,
 }
@@ -77,6 +83,8 @@ impl Default for EngineBuilder {
             parallelism: None,
             timing_mode: false,
             embed_cache: Some(DEFAULT_EMBED_CACHE_CAPACITY),
+            embed_store_dir: None,
+            embed_quantization: Quantization::F32,
             shared_pool: None,
             backend: Backend::default(),
         }
@@ -179,6 +187,30 @@ impl EngineBuilder {
         self
     }
 
+    /// Attach a persistent disk tier (L1) under `dir` to the embedding
+    /// cache. Entries evicted from the in-memory LFU tier are demoted to
+    /// CRC-protected GPES shards keyed by `(dataset, weight revision)`
+    /// and promoted back on a later lookup — including across process
+    /// restarts: a fresh engine with the same weights pointed at the same
+    /// directory starts warm. Requires the in-memory cache;
+    /// [`EngineBuilder::try_build`] rejects the combination with
+    /// [`ConfigError::DiskTierWithoutCache`] when
+    /// [`EngineBuilder::no_embedding_cache`] is also set.
+    pub fn embed_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.embed_store_dir = Some(dir.into());
+        self
+    }
+
+    /// On-disk encoding for demoted embeddings: [`Quantization::F32`]
+    /// (the default) is bit-exact on roundtrip; [`Quantization::F16`] /
+    /// [`Quantization::I8`] shrink shards ~2×/~4× at a bounded, tested
+    /// dequantization error. No effect unless
+    /// [`EngineBuilder::embed_store_dir`] is set.
+    pub fn embed_quantization(mut self, q: Quantization) -> Self {
+        self.embed_quantization = q;
+        self
+    }
+
     /// Validate all configs and build the engine. The worker pool itself
     /// is created lazily on the first `pretrain`/`evaluate`/`run_episode`
     /// call (a budget of 1 never spawns any thread at all).
@@ -195,6 +227,15 @@ impl EngineBuilder {
         };
         self.pretrain_cfg.validate()?;
         self.infer_cfg.validate()?;
+        let embed_store = match (self.embed_cache, self.embed_store_dir) {
+            (Some(capacity), Some(dir)) => Some(EmbeddingStore::with_disk_tier(
+                capacity,
+                DiskTierConfig::new(dir).quantization(self.embed_quantization),
+            )),
+            (Some(capacity), None) => Some(EmbeddingStore::new(capacity)),
+            (None, Some(_)) => return Err(ConfigError::DiskTierWithoutCache),
+            (None, None) => None,
+        };
         Ok(Engine {
             model,
             pretrain_cfg: self.pretrain_cfg,
@@ -203,7 +244,8 @@ impl EngineBuilder {
             timing_mode: self.timing_mode,
             pool: Mutex::new(None),
             shared_pool: self.shared_pool,
-            embed_store: self.embed_cache.map(EmbeddingStore::new),
+            embed_store,
+            weights_fp: Mutex::new(None),
             backend: self.backend,
         })
     }
@@ -226,6 +268,10 @@ pub struct Engine {
     /// ([`EngineBuilder::worker_pool`]); takes precedence over `pool`.
     shared_pool: Option<Arc<WorkerPool>>,
     embed_store: Option<EmbeddingStore>,
+    /// `(revision, fingerprint)` of the last weight fingerprint computed
+    /// for the disk tier — hashing every parameter is O(weights), so it
+    /// is cached until the revision moves.
+    weights_fp: Mutex<Option<(u64, u64)>>,
     backend: Backend,
 }
 
@@ -260,6 +306,44 @@ impl Engine {
                 pool
             }
         }
+    }
+
+    /// Arm the embedding store's disk tier with the weight fingerprint of
+    /// the current revision. Revision counters are process-local, so
+    /// shards persisted by a *previous* process cannot be validated by
+    /// revision alone — they carry this fingerprint (parameter bits +
+    /// backend name) and are trusted only when it matches. The hash walks
+    /// every parameter tensor, so it is cached until the revision moves.
+    /// A no-op without a disk tier: the pure in-memory path keeps its
+    /// hash-free revision check.
+    fn prepare_embed_store(&self) {
+        let Some(store) = &self.embed_store else {
+            return;
+        };
+        if !store.has_disk_tier() {
+            return;
+        }
+        let revision = self.model.store.revision();
+        let mut cached = self
+            .weights_fp
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let fp = match *cached {
+            Some((rev, fp)) if rev == revision => fp,
+            _ => {
+                let mut h = DefaultHasher::new();
+                self.backend.name().hash(&mut h);
+                for (_, tensor) in self.model.store.iter() {
+                    for &x in tensor.as_slice() {
+                        x.to_bits().hash(&mut h);
+                    }
+                }
+                let fp = h.finish();
+                *cached = Some((revision, fp));
+                fp
+            }
+        };
+        store.set_weights_context(revision, fp);
     }
 
     /// Episode-level workers for an `episodes`-episode evaluation: 1 in
@@ -323,6 +407,7 @@ impl Engine {
         let pool = self.thread_pool();
         let _ctx = pool.install();
         let _be = self.backend.install();
+        self.prepare_embed_store();
         let episode_workers = self.episode_workers(&pool, episodes);
         evaluate_episodes_impl(
             &self.model,
@@ -355,6 +440,7 @@ impl Engine {
         let pool = self.thread_pool();
         let _ctx = pool.install();
         let _be = self.backend.install();
+        self.prepare_embed_store();
         let episode_workers = self.episode_workers(&pool, episodes);
         evaluate_episodes_impl(
             &self.model,
@@ -374,6 +460,7 @@ impl Engine {
         let pool = self.thread_pool();
         let _ctx = pool.install();
         let _be = self.backend.install();
+        self.prepare_embed_store();
         run_episode_impl(
             &self.model,
             dataset,
@@ -399,6 +486,7 @@ impl Engine {
         let pool = self.thread_pool();
         let _ctx = pool.install();
         let _be = self.backend.install();
+        self.prepare_embed_store();
         run_episode_deadline_impl(
             &self.model,
             dataset,
@@ -432,6 +520,7 @@ impl Engine {
         let pool = self.thread_pool();
         let _ctx = pool.install();
         let _be = self.backend.install();
+        self.prepare_embed_store();
         run_episodes_batched_impl(
             &self.model,
             dataset,
@@ -454,6 +543,7 @@ impl Engine {
         let pool = self.thread_pool();
         let _ctx = pool.install();
         let _be = self.backend.install();
+        self.prepare_embed_store();
         run_episode_impl(&self.model, dataset, task, cfg, self.embed_store.as_ref())
     }
 
@@ -560,11 +650,29 @@ impl Engine {
 
     /// Drop every memoized embedding (counters survive). Weight changes
     /// do this automatically; an explicit clear is only useful for
-    /// benchmarking cold-cache behavior.
+    /// benchmarking cold-cache behavior. With a disk tier attached this
+    /// is a *full* cold start: the on-disk shards are deleted too.
     pub fn clear_embed_cache(&self) {
         if let Some(store) = &self.embed_store {
             store.clear();
         }
+    }
+
+    /// Whether the embedding cache has a persistent disk tier attached
+    /// ([`EngineBuilder::embed_store_dir`]).
+    pub fn has_embed_disk_tier(&self) -> bool {
+        self.embed_store
+            .as_ref()
+            .is_some_and(EmbeddingStore::has_disk_tier)
+    }
+
+    /// Write every in-memory embedding back to the disk tier and fsync
+    /// the shards, returning the number of entries persisted (0 without a
+    /// disk tier, or before the first inference call arms it). Dropping
+    /// the engine flushes too; the explicit call is a durability barrier
+    /// — e.g. before handing the shard directory to another process.
+    pub fn flush_embed_store(&self) -> usize {
+        self.embed_store.as_ref().map_or(0, EmbeddingStore::flush)
     }
 
     /// Snapshot of the process-wide metrics registry (counters, gauges,

@@ -149,6 +149,23 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
         self.entries.iter().map(|(k, e)| (k, &e.value, e.freq))
     }
 
+    /// Keys in deterministic eviction order: ascending use count, FIFO
+    /// within a count (the next eviction victim comes first). Walks the
+    /// intrusive bucket lists, so the order is reproducible across runs —
+    /// unlike [`LfuCache::iter`] — at O(len) cost. The embedding store's
+    /// disk-tier flush uses this to serialize shards deterministically.
+    pub fn ordered_keys(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        for (head, _) in self.buckets.values() {
+            let mut cur = Some(head.clone());
+            while let Some(k) = cur {
+                cur = self.entries.get(&k).and_then(|e| e.next.clone());
+                out.push(k);
+            }
+        }
+        out
+    }
+
     /// Remove and return the least frequently used entry (FIFO within the
     /// minimum frequency).
     pub fn evict(&mut self) -> Option<(K, V)> {

@@ -55,6 +55,7 @@ pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod deadline;
+pub mod embed_disk;
 pub mod embed_store;
 pub mod engine;
 pub mod error;
@@ -78,6 +79,7 @@ pub use config::{
     ModelConfigBuilder, PretrainConfig, PretrainConfigBuilder, PseudoLabelPolicy, StageConfig,
 };
 pub use deadline::Deadline;
+pub use embed_disk::{DiskTierConfig, Quantization};
 pub use embed_store::{EmbedCacheStats, EmbeddingStore};
 pub use engine::{Engine, EngineBuilder, DEFAULT_EMBED_CACHE_CAPACITY};
 pub use error::{DeadlineExceeded, EngineError};

@@ -430,3 +430,292 @@ fn resume_rejects_mismatched_model_config() {
     assert!(err.to_string().contains("configuration"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// GPES embedding-shard faults: the persistent embedding tier must treat
+// ANY damaged shard as a cold miss — never serve wrong data, never panic
+// — and its lossy encodings must stay inside their documented error
+// envelopes for arbitrary rows.
+// ---------------------------------------------------------------------------
+
+use gp_core::{DiskTierConfig, EmbeddingStore, Quantization};
+use gp_datasets::DataPoint;
+
+const GPES_REVISION: u64 = 7;
+const GPES_FP: u64 = 0xfeed_beef;
+const GPES_DATASET: u64 = 42;
+
+fn gpes_sampler() -> SamplerConfig {
+    SamplerConfig {
+        hops: 2,
+        max_nodes: 16,
+        neighbors_per_node: 4,
+    }
+}
+
+/// A store over `dir` with `rows` embeddings persisted to one shard.
+fn populated_gpes_store(dir: &PathBuf, rows: usize) -> EmbeddingStore {
+    let store = EmbeddingStore::with_disk_tier(64, DiskTierConfig::new(dir.clone()));
+    store.set_weights_context(GPES_REVISION, GPES_FP);
+    for i in 0..rows {
+        store.insert(
+            GPES_REVISION,
+            GPES_DATASET,
+            DataPoint::Node(i as u32),
+            9,
+            &gpes_sampler(),
+            true,
+            vec![i as f32 + 0.25, -(i as f32), 1.5],
+            0.5,
+        );
+    }
+    assert_eq!(store.flush(), rows);
+    store
+}
+
+fn gpes_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "gpes"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flip one arbitrary byte anywhere in a shard — header, payload or
+    /// CRC — and a fresh store over the directory must answer every key
+    /// as a cold miss with exactly one corrupt shard counted; the bad
+    /// file is reclaimed so the next flush starts clean.
+    #[test]
+    fn any_single_byte_shard_corruption_is_a_cold_miss(
+        offset_sel in 0usize..1 << 16,
+        flip in 1u8..=255u8,
+    ) {
+        let dir = tmpdir("gpes_corrupt");
+        drop(populated_gpes_store(&dir, 5));
+        let files = gpes_files(&dir);
+        prop_assert_eq!(files.len(), 1);
+        let mut bytes = std::fs::read(&files[0]).unwrap();
+        let off = offset_sel % bytes.len();
+        bytes[off] ^= flip;
+        std::fs::write(&files[0], &bytes).unwrap();
+
+        let fresh = EmbeddingStore::with_disk_tier(64, DiskTierConfig::new(dir.clone()));
+        fresh.set_weights_context(GPES_REVISION, GPES_FP);
+        for i in 0..5u32 {
+            let hit = fresh.lookup(
+                GPES_REVISION,
+                GPES_DATASET,
+                DataPoint::Node(i),
+                9,
+                &gpes_sampler(),
+                true,
+            );
+            prop_assert!(hit.is_none(), "corrupt shard served row {i}");
+        }
+        prop_assert_eq!(fresh.stats().corrupt_shards, 1);
+        prop_assert!(gpes_files(&dir).is_empty(), "bad shard must be reclaimed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Truncating a shard at any length is detected the same way.
+    #[test]
+    fn any_shard_truncation_is_a_cold_miss(cut_sel in 0usize..1 << 16) {
+        let dir = tmpdir("gpes_truncate");
+        drop(populated_gpes_store(&dir, 4));
+        let files = gpes_files(&dir);
+        prop_assert_eq!(files.len(), 1);
+        let bytes = std::fs::read(&files[0]).unwrap();
+        let cut = cut_sel % bytes.len(); // strictly shorter than the file
+        std::fs::write(&files[0], &bytes[..cut]).unwrap();
+
+        let fresh = EmbeddingStore::with_disk_tier(64, DiskTierConfig::new(dir.clone()));
+        fresh.set_weights_context(GPES_REVISION, GPES_FP);
+        let hit = fresh.lookup(
+            GPES_REVISION,
+            GPES_DATASET,
+            DataPoint::Node(0),
+            9,
+            &gpes_sampler(),
+            true,
+        );
+        prop_assert!(hit.is_none(), "truncated shard served data");
+        prop_assert_eq!(fresh.stats().corrupt_shards, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A crash inside the flush (torn temp file, or killed between fsync
+    /// and rename) must leave the previously-flushed shard intact — the
+    /// reader sees old-or-nothing, never a blend.
+    #[test]
+    fn kill_mid_flush_leaves_old_or_nothing(
+        torn_sel in 0u8..2,
+        extra_rows in 1usize..6,
+    ) {
+        let dir = tmpdir("gpes_kill");
+        let store = populated_gpes_store(&dir, 3);
+        for i in 0..extra_rows {
+            store.insert(
+                GPES_REVISION,
+                GPES_DATASET,
+                DataPoint::Node(100 + i as u32),
+                9,
+                &gpes_sampler(),
+                true,
+                vec![7.0, 8.0, 9.0],
+                0.5,
+            );
+        }
+        let fault = if torn_sel == 0 {
+            WriteFault::TornWrite
+        } else {
+            WriteFault::BeforeRename
+        };
+        store.flush_with_fault(fault);
+        drop(store);
+
+        let fresh = EmbeddingStore::with_disk_tier(64, DiskTierConfig::new(dir.clone()));
+        fresh.set_weights_context(GPES_REVISION, GPES_FP);
+        let hit = fresh.lookup(
+            GPES_REVISION,
+            GPES_DATASET,
+            DataPoint::Node(0),
+            9,
+            &gpes_sampler(),
+            true,
+        );
+        prop_assert!(hit.is_some(), "pre-crash shard must survive a failed flush");
+        prop_assert_eq!(hit.unwrap().0, vec![0.25f32, 0.0, 1.5]);
+        prop_assert_eq!(fresh.stats().corrupt_shards, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Lossy encodings honor their envelopes on arbitrary rows: f16 is
+    /// within 1/2048 relative per element, i8 within half a quantization
+    /// step of the row's max absolute value. f32 roundtrips bit-exactly.
+    #[test]
+    fn quantized_shard_roundtrip_error_is_bounded(
+        vals in proptest::collection::vec(-100.0f32..100.0, 1..48),
+    ) {
+        for quant in [Quantization::F32, Quantization::F16, Quantization::I8] {
+            let dir = tmpdir("gpes_quant");
+            let store = EmbeddingStore::with_disk_tier(
+                64,
+                DiskTierConfig::new(dir.clone()).quantization(quant),
+            );
+            store.set_weights_context(GPES_REVISION, GPES_FP);
+            store.insert(
+                GPES_REVISION,
+                GPES_DATASET,
+                DataPoint::Node(1),
+                9,
+                &gpes_sampler(),
+                true,
+                vals.clone(),
+                0.5,
+            );
+            store.flush();
+            drop(store);
+
+            let fresh = EmbeddingStore::with_disk_tier(
+                64,
+                DiskTierConfig::new(dir.clone()).quantization(quant),
+            );
+            fresh.set_weights_context(GPES_REVISION, GPES_FP);
+            let (row, _) = fresh
+                .lookup(GPES_REVISION, GPES_DATASET, DataPoint::Node(1), 9, &gpes_sampler(), true)
+                .expect("persisted row must be readable");
+            let max_abs = vals.iter().fold(0f32, |m, &x| m.max(x.abs()));
+            for (a, b) in vals.iter().zip(&row) {
+                match quant {
+                    Quantization::F32 => prop_assert_eq!(a.to_bits(), b.to_bits()),
+                    Quantization::F16 => prop_assert!(
+                        (a - b).abs() <= a.abs() / 2048.0 + 1e-6,
+                        "f16 err {} at {a}", (a - b).abs()
+                    ),
+                    Quantization::I8 => prop_assert!(
+                        (a - b).abs() <= max_abs / 127.0 * 0.5 + max_abs * 1e-6 + 1e-6,
+                        "i8 err {} at {a}", (a - b).abs()
+                    ),
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Tiering is an implementation detail: under ANY interleaving of
+    /// inserts, lookups, flushes and revision bumps, a tiny-L0 + disk-L1
+    /// store answers bit-identically to one unbounded in-memory store —
+    /// and a revision bump empties BOTH tiers at once.
+    #[test]
+    fn tiered_store_matches_unbounded_reference_under_any_interleaving(
+        ops in proptest::collection::vec((0u8..8, 0u8..20), 1..160),
+    ) {
+        let dir = tmpdir("gpes_tiers");
+        // L0 of 3 forces constant demote/promote churn; the reference
+        // never evicts, so every divergence is the tier's fault.
+        let tiered = EmbeddingStore::with_disk_tier(3, DiskTierConfig::new(dir.clone()));
+        let reference = EmbeddingStore::new(4096);
+        let mut rev = GPES_REVISION;
+        let fp = |rev: u64| rev ^ GPES_FP;
+        tiered.set_weights_context(rev, fp(rev));
+        // Row content depends on (key, revision): stale data is visible.
+        let row = |k: u8, rev: u64| vec![f32::from(k) * 1.25 + rev as f32, -f32::from(k)];
+        let mut live = [false; 20];
+
+        for &(sel, k) in &ops {
+            let point = DataPoint::Node(u32::from(k));
+            match sel {
+                // Insert (idempotent per (key, revision), so re-inserts
+                // cannot mask overwrite-order differences).
+                0..=2 => {
+                    for store in [&tiered, &reference] {
+                        store.insert(
+                            rev, GPES_DATASET, point, 9, &gpes_sampler(), true,
+                            row(k, rev), 0.5,
+                        );
+                    }
+                    live[usize::from(k)] = true;
+                }
+                // Lookup: both stores must agree bit-for-bit, and the
+                // tiered store must be lossless for this revision.
+                3..=5 => {
+                    let t = tiered.lookup(rev, GPES_DATASET, point, 9, &gpes_sampler(), true);
+                    let r = reference.lookup(rev, GPES_DATASET, point, 9, &gpes_sampler(), true);
+                    prop_assert_eq!(&t, &r, "tiers diverged on key {}", k);
+                    if live[usize::from(k)] {
+                        let (emb, _) = t.expect("live key must hit");
+                        prop_assert_eq!(emb, row(k, rev));
+                    } else {
+                        prop_assert!(t.is_none(), "key {} never inserted this revision", k);
+                    }
+                }
+                // Flush mid-stream: persistence must not change answers.
+                6 => {
+                    tiered.flush();
+                }
+                // Weights moved: every prior entry — RAM or disk — dies.
+                _ => {
+                    rev += 1;
+                    tiered.set_weights_context(rev, fp(rev));
+                    live = [false; 20];
+                }
+            }
+        }
+        // Final sweep: full pointwise agreement, including keys the op
+        // stream never touched after the last bump.
+        for k in 0..20u8 {
+            let point = DataPoint::Node(u32::from(k));
+            let t = tiered.lookup(rev, GPES_DATASET, point, 9, &gpes_sampler(), true);
+            let r = reference.lookup(rev, GPES_DATASET, point, 9, &gpes_sampler(), true);
+            prop_assert_eq!(t, r, "final sweep diverged on key {}", k);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

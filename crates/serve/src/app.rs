@@ -20,8 +20,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use gp_core::{
-    BatchKey, Deadline, EmbeddingStore, Engine, EngineError, EpisodeResult, GraphPrompterModel,
-    InferenceConfig, ModelConfig,
+    BatchKey, Deadline, DiskTierConfig, EmbeddingStore, Engine, EngineError, EpisodeResult,
+    GraphPrompterModel, InferenceConfig, ModelConfig,
 };
 use gp_datasets::{sample_few_shot_task, Dataset};
 use gp_tensor::{Backend, WorkerPool};
@@ -49,6 +49,9 @@ pub struct SessionHost {
     dataset_fingerprint: u64,
     max_sessions: usize,
     default_backend: Backend,
+    /// Base config of the persistent embedding disk tier; each session
+    /// engine gets its own shard subdirectory under `embed_store.dir`.
+    embed_store: Option<DiskTierConfig>,
     sessions: Mutex<HashMap<String, Arc<Engine>>>,
 }
 
@@ -67,6 +70,27 @@ impl SessionHost {
         max_sessions: usize,
         default_backend: Backend,
     ) -> Result<Self, String> {
+        Self::with_embed_store(model, dataset, infer, pool, max_sessions, default_backend, None)
+    }
+
+    /// As [`SessionHost::new`], optionally attaching a persistent
+    /// embedding disk tier: each session's engine demotes cold embeddings
+    /// to CRC-protected GPES shards under a per-session subdirectory of
+    /// `embed_store.dir`, and a restarted server pointed at the same
+    /// directory (with the same weights) answers its first queries from
+    /// the warm tier instead of re-embedding. Session names are hashed
+    /// into the subdirectory name, so hostile session strings can never
+    /// traverse outside the store root.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_embed_store(
+        model: &GraphPrompterModel,
+        dataset: Dataset,
+        infer: InferenceConfig,
+        pool: Arc<WorkerPool>,
+        max_sessions: usize,
+        default_backend: Backend,
+        embed_store: Option<DiskTierConfig>,
+    ) -> Result<Self, String> {
         let dataset_fingerprint = EmbeddingStore::dataset_id(&dataset);
         let host = Self {
             model_config: model.config().clone(),
@@ -77,6 +101,7 @@ impl SessionHost {
             dataset_fingerprint,
             max_sessions: max_sessions.max(1),
             default_backend,
+            embed_store,
             sessions: Mutex::new(HashMap::new()),
         };
         host.engine_for("default", None)
@@ -119,7 +144,8 @@ impl SessionHost {
         // both replicas are identical by construction (racers with
         // conflicting explicit backends are resolved the same way: the
         // losing insert re-validates against the surviving engine).
-        let engine = Arc::new(self.build_replica(backend.unwrap_or(self.default_backend))?);
+        let engine =
+            Arc::new(self.build_replica(session, backend.unwrap_or(self.default_backend))?);
         let mut sessions = self.lock_sessions();
         if !sessions.contains_key(session) && sessions.len() >= self.max_sessions {
             return Err(SessionError::TooManySessions(self.max_sessions));
@@ -140,19 +166,39 @@ impl SessionHost {
         Ok(engine)
     }
 
-    fn build_replica(&self, backend: Backend) -> Result<Engine, SessionError> {
+    fn build_replica(&self, session: &str, backend: Backend) -> Result<Engine, SessionError> {
         let mut model = GraphPrompterModel::new(self.model_config.clone());
         model
             .store
             .try_restore(&self.base_snapshot)
             .map_err(|e| SessionError::Build(e.to_string()))?;
-        Engine::builder()
+        let mut builder = Engine::builder()
             .model(model)
             .inference_config(self.infer.clone())
             .worker_pool(Arc::clone(&self.pool))
-            .backend(backend)
+            .backend(backend);
+        if let Some(base) = &self.embed_store {
+            // Session names arrive verbatim from request bodies; hashing
+            // them into the directory name makes traversal impossible and
+            // keeps the mapping stable across restarts of one binary.
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::hash::Hash::hash(session, &mut h);
+            let sub = format!("session-{:016x}", std::hash::Hasher::finish(&h));
+            builder = builder
+                .embed_store_dir(base.dir.join(sub))
+                .embed_quantization(base.quantization);
+        }
+        builder
             .try_build()
             .map_err(|e| SessionError::Build(e.to_string()))
+    }
+
+    /// Write every session's in-memory embeddings back to the disk tier
+    /// (durability barrier for graceful drain); returns total entries
+    /// persisted. A no-op (0) when the host has no disk tier.
+    pub fn flush_embed_stores(&self) -> usize {
+        let engines: Vec<Arc<Engine>> = self.lock_sessions().values().cloned().collect();
+        engines.iter().map(|e| e.flush_embed_store()).sum()
     }
 
     pub fn session_count(&self) -> usize {
@@ -610,6 +656,78 @@ mod tests {
         // ...but existing sessions keep working.
         let again = post_classify(&app, r#"{"session": "a", "seed": 5}"#);
         assert_eq!(again.status, 200);
+    }
+
+    fn tiny_host_with_store(dir: &std::path::Path) -> SessionHost {
+        let dataset = CitationConfig::new("serve-test", 160, 6, 9).generate();
+        let model = GraphPrompterModel::new(ModelConfig {
+            embed_dim: 16,
+            hidden_dim: 16,
+            seed: 7,
+            ..ModelConfig::default()
+        });
+        let infer = InferenceConfig {
+            candidates_per_class: 4,
+            ..InferenceConfig::default()
+        };
+        let pool = Arc::new(WorkerPool::with_budget(2));
+        SessionHost::with_embed_store(
+            &model,
+            dataset,
+            infer,
+            pool,
+            3,
+            Backend::Reference,
+            Some(DiskTierConfig::new(dir.to_path_buf())),
+        )
+        .expect("host with embed store builds")
+    }
+
+    #[test]
+    fn embed_store_is_invisible_and_warm_starts_a_restarted_host() {
+        let dir = std::env::temp_dir().join(format!("gp_serve_estore_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = ClassifyApp::new(tiny_host());
+        let tiered = ClassifyApp::new(tiny_host_with_store(&dir));
+        let body = r#"{"ways": 3, "queries": 6, "seed": 11}"#;
+        let a = post_classify(&plain, body);
+        let b = post_classify(&tiered, body);
+        assert_eq!(a.status, 200, "{}", a.body);
+        assert_eq!(
+            sans_timing(&a.body),
+            sans_timing(&b.body),
+            "an f32 disk tier must not change any answer"
+        );
+        assert!(
+            tiered.host().flush_embed_stores() > 0,
+            "drain must persist the session embeddings"
+        );
+        drop(tiered);
+
+        // A second host over the same directory stands in for a server
+        // restart: identical construction → identical weights, so the
+        // shards' fingerprint matches and the first request runs warm.
+        let restarted = ClassifyApp::new(tiny_host_with_store(&dir));
+        let c = post_classify(&restarted, body);
+        assert_eq!(c.status, 200, "{}", c.body);
+        assert_eq!(
+            sans_timing(&a.body),
+            sans_timing(&c.body),
+            "warm-started answers must replay bit-identically"
+        );
+        let stats = restarted
+            .host()
+            .lock_sessions()
+            .get("default")
+            .cloned()
+            .expect("default session exists")
+            .embed_cache_stats()
+            .expect("embedding cache is on");
+        assert!(
+            stats.disk_hits > 0,
+            "restarted host must answer from persisted shards: {stats:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!              [--workers 4] [--queue 64] [--deadline-ms 30000]
 //!              [--max-sessions 64] [--threads 2]
 //!              [--max-batch 1] [--batch-window-ms 2]
+//!              # evaluate/episode/serve also take
+//!              # --embed-store-dir <dir> [--embed-quant {f32,f16,i8}]
 //! ```
 //!
 //! `serve` runs the overload-safe inference server (`gp-serve`):
@@ -36,6 +38,15 @@
 //! threads in total, shared by episode fan-out and tensor-kernel
 //! row-blocks (`--threads 0` = one per core; `--threads 1` spawns no
 //! worker threads at all; results are bit-identical either way).
+//!
+//! `--embed-store-dir <dir>` attaches a persistent disk tier to the
+//! engine's embedding cache: embeddings demoted from RAM are written to
+//! CRC-protected GPES shards and promoted back on use — including
+//! across process restarts, so a rerun (or a restarted `gp serve`)
+//! against the same directory and weights answers its first queries
+//! warm. `--embed-quant` picks the on-disk encoding: `f32` (default) is
+//! bit-exact, `f16`/`i8` shrink shards ~2×/~4× at a bounded error. See
+//! README § "Embedding tiers & persistence".
 //!
 //! `--backend {reference,fast}` selects the tensor kernels: `reference`
 //! (default) is the bit-exact ground truth, `fast` the tiled/SIMD
@@ -144,6 +155,29 @@ fn parallelism(args: &[String]) -> Result<Parallelism, String> {
             Err(_) => Err("--threads must be an integer (0 = one per core)".into()),
         },
     }
+}
+
+/// Parse the persistent embedding-store flags shared by
+/// `evaluate`/`episode`/`serve`: `--embed-store-dir <dir>` attaches a
+/// disk tier to the engine's embedding cache (entries survive process
+/// restarts — a rerun against the same directory and weights starts
+/// warm), and `--embed-quant {f32,f16,i8}` picks the on-disk encoding
+/// (default `f32`, bit-exact on roundtrip).
+fn embed_store_flags(
+    args: &[String],
+) -> Result<(Option<String>, graphprompter::core::Quantization), String> {
+    let dir = flag(args, "--embed-store-dir");
+    let quant = match flag(args, "--embed-quant") {
+        None => graphprompter::core::Quantization::F32,
+        Some(s) => {
+            if dir.is_none() {
+                return Err("--embed-quant requires --embed-store-dir".into());
+            }
+            graphprompter::core::Quantization::parse(&s)
+                .ok_or("--embed-quant must be one of f32, f16, i8")?
+        }
+    };
+    Ok((dir, quant))
 }
 
 /// Parse `--backend <name>` into a compute backend. Absent →
@@ -380,11 +414,14 @@ fn serve_cmd(args: &[String]) -> CliResult {
         Parallelism::Auto => std::thread::available_parallelism().map_or(2, |n| n.get()),
         Parallelism::Threads(n) => n.max(1),
     };
+    let (store_dir, embed_quant) = embed_store_flags(args)?;
     let config = ServerConfig {
         addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7431".into()),
         workers: parse_or("--workers", 4)? as usize,
         queue_capacity: parse_or("--queue", 64)? as usize,
         default_deadline_ms: parse_or("--deadline-ms", 30_000)?,
+        embed_store_dir: store_dir.map(std::path::PathBuf::from),
+        embed_quantization: embed_quant,
         ..ServerConfig::default()
     };
 
@@ -393,22 +430,30 @@ fn serve_cmd(args: &[String]) -> CliResult {
         seed,
         ..InferenceConfig::default()
     };
-    let host = SessionHost::new(
+    let host = SessionHost::with_embed_store(
         &model,
         ds,
         infer,
         pool,
         parse_or("--max-sessions", 64)? as usize,
         backend(args)?,
+        config.embed_store(),
     )?;
     let revision = host.revision();
     let max_batch = parse_or("--max-batch", 1)? as usize;
     let batch_window_ms = parse_or("--batch-window-ms", 2)?;
-    let app = ClassifyApp::new(host).with_batching(max_batch, batch_window_ms);
+    let app = Arc::new(ClassifyApp::new(host).with_batching(max_batch, batch_window_ms));
     if max_batch > 1 {
         println!("cross-request batching: up to {max_batch} fused per pass, {batch_window_ms}ms collect window");
     }
-    let handle = Server::start(config, Arc::new(app)).map_err(|e| e.to_string())?;
+    if let Some(dir) = &config.embed_store_dir {
+        println!(
+            "persistent embedding store: {} ({} shards); warm-starts sessions across restarts",
+            dir.display(),
+            config.embed_quantization.name()
+        );
+    }
+    let handle = Server::start(config, Arc::clone(&app)).map_err(|e| e.to_string())?;
 
     install_drain_signals();
     println!("gp-serve listening on {}", handle.addr());
@@ -422,6 +467,10 @@ fn serve_cmd(args: &[String]) -> CliResult {
     }
     eprintln!("drain requested; finishing admitted requests...");
     handle.shutdown();
+    let persisted = app.host().flush_embed_stores();
+    if persisted > 0 {
+        eprintln!("embedding store flushed: {persisted} entries will warm-start the next run");
+    }
     eprintln!("drained cleanly.");
     Ok(())
 }
@@ -485,7 +534,8 @@ fn evaluate_cmd(args: &[String]) -> CliResult {
     } else {
         StageConfig::full()
     };
-    let engine = Engine::builder()
+    let (store_dir, embed_quant) = embed_store_flags(args)?;
+    let mut builder = Engine::builder()
         .model(model)
         .inference_config(InferenceConfig {
             stages,
@@ -493,10 +543,18 @@ fn evaluate_cmd(args: &[String]) -> CliResult {
             ..InferenceConfig::default()
         })
         .parallelism(parallelism(args)?)
-        .backend(backend(args)?)
+        .backend(backend(args)?);
+    if let Some(dir) = store_dir {
+        builder = builder.embed_store_dir(dir).embed_quantization(embed_quant);
+    }
+    let engine = builder
         .try_build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     let accs = engine.evaluate(&ds, ways, 50, episodes);
+    let persisted = engine.flush_embed_store();
+    if persisted > 0 {
+        eprintln!("embedding store: {persisted} entries persisted for the next run");
+    }
     println!(
         "{} {}-way, {} episodes: {}% (chance {:.1}%)",
         ds.name,
@@ -520,20 +578,29 @@ fn episode_cmd(args: &[String]) -> CliResult {
         .map_err(|_| "--seed must be an integer")?;
 
     let ds = resolve_dataset(args, 0)?;
-    let engine = Engine::builder()
+    let (store_dir, embed_quant) = embed_store_flags(args)?;
+    let mut builder = Engine::builder()
         .model(model)
         .inference_config(InferenceConfig {
             seed,
             ..InferenceConfig::default()
         })
         .parallelism(parallelism(args)?)
-        .backend(backend(args)?)
+        .backend(backend(args)?);
+    if let Some(dir) = store_dir {
+        builder = builder.embed_store_dir(dir).embed_quantization(embed_quant);
+    }
+    let engine = builder
         .try_build()
         .map_err(|e| format!("invalid configuration: {e}"))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let candidates = engine.inference_config().candidates_per_class;
     let task = sample_few_shot_task(&ds, ways, candidates, 50, &mut rng);
     let res = engine.run_episode(&ds, &task);
+    let persisted = engine.flush_embed_store();
+    if persisted > 0 {
+        eprintln!("embedding store: {persisted} entries persisted for the next run");
+    }
     println!(
         "{} {}-way episode: {}/{} correct ({:.1}%), {:.0} µs/query",
         ds.name,

@@ -511,3 +511,129 @@ fn episode_timing_is_positive_and_bounded() {
 fn facade_versions_are_consistent() {
     assert_eq!(graphprompter::VERSION, env!("CARGO_PKG_VERSION"));
 }
+
+/// Scratch directory for the persistent-embedding-store tests; wiped on
+/// entry so a crashed previous run cannot leak shards into this one.
+fn scratch_store(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("gp_pipeline_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn f32_disk_tier_is_bit_invisible_to_predictions() {
+    let source = CitationConfig::new("src", 300, 6, 101).generate();
+    let target = CitationConfig::new("tgt", 250, 4, 102).generate();
+    let dir = scratch_store("tier_invisible");
+    let plain = tiny_engine(40, &source);
+    let mut tiered = Engine::builder()
+        .model_config(tiny_model())
+        .pretrain_config(tiny_pretrain(40))
+        .inference_config(tiny_infer())
+        // A tiny L0 keeps entries churning through demotion/promotion,
+        // so the comparison actually exercises the disk tier.
+        .embedding_cache(8)
+        .embed_store_dir(&dir)
+        .try_build()
+        .expect("tiny configs are valid");
+    tiered.pretrain(&source);
+    let a = plain.evaluate(&target, 3, 12, 3);
+    let b = tiered.evaluate(&target, 3, 12, 3);
+    assert_eq!(
+        a, b,
+        "an f32 disk tier must be bit-invisible on Backend::Reference"
+    );
+    let stats = tiered.embed_cache_stats().expect("cache is on");
+    assert!(
+        stats.demotions > 0 && stats.disk_hits > 0,
+        "workload must demote from an L0 of 8 and serve from disk: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn embedding_store_warm_starts_a_fresh_engine() {
+    let source = CitationConfig::new("src", 300, 6, 101).generate();
+    let target = CitationConfig::new("tgt", 250, 4, 102).generate();
+    let dir = scratch_store("warm_start");
+    // Identical construction both times: deterministic pretrain gives
+    // bit-identical weights, so the restarted engine carries the same
+    // weight fingerprint (and revision) the shards were written under.
+    let build = || {
+        let mut e = Engine::builder()
+            .model_config(tiny_model())
+            .pretrain_config(tiny_pretrain(40))
+            .inference_config(tiny_infer())
+            .embed_store_dir(&dir)
+            .try_build()
+            .expect("tiny configs are valid");
+        e.pretrain(&source);
+        e
+    };
+    let first = build();
+    let cold = first.evaluate(&target, 3, 12, 2);
+    assert!(
+        first.flush_embed_store() > 0,
+        "the first engine must persist its embeddings"
+    );
+    drop(first);
+
+    let restarted = build();
+    let warm = restarted.evaluate(&target, 3, 12, 2);
+    assert_eq!(cold, warm, "a warm start must not change any accuracy");
+    let stats = restarted.embed_cache_stats().expect("cache is on");
+    assert!(
+        stats.disk_hits > 0,
+        "the restarted engine must answer from the persisted shards: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quantized_disk_tiers_stay_within_half_a_point_of_f32() {
+    let source = CitationConfig::new("src", 300, 6, 101).generate();
+    let target = CitationConfig::new("tgt", 250, 4, 102).generate();
+    let mean = |accs: &[f32]| accs.iter().sum::<f32>() / accs.len() as f32;
+    let exact = tiny_engine(40, &source);
+    let baseline = mean(&exact.evaluate(&target, 3, 12, 3));
+    for quant in [Quantization::F16, Quantization::I8] {
+        let dir = scratch_store(quant.name());
+        let mut engine = Engine::builder()
+            .model_config(tiny_model())
+            .pretrain_config(tiny_pretrain(40))
+            .inference_config(tiny_infer())
+            .embedding_cache(8)
+            .embed_store_dir(&dir)
+            .embed_quantization(quant)
+            .try_build()
+            .expect("tiny configs are valid");
+        engine.pretrain(&source);
+        let accs = engine.evaluate(&target, 3, 12, 3);
+        let stats = engine.embed_cache_stats().expect("cache is on");
+        assert!(
+            stats.disk_hits > 0,
+            "{} rows must actually roundtrip through the tier: {stats:?}",
+            quant.name()
+        );
+        let delta = (mean(&accs) - baseline).abs();
+        assert!(
+            delta <= 0.5,
+            "{} tier moved mean accuracy by {delta:.2} points (> 0.5): {baseline:.2} -> {:.2}",
+            quant.name(),
+            mean(&accs)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn disk_tier_without_cache_is_rejected_at_build() {
+    let err = Engine::builder()
+        .model_config(tiny_model())
+        .no_embedding_cache()
+        .embed_store_dir(std::env::temp_dir().join("gp_pipeline_never_created"))
+        .try_build()
+        .err()
+        .expect("disk tier without an in-memory cache must not build");
+    assert!(matches!(err, ConfigError::DiskTierWithoutCache));
+}
