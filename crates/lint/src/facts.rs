@@ -1,0 +1,2065 @@
+//! Pass 1 of the two-pass workspace analysis: per-function fact
+//! extraction on top of the panic-free [`crate::scanner`].
+//!
+//! The extractor never tries to be a full Rust parser. It walks the
+//! position-preserving stripped code from [`scan`] and records a small,
+//! conservative set of facts per function:
+//!
+//! - **lock acquisitions** (`x.lock()`, `x.read()`/`x.write()` on
+//!   `RwLock` fields) with the set of guards live at that point,
+//! - **condvar waits** (`cv.wait(g)` / `wait_timeout` / `wait_while`)
+//!   and which guard they temporarily release,
+//! - **blocking operations** (socket/file I/O on resolved receiver
+//!   types, zero-arg `.join()`, process waits),
+//! - **call sites** with a best-effort receiver type, so pass 2
+//!   ([`crate::graph`]) can propagate locks and blocking behaviour
+//!   across function and file boundaries,
+//! - **struct shape**: which fields are `Mutex`/`RwLock`/`Condvar`,
+//!   and every field's normalized type head (for dotted-path receiver
+//!   resolution such as `task.job.done.lock()`),
+//! - **metric registrations** (`Counter::new("…")` et al., names read
+//!   from the *original* source via the scanner's position-preserving
+//!   guarantee) and **discarded `Result`s** for the M1/E1 rules.
+//!
+//! Guard identity is *type + field path* (`Coalescer::state`), never a
+//! variable name: two functions in different files that lock the same
+//! field produce the same node in the lock-order graph. A guard known
+//! only by its data type (a `MutexGuard<'_, State>` parameter) is kept
+//! as [`LockRef::Data`] and resolved against the merged workspace
+//! lock-field table in pass 2.
+//!
+//! Everything here is deliberately an under-approximation: temporaries
+//! (`self.lock().closed = true`) are not tracked as live guards, moved
+//! guards (`drop(g)`, `self.collect(st, …)`, `cv.wait(g)`) die at the
+//! call site, and unresolvable receivers contribute no facts. False
+//! negatives are acceptable; false positives in C1/C2 are not, because
+//! those rules are hard failures.
+
+use std::collections::HashMap;
+
+use crate::rules::{collect_words, line_index, line_of, next_nonws, prev_nonws, word_at, FileKind};
+use crate::scanner::{scan, Scanned};
+
+/// Identity of a lock in the order graph.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockRef {
+    /// Owner type + field path, e.g. `Coalescer::state`.
+    Path(String),
+    /// Known only by the guarded data type (e.g. a `MutexGuard<'_,
+    /// State>` parameter); pass 2 resolves it to a `Path` when the
+    /// workspace has exactly one `Mutex<State>` field.
+    Data(String),
+}
+
+impl LockRef {
+    /// Human-readable name used in reports before pass-2 resolution.
+    pub fn label(&self) -> String {
+        match self {
+            LockRef::Path(p) => p.clone(),
+            LockRef::Data(d) => format!("guard<{d}>"),
+        }
+    }
+}
+
+/// A lock acquisition with the guards live at that point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Acquire {
+    pub lock: LockRef,
+    pub line: usize,
+    pub held: Vec<LockRef>,
+}
+
+/// A condvar wait: `target` is the lock of the guard handed to the
+/// wait (re-acquired on wake), `held` are the *other* live guards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitSite {
+    pub target: Option<LockRef>,
+    pub line: usize,
+    pub held: Vec<LockRef>,
+}
+
+/// A directly blocking operation (I/O, join, process wait).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSite {
+    pub what: String,
+    pub line: usize,
+    pub held: Vec<LockRef>,
+}
+
+/// A call site pass 2 may resolve to a workspace function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Receiver type for method calls (`Some("Coalescer")`), `None`
+    /// for plain free-function calls.
+    pub recv: Option<String>,
+    pub name: String,
+    /// True when invoked through a receiver or `Type::` qualifier.
+    pub method: bool,
+    pub line: usize,
+    pub held: Vec<LockRef>,
+}
+
+/// Facts for one function body.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FnFacts {
+    pub impl_type: Option<String>,
+    pub name: String,
+    pub line: usize,
+    pub acquires: Vec<Acquire>,
+    pub waits: Vec<WaitSite>,
+    pub blocks: Vec<BlockSite>,
+    pub calls: Vec<CallSite>,
+}
+
+/// A `Counter::new("…")` / `Gauge::new` / `Histogram::new` site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricReg {
+    pub kind: &'static str,
+    pub name: String,
+    pub line: usize,
+}
+
+/// A discarded fallible call: `let _ = f(…);` or a bare `….ok();`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Discard {
+    pub line: usize,
+    pub what: String,
+}
+
+/// Everything pass 1 extracts from one file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FileFacts {
+    pub path: String,
+    pub crate_name: String,
+    pub fns: Vec<FnFacts>,
+    /// `(owner type, field, guarded data-type head)` for `Mutex` /
+    /// `RwLock` fields.
+    pub lock_fields: Vec<(String, String, String)>,
+    /// `(owner type, field, normalized type head)` for every named
+    /// struct field (wrappers `Option`/`Arc`/`Box`/`Rc` peeled).
+    pub field_types: Vec<(String, String, String)>,
+    /// Types that own a `Condvar` field (bounded-queue shape).
+    pub condvar_owners: Vec<String>,
+    pub metrics: Vec<MetricReg>,
+    pub discards: Vec<Discard>,
+    /// Lines carrying a verified `allow(C1)` / `allow(C2)` / `allow(M1)`.
+    pub allow_c1: Vec<usize>,
+    pub allow_c2: Vec<usize>,
+    pub allow_m1: Vec<usize>,
+}
+
+/// Extract facts from one file. The runner never sends `Harness`
+/// files here; test-gated lines inside lib files are dropped per fact.
+pub fn extract(path: &str, crate_name: &str, _kind: FileKind, source: &str) -> FileFacts {
+    let sc = scan(source);
+    let chars: Vec<char> = sc.code.chars().collect();
+    let orig: Vec<char> = source.chars().collect();
+    let lines = line_index(&chars);
+    let words = collect_words(&chars);
+
+    let mut ff = FileFacts {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        allow_c1: sc.suppressed_lines("C1"),
+        allow_c2: sc.suppressed_lines("C2"),
+        allow_m1: sc.suppressed_lines("M1"),
+        ..FileFacts::default()
+    };
+
+    let items = collect_items(&chars, &lines, &words);
+    for st in &items.structs {
+        if sc.is_test_line(st.line) {
+            continue;
+        }
+        parse_struct_fields(&chars, st, &mut ff);
+    }
+
+    // Same-file helper classification: `fn lock(&self) -> MutexGuard<…>`
+    // bodies that acquire `self.field.lock()` bind that lock for their
+    // callers; wait-helpers re-acquire their guard parameter's lock.
+    let helpers = classify_helpers(&chars, &items);
+
+    for fd in &items.fns {
+        if sc.is_test_line(fd.line) {
+            continue;
+        }
+        ff.fns.push(walk_fn(&chars, &lines, fd, &items, &helpers, &ff));
+    }
+
+    ff.metrics = find_metrics(&chars, &orig, &lines, &words, &sc);
+    ff.discards = find_discards_impl(&chars, &lines, &words, &sc);
+    ff
+}
+
+///// E1 sites for [`crate::rules::lint_source`]: discarded `Result`s in
+/// the stripped code of an already-scanned file. Suppression pragmas
+/// are NOT applied here — the caller counts them so `--json` stats
+/// stay honest.
+pub fn find_discards(sc: &Scanned) -> Vec<Discard> {
+    let chars: Vec<char> = sc.code.chars().collect();
+    let lines = line_index(&chars);
+    let words = collect_words(&chars);
+    find_discards_impl(&chars, &lines, &words, sc)
+}
+
+// ---------------------------------------------------------------------------
+// item inventory: structs, impls, fns, statics
+// ---------------------------------------------------------------------------
+
+struct StructDef {
+    name: String,
+    line: usize,
+    body: (usize, usize),
+}
+
+struct ImplDef {
+    type_name: String,
+    body: (usize, usize),
+}
+
+struct FnDef {
+    impl_type: Option<String>,
+    name: String,
+    line: usize,
+    body: (usize, usize),
+    /// `(param name, normalized type head)` for simple-ident params.
+    params: Vec<(String, String)>,
+    /// `(param name, guarded data type)` when a param is a guard.
+    guard_params: Vec<(String, String)>,
+    /// `(param name, data type)` for `&Mutex<D>`-shaped params.
+    mutex_params: Vec<(String, String)>,
+    /// Raw return-type text between `)` and the body brace.
+    ret: String,
+}
+
+struct Items {
+    structs: Vec<StructDef>,
+    impls: Vec<ImplDef>,
+    fns: Vec<FnDef>,
+    /// module-level `static NAME: Type` heads.
+    statics: HashMap<String, String>,
+    /// free-function name → return-type head (for `registry().x.lock()`).
+    fn_ret: HashMap<String, String>,
+}
+
+fn collect_items(chars: &[char], lines: &[usize], words: &[(usize, usize)]) -> Items {
+    let mut items = Items {
+        structs: Vec::new(),
+        impls: Vec::new(),
+        fns: Vec::new(),
+        statics: HashMap::new(),
+        fn_ret: HashMap::new(),
+    };
+    for &w in words {
+        match word_at(chars, w).as_str() {
+            "struct" => {
+                if let Some(st) = parse_struct(chars, lines, w.1) {
+                    items.structs.push(st);
+                }
+            }
+            "impl" => {
+                if let Some(im) = parse_impl(chars, w.1) {
+                    items.impls.push(im);
+                }
+            }
+            "fn" => {
+                if let Some(fd) = parse_fn(chars, lines, w.0, w.1) {
+                    items.fns.push(fd);
+                }
+            }
+            "static" => {
+                if let Some((name, head)) = parse_static(chars, w.1) {
+                    items.statics.insert(name, head);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Attribute each fn to the innermost impl containing it.
+    for fd in &mut items.fns {
+        let mut best: Option<&ImplDef> = None;
+        for im in &items.impls {
+            if im.body.0 < fd.body.0 && fd.body.1 <= im.body.1 {
+                if best.map(|b| im.body.0 > b.body.0).unwrap_or(true) {
+                    best = Some(im);
+                }
+            }
+        }
+        fd.impl_type = best.map(|im| im.type_name.clone());
+    }
+    for fd in &items.fns {
+        if fd.impl_type.is_none() {
+            if let Some(head) = ret_head(&fd.ret) {
+                items.fn_ret.entry(fd.name.clone()).or_insert(head);
+            }
+        }
+    }
+    items
+}
+
+/// Head of a return-type string (`"-> &'static Registry where …"` →
+/// `Registry`).
+fn ret_head(ret: &str) -> Option<String> {
+    let after = ret.split("->").nth(1)?;
+    let after = after.split("where").next().unwrap_or(after);
+    resolved_head(&peel_type(after))
+}
+
+/// Index just past a balanced `<…>` starting at `chars[i] == '<'`.
+/// `->` / `=>` arrows inside (Fn bounds) are not closers.
+fn skip_angles(chars: &[char], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '<' => depth += 1,
+            '>' if i > 0 && (chars[i - 1] == '-' || chars[i - 1] == '=') => {}
+            '>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Index of the `}` matching `chars[i] == '{'` (or `len` if unbalanced).
+fn matching_brace(chars: &[char], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len()
+}
+
+fn matching_paren(chars: &[char], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len()
+}
+
+fn read_word(chars: &[char], start: usize) -> (String, usize) {
+    let mut j = start;
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    (chars[start..j].iter().collect(), j)
+}
+
+fn parse_struct(chars: &[char], lines: &[usize], after_kw: usize) -> Option<StructDef> {
+    let (ni, nc) = next_nonws(chars, after_kw)?;
+    if !(nc.is_alphabetic() || nc == '_') {
+        return None;
+    }
+    let (name, mut j) = read_word(chars, ni);
+    if let Some((gi, '<')) = next_nonws(chars, j) {
+        j = skip_angles(chars, gi);
+    }
+    // Scan forward to `{` (fields), `(` (tuple struct: skip), or `;`.
+    while j < chars.len() {
+        match chars[j] {
+            '{' => {
+                let end = matching_brace(chars, j);
+                return Some(StructDef {
+                    name,
+                    line: line_of(lines, ni),
+                    body: (j + 1, end),
+                });
+            }
+            '(' | ';' => return None,
+            '<' => j = skip_angles(chars, j),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+fn parse_impl(chars: &[char], after_kw: usize) -> Option<ImplDef> {
+    let mut j = after_kw;
+    if let Some((gi, '<')) = next_nonws(chars, j) {
+        j = skip_angles(chars, gi);
+    }
+    // Words until `{`; the subject type is the path after a `for` if
+    // present, else the first path. Keep the last ident of that path.
+    let mut current = String::new();
+    let mut after_for = false;
+    let mut name = String::new();
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '{' {
+            let end = matching_brace(chars, j);
+            let chosen = if after_for || name.is_empty() {
+                &current
+            } else {
+                &name
+            };
+            if chosen.is_empty() {
+                return None;
+            }
+            return Some(ImplDef {
+                type_name: chosen.clone(),
+                body: (j + 1, end),
+            });
+        } else if c == ';' {
+            return None;
+        } else if c == '<' {
+            j = skip_angles(chars, j);
+            continue;
+        } else if c.is_alphabetic() || c == '_' {
+            let (w, nj) = read_word(chars, j);
+            j = nj;
+            if w == "for" {
+                after_for = true;
+                if name.is_empty() {
+                    name = current.clone();
+                }
+                current.clear();
+            } else if w != "where" {
+                current = w;
+                if !after_for {
+                    name = current.clone();
+                }
+            }
+            continue;
+        }
+        j += 1;
+    }
+    None
+}
+
+fn parse_fn(chars: &[char], lines: &[usize], kw_start: usize, after_kw: usize) -> Option<FnDef> {
+    let (ni, nc) = next_nonws(chars, after_kw)?;
+    if !(nc.is_alphabetic() || nc == '_') {
+        return None;
+    }
+    let (name, mut j) = read_word(chars, ni);
+    if let Some((gi, '<')) = next_nonws(chars, j) {
+        j = skip_angles(chars, gi);
+    }
+    let (pi, pc) = next_nonws(chars, j)?;
+    if pc != '(' {
+        return None;
+    }
+    let pend = matching_paren(chars, pi);
+    // Between `)` and the body `{` (or `;` for a bodyless decl) lies
+    // the return type and any where clause.
+    let mut k = pend + 1;
+    let mut ret = String::new();
+    loop {
+        if k >= chars.len() {
+            return None;
+        }
+        match chars[k] {
+            '{' => break,
+            ';' => return None,
+            '<' => {
+                let nk = skip_angles(chars, k);
+                ret.extend(chars[k..nk.min(chars.len())].iter());
+                k = nk;
+            }
+            '(' => {
+                let nk = (matching_paren(chars, k) + 1).min(chars.len());
+                ret.extend(chars[k..nk].iter());
+                k = nk;
+            }
+            c => {
+                ret.push(c);
+                k += 1;
+            }
+        }
+    }
+    let body_end = matching_brace(chars, k);
+    let mut fd = FnDef {
+        impl_type: None,
+        name,
+        line: line_of(lines, kw_start),
+        body: (k + 1, body_end),
+        params: Vec::new(),
+        guard_params: Vec::new(),
+        mutex_params: Vec::new(),
+        ret,
+    };
+    parse_params(chars, pi + 1, pend, &mut fd);
+    Some(fd)
+}
+
+fn parse_params(chars: &[char], start: usize, end: usize, fd: &mut FnDef) {
+    for (a, b) in split_top_commas(chars, start, end) {
+        let text: String = chars[a..b].iter().collect();
+        let text = text.trim();
+        if text.is_empty() || text.ends_with("self") {
+            continue;
+        }
+        let Some(colon) = find_top_colon(text) else {
+            continue;
+        };
+        let (pat, ty) = text.split_at(colon);
+        let ty = &ty[1..];
+        let pat = pat.trim().trim_start_matches("mut ").trim();
+        if pat.is_empty() || !pat.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let chain = peel_type(ty);
+        match chain.first().map(String::as_str) {
+            Some(h) if h.ends_with("Guard") => {
+                if let Some(data) = chain.get(1) {
+                    fd.guard_params.push((pat.to_string(), data.clone()));
+                }
+            }
+            Some("Mutex") | Some("RwLock") => {
+                if let Some(data) = chain.get(1) {
+                    fd.mutex_params.push((pat.to_string(), data.clone()));
+                }
+            }
+            _ => {}
+        }
+        if let Some(head) = resolved_head(&chain) {
+            fd.params.push((pat.to_string(), head));
+        }
+    }
+}
+
+/// Byte offset of the first `:` at bracket depth 0 that is not part
+/// of `::`, or None.
+fn find_top_colon(text: &str) -> Option<usize> {
+    let cs: Vec<char> = text.chars().collect();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < cs.len() {
+        match cs[i] {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ':' if depth == 0 => {
+                if i + 1 < cs.len() && cs[i + 1] == ':' {
+                    i += 2;
+                    continue;
+                }
+                if i > 0 && cs[i - 1] == ':' {
+                    i += 1;
+                    continue;
+                }
+                return Some(cs[..i].iter().map(|c| c.len_utf8()).sum());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn split_top_commas(chars: &[char], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut depth = 0i32;
+    let mut a = start;
+    let mut i = start;
+    while i < end.min(chars.len()) {
+        match chars[i] {
+            '<' | '(' | '[' | '{' => depth += 1,
+            '>' if i > 0 && (chars[i - 1] == '-' || chars[i - 1] == '=') => {}
+            '>' | ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                spans.push((a, i));
+                a = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if a < end {
+        spans.push((a, end));
+    }
+    spans
+}
+
+/// Peel a type expression into its head chain, e.g.
+/// `&Option<Arc<Mutex<State>>>` → `["Option", "Arc", "Mutex", "State"]`
+/// (refs, `mut`, `dyn` and lifetimes stripped; descends only through
+/// known containers).
+fn peel_type(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    peel_into(text, &mut out, 0);
+    out
+}
+
+fn peel_into(text: &str, out: &mut Vec<String>, depth: usize) {
+    if depth > 8 {
+        return;
+    }
+    let mut t = text.trim();
+    loop {
+        let before = t;
+        t = t.trim_start_matches(['&', ' ']).trim();
+        for kw in ["mut ", "dyn ", "impl "] {
+            if let Some(rest) = t.strip_prefix(kw) {
+                t = rest.trim();
+            }
+        }
+        while t.starts_with('\'') {
+            let skip = t[1..]
+                .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .map(|p| p + 1)
+                .unwrap_or(t.len());
+            t = t[skip..].trim();
+        }
+        if t == before {
+            break;
+        }
+    }
+    let cs: Vec<char> = t.chars().collect();
+    let mut head_end = 0;
+    let mut seg_start = 0;
+    while head_end < cs.len() {
+        let c = cs[head_end];
+        if c.is_alphanumeric() || c == '_' {
+            head_end += 1;
+        } else if c == ':' {
+            head_end += 1;
+            seg_start = head_end;
+        } else {
+            break;
+        }
+    }
+    if head_end == 0 || seg_start >= head_end {
+        return;
+    }
+    let head: String = cs[seg_start..head_end].iter().collect();
+    out.push(head.clone());
+    if !matches!(
+        head.as_str(),
+        "Option"
+            | "Arc"
+            | "Box"
+            | "Rc"
+            | "Mutex"
+            | "RwLock"
+            | "Vec"
+            | "MutexGuard"
+            | "RwLockReadGuard"
+            | "RwLockWriteGuard"
+    ) {
+        return;
+    }
+    let Some((gi, '<')) = next_nonws(&cs, head_end) else {
+        return;
+    };
+    let gend = skip_angles(&cs, gi);
+    if gend <= gi + 1 {
+        return;
+    }
+    let inner: Vec<char> = cs[gi + 1..gend - 1].to_vec();
+    for (a, b) in split_top_commas(&inner, 0, inner.len()) {
+        let s: String = inner[a..b].iter().collect();
+        let s = s.trim().to_string();
+        if !s.is_empty() && !s.starts_with('\'') {
+            peel_into(&s, out, depth + 1);
+            return;
+        }
+    }
+}
+
+/// First element of the chain that is not a transparent wrapper —
+/// the type a dotted field path "lands on".
+fn resolved_head(chain: &[String]) -> Option<String> {
+    chain
+        .iter()
+        .find(|h| !matches!(h.as_str(), "Option" | "Arc" | "Box" | "Rc"))
+        .cloned()
+}
+
+fn parse_struct_fields(chars: &[char], st: &StructDef, ff: &mut FileFacts) {
+    for (a, b) in split_top_commas(chars, st.body.0, st.body.1) {
+        let text: String = chars[a..b].iter().collect();
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let Some(colon) = find_top_colon(text) else {
+            continue;
+        };
+        let (pat, ty) = text.split_at(colon);
+        let ty = &ty[1..];
+        // field name = last word of the pattern side (skips `pub`,
+        // `pub(crate)`)
+        let name = pat
+            .rsplit(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .find(|s| !s.is_empty())
+            .unwrap_or("")
+            .to_string();
+        if name.is_empty() || name == "pub" {
+            continue;
+        }
+        let chain = peel_type(ty);
+        // first Mutex/RwLock/Condvar reached through wrappers
+        let mut idx = 0;
+        while idx < chain.len() && matches!(chain[idx].as_str(), "Option" | "Arc" | "Box" | "Rc") {
+            idx += 1;
+        }
+        if idx < chain.len() {
+            let h = chain[idx].as_str();
+            if h == "Mutex" || h == "RwLock" {
+                let data = chain[idx + 1..]
+                    .iter()
+                    .find(|x| !matches!(x.as_str(), "Option" | "Arc" | "Box" | "Rc"))
+                    .cloned()
+                    .unwrap_or_else(|| "?".into());
+                ff.lock_fields.push((st.name.clone(), name.clone(), data));
+            }
+            if h == "Condvar" && !ff.condvar_owners.contains(&st.name) {
+                ff.condvar_owners.push(st.name.clone());
+            }
+        }
+        if let Some(head) = resolved_head(&chain) {
+            ff.field_types.push((st.name.clone(), name, head));
+        }
+    }
+}
+
+fn parse_static(chars: &[char], after_kw: usize) -> Option<(String, String)> {
+    let (ni, nc) = next_nonws(chars, after_kw)?;
+    if !(nc.is_alphabetic() || nc == '_') {
+        return None;
+    }
+    let (mut name, mut j) = read_word(chars, ni);
+    if name == "mut" {
+        let (ni2, _) = next_nonws(chars, j)?;
+        let (n2, j2) = read_word(chars, ni2);
+        name = n2;
+        j = j2;
+    }
+    let (ci, cc) = next_nonws(chars, j)?;
+    if cc != ':' {
+        return None;
+    }
+    // type text up to `=` or `;`
+    let mut k = ci + 1;
+    let mut ty = String::new();
+    while k < chars.len() {
+        match chars[k] {
+            '=' | ';' => break,
+            '<' => {
+                let nk = skip_angles(chars, k).min(chars.len());
+                ty.extend(chars[k..nk].iter());
+                k = nk;
+            }
+            c => {
+                ty.push(c);
+                k += 1;
+            }
+        }
+    }
+    let chain = peel_type(&ty);
+    resolved_head(&chain).map(|h| (name, h))
+}
+
+// ---------------------------------------------------------------------------
+// helper classification
+// ---------------------------------------------------------------------------
+
+enum Helper {
+    /// Returns a fresh guard of this lock (`fn lock(&self) -> MutexGuard<…>`).
+    Guard(LockRef),
+    /// Takes a guard param and returns it re-acquired (condvar wait wrapper).
+    Wait,
+}
+
+type HelperMap = HashMap<(String, String), Helper>;
+
+fn classify_helpers(chars: &[char], items: &Items) -> HelperMap {
+    let mut map = HelperMap::new();
+    for fd in &items.fns {
+        let Some(impl_type) = fd.impl_type.clone() else {
+            continue;
+        };
+        if !fd.ret.contains("Guard") {
+            continue;
+        }
+        let body: String = chars[fd.body.0..fd.body.1.min(chars.len())]
+            .iter()
+            .collect();
+        if !fd.guard_params.is_empty()
+            && (body.contains(".wait(") || body.contains(".wait_timeout("))
+        {
+            map.insert((impl_type, fd.name.clone()), Helper::Wait);
+            continue;
+        }
+        // find `self.<field>.lock(` (or `.read(`/`.write(`) in the body
+        if let Some(field) = first_self_lock_field(&body) {
+            map.insert(
+                (impl_type.clone(), fd.name.clone()),
+                Helper::Guard(LockRef::Path(format!("{impl_type}::{field}"))),
+            );
+        }
+    }
+    map
+}
+
+fn first_self_lock_field(body: &str) -> Option<String> {
+    for method in [".lock(", ".read(", ".write("] {
+        if let Some(pos) = body.find(method) {
+            let head = &body[..pos];
+            let field: String = head
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            let rest = head[..head.len() - field.len()].trim_end();
+            if rest.ends_with("self.") && !field.is_empty() {
+                return Some(field);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// per-fn body walk
+// ---------------------------------------------------------------------------
+
+struct Guard {
+    name: String,
+    lock: LockRef,
+    depth: usize,
+}
+
+const IO_TYPES: &[&str] = &[
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "UnixStream",
+    "UnixListener",
+    "File",
+    "BufReader",
+    "BufWriter",
+    "Stdin",
+    "Stdout",
+    "Stderr",
+    "ChildStdin",
+    "ChildStdout",
+];
+
+const IO_METHODS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "set_len",
+    "accept",
+    "connect",
+    "recv",
+    "recv_from",
+    "send",
+    "send_to",
+];
+
+/// Chained methods that return the guard itself, so a `let` binding
+/// through them still names a guard.
+const GUARD_CHAIN: &[&str] = &["unwrap", "unwrap_or_else", "expect"];
+
+fn walk_fn(
+    chars: &[char],
+    lines: &[usize],
+    fd: &FnDef,
+    items: &Items,
+    helpers: &HelperMap,
+    ff: &FileFacts,
+) -> FnFacts {
+    let mut out = FnFacts {
+        impl_type: fd.impl_type.clone(),
+        name: fd.name.clone(),
+        line: fd.line,
+        ..FnFacts::default()
+    };
+    let mut guards: Vec<Guard> = fd
+        .guard_params
+        .iter()
+        .map(|(n, d)| Guard {
+            name: n.clone(),
+            lock: LockRef::Data(d.clone()),
+            depth: 1,
+        })
+        .collect();
+    let mut locals: HashMap<String, String> = fd.params.iter().cloned().collect();
+    // a guard variable resolves (for field hops) to its data type
+    for (n, d) in &fd.guard_params {
+        locals.insert(n.clone(), d.clone());
+    }
+    let mutex_locals: HashMap<String, String> = fd.mutex_params.iter().cloned().collect();
+
+    let mut depth = 1usize;
+    let mut paren = 0usize;
+    let mut pending: Option<String> = None;
+    let mut stmt_start = true;
+    let mut i = fd.body.0;
+    let end = fd.body.1.min(chars.len());
+    while i < end {
+        let c = chars[i];
+        match c {
+            '{' => {
+                depth += 1;
+                stmt_start = true;
+                pending = None;
+                i += 1;
+                continue;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = true;
+                pending = None;
+                i += 1;
+                continue;
+            }
+            ';' => {
+                pending = None;
+                stmt_start = true;
+                i += 1;
+                continue;
+            }
+            '(' => {
+                paren += 1;
+                stmt_start = false;
+                i += 1;
+                continue;
+            }
+            ')' => {
+                paren = paren.saturating_sub(1);
+                stmt_start = false;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if !(c.is_alphanumeric() || c == '_') {
+            if !c.is_whitespace() {
+                stmt_start = false;
+            }
+            i += 1;
+            continue;
+        }
+        let (w, wend) = read_word(chars, i);
+        let wstart = i;
+        let at_stmt = stmt_start;
+        stmt_start = false;
+        i = wend;
+        if w.chars().next().is_some_and(|x| x.is_ascii_digit()) {
+            continue;
+        }
+        match w.as_str() {
+            "let" => {
+                handle_let(chars, wend, &mut pending, &mut locals, ff, items);
+                continue;
+            }
+            "if" | "else" | "while" | "for" | "loop" | "match" | "return" | "in" | "mut"
+            | "ref" | "move" | "as" | "break" | "continue" | "unsafe" | "fn" | "pub"
+            | "true" | "false" => continue,
+            _ => {}
+        }
+        // reassignment at statement start: `g = …` rebinds the guard
+        if at_stmt && paren == 0 {
+            if let Some((ei, '=')) = next_nonws(chars, wend) {
+                if chars.get(ei + 1) != Some(&'=') && guards.iter().any(|g| g.name == w) {
+                    pending = Some(w.clone());
+                    continue;
+                }
+            }
+        }
+        let Some((open, '(')) = next_nonws(chars, wend) else {
+            continue;
+        };
+        let close = matching_paren(chars, open);
+        let line = line_of(lines, wstart);
+        let prev = prev_nonws(chars, wstart).map(|(_, pc)| pc);
+        let (recv_path, qualified) = receiver_path(chars, wstart);
+        let moved = moved_guards(chars, open, close, &guards);
+        let held = held_refs(&guards, &moved);
+        let consumes = pending.take();
+        let classified = classify_call(CallCx {
+            name: &w,
+            prev,
+            recv_path: &recv_path,
+            qualified,
+            open,
+            close,
+            chars,
+            moved: &moved,
+            guards: &guards,
+            locals: &locals,
+            mutex_locals: &mutex_locals,
+            ff,
+            items,
+            helpers,
+            fd,
+        });
+        // guards moved by value die at the call site; a rebind in the
+        // Wait arm below brings the awaited one back
+        if !moved.is_empty() {
+            guards.retain(|g| !moved.contains(&g.name));
+        }
+        match classified {
+            Classified::Acquire(lock) => {
+                out.acquires.push(Acquire {
+                    lock: lock.clone(),
+                    line,
+                    held,
+                });
+                // bind only a plain `let g = …lock()[.unwrap()];`
+                // statement; chains like `.get(…)` return non-guards
+                let chain_ok = guard_chain_ok(chars, close);
+                if paren == 0 && chain_ok {
+                    if let Some(name) = consumes {
+                        if let LockRef::Path(p) = &lock {
+                            if let Some((owner, field)) = p.split_once("::") {
+                                if let Some((_, _, data)) = ff
+                                    .lock_fields
+                                    .iter()
+                                    .find(|(o, f, _)| o == owner && f == field)
+                                {
+                                    locals.insert(name.clone(), data.clone());
+                                }
+                            }
+                        }
+                        bind_guard(&mut guards, name, lock, depth);
+                    }
+                } else {
+                    pending = consumes;
+                }
+            }
+            Classified::Wait(target) => {
+                out.waits.push(WaitSite {
+                    target: target.clone(),
+                    line,
+                    held,
+                });
+                match (target, consumes) {
+                    (Some(t), Some(name)) => bind_guard(&mut guards, name, t, depth),
+                    (_, c) => pending = c,
+                }
+            }
+            Classified::Block(what) => {
+                out.blocks.push(BlockSite { what, line, held });
+                pending = consumes;
+            }
+            Classified::Call(recv, name, method) => {
+                out.calls.push(CallSite {
+                    recv,
+                    name,
+                    method,
+                    line,
+                    held,
+                });
+                pending = consumes;
+            }
+            Classified::Skip => {
+                pending = consumes;
+            }
+        }
+        // the walker continues into the argument list naturally
+    }
+    out
+}
+
+/// After an acquisition's closing paren: `;`/`)`/`,`/`?` keep the
+/// binding a guard, and so do guard-returning chain methods.
+fn guard_chain_ok(chars: &[char], close: usize) -> bool {
+    match next_nonws(chars, close + 1) {
+        Some((di, '.')) => match next_nonws(chars, di + 1) {
+            Some((mi, mc)) if mc.is_alphabetic() || mc == '_' => {
+                let (m, _) = read_word(chars, mi);
+                GUARD_CHAIN.contains(&m.as_str())
+            }
+            _ => false,
+        },
+        Some((_, '?')) | Some((_, ';')) | None => true,
+        _ => false,
+    }
+}
+
+fn bind_guard(guards: &mut Vec<Guard>, name: String, lock: LockRef, depth: usize) {
+    if name == "_" {
+        return;
+    }
+    guards.retain(|g| g.name != name);
+    guards.push(Guard { name, lock, depth });
+}
+
+fn held_refs(guards: &[Guard], moved: &[String]) -> Vec<LockRef> {
+    let mut v: Vec<LockRef> = guards
+        .iter()
+        .filter(|g| !moved.contains(&g.name))
+        .map(|g| g.lock.clone())
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Guard names passed by value as a top-level argument in `(open..close)`.
+fn moved_guards(chars: &[char], open: usize, close: usize, guards: &[Guard]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close.min(chars.len()) {
+        let c = chars[i];
+        if c.is_alphabetic() || c == '_' {
+            let (w, wend) = read_word(chars, i);
+            if guards.iter().any(|g| g.name == w) {
+                let prev = prev_nonws(chars, i).map(|(_, x)| x);
+                let next = next_nonws(chars, wend).map(|(_, x)| x);
+                if matches!(prev, Some('(') | Some(','))
+                    && matches!(next, Some(',') | Some(')'))
+                    && !out.contains(&w)
+                {
+                    out.push(w);
+                }
+            }
+            i = wend;
+            continue;
+        }
+        if c == '(' {
+            // nested call: its args are not top-level arguments here
+            i = matching_paren(chars, i) + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Dotted receiver path before a method word, e.g. `["self","state"]`
+/// for `self.state.lock(`. A leading free-fn call (`registry().x`)
+/// becomes a `ret:<fname>` segment. Returns `(segments, qualifier)`
+/// where the qualifier is the `Type::` head of `Type::method(` calls.
+fn receiver_path(chars: &[char], word_start: usize) -> (Vec<String>, Option<String>) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = word_start;
+    loop {
+        let Some((pi, pc)) = prev_nonws(chars, i) else {
+            break;
+        };
+        if pc == '.' {
+            let Some((si, sc)) = prev_nonws(chars, pi) else {
+                return (Vec::new(), None);
+            };
+            if sc.is_alphanumeric() || sc == '_' {
+                let mut s = si;
+                while s > 0 && (chars[s - 1].is_alphanumeric() || chars[s - 1] == '_') {
+                    s -= 1;
+                }
+                segs.push(chars[s..=si].iter().collect());
+                i = s;
+                continue;
+            }
+            if sc == ')' {
+                // `fname(…).field.method(` — resolve via return type
+                let mut k = si;
+                let mut pdepth = 0i32;
+                loop {
+                    match chars[k] {
+                        ')' => pdepth += 1,
+                        '(' => {
+                            pdepth -= 1;
+                            if pdepth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return (Vec::new(), None);
+                    }
+                    k -= 1;
+                }
+                let Some((fi, fc)) = prev_nonws(chars, k) else {
+                    return (Vec::new(), None);
+                };
+                if !(fc.is_alphanumeric() || fc == '_') {
+                    return (Vec::new(), None);
+                }
+                let mut s = fi;
+                while s > 0 && (chars[s - 1].is_alphanumeric() || chars[s - 1] == '_') {
+                    s -= 1;
+                }
+                // only a plain free fn (not a method/path tail)
+                if let Some((_, bc)) = prev_nonws(chars, s) {
+                    if bc == '.' || bc == ':' {
+                        return (Vec::new(), None);
+                    }
+                }
+                let fname: String = chars[s..=fi].iter().collect();
+                segs.push(format!("ret:{fname}"));
+                break;
+            }
+            return (Vec::new(), None);
+        }
+        if pc == ':' {
+            // `Type::method(` — read the path head
+            let Some((ci, cc)) = prev_nonws(chars, pi) else {
+                break;
+            };
+            if cc != ':' {
+                break;
+            }
+            let Some((si, sc)) = prev_nonws(chars, ci) else {
+                break;
+            };
+            if !(sc.is_alphanumeric() || sc == '_') {
+                break;
+            }
+            let mut s = si;
+            while s > 0 && (chars[s - 1].is_alphanumeric() || chars[s - 1] == '_') {
+                s -= 1;
+            }
+            let head: String = chars[s..=si].iter().collect();
+            segs.reverse();
+            return (segs, Some(head));
+        }
+        break;
+    }
+    segs.reverse();
+    (segs, None)
+}
+
+enum Classified {
+    Acquire(LockRef),
+    Wait(Option<LockRef>),
+    Block(String),
+    Call(Option<String>, String, bool),
+    Skip,
+}
+
+struct CallCx<'a> {
+    name: &'a str,
+    prev: Option<char>,
+    recv_path: &'a [String],
+    qualified: Option<String>,
+    open: usize,
+    close: usize,
+    chars: &'a [char],
+    moved: &'a [String],
+    guards: &'a [Guard],
+    locals: &'a HashMap<String, String>,
+    mutex_locals: &'a HashMap<String, String>,
+    ff: &'a FileFacts,
+    items: &'a Items,
+    helpers: &'a HelperMap,
+    fd: &'a FnDef,
+}
+
+fn classify_call(cx: CallCx<'_>) -> Classified {
+    let is_method = cx.prev == Some('.');
+    let args_empty = matches!(next_nonws(cx.chars, cx.open + 1), Some((j, ')')) if j == cx.close);
+
+    // `Type::method(…)` — treated as a method on Type for resolution
+    if let Some(q) = cx.qualified {
+        if q == "Self" {
+            if let Some(t) = cx.fd.impl_type.clone() {
+                return Classified::Call(Some(t), cx.name.to_string(), true);
+            }
+            return Classified::Skip;
+        }
+        if q == "fs" {
+            if cx.name.starts_with("read")
+                || cx.name.starts_with("write")
+                || matches!(cx.name, "copy" | "rename" | "remove_file" | "create_dir_all")
+            {
+                return Classified::Block(format!("fs::{}", cx.name));
+            }
+            return Classified::Skip;
+        }
+        if q.chars().next().is_some_and(|c| c.is_uppercase()) {
+            if matches!(
+                q.as_str(),
+                "Arc" | "Vec" | "Box" | "Rc" | "String" | "HashMap" | "HashSet" | "VecDeque"
+                    | "Option" | "Some" | "Ok" | "Err" | "Mutex" | "Condvar" | "Duration"
+                    | "Instant" | "PathBuf" | "Default"
+            ) {
+                return Classified::Skip;
+            }
+            return Classified::Call(Some(q), cx.name.to_string(), true);
+        }
+        return Classified::Skip;
+    }
+
+    if is_method {
+        let owner_and_field = resolve_owner_field(cx.recv_path, cx.locals, cx.ff, cx.items, cx.fd);
+        let full_type = resolve_path_type(cx.recv_path, cx.locals, cx.ff, cx.items, cx.fd);
+
+        match cx.name {
+            "lock" => {
+                if let Some((owner, field)) = owner_and_field {
+                    return Classified::Acquire(LockRef::Path(format!("{owner}::{field}")));
+                }
+                if cx.recv_path.len() == 1 {
+                    if let Some(d) = cx.mutex_locals.get(&cx.recv_path[0]) {
+                        return Classified::Acquire(LockRef::Data(d.clone()));
+                    }
+                }
+                if let Some(t) = &full_type {
+                    if let Some(Helper::Guard(l)) = cx.helpers.get(&(t.clone(), "lock".into())) {
+                        return Classified::Acquire(l.clone());
+                    }
+                    return Classified::Call(Some(t.clone()), "lock".into(), true);
+                }
+                return Classified::Skip;
+            }
+            "read" | "write" => {
+                // RwLock acquisition vs I/O: decide by receiver type
+                if let Some((owner, field)) = &owner_and_field {
+                    if cx
+                        .ff
+                        .lock_fields
+                        .iter()
+                        .any(|(o, f, _)| o == owner && f == field)
+                    {
+                        return Classified::Acquire(LockRef::Path(format!("{owner}::{field}")));
+                    }
+                }
+                if let Some(t) = &full_type {
+                    if IO_TYPES.contains(&t.as_str()) {
+                        return Classified::Block(format!("{t}::{}", cx.name));
+                    }
+                }
+                return Classified::Skip;
+            }
+            "wait" | "wait_timeout" | "wait_while" | "wait_timeout_while" => {
+                if let Some(mg) = cx.moved.first() {
+                    let target = cx
+                        .guards
+                        .iter()
+                        .find(|g| &g.name == mg)
+                        .map(|g| g.lock.clone());
+                    return Classified::Wait(target);
+                }
+                if let Some(t) = &full_type {
+                    if let Some(Helper::Wait) = cx.helpers.get(&(t.clone(), cx.name.to_string())) {
+                        return Classified::Wait(None);
+                    }
+                }
+                if args_empty {
+                    // `child.wait()` — blocking process wait
+                    return Classified::Block("process wait()".into());
+                }
+                return Classified::Wait(None);
+            }
+            "join" if args_empty => {
+                return Classified::Block("JoinHandle::join()".into());
+            }
+            _ => {}
+        }
+        // same-file helper calls through `self`
+        if cx.recv_path == ["self"] {
+            if let Some(t) = cx.fd.impl_type.clone() {
+                match cx.helpers.get(&(t.clone(), cx.name.to_string())) {
+                    Some(Helper::Guard(l)) => return Classified::Acquire(l.clone()),
+                    Some(Helper::Wait) => {
+                        let target = cx
+                            .moved
+                            .first()
+                            .and_then(|mg| cx.guards.iter().find(|g| &g.name == mg))
+                            .map(|g| g.lock.clone());
+                        return Classified::Wait(target);
+                    }
+                    None => {}
+                }
+                return Classified::Call(Some(t), cx.name.to_string(), true);
+            }
+            return Classified::Skip;
+        }
+        if IO_METHODS.contains(&cx.name) {
+            if let Some(t) = &full_type {
+                if IO_TYPES.contains(&t.as_str()) {
+                    return Classified::Block(format!("{t}::{}", cx.name));
+                }
+            }
+        }
+        if let Some(t) = full_type {
+            // same-file guard helpers reached through a typed receiver
+            match cx.helpers.get(&(t.clone(), cx.name.to_string())) {
+                Some(Helper::Guard(l)) => return Classified::Acquire(l.clone()),
+                Some(Helper::Wait) => {
+                    let target = cx
+                        .moved
+                        .first()
+                        .and_then(|mg| cx.guards.iter().find(|g| &g.name == mg))
+                        .map(|g| g.lock.clone());
+                    return Classified::Wait(target);
+                }
+                None => {}
+            }
+            return Classified::Call(Some(t), cx.name.to_string(), true);
+        }
+        return Classified::Skip;
+    }
+
+    // plain free-function call
+    if cx.name == "drop" {
+        return Classified::Skip; // handled by moved-guard bookkeeping
+    }
+    Classified::Call(None, cx.name.to_string(), false)
+}
+
+/// `a.b.c` → `Some((TypeOf(a.b), "c"))` when the prefix resolves.
+fn resolve_owner_field(
+    path: &[String],
+    locals: &HashMap<String, String>,
+    ff: &FileFacts,
+    items: &Items,
+    fd: &FnDef,
+) -> Option<(String, String)> {
+    if path.len() < 2 {
+        return None;
+    }
+    let prefix = resolve_path_type(&path[..path.len() - 1], locals, ff, items, fd)?;
+    Some((prefix, path[path.len() - 1].clone()))
+}
+
+/// Resolve the type a dotted path lands on (`self` → impl type,
+/// locals/params, same-file statics, free-fn returns, field hops).
+fn resolve_path_type(
+    path: &[String],
+    locals: &HashMap<String, String>,
+    ff: &FileFacts,
+    items: &Items,
+    fd: &FnDef,
+) -> Option<String> {
+    let first = path.first()?;
+    let mut t = if first == "self" {
+        fd.impl_type.clone()?
+    } else if let Some(r) = first.strip_prefix("ret:") {
+        items.fn_ret.get(r)?.clone()
+    } else if let Some(l) = locals.get(first) {
+        l.clone()
+    } else if let Some(s) = items.statics.get(first) {
+        s.clone()
+    } else {
+        return None;
+    };
+    for seg in &path[1..] {
+        t = ff
+            .field_types
+            .iter()
+            .find(|(o, f, _)| o == &t && f == seg)
+            .map(|(_, _, h)| h.clone())?;
+    }
+    Some(t)
+}
+
+/// `let` bindings: track pending guard names and local types.
+fn handle_let(
+    chars: &[char],
+    after_kw: usize,
+    pending: &mut Option<String>,
+    locals: &mut HashMap<String, String>,
+    ff: &FileFacts,
+    items: &Items,
+) {
+    let Some((ni, nc)) = next_nonws(chars, after_kw) else {
+        return;
+    };
+    if !(nc.is_alphabetic() || nc == '_') {
+        return;
+    }
+    let (mut w, mut j) = read_word(chars, ni);
+    if w == "mut" {
+        let Some((ni2, nc2)) = next_nonws(chars, j) else {
+            return;
+        };
+        if !(nc2.is_alphabetic() || nc2 == '_') {
+            return;
+        }
+        let (w2, j2) = read_word(chars, ni2);
+        w = w2;
+        j = j2;
+    }
+    if w == "_" {
+        return;
+    }
+    // `let Some(x) = path.as_mut()` / `if let Ok(x) = …`
+    if (w == "Some" || w == "Ok") && matches!(next_nonws(chars, j), Some((_, '('))) {
+        let Some((oi, _)) = next_nonws(chars, j) else {
+            return;
+        };
+        let Some((ii, ic)) = next_nonws(chars, oi + 1) else {
+            return;
+        };
+        if !(ic.is_alphabetic() || ic == '_') {
+            return;
+        }
+        let (mut inner, _) = read_word(chars, ii);
+        if inner == "mut" {
+            if let Some((i2, c2)) = next_nonws(chars, ii + 3) {
+                if c2.is_alphabetic() || c2 == '_' {
+                    inner = read_word(chars, i2).0;
+                }
+            }
+        }
+        let close = matching_paren(chars, oi);
+        let Some((eqi, '=')) = next_nonws(chars, close + 1) else {
+            return;
+        };
+        if let Some(t) = rhs_path_type(chars, eqi + 1, locals, ff, items) {
+            locals.insert(inner, t);
+        }
+        return;
+    }
+    let bind = w;
+    match next_nonws(chars, j) {
+        Some((ci, ':')) if chars.get(ci + 1) != Some(&':') => {
+            // explicit ascription: read the type up to `=` or `;`
+            let mut k = ci + 1;
+            let mut ty = String::new();
+            while k < chars.len() {
+                match chars[k] {
+                    '=' | ';' => break,
+                    '<' => {
+                        let nk = skip_angles(chars, k).min(chars.len());
+                        ty.extend(chars[k..nk].iter());
+                        k = nk;
+                    }
+                    c => {
+                        ty.push(c);
+                        k += 1;
+                    }
+                }
+            }
+            if let Some(h) = resolved_head(&peel_type(&ty)) {
+                locals.insert(bind.clone(), h);
+            }
+            *pending = Some(bind);
+        }
+        Some((eqi, '=')) if chars.get(eqi + 1) != Some(&'=') => {
+            if let Some(t) = rhs_constructor_type(chars, eqi + 1, items) {
+                locals.insert(bind.clone(), t);
+            }
+            *pending = Some(bind);
+        }
+        _ => {
+            *pending = Some(bind);
+        }
+    }
+}
+
+/// Type of a plain dotted-path RHS (`inner.disk.as_mut()` → the field
+/// type of `disk`, wrappers peeled).
+fn rhs_path_type(
+    chars: &[char],
+    start: usize,
+    locals: &HashMap<String, String>,
+    ff: &FileFacts,
+    items: &Items,
+) -> Option<String> {
+    let mut segs = Vec::new();
+    let mut i = start;
+    loop {
+        let (si, sc) = next_nonws(chars, i)?;
+        if !(sc.is_alphabetic() || sc == '_') {
+            break;
+        }
+        let (w, wend) = read_word(chars, si);
+        match next_nonws(chars, wend) {
+            Some((di, '.')) => {
+                segs.push(w);
+                i = di + 1;
+            }
+            Some((_, '(')) => {
+                // method tail: only as_ref/as_mut keep the path type
+                if w == "as_ref" || w == "as_mut" {
+                    break;
+                }
+                return None;
+            }
+            _ => {
+                segs.push(w);
+                break;
+            }
+        }
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    let mut t = if let Some(l) = locals.get(&segs[0]) {
+        l.clone()
+    } else if let Some(s) = items.statics.get(&segs[0]) {
+        s.clone()
+    } else {
+        return None;
+    };
+    for seg in &segs[1..] {
+        t = ff
+            .field_types
+            .iter()
+            .find(|(o, f, _)| o == &t && f == seg)
+            .map(|(_, _, h)| h.clone())?;
+    }
+    Some(t)
+}
+
+/// Constructor-shaped RHS: `Type::new(…)`, `Arc::new(Type { … })`, or
+/// a free-fn call resolved by return type (`registry()` → `Registry`).
+fn rhs_constructor_type(chars: &[char], start: usize, items: &Items) -> Option<String> {
+    let (si, sc) = next_nonws(chars, start)?;
+    if !(sc.is_alphabetic() || sc == '_') {
+        return None;
+    }
+    let (w1, j1) = read_word(chars, si);
+    match next_nonws(chars, j1) {
+        Some((ci, ':')) if chars.get(ci + 1) == Some(&':') => {
+            let (mi, mc) = next_nonws(chars, ci + 2)?;
+            if !(mc.is_alphabetic() || mc == '_') {
+                return None;
+            }
+            let (w2, j2) = read_word(chars, mi);
+            if matches!(w1.as_str(), "Arc" | "Box" | "Rc") {
+                if w2 != "new" {
+                    return None;
+                }
+                let (oi, oc) = next_nonws(chars, j2)?;
+                if oc != '(' {
+                    return None;
+                }
+                let (ii, ic) = next_nonws(chars, oi + 1)?;
+                if !ic.is_uppercase() {
+                    return None;
+                }
+                return Some(read_word(chars, ii).0);
+            }
+            if sc.is_uppercase()
+                && !matches!(
+                    w1.as_str(),
+                    "Vec" | "String" | "HashMap" | "HashSet" | "VecDeque" | "Option" | "Some"
+                        | "Ok" | "Err" | "Duration" | "Instant"
+                )
+            {
+                return Some(w1);
+            }
+            None
+        }
+        Some((_, '(')) if sc.is_lowercase() => {
+            // free-fn call: resolve by same-file return type
+            items.fn_ret.get(&w1).cloned()
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// metrics & discards (whole-file)
+// ---------------------------------------------------------------------------
+
+fn find_metrics(
+    chars: &[char],
+    orig: &[char],
+    lines: &[usize],
+    words: &[(usize, usize)],
+    sc: &Scanned,
+) -> Vec<MetricReg> {
+    let mut out = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        let kind = match word_at(chars, w).as_str() {
+            "Counter" => "counter",
+            "Gauge" => "gauge",
+            "Histogram" => "histogram",
+            _ => continue,
+        };
+        // expect `::new(` then a string literal in the original text
+        let Some((c1, ':')) = next_nonws(chars, w.1) else {
+            continue;
+        };
+        if chars.get(c1 + 1) != Some(&':') {
+            continue;
+        }
+        let Some(&nw) = words.get(wi + 1) else {
+            continue;
+        };
+        if nw.0 <= c1 || word_at(chars, nw) != "new" {
+            continue;
+        }
+        let Some((oi, '(')) = next_nonws(chars, nw.1) else {
+            continue;
+        };
+        let line = line_of(lines, w.0);
+        if sc.is_test_line(line) {
+            continue;
+        }
+        // the literal was stripped to spaces; read it from the original
+        let Some((qi, '"')) = next_nonws(orig, oi + 1) else {
+            continue;
+        };
+        let mut name = String::new();
+        let mut k = qi + 1;
+        while k < orig.len() && orig[k] != '"' {
+            name.push(orig[k]);
+            k += 1;
+        }
+        if !name.is_empty() {
+            out.push(MetricReg { kind, name, line });
+        }
+    }
+    out
+}
+
+fn find_discards_impl(
+    chars: &[char],
+    lines: &[usize],
+    words: &[(usize, usize)],
+    sc: &Scanned,
+) -> Vec<Discard> {
+    let mut out = Vec::new();
+    for (wi, &w) in words.iter().enumerate() {
+        match word_at(chars, w).as_str() {
+            "let" => {
+                // `let _ = <expr with a call>;`
+                let Some(&nw) = words.get(wi + 1) else { continue };
+                if word_at(chars, nw) != "_" {
+                    continue;
+                }
+                let Some((ei, '=')) = next_nonws(chars, nw.1) else {
+                    continue;
+                };
+                if chars.get(ei + 1) == Some(&'=') {
+                    continue;
+                }
+                let mut k = ei + 1;
+                let mut depth = 0i32;
+                let mut has_call = false;
+                let mut snippet = String::new();
+                while k < chars.len() {
+                    let c = chars[k];
+                    match c {
+                        '(' => {
+                            depth += 1;
+                            has_call = true;
+                        }
+                        '[' | '{' => depth += 1,
+                        ')' | ']' | '}' => depth -= 1,
+                        ';' if depth <= 0 => break,
+                        _ => {}
+                    }
+                    if snippet.len() < 64 {
+                        snippet.push(c);
+                    }
+                    k += 1;
+                }
+                if !has_call {
+                    continue;
+                }
+                let line = line_of(lines, w.0);
+                if sc.is_test_line(line) {
+                    continue;
+                }
+                out.push(Discard {
+                    line,
+                    what: format!("let _ = {}", tidy_snippet(&snippet, 48)),
+                });
+            }
+            "ok" => {
+                // statement-terminated `expr.ok();` not bound by a let
+                if prev_nonws(chars, w.0).map(|(_, c)| c) != Some('.') {
+                    continue;
+                }
+                let Some((oi, '(')) = next_nonws(chars, w.1) else {
+                    continue;
+                };
+                let Some((ci, ')')) = next_nonws(chars, oi + 1) else {
+                    continue;
+                };
+                if next_nonws(chars, ci + 1).map(|(_, c)| c) != Some(';') {
+                    continue;
+                }
+                // walk back to the statement boundary
+                let mut b = w.0;
+                let mut depth = 0i32;
+                while b > 0 {
+                    let c = chars[b - 1];
+                    match c {
+                        ')' | ']' => depth += 1,
+                        '(' | '[' => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        ';' | '{' | '}' | ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                    b -= 1;
+                }
+                let stmt: String = chars[b..w.0].iter().collect();
+                let stmt = stmt.trim();
+                if stmt.is_empty()
+                    || stmt.starts_with("let ")
+                    || stmt.starts_with("return ")
+                    || stmt.contains('=')
+                {
+                    continue;
+                }
+                let line = line_of(lines, w.0);
+                if sc.is_test_line(line) {
+                    continue;
+                }
+                let mut snip = tidy_snippet(stmt, 48);
+                while snip.ends_with('.') {
+                    snip.pop();
+                }
+                snip.push_str(".ok()");
+                out.push(Discard { line, what: snip });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Human-readable excerpt of stripped code: whitespace runs collapse
+/// to one space (string contents were blanked by the scanner, which
+/// otherwise leaves ragged gaps) and the result is capped at `max`.
+fn tidy_snippet(raw: &str, max: usize) -> String {
+    let mut out = String::with_capacity(raw.len().min(max));
+    let mut in_ws = false;
+    for c in raw.trim().chars() {
+        if c.is_whitespace() {
+            in_ws = true;
+            continue;
+        }
+        if in_ws && !out.is_empty() {
+            out.push(' ');
+        }
+        in_ws = false;
+        out.push(c);
+        if out.len() >= max {
+            out.push('…');
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(src: &str) -> FileFacts {
+        extract("crates/x/src/lib.rs", "x", FileKind::Lib, src)
+    }
+
+    #[test]
+    fn struct_lock_and_condvar_fields() {
+        let f = facts(
+            "struct Q { inner: Mutex<Inner>, ready: Condvar, cap: usize }\n\
+             struct S { disk: Option<DiskTier> }\n",
+        );
+        assert_eq!(
+            f.lock_fields,
+            vec![("Q".into(), "inner".into(), "Inner".into())]
+        );
+        assert_eq!(f.condvar_owners, vec!["Q".to_string()]);
+        assert!(f
+            .field_types
+            .contains(&("S".into(), "disk".into(), "DiskTier".into())));
+    }
+
+    #[test]
+    fn nested_acquisition_records_held_guard() {
+        let f = facts(
+            "struct P { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl P { fn ab(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); drop(h); drop(g); } }\n",
+        );
+        let fnf = &f.fns[0];
+        assert_eq!(fnf.acquires.len(), 2, "{:?}", fnf.acquires);
+        assert_eq!(fnf.acquires[0].lock, LockRef::Path("P::a".into()));
+        assert!(fnf.acquires[0].held.is_empty());
+        assert_eq!(fnf.acquires[1].lock, LockRef::Path("P::b".into()));
+        assert_eq!(fnf.acquires[1].held, vec![LockRef::Path("P::a".into())]);
+    }
+
+    #[test]
+    fn moved_guard_is_released_at_call() {
+        let f = facts(
+            "struct P { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl P {\n\
+               fn go(&self) { let g = self.a.lock().unwrap(); self.take(g); let h = self.b.lock().unwrap(); drop(h); }\n\
+               fn take(&self, _g: std::sync::MutexGuard<'_, u32>) {}\n\
+             }\n",
+        );
+        let go = f.fns.iter().find(|x| x.name == "go").unwrap();
+        assert!(go.acquires[1].held.is_empty(), "{:?}", go.acquires[1]);
+    }
+
+    #[test]
+    fn condvar_wait_releases_only_its_guard() {
+        let f = facts(
+            "struct W { m: Mutex<u32>, aux: Mutex<u32>, cv: Condvar }\n\
+             impl W { fn bad(&self) { let a = self.aux.lock().unwrap(); let mut g = self.m.lock().unwrap(); g = self.cv.wait(g).unwrap(); drop(g); drop(a); } }\n",
+        );
+        let w = &f.fns[0].waits[0];
+        assert_eq!(w.target, Some(LockRef::Path("W::m".into())));
+        assert_eq!(w.held, vec![LockRef::Path("W::aux".into())]);
+    }
+
+    #[test]
+    fn guard_helper_binds_callers() {
+        let f = facts(
+            "struct C { state: Mutex<St>, cv: Condvar }\n\
+             impl C {\n\
+               fn lock(&self) -> std::sync::MutexGuard<'_, St> { self.state.lock().unwrap() }\n\
+               fn submit(&self) { let st = self.lock(); drop(st); }\n\
+             }\n",
+        );
+        let submit = f.fns.iter().find(|x| x.name == "submit").unwrap();
+        assert_eq!(submit.acquires[0].lock, LockRef::Path("C::state".into()));
+    }
+
+    #[test]
+    fn chained_non_guard_call_is_not_bound() {
+        // `let eng = self.lock_sessions().get(k).cloned()` must not
+        // leave `eng` tracked as a live guard
+        let f = facts(
+            "struct H { sessions: Mutex<Map> }\n\
+             impl H {\n\
+               fn lock_sessions(&self) -> std::sync::MutexGuard<'_, Map> { self.sessions.lock().unwrap() }\n\
+               fn get(&self) { let eng = self.lock_sessions().get(1).cloned(); let g = self.sessions.lock().unwrap(); drop(g); drop(eng); }\n\
+             }\n",
+        );
+        let get = f.fns.iter().find(|x| x.name == "get").unwrap();
+        // second acquisition must not report `eng` as held
+        let last = get.acquires.last().unwrap();
+        assert!(last.held.is_empty(), "{last:?}");
+    }
+
+    #[test]
+    fn join_and_io_block_sites() {
+        let f = facts(
+            "struct H { s: TcpStream }\n\
+             impl H { fn go(&mut self, t: JoinHandle<()>) { let _r = t.join(); self.s.write_all(b\"x\").unwrap(); } }\n",
+        );
+        let go = &f.fns[0];
+        assert!(go.blocks.iter().any(|b| b.what.contains("join")), "{:?}", go.blocks);
+        assert!(go.blocks.iter().any(|b| b.what == "TcpStream::write_all"));
+    }
+
+    #[test]
+    fn free_fn_return_type_resolves_registry_pattern() {
+        let f = facts(
+            "struct Registry { counters: Mutex<Map> }\n\
+             fn registry() -> &'static Registry { todo() }\n\
+             fn slot() { let c = registry().counters.lock().unwrap(); drop(c); }\n",
+        );
+        let slot = f.fns.iter().find(|x| x.name == "slot").unwrap();
+        assert_eq!(
+            slot.acquires[0].lock,
+            LockRef::Path("Registry::counters".into())
+        );
+    }
+
+    #[test]
+    fn metric_names_read_from_original_source() {
+        let f = facts(
+            "static C: Counter = Counter::new(\"x.hits\");\n\
+             static G: Gauge = Gauge::new(\"x.depth\");\n",
+        );
+        let names: Vec<&str> = f.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["x.hits", "x.depth"]);
+        assert_eq!(f.metrics[0].kind, "counter");
+    }
+
+    #[test]
+    fn discards_found_and_test_code_exempt() {
+        let src = "fn f() { let _ = std::fs::write(\"a\", b\"b\"); g().ok(); }\n\
+                   fn okstmt() { let x = h().ok(); drop(x); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _ = f(); } }\n";
+        let f = facts(src);
+        assert_eq!(f.discards.len(), 2, "{:?}", f.discards);
+        assert!(f.discards[0].what.contains("fs::write"));
+        assert!(f.discards[1].what.ends_with(".ok()"));
+    }
+
+    #[test]
+    fn pragma_lines_collected() {
+        let f = facts(
+            "fn f() {\n// gp-lint: allow(C2) - flush under lock is the consistency point\nlet _x = 1;\n}\n",
+        );
+        assert_eq!(f.allow_c2, vec![3]);
+    }
+
+    #[test]
+    fn wait_helper_and_reassignment_keep_guard_alive() {
+        let f = facts(
+            "struct C { state: Mutex<St>, cv: Condvar }\n\
+             impl C {\n\
+               fn wait<'a>(&'a self, g: MutexGuard<'a, St>, d: Duration) -> MutexGuard<'a, St> { self.cv.wait_timeout(g, d).unwrap().0 }\n\
+               fn lead(&self, mut st: MutexGuard<'_, St>) { st = self.wait(st, D); drop(st); }\n\
+             }\n",
+        );
+        let lead = f.fns.iter().find(|x| x.name == "lead").unwrap();
+        assert_eq!(lead.waits.len(), 1, "{:?}", lead.waits);
+        assert!(lead.waits[0].held.is_empty());
+    }
+
+    // Offline stand-in for the CI proptests: deterministic token soup
+    // must never panic, and extraction from the stripped code must be
+    // structurally identical (literal contents live only in the
+    // original text, so compare shapes).
+    #[test]
+    fn fuzz_token_soup_never_panics() {
+        let atoms = [
+            "let ", "mut ", "= ", "self.", ".lock()", ".unwrap()", "Mutex<", ">", "struct ",
+            "impl ", "fn ", "{", "}", "(", ")", ";", ",", "\"s\"", "'a'", "// c\n", "/*", "*/",
+            "Condvar", ".wait(", "g", "st", "drop(", "#[cfg(test)]", "->", "::", "r#\"x\"#",
+            "b'\\n'", "Counter::new(\"m.x\")", "let _ = f();", ".ok();", "&", "'static",
+            "JoinHandle", ".join()", "for ", "match ", "=>",
+        ];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let n = (rng() % 60) as usize + 1;
+            let mut s = String::new();
+            for _ in 0..n {
+                s.push_str(atoms[(rng() % atoms.len() as u64) as usize]);
+            }
+            let f1 = extract("x/src/lib.rs", "x", FileKind::Lib, &s);
+            let stripped = scan(&s).code;
+            let f2 = extract("x/src/lib.rs", "x", FileKind::Lib, &stripped);
+            assert_eq!(f1.fns, f2.fns);
+            assert_eq!(f1.lock_fields, f2.lock_fields);
+            assert_eq!(f1.discards.len(), f2.discards.len());
+            assert_eq!(f1.metrics.len(), f2.metrics.len());
+        }
+    }
+}

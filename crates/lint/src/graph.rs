@@ -1,0 +1,593 @@
+//! Pass 2 of the workspace analysis: cross-file rules over the merged
+//! fact base from [`crate::facts`].
+//!
+//! **C1** builds the workspace lock-acquisition-order graph: an edge
+//! `A → B` means some function acquires lock `B` while a guard of lock
+//! `A` is live — directly, through a condvar re-acquire, or through a
+//! call chain (lock sets propagate to callers via a fixpoint over
+//! resolved call sites). Any strongly connected component is a
+//! potential deadlock and is reported with the full witness chain,
+//! one `file:line` per edge.
+//!
+//! **C2** flags a guard held across a blocking operation: a condvar
+//! wait on a *different* lock, socket/file I/O, `JoinHandle::join`,
+//! a process wait, a bounded-queue `push`/`pop`, or a call into a
+//! function that (transitively) does any of those.
+//!
+//! Both rules work on *lock identities* (`Owner::field`), so the same
+//! mutex reached from different files, methods, or guard helpers is a
+//! single node. Resolution is conservative: an unresolved receiver or
+//! callee contributes nothing, which keeps C1/C2 free of false
+//! positives at the cost of missing exotic shapes.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::facts::{FileFacts, LockRef};
+use crate::rules::{Rule, Violation};
+
+/// Result of the cross-file pass.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub violations: Vec<Violation>,
+    /// C1/C2 findings silenced by a verified pragma.
+    pub suppressed: usize,
+}
+
+/// Run C1 + C2 over the merged facts of every scanned file.
+pub fn analyze(files: &[FileFacts]) -> Analysis {
+    let mut out = Analysis::default();
+
+    // -- merged tables -----------------------------------------------------
+    // data type → unique lock path (ambiguous data types stay symbolic)
+    let mut by_data: HashMap<&str, Vec<String>> = HashMap::new();
+    let mut condvar_owners: HashSet<&str> = HashSet::new();
+    for f in files {
+        for (owner, field, data) in &f.lock_fields {
+            by_data
+                .entry(data.as_str())
+                .or_default()
+                .push(format!("{owner}::{field}"));
+        }
+        for t in &f.condvar_owners {
+            condvar_owners.insert(t.as_str());
+        }
+    }
+    let canon = |l: &LockRef| -> String {
+        match l {
+            LockRef::Path(p) => p.clone(),
+            LockRef::Data(d) => match by_data.get(d.as_str()) {
+                Some(paths) if paths.len() == 1 => paths[0].clone(),
+                _ => format!("guard<{d}>"),
+            },
+        }
+    };
+
+    // fn registry: (impl type or "", name) → flat indices
+    let mut flat: Vec<(usize, usize)> = Vec::new(); // (file idx, fn idx)
+    let mut methods: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut frees: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            let idx = flat.len();
+            flat.push((fi, gi));
+            match &g.impl_type {
+                Some(t) => methods
+                    .entry((t.clone(), g.name.clone()))
+                    .or_default()
+                    .push(idx),
+                None => frees
+                    .entry((f.crate_name.clone(), g.name.clone()))
+                    .or_default()
+                    .push(idx),
+            }
+        }
+    }
+    let fn_at = |idx: usize| -> &crate::facts::FnFacts {
+        let (fi, gi) = flat[idx];
+        &files[fi].fns[gi]
+    };
+    let file_of = |idx: usize| -> &FileFacts { &files[flat[idx].0] };
+    let resolve_call = |idx: usize, call: &crate::facts::CallSite| -> Vec<usize> {
+        match &call.recv {
+            Some(t) => methods
+                .get(&(t.clone(), call.name.clone()))
+                .cloned()
+                .unwrap_or_default(),
+            None if !call.method => frees
+                .get(&(file_of(idx).crate_name.clone(), call.name.clone()))
+                .cloned()
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    };
+    let queue_op = |call: &crate::facts::CallSite| -> bool {
+        call.method
+            && matches!(call.name.as_str(), "push" | "pop" | "recv" | "send")
+            && call
+                .recv
+                .as_deref()
+                .is_some_and(|t| condvar_owners.contains(t))
+    };
+
+    // -- fixpoint: lock sets + blocking bit per function --------------------
+    let n = flat.len();
+    let mut locks: Vec<HashSet<String>> = vec![HashSet::new(); n];
+    let mut blocks: Vec<bool> = vec![false; n];
+    for idx in 0..n {
+        let g = fn_at(idx);
+        for a in &g.acquires {
+            locks[idx].insert(canon(&a.lock));
+        }
+        for w in &g.waits {
+            if let Some(t) = &w.target {
+                locks[idx].insert(canon(t));
+            }
+            blocks[idx] = true;
+        }
+        if !g.blocks.is_empty() {
+            blocks[idx] = true;
+        }
+        if g.calls.iter().any(queue_op) {
+            blocks[idx] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        for idx in 0..n {
+            for call in &fn_at(idx).calls {
+                for callee in resolve_call(idx, call) {
+                    if callee == idx {
+                        continue;
+                    }
+                    if !blocks[idx] && blocks[callee] {
+                        blocks[idx] = true;
+                        changed = true;
+                    }
+                    let add: Vec<String> = locks[callee]
+                        .iter()
+                        .filter(|l| !locks[idx].contains(*l))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        locks[idx].extend(add);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // -- C1: order edges -----------------------------------------------------
+    #[derive(Clone)]
+    struct Edge {
+        to: String,
+        file: String,
+        line: usize,
+        why: String,
+    }
+    let mut edges: HashMap<String, Vec<Edge>> = HashMap::new();
+    let mut seen_edges: HashSet<(String, String)> = HashSet::new();
+    let mut add_edge = |from: String, to: String, file: &str, line: usize, why: String| {
+        if seen_edges.insert((from.clone(), to.clone())) {
+            edges.entry(from).or_default().push(Edge {
+                to,
+                file: file.to_string(),
+                line,
+                why,
+            });
+        }
+    };
+    for idx in 0..n {
+        let g = fn_at(idx);
+        let f = file_of(idx);
+        let qual = match &g.impl_type {
+            Some(t) => format!("{t}::{}", g.name),
+            None => g.name.clone(),
+        };
+        for a in &g.acquires {
+            if a.held.is_empty() {
+                continue;
+            }
+            if f.allow_c1.contains(&a.line) {
+                out.suppressed += 1;
+                continue;
+            }
+            let to = canon(&a.lock);
+            for h in &a.held {
+                add_edge(
+                    canon(h),
+                    to.clone(),
+                    &f.path,
+                    a.line,
+                    format!("`{qual}` acquires `{to}` while holding it"),
+                );
+            }
+        }
+        for w in &g.waits {
+            let Some(t) = &w.target else { continue };
+            if w.held.is_empty() {
+                continue;
+            }
+            if f.allow_c1.contains(&w.line) {
+                out.suppressed += 1;
+                continue;
+            }
+            let to = canon(t);
+            for h in &w.held {
+                add_edge(
+                    canon(h),
+                    to.clone(),
+                    &f.path,
+                    w.line,
+                    format!("`{qual}` re-acquires `{to}` from a condvar wait while holding it"),
+                );
+            }
+        }
+        for call in &g.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            if f.allow_c1.contains(&call.line) {
+                out.suppressed += 1;
+                continue;
+            }
+            let mut callee_locks: Vec<String> = Vec::new();
+            for callee in resolve_call(idx, call) {
+                callee_locks.extend(locks[callee].iter().cloned());
+            }
+            callee_locks.sort();
+            callee_locks.dedup();
+            let target = call
+                .recv
+                .as_ref()
+                .map(|t| format!("{t}::{}", call.name))
+                .unwrap_or_else(|| call.name.clone());
+            for to in callee_locks {
+                for h in &call.held {
+                    let from = canon(h);
+                    add_edge(
+                        from,
+                        to.clone(),
+                        &f.path,
+                        call.line,
+                        format!("`{qual}` calls `{target}` (which locks `{to}`) while holding it"),
+                    );
+                }
+            }
+        }
+    }
+
+    // -- SCC detection (iterative Tarjan) ------------------------------------
+    let mut nodes: Vec<String> = edges.keys().cloned().collect();
+    for es in edges.values() {
+        for e in es {
+            nodes.push(e.to.clone());
+        }
+    }
+    nodes.sort();
+    nodes.dedup();
+    let node_id: HashMap<&str, usize> = nodes.iter().map(|s| s.as_str()).zip(0..).collect();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|nm| {
+            let mut v: Vec<usize> = edges
+                .get(nm)
+                .map(|es| es.iter().map(|e| node_id[e.to.as_str()]).collect())
+                .unwrap_or_default();
+            v.sort();
+            v.dedup();
+            v
+        })
+        .collect();
+    let sccs = tarjan(&adj);
+
+    for comp in &sccs {
+        let is_cycle = comp.len() > 1
+            || (comp.len() == 1 && adj[comp[0]].contains(&comp[0]));
+        if !is_cycle {
+            continue;
+        }
+        let inside: HashSet<usize> = comp.iter().copied().collect();
+        // deterministic witness cycle: from the smallest node, always
+        // follow the smallest in-component successor until we loop
+        let Some(&start) = comp.iter().min() else {
+            continue;
+        };
+        let mut path = vec![start];
+        let mut cur = start;
+        loop {
+            let next = adj[cur]
+                .iter()
+                .copied()
+                .find(|s| inside.contains(s))
+                .unwrap_or(start);
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                path.drain(..pos);
+                path.push(next);
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+        let mut chain = Vec::new();
+        let mut witnesses = Vec::new();
+        for pair in path.windows(2) {
+            let (a, b) = (&nodes[pair[0]], &nodes[pair[1]]);
+            chain.push(a.clone());
+            if let Some(e) = edges
+                .get(a)
+                .and_then(|es| es.iter().find(|e| &e.to == b))
+            {
+                witnesses.push(format!("{} -> {} at {}:{} ({})", a, b, e.file, e.line, e.why));
+            }
+        }
+        if let Some(&last) = path.last() {
+            chain.push(nodes[last].clone());
+        }
+        let (file, line) = edges
+            .get(&nodes[path[0]])
+            .and_then(|es| es.iter().find(|e| e.to == nodes[path[1]]))
+            .map(|e| (e.file.clone(), e.line))
+            .unwrap_or_else(|| ("<workspace>".into(), 1));
+        out.violations.push(Violation {
+            file,
+            line,
+            rule: Rule::C1,
+            message: format!(
+                "lock-order cycle {}; witnesses: {}",
+                chain.join(" -> "),
+                witnesses.join("; ")
+            ),
+        });
+    }
+
+    // -- C2: guard held across a blocking operation --------------------------
+    let mut seen_c2: HashSet<(String, usize)> = HashSet::new();
+    for idx in 0..n {
+        let g = fn_at(idx);
+        let f = file_of(idx);
+        let qual = match &g.impl_type {
+            Some(t) => format!("{t}::{}", g.name),
+            None => g.name.clone(),
+        };
+        let labels = |held: &[LockRef]| -> String {
+            held.iter()
+                .map(canon)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut push_c2 = |line: usize, msg: String, out: &mut Analysis| {
+            if f.allow_c2.contains(&line) {
+                out.suppressed += 1;
+                return;
+            }
+            if seen_c2.insert((f.path.clone(), line)) {
+                out.violations.push(Violation {
+                    file: f.path.clone(),
+                    line,
+                    rule: Rule::C2,
+                    message: msg,
+                });
+            }
+        };
+        for w in &g.waits {
+            if w.held.is_empty() {
+                continue;
+            }
+            let t = w
+                .target
+                .as_ref()
+                .map(canon)
+                .unwrap_or_else(|| "another lock".into());
+            push_c2(
+                w.line,
+                format!(
+                    "`{qual}` holds guard(s) of `{}` across a condvar wait that re-acquires `{t}` — a slow or lost wakeup stalls every other holder",
+                    labels(&w.held)
+                ),
+                &mut out,
+            );
+        }
+        for b in &g.blocks {
+            if b.held.is_empty() {
+                continue;
+            }
+            push_c2(
+                b.line,
+                format!(
+                    "`{qual}` holds guard(s) of `{}` across blocking `{}` — the lock is unavailable for the full I/O latency",
+                    labels(&b.held),
+                    b.what
+                ),
+                &mut out,
+            );
+        }
+        for call in &g.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let target = call
+                .recv
+                .as_ref()
+                .map(|t| format!("{t}::{}", call.name))
+                .unwrap_or_else(|| call.name.clone());
+            let blocking_callee = resolve_call(idx, call)
+                .into_iter()
+                .any(|c| blocks[c]);
+            if blocking_callee || queue_op(call) {
+                push_c2(
+                    call.line,
+                    format!(
+                        "`{qual}` holds guard(s) of `{}` across a call to `{target}`, which performs blocking operations",
+                        labels(&call.held)
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    out.violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Iterative Tarjan SCC over an adjacency list; returns components.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    // explicit DFS frames: (node, child position)
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            // v is done
+            frames.pop();
+            if let Some(&(p, _)) = frames.last() {
+                low[p] = low[p].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut comp = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort();
+                comps.push(comp);
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+    use crate::rules::FileKind;
+
+    fn an(sources: &[(&str, &str)]) -> Analysis {
+        let files: Vec<FileFacts> = sources
+            .iter()
+            .map(|(p, s)| extract(p, "x", FileKind::Lib, s))
+            .collect();
+        analyze(&files)
+    }
+
+    #[test]
+    fn cross_file_lock_cycle_detected_with_witnesses() {
+        let a = "pub struct Pair { pub a: Mutex<u32>, pub b: Mutex<u32> }\n\
+                 impl Pair { pub fn ab(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); drop(h); drop(g); } }\n";
+        let b = "impl Pair { pub fn ba(&self) { let h = self.b.lock().unwrap(); let g = self.a.lock().unwrap(); drop(g); drop(h); } }\n";
+        let out = an(&[("crates/x/src/a.rs", a), ("crates/x/src/b.rs", b)]);
+        let c1: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| matches!(v.rule, Rule::C1))
+            .collect();
+        assert_eq!(c1.len(), 1, "{:?}", out.violations);
+        let msg = &c1[0].message;
+        assert!(msg.contains("Pair::a"), "{msg}");
+        assert!(msg.contains("Pair::b"), "{msg}");
+        assert!(msg.contains("crates/x/src/a.rs:2"), "{msg}");
+        assert!(msg.contains("crates/x/src/b.rs:1"), "{msg}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let a = "pub struct Pair { pub a: Mutex<u32>, pub b: Mutex<u32> }\n\
+                 impl Pair {\n\
+                   pub fn one(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); drop(h); drop(g); }\n\
+                   pub fn two(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); drop(h); drop(g); }\n\
+                 }\n";
+        let out = an(&[("crates/x/src/a.rs", a)]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn wait_holding_second_guard_is_c2() {
+        let s = "struct W { m: Mutex<u32>, aux: Mutex<u32>, cv: Condvar }\n\
+                 impl W { fn bad(&self) { let a = self.aux.lock().unwrap(); let mut g = self.m.lock().unwrap(); g = self.cv.wait(g).unwrap(); drop(g); drop(a); } }\n";
+        let out = an(&[("crates/x/src/w.rs", s)]);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| matches!(v.rule, Rule::C2) && v.message.contains("condvar wait")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn transitive_blocking_call_under_guard_is_c2() {
+        let s = "struct S { m: Mutex<u32> }\n\
+                 struct D { f: File }\n\
+                 impl D { fn flush_disk(&mut self) { self.f.sync_all().unwrap(); } }\n\
+                 impl S { fn bad(&self, d: &mut D) { let g = self.m.lock().unwrap(); d.flush_disk(); drop(g); } }\n";
+        let out = an(&[("crates/x/src/s.rs", s)]);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| matches!(v.rule, Rule::C2) && v.message.contains("flush_disk")),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn pragma_suppresses_and_counts() {
+        let s = "struct W { m: Mutex<u32>, aux: Mutex<u32>, cv: Condvar }\n\
+                 impl W { fn bad(&self) { let a = self.aux.lock().unwrap();\n\
+                 let mut g = self.m.lock().unwrap();\n\
+                 // gp-lint: allow(C2) - wakeup bounded by the batch window, holder count is 1\n\
+                 g = self.cv.wait(g).unwrap(); drop(g); drop(a); } }\n";
+        let out = an(&[("crates/x/src/w.rs", s)]);
+        assert!(!out.violations.iter().any(|v| matches!(v.rule, Rule::C2)));
+        assert!(out.suppressed >= 1);
+    }
+
+    #[test]
+    fn coalescer_shape_is_clean() {
+        // leader/follower: guard moves into helpers and waits must not
+        // produce C1/C2 — mirrors crates/serve/src/coalesce.rs
+        let s = "struct C { state: Mutex<St>, cv: Condvar }\n\
+                 impl C {\n\
+                   fn lock(&self) -> MutexGuard<'_, St> { self.state.lock().unwrap() }\n\
+                   fn wait<'a>(&'a self, g: MutexGuard<'a, St>, d: Duration) -> MutexGuard<'a, St> { self.cv.wait_timeout(g, d).unwrap().0 }\n\
+                   fn submit(&self) { let st = self.lock(); self.lead(st); }\n\
+                   fn lead(&self, mut st: MutexGuard<'_, St>) { st = self.wait(st, D); drop(st); let mut st = self.lock(); drop(st); }\n\
+                 }\n";
+        let out = an(&[("crates/x/src/c.rs", s)]);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+}

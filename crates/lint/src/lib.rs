@@ -19,13 +19,24 @@
 //! * [`rules::lint_source`] — lint one in-memory file (what the
 //!   fixture-based integration tests use);
 //! * [`scanner::scan`] — the raw strip/regions/pragmas pass.
+//!
+//! Since v2 the linter is **two-pass**: [`facts::extract`] reduces each
+//! file to per-function facts (guard live ranges, call sites, blocking
+//! operations, metric registrations, discarded `Result`s) and
+//! [`graph::analyze`] runs the cross-file concurrency rules (C1
+//! lock-order cycles, C2 blocking-under-guard) over the merged fact
+//! base. Per-file rules stay in [`rules`].
 
 pub mod baseline;
+pub mod facts;
+pub mod graph;
 pub mod rules;
 pub mod runner;
 pub mod scanner;
 
 pub use baseline::{Baseline, RatchetReport};
+pub use facts::{extract, FileFacts};
+pub use graph::{analyze, Analysis};
 pub use rules::{classify, lint_source, FileKind, Rule, Violation};
 pub use runner::{run, run_cli, Options, Outcome, BASELINE_FILE};
 pub use scanner::{scan, Scanned};

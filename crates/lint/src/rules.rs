@@ -70,6 +70,31 @@
 //!   trap on older hosts) and forks the numerics outside the
 //!   reference-vs-fast tolerance contract.
 //!
+//! * **C1 — no lock-acquisition-order cycles.** Pass 2 (see
+//!   [`crate::graph`]) builds the workspace lock-order graph from the
+//!   per-function facts of [`crate::facts`] — an edge when a guard of
+//!   lock A is live while lock B is acquired, locks identified by
+//!   type+field path — and fails on any strongly connected component,
+//!   reporting the full witness chain with file:line per edge. Two
+//!   threads taking the same pair of locks in opposite orders is the
+//!   one deadlock no test reliably reproduces.
+//!
+//! * **C2 — no guard held across a blocking operation.** A condvar
+//!   wait that re-acquires a *different* lock, socket/file I/O, a
+//!   `JoinHandle::join`, or a bounded-queue push/pop under a held
+//!   guard turns one slow peer into a stall for every other holder —
+//!   the exact shape that would freeze the request coalescer.
+//!
+//! * **E1 — no discarded `Result` in library code.** `let _ = f()` and
+//!   bare `.ok();` erase failures the caller was owed; drain/shutdown
+//!   paths that swallow join errors hide worker panics. Ratcheted
+//!   per-crate in `lint-baseline.toml` exactly like R1.
+//!
+//! * **M1 — metric-manifest drift.** Every metric name registered via
+//!   `gp-obs` must appear in the committed `METRICS.md` manifest and
+//!   vice versa; both drift directions fail so the manifest stays the
+//!   trustworthy observability reference.
+//!
 //! * **P1 — malformed suppression pragma.** `// gp-lint: allow(<rule>)
 //!   — <reason>` requires a known rule id and a non-empty reason; a
 //!   pragma that cannot be verified is itself an error (never silently
@@ -116,6 +141,14 @@ pub enum Rule {
     O1,
     /// `std::arch`/`core::arch` outside `crates/tensor/src/backend`.
     A1,
+    /// Lock-acquisition-order cycle across the workspace (pass 2).
+    C1,
+    /// Guard held across a blocking operation (pass 2).
+    C2,
+    /// Discarded `Result` in library code (ratcheted).
+    E1,
+    /// Metric name drift between registrations and `METRICS.md`.
+    M1,
     /// Malformed or unknown suppression pragma.
     P1,
 }
@@ -132,6 +165,10 @@ impl Rule {
             Rule::B1 => "B1",
             Rule::O1 => "O1",
             Rule::A1 => "A1",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::E1 => "E1",
+            Rule::M1 => "M1",
             Rule::P1 => "P1",
         }
     }
@@ -141,6 +178,9 @@ impl Rule {
         match self {
             Rule::D1 | Rule::D2 | Rule::D3 | Rule::D4 => "determinism",
             Rule::R1 | Rule::B1 => "robustness",
+            Rule::C1 | Rule::C2 => "concurrency",
+            Rule::E1 => "error-flow",
+            Rule::M1 => "observability",
             Rule::O1 => "hygiene",
             Rule::A1 => "isolation",
             Rule::P1 => "pragma",
@@ -149,7 +189,7 @@ impl Rule {
 
     /// All rules a pragma may name.
     pub fn suppressible() -> &'static [&'static str] {
-        &["D1", "D2", "D3", "D4", "R1", "B1", "O1", "A1"]
+        &["D1", "D2", "D3", "D4", "R1", "B1", "O1", "A1", "C1", "C2", "E1", "M1"]
     }
 
     /// One-line description for `--list-rules`.
@@ -163,6 +203,10 @@ impl Rule {
             Rule::B1 => "no unbounded channel/queue construction in library code (ratcheted)",
             Rule::O1 => "no println!/eprintln! in library crates",
             Rule::A1 => "no std::arch/core::arch outside crates/tensor/src/backend",
+            Rule::C1 => "no lock-acquisition-order cycles across the workspace",
+            Rule::C2 => "no guard held across a blocking operation (wait/IO/join/queue)",
+            Rule::E1 => "no discarded Result in library code (let _ = / bare .ok();) (ratcheted)",
+            Rule::M1 => "every registered metric name appears in METRICS.md and vice versa",
             Rule::P1 => "suppression pragmas must name known rules and give a reason",
         }
     }
@@ -237,6 +281,8 @@ pub struct FileReport {
     pub r1_sites: Vec<Violation>,
     /// B1 sites (unbounded channel/queue), ratcheted like R1.
     pub b1_sites: Vec<Violation>,
+    /// E1 sites (discarded `Result`), ratcheted like R1.
+    pub e1_sites: Vec<Violation>,
     /// Sites silenced by a verified pragma (for `--json` stats).
     pub suppressed: usize,
 }
@@ -297,6 +343,8 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
             rep.r1_sites.push(v);
         } else if rule == Rule::B1 {
             rep.b1_sites.push(v);
+        } else if rule == Rule::E1 {
+            rep.e1_sites.push(v);
         } else {
             rep.violations.push(v);
         }
@@ -400,6 +448,18 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
                 ),
             );
         }
+        for d in crate::facts::find_discards(&sc) {
+            push(
+                &mut rep,
+                Rule::E1,
+                d.line,
+                format!(
+                    "`{}` discards a fallible result — handle the error, count it into \
+                     an error counter, or justify with `// gp-lint: allow(E1) — <reason>`",
+                    d.what
+                ),
+            );
+        }
     }
     // Per-file stability: detectors run rule-by-rule, so line order
     // needs restoring before anything downstream sees the report.
@@ -407,6 +467,7 @@ pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, source: &str) -
         .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     rep.r1_sites.sort_by_key(|v| v.line);
     rep.b1_sites.sort_by_key(|v| v.line);
+    rep.e1_sites.sort_by_key(|v| v.line);
     rep
 }
 
@@ -446,7 +507,7 @@ fn d1_line_allowed(crate_name: &str, sc: &Scanned, line: usize) -> bool {
 // Lexical helpers over stripped code.
 
 /// Per-char 1-based line numbers.
-fn line_index(chars: &[char]) -> Vec<usize> {
+pub(crate) fn line_index(chars: &[char]) -> Vec<usize> {
     let mut out = Vec::with_capacity(chars.len());
     let mut line = 1usize;
     for &c in chars {
@@ -459,7 +520,7 @@ fn line_index(chars: &[char]) -> Vec<usize> {
 }
 
 /// `(start, end)` index ranges of identifier-ish words.
-fn collect_words(chars: &[char]) -> Vec<(usize, usize)> {
+pub(crate) fn collect_words(chars: &[char]) -> Vec<(usize, usize)> {
     let mut words = Vec::new();
     let mut i = 0usize;
     while i < chars.len() {
@@ -476,16 +537,16 @@ fn collect_words(chars: &[char]) -> Vec<(usize, usize)> {
     words
 }
 
-fn word_at<'a>(chars: &'a [char], w: (usize, usize)) -> String {
+pub(crate) fn word_at<'a>(chars: &'a [char], w: (usize, usize)) -> String {
     chars[w.0..w.1].iter().collect::<String>()
 }
 
-fn line_of(lines: &[usize], idx: usize) -> usize {
+pub(crate) fn line_of(lines: &[usize], idx: usize) -> usize {
     lines.get(idx).copied().unwrap_or(1)
 }
 
 /// Next non-whitespace char at or after `i`.
-fn next_nonws(chars: &[char], mut i: usize) -> Option<(usize, char)> {
+pub(crate) fn next_nonws(chars: &[char], mut i: usize) -> Option<(usize, char)> {
     while i < chars.len() {
         if !chars[i].is_whitespace() {
             return Some((i, chars[i]));
@@ -496,7 +557,7 @@ fn next_nonws(chars: &[char], mut i: usize) -> Option<(usize, char)> {
 }
 
 /// Previous non-whitespace char strictly before `i`.
-fn prev_nonws(chars: &[char], i: usize) -> Option<(usize, char)> {
+pub(crate) fn prev_nonws(chars: &[char], i: usize) -> Option<(usize, char)> {
     let mut j = i;
     while j > 0 {
         j -= 1;
@@ -508,7 +569,7 @@ fn prev_nonws(chars: &[char], i: usize) -> Option<(usize, char)> {
 }
 
 /// Identifier ending at (exclusive) `end`, scanned backward.
-fn ident_before(chars: &[char], end: usize) -> Option<String> {
+pub(crate) fn ident_before(chars: &[char], end: usize) -> Option<String> {
     let mut start = end;
     while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
         start -= 1;

@@ -3,19 +3,30 @@
 //! Library-side everything is pure: [`run`] returns an [`Outcome`] and
 //! [`run_cli`] returns `(report_text, exit_code)` — printing is the
 //! binary's job, so gp-lint passes its own O1 rule ("no `println!` in
-//! library crates") and its own R1/B1 ratchets (zero panicking
-//! constructs, zero unbounded queues: every fallible step routes
-//! through `Result<_, String>`).
+//! library crates") and its own R1/B1/E1 ratchets (zero panicking
+//! constructs, zero unbounded queues, zero swallowed Results: every
+//! fallible step routes through `Result<_, String>`).
+//!
+//! Since v2 the runner is **two-pass**: while walking it both lints
+//! each file ([`crate::rules::lint_source`]) and extracts its facts
+//! ([`crate::facts::extract`]); after the walk it runs the cross-file
+//! concurrency rules ([`crate::graph::analyze`]) and the M1
+//! metric-manifest check over the merged fact base.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Baseline, RatchetReport};
+use crate::facts::{self, FileFacts};
 use crate::rules::{classify, lint_source, FileKind, Rule, Violation};
 
 /// Default name of the committed ratchet file, at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// Name of the committed metric manifest M1 checks, at the workspace
+/// root.
+pub const METRICS_FILE: &str = "METRICS.md";
 
 /// Parsed command line.
 #[derive(Clone, Debug)]
@@ -24,10 +35,17 @@ pub struct Options {
     pub root: PathBuf,
     /// Emit the report as JSON instead of text.
     pub json: bool,
-    /// Rewrite the baseline file with the observed R1/B1 counts.
+    /// Emit the report as SARIF 2.1.0 (for CI code-scanning upload).
+    pub sarif: bool,
+    /// Rewrite the baseline file with the observed R1/B1/E1 counts.
     pub update_baseline: bool,
     /// Path to the baseline file (default `<root>/lint-baseline.toml`).
     pub baseline: PathBuf,
+    /// Only report findings in files changed since this git ref. The
+    /// whole workspace is still analyzed (pass 2 needs every file);
+    /// ratchet regressions stay global — a rising count fails even if
+    /// the offending file predates the ref.
+    pub changed: Option<String>,
 }
 
 /// Everything one lint run produced.
@@ -40,10 +58,14 @@ pub struct Outcome {
     pub r1_counts: Vec<(String, usize)>,
     /// Per-crate observed B1 counts (library code, unsuppressed), sorted.
     pub b1_counts: Vec<(String, usize)>,
+    /// Per-crate observed E1 counts (library code, unsuppressed), sorted.
+    pub e1_counts: Vec<(String, usize)>,
     /// R1 ratchet comparison against the committed baseline.
     pub ratchet: RatchetReport,
     /// B1 ratchet comparison against the committed baseline.
     pub ratchet_b1: RatchetReport,
+    /// E1 ratchet comparison against the committed baseline.
+    pub ratchet_e1: RatchetReport,
     /// Total sites silenced by verified pragmas.
     pub suppressed: usize,
     /// Number of `.rs` files linted.
@@ -60,8 +82,9 @@ impl Outcome {
 }
 
 /// Lint every `.rs` file under `opts.root` (skipping `target/`, dot
-/// directories and the linter's own fixture corpus) and enforce the
-/// R1/B1 ratchets against `opts.baseline`.
+/// directories and the linter's own fixture corpus), run the pass-2
+/// workspace rules (C1/C2/M1) over the merged facts, and enforce the
+/// R1/B1/E1 ratchets against `opts.baseline`.
 pub fn run(opts: &Options) -> Result<Outcome, String> {
     let files = collect_rs_files(&opts.root)?;
     let mut crate_names: CrateNameCache = HashMap::new();
@@ -70,6 +93,9 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
     let mut r1_sites_by_crate: Vec<(String, Vec<Violation>)> = Vec::new();
     let mut b1_by_crate: Vec<(String, usize)> = Vec::new();
     let mut b1_sites_by_crate: Vec<(String, Vec<Violation>)> = Vec::new();
+    let mut e1_by_crate: Vec<(String, usize)> = Vec::new();
+    let mut e1_sites_by_crate: Vec<(String, Vec<Violation>)> = Vec::new();
+    let mut fact_files: Vec<FileFacts> = Vec::new();
 
     for path in &files {
         let rel = rel_label(&opts.root, path);
@@ -78,6 +104,11 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
         let source =
             fs::read_to_string(path).map_err(|e| format!("gp-lint: cannot read {rel}: {e}"))?;
         let rep = lint_source(&rel, &crate_name, kind, &source);
+        if kind != FileKind::Harness {
+            // Pass-1 fact extraction: C1/C2/M1 cover binaries too — a
+            // deadlock in `gp serve` is no less a deadlock.
+            fact_files.push(facts::extract(&rel, &crate_name, kind, &source));
+        }
         out.files_scanned += 1;
         out.suppressed += rep.suppressed;
         out.violations.extend(rep.violations);
@@ -101,11 +132,32 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
         } else if kind == FileKind::Lib {
             bump(&mut b1_by_crate, &crate_name, 0);
         }
+        if !rep.e1_sites.is_empty() {
+            bump(&mut e1_by_crate, &crate_name, rep.e1_sites.len());
+            match e1_sites_by_crate.iter_mut().find(|(c, _)| c == &crate_name) {
+                Some((_, sites)) => sites.extend(rep.e1_sites),
+                None => e1_sites_by_crate.push((crate_name.clone(), rep.e1_sites)),
+            }
+        } else if kind == FileKind::Lib {
+            bump(&mut e1_by_crate, &crate_name, 0);
+        }
     }
     r1_by_crate.sort_by(|a, b| a.0.cmp(&b.0));
     out.r1_counts = r1_by_crate;
     b1_by_crate.sort_by(|a, b| a.0.cmp(&b.0));
     out.b1_counts = b1_by_crate;
+    e1_by_crate.sort_by(|a, b| a.0.cmp(&b.0));
+    out.e1_counts = e1_by_crate;
+
+    // Pass 2: cross-file concurrency rules over the merged fact base.
+    let analysis = crate::graph::analyze(&fact_files);
+    out.suppressed += analysis.suppressed;
+    out.violations.extend(analysis.violations);
+
+    // M1: registered metric names vs the committed manifest.
+    let (m1_violations, m1_suppressed) = check_metrics_manifest(&opts.root, &fact_files);
+    out.suppressed += m1_suppressed;
+    out.violations.extend(m1_violations);
 
     // Ratchet: load the committed baseline (absent file = empty = all
     // zeros, so a fresh workspace must start clean or commit a baseline).
@@ -121,9 +173,10 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
     };
     out.ratchet = RatchetReport::compare(&baseline.r1, &out.r1_counts);
     out.ratchet_b1 = RatchetReport::compare(&baseline.b1, &out.b1_counts);
+    out.ratchet_e1 = RatchetReport::compare(&baseline.e1, &out.e1_counts);
 
     if opts.update_baseline {
-        let next = Baseline::from_counts(&out.r1_counts, &out.b1_counts);
+        let next = Baseline::from_counts(&out.r1_counts, &out.b1_counts, &out.e1_counts);
         fs::write(&opts.baseline, next.render())
             .map_err(|e| format!("gp-lint: cannot write {}: {e}", opts.baseline.display()))?;
         out.baseline_updated = true;
@@ -159,11 +212,175 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
                 out.violations.extend(sites.iter().cloned());
             }
         }
+        for (name, allowed, observed) in &out.ratchet_e1.regressed {
+            out.violations.push(Violation {
+                file: baseline_label.clone(),
+                line: 1,
+                rule: Rule::E1,
+                message: format!(
+                    "crate {name} has {observed} discarded-Result sites but the ratchet \
+                     allows {allowed} — handle or count the new error (all {name} sites listed)"
+                ),
+            });
+            if let Some((_, sites)) = e1_sites_by_crate.iter().find(|(c, _)| c == name) {
+                out.violations.extend(sites.iter().cloned());
+            }
+        }
+    }
+
+    if let Some(git_ref) = &opts.changed {
+        let changed = changed_files(&opts.root, git_ref)?;
+        let baseline_label = rel_label(&opts.root, &opts.baseline);
+        out.violations.retain(|v| {
+            // Ratchet summaries are global: a rising count must fail a
+            // pre-commit run even when the new site is the only change.
+            if v.file == baseline_label {
+                return true;
+            }
+            if changed.contains(&v.file) {
+                return true;
+            }
+            // A C1 cycle's anchor file may be unchanged while a changed
+            // file contributed the closing edge — keep it if any changed
+            // file appears in the witness chain.
+            v.rule == Rule::C1 && changed.iter().any(|f| v.message.contains(f.as_str()))
+        });
     }
 
     out.violations
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(out)
+}
+
+/// Repo-relative paths changed since `git_ref`, from `git diff
+/// --name-only` plus untracked files (a brand-new file must not dodge
+/// a pre-commit lint).
+fn changed_files(root: &Path, git_ref: &str) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::new();
+    for args in [
+        vec!["diff", "--name-only", git_ref, "--"],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let cmd = std::process::Command::new("git")
+            .args(&args)
+            .current_dir(root)
+            .output()
+            .map_err(|e| format!("gp-lint: cannot run git for --changed: {e}"))?;
+        if !cmd.status.success() {
+            return Err(format!(
+                "gp-lint: git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&cmd.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&cmd.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.push(line.replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// M1: every metric name registered via gp-obs appears in the committed
+/// `METRICS.md` and vice versa. Returns `(violations, suppressed)`.
+fn check_metrics_manifest(root: &Path, fact_files: &[FileFacts]) -> (Vec<Violation>, usize) {
+    let mut registered: Vec<(&str, &str, &str, usize, bool)> = Vec::new(); // name, kind, file, line, allowed
+    for f in fact_files {
+        for m in &f.metrics {
+            registered.push((
+                &m.name,
+                m.kind,
+                &f.path,
+                m.line,
+                f.allow_m1.contains(&m.line),
+            ));
+        }
+    }
+    if registered.is_empty() {
+        return (Vec::new(), 0);
+    }
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    let manifest_path = root.join(METRICS_FILE);
+    let text = match fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(_) => {
+            violations.push(Violation {
+                file: METRICS_FILE.to_string(),
+                line: 1,
+                rule: Rule::M1,
+                message: format!(
+                    "{} metric names are registered but {METRICS_FILE} does not exist — \
+                     commit the manifest (name, type, subsystem, meaning per metric)",
+                    registered.len()
+                ),
+            });
+            return (violations, 0);
+        }
+    };
+    let manifest = manifest_metric_names(&text);
+    for (name, kind, file, line, allowed) in &registered {
+        if manifest.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        if *allowed {
+            suppressed += 1;
+            continue;
+        }
+        violations.push(Violation {
+            file: (*file).to_string(),
+            line: *line,
+            rule: Rule::M1,
+            message: format!(
+                "{kind} `{name}` is registered but missing from {METRICS_FILE} — \
+                 document it (or justify with `// gp-lint: allow(M1) — <reason>`)"
+            ),
+        });
+    }
+    for (name, line) in &manifest {
+        if registered.iter().any(|(n, ..)| n == name) {
+            continue;
+        }
+        violations.push(Violation {
+            file: METRICS_FILE.to_string(),
+            line: *line,
+            rule: Rule::M1,
+            message: format!(
+                "`{name}` is documented in {METRICS_FILE} but no code registers it — \
+                 remove the stale manifest row"
+            ),
+        });
+    }
+    (violations, suppressed)
+}
+
+/// Metric names out of the manifest: the first cell of each markdown
+/// table row, backticks stripped; header and separator rows skipped.
+fn manifest_metric_names(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let Some(rest) = line.strip_prefix('|') else {
+            continue;
+        };
+        let Some(cell) = rest.split('|').next() else {
+            continue;
+        };
+        let name = cell.trim().trim_matches('`').trim();
+        if name.is_empty()
+            || name.chars().all(|c| c == '-' || c == ':' || c == ' ')
+            || name.eq_ignore_ascii_case("name")
+            || name.eq_ignore_ascii_case("metric")
+        {
+            continue;
+        }
+        out.push((name.to_string(), i + 1));
+    }
+    out
 }
 
 type CrateNameCache = HashMap<PathBuf, String>;
@@ -295,16 +512,23 @@ pub fn render_text(out: &Outcome) -> String {
              {allowed}) — run `gp-lint --update-baseline` to ratchet\n"
         ));
     }
+    for (name, allowed, observed) in &out.ratchet_e1.improved {
+        s.push_str(&format!(
+            "notice: crate {name} improved to {observed} discarded-Result sites (baseline \
+             {allowed}) — run `gp-lint --update-baseline` to ratchet\n"
+        ));
+    }
     if out.baseline_updated {
         s.push_str("baseline updated\n");
     }
     if out.ok() {
         s.push_str(&format!(
-            "gp-lint: clean — {} files, {} suppressed sites, R1 total {}, B1 total {}\n",
+            "gp-lint: clean — {} files, {} suppressed sites, R1 total {}, B1 total {}, E1 total {}\n",
             out.files_scanned,
             out.suppressed,
             out.r1_counts.iter().map(|(_, n)| n).sum::<usize>(),
-            out.b1_counts.iter().map(|(_, n)| n).sum::<usize>()
+            out.b1_counts.iter().map(|(_, n)| n).sum::<usize>(),
+            out.e1_counts.iter().map(|(_, n)| n).sum::<usize>()
         ));
     } else {
         s.push_str(&format!(
@@ -351,7 +575,55 @@ pub fn render_json(out: &Outcome) -> String {
         }
         s.push_str(&format!("\n    {}: {}", json_str(name), n));
     }
+    s.push_str("\n  },\n  \"e1_counts\": {");
+    for (i, (name, n)) in out.e1_counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    {}: {}", json_str(name), n));
+    }
     s.push_str("\n  }\n}\n");
+    s
+}
+
+/// SARIF 2.1.0 report for CI code-scanning upload. Hand-rolled like
+/// [`render_json`]; the shape matches what
+/// `github/codeql-action/upload-sarif` consumes: one run, one driver,
+/// a rule table, and `results` with physical locations.
+pub fn render_sarif(out: &Outcome) -> String {
+    let mut s = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+         \"tool\": {\n        \"driver\": {\n          \"name\": \"gp-lint\",\n          \
+         \"informationUri\": \"https://github.com/graphprompter/graphprompter\",\n          \
+         \"rules\": [",
+    );
+    for (i, r) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(r.id()),
+            json_str(r.describe())
+        ));
+    }
+    s.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, v) in out.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(v.rule.id()),
+            json_str(&v.message),
+            json_str(&v.file),
+            v.line.max(1)
+        ));
+    }
+    s.push_str("\n      ]\n    }\n  ]\n}\n");
     s
 }
 
@@ -380,12 +652,16 @@ const USAGE: &str = "\
 gp-lint — GraphPrompter determinism & robustness linter (zero deps)
 
 USAGE:
-    gp-lint [--check] [--json] [--update-baseline]
-            [--root <dir>] [--baseline <file>] [--list-rules]
+    gp-lint [--check] [--json] [--sarif] [--update-baseline]
+            [--changed <ref>] [--root <dir>] [--baseline <file>]
+            [--list-rules]
 
     --check              lint and exit nonzero on violations (default)
     --json               machine-readable report
-    --update-baseline    rewrite the R1/B1 ratchet file with observed counts
+    --sarif              SARIF 2.1.0 report (CI code-scanning upload)
+    --update-baseline    rewrite the R1/B1/E1 ratchet file with observed counts
+    --changed <ref>      report only findings in files changed since <ref>
+                         (whole workspace still analyzed; ratchets stay global)
     --root <dir>         workspace root (default: autodetect from cwd)
     --baseline <file>    ratchet file (default: <root>/lint-baseline.toml)
     --list-rules         print the rule table and exit
@@ -397,13 +673,23 @@ pub fn run_cli(args: &[String]) -> (String, i32) {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut json = false;
+    let mut sarif = false;
     let mut update_baseline = false;
+    let mut changed: Option<String> = None;
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
             "--check" => {}
             "--json" => json = true,
+            "--sarif" => sarif = true,
             "--update-baseline" => update_baseline = true,
+            "--changed" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    return (format!("gp-lint: --changed needs a git ref\n{USAGE}"), 2);
+                };
+                changed = Some(v.clone());
+            }
             "--root" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
@@ -434,12 +720,16 @@ pub fn run_cli(args: &[String]) -> (String, i32) {
     let opts = Options {
         root,
         json,
+        sarif,
         update_baseline,
         baseline,
+        changed,
     };
     match run(&opts) {
         Ok(out) => {
-            let text = if opts.json {
+            let text = if opts.sarif {
+                render_sarif(&out)
+            } else if opts.json {
                 render_json(&out)
             } else {
                 render_text(&out)
@@ -450,21 +740,28 @@ pub fn run_cli(args: &[String]) -> (String, i32) {
     }
 }
 
+/// Every rule, in report order (also the SARIF driver rule table).
+const ALL_RULES: &[Rule] = &[
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::D4,
+    Rule::R1,
+    Rule::B1,
+    Rule::O1,
+    Rule::A1,
+    Rule::C1,
+    Rule::C2,
+    Rule::E1,
+    Rule::M1,
+    Rule::P1,
+];
+
 fn list_rules() -> String {
     let mut s = String::new();
-    for r in [
-        Rule::D1,
-        Rule::D2,
-        Rule::D3,
-        Rule::D4,
-        Rule::R1,
-        Rule::B1,
-        Rule::O1,
-        Rule::A1,
-        Rule::P1,
-    ] {
+    for r in ALL_RULES {
         s.push_str(&format!(
-            "{:12}[{}] {}\n",
+            "{:14}[{}] {}\n",
             r.category(),
             r.id(),
             r.describe()
@@ -519,8 +816,54 @@ mod tests {
     fn cli_lists_rules() {
         let (msg, code) = run_cli(&["--list-rules".to_string()]);
         assert_eq!(code, 0);
-        for id in ["D1", "D2", "D3", "D4", "R1", "B1", "O1", "P1"] {
+        for id in [
+            "D1", "D2", "D3", "D4", "R1", "B1", "O1", "A1", "C1", "C2", "E1", "M1", "P1",
+        ] {
             assert!(msg.contains(&format!("[{id}]")), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn manifest_names_parse_table_rows_only() {
+        let md = "# Metrics\n\nprose mentioning `serve.fake` is ignored\n\n\
+                  | Name | Type | Subsystem | Meaning |\n\
+                  |------|------|-----------|---------|\n\
+                  | `serve.accepted` | counter | gp-serve | accepted requests |\n\
+                  | serve.rejected | counter | gp-serve | rejected requests |\n";
+        let names = manifest_metric_names(md);
+        assert_eq!(
+            names,
+            vec![
+                ("serve.accepted".to_string(), 7),
+                ("serve.rejected".to_string(), 8)
+            ]
+        );
+    }
+
+    #[test]
+    fn sarif_shape_has_required_fields() {
+        let out = Outcome {
+            violations: vec![Violation {
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                rule: Rule::C2,
+                message: "held across \"join\"".into(),
+            }],
+            ..Outcome::default()
+        };
+        let s = render_sarif(&out);
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "\"$schema\"",
+            "\"runs\"",
+            "\"driver\"",
+            "\"name\": \"gp-lint\"",
+            "\"ruleId\": \"C2\"",
+            "\"level\": \"error\"",
+            "\"artifactLocation\"",
+            "\"startLine\": 3",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }
 }

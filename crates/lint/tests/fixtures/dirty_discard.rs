@@ -1,0 +1,16 @@
+//! Dirty fixture (never compiled): swallowed `Result`s for E1 — one
+//! `let _ =` bind, one bare `.ok();`, and one justified suppression
+//! that must count as suppressed rather than vanish.
+
+pub fn persist(path: &std::path::Path, data: &[u8]) {
+    let _ = std::fs::write(path, data);
+}
+
+pub fn evict(path: &std::path::Path) {
+    std::fs::remove_file(path).ok();
+}
+
+pub fn cleanup(path: &std::path::Path) {
+    // gp-lint: allow(E1) — best-effort temp cleanup; a leftover file is re-deleted on the next run
+    let _ = std::fs::remove_file(path);
+}

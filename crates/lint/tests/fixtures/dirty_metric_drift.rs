@@ -1,0 +1,10 @@
+//! Dirty fixture (never compiled): registers a gp-obs metric name that
+//! no manifest documents. The M1 integration test drops this file into
+//! a synthetic workspace with and without a matching `METRICS.md` row
+//! to prove both drift directions fail.
+
+pub static GHOST_TOTAL: Counter = Counter::new("fixture.ghost_total");
+
+pub fn observe(n: u64) {
+    GHOST_TOTAL.add(n);
+}

@@ -2,19 +2,24 @@
 //! corpus (as text — the fixtures are never compiled) and over a
 //! synthetic on-disk workspace exercising the walker + ratchet end to end.
 
-use gp_lint::{lint_source, runner, Baseline, FileKind, Options, Rule};
+use gp_lint::{analyze, extract, lint_source, runner, Baseline, FileKind, Options, Rule};
 
 const DIRTY_RNG: &str = include_str!("fixtures/dirty_rng.rs");
 const DIRTY_MAP: &str = include_str!("fixtures/dirty_map_iter.rs");
 const DIRTY_SORT: &str = include_str!("fixtures/dirty_sort.rs");
 const DIRTY_MISC: &str = include_str!("fixtures/dirty_misc.rs");
+const DIRTY_CYCLE_A: &str = include_str!("fixtures/dirty_lock_cycle_a.rs");
+const DIRTY_CYCLE_B: &str = include_str!("fixtures/dirty_lock_cycle_b.rs");
+const DIRTY_WAIT: &str = include_str!("fixtures/dirty_wait_hold.rs");
+const DIRTY_DISCARD: &str = include_str!("fixtures/dirty_discard.rs");
+const DIRTY_METRIC: &str = include_str!("fixtures/dirty_metric_drift.rs");
 
 fn hits(src: &str, rule: Rule) -> Vec<usize> {
     let rep = lint_source("fixture.rs", "gp-core", FileKind::Lib, src);
-    let pool = if rule == Rule::R1 {
-        &rep.r1_sites
-    } else {
-        &rep.violations
+    let pool = match rule {
+        Rule::R1 => &rep.r1_sites,
+        Rule::E1 => &rep.e1_sites,
+        _ => &rep.violations,
     };
     pool.iter()
         .filter(|v| v.rule == rule)
@@ -103,6 +108,80 @@ fn report_lines_are_sorted_and_stably_formatted() {
 }
 
 // ---------------------------------------------------------------------------
+// Two-pass (facts → graph) rules over the dirty cross-file fixtures.
+
+#[test]
+fn catches_two_file_lock_cycle_in_fixtures() {
+    let a = extract(
+        "crates/core/src/cycle_a.rs",
+        "gp-core",
+        FileKind::Lib,
+        DIRTY_CYCLE_A,
+    );
+    let b = extract(
+        "crates/core/src/cycle_b.rs",
+        "gp-core",
+        FileKind::Lib,
+        DIRTY_CYCLE_B,
+    );
+    // Each half alone is a consistent order…
+    assert!(analyze(std::slice::from_ref(&a)).violations.is_empty());
+    assert!(analyze(std::slice::from_ref(&b)).violations.is_empty());
+    // …and only the merged workspace pass sees the inversion.
+    let out = analyze(&[a, b]);
+    let c1: Vec<_> = out
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::C1)
+        .collect();
+    assert_eq!(c1.len(), 1, "{:?}", out.violations);
+    let msg = &c1[0].message;
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+    assert!(
+        msg.contains("Pair::first") && msg.contains("Pair::second"),
+        "full chain names both locks: {msg}"
+    );
+    assert!(
+        msg.contains("crates/core/src/cycle_a.rs:15") && msg.contains("crates/core/src/cycle_b.rs:8"),
+        "each witness edge carries file:line: {msg}"
+    );
+}
+
+#[test]
+fn catches_wait_holding_second_guard_in_fixture() {
+    let f = extract(
+        "crates/core/src/queue.rs",
+        "gp-core",
+        FileKind::Lib,
+        DIRTY_WAIT,
+    );
+    let out = analyze(std::slice::from_ref(&f));
+    assert!(
+        out.violations.iter().any(|v| v.rule == Rule::C2
+            && v.message.contains("condvar wait")
+            && v.message.contains("Queue::stats")
+            && v.message.contains("Queue::items")),
+        "{:?}",
+        out.violations
+    );
+    assert!(
+        !out.violations.iter().any(|v| v.rule == Rule::C1),
+        "the consistent stats-then-items order is not a cycle: {:?}",
+        out.violations
+    );
+}
+
+#[test]
+fn catches_discarded_results_in_fixture() {
+    assert_eq!(hits(DIRTY_DISCARD, Rule::E1), vec![6, 10]);
+    let rep = lint_source("f.rs", "gp-core", FileKind::Lib, DIRTY_DISCARD);
+    assert_eq!(rep.suppressed, 1, "the justified allow(E1) is counted");
+    // Harness code may discard freely: nothing fires there.
+    let rep = lint_source("crates/x/tests/t.rs", "gp-core", FileKind::Harness, DIRTY_DISCARD);
+    assert!(rep.e1_sites.is_empty(), "{:?}", rep.e1_sites);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: walker + crate resolution + ratchet on a synthetic workspace.
 
 struct TempWs {
@@ -127,8 +206,10 @@ impl TempWs {
         Options {
             root: self.root.clone(),
             json: false,
+            sarif: false,
             update_baseline: false,
             baseline: self.root.join(runner::BASELINE_FILE),
+            changed: None,
         }
     }
 }
@@ -266,6 +347,160 @@ fn hard_violations_fail_regardless_of_baseline() {
     assert_eq!(out.violations.len(), 1);
     assert_eq!(out.violations[0].rule, Rule::D3);
     assert_eq!(out.violations[0].file, "crates/core/src/rngy.rs");
+}
+
+#[test]
+fn e1_ratchet_end_to_end() {
+    let ws = mini_workspace("e1");
+    ws.write(
+        "crates/core/src/drop_err.rs",
+        "pub fn d() { let _ = std::fs::remove_file(\"x\"); }\n",
+    );
+    // Regresses against the implicit all-zero baseline.
+    let out = runner::run(&ws.opts()).unwrap();
+    assert_eq!(out.e1_counts, vec![("gp-core".to_string(), 1)]);
+    assert_eq!(out.ratchet_e1.regressed, vec![("gp-core".to_string(), 0, 1)]);
+    assert!(out.violations.iter().any(|v| v.rule == Rule::E1));
+    assert!(out
+        .violations
+        .iter()
+        .any(|v| v.file == "crates/core/src/drop_err.rs" && v.rule == Rule::E1));
+
+    // --update-baseline records the [E1] section byte-stably.
+    let mut upd = ws.opts();
+    upd.update_baseline = true;
+    runner::run(&upd).unwrap();
+    let text = std::fs::read_to_string(ws.root.join(runner::BASELINE_FILE)).unwrap();
+    assert!(text.contains("[E1]"), "{text}");
+    let parsed = Baseline::parse(&text).unwrap();
+    assert_eq!(parsed.get_e1("gp-core"), 1, "[E1] records the discard");
+    assert_eq!(parsed.render(), text, "render(parse(file)) == file");
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+
+    // Handling the error passes and reports an E1 improvement.
+    ws.write(
+        "crates/core/src/drop_err.rs",
+        "pub fn d() -> std::io::Result<()> { std::fs::remove_file(\"x\") }\n",
+    );
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+    assert_eq!(out.ratchet_e1.improved, vec![("gp-core".to_string(), 1, 0)]);
+    let text = runner::render_text(&out);
+    assert!(text.contains("discarded-Result"), "{text}");
+}
+
+#[test]
+fn metric_manifest_drift_fails_both_directions() {
+    let ws = mini_workspace("m1");
+    ws.write("crates/core/src/metrics.rs", DIRTY_METRIC);
+    // Ratchet away the seeded unwrap so only M1 is in play.
+    let mut upd = ws.opts();
+    upd.update_baseline = true;
+    runner::run(&upd).unwrap();
+
+    // 1. No METRICS.md at all: one M1 pointing at the missing manifest.
+    let out = runner::run(&ws.opts()).unwrap();
+    let m1: Vec<_> = out
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::M1)
+        .collect();
+    assert_eq!(m1.len(), 1, "{:?}", out.violations);
+    assert_eq!(m1[0].file, runner::METRICS_FILE);
+    assert!(m1[0].message.contains("does not exist"), "{}", m1[0].message);
+
+    // 2. A manifest that misses the registered name fails at the
+    //    registration site, and its stale row fails at the row.
+    ws.write(
+        "METRICS.md",
+        "| Name | Type |\n|------|------|\n| `fixture.other` | counter |\n",
+    );
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(
+        out.violations.iter().any(|v| v.rule == Rule::M1
+            && v.file == "crates/core/src/metrics.rs"
+            && v.message.contains("fixture.ghost_total")),
+        "{:?}",
+        out.violations
+    );
+    assert!(
+        out.violations.iter().any(|v| v.rule == Rule::M1
+            && v.file == runner::METRICS_FILE
+            && v.line == 3
+            && v.message.contains("stale")),
+        "{:?}",
+        out.violations
+    );
+
+    // 3. A manifest matching the registrations exactly is clean.
+    ws.write(
+        "METRICS.md",
+        "| Name | Type |\n|------|------|\n| `fixture.ghost_total` | counter |\n",
+    );
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+}
+
+fn git(root: &std::path::Path, args: &[&str]) {
+    let st = std::process::Command::new("git")
+        .args(["-c", "user.email=t@t", "-c", "user.name=t"])
+        .args(args)
+        .current_dir(root)
+        .status()
+        .unwrap();
+    assert!(st.success(), "git {args:?} failed");
+}
+
+#[test]
+fn changed_filter_scopes_report_to_touched_files() {
+    let ws = mini_workspace("chg");
+    let mut upd = ws.opts();
+    upd.update_baseline = true;
+    runner::run(&upd).unwrap();
+    git(&ws.root, &["init", "-q"]);
+    git(&ws.root, &["add", "-A"]);
+    git(&ws.root, &["commit", "-qm", "seed"]);
+
+    // A committed hard violation predates the ref…
+    ws.write(
+        "crates/core/src/rngy.rs",
+        "pub fn r() -> u64 { let mut g = thread_rng(); g.next_u64() }\n",
+    );
+    git(&ws.root, &["add", "-A"]);
+    git(&ws.root, &["commit", "-qm", "dirty"]);
+    let mut chg = ws.opts();
+    chg.changed = Some("HEAD".to_string());
+    // …so a HEAD-relative run is clean even though the full run fails.
+    let out = runner::run(&chg).unwrap();
+    assert!(out.ok(), "{:?}", out.violations);
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(!out.ok(), "the full run keeps the backstop");
+
+    // An untracked new file with a violation IS caught pre-commit.
+    ws.write(
+        "crates/core/src/rngy2.rs",
+        "pub fn r2() -> u64 { let mut g = thread_rng(); g.next_u64() }\n",
+    );
+    let out = runner::run(&chg).unwrap();
+    assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
+    assert_eq!(out.violations[0].file, "crates/core/src/rngy2.rs");
+    assert_eq!(out.violations[0].rule, Rule::D3);
+}
+
+#[test]
+fn sarif_output_from_workspace_run_is_well_formed() {
+    let ws = mini_workspace("sarif");
+    let out = runner::run(&ws.opts()).unwrap();
+    assert!(!out.ok(), "the seeded unwrap regresses");
+    let s = runner::render_sarif(&out);
+    assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+    assert!(s.contains("sarif-2.1.0.json"), "{s}");
+    assert!(s.contains("\"gp-lint\""), "{s}");
+    assert!(s.contains("\"results\""), "{s}");
+    assert!(s.contains("\"R1\""), "the ratchet summary lands in results: {s}");
+    assert_eq!(s.matches('{').count(), s.matches('}').count());
+    assert_eq!(s.matches('[').count(), s.matches(']').count());
 }
 
 #[test]

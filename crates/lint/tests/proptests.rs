@@ -7,7 +7,7 @@
 //! where the registry is reachable (CI), like the other crates'
 //! proptest suites.
 
-use gp_lint::{lint_source, scan, FileKind};
+use gp_lint::{analyze, extract, lint_source, scan, FileKind};
 use proptest::prelude::*;
 
 /// Token soup biased toward the scanner's tricky atoms.
@@ -41,6 +41,55 @@ fn soup() -> impl Strategy<Value = String> {
     proptest::collection::vec(atom, 0..64).prop_map(|v| v.concat())
 }
 
+/// Soup biased toward the fact extractor's atoms on top of the
+/// scanner's: fn/struct/impl headers, lock and condvar shapes, call
+/// chains, discards, metric registrations.
+fn fact_soup() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("fn f".to_string()),
+        Just("fn".to_string()),
+        Just("struct S".to_string()),
+        Just("impl S".to_string()),
+        Just("for".to_string()),
+        Just("static X:".to_string()),
+        Just("Mutex<".to_string()),
+        Just("RwLock<State>".to_string()),
+        Just("Condvar".to_string()),
+        Just("MutexGuard<'_, T>".to_string()),
+        Just("(&self)".to_string()),
+        Just("self.state.lock()".to_string()),
+        Just(".lock()".to_string()),
+        Just(".read(".to_string()),
+        Just(".write(".to_string()),
+        Just(".wait(g)".to_string()),
+        Just(".wait_timeout(".to_string()),
+        Just(".join()".to_string()),
+        Just("let g =".to_string()),
+        Just("let mut".to_string()),
+        Just("let _ =".to_string()),
+        Just(".ok();".to_string()),
+        Just("drop(g)".to_string()),
+        Just("Counter::new(\"m.x\")".to_string()),
+        Just("-> MutexGuard<'_, u32>".to_string()),
+        Just("::".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just(";".to_string()),
+        Just(",".to_string()),
+        Just("\n".to_string()),
+        Just("\"".to_string()),
+        Just("/*".to_string()),
+        Just("gp-lint: allow(C2) — reason".to_string()),
+        "[ -~]{0,6}",
+        "\\PC{0,4}",
+    ];
+    proptest::collection::vec(atom, 0..64).prop_map(|v| v.concat())
+}
+
 proptest! {
     #[test]
     fn scan_never_panics_and_preserves_lines(src in soup()) {
@@ -68,5 +117,25 @@ proptest! {
         for kind in [FileKind::Lib, FileKind::Bin, FileKind::Harness] {
             let _ = lint_source("soup.rs", "gp-core", kind, &src);
         }
+    }
+
+    #[test]
+    fn fact_extraction_never_panics_and_is_deterministic(src in fact_soup()) {
+        // Pass 1 on garbage: must terminate, and two extractions of the
+        // same bytes must agree fact-for-fact (the ratchet and the
+        // lock-order graph both depend on that stability).
+        let f1 = extract("soup.rs", "gp-core", FileKind::Lib, &src);
+        let f2 = extract("soup.rs", "gp-core", FileKind::Lib, &src);
+        prop_assert_eq!(&f1, &f2);
+        // And pass 2 must swallow whatever pass 1 produced.
+        let _ = analyze(&[f1, f2]);
+    }
+
+    #[test]
+    fn fact_extraction_never_panics_on_scanner_soup(src in soup()) {
+        // The scanner-focused soup exercises string/comment edge cases
+        // the fact soup does not.
+        let f = extract("soup.rs", "gp-core", FileKind::Lib, &src);
+        let _ = analyze(std::slice::from_ref(&f));
     }
 }

@@ -315,6 +315,7 @@ pub fn drain_pending(stream: &TcpStream) {
             Ok(n) => total += n,
         }
     }
+    // gp-lint: allow(E1) — best-effort restore of blocking mode; a failed fcntl surfaces on the next read/write anyway
     let _ = stream.set_nonblocking(false);
 }
 

@@ -62,4 +62,4 @@ pub use app::{ClassifyApp, SessionHost, MAX_QUERIES, MAX_WAYS};
 pub use coalesce::Coalescer;
 pub use http::{Limits, Request, Response};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{Handler, ServeContext, Server, ServerConfig, ServerHandle};
+pub use server::{DrainStats, Handler, ServeContext, Server, ServerConfig, ServerHandle};

@@ -35,3 +35,12 @@ pub static BATCH_SIZE: Histogram = Histogram::new("serve.batch.size");
 /// Members whose deadline expired while waiting for batch-mates (504
 /// with stage `batch_collect`); the rest of their batch still ran.
 pub static BATCH_EXPIRED_TOTAL: Counter = Counter::new("serve.batch_expired_total");
+/// Worker/accept threads whose drain-time `join()` failed — the thread
+/// panicked somewhere outside the per-request `catch_unwind` (which
+/// would have answered 500 and kept it alive). Anything nonzero here
+/// means a bug escaped request isolation.
+pub static JOIN_FAILURES_TOTAL: Counter = Counter::new("serve.join_failures_total");
+/// Response writes that failed (peer gone or write timeout): the
+/// request was processed but the answer never arrived. Distinguishes
+/// "clients are flaky" from "the server is slow" in overload triage.
+pub static WRITE_ERRORS_TOTAL: Counter = Counter::new("serve.write_errors_total");

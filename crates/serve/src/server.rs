@@ -31,8 +31,8 @@ use std::time::{Duration, Instant};
 
 use crate::http::{read_request, write_response_with, Limits, Request, Response};
 use crate::metrics::{
-    DEADLINE_EXCEEDED_TOTAL, INFLIGHT, PANICS_TOTAL, QUEUE_DEPTH, QUEUE_WAIT_MICROS,
-    REQUESTS_TOTAL, REQUEST_MICROS, SHED_TOTAL,
+    DEADLINE_EXCEEDED_TOTAL, INFLIGHT, JOIN_FAILURES_TOTAL, PANICS_TOTAL, QUEUE_DEPTH,
+    QUEUE_WAIT_MICROS, REQUESTS_TOTAL, REQUEST_MICROS, SHED_TOTAL, WRITE_ERRORS_TOTAL,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -251,15 +251,37 @@ impl ServerHandle {
 
     /// Graceful drain: [`Self::begin_shutdown`] + join everything.
     /// Returns only after every admitted request has been answered.
-    pub fn shutdown(mut self) {
+    ///
+    /// A failed join means a thread panicked somewhere outside the
+    /// per-request `catch_unwind` — counted into
+    /// `serve.join_failures_total` and reported in the returned
+    /// [`DrainStats`] so the binary's drain log line can surface it
+    /// instead of the error dying in a `let _ =`.
+    pub fn shutdown(mut self) -> DrainStats {
         self.begin_shutdown();
+        let mut stats = DrainStats::default();
         if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+            if t.join().is_err() {
+                JOIN_FAILURES_TOTAL.inc();
+                stats.join_failures += 1;
+            }
         }
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            if w.join().is_err() {
+                JOIN_FAILURES_TOTAL.inc();
+                stats.join_failures += 1;
+            }
         }
+        stats
     }
+}
+
+/// What a graceful drain observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Worker/accept threads whose `join()` returned `Err` (panicked
+    /// outside request isolation). Zero on every healthy drain.
+    pub join_failures: usize,
 }
 
 fn accept_loop(
@@ -282,6 +304,7 @@ fn accept_loop(
                 // Nagle only adds delayed-ACK stalls on keep-alive
                 // connections. Best-effort: a socket we cannot
                 // configure still gets served.
+                // gp-lint: allow(E1) — TCP_NODELAY is a latency tweak, not a correctness need; serving proceeds either way
                 let _ = stream.set_nodelay(true);
                 let conn = Conn {
                     stream,
@@ -309,7 +332,9 @@ fn accept_loop(
                         // first or closing would RST the 503 away.
                         let mut stream = conn.stream;
                         crate::http::drain_pending(&stream);
-                        let _ = write_response_with(&mut stream, &resp, limits, false);
+                        if write_response_with(&mut stream, &resp, limits, false).is_err() {
+                            WRITE_ERRORS_TOTAL.inc();
+                        }
                     }
                 }
             }
@@ -406,6 +431,9 @@ fn worker_loop<H: Handler + ?Sized>(
             let keep =
                 client_keep_alive && served + 1 < max_requests && !stop.load(Ordering::SeqCst);
             let wrote = write_response_with(&mut stream, &resp, &limits, keep);
+            if wrote.is_err() {
+                WRITE_ERRORS_TOTAL.inc();
+            }
             REQUEST_MICROS.record(started.elapsed().as_micros() as u64);
             REQUESTS_TOTAL.inc();
             INFLIGHT.offset(-1);

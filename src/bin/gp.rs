@@ -466,12 +466,19 @@ fn serve_cmd(args: &[String]) -> CliResult {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     eprintln!("drain requested; finishing admitted requests...");
-    handle.shutdown();
+    let drain = handle.shutdown();
     let persisted = app.host().flush_embed_stores();
     if persisted > 0 {
         eprintln!("embedding store flushed: {persisted} entries will warm-start the next run");
     }
-    eprintln!("drained cleanly.");
+    if drain.join_failures > 0 {
+        eprintln!(
+            "drained with {} worker thread(s) lost to panics (see serve.join_failures_total).",
+            drain.join_failures
+        );
+    } else {
+        eprintln!("drained cleanly.");
+    }
     Ok(())
 }
 
